@@ -1,0 +1,31 @@
+# Convenience targets for the SafeGen reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-accuracy examples clean
+
+install:
+	pip install -e . || ( \
+	  echo "editable install failed (offline env without 'wheel'?);" && \
+	  echo "falling back to a .pth link" && \
+	  echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site;print(site.getsitepackages()[0])')/repro-dev.pth" )
+
+test:
+	$(PYTHON) -m pytest tests/
+
+# Timing microbenchmarks (pytest-benchmark).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Accuracy/slowdown tables for every paper figure/table
+# (results land in benchmarks/results/).
+bench-accuracy:
+	$(PYTHON) -m pytest benchmarks/ -q -s --benchmark-disable
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results \
+	  test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,71 @@
+"""Fig. 10 — certified accuracy of f64a-dspv vs input size for sor and luf.
+
+The paper's observation: sor's computational depth is O(1) per sweep, so
+accuracy stays roughly constant as the grid grows; luf's depth is O(n), so
+accuracy decays with n until no bit can be certified (n >= 60 in the paper).
+We sweep smaller sizes (the Python substrate is ~3 orders of magnitude
+slower than native) and check the same *shape*: sor flat, luf decaying.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, make_workload, run_config
+from repro.bench.runner import BenchResult
+
+from conftest import emit
+
+SOR_SIZES = [6, 8, 10, 14]
+LUF_SIZES = [6, 10, 14, 20, 26]
+
+
+@pytest.fixture(scope="module")
+def fig10_results(results_dir):
+    rows = []
+    sor_acc = {}
+    luf_acc = {}
+    for n in SOR_SIZES:
+        w = make_workload("sor", seed=7, sor_n=n, sor_iters=6)
+        r = run_config(w, "f64a-dspv", k=16, repeats=1)
+        sor_acc[n] = r.acc_bits
+        rows.append({"benchmark": "sor", "n": n,
+                     "acc_bits": round(r.acc_bits, 2)})
+    for n in LUF_SIZES:
+        w = make_workload("luf", seed=7, luf_n=n)
+        r = run_config(w, "f64a-dspv", k=16, repeats=1)
+        luf_acc[n] = r.acc_bits
+        rows.append({"benchmark": "luf", "n": n,
+                     "acc_bits": round(r.acc_bits, 2)})
+    text = format_table(rows, title="Fig. 10: f64a-dspv accuracy vs size n")
+    emit(results_dir, "fig10_scaling", text, rows=rows)
+    return sor_acc, luf_acc
+
+
+class TestFig10Claims:
+    def test_sor_accuracy_roughly_constant(self, fig10_results):
+        sor_acc, _ = fig10_results
+        accs = [sor_acc[n] for n in SOR_SIZES]
+        assert max(accs) - min(accs) <= 4.0, accs
+
+    def test_luf_accuracy_decays(self, fig10_results):
+        _, luf_acc = fig10_results
+        accs = [luf_acc[n] for n in LUF_SIZES]
+        assert accs[-1] < accs[0] - 3.0, accs
+
+    def test_luf_decay_is_monotone_ish(self, fig10_results):
+        _, luf_acc = fig10_results
+        accs = [luf_acc[n] for n in LUF_SIZES]
+        # allow small local noise but the overall trend must be down
+        for i in range(len(accs) - 2):
+            assert min(accs[i + 1:]) <= accs[i] + 1.0, accs
+
+    def test_luf_depth_drives_decay(self):
+        """The mechanism: luf's worst-case accuracy decreases with n even
+        with all fusion disabled (full AA), because the computation depth
+        grows with n — AA overapproximation compounds."""
+        shallow = run_config(make_workload("luf", seed=7, luf_n=4),
+                             "yalaa-aff0", repeats=1)
+        deep = run_config(make_workload("luf", seed=7, luf_n=14),
+                          "yalaa-aff0", repeats=1)
+        assert deep.acc_bits <= shallow.acc_bits

@@ -1,0 +1,163 @@
+"""Fig. 9 — comparison with prior work.
+
+For each benchmark: SafeGen f64a-dspv over the k sweep, the library
+baselines (yalaa-aff0 = full AA, yalaa-aff1 = fixed symbols, ceres-affine
+over the k sweep), the IGen interval baselines (ia-f64, ia-dd), and the
+"full AA through SafeGen" configuration f64a-dspv-K (K large enough that no
+fusion occurs).
+
+Checked shape claims (Section VII-B):
+
+* SafeGen at equal k is much faster than the Ceres-style library while at
+  least as accurate;
+* full AA (yalaa-aff0) is the most accurate and the most expensive;
+* f64a-dspv-K matches full-AA accuracy at lower cost;
+* yalaa-aff1 is cheap but the least accurate affine variant;
+* IA is fastest and least accurate — on henon it certifies nothing while
+  SafeGen keeps >15 bits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    FULL_AA_K,
+    float_baseline_time,
+    format_table,
+    run_config,
+)
+
+from conftest import emit
+
+K_VALUES = [8, 16, 32, 48]
+
+
+@pytest.fixture(scope="module")
+def fig9_results(workloads, results_dir):
+    out = {}
+    for name, w in workloads.items():
+        base = float_baseline_time(w)
+        results = []
+        for k in K_VALUES:
+            results.append(run_config(w, "f64a-dspv", k=k, repeats=2,
+                                      baseline_s=base))
+            results.append(run_config(w, "f64a-dsnv", k=k, repeats=2,
+                                      baseline_s=base))
+            results.append(run_config(w, "ceres-affine", k=k, repeats=2,
+                                      baseline_s=base))
+        results.append(run_config(w, "yalaa-aff0", repeats=2,
+                                  baseline_s=base))
+        results.append(run_config(w, "yalaa-aff1", repeats=2,
+                                  baseline_s=base))
+        # f64a-dsnv-K: "simulating full AA" (no fusion ever).  The paper's
+        # per-benchmark K values are scaled down with the quick workloads.
+        big_k = min(FULL_AA_K[name], 2048)
+        results.append(run_config(w, "f64a-dsnv", k=big_k, repeats=1,
+                                  baseline_s=base))
+        results.append(run_config(w, "ia-f64", repeats=2, baseline_s=base))
+        results.append(run_config(w, "ia-dd", repeats=2, baseline_s=base))
+        out[name] = results
+        text = format_table(
+            [r.row() for r in results],
+            title=f"Fig. 9 [{name}]: SafeGen vs prior work "
+                  f"(baseline {base * 1e3:.3f} ms)",
+        )
+        emit(results_dir, f"fig9_{name}", text, rows=[r.row() for r in results])
+    return out
+
+
+def _one(results, config, k=None):
+    for r in results:
+        if r.config.startswith(config) and (k is None or r.k == k):
+            return r
+    raise KeyError(config)
+
+
+class TestFig9Claims:
+    def test_safegen_faster_than_ceres_at_large_k(self, fig9_results):
+        """Paper: 30-70x (native SafeGen vs JVM Ceres).  With both sides
+        running in the same interpreter the gap shrinks to the algorithmic
+        difference, which materializes at larger k where the dict-based
+        Ceres representation pays per-symbol costs and the vectorized
+        direct-mapped kernels do not (see EXPERIMENTS.md)."""
+        wins = 0
+        for name, results in fig9_results.items():
+            sg = _one(results, "f64a-dsnv", 48)
+            ce = _one(results, "ceres-affine-k48")
+            if sg.runtime_s < ce.runtime_s:
+                wins += 1
+        assert wins >= 3, "vectorized SafeGen should beat Ceres at k=48"
+
+    def test_safegen_at_least_as_accurate_as_ceres(self, fig9_results):
+        for name, results in fig9_results.items():
+            for k in (32, 48):
+                sg = _one(results, "f64a-dspv", k)
+                ce = _one(results, "ceres-affine-k%d" % k)
+                assert sg.acc_bits >= ce.acc_bits - 1.0, (name, k)
+
+    def test_full_aa_most_accurate(self, fig9_results):
+        # ...among the double-precision arithmetics: ia-dd carries ~106
+        # significand bits and may edge out double full AA on benchmarks
+        # with little cancellation (luf).
+        for name, results in fig9_results.items():
+            full = _one(results, "yalaa-aff0")
+            for r in results:
+                if r.config == "ia-dd":
+                    continue
+                assert full.acc_bits >= r.acc_bits - 0.75, (
+                    f"{name}: {r.config}/k{r.k} beats full AA"
+                )
+
+    def test_large_k_matches_full_aa(self, fig9_results):
+        for name, results in fig9_results.items():
+            full = _one(results, "yalaa-aff0")
+            bigk = max((r for r in results if r.config == "f64a-dsnv"),
+                       key=lambda r: r.k)
+            assert bigk.acc_bits >= full.acc_bits - 1.5
+
+    def test_large_k_faster_than_full_aa(self, fig9_results):
+        """Paper: f64a-dspv-K reaches full-AA accuracy 3-6x faster than the
+        yalaa-aff0 library."""
+        for name, results in fig9_results.items():
+            full = _one(results, "yalaa-aff0")
+            bigk = max((r for r in results if r.config == "f64a-dsnv"),
+                       key=lambda r: r.k)
+            assert bigk.runtime_s < full.runtime_s, name
+
+    def test_aff1_least_accurate_affine(self, fig9_results):
+        for name, results in fig9_results.items():
+            aff1 = _one(results, "yalaa-aff1")
+            full = _one(results, "yalaa-aff0")
+            assert aff1.acc_bits <= full.acc_bits + 1e-9
+
+    def test_ia_fastest_but_henon_collapses(self, fig9_results):
+        results = fig9_results["henon"]
+        ia = _one(results, "ia-f64")
+        sg = _one(results, "f64a-dspv", 8)
+        assert ia.runtime_s < sg.runtime_s
+        assert ia.acc_bits == 0.0  # loses all bits
+        assert sg.acc_bits > 15.0  # paper: ~23 bits at k=8
+
+    def test_ia_dd_also_collapses_on_henon(self, fig9_results):
+        assert _one(fig9_results["henon"], "ia-dd").acc_bits < 1.0
+
+    def test_fgm_aa_advantage(self, fig9_results):
+        """Paper: IGen certifies 7 bits on fgm, f64a-dspv keeps 18."""
+        results = fig9_results["fgm"]
+        ia = _one(results, "ia-f64")
+        sg = _one(results, "f64a-dspv", 8)
+        assert sg.acc_bits >= ia.acc_bits + 8.0
+
+
+class TestFig9Benchmarks:
+    @pytest.mark.parametrize("config", ["f64a-dspv", "ceres-affine",
+                                        "yalaa-aff0", "ia-f64"])
+    def test_henon_runtime(self, benchmark, workloads, config):
+        from repro.compiler import CompilerConfig, SafeGen
+
+        w = workloads["henon"]
+        cfg = CompilerConfig.from_string(
+            config, k=16, int_params=dict(w.program.int_params))
+        prog = SafeGen(cfg).compile(w.program.source, entry=w.program.entry)
+        benchmark.pedantic(lambda: prog(**w.inputs), rounds=3, iterations=1)

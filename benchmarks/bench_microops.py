@@ -1,0 +1,68 @@
+"""Microbenchmarks of individual AA operations (pytest-benchmark).
+
+Times scalar vs vectorized direct-mapped add/mul at full symbol occupancy —
+the regime inside benchmark loops — supporting the Section VII-A claim that
+vectorized direct-mapped operations outperform the scalar path (here: at
+the larger k values; see EXPERIMENTS.md for the interpreter caveat).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aa import AffineContext
+from repro.ia import Interval, IntervalDD
+
+
+def full_forms(ctx, k):
+    a = ctx.input(1.0)
+    b = ctx.input(1.5)
+    for i in range(3 * k):
+        a = a.add(ctx.input(1.0 + i * 1e-3))
+        b = b.mul(ctx.input(1.0 + i * 1e-4))
+    return a, b
+
+
+@pytest.mark.parametrize("k", [8, 48])
+@pytest.mark.parametrize("vectorized", [False, True],
+                         ids=["scalar", "vectorized"])
+class TestAffineOps:
+    def test_add(self, benchmark, k, vectorized):
+        ctx = AffineContext(k=k, vectorized=vectorized)
+        a, b = full_forms(ctx, k)
+        benchmark(lambda: a.add(b))
+
+    def test_mul(self, benchmark, k, vectorized):
+        ctx = AffineContext(k=k, vectorized=vectorized)
+        a, b = full_forms(ctx, k)
+        benchmark(lambda: a.mul(b))
+
+
+class TestIntervalOps:
+    def test_ia_add(self, benchmark):
+        a, b = Interval(1.0, 1.1), Interval(2.0, 2.2)
+        benchmark(lambda: a + b)
+
+    def test_ia_mul(self, benchmark):
+        a, b = Interval(1.0, 1.1), Interval(2.0, 2.2)
+        benchmark(lambda: a * b)
+
+    def test_ia_dd_mul(self, benchmark):
+        a = IntervalDD.from_interval(1.0, 1.1)
+        b = IntervalDD.from_interval(2.0, 2.2)
+        benchmark(lambda: a * b)
+
+
+class TestFullAA:
+    """Full AA cost grows with the number of live symbols — the quadratic
+    blowup of Section II-B in miniature."""
+
+    @pytest.mark.parametrize("n_symbols", [10, 100])
+    def test_full_add(self, benchmark, n_symbols):
+        from repro.aa import FullAffine
+
+        ctx = AffineContext()
+        a = FullAffine.from_center_and_symbol(ctx, 1.0, 1e-10)
+        for i in range(n_symbols):
+            a = a.add(FullAffine.from_center_and_symbol(ctx, 0.0, 1e-12))
+        benchmark(lambda: a.add(a))

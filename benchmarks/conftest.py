@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every module regenerates one table or figure of the paper (see DESIGN.md's
+experiment index).  Results are printed (run pytest with ``-s`` to see them
+live) and written as CSV under ``benchmarks/results/``.
+
+Scale: set ``REPRO_BENCH_SCALE=paper`` for the paper's full workload sizes
+(slow: the Python interpreter stands in for the authors' native binaries);
+the default ``quick`` scale keeps every run under a few minutes while
+preserving the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import make_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCALES = {
+    "quick": dict(henon_iters=100, sor_n=8, sor_iters=6, luf_n=12,
+                  fgm_n=8, fgm_iters=30),
+    "paper": dict(henon_iters=100, sor_n=10, sor_iters=10, luf_n=20,
+                  fgm_n=8, fgm_iters=40),
+}
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def scale_sizes() -> dict:
+    return dict(SCALES[bench_scale()])
+
+
+@pytest.fixture(scope="session")
+def sizes():
+    return scale_sizes()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def workloads(sizes):
+    return {name: make_workload(name, seed=7, **sizes)
+            for name in ("henon", "sor", "luf", "fgm")}
+
+
+def emit(results_dir, name: str, text: str, rows=None) -> None:
+    """Print a report and persist it (text + optional CSV)."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text)
+    if rows:
+        from repro.bench import write_csv
+
+        write_csv(str(results_dir / f"{name}.csv"), rows)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Certifying a chaotic iteration: the Henon map (paper Table II).
+
+Chaotic maps amplify round-off exponentially; plain interval arithmetic
+gives up after a few dozen iterations, while affine arithmetic — which
+remembers that the round-off of iteration i is *correlated* between x and y
+— keeps certifying bits for hundreds of steps.  This example sweeps the
+configurations and prints how many bits each can certify after 100
+iterations, including the effect of the static analysis (Section VI).
+
+Run:  python examples/henon_certificate.py
+"""
+
+from repro.compiler import compile_c
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}
+"""
+
+ITERS = 100
+X0, Y0 = 0.3, 0.4
+
+
+def certify(config: str, k: int = 8) -> tuple[float, float]:
+    program = compile_c(HENON, config, k=k, int_params={"n": ITERS})
+    result = program(X0, Y0, ITERS)
+    return max(0.0, result.acc_bits()), result.elapsed_s
+
+
+def main() -> None:
+    print(f"Henon map, {ITERS} iterations from ({X0}, {Y0})")
+    print(f"{'configuration':<16} {'k':>4} {'certified bits':>15} "
+          f"{'runtime':>10}")
+    print("-" * 50)
+    rows = [
+        ("ia-f64", 1), ("ia-dd", 1),
+        ("f64a-dsnn", 8), ("f64a-dspn", 8),
+        ("f64a-dsnn", 24), ("f64a-dspn", 24),
+        ("yalaa-aff0", 1),
+    ]
+    for config, k in rows:
+        bits, secs = certify(config, k)
+        kstr = "-" if config.startswith(("ia", "yalaa")) else str(k)
+        print(f"{config:<16} {kstr:>4} {bits:>15.1f} {secs * 1e3:>8.1f}ms")
+
+    print()
+    print("Things to notice:")
+    print(" * both interval variants certify 0 bits — intervals only grow;")
+    print(" * bounded AA keeps ~20+ bits with just k=8 symbols;")
+    print(" * the static analysis (dspn) adds several bits for free:")
+    prog = compile_c(HENON, "f64a-dspn", k=8, int_params={"n": ITERS})
+    print(f"   {prog.analysis_report}")
+    print(" * full AA (yalaa-aff0) is the accuracy ceiling — at a "
+          "quadratic cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Sound Model Predictive Control: certifying a fast-gradient-method solver.
+
+In embedded MPC the optimizer runs on a fixed iteration budget and its
+round-off error feeds straight into the control loop — stability proofs
+need a *bound* on that error (the paper's motivating fgm benchmark, Section
+I and Table II).  This example builds a small QP, compiles the FiOrdOs-style
+fast gradient method soundly, and reports a per-coordinate certificate for
+the returned control action.
+
+Run:  python examples/mpc_fast_gradient.py
+"""
+
+import math
+import random
+
+from repro.aa import acc_bits
+from repro.bench.programs import fgm
+from repro.compiler import compile_c
+
+N = 6          # decision variables
+ITERS = 30     # fixed iteration budget (embedded-style)
+
+
+def build_qp(seed: int = 42):
+    """A random well-conditioned QP: minimize 0.5 x'Hx + f'x."""
+    rng = random.Random(seed)
+    h = [[0.0] * N for _ in range(N)]
+    for i in range(N):
+        for j in range(i, N):
+            if i == j:
+                h[i][j] = 1.0 + 0.5 * rng.random()
+            else:
+                v = 0.15 * (rng.random() - 0.5)
+                h[i][j] = h[j][i] = v
+    f = [rng.random() - 0.5 for _ in range(N)]
+    x0 = [0.0] * N
+    # Gershgorin spectral bounds -> step size and momentum.
+    row_sums = [sum(abs(v) for v in row) for row in h]
+    big_l = max(row_sums)
+    mu = max(min(h[i][i] - (row_sums[i] - abs(h[i][i])) for i in range(N)),
+             0.05)
+    kappa = big_l / mu
+    beta = (math.sqrt(kappa) - 1.0) / (math.sqrt(kappa) + 1.0)
+    return h, f, x0, 1.0 / big_l, beta
+
+
+def main() -> None:
+    h, f, x0, step, beta = build_qp()
+    bench = fgm(N, ITERS, step=step, beta=beta)
+
+    print(f"QP with n={N}, {ITERS} fast-gradient iterations "
+          f"(step={step:.4f}, beta={beta:.4f})")
+    print()
+
+    for config, k in (("f64a-dsnn", 16), ("ia-f64", 1)):
+        program = compile_c(bench.source, config, k=k,
+                            int_params={"iters": ITERS})
+        result = program(H=h, f=f, x=x0, iters=ITERS)
+        xs = result.params["x"]
+        print(f"[{config}] control action certificate:")
+        for i, xi in enumerate(xs):
+            iv = xi.interval()
+            bits = max(0.0, acc_bits(xi))
+            print(f"   x[{i}] in [{iv.lo:+.12f}, {iv.hi:+.12f}]  "
+                  f"({bits:.1f} certified bits)")
+        worst = min(max(0.0, acc_bits(xi)) for xi in xs)
+        print(f"   worst-case certificate: {worst:.1f} bits")
+        print()
+
+    print("The affine solver certifies every coordinate; the interval")
+    print("solver's boxes blow up with the momentum recursion — exactly")
+    print("the dependency problem the paper's Section II describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Exploring the symbol policies directly through the affine library API.
+
+You do not need the compiler to use the runtime: this example drives the
+bounded affine forms by hand on the Henon recurrence, showing how the
+placement/fusion policies (Section V, Table I) and symbol protection
+(Section VI) change the certificate for the same computation.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from repro.aa import (
+    AffineContext,
+    FusionPolicy,
+    PlacementPolicy,
+    acc_bits,
+)
+
+ITERS = 60
+
+
+def henon(ctx, protect_x: bool = False):
+    """x' = 1 - 1.05 x^2 + y;  y' = 0.3 x — driven through the library.
+
+    With ``protect_x`` the symbols currently held by x are shielded from
+    fusion in every operation — a hand-rolled version of what the paper's
+    static analysis discovers automatically (x is reused by both updates).
+    """
+    x, y = ctx.input(0.3), ctx.input(0.4)
+    a, b = ctx.constant(1.05), ctx.constant(0.3)
+    one = ctx.exact(1.0)
+    for _ in range(ITERS):
+        protect = frozenset(x.symbol_ids()) if protect_x else frozenset()
+        sq = x.mul(x, protect=protect)
+        xn = one.sub(a.mul(sq, protect=protect), protect=protect) \
+                .add(y, protect=protect)
+        y = b.mul(x, protect=protect)
+        x = xn
+    return x
+
+
+def main() -> None:
+    print(f"Henon map, {ITERS} iterations, k = 8 symbols per variable.\n")
+    print(f"{'placement':<14} {'fusion':<10} {'certified bits':>15}")
+    print("-" * 42)
+    for placement in PlacementPolicy:
+        for fusion in FusionPolicy:
+            ctx = AffineContext(k=8, placement=placement, fusion=fusion)
+            bits = max(0.0, acc_bits(henon(ctx)))
+            print(f"{placement.value:<14} {fusion.value:<10} {bits:>15.1f}")
+
+    print("\nProtecting x's symbols from fusion by hand (what")
+    print("`#pragma safegen prioritize(x)` does in compiled code):\n")
+    plain = max(0.0, acc_bits(henon(AffineContext(k=8))))
+    protected = max(0.0, acc_bits(henon(AffineContext(k=8), protect_x=True)))
+    print(f"   without protection : {plain:.1f} bits")
+    print(f"   with protection    : {protected:.1f} bits")
+
+    print("\nOperation statistics (direct-mapped/smallest, protected run):")
+    ctx = AffineContext(k=8)
+    henon(ctx, protect_x=True)
+    s = ctx.stats
+    print(f"   adds={s.n_add} muls={s.n_mul} fused={s.n_fused_symbols} "
+          f"conflicts={s.n_conflicts} model-flops={s.flops}")
+
+    print("\nThe same trade-offs drive the paper's Fig. 8: smallest/mean")
+    print("fusion beat oldest/random, and protected symbols buy several")
+    print("bits at fixed k.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compiling a SIMD kernel soundly (Section IV-B: SIMD intrinsics input).
+
+SafeGen accepts AVX/SSE intrinsics in the input function: a SIMD-to-C pass
+scalarizes them (the paper reuses IGen's; ours lives in
+repro.compiler.simd), after which the usual affine transformation applies.
+This example compiles a hand-vectorized axpy-with-correction kernel and
+certifies each lane of its output.
+
+Run:  python examples/simd_kernel.py
+"""
+
+from repro.aa import acc_bits
+from repro.compiler import compile_c
+
+SOURCE = """
+void axpy4(double a, double x[4], double y[4], double out[4]) {
+    __m256d va = _mm256_set1_pd(a);
+    __m256d vx = _mm256_loadu_pd(x);
+    __m256d vy = _mm256_loadu_pd(y);
+    __m256d prod = _mm256_mul_pd(va, vx);
+    __m256d sum = _mm256_add_pd(prod, vy);
+    /* one Newton-style correction step: sum += (y - (sum - prod)) */
+    __m256d resid = _mm256_sub_pd(vy, _mm256_sub_pd(sum, prod));
+    __m256d fixed = _mm256_add_pd(sum, resid);
+    _mm256_storeu_pd(out, fixed);
+}
+"""
+
+
+def main() -> None:
+    program = compile_c(SOURCE, "f64a-dsnn", k=8)
+
+    print("The SIMD kernel was scalarized and transformed; generated C:")
+    for line in program.c_source.splitlines()[:14]:
+        print("   ", line)
+    print("    ...")
+
+    a = 1.25
+    x = [0.1, 0.2, 0.3, 0.4]
+    y = [1.0, 2.0, 3.0, 4.0]
+    result = program(a, x, y, [0.0, 0.0, 0.0, 0.0])
+    out = result.params["out"]
+
+    print("\nper-lane certificates for out = a*x + y (corrected):")
+    for lane, value in enumerate(out):
+        iv = value.interval()
+        print(f"   lane {lane}: [{iv.lo:.17g}, {iv.hi:.17g}]  "
+              f"({max(0.0, acc_bits(value)):.1f} bits)")
+
+    worst = min(max(0.0, acc_bits(v)) for v in out)
+    print(f"\nworst lane certificate: {worst:.1f} of 53 bits")
+    print("(the correction step is affine, so AA tracks that `resid` is")
+    print(" exactly the rounding of `sum` — the certificate stays sharp)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+/*
+ * safegen_aa.h — declarations for the affine/interval library that
+ * SafeGen-generated C code links against.
+ *
+ * This reproduction executes programs through the Python backend; the C
+ * backend (repro.compiler.codegen_c) emits display code against these
+ * declarations so that the generated C matches the paper's Fig. 2 and can
+ * be inspected, diffed and (given an implementation of this header)
+ * compiled.  The function set below mirrors repro/compiler/runtime.py.
+ */
+
+#ifndef SAFEGEN_AA_H
+#define SAFEGEN_AA_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#ifndef SAFEGEN_MAX_SYMBOLS
+#define SAFEGEN_MAX_SYMBOLS 48  /* the capacity k, fixed at generation time */
+#endif
+
+/* ------------------------------------------------------------------ */
+/* types                                                               */
+/* ------------------------------------------------------------------ */
+
+/* double-double: unevaluated sum hi + lo, |lo| <= ulp(hi)/2 */
+typedef struct { double hi, lo; } dd_t;
+
+/* affine form, double central value (the paper's f64a type) */
+typedef struct {
+    double  central;
+    int64_t ids[SAFEGEN_MAX_SYMBOLS];     /* 0 = empty slot */
+    double  coeffs[SAFEGEN_MAX_SYMBOLS];
+} f64a;
+
+/* affine form, double-double central value (the paper's dda type) */
+typedef struct {
+    dd_t    central;
+    int64_t ids[SAFEGEN_MAX_SYMBOLS];
+    double  coeffs[SAFEGEN_MAX_SYMBOLS];
+} dda;
+
+/* sound intervals (IGen-style baselines) */
+typedef struct { double lo, hi; } interval_f64;
+typedef struct { dd_t lo, hi; } interval_dd;
+
+/* ------------------------------------------------------------------ */
+/* constants and conversions                                           */
+/* ------------------------------------------------------------------ */
+
+f64a aa_const_f64(double value);            /* inexact literal: 1-ulp symbol */
+f64a aa_const_exact_f64(double value);      /* exactly representable literal */
+f64a aa_const_range_f64(double lo, double hi); /* folded constant range      */
+f64a aa_from_int_f64(long value);
+
+dda aa_const_dd(double value);
+dda aa_const_exact_dd(double value);
+dda aa_const_range_dd(double lo, double hi);
+dda aa_from_int_dd(long value);
+
+interval_f64 aa_const_i64(double value);
+interval_f64 aa_const_exact_i64(double value);
+interval_f64 aa_const_range_i64(double lo, double hi);
+interval_f64 aa_from_int_i64(long value);
+
+interval_dd aa_const_idd(double value);
+interval_dd aa_const_exact_idd(double value);
+interval_dd aa_const_range_idd(double lo, double hi);
+interval_dd aa_from_int_idd(long value);
+
+/* ------------------------------------------------------------------ */
+/* arithmetic (one fresh error symbol per operation; fusion per the     */
+/* placement/fusion policy fixed at code-generation time)               */
+/* ------------------------------------------------------------------ */
+
+f64a aa_add_f64(f64a a, f64a b);
+f64a aa_sub_f64(f64a a, f64a b);
+f64a aa_mul_f64(f64a a, f64a b);
+f64a aa_div_f64(f64a a, f64a b);
+f64a aa_neg_f64(f64a a);
+f64a aa_sqrt_f64(f64a a);
+f64a aa_fabs_f64(f64a a);
+f64a aa_exp_f64(f64a a);
+f64a aa_log_f64(f64a a);
+f64a aa_fmin_f64(f64a a, f64a b);
+f64a aa_fmax_f64(f64a a, f64a b);
+
+dda aa_add_dd(dda a, dda b);
+dda aa_sub_dd(dda a, dda b);
+dda aa_mul_dd(dda a, dda b);
+dda aa_div_dd(dda a, dda b);
+dda aa_neg_dd(dda a);
+dda aa_sqrt_dd(dda a);
+dda aa_fabs_dd(dda a);
+dda aa_fmin_dd(dda a, dda b);
+dda aa_fmax_dd(dda a, dda b);
+
+interval_f64 aa_add_i64(interval_f64 a, interval_f64 b);
+interval_f64 aa_sub_i64(interval_f64 a, interval_f64 b);
+interval_f64 aa_mul_i64(interval_f64 a, interval_f64 b);
+interval_f64 aa_div_i64(interval_f64 a, interval_f64 b);
+interval_f64 aa_neg_i64(interval_f64 a);
+interval_f64 aa_sqrt_i64(interval_f64 a);
+interval_f64 aa_fabs_i64(interval_f64 a);
+interval_f64 aa_fmin_i64(interval_f64 a, interval_f64 b);
+interval_f64 aa_fmax_i64(interval_f64 a, interval_f64 b);
+
+interval_dd aa_add_idd(interval_dd a, interval_dd b);
+interval_dd aa_sub_idd(interval_dd a, interval_dd b);
+interval_dd aa_mul_idd(interval_dd a, interval_dd b);
+interval_dd aa_div_idd(interval_dd a, interval_dd b);
+interval_dd aa_neg_idd(interval_dd a);
+interval_dd aa_sqrt_idd(interval_dd a);
+
+/* ------------------------------------------------------------------ */
+/* comparisons (definite when ranges are disjoint; otherwise decided    */
+/* per the configured decision policy)                                  */
+/* ------------------------------------------------------------------ */
+
+int aa_cmp_lt_f64(f64a a, f64a b);
+int aa_cmp_le_f64(f64a a, f64a b);
+int aa_cmp_gt_f64(f64a a, f64a b);
+int aa_cmp_ge_f64(f64a a, f64a b);
+int aa_cmp_eq_f64(f64a a, f64a b);
+int aa_cmp_ne_f64(f64a a, f64a b);
+
+int aa_cmp_lt_i64(interval_f64 a, interval_f64 b);
+int aa_cmp_le_i64(interval_f64 a, interval_f64 b);
+int aa_cmp_gt_i64(interval_f64 a, interval_f64 b);
+int aa_cmp_ge_i64(interval_f64 a, interval_f64 b);
+int aa_cmp_eq_i64(interval_f64 a, interval_f64 b);
+int aa_cmp_ne_i64(interval_f64 a, interval_f64 b);
+
+/* ------------------------------------------------------------------ */
+/* symbol prioritization (Section VI): gather the ids currently held by  */
+/* a variable and shield them from fusion in the following operation.    */
+/* ------------------------------------------------------------------ */
+
+void aa_prioritize_f64(const f64a *var);
+void aa_prioritize_dd(const dda *var);
+/* no-ops in the interval flavors: */
+void aa_prioritize_i64(const interval_f64 *var);
+void aa_prioritize_idd(const interval_dd *var);
+
+/* ------------------------------------------------------------------ */
+/* accuracy metric (paper eqs. (10)-(11))                               */
+/* ------------------------------------------------------------------ */
+
+double aa_err_bits_f64(f64a a);   /* log2(#doubles inside the range) */
+double aa_acc_bits_f64(f64a a);   /* 53 - err                        */
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* SAFEGEN_AA_H */

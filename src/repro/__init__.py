@@ -1,0 +1,58 @@
+"""SafeGen reproduction: a compiler for sound floating-point computations
+using affine arithmetic (Rivera, Franchetti & Püschel, CGO 2022).
+
+The public API re-exports the pieces most users need:
+
+* :class:`repro.SafeGen` / :class:`repro.CompilerConfig` — the compiler.
+* :class:`repro.AffineForm` (bounded, policy-based) and the policies.
+* :class:`repro.Interval` — the IA baseline.
+* ``compile_c`` — one-call convenience: C source in, runnable sound
+  function out.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from ._version import __version__
+from .errors import (
+    AnalysisError,
+    CompileError,
+    ParseError,
+    ReproError,
+    SoundnessError,
+    TypeCheckError,
+    UnsupportedFeatureError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ParseError",
+    "TypeCheckError",
+    "CompileError",
+    "AnalysisError",
+    "SoundnessError",
+    "UnsupportedFeatureError",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports so `import repro` stays cheap and avoids import cycles.
+    if name in {"SafeGen", "CompilerConfig", "compile_c", "CompiledProgram"}:
+        from . import compiler
+
+        return getattr(compiler, name)
+    if name in {
+        "AffineForm",
+        "AffineContext",
+        "FullAffine",
+        "PlacementPolicy",
+        "FusionPolicy",
+    }:
+        from . import aa
+
+        return getattr(aa, name)
+    if name in {"Interval", "IntervalDD"}:
+        from . import ia
+
+        return getattr(ia, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,44 @@
+"""Affine arithmetic core — the paper's AA library (Sections II-B, IV, V).
+
+* :class:`AffineContext` — configuration (k, policies, precision) and the
+  constructors for affine values.
+* :class:`AffineForm` — bounded-k scalar affine form (sorted or
+  direct-mapped placement; RP/OP/SP/MP fusion; priority support).
+* :class:`VecAffine` — numpy-vectorized direct-mapped kernels (SIMD path).
+* :class:`FullAffine` — unbounded full AA (yalaa-aff0 baseline).
+* :class:`FixedAffine` — AF1-style fixed symbols (yalaa-aff1 baseline).
+* :class:`CeresAffine` — Ceres-style compaction baseline.
+* Accuracy metric: :func:`err_bits`, :func:`acc_bits` (eqs. (10)-(11)).
+"""
+
+from .accuracy import DOUBLE_MANTISSA_BITS, acc_bits, acc_bits_clamped, err_bits
+from .ceres import CeresAffine
+from .context import AAStats, AffineContext, Precision
+from .explain import Explanation, SymbolShare, explain
+from .fixed import FixedAffine
+from .form import AffineForm
+from .full import FullAffine
+from .policies import FusionPolicy, PlacementPolicy
+from .symbols import SymbolFactory
+from .vectorized import VecAffine
+
+__all__ = [
+    "AAStats",
+    "AffineContext",
+    "AffineForm",
+    "CeresAffine",
+    "DOUBLE_MANTISSA_BITS",
+    "FixedAffine",
+    "FullAffine",
+    "FusionPolicy",
+    "PlacementPolicy",
+    "Precision",
+    "SymbolFactory",
+    "VecAffine",
+    "Explanation",
+    "SymbolShare",
+    "explain",
+    "acc_bits",
+    "acc_bits_clamped",
+    "err_bits",
+]

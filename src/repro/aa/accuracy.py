@@ -1,0 +1,54 @@
+"""The paper's accuracy metric (Section VII, eqs. (10)-(11)).
+
+``err(â)`` is the base-2 logarithm of the number of doubles inside the range
+of ``â``; ``acc(â) = p − err(â)`` is the number of certified mantissa bits
+(p = 53 for double precision).  A point range has err = 0 and acc = 53; a
+range spanning the whole double line certifies nothing (acc is very
+negative and is usually clamped to 0 for reporting).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from ..fp import floats_between
+from ..ia import Interval
+
+__all__ = ["err_bits", "acc_bits", "acc_bits_clamped", "DOUBLE_MANTISSA_BITS"]
+
+DOUBLE_MANTISSA_BITS = 53
+
+
+class _HasInterval(Protocol):
+    def interval(self) -> Interval: ...
+
+
+def err_bits(value) -> float:
+    """``err(â)`` of eq. (10): log2 of the number of doubles enclosed.
+
+    Accepts an :class:`Interval` or anything with an ``interval()`` method
+    (affine forms, dd intervals via conversion).  An invalid range has
+    infinite error.
+    """
+    iv = value if isinstance(value, Interval) else value.interval()
+    if not iv.is_valid():
+        return math.inf
+    if not iv.is_finite():
+        # An unbounded range certifies nothing: the real result may be any
+        # real beyond the largest finite double.
+        return math.inf
+    n = floats_between(iv.lo, iv.hi)
+    if n <= 0:
+        raise ValueError("range encloses no floats; not a valid enclosure")
+    return math.log2(n)
+
+
+def acc_bits(value, mantissa_bits: int = DOUBLE_MANTISSA_BITS) -> float:
+    """``acc(â)`` of eq. (11): certified bits, may be negative."""
+    return mantissa_bits - err_bits(value)
+
+
+def acc_bits_clamped(value, mantissa_bits: int = DOUBLE_MANTISSA_BITS) -> float:
+    """Certified bits clamped at 0 (the paper's plots bottom out at 0)."""
+    return max(0.0, acc_bits(value, mantissa_bits))

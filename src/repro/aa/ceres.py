@@ -1,0 +1,310 @@
+"""A Ceres-style affine baseline (Darulova & Kuncak, "Trustworthy Numerical
+Computation in Scala") — the ``ceres-affine`` line in Fig. 9.
+
+Ceres' ``AffineFloat`` keeps an unbounded queue of noise terms but *compacts*
+whenever the term count exceeds a threshold: the smallest terms are merged
+into one fresh term until the count is back at the threshold.  Compared to
+the paper's bounded forms this strategy pays a full sort per compaction and
+touches every term on every operation — which is exactly why SafeGen's
+direct-mapped placement beats it by 30-70x at equal ``k``.
+
+We reproduce the algorithmic structure faithfully: dict-of-terms storage,
+post-operation compaction by magnitude, fresh round-off symbol per op.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..errors import SoundnessError
+from ..fp import add_ru, mul_ru, sub_rd
+from ..ia import Interval
+from .context import AffineContext
+from .form import _prod_err, _sum_err
+from .linearize import linearize_inv, linearize_sqrt
+
+__all__ = ["CeresAffine"]
+
+
+class CeresAffine:
+    """Affine form with Ceres-style magnitude compaction at threshold k."""
+
+    __slots__ = ("ctx", "central", "terms")
+
+    def __init__(self, ctx: AffineContext, central: float,
+                 terms: Dict[int, float]) -> None:
+        self.ctx = ctx
+        self.central = central
+        self.terms = terms
+
+    @classmethod
+    def from_exact(cls, ctx: AffineContext, value: float) -> "CeresAffine":
+        return cls(ctx, float(value), {})
+
+    @classmethod
+    def from_center_and_symbol(
+        cls, ctx: AffineContext, value: float, magnitude: float,
+        provenance: Optional[str] = None,
+    ) -> "CeresAffine":
+        terms: Dict[int, float] = {}
+        if magnitude != 0.0:
+            terms[ctx.symbols.fresh(provenance)] = abs(magnitude)
+        return cls(ctx, float(value), terms)
+
+    # -- views ---------------------------------------------------------------
+
+    def symbol_ids(self):
+        return list(self.terms)
+
+    def n_symbols(self) -> int:
+        return len(self.terms)
+
+    def central_float(self) -> float:
+        return self.central
+
+    def is_valid(self) -> bool:
+        if math.isnan(self.central):
+            return False
+        return not any(math.isnan(c) for c in self.terms.values())
+
+    def radius_ru(self) -> float:
+        acc = 0.0
+        # Ceres sums in magnitude order (one more source of per-op cost).
+        for c in sorted(self.terms.values(), key=abs):
+            acc = add_ru(acc, abs(c))
+        return acc
+
+    def interval(self) -> Interval:
+        if not self.is_valid():
+            return Interval.invalid()
+        r = self.radius_ru()
+        lo, hi = sub_rd(self.central, r), add_ru(self.central, r)
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.invalid()
+        return Interval(lo, hi)
+
+    def contains(self, x) -> bool:
+        return self.interval().contains(x)
+
+    # -- compaction -------------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Merge the smallest terms into one fresh term when over threshold."""
+        k = self.ctx.k
+        if len(self.terms) <= k:
+            return
+        by_magnitude = sorted(self.terms.items(), key=lambda kv: abs(kv[1]))
+        n_merge = len(self.terms) - k + 1
+        mass = 0.0
+        for sid, c in by_magnitude[:n_merge]:
+            mass = add_ru(mass, abs(c))
+            del self.terms[sid]
+        self.ctx.stats.n_fused_symbols += n_merge
+        if mass != 0.0:
+            self.terms[self.ctx.symbols.fresh("ceres:compact")] = mass
+
+    def _fresh(self, x: float) -> None:
+        if x != 0.0:
+            self.terms[self.ctx.symbols.fresh("ceres:round")] = x
+        self._compact()
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, other, protect=frozenset()) -> "CeresAffine":
+        other = self._coerce(other)
+        x = 0.0
+        central, e = _sum_err(self.central, other.central)
+        x = add_ru(x, e)
+        terms = dict(self.terms)
+        for sid, cb in other.terms.items():
+            ca = terms.get(sid)
+            if ca is None:
+                terms[sid] = cb
+            else:
+                s, e = _sum_err(ca, cb)
+                x = add_ru(x, e)
+                if s != 0.0:
+                    terms[sid] = s
+                else:
+                    del terms[sid]
+        out = CeresAffine(self.ctx, central, terms)
+        out._fresh(x)
+        self.ctx.stats.n_add += 1
+        return out
+
+    def sub(self, other, protect=frozenset()) -> "CeresAffine":
+        return self.add(self._coerce(other).neg())
+
+    def mul(self, other, protect=frozenset()) -> "CeresAffine":
+        other = self._coerce(other)
+        x = 0.0
+        a0, b0 = self.central, other.central
+        central, e = _prod_err(a0, b0)
+        x = add_ru(x, e)
+        ra, rb = self.radius_ru(), other.radius_ru()
+        if ra != 0.0 and rb != 0.0:
+            x = add_ru(x, mul_ru(ra, rb))
+        terms: Dict[int, float] = {}
+        for sid, ca in self.terms.items():
+            cb = other.terms.get(sid)
+            if cb is None:
+                p, e = _prod_err(b0, ca)
+                x = add_ru(x, e)
+                if p != 0.0:
+                    terms[sid] = p
+            else:
+                p1, e1 = _prod_err(a0, cb)
+                p2, e2 = _prod_err(b0, ca)
+                s, e3 = _sum_err(p1, p2)
+                x = add_ru(x, add_ru(e1, add_ru(e2, e3)))
+                if s != 0.0:
+                    terms[sid] = s
+        for sid, cb in other.terms.items():
+            if sid not in self.terms:
+                p, e = _prod_err(a0, cb)
+                x = add_ru(x, e)
+                if p != 0.0:
+                    terms[sid] = p
+        out = CeresAffine(self.ctx, central, terms)
+        out._fresh(x)
+        self.ctx.stats.n_mul += 1
+        return out
+
+    def _unary_linear(self, alpha: float, zeta: float, delta: float) -> "CeresAffine":
+        x = abs(delta)
+        scaled, e = _prod_err(alpha, self.central)
+        x = add_ru(x, e)
+        central, e2 = _sum_err(scaled, zeta)
+        x = add_ru(x, e2)
+        terms: Dict[int, float] = {}
+        for sid, c in self.terms.items():
+            p, e = _prod_err(alpha, c)
+            x = add_ru(x, e)
+            if p != 0.0:
+                terms[sid] = p
+        out = CeresAffine(self.ctx, central, terms)
+        out._fresh(x)
+        return out
+
+    def div(self, other, protect=frozenset()) -> "CeresAffine":
+        other = self._coerce(other)
+        self.ctx.stats.n_div += 1
+        iv = other.interval()
+        if not iv.is_valid() or (iv.lo <= 0.0 <= iv.hi):
+            return CeresAffine(self.ctx, math.nan, {})
+        alpha, zeta, delta = linearize_inv(iv.lo, iv.hi)
+        return self.mul(other._unary_linear(alpha, zeta, delta))
+
+    def sqrt(self, protect=frozenset()) -> "CeresAffine":
+        self.ctx.stats.n_sqrt += 1
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi < 0.0:
+            return CeresAffine(self.ctx, math.nan, {})
+        alpha, zeta, delta = linearize_sqrt(max(iv.lo, 0.0), iv.hi)
+        return self._unary_linear(alpha, zeta, delta)
+
+    def neg(self) -> "CeresAffine":
+        return CeresAffine(self.ctx, -self.central,
+                           {sid: -c for sid, c in self.terms.items()})
+
+    def _from_range(self, iv: Interval) -> "CeresAffine":
+        mid = iv.midpoint()
+        rad = add_ru(iv.radius_ru(), math.ulp(mid))
+        return CeresAffine.from_center_and_symbol(self.ctx, mid, rad)
+
+    def abs_(self, protect=frozenset()) -> "CeresAffine":
+        iv = self.interval()
+        if not iv.is_valid():
+            return CeresAffine(self.ctx, math.nan, {})
+        if iv.lo >= 0.0:
+            return self
+        if iv.hi <= 0.0:
+            return self.neg()
+        return self._from_range(abs(iv))
+
+    def min_with(self, other) -> "CeresAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if a.hi <= b.lo:
+            return self
+        if b.hi <= a.lo:
+            return other
+        return self._from_range(a.min_with(b))
+
+    def max_with(self, other) -> "CeresAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if a.lo >= b.hi:
+            return self
+        if b.lo >= a.hi:
+            return other
+        return self._from_range(a.max_with(b))
+
+    def compare_lt(self, other) -> bool:
+        from ..common import decide_comparison
+
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi < b.lo:
+            definite = True
+        elif a.lo >= b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central < other.central,
+                                 self.ctx.decision_policy, "<", self.ctx.stats)
+
+    def compare_le(self, other) -> bool:
+        from ..common import decide_comparison
+
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi <= b.lo:
+            definite = True
+        elif a.lo > b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central <= other.central,
+                                 self.ctx.decision_policy, "<=", self.ctx.stats)
+
+    # -- sugar -------------------------------------------------------------------
+
+    def _coerce(self, x) -> "CeresAffine":
+        if isinstance(x, CeresAffine):
+            if x.ctx is not self.ctx:
+                raise SoundnessError("mixing CeresAffine from different contexts")
+            return x
+        if isinstance(x, (int, float)):
+            return CeresAffine.from_exact(self.ctx, float(x))
+        raise TypeError(f"cannot coerce {type(x).__name__} to CeresAffine")
+
+    def __add__(self, other):
+        return self.add(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return self._coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()

@@ -1,0 +1,212 @@
+"""The affine-arithmetic context: configuration, statistics, constructors.
+
+An :class:`AffineContext` bundles everything an affine computation needs —
+the capacity ``k``, the placement and fusion policies, the precision of the
+central value, the symbol factory, the RNG used by the RANDOM policy, and
+runtime statistics.  It also offers the user-facing constructors
+(:meth:`input`, :meth:`constant`, :meth:`from_interval`) that pick the right
+affine implementation (scalar or numpy-vectorized) for the configuration.
+
+This is the Python face of the paper's "affine library" input parameters
+(Fig. 1: target precisions, max symbols k, placement policy, fusion policy).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..common import DecisionPolicy
+from ..fp import sub_ru, ulp
+from .policies import FusionPolicy, PlacementPolicy
+from .symbols import SymbolFactory
+
+__all__ = ["Precision", "AAStats", "AffineContext"]
+
+
+class Precision(enum.Enum):
+    """Precision of the central value (coefficients are always double)."""
+
+    F32 = "f32a"
+    F64 = "f64a"
+    DD = "dda"
+
+
+@dataclass
+class AAStats:
+    """Operation statistics collected during an affine computation."""
+
+    n_add: int = 0
+    n_mul: int = 0
+    n_div: int = 0
+    n_sqrt: int = 0
+    n_fused_symbols: int = 0
+    n_conflicts: int = 0
+    flops: int = 0  # model floating-point op count (Section V cost analysis)
+    ambiguous_branches: int = 0
+
+    def reset(self) -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, 0)
+
+    def total_ops(self) -> int:
+        return self.n_add + self.n_mul + self.n_div + self.n_sqrt
+
+
+@dataclass
+class AffineContext:
+    """Configuration + shared state for affine computations.
+
+    Parameters mirror Fig. 1 of the paper:
+
+    * ``k`` — maximal number of error symbols stored per affine variable.
+    * ``placement`` / ``fusion`` — the Section V policies.
+    * ``precision`` — central-value precision (F64 default, DD for ``dda``).
+    * ``vectorized`` — use the numpy direct-mapped kernels (the paper's
+      SIMD-optimized output; requires DIRECT_MAPPED placement).
+    * ``decision_policy`` — behaviour of comparisons on overlapping ranges.
+    * ``seed`` — RNG seed for the RANDOM fusion policy (reproducibility).
+    """
+
+    k: int = 16
+    placement: PlacementPolicy = PlacementPolicy.DIRECT_MAPPED
+    fusion: FusionPolicy = FusionPolicy.SMALLEST
+    precision: Precision = Precision.F64
+    vectorized: bool = False
+    decision_policy: DecisionPolicy = DecisionPolicy.CENTRAL
+    seed: int = 0x5AFE
+    track_provenance: bool = False
+    # Affine implementation: 'auto' (bounded scalar, or the numpy kernels
+    # when vectorized) or one of the library baselines of Fig. 9:
+    # 'full' (yalaa-aff0), 'fixed' (yalaa-aff1), 'ceres' (ceres-affine).
+    impl: str = "auto"
+
+    symbols: SymbolFactory = field(default=None)  # type: ignore[assignment]
+    stats: AAStats = field(default_factory=AAStats)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.vectorized and self.placement is not PlacementPolicy.DIRECT_MAPPED:
+            raise ValueError(
+                "vectorized kernels require the direct-mapped placement policy"
+            )
+        if self.symbols is None:
+            self.symbols = SymbolFactory(track_provenance=self.track_provenance)
+        self.rng = random.Random(self.seed)
+        self._nprng = None
+
+    @property
+    def nprng(self):
+        """Lazily created numpy RNG (used by the vectorized RANDOM policy)."""
+        if self._nprng is None:
+            import numpy as np
+
+            self._nprng = np.random.default_rng(self.seed)
+        return self._nprng
+
+    # -- configuration string (paper notation, Section VII-A) ---------------
+
+    @property
+    def config_name(self) -> str:
+        """Paper-style configuration string, e.g. ``f64a-ds?v`` where the
+        prioritization letter is filled in by the compiler driver."""
+        return (
+            f"{self.precision.value}-{self.placement.code}{self.fusion.code}"
+            f"?{'v' if self.vectorized else 'n'}"
+        )
+
+    # -- value constructors ---------------------------------------------------
+
+    def _impl(self):
+        if self.impl == "full":
+            from .full import FullAffine
+
+            return FullAffine
+        if self.impl == "fixed":
+            from .fixed import FixedAffine
+
+            return FixedAffine
+        if self.impl == "ceres":
+            from .ceres import CeresAffine
+
+            return CeresAffine
+        if self.impl != "auto":
+            raise ValueError(f"unknown affine implementation {self.impl!r}")
+        if self.vectorized:
+            from .vectorized import VecAffine
+
+            return VecAffine
+        from .form import AffineForm
+
+        return AffineForm
+
+    def _ulp(self, value: float) -> float:
+        """Unit in the last place at the context's central precision."""
+        if self.precision is Precision.F32:
+            import numpy as np
+
+            f32 = np.float32(value)
+            if not np.isfinite(f32):
+                return math.inf
+            return float(np.spacing(np.abs(f32)))
+        return ulp(value)
+
+    def input(self, value: float, uncertainty_ulps: float = 1.0,
+              name: str | None = None):
+        """An input variable: central ``value`` with one fresh symbol of
+        magnitude ``uncertainty_ulps * ulp(value)`` — ulp at the context's
+        central precision (the experimental setup of Section VII)."""
+        mag = uncertainty_ulps * self._ulp(value)
+        return self._impl().from_center_and_symbol(
+            self, value, mag, provenance=name and f"input:{name}"
+        )
+
+    def exact(self, value: float):
+        """A value known to be exact: no error symbol.
+
+        With an f32 central value, a double that is not exactly
+        representable in float32 gets one symbol covering the conversion
+        error (handled by the form constructor).
+        """
+        if self.precision is Precision.F32:
+            return self._impl().from_center_and_symbol(self, value, 0.0,
+                                                       provenance="exact")
+        return self._impl().from_exact(self, value)
+
+    def constant(self, value: float, exact: bool | None = None):
+        """A source-program constant (Section IV-B): if possibly inexact it
+        gets a fresh symbol of one ulp; integral values are taken exact."""
+        if exact is None:
+            exact = bool(math.isfinite(value) and value == int(value))
+        if exact:
+            return self.exact(value)
+        return self._impl().from_center_and_symbol(
+            self, value, self._ulp(value), provenance="constant"
+        )
+
+    def from_interval(self, lo: float, hi: float, name: str | None = None):
+        """An input known to lie in ``[lo, hi]``: central midpoint plus one
+        fresh symbol covering the half-width (soundly rounded)."""
+        if hi < lo:
+            raise ValueError("interval endpoints out of order")
+        mid = lo + (hi - lo) / 2.0
+        if not math.isfinite(mid):
+            mid = lo / 2.0 + hi / 2.0
+        # The radius must cover both sides, rounded up.
+        rad = max(sub_ru(mid, lo), sub_ru(hi, mid))
+        return self._impl().from_center_and_symbol(
+            self, mid, rad, provenance=name and f"input:{name}"
+        )
+
+    # -- priorities ------------------------------------------------------------
+
+    def protect_union(self, *forms) -> frozenset[int]:
+        """The set of symbol ids carried by the given forms — used to honour
+        a ``prioritize(var)`` pragma for the next operation."""
+        out: set[int] = set()
+        for f in forms:
+            out.update(f.symbol_ids())
+        return frozenset(out)

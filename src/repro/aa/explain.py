@@ -1,0 +1,96 @@
+"""Introspection helpers: where does a certificate's width come from?
+
+``explain(form)`` decomposes an affine value's radius by error symbol and —
+when the context tracks provenance — by origin (which input, constant or
+operation created each symbol).  Indispensable when an accuracy regression
+needs to be attributed to a fusion decision or to a genuinely ill-
+conditioned operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..fp import add_ru
+
+__all__ = ["SymbolShare", "Explanation", "explain"]
+
+
+@dataclass(frozen=True)
+class SymbolShare:
+    """One error symbol's contribution to a form's radius."""
+
+    symbol_id: int
+    coefficient: float
+    share: float  # |coefficient| / radius, in [0, 1]
+    provenance: Optional[str]
+
+    def __str__(self) -> str:
+        origin = f" from {self.provenance}" if self.provenance else ""
+        return (f"ε{self.symbol_id}: |{self.coefficient:.3g}| "
+                f"({self.share:.1%}){origin}")
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Radius decomposition of an affine value."""
+
+    central: float
+    radius: float
+    n_symbols: int
+    shares: List[SymbolShare]
+
+    def top(self, n: int = 5) -> List[SymbolShare]:
+        return self.shares[:n]
+
+    def __str__(self) -> str:
+        lines = [
+            f"central {self.central!r}, radius {self.radius:.6g}, "
+            f"{self.n_symbols} symbols",
+        ]
+        for s in self.top():
+            lines.append("  " + str(s))
+        if self.n_symbols > 5:
+            rest = sum(s.share for s in self.shares[5:])
+            lines.append(f"  ... {self.n_symbols - 5} more ({rest:.1%})")
+        return "\n".join(lines)
+
+
+def explain(form) -> Explanation:
+    """Decompose an affine value's radius by symbol, largest first.
+
+    Works with any of the affine implementations (bounded, vectorized,
+    full, fixed, Ceres).  Provenance strings appear when the form's context
+    was created with ``track_provenance=True``.
+    """
+    if hasattr(form, "coefficients"):
+        coeffs = dict(form.coefficients())
+    elif hasattr(form, "terms"):
+        coeffs = dict(form.terms)
+    else:
+        raise TypeError(f"cannot explain {type(form).__name__}")
+    slack = getattr(form, "slack", 0.0)
+    radius = 0.0
+    for c in coeffs.values():
+        radius = add_ru(radius, abs(c))
+    radius = add_ru(radius, abs(slack))
+
+    factory = getattr(form.ctx, "symbols", None)
+    shares = []
+    for sid, c in coeffs.items():
+        share = abs(c) / radius if radius > 0 else 0.0
+        prov = factory.provenance_of(sid) if factory is not None else None
+        shares.append(SymbolShare(symbol_id=sid, coefficient=c,
+                                  share=share, provenance=prov))
+    if slack:
+        shares.append(SymbolShare(symbol_id=-1, coefficient=slack,
+                                  share=abs(slack) / radius if radius else 0.0,
+                                  provenance="slack accumulator"))
+    shares.sort(key=lambda s: -abs(s.coefficient))
+    return Explanation(
+        central=form.central_float(),
+        radius=radius,
+        n_symbols=len(shares),
+        shares=shares,
+    )

@@ -1,0 +1,293 @@
+"""Fixed-symbol affine arithmetic — the ``yalaa-aff1`` baseline of Fig. 9.
+
+Yalaa's ``aff1`` data type fixes the symbol set to the *input* symbols and
+never creates new ones; all new deviations (round-off, nonlinear terms) are
+accumulated in a dedicated per-variable slack term.  The slack terms of two
+operands are independent, so they combine by adding magnitudes — they can
+never cancel.  This is Messine's AF1 model.
+
+Cheap (operations are O(#inputs)) but, as the paper shows, inferior: it
+certifies far fewer bits than bounded AA with fresh symbols because round-off
+mass can never participate in cancellation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..common import decide_comparison
+from ..errors import SoundnessError
+from ..fp import add_ru, mul_ru, sub_rd
+from ..ia import Interval
+from .context import AffineContext
+from .form import _prod_err, _sum_err
+from .linearize import linearize_inv, linearize_sqrt
+
+__all__ = ["FixedAffine"]
+
+
+class FixedAffine:
+    """AF1-style affine form: fixed input symbols + one slack accumulator."""
+
+    __slots__ = ("ctx", "central", "terms", "slack")
+
+    def __init__(self, ctx: AffineContext, central: float,
+                 terms: Dict[int, float], slack: float) -> None:
+        self.ctx = ctx
+        self.central = central
+        self.terms = terms
+        self.slack = slack
+
+    @classmethod
+    def from_exact(cls, ctx: AffineContext, value: float) -> "FixedAffine":
+        return cls(ctx, float(value), {}, 0.0)
+
+    @classmethod
+    def from_center_and_symbol(
+        cls, ctx: AffineContext, value: float, magnitude: float,
+        provenance: Optional[str] = None,
+    ) -> "FixedAffine":
+        terms: Dict[int, float] = {}
+        if magnitude != 0.0:
+            terms[ctx.symbols.fresh(provenance)] = abs(magnitude)
+        return cls(ctx, float(value), terms, 0.0)
+
+    # -- views ---------------------------------------------------------------
+
+    def symbol_ids(self):
+        return list(self.terms)
+
+    def n_symbols(self) -> int:
+        return len(self.terms) + (1 if self.slack != 0.0 else 0)
+
+    def central_float(self) -> float:
+        return self.central
+
+    def is_valid(self) -> bool:
+        if math.isnan(self.central) or math.isnan(self.slack):
+            return False
+        return not any(math.isnan(c) for c in self.terms.values())
+
+    def radius_ru(self) -> float:
+        acc = self.slack
+        for c in self.terms.values():
+            acc = add_ru(acc, abs(c))
+        return acc
+
+    def interval(self) -> Interval:
+        if not self.is_valid():
+            return Interval.invalid()
+        r = self.radius_ru()
+        lo, hi = sub_rd(self.central, r), add_ru(self.central, r)
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.invalid()
+        return Interval(lo, hi)
+
+    def contains(self, x) -> bool:
+        return self.interval().contains(x)
+
+    def __repr__(self) -> str:
+        return (f"FixedAffine({self.central:.17g}; {len(self.terms)} symbols, "
+                f"slack={self.slack:.3g})")
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, other, protect=frozenset()) -> "FixedAffine":
+        other = self._coerce(other)
+        x = add_ru(self.slack, other.slack)  # independent buckets: add magnitudes
+        central, e = _sum_err(self.central, other.central)
+        x = add_ru(x, e)
+        terms = dict(self.terms)
+        for sid, cb in other.terms.items():
+            ca = terms.get(sid)
+            if ca is None:
+                terms[sid] = cb
+            else:
+                s, e = _sum_err(ca, cb)
+                x = add_ru(x, e)
+                if s != 0.0:
+                    terms[sid] = s
+                else:
+                    del terms[sid]
+        self.ctx.stats.n_add += 1
+        return FixedAffine(self.ctx, central, terms, x)
+
+    def sub(self, other, protect=frozenset()) -> "FixedAffine":
+        return self.add(self._coerce(other).neg())
+
+    def mul(self, other, protect=frozenset()) -> "FixedAffine":
+        other = self._coerce(other)
+        a0, b0 = self.central, other.central
+        central, e = _prod_err(a0, b0)
+        x = add_ru(0.0, e)
+        ra, rb = self.radius_ru(), other.radius_ru()
+        if ra != 0.0 and rb != 0.0:
+            x = add_ru(x, mul_ru(ra, rb))
+        # Slack scales with the central values.
+        x = add_ru(x, mul_ru(abs(a0), other.slack))
+        x = add_ru(x, mul_ru(abs(b0), self.slack))
+        terms: Dict[int, float] = {}
+        for sid, ca in self.terms.items():
+            cb = other.terms.get(sid)
+            if cb is None:
+                p, e = _prod_err(b0, ca)
+                x = add_ru(x, e)
+                if p != 0.0:
+                    terms[sid] = p
+            else:
+                p1, e1 = _prod_err(a0, cb)
+                p2, e2 = _prod_err(b0, ca)
+                s, e3 = _sum_err(p1, p2)
+                x = add_ru(x, add_ru(e1, add_ru(e2, e3)))
+                if s != 0.0:
+                    terms[sid] = s
+        for sid, cb in other.terms.items():
+            if sid not in self.terms:
+                p, e = _prod_err(a0, cb)
+                x = add_ru(x, e)
+                if p != 0.0:
+                    terms[sid] = p
+        self.ctx.stats.n_mul += 1
+        return FixedAffine(self.ctx, central, terms, x)
+
+    def _unary_linear(self, alpha: float, zeta: float, delta: float) -> "FixedAffine":
+        x = abs(delta)
+        x = add_ru(x, mul_ru(abs(alpha), self.slack))
+        scaled, e = _prod_err(alpha, self.central)
+        x = add_ru(x, e)
+        central, e2 = _sum_err(scaled, zeta)
+        x = add_ru(x, e2)
+        terms: Dict[int, float] = {}
+        for sid, c in self.terms.items():
+            p, e = _prod_err(alpha, c)
+            x = add_ru(x, e)
+            if p != 0.0:
+                terms[sid] = p
+        return FixedAffine(self.ctx, central, terms, x)
+
+    def div(self, other, protect=frozenset()) -> "FixedAffine":
+        other = self._coerce(other)
+        self.ctx.stats.n_div += 1
+        iv = other.interval()
+        if not iv.is_valid() or (iv.lo <= 0.0 <= iv.hi):
+            return FixedAffine(self.ctx, math.nan, {}, 0.0)
+        alpha, zeta, delta = linearize_inv(iv.lo, iv.hi)
+        inv = other._unary_linear(alpha, zeta, delta)
+        return self.mul(inv)
+
+    def sqrt(self, protect=frozenset()) -> "FixedAffine":
+        self.ctx.stats.n_sqrt += 1
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi < 0.0:
+            return FixedAffine(self.ctx, math.nan, {}, 0.0)
+        alpha, zeta, delta = linearize_sqrt(max(iv.lo, 0.0), iv.hi)
+        return self._unary_linear(alpha, zeta, delta)
+
+    def neg(self) -> "FixedAffine":
+        return FixedAffine(self.ctx, -self.central,
+                           {sid: -c for sid, c in self.terms.items()}, self.slack)
+
+    def _from_range(self, iv: Interval) -> "FixedAffine":
+        mid = iv.midpoint()
+        rad = add_ru(iv.radius_ru(), math.ulp(mid))
+        return FixedAffine(self.ctx, mid, {}, rad)
+
+    def abs_(self, protect=frozenset()) -> "FixedAffine":
+        iv = self.interval()
+        if not iv.is_valid():
+            return FixedAffine(self.ctx, math.nan, {}, 0.0)
+        if iv.lo >= 0.0:
+            return self
+        if iv.hi <= 0.0:
+            return self.neg()
+        return self._from_range(abs(iv))
+
+    def min_with(self, other) -> "FixedAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if a.hi <= b.lo:
+            return self
+        if b.hi <= a.lo:
+            return other
+        return self._from_range(a.min_with(b))
+
+    def max_with(self, other) -> "FixedAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if a.lo >= b.hi:
+            return self
+        if b.lo >= a.hi:
+            return other
+        return self._from_range(a.max_with(b))
+
+    # -- comparisons -----------------------------------------------------------
+
+    def compare_lt(self, other) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi < b.lo:
+            definite = True
+        elif a.lo >= b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central < other.central,
+                                 self.ctx.decision_policy, "<", self.ctx.stats)
+
+    def compare_le(self, other) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi <= b.lo:
+            definite = True
+        elif a.lo > b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central <= other.central,
+                                 self.ctx.decision_policy, "<=", self.ctx.stats)
+
+    # -- sugar -------------------------------------------------------------------
+
+    def _coerce(self, x) -> "FixedAffine":
+        if isinstance(x, FixedAffine):
+            if x.ctx is not self.ctx:
+                raise SoundnessError("mixing FixedAffine from different contexts")
+            return x
+        if isinstance(x, (int, float)):
+            return FixedAffine.from_exact(self.ctx, float(x))
+        raise TypeError(f"cannot coerce {type(x).__name__} to FixedAffine")
+
+    def __add__(self, other):
+        return self.add(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return self._coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()
+
+    def __lt__(self, other):
+        return self.compare_lt(other)

@@ -1,0 +1,859 @@
+"""The bounded-k affine form (the heart of the paper's AA library).
+
+An :class:`AffineForm` is ``â = a₀ + Σ aᵢ·εᵢ`` (eq. (1)) with at most ``k``
+error symbols.  Every operation:
+
+1. combines the operands' coefficients (eq. (3)/(5)), tracking *every*
+   intermediate round-off exactly (via error-free transformations) into the
+   accumulator ``x`` of the operation's fresh symbol (eq. (4));
+2. absorbs fused symbols into that fresh symbol (eq. (6)) according to the
+   placement policy (sorted / direct-mapped) and fusion policy
+   (random / oldest / smallest / mean) from Section V;
+3. honours the ``protect`` set produced by the static analysis: protected
+   symbols are shielded from fusion (Section VI).
+
+Soundness invariant: the exact real-arithmetic result of the original
+operation is always contained in ``[a₀ − r(â), a₀ + r(â)]`` where
+``r(â) = Σ|aᵢ|`` is evaluated with upward rounding.
+
+The central value is a double for ``f64a`` and a :class:`repro.fp.DD` for
+``dda`` (coefficients are always double, as in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common import decide_comparison
+from ..errors import SoundnessError
+from ..fp import (
+    DD,
+    EPS,
+    ETA,
+    add_ru,
+    div_rd,
+    div_ru,
+    mul_ru,
+    sub_rd,
+    sub_ru,
+    two_prod,
+    two_sum,
+)
+from ..ia import Interval
+from .context import AffineContext, Precision
+from .linearize import linearize_exp, linearize_inv, linearize_log, linearize_sqrt
+from .policies import FusionPolicy, PlacementPolicy, resolve_conflict, select_victims
+
+__all__ = ["AffineForm"]
+
+_EMPTY: frozenset = frozenset()
+
+# TwoProd residuals are exact only in this window (see repro.fp.rounding).
+_PROD_LO_SAFE = 2.0**-968
+_PROD_HI_SAFE = 2.0**996
+
+
+def _sum_err(a: float, b: float) -> Tuple[float, float]:
+    """RN sum and a sound bound on its absolute rounding error."""
+    s, e = two_sum(a, b)
+    if math.isinf(s):
+        return s, math.inf
+    return s, abs(e)
+
+
+def _prod_err(a: float, b: float) -> Tuple[float, float]:
+    """RN product and a sound bound on its absolute rounding error."""
+    p = a * b
+    if math.isinf(p):
+        return p, math.inf
+    if _PROD_LO_SAFE < abs(p) < _PROD_HI_SAFE:
+        _, e = two_prod(a, b)
+        return p, abs(e)
+    # Outside the exact window: half-ulp relative bound plus subnormal slack.
+    return p, add_ru(mul_ru(EPS, abs(p)), ETA)
+
+
+def _round_f32(value: float) -> "Tuple[float, float]":
+    """Round a double to the nearest float32 (kept in a Python float) and a
+    sound bound on the conversion error (the f32a central-value rounding)."""
+    import numpy as np
+
+    c = float(np.float32(value))
+    if math.isinf(c):
+        return c, (0.0 if math.isinf(value) else math.inf)
+    # The difference of two doubles via TwoSum is exact.
+    d, r = two_sum(value, -c)
+    return c, add_ru(abs(d), abs(r))
+
+
+def _pick_victim_slot(ids, coeffs, ctx, protect) -> int:
+    """Direct-mapped placement: the slot the fresh symbol should claim.
+
+    Preference order: an empty slot (scanning cyclically from the slot the
+    next sequential id maps to, so fresh symbols of independent variables
+    spread over different slots instead of piling onto slot 0); then an
+    unprotected occupant chosen by the fusion policy (smallest coefficient
+    for SP/MP, oldest id for OP, random for RP); a protected occupant only
+    when every slot is protected.
+    """
+    k = ctx.k
+    start = ctx.symbols.peek_next % k
+    for off in range(k):
+        slot = (start + off) % k
+        if ids[slot] == 0:
+            return slot
+    candidates = [i for i, sid in enumerate(ids) if sid not in protect]
+    if not candidates:
+        candidates = list(range(len(ids)))
+    if ctx.fusion is FusionPolicy.RANDOM:
+        return ctx.rng.choice(candidates)
+    if ctx.fusion is FusionPolicy.OLDEST:
+        return min(candidates, key=lambda i: ids[i])
+    return min(candidates, key=lambda i: (abs(coeffs[i]), ids[i]))
+
+
+class AffineForm:
+    """A bounded affine form tied to an :class:`AffineContext`.
+
+    Use the context constructors (``ctx.input``, ``ctx.constant``,
+    ``ctx.exact``, ``ctx.from_interval``) rather than instantiating
+    directly.  Arithmetic is available both as operators (``+ - * /``) and
+    as methods accepting a ``protect`` set of prioritized symbol ids.
+    """
+
+    __slots__ = ("ctx", "central", "ids", "coeffs", "_pcache", "_gcache",
+                 "capacity")
+
+    def __init__(
+        self,
+        ctx: AffineContext,
+        central,
+        ids: List[int],
+        coeffs: List[float],
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.central = central
+        self.ids = ids
+        self.coeffs = coeffs
+        # Per-variable symbol capacity (the paper's future-work extension,
+        # Section VIII).  Only meaningful under sorted placement; None
+        # means the context-wide k.
+        self.capacity = capacity
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _empty_storage(cls, ctx: AffineContext) -> Tuple[List[int], List[float]]:
+        if ctx.placement is PlacementPolicy.DIRECT_MAPPED:
+            return [0] * ctx.k, [0.0] * ctx.k
+        return [], []
+
+    @classmethod
+    def from_exact(cls, ctx: AffineContext, value: float) -> "AffineForm":
+        ids, coeffs = cls._empty_storage(ctx)
+        return cls(ctx, cls._central_from_float(ctx, value), ids, coeffs)
+
+    @classmethod
+    def from_center_and_symbol(
+        cls,
+        ctx: AffineContext,
+        value: float,
+        magnitude: float,
+        provenance: Optional[str] = None,
+    ) -> "AffineForm":
+        out = cls.from_exact(ctx, value)
+        if ctx.precision is Precision.F32 and not isinstance(out.central, DD):
+            # The central value was rounded to float32: widen the symbol so
+            # the intended range around `value` stays covered.
+            d, r = two_sum(value, -out.central)
+            conv = add_ru(abs(d), abs(r))
+            if conv != 0.0:
+                magnitude = add_ru(abs(magnitude), conv)
+        if magnitude != 0.0:
+            out._place_fresh_symbol(abs(magnitude), provenance, _EMPTY)
+        return out
+
+    @staticmethod
+    def _central_from_float(ctx: AffineContext, value: float):
+        if ctx.precision is Precision.DD:
+            return DD(float(value))
+        if ctx.precision is Precision.F32:
+            # The conversion error of an inexact *input* is accounted for
+            # by the constructors (context ulp handling), not here.
+            return _round_f32(value)[0]
+        return float(value)
+
+    def copy(self) -> "AffineForm":
+        return AffineForm(self.ctx, self.central, list(self.ids),
+                          list(self.coeffs), self.capacity)
+
+    def with_capacity(self, k: int) -> "AffineForm":
+        """This value with a per-variable symbol capacity of ``k``
+        (sorted placement only — the paper's Section VIII future-work
+        direction).  Binary operations produce results with the larger of
+        the operands' capacities; a smaller capacity fuses immediately."""
+        if self.ctx.placement is not PlacementPolicy.SORTED:
+            raise SoundnessError(
+                "per-variable capacities require the sorted placement "
+                "policy (direct-mapped slots assume a uniform k)"
+            )
+        if k < 1:
+            raise ValueError("capacity must be >= 1")
+        out = self.copy()
+        out.capacity = k
+        n = len(out.ids)
+        if n > k:
+            # Fusing produces a fresh symbol, so reserve its slot up front.
+            victims = set(select_victims(out.ids, out.coeffs, n - (k - 1),
+                                         self.ctx.fusion, self.ctx.rng))
+            x = 0.0
+            for i in victims:
+                x = add_ru(x, abs(out.coeffs[i]))
+            self.ctx.stats.n_fused_symbols += len(victims)
+            out.ids = [out.ids[i] for i in range(n) if i not in victims]
+            out.coeffs = [out.coeffs[i] for i in range(n) if i not in victims]
+            out._place_fresh_symbol(x, "shrink", _EMPTY)
+        return out
+
+    def _cap(self) -> int:
+        return self.capacity if self.capacity is not None else self.ctx.k
+
+    @staticmethod
+    def _merge_cap(a: "AffineForm", b: "AffineForm") -> Optional[int]:
+        if a.capacity is None and b.capacity is None:
+            return None
+        return max(a._cap(), b._cap())
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def symbol_ids(self) -> List[int]:
+        if self.ctx.placement is PlacementPolicy.DIRECT_MAPPED:
+            return [i for i in self.ids if i != 0]
+        return list(self.ids)
+
+    def coefficients(self) -> Dict[int, float]:
+        """Mapping symbol id -> coefficient (skips empty slots)."""
+        out = {}
+        for i, c in zip(self.ids, self.coeffs):
+            if i != 0:
+                out[i] = c
+        return out
+
+    def n_symbols(self) -> int:
+        return len(self.symbol_ids())
+
+    def central_float(self) -> float:
+        return float(self.central) if isinstance(self.central, DD) else self.central
+
+    def is_valid(self) -> bool:
+        c = self.central_float()
+        if math.isnan(c):
+            return False
+        return not any(math.isnan(x) for x in self.coeffs)
+
+    def radius_ru(self) -> float:
+        """Upper bound on r(â) = Σ|aᵢ| (eq. (2))."""
+        acc = 0.0
+        for c in self.coeffs:
+            if c != 0.0:
+                acc = add_ru(acc, abs(c))
+        return acc
+
+    def interval(self) -> Interval:
+        """Sound enclosing interval (eq. (2))."""
+        if not self.is_valid():
+            return Interval.invalid()
+        r = self.radius_ru()
+        if isinstance(self.central, DD):
+            lo = DD(self.central.hi, sub_rd(self.central.lo, r)).lower_double()
+            hi = DD(self.central.hi, add_ru(self.central.lo, r)).upper_double()
+            if math.isnan(lo) or math.isnan(hi):
+                return Interval.invalid()
+            return Interval(lo, hi)
+        lo = sub_rd(self.central, r)
+        hi = add_ru(self.central, r)
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.invalid()
+        return Interval(lo, hi)
+
+    def contains(self, x) -> bool:
+        """Whether the exact value ``x`` (float or Fraction) is enclosed."""
+        if isinstance(self.central, DD) and isinstance(x, Fraction):
+            if not self.is_valid():
+                return True
+            r = Fraction(self.radius_ru()) if math.isfinite(self.radius_ru()) else None
+            if r is None:
+                return True
+            c = Fraction(self.central.hi) + Fraction(self.central.lo)
+            return c - r <= x <= c + r
+        return self.interval().contains(x)
+
+    def __repr__(self) -> str:
+        terms = ", ".join(f"{c:.3g}·ε{i}" for i, c in self.coefficients().items())
+        return f"AffineForm({self.central_float():.17g}{'; ' + terms if terms else ''})"
+
+    # ------------------------------------------------------------------
+    # central-value arithmetic (precision-generic)
+    # ------------------------------------------------------------------
+
+    def _c_add(self, a, b) -> Tuple[object, float]:
+        if isinstance(a, DD) or isinstance(b, DD):
+            a = a if isinstance(a, DD) else DD(a)
+            b = b if isinstance(b, DD) else DD(b)
+            return a.add_with_err(b)
+        s, e = _sum_err(a, b)
+        if self.ctx.precision is Precision.F32:
+            s, e32 = _round_f32(s)
+            e = add_ru(e, e32)
+        return s, e
+
+    def _c_mul(self, a, b) -> Tuple[object, float]:
+        if isinstance(a, DD) or isinstance(b, DD):
+            a = a if isinstance(a, DD) else DD(a)
+            b = b if isinstance(b, DD) else DD(b)
+            return a.mul_with_err(b)
+        p, e = _prod_err(a, b)
+        if self.ctx.precision is Precision.F32:
+            p, e32 = _round_f32(p)
+            e = add_ru(e, e32)
+        return p, e
+
+    @staticmethod
+    def _c_neg(a):
+        return -a
+
+    # ------------------------------------------------------------------
+    # symbol storage operations
+    # ------------------------------------------------------------------
+
+    def _place_fresh_symbol(
+        self, coeff: float, provenance: Optional[str], protect: AbstractSet[int]
+    ) -> None:
+        """Create one fresh symbol with |coeff| and store it, fusing an
+        occupant under direct-mapped placement when required."""
+        ctx = self.ctx
+        if coeff == 0.0:
+            return
+        if ctx.placement is PlacementPolicy.SORTED:
+            sid = ctx.symbols.fresh(provenance)
+            self.ids.append(sid)  # fresh ids are the largest: stays sorted
+            self.coeffs.append(coeff)
+            return
+        # Direct-mapped: ids are arbitrary labels, so pick the fresh id such
+        # that it lands on the slot the fusion policy wants to sacrifice —
+        # an empty slot if there is one, otherwise the policy's victim.
+        slot = _pick_victim_slot(self.ids, self.coeffs, ctx, protect)
+        sid = ctx.symbols.fresh_at(slot, ctx.k, provenance)
+        if self.ids[slot] != 0:
+            coeff = add_ru(coeff, abs(self.coeffs[slot]))
+            ctx.stats.n_fused_symbols += 1
+        self.ids[slot] = sid
+        self.coeffs[slot] = coeff
+
+    def _enforce_capacity_sorted(
+        self, ids: List[int], coeffs: List[float], x: float,
+        protect: AbstractSet[int],
+    ) -> Tuple[List[int], List[float], float]:
+        """Fuse symbols into the fresh-symbol accumulator ``x`` until the
+        sorted storage fits ``k`` (reserving a slot for the fresh symbol
+        when ``x > 0``)."""
+        ctx = self.ctx
+        cap = self._cap()
+        budget = cap - (1 if x != 0.0 else 0)
+        if x == 0.0 and len(ids) > cap:
+            # Fusing will itself create the fresh symbol: reserve its slot.
+            budget = cap - 1
+        overflow = len(ids) - budget
+        if overflow <= 0:
+            return ids, coeffs, x
+        victims = select_victims(
+            ids, coeffs, overflow, ctx.fusion, ctx.rng, protect
+        )
+        vic = set(victims)
+        for i in victims:
+            x = add_ru(x, abs(coeffs[i]))
+        ctx.stats.n_fused_symbols += len(victims)
+        new_ids = [ids[i] for i in range(len(ids)) if i not in vic]
+        new_coeffs = [coeffs[i] for i in range(len(ids)) if i not in vic]
+        return new_ids, new_coeffs, x
+
+    # ------------------------------------------------------------------
+    # binary linear combination: self*sa + other*sb  (sa, sb in {+1,-1})
+    # ------------------------------------------------------------------
+
+    def _linear_combine(
+        self, other: "AffineForm", negate_other: bool,
+        protect: AbstractSet[int], provenance: Optional[str],
+    ) -> "AffineForm":
+        ctx = self.ctx
+        x = 0.0  # fresh-symbol accumulator (eq. (4)), maintained with RU
+
+        ob_central = self._c_neg(other.central) if negate_other else other.central
+        central, cerr = self._c_add(self.central, ob_central)
+        x = add_ru(x, cerr)
+
+        sgn = -1.0 if negate_other else 1.0
+        m_shared = 0
+
+        if ctx.placement is PlacementPolicy.SORTED:
+            ids: List[int] = []
+            coeffs: List[float] = []
+            i = j = 0
+            a_ids, a_co = self.ids, self.coeffs
+            b_ids, b_co = other.ids, other.coeffs
+            na, nb = len(a_ids), len(b_ids)
+            while i < na or j < nb:
+                if j >= nb or (i < na and a_ids[i] < b_ids[j]):
+                    ids.append(a_ids[i])
+                    coeffs.append(a_co[i])
+                    i += 1
+                elif i >= na or b_ids[j] < a_ids[i]:
+                    ids.append(b_ids[j])
+                    coeffs.append(sgn * b_co[j])
+                    j += 1
+                else:  # shared symbol
+                    s, e = _sum_err(a_co[i], sgn * b_co[j])
+                    x = add_ru(x, e)
+                    if s != 0.0:
+                        ids.append(a_ids[i])
+                        coeffs.append(s)
+                    m_shared += 1
+                    i += 1
+                    j += 1
+            cap = self._merge_cap(self, other)
+            tmp = AffineForm(ctx, central, ids, coeffs, cap)
+            ids, coeffs, x = tmp._enforce_capacity_sorted(ids, coeffs, x, protect)
+            out = AffineForm(ctx, central, ids, coeffs, cap)
+            out._place_fresh_symbol(x, provenance, protect)
+        else:
+            k = ctx.k
+            ids = [0] * k
+            coeffs = [0.0] * k
+            for slot in range(k):
+                ia, ib = self.ids[slot], other.ids[slot]
+                ca = self.coeffs[slot]
+                cb = sgn * other.coeffs[slot]
+                if ia == 0 and ib == 0:
+                    continue
+                if ia == ib:
+                    s, e = _sum_err(ca, cb)
+                    x = add_ru(x, e)
+                    if s != 0.0:
+                        ids[slot] = ia
+                        coeffs[slot] = s
+                    m_shared += 1
+                elif ib == 0:
+                    ids[slot] = ia
+                    coeffs[slot] = ca
+                elif ia == 0:
+                    ids[slot] = ib
+                    coeffs[slot] = cb
+                else:  # conflict
+                    ctx.stats.n_conflicts += 1
+                    if resolve_conflict(ia, ca, ib, cb, ctx.fusion, ctx.rng, protect):
+                        ids[slot], coeffs[slot] = ia, ca
+                        x = add_ru(x, abs(cb))
+                    else:
+                        ids[slot], coeffs[slot] = ib, cb
+                        x = add_ru(x, abs(ca))
+                    ctx.stats.n_fused_symbols += 1
+            out = AffineForm(ctx, central, ids, coeffs)
+            out._place_fresh_symbol(x, provenance, protect)
+
+        ctx.stats.n_add += 1
+        # Paper cost model (Section V): addition with SP/direct-mapped costs
+        # 3k + 2m + 3 flops.
+        ctx.stats.flops += 3 * ctx.k + 2 * m_shared + 3
+        return out
+
+    # ------------------------------------------------------------------
+    # public arithmetic
+    # ------------------------------------------------------------------
+
+    def add(self, other: "AffineForm", protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "AffineForm":
+        other = self._coerce(other)
+        return self._linear_combine(other, False, protect, provenance)
+
+    def sub(self, other: "AffineForm", protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "AffineForm":
+        other = self._coerce(other)
+        return self._linear_combine(other, True, protect, provenance)
+
+    def mul(self, other: "AffineForm", protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "AffineForm":
+        other = self._coerce(other)
+        ctx = self.ctx
+        x = 0.0
+
+        a0f = self.central_float()
+        b0f = other.central_float()
+        central, cerr = self._c_mul(self.central, other.central)
+        x = add_ru(x, cerr)
+
+        # Nonlinear overapproximation term r(â)·r(b̂) (eq. (5)).
+        ra, rb = self.radius_ru(), other.radius_ru()
+        if ra != 0.0 and rb != 0.0:
+            x = add_ru(x, mul_ru(ra, rb))
+        # When the central value is dd, the coefficient products below use
+        # only the double part; the dropped low part contributes
+        # |a0.lo|·r(b̂) + |b0.lo|·r(â).
+        if isinstance(self.central, DD):
+            x = add_ru(x, mul_ru(abs(self.central.lo), rb))
+            x = add_ru(x, mul_ru(abs(other.central.lo), ra))
+
+        def combine(ca: float, cb: float) -> float:
+            """fl(a0·cb + b0·ca) with all round-offs fed into x."""
+            nonlocal x
+            p1, e1 = _prod_err(a0f, cb)
+            p2, e2 = _prod_err(b0f, ca)
+            s, e3 = _sum_err(p1, p2)
+            x = add_ru(x, add_ru(e1, add_ru(e2, e3)))
+            return s
+
+        def scale_a(ca: float) -> float:
+            nonlocal x
+            p, e = _prod_err(b0f, ca)
+            x = add_ru(x, e)
+            return p
+
+        def scale_b(cb: float) -> float:
+            nonlocal x
+            p, e = _prod_err(a0f, cb)
+            x = add_ru(x, e)
+            return p
+
+        m_shared = 0
+        if ctx.placement is PlacementPolicy.SORTED:
+            ids: List[int] = []
+            coeffs: List[float] = []
+            i = j = 0
+            a_ids, a_co = self.ids, self.coeffs
+            b_ids, b_co = other.ids, other.coeffs
+            na, nb = len(a_ids), len(b_ids)
+            while i < na or j < nb:
+                if j >= nb or (i < na and a_ids[i] < b_ids[j]):
+                    c = scale_a(a_co[i])
+                    if c != 0.0:
+                        ids.append(a_ids[i])
+                        coeffs.append(c)
+                    i += 1
+                elif i >= na or b_ids[j] < a_ids[i]:
+                    c = scale_b(b_co[j])
+                    if c != 0.0:
+                        ids.append(b_ids[j])
+                        coeffs.append(c)
+                    j += 1
+                else:
+                    c = combine(a_co[i], b_co[j])
+                    if c != 0.0:
+                        ids.append(a_ids[i])
+                        coeffs.append(c)
+                    m_shared += 1
+                    i += 1
+                    j += 1
+            cap = self._merge_cap(self, other)
+            tmp = AffineForm(ctx, central, ids, coeffs, cap)
+            ids, coeffs, x = tmp._enforce_capacity_sorted(ids, coeffs, x, protect)
+            out = AffineForm(ctx, central, ids, coeffs, cap)
+            out._place_fresh_symbol(x, provenance, protect)
+        else:
+            k = ctx.k
+            ids = [0] * k
+            coeffs = [0.0] * k
+            for slot in range(k):
+                ia, ib = self.ids[slot], other.ids[slot]
+                ca, cb = self.coeffs[slot], other.coeffs[slot]
+                if ia == 0 and ib == 0:
+                    continue
+                if ia == ib:
+                    c = combine(ca, cb)
+                    if c != 0.0:
+                        ids[slot] = ia
+                        coeffs[slot] = c
+                    m_shared += 1
+                elif ib == 0:
+                    c = scale_a(ca)
+                    if c != 0.0:
+                        ids[slot] = ia
+                        coeffs[slot] = c
+                elif ia == 0:
+                    c = scale_b(cb)
+                    if c != 0.0:
+                        ids[slot] = ib
+                        coeffs[slot] = c
+                else:
+                    ctx.stats.n_conflicts += 1
+                    va = scale_a(ca)
+                    vb = scale_b(cb)
+                    if resolve_conflict(ia, va, ib, vb, ctx.fusion, ctx.rng, protect):
+                        if va != 0.0:
+                            ids[slot], coeffs[slot] = ia, va
+                        x = add_ru(x, abs(vb))
+                    else:
+                        if vb != 0.0:
+                            ids[slot], coeffs[slot] = ib, vb
+                        x = add_ru(x, abs(va))
+                    ctx.stats.n_fused_symbols += 1
+            out = AffineForm(ctx, central, ids, coeffs)
+            out._place_fresh_symbol(x, provenance, protect)
+
+        ctx.stats.n_mul += 1
+        # Paper cost model: multiplication SP/direct-mapped 13k + 2m + 3.
+        ctx.stats.flops += 13 * ctx.k + 2 * m_shared + 3
+        return out
+
+    def _unary_linear(
+        self, alpha: float, zeta: float, delta: float,
+        protect: AbstractSet[int], provenance: Optional[str],
+    ) -> "AffineForm":
+        """Return ``alpha·self + zeta + delta·ε_fresh`` (sound nonlinear-op
+        plumbing; see :mod:`repro.aa.linearize`)."""
+        ctx = self.ctx
+        x = abs(delta)
+
+        scaled, cerr = self._c_mul(self.central, alpha)
+        x = add_ru(x, cerr)
+        central, cerr2 = self._c_add(scaled, self._central_from_float(ctx, zeta))
+        x = add_ru(x, cerr2)
+
+        ids: List[int] = list(self.ids)
+        coeffs: List[float] = []
+        for c in self.coeffs:
+            if c == 0.0:
+                coeffs.append(0.0)
+                continue
+            p, e = _prod_err(alpha, c)
+            x = add_ru(x, e)
+            coeffs.append(p)
+        if ctx.placement is PlacementPolicy.SORTED:
+            ids, coeffs, x = self._enforce_capacity_sorted(ids, coeffs, x, protect)
+        out = AffineForm(ctx, central, ids, coeffs, self.capacity)
+        out._place_fresh_symbol(x, provenance, protect)
+        return out
+
+    def div(self, other: "AffineForm", protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "AffineForm":
+        other = self._coerce(other)
+        ctx = self.ctx
+        ctx.stats.n_div += 1
+        iv = other.interval()
+        if not iv.is_valid() or (iv.lo <= 0.0 <= iv.hi):
+            return self._invalid_result()
+        if iv.is_point() and other.n_symbols() == 0:
+            # Exact scalar divisor: scale coefficients directly.
+            return self._div_by_exact_scalar(iv.lo, protect, provenance)
+        alpha, zeta, delta = linearize_inv(iv.lo, iv.hi)
+        inv = other._unary_linear(alpha, zeta, delta, protect,
+                                  provenance and provenance + ":inv")
+        return self.mul(inv, protect, provenance)
+
+    def _div_by_exact_scalar(
+        self, b: float, protect: AbstractSet[int], provenance: Optional[str]
+    ) -> "AffineForm":
+        x = 0.0
+        if isinstance(self.central, DD):
+            central, cerr = self.central.div_with_err(DD(b))
+            x = add_ru(x, cerr)
+        else:
+            q = self.central / b
+            x = add_ru(x, sub_ru(div_ru(self.central, b), div_rd(self.central, b)))
+            if self.ctx.precision is Precision.F32:
+                q, e32 = _round_f32(q)
+                x = add_ru(x, e32)
+            central = q
+        coeffs: List[float] = []
+        for c in self.coeffs:
+            if c == 0.0:
+                coeffs.append(0.0)
+                continue
+            q = c / b
+            x = add_ru(x, sub_ru(div_ru(c, b), div_rd(c, b)))
+            coeffs.append(q)
+        out = AffineForm(self.ctx, central, list(self.ids), coeffs,
+                         self.capacity)
+        if self.ctx.placement is PlacementPolicy.SORTED:
+            out.ids, out.coeffs, x = out._enforce_capacity_sorted(
+                out.ids, out.coeffs, x, protect
+            )
+        out._place_fresh_symbol(x, provenance, protect)
+        return out
+
+    def sqrt(self, protect: AbstractSet[int] = _EMPTY,
+             provenance: Optional[str] = None) -> "AffineForm":
+        self.ctx.stats.n_sqrt += 1
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi < 0.0:
+            return self._invalid_result()
+        lo = max(iv.lo, 0.0)
+        alpha, zeta, delta = linearize_sqrt(lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def exp(self, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "AffineForm":
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi > 709.0:
+            return self._invalid_result()
+        alpha, zeta, delta = linearize_exp(iv.lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def log(self, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "AffineForm":
+        iv = self.interval()
+        if not iv.is_valid() or iv.lo <= 0.0:
+            return self._invalid_result()
+        alpha, zeta, delta = linearize_log(iv.lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def neg(self) -> "AffineForm":
+        """Exact negation (no fresh symbol)."""
+        return AffineForm(
+            self.ctx, self._c_neg(self.central), list(self.ids),
+            [-c for c in self.coeffs], self.capacity,
+        )
+
+    def abs_(self, protect: AbstractSet[int] = _EMPTY) -> "AffineForm":
+        iv = self.interval()
+        if not iv.is_valid():
+            return self._invalid_result()
+        if iv.lo >= 0.0:
+            return self
+        if iv.hi <= 0.0:
+            return self.neg()
+        # Straddles zero: correlation is lost; rebuild from the range.
+        hi = max(-iv.lo, iv.hi)
+        return AffineForm.from_center_and_symbol(
+            self.ctx, hi / 2.0, add_ru(hi / 2.0, math.ulp(hi)), "abs"
+        )
+
+    def min_with(self, other: "AffineForm") -> "AffineForm":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if not (a.is_valid() and b.is_valid()):
+            return self._invalid_result()
+        if a.hi <= b.lo:
+            return self
+        if b.hi <= a.lo:
+            return other
+        m = a.min_with(b)
+        return AffineForm.from_center_and_symbol(
+            self.ctx, m.midpoint(), add_ru(m.radius_ru(), math.ulp(m.midpoint())),
+            "min",
+        )
+
+    def max_with(self, other: "AffineForm") -> "AffineForm":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if not (a.is_valid() and b.is_valid()):
+            return self._invalid_result()
+        if a.lo >= b.hi:
+            return self
+        if b.lo >= a.hi:
+            return other
+        m = a.max_with(b)
+        return AffineForm.from_center_and_symbol(
+            self.ctx, m.midpoint(), add_ru(m.radius_ru(), math.ulp(m.midpoint())),
+            "max",
+        )
+
+    def _invalid_result(self) -> "AffineForm":
+        ids, coeffs = self._empty_storage(self.ctx)
+        return AffineForm(self.ctx, self._central_from_float(self.ctx, math.nan),
+                          ids, coeffs)
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+
+    def compare_lt(self, other, protect: AbstractSet[int] = _EMPTY) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi < b.lo:
+            definite = True
+        elif a.lo >= b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(
+            definite, self.central_float() < other.central_float(),
+            self.ctx.decision_policy, "<", self.ctx.stats,
+        )
+
+    def compare_le(self, other, protect: AbstractSet[int] = _EMPTY) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi <= b.lo:
+            definite = True
+        elif a.lo > b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(
+            definite, self.central_float() <= other.central_float(),
+            self.ctx.decision_policy, "<=", self.ctx.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # operator sugar
+    # ------------------------------------------------------------------
+
+    def _coerce(self, x) -> "AffineForm":
+        if isinstance(x, AffineForm):
+            if x.ctx is not self.ctx:
+                raise SoundnessError("mixing AffineForms from different contexts")
+            return x
+        if isinstance(x, (int, float)):
+            return AffineForm.from_exact(self.ctx, float(x))
+        raise TypeError(f"cannot coerce {type(x).__name__} to AffineForm")
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __radd__(self, other):
+        return self._coerce(other).add(self)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return self._coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __rmul__(self, other):
+        return self._coerce(other).mul(self)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()
+
+    def __lt__(self, other):
+        return self.compare_lt(other)
+
+    def __le__(self, other):
+        return self.compare_le(other)
+
+    def __gt__(self, other):
+        return self._coerce(other).compare_lt(self)
+
+    def __ge__(self, other):
+        return self._coerce(other).compare_le(self)

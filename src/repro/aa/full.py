@@ -1,0 +1,348 @@
+"""Full affine arithmetic: unbounded number of error symbols.
+
+This is the textbook AA of Section II-B — every operation creates a fresh
+symbol, nothing is ever fused, so the arithmetic complexity of the original
+program is squared.  It is the most accurate configuration and serves two
+roles in the evaluation:
+
+* the ``yalaa-aff0`` library baseline of Fig. 9, and
+* the reference that the ``f64a-dspv-k`` (large-k) configuration matches.
+
+Coefficients live in a dict keyed by symbol id; round-off tracking is the
+same exact EFT scheme used by :class:`repro.aa.form.AffineForm`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..common import decide_comparison
+from ..errors import SoundnessError
+from ..fp import add_ru, div_rd, div_ru, mul_ru, sub_rd, sub_ru
+from ..ia import Interval
+from .context import AffineContext
+from .form import _prod_err, _sum_err
+from .linearize import linearize_exp, linearize_inv, linearize_log, linearize_sqrt
+
+__all__ = ["FullAffine"]
+
+
+class FullAffine:
+    """An affine form with an unbounded symbol set (full AA)."""
+
+    __slots__ = ("ctx", "central", "terms")
+
+    def __init__(self, ctx: AffineContext, central: float,
+                 terms: Dict[int, float]) -> None:
+        self.ctx = ctx
+        self.central = central
+        self.terms = terms
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_exact(cls, ctx: AffineContext, value: float) -> "FullAffine":
+        return cls(ctx, float(value), {})
+
+    @classmethod
+    def from_center_and_symbol(
+        cls, ctx: AffineContext, value: float, magnitude: float,
+        provenance: Optional[str] = None,
+    ) -> "FullAffine":
+        terms: Dict[int, float] = {}
+        if magnitude != 0.0:
+            terms[ctx.symbols.fresh(provenance)] = abs(magnitude)
+        return cls(ctx, float(value), terms)
+
+    # -- views ---------------------------------------------------------------
+
+    def symbol_ids(self):
+        return list(self.terms)
+
+    def n_symbols(self) -> int:
+        return len(self.terms)
+
+    def central_float(self) -> float:
+        return self.central
+
+    def is_valid(self) -> bool:
+        if math.isnan(self.central):
+            return False
+        return not any(math.isnan(c) for c in self.terms.values())
+
+    def radius_ru(self) -> float:
+        acc = 0.0
+        for c in self.terms.values():
+            acc = add_ru(acc, abs(c))
+        return acc
+
+    def interval(self) -> Interval:
+        if not self.is_valid():
+            return Interval.invalid()
+        r = self.radius_ru()
+        lo, hi = sub_rd(self.central, r), add_ru(self.central, r)
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.invalid()
+        return Interval(lo, hi)
+
+    def contains(self, x) -> bool:
+        return self.interval().contains(x)
+
+    def __repr__(self) -> str:
+        return f"FullAffine({self.central:.17g}; {len(self.terms)} symbols)"
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _fresh(self, x: float, provenance: Optional[str]) -> None:
+        if x != 0.0:
+            self.terms[self.ctx.symbols.fresh(provenance)] = x
+
+    def add(self, other, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        other = self._coerce(other)
+        x = 0.0
+        central, e = _sum_err(self.central, other.central)
+        x = add_ru(x, e)
+        terms = dict(self.terms)
+        for sid, cb in other.terms.items():
+            ca = terms.get(sid)
+            if ca is None:
+                terms[sid] = cb
+            else:
+                s, e = _sum_err(ca, cb)
+                x = add_ru(x, e)
+                if s != 0.0:
+                    terms[sid] = s
+                else:
+                    del terms[sid]
+        out = FullAffine(self.ctx, central, terms)
+        out._fresh(x, provenance)
+        self.ctx.stats.n_add += 1
+        return out
+
+    def sub(self, other, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        return self.add(self._coerce(other).neg(), protect, provenance)
+
+    def mul(self, other, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        other = self._coerce(other)
+        x = 0.0
+        a0, b0 = self.central, other.central
+        central, e = _prod_err(a0, b0)
+        x = add_ru(x, e)
+        ra, rb = self.radius_ru(), other.radius_ru()
+        if ra != 0.0 and rb != 0.0:
+            x = add_ru(x, mul_ru(ra, rb))
+        terms: Dict[int, float] = {}
+        for sid, ca in self.terms.items():
+            cb = other.terms.get(sid)
+            if cb is None:
+                p, e = _prod_err(b0, ca)
+                x = add_ru(x, e)
+                if p != 0.0:
+                    terms[sid] = p
+            else:
+                p1, e1 = _prod_err(a0, cb)
+                p2, e2 = _prod_err(b0, ca)
+                s, e3 = _sum_err(p1, p2)
+                x = add_ru(x, add_ru(e1, add_ru(e2, e3)))
+                if s != 0.0:
+                    terms[sid] = s
+        for sid, cb in other.terms.items():
+            if sid not in self.terms:
+                p, e = _prod_err(a0, cb)
+                x = add_ru(x, e)
+                if p != 0.0:
+                    terms[sid] = p
+        out = FullAffine(self.ctx, central, terms)
+        out._fresh(x, provenance)
+        self.ctx.stats.n_mul += 1
+        return out
+
+    def _unary_linear(self, alpha: float, zeta: float, delta: float,
+                      provenance: Optional[str]) -> "FullAffine":
+        x = abs(delta)
+        scaled, e = _prod_err(alpha, self.central)
+        x = add_ru(x, e)
+        central, e2 = _sum_err(scaled, zeta)
+        x = add_ru(x, e2)
+        terms: Dict[int, float] = {}
+        for sid, c in self.terms.items():
+            p, e = _prod_err(alpha, c)
+            x = add_ru(x, e)
+            if p != 0.0:
+                terms[sid] = p
+        out = FullAffine(self.ctx, central, terms)
+        out._fresh(x, provenance)
+        return out
+
+    def div(self, other, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        other = self._coerce(other)
+        self.ctx.stats.n_div += 1
+        iv = other.interval()
+        if not iv.is_valid() or (iv.lo <= 0.0 <= iv.hi):
+            return FullAffine(self.ctx, math.nan, {})
+        if iv.is_point() and not other.terms:
+            x = 0.0
+            b = iv.lo
+            central = self.central / b
+            x = add_ru(x, sub_ru(div_ru(self.central, b), div_rd(self.central, b)))
+            terms = {}
+            for sid, c in self.terms.items():
+                q = c / b
+                x = add_ru(x, sub_ru(div_ru(c, b), div_rd(c, b)))
+                if q != 0.0:
+                    terms[sid] = q
+            out = FullAffine(self.ctx, central, terms)
+            out._fresh(x, provenance)
+            return out
+        alpha, zeta, delta = linearize_inv(iv.lo, iv.hi)
+        inv = other._unary_linear(alpha, zeta, delta,
+                                  provenance and provenance + ":inv")
+        return self.mul(inv, protect, provenance)
+
+    def sqrt(self, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        self.ctx.stats.n_sqrt += 1
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi < 0.0:
+            return FullAffine(self.ctx, math.nan, {})
+        alpha, zeta, delta = linearize_sqrt(max(iv.lo, 0.0), iv.hi)
+        return self._unary_linear(alpha, zeta, delta, provenance)
+
+    def exp(self, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi > 709.0:
+            return FullAffine(self.ctx, math.nan, {})
+        alpha, zeta, delta = linearize_exp(iv.lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, provenance)
+
+    def log(self, protect=frozenset(), provenance: Optional[str] = None) -> "FullAffine":
+        iv = self.interval()
+        if not iv.is_valid() or iv.lo <= 0.0:
+            return FullAffine(self.ctx, math.nan, {})
+        alpha, zeta, delta = linearize_log(iv.lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, provenance)
+
+    def neg(self) -> "FullAffine":
+        return FullAffine(self.ctx, -self.central,
+                          {sid: -c for sid, c in self.terms.items()})
+
+    def min_with(self, other) -> "FullAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if a.hi <= b.lo:
+            return self
+        if b.hi <= a.lo:
+            return other
+        m = a.min_with(b)
+        return FullAffine.from_center_and_symbol(
+            self.ctx, m.midpoint(), add_ru(m.radius_ru(), math.ulp(m.midpoint())),
+            "min",
+        )
+
+    def max_with(self, other) -> "FullAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if a.lo >= b.hi:
+            return self
+        if b.lo >= a.hi:
+            return other
+        m = a.max_with(b)
+        return FullAffine.from_center_and_symbol(
+            self.ctx, m.midpoint(), add_ru(m.radius_ru(), math.ulp(m.midpoint())),
+            "max",
+        )
+
+    def abs_(self) -> "FullAffine":
+        iv = self.interval()
+        if not iv.is_valid():
+            return FullAffine(self.ctx, math.nan, {})
+        if iv.lo >= 0.0:
+            return self
+        if iv.hi <= 0.0:
+            return self.neg()
+        hi = max(-iv.lo, iv.hi)
+        return FullAffine.from_center_and_symbol(
+            self.ctx, hi / 2.0, add_ru(hi / 2.0, math.ulp(hi)), "abs"
+        )
+
+    # -- comparisons -----------------------------------------------------------
+
+    def compare_lt(self, other) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi < b.lo:
+            definite = True
+        elif a.lo >= b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central < other.central,
+                                 self.ctx.decision_policy, "<", self.ctx.stats)
+
+    def compare_le(self, other) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi <= b.lo:
+            definite = True
+        elif a.lo > b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central <= other.central,
+                                 self.ctx.decision_policy, "<=", self.ctx.stats)
+
+    # -- sugar -------------------------------------------------------------------
+
+    def _coerce(self, x) -> "FullAffine":
+        if isinstance(x, FullAffine):
+            if x.ctx is not self.ctx:
+                raise SoundnessError("mixing FullAffine from different contexts")
+            return x
+        if isinstance(x, (int, float)):
+            return FullAffine.from_exact(self.ctx, float(x))
+        raise TypeError(f"cannot coerce {type(x).__name__} to FullAffine")
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __radd__(self, other):
+        return self._coerce(other).add(self)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return self._coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __rmul__(self, other):
+        return self._coerce(other).mul(self)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()
+
+    def __lt__(self, other):
+        return self.compare_lt(other)
+
+    def __le__(self, other):
+        return self.compare_le(other)
+
+    def __gt__(self, other):
+        return self._coerce(other).compare_lt(self)
+
+    def __ge__(self, other):
+        return self._coerce(other).compare_le(self)

@@ -1,0 +1,164 @@
+"""Sound linear (min-range) approximations of nonlinear unary functions.
+
+Affine arithmetic handles a nonlinear unary function ``f`` over an affine
+form ``x̂`` with range ``X = [a, b]`` by choosing a linear approximation
+``f(x) ≈ α·x + ζ`` and a rigorous bound ``δ`` on the approximation error
+over ``X``; the result is ``α·x̂ + ζ + δ·ε_new`` (Stolfi & de Figueiredo).
+
+The slope ``α`` only affects *tightness*, never soundness: soundness comes
+from ``δ`` being a true bound on ``max |f(x) − αx − ζ|``.  We therefore pick
+the textbook min-range slope in ordinary round-to-nearest arithmetic and then
+bound the deviation ``d(x) = f(x) − αx`` *soundly* with interval arithmetic:
+for the smooth convex/concave functions used here ``d`` has at most one
+interior critical point, so its range over ``[a, b]`` is contained in the
+hull of sound evaluations at both endpoints and at an enclosure of the
+critical point.
+
+Every helper returns ``(alpha, zeta, delta)`` with the guarantee
+``|f(x) − (alpha·x + zeta)| <= delta`` for all ``x`` in the interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+from ..errors import SoundnessError
+from ..ia import Interval
+from ..ia.functions import iexp, ilog
+from ..fp import add_ru, div_rd, div_ru, mul_ru, sub_rd, sub_ru, sqrt_ru
+
+__all__ = ["linearize_inv", "linearize_sqrt", "linearize_exp", "linearize_log"]
+
+
+def _deviation_range(
+    d_of: Callable[[Interval], Interval],
+    domain: Interval,
+    crit: Optional[Interval],
+) -> Interval:
+    """Sound enclosure of ``d`` over ``domain``.
+
+    ``d_of`` evaluates ``d`` soundly over an interval; ``crit`` is a sound
+    enclosure of the unique interior critical point (or None if there is
+    none).  The extrema of a function with a single interior critical point
+    lie at the endpoints or at the critical point.
+    """
+    parts = [
+        d_of(Interval.point(domain.lo)),
+        d_of(Interval.point(domain.hi)),
+    ]
+    if crit is not None:
+        clipped = crit.intersect(domain)
+        if clipped is not None:
+            parts.append(d_of(clipped))
+    out = parts[0]
+    for p in parts[1:]:
+        out = out.hull(p)
+    if not out.is_valid():
+        raise SoundnessError("deviation range is invalid")
+    return out
+
+
+def _zeta_delta(dev: Interval) -> Tuple[float, float]:
+    """Split the deviation range into its midpoint (zeta) and a sound
+    half-width (delta)."""
+    zeta = dev.midpoint()
+    delta = max(sub_ru(dev.hi, zeta), sub_ru(zeta, dev.lo))
+    return zeta, delta
+
+
+def linearize_inv(a: float, b: float) -> Tuple[float, float, float]:
+    """Min-range linearization of ``1/x`` over ``[a, b]`` with ``0 < a`` or
+    ``b < 0``."""
+    if a <= 0.0 <= b:
+        raise SoundnessError("linearize_inv domain must not contain zero")
+    if b < 0.0:
+        # 1/x is odd: reuse the positive case.
+        alpha, zeta, delta = linearize_inv(-b, -a)
+        return alpha, -zeta, delta
+    # Min-range slope for 1/x on [a,b] is f'(b) = -1/b^2.
+    alpha = -1.0 / (b * b)
+    if not math.isfinite(alpha) or alpha == 0.0:
+        alpha = -(div_ru(div_ru(1.0, b), b))  # avoid a zero slope at huge b
+    if alpha == 0.0:
+        alpha = -5e-324
+    dom = Interval(a, b)
+
+    def d_of(x: Interval) -> Interval:
+        return Interval.point(1.0) / x - Interval.point(alpha) * x
+
+    # d'(x) = -1/x^2 - alpha = 0  =>  x* = 1/sqrt(-alpha).
+    crit = (Interval.point(1.0) / Interval.point(-alpha)).sqrt()
+    dev = _deviation_range(d_of, dom, crit)
+    zeta, delta = _zeta_delta(dev)
+    return alpha, zeta, delta
+
+
+def linearize_sqrt(a: float, b: float) -> Tuple[float, float, float]:
+    """Min-range linearization of ``sqrt`` over ``[a, b]``, ``0 <= a``."""
+    if a < 0.0:
+        raise SoundnessError("linearize_sqrt domain must be nonnegative")
+    if b == 0.0:
+        return 0.0, 0.0, 0.0
+    if a == b:
+        # Degenerate point interval: constant approximation from the
+        # directed-rounding bracket of sqrt(a).
+        from ..fp import sqrt_rd
+
+        zeta, delta = _zeta_delta(Interval(sqrt_rd(a), sqrt_ru(a)))
+        return 0.0, zeta, delta
+    # Min-range slope for sqrt on [a,b] is f'(b) = 1/(2*sqrt(b)).
+    alpha = 1.0 / (2.0 * math.sqrt(b))
+    if not math.isfinite(alpha) or alpha == 0.0:
+        alpha = div_rd(1.0, mul_ru(2.0, sqrt_ru(b)))
+    if alpha == 0.0:
+        alpha = 5e-324
+    dom = Interval(a, b)
+
+    def d_of(x: Interval) -> Interval:
+        return x.sqrt() - Interval.point(alpha) * x
+
+    # d'(x) = 1/(2 sqrt x) - alpha = 0  =>  x* = 1/(4 alpha^2).
+    denom = Interval.point(4.0) * Interval.point(alpha).square()
+    crit = Interval.point(1.0) / denom
+    dev = _deviation_range(d_of, dom, crit)
+    zeta, delta = _zeta_delta(dev)
+    return alpha, zeta, delta
+
+
+def linearize_exp(a: float, b: float) -> Tuple[float, float, float]:
+    """Min-range linearization of ``exp`` over ``[a, b]``."""
+    if b > 709.0:
+        raise SoundnessError("exp overflows on this range; result unbounded")
+    # Min-range slope for exp on [a,b] is f'(a) = exp(a).
+    alpha = math.exp(a)
+    dom = Interval(a, b)
+
+    def d_of(x: Interval) -> Interval:
+        return iexp(x) - Interval.point(alpha) * x
+
+    # d'(x) = exp(x) - alpha = 0  =>  x* = log(alpha).
+    crit = ilog(Interval.point(alpha)) if alpha > 0.0 else None
+    dev = _deviation_range(d_of, dom, crit)
+    zeta, delta = _zeta_delta(dev)
+    return alpha, zeta, delta
+
+
+def linearize_log(a: float, b: float) -> Tuple[float, float, float]:
+    """Min-range linearization of ``log`` over ``[a, b]``, ``a > 0``."""
+    if a <= 0.0:
+        raise SoundnessError("linearize_log domain must be positive")
+    # Min-range slope for log on [a,b] is f'(b) = 1/b.
+    alpha = 1.0 / b
+    if alpha == 0.0:
+        alpha = 5e-324
+    dom = Interval(a, b)
+
+    def d_of(x: Interval) -> Interval:
+        return ilog(x) - Interval.point(alpha) * x
+
+    # d'(x) = 1/x - alpha = 0  =>  x* = 1/alpha.
+    crit = Interval.point(1.0) / Interval.point(alpha)
+    dev = _deviation_range(d_of, dom, crit)
+    zeta, delta = _zeta_delta(dev)
+    return alpha, zeta, delta

@@ -1,0 +1,152 @@
+"""Symbol placement and fusion policies (Section V, Table I).
+
+Placement policies decide how the bounded symbol array is organized:
+
+* ``SORTED`` — symbols kept sorted by id; operations merge-sort the arrays.
+* ``DIRECT_MAPPED`` — symbol with id ``i`` lives in slot ``i mod k`` (like a
+  direct-mapped cache); conflicts are resolved by the fusion policy.
+
+Fusion policies decide *which* symbols are fused (eq. (6)) when an operation
+would exceed the capacity ``k``:
+
+* ``RANDOM`` (RP) — baseline, random victims.
+* ``OLDEST`` (OP) — least-recently-created symbols (smallest ids) first.
+* ``SMALLEST`` (SP) — smallest absolute coefficient first.
+* ``MEAN`` (MP) — everything below the mean absolute coefficient; topped up
+  with OP when that selects too few.  Identical to SP under direct-mapped
+  placement.
+
+All selection helpers honour a ``protected`` set (symbol ids the static
+analysis prioritized): protected symbols are only fused when there is no
+other way to meet the capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import AbstractSet, List, Sequence
+
+__all__ = [
+    "PlacementPolicy",
+    "FusionPolicy",
+    "select_victims",
+    "resolve_conflict",
+]
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class PlacementPolicy(enum.Enum):
+    SORTED = "sorted"
+    DIRECT_MAPPED = "direct-mapped"
+
+    @property
+    def code(self) -> str:
+        """One-letter code used in configuration strings (s/d)."""
+        return "s" if self is PlacementPolicy.SORTED else "d"
+
+
+class FusionPolicy(enum.Enum):
+    RANDOM = "random"
+    OLDEST = "oldest"
+    SMALLEST = "smallest"
+    MEAN = "mean"
+
+    @property
+    def code(self) -> str:
+        """One-letter code used in configuration strings (r/o/s/m)."""
+        return {"random": "r", "oldest": "o", "smallest": "s", "mean": "m"}[self.value]
+
+
+def _order_for_policy(
+    indices: List[int],
+    ids: Sequence[int],
+    coeffs: Sequence[float],
+    policy: FusionPolicy,
+    rng: random.Random,
+) -> List[int]:
+    """Candidate fusion order: first elements are fused first."""
+    if policy is FusionPolicy.RANDOM:
+        shuffled = list(indices)
+        rng.shuffle(shuffled)
+        return shuffled
+    if policy is FusionPolicy.OLDEST:
+        return sorted(indices, key=lambda i: ids[i])
+    # SMALLEST and MEAN both order by magnitude; MEAN's thresholding is
+    # handled by the caller via `select_victims`.
+    return sorted(indices, key=lambda i: abs(coeffs[i]))
+
+
+def select_victims(
+    ids: Sequence[int],
+    coeffs: Sequence[float],
+    n_fuse: int,
+    policy: FusionPolicy,
+    rng: random.Random,
+    protected: AbstractSet[int] = _EMPTY,
+) -> List[int]:
+    """Choose *at least* ``n_fuse`` positions (indices into ``ids``) to fuse.
+
+    Protected symbols are selected only if the unprotected ones do not
+    suffice.  For ``MEAN`` the below-mean symbols are all selected (that is
+    the policy's single-pass efficiency trick), topped up by OLDEST when
+    fewer than ``n_fuse`` fall below the mean.
+    """
+    n = len(ids)
+    if n_fuse <= 0:
+        return []
+    if n_fuse >= n:
+        return list(range(n))
+    unprot = [i for i in range(n) if ids[i] not in protected]
+    prot = [i for i in range(n) if ids[i] in protected]
+
+    if policy is FusionPolicy.MEAN:
+        mean = sum(abs(c) for c in coeffs) / n
+        below = [i for i in unprot if abs(coeffs[i]) < mean]
+        if len(below) >= n_fuse:
+            return below
+        victims = list(below)
+        rest = [i for i in unprot if i not in set(below)]
+        rest = _order_for_policy(rest, ids, coeffs, FusionPolicy.OLDEST, rng)
+        victims.extend(rest[: n_fuse - len(victims)])
+        if len(victims) < n_fuse:  # must dip into protected symbols
+            more = _order_for_policy(prot, ids, coeffs, FusionPolicy.OLDEST, rng)
+            victims.extend(more[: n_fuse - len(victims)])
+        return victims
+
+    ordered = _order_for_policy(unprot, ids, coeffs, policy, rng)
+    victims = ordered[:n_fuse]
+    if len(victims) < n_fuse:
+        more = _order_for_policy(prot, ids, coeffs, policy, rng)
+        victims.extend(more[: n_fuse - len(victims)])
+    return victims
+
+
+def resolve_conflict(
+    id_a: int,
+    coeff_a: float,
+    id_b: int,
+    coeff_b: float,
+    policy: FusionPolicy,
+    rng: random.Random,
+    protected: AbstractSet[int] = _EMPTY,
+) -> bool:
+    """Direct-mapped slot conflict: return True if symbol *a* survives.
+
+    The loser's coefficient magnitude is absorbed into the operation's fresh
+    error symbol by the caller.  Protection trumps the policy; ties fall
+    back to the policy.
+    """
+    pa, pb = id_a in protected, id_b in protected
+    if pa != pb:
+        return pa
+    if policy is FusionPolicy.RANDOM:
+        return rng.random() < 0.5
+    if policy is FusionPolicy.OLDEST:
+        # OP fuses the *oldest* symbol: the newer (larger id) survives.
+        return id_a > id_b
+    # SMALLEST / MEAN: the larger-magnitude coefficient survives.
+    if abs(coeff_a) != abs(coeff_b):
+        return abs(coeff_a) > abs(coeff_b)
+    return id_a > id_b

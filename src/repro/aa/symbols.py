@@ -1,0 +1,74 @@
+"""Error-symbol identity management.
+
+Every affine operation creates one fresh error symbol (Section II-B).  The
+paper's OP fusion policy relies on symbol *age*, which we encode in the ids:
+ids are allocated from a monotone counter, so a smaller id is always an
+older symbol.
+
+A :class:`SymbolFactory` also records provenance (which input variable,
+constant, or operation created each symbol) — used by the static-analysis
+tests and invaluable when debugging accuracy regressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["SymbolFactory"]
+
+
+class SymbolFactory:
+    """Allocates error-symbol identifiers.
+
+    Ids start at 1; id 0 is reserved (never allocated) so implementations can
+    use 0/-1 as sentinels.
+    """
+
+    __slots__ = ("_next", "_provenance", "track_provenance")
+
+    def __init__(self, track_provenance: bool = False) -> None:
+        self._next = 1
+        self._provenance: Dict[int, str] = {}
+        self.track_provenance = track_provenance
+
+    def fresh(self, provenance: Optional[str] = None) -> int:
+        """Allocate a new symbol id (monotonically increasing)."""
+        sid = self._next
+        self._next += 1
+        if self.track_provenance and provenance is not None:
+            self._provenance[sid] = provenance
+        return sid
+
+    def fresh_at(self, slot: int, k: int,
+                 provenance: Optional[str] = None) -> int:
+        """Allocate a fresh id congruent to ``slot`` modulo ``k``.
+
+        Ids are arbitrary labels, so the direct-mapped placement policy is
+        free to pick the fresh symbol's id such that it lands on the slot
+        the fusion policy wants to evict; skipped ids are simply never
+        used.  Monotonicity (used by the OLDEST policy) is preserved.
+        """
+        if not 0 <= slot < k:
+            raise ValueError(f"slot {slot} out of range for k={k}")
+        sid = self._next + ((slot - self._next) % k)
+        self._next = sid + 1
+        if self.track_provenance and provenance is not None:
+            self._provenance[sid] = provenance
+        return sid
+
+    def provenance_of(self, sid: int) -> Optional[str]:
+        return self._provenance.get(sid)
+
+    @property
+    def count(self) -> int:
+        """Number of symbols allocated so far."""
+        return self._next - 1
+
+    @property
+    def peek_next(self) -> int:
+        """The id the next plain :meth:`fresh` call would return."""
+        return self._next
+
+    def reset(self) -> None:
+        self._next = 1
+        self._provenance.clear()

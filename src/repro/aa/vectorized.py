@@ -1,0 +1,514 @@
+"""Vectorized direct-mapped affine kernels — the paper's SIMD path.
+
+The direct-mapped placement policy is what makes SIMD vectorization of AA
+effective (Section V, VII-A): the coefficient arrays of the two operands are
+*slot-aligned*, so combining them is a lane-parallel operation with a few
+blends for conflicts.  Our stand-in for AVX2 is numpy: each operation is a
+fixed, branch-light sequence of elementwise kernels over the length-``k``
+coefficient arrays.
+
+Round-off accumulation differs from the scalar path: instead of exact
+error-free transformations per lane (which would serialize the computation),
+we use the standard *a-priori* model bound — for every RN lane operation,
+
+    |fl(x ∘ y) − x ∘ y| <= u·|fl(x ∘ y)| + η/2,
+
+(u = 2⁻⁵³; the η term is only needed for multiplications — RN addition is
+exact in the subnormal range).  The lane bounds are summed with numpy and the
+sum inflated by ``(1 + 4(n+2)u)`` to cover the summation's own rounding, so
+the fresh-symbol coefficient remains a sound upper bound.  This is slightly
+looser than the scalar EFT path — mirroring the paper's vectorized/scalar
+accuracy relationship — but every bit as sound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..common import decide_comparison
+from ..errors import SoundnessError
+from ..fp import EPS, ETA, add_ru, div_rd, div_ru, mul_ru, sub_rd, sub_ru
+from ..ia import Interval
+from .context import AffineContext, Precision
+from .form import _prod_err, _sum_err
+from .linearize import linearize_exp, linearize_inv, linearize_log, linearize_sqrt
+from .policies import FusionPolicy
+
+__all__ = ["VecAffine"]
+
+_EMPTY: frozenset = frozenset()
+
+
+def _protect_array(protect) -> np.ndarray:
+    """A sorted id array for fast membership tests (np.isin is too slow
+    for per-op use on length-k arrays)."""
+    return np.sort(np.fromiter(protect, dtype=np.int64, count=len(protect)))
+
+
+def _member(ids: np.ndarray, parr: np.ndarray) -> np.ndarray:
+    """Elementwise membership of ids in the sorted array parr."""
+    if parr.size == 0:
+        return np.zeros(ids.shape, dtype=bool)
+    idx = np.searchsorted(parr, ids)
+    np.minimum(idx, parr.size - 1, out=idx)
+    return parr[idx] == ids
+
+
+def _sum_bound_ru(values: np.ndarray) -> float:
+    """Sound upper bound on the exact sum of nonnegative lane values."""
+    s = float(np.sum(values))
+    if s == 0.0:
+        return 0.0
+    if not math.isfinite(s):
+        return math.inf
+    n = values.size
+    return mul_ru(s, 1.0 + 4.0 * (n + 2) * EPS)
+
+
+class VecAffine:
+    """Bounded affine form over numpy arrays (direct-mapped placement only).
+
+    Mirrors the :class:`repro.aa.form.AffineForm` interface; created through
+    an :class:`AffineContext` with ``vectorized=True``.
+    """
+
+    __slots__ = ("ctx", "central", "ids", "coeffs", "_pcache", "_gcache")
+
+    def __init__(self, ctx: AffineContext, central: float,
+                 ids: np.ndarray, coeffs: np.ndarray) -> None:
+        self.ctx = ctx
+        self.central = central
+        self.ids = ids
+        self.coeffs = coeffs
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_exact(cls, ctx: AffineContext, value: float) -> "VecAffine":
+        if ctx.precision is Precision.DD:
+            raise SoundnessError("vectorized kernels support f64a only")
+        return cls(ctx, float(value),
+                   np.zeros(ctx.k, dtype=np.int64),
+                   np.zeros(ctx.k, dtype=np.float64))
+
+    @classmethod
+    def from_center_and_symbol(
+        cls, ctx: AffineContext, value: float, magnitude: float,
+        provenance: Optional[str] = None,
+    ) -> "VecAffine":
+        out = cls.from_exact(ctx, value)
+        if magnitude != 0.0:
+            out._place_fresh_symbol(abs(magnitude), provenance, _EMPTY)
+        return out
+
+    # -- views ---------------------------------------------------------------
+
+    def symbol_ids(self) -> List[int]:
+        return [int(i) for i in self.ids if i != 0]
+
+    def coefficients(self):
+        return {int(i): float(c) for i, c in zip(self.ids, self.coeffs) if i != 0}
+
+    def n_symbols(self) -> int:
+        return int(np.count_nonzero(self.ids))
+
+    def central_float(self) -> float:
+        return self.central
+
+    def is_valid(self) -> bool:
+        return not (math.isnan(self.central) or bool(np.isnan(self.coeffs).any()))
+
+    def radius_ru(self) -> float:
+        return _sum_bound_ru(np.abs(self.coeffs))
+
+    def interval(self) -> Interval:
+        if not self.is_valid():
+            return Interval.invalid()
+        r = self.radius_ru()
+        lo, hi = sub_rd(self.central, r), add_ru(self.central, r)
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.invalid()
+        return Interval(lo, hi)
+
+    def contains(self, x) -> bool:
+        return self.interval().contains(x)
+
+    def __repr__(self) -> str:
+        return f"VecAffine({self.central:.17g}; {self.n_symbols()} symbols)"
+
+    # -- fresh symbol placement ------------------------------------------------
+
+    def _place_fresh_symbol(
+        self, coeff: float, provenance: Optional[str], protect: AbstractSet[int]
+    ) -> None:
+        if coeff == 0.0:
+            return
+        ctx = self.ctx
+        slot = self._pick_victim_slot(protect)
+        sid = ctx.symbols.fresh_at(slot, ctx.k, provenance)
+        if self.ids[slot] != 0:
+            coeff = add_ru(coeff, abs(float(self.coeffs[slot])))
+            ctx.stats.n_fused_symbols += 1
+        self.ids[slot] = sid
+        self.coeffs[slot] = coeff
+
+    def _pick_victim_slot(self, protect: AbstractSet[int]) -> int:
+        """Vectorized victim-slot selection (see form._pick_victim_slot)."""
+        ids, coeffs = self.ids, self.coeffs
+        empty = np.flatnonzero(ids == 0)
+        if empty.size:
+            # Cyclic preference from the next sequential id's slot, so
+            # fresh symbols of independent variables spread over slots.
+            start = self.ctx.symbols.peek_next % self.ctx.k
+            at_or_after = empty[empty >= start]
+            return int(at_or_after[0]) if at_or_after.size else int(empty[0])
+        if protect:
+            parr = _protect_array(protect)
+            allowed = np.flatnonzero(~_member(ids, parr))
+            if allowed.size == 0:
+                allowed = np.arange(ids.size)
+        else:
+            allowed = np.arange(ids.size)
+        fusion = self.ctx.fusion
+        if fusion is FusionPolicy.RANDOM:
+            return int(allowed[int(self.ctx.nprng.integers(allowed.size))])
+        if fusion is FusionPolicy.OLDEST:
+            return int(allowed[int(np.argmin(ids[allowed]))])
+        return int(allowed[int(np.argmin(np.abs(coeffs[allowed])))])
+
+    # -- conflict resolution (vectorized) ---------------------------------------
+
+    def _conflict_winner_mask(
+        self, ids_a: np.ndarray, va: np.ndarray, ids_b: np.ndarray,
+        vb: np.ndarray, conflict: np.ndarray, protect: AbstractSet[int],
+    ) -> np.ndarray:
+        """Boolean mask: True where operand *a*'s symbol wins its slot."""
+        fusion = self.ctx.fusion
+        if fusion is FusionPolicy.OLDEST:
+            a_wins = ids_a > ids_b
+        elif fusion is FusionPolicy.RANDOM:
+            a_wins = self.ctx.nprng.random(ids_a.size) < 0.5
+        else:  # SMALLEST / MEAN: larger magnitude survives
+            a_wins = np.abs(va) > np.abs(vb)
+            ties = np.abs(va) == np.abs(vb)
+            a_wins = np.where(ties, ids_a > ids_b, a_wins)
+        if protect:
+            parr = _protect_array(protect)
+            pa = _member(ids_a, parr)
+            pb = _member(ids_b, parr)
+            a_wins = np.where(pa & ~pb, True, a_wins)
+            a_wins = np.where(pb & ~pa, False, a_wins)
+        return a_wins & conflict
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def _linear_combine(self, other: "VecAffine", negate_other: bool,
+                        protect: AbstractSet[int],
+                        provenance: Optional[str]) -> "VecAffine":
+        ctx = self.ctx
+        central, cerr = _sum_err(self.central,
+                                 -other.central if negate_other else other.central)
+        x = cerr
+
+        ca = self.coeffs
+        cb = -other.coeffs if negate_other else other.coeffs
+        ids_a, ids_b = self.ids, other.ids
+
+        _old_err = np.seterr(over="ignore", invalid="ignore", under="ignore")
+        eq = ids_a == ids_b
+        both = eq & (ids_a != 0)
+        conflict = ~eq & (ids_a != 0) & (ids_b != 0)
+
+        # For every non-conflict slot the result is simply the lane sum
+        # (empty lanes hold 0 coefficients) and the surviving id is the
+        # larger of the two (one of them is 0 unless shared).
+        summed = ca + cb
+        out_ids = np.maximum(ids_a, ids_b)
+        out_coeffs = summed
+        # Lane rounding errors on shared-symbol adds (addition is exact in
+        # the subnormal range, so u|result| alone is a valid bound).
+        x = add_ru(x, mul_ru(EPS, _sum_bound_ru(np.abs(summed * both))))
+
+        n_conf = int(np.count_nonzero(conflict))
+        if n_conf:
+            ctx.stats.n_conflicts += n_conf
+            ctx.stats.n_fused_symbols += n_conf
+            a_wins = self._conflict_winner_mask(ids_a, ca, ids_b, cb,
+                                                conflict, protect)
+            b_wins = conflict & ~a_wins
+            out_ids = np.where(a_wins, ids_a, np.where(b_wins, ids_b, out_ids))
+            out_coeffs = np.where(a_wins, ca, np.where(b_wins, cb, out_coeffs))
+            lost = np.where(a_wins, np.abs(cb), np.where(b_wins, np.abs(ca), 0.0))
+            x = add_ru(x, _sum_bound_ru(lost))
+
+        np.seterr(**_old_err)
+        out = VecAffine(ctx, central, out_ids, out_coeffs)
+        out._place_fresh_symbol(x, provenance, protect)
+        ctx.stats.n_add += 1
+        m_shared = int(np.count_nonzero(both))
+        ctx.stats.flops += 3 * ctx.k + 2 * m_shared + 3
+        return out
+
+    def add(self, other, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "VecAffine":
+        return self._linear_combine(self._coerce(other), False, protect, provenance)
+
+    def sub(self, other, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "VecAffine":
+        return self._linear_combine(self._coerce(other), True, protect, provenance)
+
+    def mul(self, other, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "VecAffine":
+        other = self._coerce(other)
+        ctx = self.ctx
+        a0, b0 = self.central, other.central
+        central, cerr = _prod_err(a0, b0)
+        x = cerr
+
+        ca, cb = self.coeffs, other.coeffs
+        ids_a, ids_b = self.ids, other.ids
+
+        _old_err = np.seterr(over="ignore", invalid="ignore", under="ignore")
+        abs_ca = np.abs(ca)
+        abs_cb = np.abs(cb)
+        ra = _sum_bound_ru(abs_ca)
+        rb = _sum_bound_ru(abs_cb)
+        if ra != 0.0 and rb != 0.0:
+            x = add_ru(x, mul_ru(ra, rb))
+
+        conflict = (ids_a != ids_b) & (ids_a != 0) & (ids_b != 0)
+
+        pa = b0 * ca  # contribution of self's coefficients
+        pb = a0 * cb  # contribution of other's coefficients
+        # Non-conflict slots: `combined` is correct for shared, exclusive
+        # and empty lanes alike (the missing side contributes exactly 0).
+        combined = pa + pb
+        out_ids = np.maximum(ids_a, ids_b)
+        out_coeffs = combined
+        # Lane error model: u(|pa| + |pb| + |combined|) + 2η per lane
+        # (inactive lanes contribute 0 to the magnitude sum; the η term is
+        # charged for all k lanes, a sound overcount).
+        mag = _sum_bound_ru(np.abs(pa) + np.abs(pb) + np.abs(combined))
+        x = add_ru(x, add_ru(mul_ru(EPS, mag), 2.0 * ETA * self.ctx.k))
+
+        n_conf = int(np.count_nonzero(conflict))
+        if n_conf:
+            ctx.stats.n_conflicts += n_conf
+            ctx.stats.n_fused_symbols += n_conf
+            a_wins = self._conflict_winner_mask(ids_a, pa, ids_b, pb,
+                                                conflict, protect)
+            b_wins = conflict & ~a_wins
+            out_ids = np.where(a_wins, ids_a, np.where(b_wins, ids_b, out_ids))
+            out_coeffs = np.where(a_wins, pa, np.where(b_wins, pb, out_coeffs))
+            lost = np.where(a_wins, np.abs(pb), np.where(b_wins, np.abs(pa), 0.0))
+            x = add_ru(x, _sum_bound_ru(lost))
+
+        np.seterr(**_old_err)
+        out = VecAffine(ctx, central, out_ids, out_coeffs)
+        out._place_fresh_symbol(x, provenance, protect)
+        ctx.stats.n_mul += 1
+        m_shared = int(np.count_nonzero((ids_a == ids_b) & (ids_a != 0)))
+        ctx.stats.flops += 13 * ctx.k + 2 * m_shared + 3
+        return out
+
+    def _unary_linear(self, alpha: float, zeta: float, delta: float,
+                      protect: AbstractSet[int],
+                      provenance: Optional[str]) -> "VecAffine":
+        x = abs(delta)
+        scaled, e = _prod_err(alpha, self.central)
+        x = add_ru(x, e)
+        central, e2 = _sum_err(scaled, zeta)
+        x = add_ru(x, e2)
+        with np.errstate(over="ignore", invalid="ignore", under="ignore"):
+            coeffs = alpha * self.coeffs
+            active = self.ids != 0
+            lane_err = np.where(active, EPS * np.abs(coeffs) + ETA, 0.0)
+            x = add_ru(x, _sum_bound_ru(lane_err))
+        out = VecAffine(self.ctx, central, self.ids.copy(), coeffs)
+        out._place_fresh_symbol(x, provenance, protect)
+        return out
+
+    def div(self, other, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "VecAffine":
+        other = self._coerce(other)
+        ctx = self.ctx
+        ctx.stats.n_div += 1
+        iv = other.interval()
+        if not iv.is_valid() or (iv.lo <= 0.0 <= iv.hi):
+            return self._invalid_result()
+        if iv.is_point() and other.n_symbols() == 0:
+            b = iv.lo
+            x = sub_ru(div_ru(self.central, b), div_rd(self.central, b))
+            central = self.central / b
+            coeffs = self.coeffs / b
+            active = self.ids != 0
+            lane_err = np.where(active, EPS * np.abs(coeffs) + ETA, 0.0)
+            x = add_ru(x, _sum_bound_ru(lane_err))
+            out = VecAffine(ctx, central, self.ids.copy(), coeffs)
+            out._place_fresh_symbol(x, provenance, protect)
+            return out
+        alpha, zeta, delta = linearize_inv(iv.lo, iv.hi)
+        inv = other._unary_linear(alpha, zeta, delta, protect,
+                                  provenance and provenance + ":inv")
+        return self.mul(inv, protect, provenance)
+
+    def sqrt(self, protect: AbstractSet[int] = _EMPTY,
+             provenance: Optional[str] = None) -> "VecAffine":
+        self.ctx.stats.n_sqrt += 1
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi < 0.0:
+            return self._invalid_result()
+        alpha, zeta, delta = linearize_sqrt(max(iv.lo, 0.0), iv.hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def exp(self, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "VecAffine":
+        iv = self.interval()
+        if not iv.is_valid() or iv.hi > 709.0:
+            return self._invalid_result()
+        alpha, zeta, delta = linearize_exp(iv.lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def log(self, protect: AbstractSet[int] = _EMPTY,
+            provenance: Optional[str] = None) -> "VecAffine":
+        iv = self.interval()
+        if not iv.is_valid() or iv.lo <= 0.0:
+            return self._invalid_result()
+        alpha, zeta, delta = linearize_log(iv.lo, iv.hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def neg(self) -> "VecAffine":
+        return VecAffine(self.ctx, -self.central, self.ids.copy(), -self.coeffs)
+
+    def abs_(self, protect: AbstractSet[int] = _EMPTY) -> "VecAffine":
+        iv = self.interval()
+        if not iv.is_valid():
+            return self._invalid_result()
+        if iv.lo >= 0.0:
+            return self
+        if iv.hi <= 0.0:
+            return self.neg()
+        hi = max(-iv.lo, iv.hi)
+        return VecAffine.from_center_and_symbol(
+            self.ctx, hi / 2.0, add_ru(hi / 2.0, math.ulp(hi)), "abs"
+        )
+
+    def min_with(self, other) -> "VecAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if not (a.is_valid() and b.is_valid()):
+            return self._invalid_result()
+        if a.hi <= b.lo:
+            return self
+        if b.hi <= a.lo:
+            return other
+        m = a.min_with(b)
+        return VecAffine.from_center_and_symbol(
+            self.ctx, m.midpoint(), add_ru(m.radius_ru(), math.ulp(m.midpoint())),
+            "min",
+        )
+
+    def max_with(self, other) -> "VecAffine":
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        if not (a.is_valid() and b.is_valid()):
+            return self._invalid_result()
+        if a.lo >= b.hi:
+            return self
+        if b.lo >= a.hi:
+            return other
+        m = a.max_with(b)
+        return VecAffine.from_center_and_symbol(
+            self.ctx, m.midpoint(), add_ru(m.radius_ru(), math.ulp(m.midpoint())),
+            "max",
+        )
+
+    def _invalid_result(self) -> "VecAffine":
+        return VecAffine(self.ctx, math.nan,
+                         np.zeros(self.ctx.k, dtype=np.int64),
+                         np.zeros(self.ctx.k, dtype=np.float64))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def compare_lt(self, other) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi < b.lo:
+            definite = True
+        elif a.lo >= b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central < other.central,
+                                 self.ctx.decision_policy, "<", self.ctx.stats)
+
+    def compare_le(self, other) -> bool:
+        other = self._coerce(other)
+        a, b = self.interval(), other.interval()
+        definite: Optional[bool]
+        if not (a.is_valid() and b.is_valid()):
+            definite = None
+        elif a.hi <= b.lo:
+            definite = True
+        elif a.lo > b.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, self.central <= other.central,
+                                 self.ctx.decision_policy, "<=", self.ctx.stats)
+
+    # -- sugar ------------------------------------------------------------------
+
+    def _coerce(self, x) -> "VecAffine":
+        if isinstance(x, VecAffine):
+            if x.ctx is not self.ctx:
+                raise SoundnessError("mixing VecAffine from different contexts")
+            return x
+        if isinstance(x, (int, float)):
+            return VecAffine.from_exact(self.ctx, float(x))
+        raise TypeError(f"cannot coerce {type(x).__name__} to VecAffine")
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __radd__(self, other):
+        return self._coerce(other).add(self)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return self._coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __rmul__(self, other):
+        return self._coerce(other).mul(self)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()
+
+    def __lt__(self, other):
+        return self.compare_lt(other)
+
+    def __le__(self, other):
+        return self.compare_le(other)
+
+    def __gt__(self, other):
+        return self._coerce(other).compare_lt(self)
+
+    def __ge__(self, other):
+        return self._coerce(other).compare_le(self)

@@ -1,0 +1,29 @@
+"""Static analysis to prioritize symbols (Section VI).
+
+Pipeline: TAC AST → (optional unroll) → computation DAG → reuse candidates →
+max-reuse problem → ILP (or greedy) solution → per-operation pragmas.
+"""
+
+from .annotate import apply_pragmas, priority_pragmas
+from .dag import ComputationDag, DagNode, build_dag
+from .greedy import solve_greedy
+from .ilp import solve_ilp
+from .maxreuse import MaxReuseProblem, PriorityAssignment
+from .reuse import ReuseCandidate, find_reuse_candidates
+from .unroll import UNROLL_BUDGET_DEFAULT, unroll_for_analysis
+
+__all__ = [
+    "ComputationDag",
+    "DagNode",
+    "MaxReuseProblem",
+    "PriorityAssignment",
+    "ReuseCandidate",
+    "UNROLL_BUDGET_DEFAULT",
+    "apply_pragmas",
+    "build_dag",
+    "find_reuse_candidates",
+    "priority_pragmas",
+    "solve_greedy",
+    "solve_ilp",
+    "unroll_for_analysis",
+]

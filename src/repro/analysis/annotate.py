@@ -1,0 +1,133 @@
+"""From a priority assignment to per-operation pragmas (Section VI-C).
+
+The runtime cost of prioritization comes from gathering symbol ids, so (as
+in the paper) each operation prioritizes the symbols of *one* variable: for
+node ``v`` we look at the symbols prioritized there (``P_v``), pick the one
+with the highest reuse profit, and prioritize the variable of the node that
+generates it.  The result is a map ``stmt_id -> variable name`` which the
+driver applies to the TAC AST (equivalent to inserting
+``#pragma safegen prioritize(var)`` lines).
+
+When the analysis ran on an unrolled copy of the program, several DAG nodes
+share one ``stmt_id``; the variable chosen most often (ties: highest
+profit) wins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional
+
+from ..compiler import cast as A
+from .dag import ComputationDag
+from .maxreuse import PriorityAssignment
+
+__all__ = ["priority_pragmas", "apply_pragmas"]
+
+
+def priority_pragmas(dag: ComputationDag,
+                     assignment: PriorityAssignment,
+                     vote_threshold: float = 0.2) -> Dict[int, str]:
+    """Map each annotated ``stmt_id`` to the variable to prioritize.
+
+    Runtime gathering reads the *current* value of the chosen variable, so a
+    pragma is only meaningful when, at every execution of the annotated
+    statement, the variable still holds the value of the DAG source node.
+    Node creation order is execution order, so that is exactly: the source
+    ``s`` is the latest definition of its variable preceding the consuming
+    node.  Candidates violating this *freshness* condition cannot vote —
+    protecting them would gather unrelated (stale) symbols.
+
+    When the same statement is executed by many unrolled copies, one
+    variable must win a ``vote_threshold`` fraction of *all* prioritization
+    requests on that statement; otherwise no single gather variable
+    represents the analysis' intent (e.g. array elements rotating through a
+    loop) and annotating would spend fusion capacity on noise.  Unanimous
+    single-variable patterns (henon's loop-carried ``x``) clear the
+    threshold easily; rotating-element patterns (fgm's matrix rows) do not
+    — see EXPERIMENTS.md.
+    """
+    import bisect
+
+    profits = dag.all_profits()
+
+    # Invert the definition-event stream: node -> [(var, event order)].
+    holders: Dict[int, list] = defaultdict(list)
+    for var, events in dag.def_events.items():
+        for order, nid in events:
+            if nid >= 0:
+                holders[nid].append((var, order))
+
+    def fresh_var_for(s: int, t: int) -> str | None:
+        """A variable that still holds node s's value when node t runs."""
+        t_order = dag.node_order[t]
+        best = None
+        for var, order in holders.get(s, ()):
+            if order >= t_order:
+                continue
+            events = dag.def_events[var]
+            # Last definition of `var` strictly before t must be this one.
+            idx = bisect.bisect_left(events, (t_order, -10)) - 1
+            if idx >= 0 and events[idx][1] == s:
+                # Prefer plain identifiers over element references.
+                if best is None or (best and "[" in best and "[" not in var):
+                    best = var
+        return best
+
+    votes: Dict[int, Counter] = defaultdict(Counter)
+    total: Counter = Counter()
+    best_profit: Dict[int, Dict[str, int]] = defaultdict(dict)
+    for cand in assignment.selected:
+        for v in cand.connection:
+            node = dag.nodes[v]
+            if node.kind != "op" or node.stmt_id is None:
+                continue
+            total[node.stmt_id] += 1
+            var = fresh_var_for(cand.s, v)
+            if var is not None:
+                votes[node.stmt_id][var] += 1
+                prev = best_profit[node.stmt_id].get(var, 0)
+                best_profit[node.stmt_id][var] = max(prev, profits[cand.s])
+
+    out: Dict[int, str] = {}
+    for stmt_id, counter in votes.items():
+        var = max(counter, key=lambda name: (counter[name],
+                                             best_profit[stmt_id][name], name))
+        if counter[var] < vote_threshold * total[stmt_id]:
+            continue
+        out[stmt_id] = var
+    return out
+
+
+def apply_pragmas(func: A.FuncDef, pragmas: Dict[int, str]) -> int:
+    """Set the ``prioritize`` field on the TAC statements named by
+    ``pragmas``; returns the number of statements annotated."""
+    count = 0
+
+    def visit(s) -> None:
+        nonlocal count
+        if isinstance(s, (A.Decl, A.ExprStmt)):
+            sid = getattr(s, "stmt_id", None)
+            if sid is not None and sid in pragmas:
+                var = pragmas[sid]
+                # A statement cannot prioritize the variable it defines
+                # (the symbols do not exist yet at gather time).
+                defines = s.name if isinstance(s, A.Decl) else (
+                    s.expr.target.name
+                    if isinstance(s.expr, A.Assign)
+                    and isinstance(s.expr.target, A.Ident) else None
+                )
+                if var != defines:
+                    s.prioritize = var
+                    count += 1
+        for f in getattr(s, "__dataclass_fields__", {}):
+            v = getattr(s, f)
+            if isinstance(v, A.Stmt):
+                visit(v)
+            elif isinstance(v, list):
+                for item in v:
+                    if isinstance(item, A.Stmt):
+                        visit(item)
+
+    visit(func.body)
+    return count

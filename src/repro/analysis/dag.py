@@ -1,0 +1,313 @@
+"""Computation-DAG construction from the TAC'd AST (Section VI-C).
+
+Each node is a floating-point operation (anchored to its TAC ``stmt_id``)
+or a source (an input parameter / the first read of an array).  Edges are
+data dependencies.  As in the paper:
+
+* loop-carried dependencies are dropped (the body is traversed once, so a
+  read before a redefinition sees the pre-loop definition);
+* optionally, counting loops with constant bounds can be fully unrolled
+  first (:mod:`repro.analysis.unroll`) to expose cross-iteration reuse.
+
+Array state is tracked per concrete element when the subscripts are
+compile-time constants (which they are after full unrolling) and collapses
+to whole-array granularity otherwise — a sound coarsening for an analysis
+whose output only ever *improves* accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import AnalysisError
+from ..compiler import cast as A
+from ..compiler.typecheck import MATH_FUNCS
+
+__all__ = ["DagNode", "ComputationDag", "build_dag"]
+
+
+@dataclass
+class DagNode:
+    id: int
+    kind: str  # 'input' | 'op'
+    var: str  # variable (or array) name holding the node's value
+    stmt_id: Optional[int] = None  # TAC anchor for op nodes
+    op: Optional[str] = None  # '+', '*', 'sqrt', ...
+    preds: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"DagNode({self.id}, {self.kind}:{self.var}, op={self.op})"
+
+
+class ComputationDag:
+    """A DAG of floating-point operations.
+
+    Besides the graph itself, the builder records the *definition event
+    stream*: every time a variable (or concrete array element) starts
+    holding a node's value — through an op, an input read, or a plain copy
+    — an event is appended.  The annotator uses it to pick, for each
+    prioritized symbol, a variable that still holds that symbol's value when
+    the protected operation runs (Section VI-C's runtime gathering).
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[DagNode] = []
+        self.succs: Dict[int, List[int]] = {}
+        # var/element key -> [(event order, node id)]; node id -1 = unknown
+        self.def_events: Dict[str, List[Tuple[int, int]]] = {}
+        # node id -> event order at creation
+        self.node_order: Dict[int, int] = {}
+        self._event = 0
+
+    def record_def(self, var: str, node_id: int) -> None:
+        """Record that ``var`` now holds the value of ``node_id``."""
+        self._event += 1
+        self.def_events.setdefault(var, []).append((self._event, node_id))
+
+    def record_node_creation(self, node_id: int) -> None:
+        self._event += 1
+        self.node_order[node_id] = self._event
+
+    def holders_of(self, node_id: int) -> List[Tuple[str, int]]:
+        """All (var, event order) pairs where var was bound to the node."""
+        out = []
+        for var, events in self.def_events.items():
+            for order, nid in events:
+                if nid == node_id:
+                    out.append((var, order))
+        return out
+
+    def add_node(self, kind: str, var: str, stmt_id: Optional[int] = None,
+                 op: Optional[str] = None,
+                 preds: Optional[List[int]] = None) -> int:
+        nid = len(self.nodes)
+        node = DagNode(id=nid, kind=kind, var=var, stmt_id=stmt_id, op=op,
+                       preds=list(preds or []))
+        self.nodes.append(node)
+        self.succs[nid] = []
+        for p in node.preds:
+            self.succs[p].append(nid)
+        self.record_node_creation(nid)
+        return nid
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def parents(self, nid: int) -> List[int]:
+        return self.nodes[nid].preds
+
+    def children(self, nid: int) -> List[int]:
+        return self.succs[nid]
+
+    def ancestors(self, nid: int) -> Set[int]:
+        """All strict ancestors of a node."""
+        seen: Set[int] = set()
+        stack = list(self.nodes[nid].preds)
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.nodes[cur].preds)
+        return seen
+
+    def profit(self, nid: int) -> int:
+        """Reuse profit rho(s): number of ancestors including s (Def. 3)."""
+        return len(self.ancestors(nid)) + 1
+
+    def all_profits(self) -> Dict[int, int]:
+        """Profits for all nodes in one topological sweep (set-union DP)."""
+        anc_sets: Dict[int, Set[int]] = {}
+        for node in self.nodes:  # nodes are created in topological order
+            s: Set[int] = set()
+            for p in node.preds:
+                s.add(p)
+                s |= anc_sets[p]
+            anc_sets[node.id] = s
+        return {nid: len(s) + 1 for nid, s in anc_sets.items()}
+
+    def topological_order(self) -> List[int]:
+        return list(range(len(self.nodes)))  # construction order is topo
+
+    def to_networkx(self):
+        """Export as a networkx.DiGraph (for inspection / plotting)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for n in self.nodes:
+            g.add_node(n.id, kind=n.kind, var=n.var, op=n.op,
+                       stmt_id=n.stmt_id)
+        for n in self.nodes:
+            for p in n.preds:
+                g.add_edge(p, n.id)
+        return g
+
+
+def build_dag(func: A.FuncDef) -> ComputationDag:
+    """Build the computation DAG for a (TAC-transformed) function."""
+    if func.body is None:
+        raise AnalysisError(f"function {func.name!r} has no body")
+    builder = _DagBuilder()
+    for p in func.params:
+        if isinstance(p.type, A.CType) and p.type.is_float():
+            node = builder.dag.add_node("input", p.name)
+            builder.env[p.name] = node
+            builder.dag.record_def(p.name, node)
+        elif isinstance(p.type, (A.ArrayType, A.PointerType)):
+            base = p.type.base_scalar() if isinstance(p.type, A.ArrayType) \
+                else _pointer_base(p.type)
+            if isinstance(base, A.CType) and base.is_float():
+                builder.array_default[p.name] = None  # lazily created inputs
+    builder.stmt(func.body)
+    return builder.dag
+
+
+def _pointer_base(t):
+    while isinstance(t, (A.PointerType, A.ArrayType)):
+        t = t.pointee if isinstance(t, A.PointerType) else t.elem
+    return t
+
+
+class _DagBuilder:
+    def __init__(self) -> None:
+        self.dag = ComputationDag()
+        # scalar / element key ('A' or 'A[1][2]') -> defining node id
+        self.env: Dict[str, int] = {}
+        # float arrays whose elements become fresh inputs on first read
+        self.array_default: Dict[str, Optional[int]] = {}
+
+    # -- keys -------------------------------------------------------------------
+
+    def _elem_key(self, e: A.Index) -> Tuple[str, Optional[str]]:
+        """(array name, element key or None when the index is symbolic)."""
+        idx_parts: List[Optional[str]] = []
+        cur: A.Expr = e
+        while isinstance(cur, A.Index):
+            if isinstance(cur.index, A.IntLit):
+                idx_parts.append(str(cur.index.value))
+            else:
+                idx_parts.append(None)
+            cur = cur.base
+        if not isinstance(cur, A.Ident):
+            return "?", None
+        name = cur.name
+        if any(p is None for p in idx_parts):
+            return name, None
+        return name, f"{name}[{']['.join(reversed(idx_parts))}]"
+
+    def _read_array(self, e: A.Index) -> Optional[int]:
+        name, key = self._elem_key(e)
+        if key is not None and key in self.env:
+            return self.env[key]
+        if name in self.env:  # whole-array definition dominates
+            return self.env[name]
+        if name in self.array_default:
+            # First read of an input array (element): create a source node.
+            node = self.dag.add_node("input", key or name)
+            if key is not None:
+                self.env[key] = node
+            else:
+                self.env[name] = node
+            self.dag.record_def(key or name, node)
+            return node
+        return None
+
+    def _write_array(self, e: A.Index, node: int) -> str:
+        name, key = self._elem_key(e)
+        if key is not None:
+            self.env[key] = node
+            self.dag.record_def(key, node)
+            return name
+        # Symbolic subscript: collapse to whole-array granularity; every
+        # element binding becomes unknown (kill events for the annotator).
+        stale = [k for k in self.env if k.startswith(name + "[")]
+        for k in stale:
+            del self.env[k]
+            self.dag.record_def(k, -1)
+        self.env[name] = node
+        self.dag.record_def(name, node)
+        return name
+
+    # -- expression -> node --------------------------------------------------------
+
+    def value_of(self, e: A.Expr) -> Optional[int]:
+        """Node producing the value of a *simple* (TAC) expression."""
+        if isinstance(e, A.Ident):
+            return self.env.get(e.name)
+        if isinstance(e, A.Index):
+            return self._read_array(e)
+        if isinstance(e, A.Cast):
+            return self.value_of(e.expr)
+        return None  # literals / integer expressions carry no symbols
+
+    def op_node(self, e: A.Expr, var: str, stmt_id: Optional[int]) -> Optional[int]:
+        """Create an op node for a TAC operation expression."""
+        if isinstance(e, A.BinOp) and e.op in ("+", "-", "*", "/"):
+            preds = [self.value_of(e.lhs), self.value_of(e.rhs)]
+            preds = [p for p in preds if p is not None]
+            return self.dag.add_node("op", var, stmt_id, e.op, preds)
+        if isinstance(e, A.UnOp) and e.op == "-":
+            p = self.value_of(e.operand)
+            return self.dag.add_node("op", var, stmt_id, "neg",
+                                     [p] if p is not None else [])
+        if isinstance(e, A.Call) and e.name in MATH_FUNCS:
+            preds = [self.value_of(a) for a in e.args]
+            preds = [p for p in preds if p is not None]
+            return self.dag.add_node("op", var, stmt_id, e.name, preds)
+        return None
+
+    # -- statements -------------------------------------------------------------------
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Compound):
+            for sub in s.stmts:
+                self.stmt(sub)
+        elif isinstance(s, A.Decl):
+            if isinstance(s.type, A.CType) and s.type.is_float() \
+                    and s.init is not None:
+                node = self.op_node(s.init, s.name, s.stmt_id)
+                if node is None:
+                    node = self.value_of(s.init)
+                if node is not None:
+                    self.env[s.name] = node
+                    self.dag.record_def(s.name, node)
+            elif isinstance(s.type, A.ArrayType):
+                base = s.type.base_scalar()
+                if isinstance(base, A.CType) and base.is_float():
+                    # Local array of exact zeros: no symbols until written.
+                    pass
+        elif isinstance(s, A.ExprStmt):
+            e = s.expr
+            if isinstance(e, A.Assign) and e.op == "=":
+                is_float = isinstance(e.target.ty, A.CType) and \
+                    e.target.ty.is_float()
+                if not is_float:
+                    return
+                var = e.target.name if isinstance(e.target, A.Ident) else \
+                    self._elem_key(e.target)[0] if isinstance(e.target, A.Index) \
+                    else "?"
+                node = self.op_node(e.value, var, s.stmt_id)
+                if node is None:
+                    node = self.value_of(e.value)
+                if node is None:
+                    return
+                if isinstance(e.target, A.Ident):
+                    self.env[e.target.name] = node
+                    self.dag.record_def(e.target.name, node)
+                elif isinstance(e.target, A.Index):
+                    self._write_array(e.target, node)
+        elif isinstance(s, A.If):
+            # Both branches are traversed; later definitions win (the
+            # benchmarks have no float-producing branches — see DESIGN.md).
+            self.stmt(s.then)
+            if s.els is not None:
+                self.stmt(s.els)
+        elif isinstance(s, A.For):
+            if s.init is not None:
+                self.stmt(s.init)
+            self.stmt(s.body)  # single traversal: loop-carried deps dropped
+        elif isinstance(s, (A.While, A.DoWhile)):
+            self.stmt(s.body)
+        # Return / Break / Continue / Pragma: nothing to record.

@@ -1,0 +1,123 @@
+"""ILP solution of the max-reuse problem (Section VI-B).
+
+The paper solves the 0/1 program
+
+    maximize    Σ_s ρ(s) · Σ_t q_{s,t}
+    subject to  Σ_s p_{s,v} <= k-1          for all v        (capacity)
+                p_s covers the reuse connections selected by q_s
+
+with Gurobi.  We linearize the covering constraint in the standard way —
+``q_{s,t} <= p_{s,v}`` for every node ``v`` in the reuse connection of
+``(s,t)`` — and solve with scipy's HiGHS MILP (the Gurobi substitution noted
+in DESIGN.md).  The formulations are equivalent: any (p, q) feasible here
+selects exactly the reuses whose connections are fully prioritized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .maxreuse import MaxReuseProblem, PriorityAssignment
+
+__all__ = ["solve_ilp"]
+
+
+def solve_ilp(problem: MaxReuseProblem, time_limit: float = 30.0
+              ) -> PriorityAssignment:
+    """Solve the instance exactly; returns an (optimal) assignment.
+
+    An instance with no candidates yields the empty assignment (this is the
+    paper's "no feasible prioritization" outcome on luf).
+    """
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    cands = problem.candidates
+    if not cands or (problem.k < 2 and not problem.capacities):
+        return PriorityAssignment()
+
+    # Variable layout: first the q variables (one per candidate), then the
+    # p_{s,v} variables for every (s, v) that appears in some connection.
+    pv_index: Dict[Tuple[int, int], int] = {}
+    for c in cands:
+        for v in c.connection:
+            pv_index.setdefault((c.s, v), 0)
+    for i, key in enumerate(sorted(pv_index)):
+        pv_index[key] = len(cands) + i
+    n_vars = len(cands) + len(pv_index)
+
+    # Objective: maximize profit·q  ->  minimize -profit·q.
+    c_vec = np.zeros(n_vars)
+    for i, cand in enumerate(cands):
+        c_vec[i] = -float(cand.profit)
+
+    # Sparse constraint assembly (dense matrices explode on unrolled DAGs).
+    from scipy.sparse import csr_matrix
+
+    data: List[float] = []
+    row_idx: List[int] = []
+    col_idx: List[int] = []
+    ubs: List[float] = []
+    n_rows = 0
+
+    # Covering: q_{s,t} - p_{s,v} <= 0.
+    for i, cand in enumerate(cands):
+        for v in cand.connection:
+            row_idx.extend((n_rows, n_rows))
+            col_idx.extend((i, pv_index[(cand.s, v)]))
+            data.extend((1.0, -1.0))
+            ubs.append(0.0)
+            n_rows += 1
+
+    # At most one selected connection per (s, t) pair (the multi-connection
+    # extension offers alternatives; the profit must be counted once).
+    by_pair: Dict[Tuple[int, int], List[int]] = {}
+    for i, cand in enumerate(cands):
+        by_pair.setdefault((cand.s, cand.t), []).append(i)
+    for idxs in by_pair.values():
+        if len(idxs) < 2:
+            continue
+        for idx in idxs:
+            row_idx.append(n_rows)
+            col_idx.append(idx)
+            data.append(1.0)
+        ubs.append(1.0)
+        n_rows += 1
+
+    # Capacity: Σ_s p_{s,v} <= k-1 per node v.
+    by_node: Dict[int, List[int]] = {}
+    for (s, v), idx in pv_index.items():
+        by_node.setdefault(v, []).append(idx)
+    for v, idxs in sorted(by_node.items()):
+        for idx in idxs:
+            row_idx.append(n_rows)
+            col_idx.append(idx)
+            data.append(1.0)
+        ubs.append(float(problem.capacity_of(v)))
+        n_rows += 1
+
+    matrix = csr_matrix((data, (row_idx, col_idx)), shape=(n_rows, n_vars))
+    lbs = np.full(n_rows, -np.inf)
+    constraints = LinearConstraint(matrix, lbs, np.asarray(ubs))
+    res = milp(
+        c=c_vec,
+        constraints=constraints,
+        integrality=np.ones(n_vars),
+        bounds=Bounds(0.0, 1.0),
+        options={"time_limit": time_limit},
+    )
+    if res.x is None:
+        raise AnalysisError(f"MILP solver failed: {res.message}")
+
+    x = np.round(res.x).astype(int)
+    assignment = PriorityAssignment()
+    for i, cand in enumerate(cands):
+        if x[i] == 1:
+            assignment.selected.append(cand)
+            assignment.pi.setdefault(cand.s, set()).update(cand.connection)
+    # p variables may be set without profit; only connections of selected
+    # reuses matter for the runtime (anything else wastes capacity).
+    problem.verify(assignment)
+    return assignment

@@ -1,0 +1,91 @@
+"""The max-reuse problem: priority assignments, feasibility, total profit
+(Section VI-A, Defs. 2-4 and eq. (9))."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .dag import ComputationDag
+from .reuse import ReuseCandidate
+
+__all__ = ["PriorityAssignment", "MaxReuseProblem"]
+
+
+@dataclass
+class PriorityAssignment:
+    """A priority assignment π (Def. 2) plus the selected reuses Q_π.
+
+    ``pi[s]`` is the set of nodes where symbol ``ε_s`` is prioritized;
+    ``selected`` is the set of (s, t) pairs whose reuse connection is fully
+    covered (eq. (8)).
+    """
+
+    pi: Dict[int, Set[int]] = field(default_factory=dict)
+    selected: List[ReuseCandidate] = field(default_factory=list)
+
+    @property
+    def total_profit(self) -> int:
+        """ρ_tot(π), eq. (7)."""
+        return sum(c.profit for c in self.selected)
+
+    def load(self) -> Dict[int, int]:
+        """Per-node priority load |P_v| (eq. (9) left-hand side)."""
+        out: Dict[int, int] = defaultdict(int)
+        for s, nodes in self.pi.items():
+            for v in nodes:
+                out[v] += 1
+        return dict(out)
+
+    def is_feasible(self, k: int) -> bool:
+        """eq. (9): every node prioritizes at most k-1 symbols."""
+        return all(v <= k - 1 for v in self.load().values())
+
+    def is_empty(self) -> bool:
+        return not self.selected
+
+    def prioritized_sources_at(self, v: int) -> List[int]:
+        """P_v: the symbols prioritized at node v."""
+        return [s for s, nodes in self.pi.items() if v in nodes]
+
+
+@dataclass
+class MaxReuseProblem:
+    """Problem instance: a DAG, candidate reuses, and the capacity k.
+
+    ``capacities`` optionally overrides the uniform ``k - 1`` priority
+    budget per node — the first extension the paper's Section VI-B lists
+    ("assigning to each node a different capacity of symbols").
+    """
+
+    dag: ComputationDag
+    candidates: List[ReuseCandidate]
+    k: int
+    capacities: Dict[int, int] = field(default_factory=dict)
+
+    def capacity_of(self, node: int) -> int:
+        """Priority budget of a node (|P_v| bound, eq. (9))."""
+        return self.capacities.get(node, self.k - 1)
+
+    def verify(self, assignment: PriorityAssignment) -> None:
+        """Sanity-check an assignment against this instance; raises on
+        violations (used by tests and after solver runs)."""
+        for v, load in assignment.load().items():
+            if load > self.capacity_of(v):
+                raise ValueError(
+                    f"assignment violates the capacity constraint at {v}"
+                )
+        cand_index: Dict[Tuple[int, int], List[ReuseCandidate]] = {}
+        for c in self.candidates:
+            cand_index.setdefault((c.s, c.t), []).append(c)
+        for c in assignment.selected:
+            refs = cand_index.get((c.s, c.t))
+            if not refs:
+                raise ValueError(f"selected reuse {(c.s, c.t)} is not a candidate")
+            if not any(ref.connection <= assignment.pi.get(c.s, set())
+                       for ref in refs):
+                raise ValueError(
+                    f"reuse {(c.s, c.t)} selected but its connection is not "
+                    "covered by pi"
+                )

@@ -1,0 +1,154 @@
+"""Reuse connections and the max-reuse problem data model (Section VI-A).
+
+Definitions (paper):
+
+* **Reuse connection** (Def. 1): node ``s`` is *reused* at node ``t`` when
+  two paths lead from ``s`` to two distinct parents of ``t``; the connection
+  is the union of the two paths minus ``{s}`` — the nodes in which ``ε_s``
+  must be prioritized for the cancellation at ``t`` to be possible.
+* **Reuse profit** (Def. 3): ``ρ(s)`` = number of ancestors of ``s``
+  including ``s`` — high-profit symbols sit atop deep subcomputations and
+  carry correspondingly large accumulated coefficients.
+
+We enumerate one (shortest) reuse connection per ``(s, t)`` pair, matching
+the paper's base ILP formulation (the multi-connection variant is listed as
+an extension there).  Candidate sources are restricted to nodes with
+out-degree >= 2 — a node with a single consumer can only reach two parents
+through that consumer, and then the consumer itself is the better (cheaper,
+same cancellation) candidate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .dag import ComputationDag
+
+__all__ = ["ReuseCandidate", "find_reuse_candidates"]
+
+
+@dataclass(frozen=True)
+class ReuseCandidate:
+    """One column of the paper's R_s matrix: a reuse of ``s`` at ``t``
+    through the given connection."""
+
+    s: int
+    t: int
+    connection: FrozenSet[int]
+    profit: int
+
+    def __repr__(self) -> str:
+        return (f"ReuseCandidate(s={self.s}, t={self.t}, "
+                f"conn={sorted(self.connection)}, profit={self.profit})")
+
+
+def _bfs_tree(dag: ComputationDag, source: int) -> Dict[int, Optional[int]]:
+    """Shortest-path tree (by edge count) from ``source`` along forward
+    edges; maps reachable node -> its BFS predecessor."""
+    parent: Dict[int, Optional[int]] = {source: None}
+    q = deque([source])
+    while q:
+        cur = q.popleft()
+        for nxt in dag.children(cur):
+            if nxt not in parent:
+                parent[nxt] = cur
+                q.append(nxt)
+    return parent
+
+
+def _path_from(parent: Dict[int, Optional[int]], target: int) -> List[int]:
+    """Path source..target (inclusive) using the BFS tree."""
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def _enumerate_paths(dag: ComputationDag, s: int, t: int,
+                     limit: int, max_len: int = 64) -> List[List[int]]:
+    """Up to ``limit`` simple paths s -> t (DFS; used by the
+    multi-connection extension)."""
+    out: List[List[int]] = []
+    path = [s]
+
+    def dfs(cur: int) -> None:
+        if len(out) >= limit or len(path) > max_len:
+            return
+        if cur == t:
+            out.append(list(path))
+            return
+        for nxt in dag.children(cur):
+            if nxt <= t:  # node ids are topological: no point going past t
+                path.append(nxt)
+                dfs(nxt)
+                path.pop()
+            if len(out) >= limit:
+                return
+
+    dfs(s)
+    return out
+
+
+def find_reuse_candidates(dag: ComputationDag,
+                          max_candidates: int = 20000,
+                          connections_per_pair: int = 1,
+                          ) -> List[ReuseCandidate]:
+    """Reuse candidates: (s, t) pairs with reuse connections.
+
+    Only ``t`` nodes whose two parents are distinct can host a reuse, and
+    only branching sources (out-degree >= 2) are considered (see module
+    docstring).  By default one shortest connection per pair is produced
+    (the paper's base formulation); ``connections_per_pair > 1`` enables
+    the multi-connection extension of Section VI-B — the ILP then chooses
+    among alternative connections per pair.  Candidates are returned in
+    deterministic order.
+    """
+    profits = dag.all_profits()
+    sources = [n.id for n in dag.nodes if len(dag.children(n.id)) >= 2]
+    # Targets: op nodes with two distinct parents.
+    targets: List[Tuple[int, int, int]] = []
+    for n in dag.nodes:
+        if n.kind != "op":
+            continue
+        distinct = sorted(set(n.preds))
+        if len(distinct) >= 2:
+            # Binary ops have exactly two; take every parent pair.
+            for i in range(len(distinct)):
+                for j in range(i + 1, len(distinct)):
+                    targets.append((n.id, distinct[i], distinct[j]))
+
+    out: List[ReuseCandidate] = []
+    for s in sources:
+        tree = _bfs_tree(dag, s)
+        for (t, u, v) in targets:
+            if u not in tree or v not in tree:
+                continue
+            if s == t:
+                continue
+            if connections_per_pair <= 1:
+                path_u = _path_from(tree, u)
+                path_v = _path_from(tree, v)
+                conns = [frozenset((set(path_u) | set(path_v)) - {s})]
+            else:
+                paths_u = _enumerate_paths(dag, s, u, connections_per_pair)
+                paths_v = _enumerate_paths(dag, s, v, connections_per_pair)
+                seen = set()
+                conns = []
+                for pu in paths_u:
+                    for pv in paths_v:
+                        conn = frozenset((set(pu) | set(pv)) - {s})
+                        if conn not in seen:
+                            seen.add(conn)
+                            conns.append(conn)
+                conns.sort(key=lambda c: (len(c), sorted(c)))
+                conns = conns[:connections_per_pair]
+            for conn in conns:
+                out.append(ReuseCandidate(
+                    s=s, t=t, connection=conn, profit=profits[s]
+                ))
+                if len(out) >= max_candidates:
+                    return out
+    return out

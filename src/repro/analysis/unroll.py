@@ -1,0 +1,241 @@
+"""Full unrolling of constant-trip-count loops (analysis preprocessing).
+
+The DAG analysis drops loop-carried dependencies; unrolling a counting loop
+with known bounds before building the DAG re-exposes the cross-iteration
+reuse (e.g. the Henon map reusing ``x`` across iterations).  The unrolled
+AST is used *only* for the analysis — code generation still sees the rolled
+program — so the node-to-source mapping goes through ``stmt_id``, which the
+unroller preserves (many unrolled nodes share one ``stmt_id``).
+
+Unrolling substitutes the loop variable as an ``IntLit`` everywhere, which
+also makes array subscripts constant and lets the DAG builder track array
+state per element.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+from ..compiler import cast as A
+
+__all__ = ["unroll_for_analysis", "UNROLL_BUDGET_DEFAULT"]
+
+UNROLL_BUDGET_DEFAULT = 4000
+
+
+def unroll_for_analysis(func: A.FuncDef,
+                        budget: int = UNROLL_BUDGET_DEFAULT,
+                        int_params: Optional[Dict[str, int]] = None,
+                        ) -> A.FuncDef:
+    """Return a deep copy of ``func`` with constant counting loops unrolled.
+
+    ``budget`` caps the total number of statements produced; a loop whose
+    expansion would exceed it is left rolled (the analysis then just sees a
+    single iteration).  ``int_params`` supplies concrete values for integer
+    parameters (e.g. an iteration-count argument) so their loops can unroll.
+    """
+    clone = copy.deepcopy(func)
+    u = _Unroller(budget, dict(int_params or {}))
+    clone.body = A.Compound(loc=clone.body.loc, stmts=u.block(clone.body.stmts))
+    return clone
+
+
+class _Unroller:
+    def __init__(self, budget: int, bindings: Dict[str, int]) -> None:
+        self.budget = budget
+        self.emitted = 0
+        self.bindings = bindings  # known integer values (loop vars, params)
+
+    # -- integer evaluation --------------------------------------------------------
+
+    def int_value(self, e: Optional[A.Expr]) -> Optional[int]:
+        if e is None:
+            return None
+        if isinstance(e, A.IntLit):
+            return e.value
+        if isinstance(e, A.Ident):
+            return self.bindings.get(e.name)
+        if isinstance(e, A.BinOp):
+            l, r = self.int_value(e.lhs), self.int_value(e.rhs)
+            if l is None or r is None:
+                return None
+            try:
+                return {
+                    "+": lambda: l + r,
+                    "-": lambda: l - r,
+                    "*": lambda: l * r,
+                    "/": lambda: int(l / r) if r != 0 else None,
+                    "%": lambda: l - r * int(l / r) if r != 0 else None,
+                    "<<": lambda: l << r,
+                    ">>": lambda: l >> r,
+                    "==": lambda: int(l == r),
+                    "!=": lambda: int(l != r),
+                    "<": lambda: int(l < r),
+                    "<=": lambda: int(l <= r),
+                    ">": lambda: int(l > r),
+                    ">=": lambda: int(l >= r),
+                    "&&": lambda: int(bool(l) and bool(r)),
+                    "||": lambda: int(bool(l) or bool(r)),
+                    "&": lambda: l & r,
+                    "|": lambda: l | r,
+                    "^": lambda: l ^ r,
+                }[e.op]()
+            except KeyError:
+                return None
+        if isinstance(e, A.UnOp) and e.op == "-":
+            v = self.int_value(e.operand)
+            return None if v is None else -v
+        if isinstance(e, A.UnOp) and e.op == "!":
+            v = self.int_value(e.operand)
+            return None if v is None else int(not v)
+        return None
+
+    # -- substitution -----------------------------------------------------------------
+
+    def _subst(self, node, name: str, value: int):
+        """Replace reads of ``name`` by IntLit(value) (in place)."""
+        for f in getattr(node, "__dataclass_fields__", {}):
+            v = getattr(node, f)
+            if isinstance(v, A.Ident) and v.name == name:
+                lit = A.IntLit(loc=v.loc, value=value)
+                lit.ty = v.ty
+                setattr(node, f, lit)
+            elif isinstance(v, A.Node):
+                self._subst(v, name, value)
+            elif isinstance(v, list):
+                for i, item in enumerate(v):
+                    if isinstance(item, A.Ident) and item.name == name:
+                        lit = A.IntLit(loc=item.loc, value=value)
+                        lit.ty = item.ty
+                        v[i] = lit
+                    elif isinstance(item, A.Node):
+                        self._subst(item, name, value)
+
+    # -- unrolling ---------------------------------------------------------------------
+
+    def block(self, stmts: List[A.Stmt]) -> List[A.Stmt]:
+        out: List[A.Stmt] = []
+        for s in stmts:
+            out.extend(self.stmt(s))
+        return out
+
+    def stmt(self, s: A.Stmt) -> List[A.Stmt]:
+        if isinstance(s, A.Compound):
+            return [A.Compound(loc=s.loc, stmts=self.block(s.stmts))]
+        if isinstance(s, A.For):
+            return self.for_stmt(s)
+        if isinstance(s, (A.While, A.DoWhile)):
+            s.body = A.Compound(stmts=self.block(
+                s.body.stmts if isinstance(s.body, A.Compound) else [s.body]))
+            return [s]
+        if isinstance(s, A.If):
+            cond_val = self.int_value(s.cond)
+            if cond_val is not None:
+                chosen = s.then if cond_val else s.els
+                if chosen is None:
+                    return []
+                return self.stmt(chosen)
+            s.then = A.Compound(stmts=self.block([s.then]))
+            if s.els is not None:
+                s.els = A.Compound(stmts=self.block([s.els]))
+            return [s]
+        if isinstance(s, A.Decl) and isinstance(s.type, A.CType) \
+                and s.type.is_integer():
+            v = self.int_value(s.init)
+            if v is not None:
+                self.bindings[s.name] = v
+            else:
+                self.bindings.pop(s.name, None)
+            return [s]
+        if isinstance(s, A.ExprStmt) and isinstance(s.expr, A.Assign) \
+                and isinstance(s.expr.target, A.Ident) \
+                and isinstance(s.expr.target.ty, A.CType) \
+                and s.expr.target.ty.is_integer():
+            name = s.expr.target.name
+            v = self.int_value(s.expr.value) if s.expr.op == "=" else None
+            if v is not None:
+                self.bindings[name] = v
+            else:
+                self.bindings.pop(name, None)
+        self.emitted += 1
+        return [s]
+
+    def for_stmt(self, s: A.For) -> List[A.Stmt]:
+        header = self._parse_header(s)
+        if header is None:
+            s.body = A.Compound(stmts=self.block(
+                s.body.stmts if isinstance(s.body, A.Compound) else [s.body]))
+            return [s]
+        var, start, stop, step, inclusive = header
+        count = 0
+        iters: List[int] = []
+        i = start
+        while (i <= stop if inclusive else i < stop):
+            iters.append(i)
+            i += step
+            count += 1
+            if count > self.budget:
+                break
+        body_stmts = s.body.stmts if isinstance(s.body, A.Compound) else [s.body]
+        body_size = _count_stmts(body_stmts)
+        if count > self.budget or self.emitted + count * body_size > self.budget:
+            # Too big: keep rolled; analysis sees one iteration.
+            s.body = A.Compound(stmts=self.block(list(body_stmts)))
+            return [s]
+        out: List[A.Stmt] = []
+        for value in iters:
+            body_copy = copy.deepcopy(body_stmts)
+            holder = A.Compound(stmts=body_copy)
+            self._subst(holder, var, value)
+            self.bindings[var] = value
+            out.extend(self.block(holder.stmts))
+        self.bindings.pop(var, None)
+        return out
+
+    def _parse_header(self, s: A.For):
+        """Recognize ``for (i = a; i < b; i += c)``; returns
+        (var, start, stop, step, inclusive) or None."""
+        if isinstance(s.init, A.Decl) and s.init.init is not None:
+            var = s.init.name
+            start = self.int_value(s.init.init)
+        elif isinstance(s.init, A.ExprStmt) and isinstance(s.init.expr, A.Assign) \
+                and isinstance(s.init.expr.target, A.Ident):
+            var = s.init.expr.target.name
+            start = self.int_value(s.init.expr.value)
+        else:
+            return None
+        if start is None:
+            return None
+        c = s.cond
+        if not (isinstance(c, A.BinOp) and c.op in ("<", "<=")
+                and isinstance(c.lhs, A.Ident) and c.lhs.name == var):
+            return None
+        stop = self.int_value(c.rhs)
+        if stop is None:
+            return None
+        st = s.step
+        if isinstance(st, A.UnOp) and st.op in ("++", "p++") \
+                and isinstance(st.operand, A.Ident) and st.operand.name == var:
+            step = 1
+        elif isinstance(st, A.Assign) and st.op == "+=" \
+                and isinstance(st.target, A.Ident) and st.target.name == var:
+            step = self.int_value(st.value)
+            if step is None or step <= 0:
+                return None
+        else:
+            return None
+        return var, start, stop, step, c.op == "<="
+
+
+def _count_stmts(stmts) -> int:
+    total = 0
+    for s in stmts:
+        total += 1
+        for f in getattr(s, "__dataclass_fields__", {}):
+            v = getattr(s, f)
+            if isinstance(v, A.Stmt):
+                total += _count_stmts([v])
+            elif isinstance(v, list):
+                total += _count_stmts([x for x in v if isinstance(x, A.Stmt)])
+    return total

@@ -1,0 +1,55 @@
+"""Benchmark harness: the paper's programs (Table II), workloads, the
+high-precision oracle, and measurement plumbing for Figs. 8-10 / Table III.
+"""
+
+from .configs import (
+    FIG8_CONFIGS,
+    FIG9_IGEN,
+    FIG9_LIBRARIES,
+    FIG9_SAFEGEN,
+    FULL_AA_K,
+    K_SWEEP,
+    TABLE3_CONFIGS,
+)
+from .oracle import DecInterval, ExactOracle, OracleAmbiguous, OracleUndefined
+from .programs import ALL_BENCHMARKS, BenchmarkProgram, cholesky, fgm, henon, luf, sor
+from .report import format_table, print_results, write_csv
+from .runner import (
+    BenchResult,
+    float_baseline_time,
+    pareto_front,
+    result_accuracy,
+    run_config,
+)
+from .workloads import Workload, make_workload
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchResult",
+    "BenchmarkProgram",
+    "DecInterval",
+    "ExactOracle",
+    "FIG8_CONFIGS",
+    "FIG9_IGEN",
+    "FIG9_LIBRARIES",
+    "FIG9_SAFEGEN",
+    "FULL_AA_K",
+    "K_SWEEP",
+    "OracleAmbiguous",
+    "OracleUndefined",
+    "TABLE3_CONFIGS",
+    "Workload",
+    "cholesky",
+    "fgm",
+    "float_baseline_time",
+    "format_table",
+    "henon",
+    "luf",
+    "make_workload",
+    "pareto_front",
+    "print_results",
+    "result_accuracy",
+    "run_config",
+    "sor",
+    "write_csv",
+]

@@ -1,0 +1,58 @@
+"""Named configuration sets for each figure/table of the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "K_SWEEP",
+    "FIG8_CONFIGS",
+    "FIG9_SAFEGEN",
+    "FIG9_LIBRARIES",
+    "FIG9_IGEN",
+    "TABLE3_CONFIGS",
+    "FULL_AA_K",
+]
+
+#: The paper sweeps k = 8, 12, ..., 48 (Fig. 8/9).
+K_SWEEP: List[int] = list(range(8, 49, 4))
+
+#: Fig. 8 configurations (Section VII-A plot navigation).
+FIG8_CONFIGS: List[str] = [
+    "f64a-ssnn",  # sorted, smallest
+    "f64a-smnn",  # sorted, mean
+    "f64a-sonn",  # sorted, oldest
+    "f64a-srnn",  # sorted, random (baseline fusion)
+    "f64a-dsnn",  # direct-mapped, smallest
+    "f64a-dsnv",  # + vectorized
+    "f64a-dspn",  # + prioritization
+    "f64a-dspv",  # + both
+    "f64a-smpn",  # sorted mean + prioritization
+    "dda-dspn",   # double-double central value
+]
+
+#: Fig. 9: SafeGen lines.
+FIG9_SAFEGEN: List[str] = ["f64a-dspv"]
+
+#: Fig. 9: library baselines (reimplementations, see DESIGN.md).
+FIG9_LIBRARIES: List[str] = ["yalaa-aff0", "yalaa-aff1", "ceres-affine"]
+
+#: Fig. 9: the IA compiler baselines.
+FIG9_IGEN: List[str] = ["ia-f64", "ia-dd"]
+
+#: Table III compares fusion/placement at k = 40.
+TABLE3_CONFIGS: List[Tuple[str, str]] = [
+    ("ss", "f64a-ssnn"),
+    ("sm", "f64a-smnn"),
+    ("so", "f64a-sonn"),
+    ("ds", "f64a-dsnn"),
+]
+
+#: Fig. 9's "full AA" k values per benchmark (large enough that no fusion
+#: occurs; the paper used 800/12K/6K/2.5K for henon/sor/fgm/luf).
+FULL_AA_K: Dict[str, int] = {
+    "henon": 800,
+    "sor": 12_000,
+    "fgm": 6_000,
+    "luf": 2_500,
+}

@@ -1,0 +1,502 @@
+"""High-precision ground-truth executor ("real arithmetic" oracle).
+
+Soundness says the transformed program's ranges contain the result the
+original program would produce in *real* arithmetic.  Exact rationals are
+intractable here (iterated squaring doubles the bit count per iteration), so
+the oracle executes the original C program over tiny *decimal intervals*
+with directed rounding at ``prec`` significant digits (default 60 — far
+below any range the sound runtimes produce).  The resulting enclosure
+``D`` satisfies ``real result ∈ D``; testing ``D ⊆ (produced range)`` then
+certifies containment of the real result.
+
+``decimal`` gives correctly rounded +, −, ×, ÷, sqrt, exp and ln under
+ROUND_FLOOR / ROUND_CEILING, which makes the interval arithmetic here both
+simple and rigorous.
+"""
+
+from __future__ import annotations
+
+import decimal
+from decimal import Decimal
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..compiler import cast as A
+from ..compiler.cparser import parse
+from ..compiler.simd import lower_simd
+from ..compiler.typecheck import MATH_FUNCS, typecheck
+
+__all__ = ["DecInterval", "ExactOracle", "OracleAmbiguous", "OracleUndefined"]
+
+
+class OracleAmbiguous(ReproError):
+    """A branch condition could not be decided at oracle precision."""
+
+
+class OracleUndefined(ReproError):
+    """The exact execution hit undefined behaviour (division by zero,
+    sqrt of a negative number...)."""
+
+
+class DecInterval:
+    """A decimal interval ``[lo, hi]`` with directed-rounding arithmetic."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Decimal, hi: Decimal) -> None:
+        if hi < lo:
+            raise OracleUndefined(f"interval out of order: [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    # The two contexts are swapped in by ExactOracle per precision.
+    _down: decimal.Context = decimal.Context(prec=60,
+                                             rounding=decimal.ROUND_FLOOR)
+    _up: decimal.Context = decimal.Context(prec=60,
+                                           rounding=decimal.ROUND_CEILING)
+
+    @classmethod
+    def set_precision(cls, prec: int) -> None:
+        cls._down = decimal.Context(prec=prec, rounding=decimal.ROUND_FLOOR)
+        cls._up = decimal.Context(prec=prec, rounding=decimal.ROUND_CEILING)
+
+    @classmethod
+    def from_float(cls, x: float) -> "DecInterval":
+        d = Decimal(x)  # exact conversion
+        return cls(d, d)
+
+    @classmethod
+    def from_fraction(cls, x: Fraction) -> "DecInterval":
+        num, den = Decimal(x.numerator), Decimal(x.denominator)
+        return cls(cls._down.divide(num, den), cls._up.divide(num, den))
+
+    @classmethod
+    def point(cls, d: Decimal) -> "DecInterval":
+        return cls(d, d)
+
+    def __repr__(self) -> str:
+        return f"DecInterval({self.lo}, {self.hi})"
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def to_fractions(self) -> tuple[Fraction, Fraction]:
+        return Fraction(self.lo), Fraction(self.hi)
+
+    def midpoint_float(self) -> float:
+        return float((self.lo + self.hi) / 2)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, o: "DecInterval") -> "DecInterval":
+        return DecInterval(self._down.add(self.lo, o.lo),
+                           self._up.add(self.hi, o.hi))
+
+    def __sub__(self, o: "DecInterval") -> "DecInterval":
+        return DecInterval(self._down.subtract(self.lo, o.hi),
+                           self._up.subtract(self.hi, o.lo))
+
+    def __neg__(self) -> "DecInterval":
+        return DecInterval(-self.hi, -self.lo)
+
+    def __mul__(self, o: "DecInterval") -> "DecInterval":
+        los = [self._down.multiply(a, b)
+               for a in (self.lo, self.hi) for b in (o.lo, o.hi)]
+        his = [self._up.multiply(a, b)
+               for a in (self.lo, self.hi) for b in (o.lo, o.hi)]
+        return DecInterval(min(los), max(his))
+
+    def __truediv__(self, o: "DecInterval") -> "DecInterval":
+        if o.lo <= 0 <= o.hi:
+            raise OracleUndefined("division by an interval containing zero")
+        los = [self._down.divide(a, b)
+               for a in (self.lo, self.hi) for b in (o.lo, o.hi)]
+        his = [self._up.divide(a, b)
+               for a in (self.lo, self.hi) for b in (o.lo, o.hi)]
+        return DecInterval(min(los), max(his))
+
+    # decimal's sqrt/exp/ln always round half-even (per the IBM decimal
+    # spec), *ignoring* the context rounding — a correctly rounded result is
+    # within half an ulp, so stepping one representable value outward
+    # restores sound directed bounds.
+
+    def _down1(self, v: Decimal) -> Decimal:
+        return v.next_minus(context=self._down)
+
+    def _up1(self, v: Decimal) -> Decimal:
+        return v.next_plus(context=self._up)
+
+    def sqrt(self) -> "DecInterval":
+        if self.lo < 0:
+            raise OracleUndefined("sqrt of a negative interval")
+        return DecInterval(max(self._down1(self._down.sqrt(self.lo)),
+                               Decimal(0)),
+                           self._up1(self._up.sqrt(self.hi)))
+
+    def exp(self) -> "DecInterval":
+        return DecInterval(self._down1(self._down.exp(self.lo)),
+                           self._up1(self._up.exp(self.hi)))
+
+    def ln(self) -> "DecInterval":
+        if self.lo <= 0:
+            raise OracleUndefined("log of a non-positive interval")
+        return DecInterval(self._down1(self._down.ln(self.lo)),
+                           self._up1(self._up.ln(self.hi)))
+
+    def abs_(self) -> "DecInterval":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return -self
+        return DecInterval(Decimal(0), max(-self.lo, self.hi))
+
+    def min_with(self, o: "DecInterval") -> "DecInterval":
+        return DecInterval(min(self.lo, o.lo), min(self.hi, o.hi))
+
+    def max_with(self, o: "DecInterval") -> "DecInterval":
+        return DecInterval(max(self.lo, o.lo), max(self.hi, o.hi))
+
+    # -- comparisons -------------------------------------------------------------
+
+    def definitely_lt(self, o: "DecInterval") -> bool:
+        if self.hi < o.lo:
+            return True
+        if self.lo >= o.hi:
+            return False
+        raise OracleAmbiguous("< undecidable at oracle precision")
+
+    def definitely_le(self, o: "DecInterval") -> bool:
+        if self.hi <= o.lo:
+            return True
+        if self.lo > o.hi:
+            return False
+        raise OracleAmbiguous("<= undecidable at oracle precision")
+
+
+class _BreakLoop(Exception):
+    pass
+
+
+class _ContinueLoop(Exception):
+    pass
+
+
+class _ReturnValue(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class ExactOracle:
+    """Interpret a C program in high-precision interval arithmetic.
+
+    ``run`` accepts plain floats (taken exact), Fractions, DecIntervals, or
+    nested lists thereof for array parameters; it returns the function's
+    return value and leaves output arrays (mutated in place) available via
+    the returned ``params`` dict.
+    """
+
+    def __init__(self, source: str, entry: Optional[str] = None,
+                 prec: int = 60) -> None:
+        DecInterval.set_precision(prec)
+        self.unit = parse(source)
+        lower_simd(self.unit)
+        typecheck(self.unit)
+        with_bodies = [f for f in self.unit.funcs if f.body is not None]
+        self.entry = entry if entry is not None else with_bodies[-1].name
+        self.funcs = {f.name: f for f in self.unit.funcs if f.body is not None}
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, *args, **kwargs) -> Dict[str, Any]:
+        func = self.funcs[self.entry]
+        names = [p.name for p in func.params]
+        bound = dict(zip(names, args))
+        bound.update(kwargs)
+        env: Dict[str, Any] = {}
+        for p in func.params:
+            v = bound[p.name]
+            if isinstance(p.type, A.CType) and p.type.is_integer():
+                env[p.name] = int(v)
+            else:
+                env[p.name] = _coerce(v)
+        result = self._call(func, [env[n] for n in names])
+        return {"value": result, "params": env}
+
+    # -- interpreter ---------------------------------------------------------------
+
+    def _call(self, func: A.FuncDef, args: List[Any]):
+        env: Dict[str, Any] = {p.name: a for p, a in zip(func.params, args)}
+        try:
+            self._stmt(func.body, env)
+        except _ReturnValue as r:
+            return r.value
+        return None
+
+    def _stmt(self, s: A.Stmt, env: Dict[str, Any]) -> None:
+        if isinstance(s, A.Compound):
+            for sub in s.stmts:
+                self._stmt(sub, env)
+        elif isinstance(s, A.Decl):
+            if isinstance(s.type, A.ArrayType):
+                dims = []
+                t = s.type
+                while isinstance(t, A.ArrayType):
+                    dims.append(t.dim)
+                    t = t.elem
+                zero = DecInterval.from_float(0.0) if (
+                    isinstance(t, A.CType) and t.is_float()) else 0
+
+                def alloc(ds):
+                    if len(ds) == 1:
+                        return [zero for _ in range(ds[0])]
+                    return [alloc(ds[1:]) for _ in range(ds[0])]
+
+                env[s.name] = alloc(dims)
+            elif s.init is not None:
+                env[s.name] = self._expr(s.init, env)
+            else:
+                env[s.name] = None
+        elif isinstance(s, A.ExprStmt):
+            self._expr_effect(s.expr, env)
+        elif isinstance(s, A.If):
+            if self._truth(s.cond, env):
+                self._stmt(s.then, env)
+            elif s.els is not None:
+                self._stmt(s.els, env)
+        elif isinstance(s, A.For):
+            if s.init is not None:
+                self._stmt(s.init, env)
+            while s.cond is None or self._truth(s.cond, env):
+                try:
+                    self._stmt(s.body, env)
+                except _BreakLoop:
+                    break
+                except _ContinueLoop:
+                    pass
+                if s.step is not None:
+                    self._expr_effect(s.step, env)
+        elif isinstance(s, A.While):
+            while self._truth(s.cond, env):
+                try:
+                    self._stmt(s.body, env)
+                except _BreakLoop:
+                    break
+                except _ContinueLoop:
+                    continue
+        elif isinstance(s, A.DoWhile):
+            while True:
+                try:
+                    self._stmt(s.body, env)
+                except _BreakLoop:
+                    break
+                except _ContinueLoop:
+                    pass
+                if not self._truth(s.cond, env):
+                    break
+        elif isinstance(s, A.Return):
+            raise _ReturnValue(None if s.value is None
+                               else self._expr(s.value, env))
+        elif isinstance(s, A.Break):
+            raise _BreakLoop()
+        elif isinstance(s, A.Continue):
+            raise _ContinueLoop()
+        elif isinstance(s, A.Pragma):
+            pass
+        else:
+            raise ReproError(f"oracle: unsupported statement {type(s).__name__}")
+
+    def _expr_effect(self, e: A.Expr, env: Dict[str, Any]) -> None:
+        if isinstance(e, A.Assign):
+            value = self._expr(e.value, env)
+            if e.op != "=":
+                cur = self._expr(e.target, env)
+                op = e.op[:-1]
+                value = _apply_binop(op, cur, value)
+            self._store(e.target, value, env)
+        elif isinstance(e, A.UnOp) and e.op in ("++", "--", "p++", "p--"):
+            cur = self._expr(e.operand, env)
+            self._store(e.operand, cur + (1 if "+" in e.op else -1), env)
+        else:
+            self._expr(e, env)
+
+    def _store(self, target: A.Expr, value, env: Dict[str, Any]) -> None:
+        if isinstance(target, A.Ident):
+            env[target.name] = value
+        elif isinstance(target, A.Index):
+            base = self._expr(target.base, env)
+            idx = self._expr(target.index, env)
+            base[idx] = value
+        elif isinstance(target, A.UnOp) and target.op == "*":
+            self._expr(target.operand, env)[0] = value
+        else:
+            raise ReproError("oracle: unsupported assignment target")
+
+    def _truth(self, e: A.Expr, env: Dict[str, Any]) -> bool:
+        v = self._expr(e, env)
+        if isinstance(v, DecInterval):
+            if v.lo > 0 or v.hi < 0:
+                return True
+            if v.is_point() and v.lo == 0:
+                return False
+            raise OracleAmbiguous("truthiness undecidable")
+        return bool(v)
+
+    def _expr(self, e: A.Expr, env: Dict[str, Any]):
+        if isinstance(e, A.IntLit):
+            return e.value
+        if isinstance(e, A.FloatLit):
+            return DecInterval.from_float(e.value)
+        if isinstance(e, A.IntervalLit):
+            return DecInterval(Decimal(e.lo), Decimal(e.hi))
+        if isinstance(e, A.Ident):
+            return env[e.name]
+        if isinstance(e, A.Index):
+            return self._expr(e.base, env)[self._expr(e.index, env)]
+        if isinstance(e, A.Cast):
+            v = self._expr(e.expr, env)
+            if isinstance(e.to, A.CType) and e.to.is_float() \
+                    and isinstance(v, int):
+                return DecInterval.from_float(float(v))
+            return v
+        if isinstance(e, A.UnOp):
+            if e.op == "-":
+                return -self._expr(e.operand, env)
+            if e.op == "!":
+                return 0 if self._truth(e.operand, env) else 1
+            if e.op == "~":
+                return ~self._expr(e.operand, env)
+            if e.op == "*":
+                return self._expr(e.operand, env)[0]
+            raise ReproError(f"oracle: unary {e.op!r}")
+        if isinstance(e, A.BinOp):
+            return self._binop(e, env)
+        if isinstance(e, A.Call):
+            return self._call_expr(e, env)
+        if isinstance(e, A.Cond):
+            return self._expr(e.then if self._truth(e.cond, env) else e.els, env)
+        raise ReproError(f"oracle: unsupported expression {type(e).__name__}")
+
+    def _binop(self, e: A.BinOp, env: Dict[str, Any]):
+        op = e.op
+        if op in ("&&", "||"):
+            l = self._truth(e.lhs, env)
+            if op == "&&":
+                return 1 if (l and self._truth(e.rhs, env)) else 0
+            return 1 if (l or self._truth(e.rhs, env)) else 0
+        l = self._expr(e.lhs, env)
+        r = self._expr(e.rhs, env)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            return 1 if _compare(op, l, r) else 0
+        return _apply_binop(op, l, r)
+
+    def _call_expr(self, e: A.Call, env: Dict[str, Any]):
+        if e.name in MATH_FUNCS:
+            args = [_promote(self._expr(a, env)) for a in e.args]
+            if e.name == "sqrt":
+                return args[0].sqrt()
+            if e.name == "fabs":
+                return args[0].abs_()
+            if e.name == "exp":
+                return args[0].exp()
+            if e.name == "log":
+                return args[0].ln()
+            if e.name == "fmin":
+                return args[0].min_with(args[1])
+            if e.name == "fmax":
+                return args[0].max_with(args[1])
+        if e.name in self.funcs:
+            func = self.funcs[e.name]
+            args = [self._expr(a, env) for a in e.args]
+            return self._call(func, args)
+        raise ReproError(f"oracle: unknown function {e.name!r}")
+
+
+def _coerce(v):
+    if isinstance(v, DecInterval):
+        return v
+    if isinstance(v, Fraction):
+        return DecInterval.from_fraction(v)
+    if isinstance(v, (int, float)):
+        return DecInterval.from_float(float(v))
+    if isinstance(v, (list, tuple)):
+        return [_coerce(x) for x in v]
+    try:
+        import numpy as np
+
+        if isinstance(v, np.ndarray):
+            return _coerce(v.tolist())
+    except ImportError:  # pragma: no cover
+        pass
+    raise ReproError(f"oracle: cannot coerce {type(v).__name__}")
+
+
+def _promote(v):
+    if isinstance(v, DecInterval):
+        return v
+    return DecInterval.from_float(float(v))
+
+
+def _apply_binop(op: str, l, r):
+    both_int = isinstance(l, int) and isinstance(r, int)
+    if both_int:
+        if op == "+":
+            return l + r
+        if op == "-":
+            return l - r
+        if op == "*":
+            return l * r
+        if op == "/":
+            if r == 0:
+                raise OracleUndefined("integer division by zero")
+            q = l // r
+            if q < 0 and q * r != l:
+                q += 1
+            return q
+        if op == "%":
+            return l - r * _apply_binop("/", l, r)
+        if op == "<<":
+            return l << r
+        if op == ">>":
+            return l >> r
+        if op == "&":
+            return l & r
+        if op == "|":
+            return l | r
+        if op == "^":
+            return l ^ r
+        raise ReproError(f"oracle: integer op {op!r}")
+    l, r = _promote(l), _promote(r)
+    if op == "+":
+        return l + r
+    if op == "-":
+        return l - r
+    if op == "*":
+        return l * r
+    if op == "/":
+        return l / r
+    raise ReproError(f"oracle: float op {op!r}")
+
+
+def _compare(op: str, l, r) -> bool:
+    if isinstance(l, int) and isinstance(r, int):
+        return {"<": l < r, "<=": l <= r, ">": l > r, ">=": l >= r,
+                "==": l == r, "!=": l != r}[op]
+    l, r = _promote(l), _promote(r)
+    if op == "<":
+        return l.definitely_lt(r)
+    if op == "<=":
+        return l.definitely_le(r)
+    if op == ">":
+        return r.definitely_lt(l)
+    if op == ">=":
+        return r.definitely_le(l)
+    if op == "==":
+        if l.is_point() and r.is_point():
+            return l.lo == r.lo
+        if l.hi < r.lo or r.hi < l.lo:
+            return False
+        raise OracleAmbiguous("== undecidable")
+    if op == "!=":
+        return not _compare("==", l, r)
+    raise ReproError(f"oracle: comparison {op!r}")

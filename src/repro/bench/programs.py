@@ -1,0 +1,179 @@
+"""The paper's benchmark programs (Table II) as C sources.
+
+* ``henon`` — the Henon map x_{i+1} = 1 − a·x_i² + y_i, y_{i+1} = b·x_i with
+  a = 1.05, b = 0.3 (hand-implemented, as in the paper).
+* ``sor``   — Jacobi successive over-relaxation from SciMark.
+* ``luf``   — LU factorization from SciMark.  Implemented without partial
+  pivoting so the computation DAG is input-independent (see DESIGN.md); the
+  harness feeds diagonally dominant matrices, for which unpivoted LU is
+  well-defined.
+* ``fgm``   — fast gradient method (FiOrdOs-style momentum iteration for an
+  unconstrained QP), the Model-Predictive-Control kernel.
+
+Array dimensions must be compile-time constants in C, so the sources are
+produced by functions parameterized over the problem size — exactly what a
+code generator like FiOrdOs does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["BenchmarkProgram", "henon", "sor", "luf", "fgm", "ALL_BENCHMARKS"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    """A benchmark: its C source, entry point, and metadata the harness
+    needs (which parameters are inputs/outputs, unroll hints)."""
+
+    name: str
+    source: str
+    entry: str
+    int_params: Dict[str, int] = field(default_factory=dict)
+    description: str = ""
+
+
+def henon(iterations: int = 100) -> BenchmarkProgram:
+    """The Henon map, iterated ``iterations`` times."""
+    source = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}
+"""
+    return BenchmarkProgram(
+        name="henon", source=source, entry="henon",
+        int_params={"n": iterations},
+        description=f"Henon map, {iterations} iterations (a=1.05, b=0.3)",
+    )
+
+
+def sor(n: int = 10, iterations: int = 10) -> BenchmarkProgram:
+    """SciMark Jacobi successive over-relaxation on an n x n grid."""
+    source = f"""
+void sor(double G[{n}][{n}], double omega, int num_iterations) {{
+    double omega_over_four = omega * 0.25;
+    double one_minus_omega = 1.0 - omega;
+    for (int p = 0; p < num_iterations; p++) {{
+        for (int i = 1; i < {n - 1}; i++) {{
+            for (int j = 1; j < {n - 1}; j++) {{
+                G[i][j] = omega_over_four
+                        * (G[i-1][j] + G[i+1][j] + G[i][j-1] + G[i][j+1])
+                        + one_minus_omega * G[i][j];
+            }}
+        }}
+    }}
+}}
+"""
+    return BenchmarkProgram(
+        name="sor", source=source, entry="sor",
+        int_params={"num_iterations": iterations},
+        description=f"SciMark SOR, {n}x{n} grid, {iterations} sweeps",
+    )
+
+
+def luf(n: int = 20) -> BenchmarkProgram:
+    """SciMark LU factorization (Doolittle, in place, no pivoting)."""
+    source = f"""
+void luf(double A[{n}][{n}]) {{
+    for (int k = 0; k < {n - 1}; k++) {{
+        for (int i = k + 1; i < {n}; i++) {{
+            A[i][k] = A[i][k] / A[k][k];
+            for (int j = k + 1; j < {n}; j++) {{
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+            }}
+        }}
+    }}
+}}
+"""
+    return BenchmarkProgram(
+        name="luf", source=source, entry="luf",
+        description=f"LU factorization without pivoting, {n}x{n}",
+    )
+
+
+def fgm(n: int = 4, iterations: int = 20,
+        step: float = 0.25, beta: float = 0.35) -> BenchmarkProgram:
+    """Fast gradient method for an unconstrained QP (FiOrdOs-style).
+
+    Minimizes 0.5 x'Hx + f'x by Nesterov's accelerated gradient iteration
+    x⁺ = y − step·(H y + f);  y⁺ = x⁺ + beta·(x⁺ − x).  ``step`` (1/L) and
+    ``beta`` are baked into the generated code as constants, exactly as
+    FiOrdOs emits them.
+    """
+    source = f"""
+void fgm(double H[{n}][{n}], double f[{n}], double x[{n}], int iters) {{
+    double y[{n}];
+    double g[{n}];
+    for (int i = 0; i < {n}; i++) {{
+        y[i] = x[i];
+    }}
+    for (int t = 0; t < iters; t++) {{
+        for (int i = 0; i < {n}; i++) {{
+            double acc = f[i];
+            for (int j = 0; j < {n}; j++) {{
+                acc = acc + H[i][j] * y[j];
+            }}
+            g[i] = acc;
+        }}
+        for (int i = 0; i < {n}; i++) {{
+            double xn = y[i] - {step!r} * g[i];
+            y[i] = xn + {beta!r} * (xn - x[i]);
+            x[i] = xn;
+        }}
+    }}
+}}
+"""
+    return BenchmarkProgram(
+        name="fgm", source=source, entry="fgm",
+        int_params={"iters": iterations},
+        description=(f"fast gradient method, n={n}, {iterations} iterations, "
+                     f"step={step}, beta={beta}"),
+    )
+
+
+def cholesky(n: int = 8) -> BenchmarkProgram:
+    """Cholesky factorization (lower-triangular, in place) — an extension
+    benchmark beyond the paper's Table II that exercises the affine sqrt
+    and division together.  The harness feeds symmetric diagonally dominant
+    matrices, so every pivot stays strictly positive."""
+    source = f"""
+void cholesky(double A[{n}][{n}]) {{
+    for (int j = 0; j < {n}; j++) {{
+        for (int kk = 0; kk < j; kk++) {{
+            A[j][j] = A[j][j] - A[j][kk] * A[j][kk];
+        }}
+        A[j][j] = sqrt(A[j][j]);
+        for (int i = j + 1; i < {n}; i++) {{
+            for (int kk = 0; kk < j; kk++) {{
+                A[i][j] = A[i][j] - A[i][kk] * A[j][kk];
+            }}
+            A[i][j] = A[i][j] / A[j][j];
+        }}
+    }}
+}}
+"""
+    return BenchmarkProgram(
+        name="cholesky", source=source, entry="cholesky",
+        description=f"Cholesky factorization (sqrt + division), {n}x{n}",
+    )
+
+
+def ALL_BENCHMARKS(**sizes) -> Dict[str, BenchmarkProgram]:
+    """The paper's four benchmarks at their default sizes (Table II with the
+    Fig. 8 input sizes: 10x10 sor, 20x20 luf)."""
+    return {
+        "henon": henon(sizes.get("henon_iters", 100)),
+        "sor": sor(sizes.get("sor_n", 10), sizes.get("sor_iters", 10)),
+        "luf": luf(sizes.get("luf_n", 20)),
+        "fgm": fgm(sizes.get("fgm_n", 4), sizes.get("fgm_iters", 20)),
+    }

@@ -1,0 +1,59 @@
+"""Plain-text tables and CSV output for the benchmark harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "write_csv", "print_results"]
+
+
+def format_table(rows: Sequence[Dict[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(cols)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in cells:
+        out.write("  ".join(v.rjust(w) if _numeric(v) else v.ljust(w)
+                            for v, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def _numeric(v: str) -> bool:
+    try:
+        float(v)
+        return True
+    except ValueError:
+        return False
+
+
+def write_csv(path: str, rows: Iterable[Dict[str, Any]]) -> None:
+    rows = list(rows)
+    if not rows:
+        return
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def print_results(results, title: str | None = None) -> None:
+    print(format_table([r.row() for r in results], title=title))

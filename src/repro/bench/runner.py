@@ -1,0 +1,137 @@
+"""Measurement harness: accuracy and runtime per configuration.
+
+Follows the paper's methodology (Section VII): runtimes are medians over
+repeated runs; accuracy is the worst case (minimum ``acc``) over all output
+values; slowdown is relative to the original unsound program executed by the
+same interpreter (runtime mode ``float``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..aa import acc_bits
+from ..compiler import CompilerConfig, SafeGen
+from .workloads import Workload
+
+__all__ = ["BenchResult", "run_config", "float_baseline_time", "pareto_front"]
+
+
+@dataclass
+class BenchResult:
+    """One point of a Fig. 8 / Fig. 9 plot."""
+
+    benchmark: str
+    config: str
+    k: int
+    acc_bits: float
+    runtime_s: float
+    baseline_s: float = 0.0
+    compile_s: float = 0.0
+    analysis: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_s <= 0:
+            return float("nan")
+        return self.runtime_s / self.baseline_s
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config,
+            "k": self.k,
+            "acc_bits": round(self.acc_bits, 2),
+            "runtime_ms": round(self.runtime_s * 1e3, 3),
+            "slowdown": round(self.slowdown, 1),
+        }
+
+
+def _min_acc(value: Any) -> float:
+    """Worst-case certified bits over a scalar or nested array result."""
+    if value is None:
+        return float("inf")
+    if isinstance(value, (list, tuple)):
+        accs = [_min_acc(v) for v in value]
+        return min(accs) if accs else float("inf")
+    return acc_bits(value)
+
+
+def result_accuracy(result) -> float:
+    """Worst-case acc over the return value and every output array."""
+    worst = _min_acc(result.value)
+    for value in result.params.values():
+        if isinstance(value, (list, tuple)):
+            worst = min(worst, _min_acc(value))
+    return worst
+
+
+def _timed_runs(prog, inputs, repeats: int) -> List[float]:
+    times = []
+    for _ in range(repeats):
+        res = prog(**inputs)
+        times.append(res.elapsed_s)
+    return times
+
+
+def float_baseline_time(workload: Workload, repeats: int = 5) -> float:
+    """Median runtime of the original (unsound) program."""
+    cfg = CompilerConfig(mode="float")
+    prog = SafeGen(cfg).compile(workload.program.source,
+                                entry=workload.program.entry)
+    times = _timed_runs(prog, workload.inputs, max(repeats, 3))
+    return statistics.median(times)
+
+
+def run_config(workload: Workload,
+               config: Union[str, CompilerConfig],
+               k: int = 16,
+               repeats: int = 3,
+               baseline_s: float = 0.0,
+               **overrides) -> BenchResult:
+    """Compile and measure one configuration on a workload."""
+    if isinstance(config, str):
+        cfg = CompilerConfig.from_string(
+            config, k=k, int_params=dict(workload.program.int_params),
+            **overrides)
+    else:
+        cfg = config
+    t0 = time.perf_counter()
+    prog = SafeGen(cfg).compile(workload.program.source,
+                                entry=workload.program.entry)
+    compile_s = time.perf_counter() - t0
+
+    res = prog(**workload.inputs)
+    acc = max(0.0, result_accuracy(res)) if cfg.mode != "float" \
+        else float("nan")
+
+    times = [res.elapsed_s]
+    times += _timed_runs(prog, workload.inputs, max(repeats - 1, 0))
+    return BenchResult(
+        benchmark=workload.name,
+        config=cfg.name,
+        k=cfg.k,
+        acc_bits=acc,
+        runtime_s=statistics.median(times),
+        baseline_s=baseline_s,
+        compile_s=compile_s,
+        analysis=str(prog.analysis_report) if prog.analysis_report else None,
+    )
+
+
+def pareto_front(results: List[BenchResult]) -> List[BenchResult]:
+    """The accuracy/runtime Pareto-optimal subset (higher acc, lower time)."""
+    front = []
+    for r in results:
+        dominated = any(
+            (o.acc_bits >= r.acc_bits and o.runtime_s < r.runtime_s)
+            or (o.acc_bits > r.acc_bits and o.runtime_s <= r.runtime_s)
+            for o in results
+        )
+        if not dominated:
+            front.append(r)
+    return sorted(front, key=lambda r: r.runtime_s)

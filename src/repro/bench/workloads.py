@@ -1,0 +1,127 @@
+"""Workload (input) generation for the benchmarks — Section VII setup.
+
+Inputs are drawn uniformly from [0, 1] (seeded for reproducibility) and each
+input value carries one error symbol of 1 ulp, exactly as in the paper's
+experimental setup.  The harness passes plain floats; the runtime attaches
+the 1-ulp symbol on coercion.
+
+``fgm`` needs its step size and momentum coefficient consistent with the
+generated QP, so its workload builds both the matrix *and* the program.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .programs import BenchmarkProgram, cholesky, fgm, henon, luf, sor
+
+__all__ = ["Workload", "make_workload"]
+
+
+@dataclass
+class Workload:
+    """A benchmark program together with concrete inputs for one run."""
+
+    program: BenchmarkProgram
+    inputs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def _henon_workload(rng: random.Random, iterations: int) -> Workload:
+    # x in [0,1], y in [0,0.3]: inside the attractor's basin for
+    # a = 1.05, b = 0.3 (orbits from the full [0,1]^2 square can escape to
+    # infinity, where no arithmetic — sound or not — retains accuracy).
+    return Workload(
+        program=henon(iterations),
+        inputs={"x": rng.random(), "y": 0.3 * rng.random(), "n": iterations},
+    )
+
+
+def _sor_workload(rng: random.Random, n: int, iterations: int) -> Workload:
+    grid = [[rng.random() for _ in range(n)] for _ in range(n)]
+    return Workload(
+        program=sor(n, iterations),
+        inputs={"G": grid, "omega": 1.25, "num_iterations": iterations},
+    )
+
+
+def _luf_workload(rng: random.Random, n: int) -> Workload:
+    # Diagonally dominant: unpivoted LU is well-defined and stable, and the
+    # affine division never sees a range straddling zero.
+    a = [[rng.random() for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        a[i][i] += float(n)
+    return Workload(program=luf(n), inputs={"A": a})
+
+
+def _cholesky_workload(rng: random.Random, n: int) -> Workload:
+    # Symmetric and strongly diagonally dominant: every Schur-complement
+    # pivot stays positive even under the affine ranges.
+    a = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i, n):
+            if i == j:
+                a[i][j] = float(n) + rng.random()
+            else:
+                v = rng.random() * 0.5
+                a[i][j] = v
+                a[j][i] = v
+    return Workload(program=cholesky(n), inputs={"A": a})
+
+
+def _fgm_workload(rng: random.Random, n: int, iterations: int) -> Workload:
+    # An SPD quadratic H = D + symmetric coupling, conditioned so that the
+    # momentum iteration accumulates enough round-off to separate the sound
+    # arithmetics (IA collapses, AA retains accuracy — the paper's fgm
+    # shape).
+    h = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i, n):
+            if i == j:
+                h[i][j] = 1.0 + 0.5 * rng.random()
+            else:
+                v = 0.2 * (rng.random() - 0.5)
+                h[i][j] = v
+                h[j][i] = v
+    # Gershgorin bounds on the spectrum give a safe step and momentum.
+    row_sums = [sum(abs(v) for v in row) for row in h]
+    big_l = max(row_sums)
+    mu = max(min(h[i][i] - (row_sums[i] - abs(h[i][i])) for i in range(n)),
+             0.05)
+    step = 1.0 / big_l
+    kappa = big_l / mu
+    beta = (math.sqrt(kappa) - 1.0) / (math.sqrt(kappa) + 1.0)
+    f = [rng.random() for _ in range(n)]
+    x0 = [rng.random() for _ in range(n)]
+    return Workload(
+        program=fgm(n, iterations, step=step, beta=beta),
+        inputs={"H": h, "f": f, "x": x0, "iters": iterations},
+    )
+
+
+def make_workload(name: str, seed: int = 0, **sizes) -> Workload:
+    """Build a seeded workload for one of the paper's benchmarks.
+
+    Sizes: ``henon_iters`` (default 100), ``sor_n``/``sor_iters`` (10/10),
+    ``luf_n`` (20), ``fgm_n``/``fgm_iters`` (4/20).
+    """
+    rng = random.Random(seed ^ 0xBEEF)
+    if name == "henon":
+        return _henon_workload(rng, sizes.get("henon_iters", 100))
+    if name == "sor":
+        return _sor_workload(rng, sizes.get("sor_n", 10),
+                             sizes.get("sor_iters", 10))
+    if name == "luf":
+        return _luf_workload(rng, sizes.get("luf_n", 20))
+    if name == "fgm":
+        return _fgm_workload(rng, sizes.get("fgm_n", 8),
+                             sizes.get("fgm_iters", 40))
+    if name == "cholesky":
+        return _cholesky_workload(rng, sizes.get("cholesky_n", 8))
+    raise ValueError(f"unknown benchmark {name!r}")

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro``.
+
+Mirrors how the original SafeGen binary is used — C in, sound C out — plus
+conveniences this reproduction can offer because the output is runnable:
+
+    python -m repro compile prog.c --config f64a-dspv -k 16
+    python -m repro run prog.c --config f64a-dsnn -k 8 -- 0.3 0.4 100
+    python -m repro analyze prog.c -k 8
+    python -m repro bench henon --config f64a-dspv -k 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .compiler import CompilerConfig, SafeGen
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SafeGen (reproduction): compile C floating-point "
+                    "programs into sound programs using affine arithmetic.",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--config", default="f64a-dsnn",
+                       help="configuration string (paper notation), e.g. "
+                            "f64a-dspv, dda-dsnn, ia-f64, yalaa-aff0")
+        p.add_argument("-k", type=int, default=16,
+                       help="max error symbols per affine variable")
+        p.add_argument("--entry", default=None,
+                       help="entry function (default: last defined)")
+        p.add_argument("--int-param", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="concrete value for an integer parameter "
+                            "(lets the analysis unroll its loops)")
+
+    p_compile = sub.add_parser("compile",
+                               help="print the transformed (sound) C")
+    common(p_compile)
+    p_compile.add_argument("file", help="input C file ('-' for stdin)")
+    p_compile.add_argument("--emit", choices=["c", "python", "both"],
+                           default="c")
+
+    p_run = sub.add_parser("run", help="compile and execute on inputs")
+    common(p_run)
+    p_run.add_argument("file")
+    p_run.add_argument("args", nargs="*",
+                       help="arguments: numbers, or @file.json for arrays")
+    p_run.add_argument("--uncertainty-ulps", type=float, default=1.0)
+    p_run.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="run the max-reuse analysis and show the pragmas")
+    common(p_analyze)
+    p_analyze.add_argument("file")
+
+    p_bench = sub.add_parser("bench", help="run a paper benchmark")
+    common(p_bench)
+    p_bench.add_argument("name", choices=["henon", "sor", "luf", "fgm"])
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--repeats", type=int, default=3)
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as fh:
+        return fh.read()
+
+
+def _int_params(pairs: List[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"--int-param expects NAME=VALUE, got {pair!r}")
+        out[name] = int(value)
+    return out
+
+
+def _config(ns) -> CompilerConfig:
+    return CompilerConfig.from_string(ns.config, k=ns.k,
+                                      int_params=_int_params(ns.int_param))
+
+
+def _parse_arg(text: str):
+    if text.startswith("@"):
+        with open(text[1:]) as fh:
+            return json.load(fh)
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def cmd_compile(ns) -> int:
+    prog = SafeGen(_config(ns)).compile(_read_source(ns.file), entry=ns.entry)
+    if ns.emit in ("c", "both"):
+        print(prog.c_source)
+    if ns.emit in ("python", "both"):
+        print(prog.python_source)
+    if prog.analysis_report is not None:
+        print(f"// {prog.analysis_report}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(ns) -> int:
+    prog = SafeGen(_config(ns)).compile(_read_source(ns.file), entry=ns.entry)
+    args = [_parse_arg(a) for a in ns.args]
+    result = prog(*args, uncertainty_ulps=ns.uncertainty_ulps)
+    if ns.json:
+        payload = {"config": prog.config.name, "entry": prog.entry}
+        if result.value is not None and hasattr(result.value, "interval"):
+            iv = result.value.interval()
+            payload["interval"] = [iv.lo, iv.hi]
+            payload["acc_bits"] = result.acc_bits()
+        elif result.value is not None:
+            payload["value"] = result.value
+        payload["elapsed_s"] = result.elapsed_s
+        print(json.dumps(payload))
+        return 0
+    print(f"entry      : {prog.entry} [{prog.config.name}]")
+    if result.value is not None and hasattr(result.value, "interval"):
+        iv = result.value.interval()
+        print(f"enclosure  : [{iv.lo!r}, {iv.hi!r}]")
+        print(f"certified  : {result.acc_bits():.2f} bits of 53")
+    elif result.value is not None:
+        print(f"value      : {result.value!r}")
+    for name, value in result.params.items():
+        if isinstance(value, list):
+            print(f"output {name!r}: {_summary(value)}")
+    print(f"runtime    : {result.elapsed_s * 1e3:.3f} ms")
+    return 0
+
+
+def _summary(arr) -> str:
+    flat = []
+
+    def rec(v):
+        if isinstance(v, list):
+            for item in v:
+                rec(item)
+        elif hasattr(v, "interval"):
+            flat.append(v)
+
+    rec(arr)
+    if not flat:
+        return "(ints)"
+    from .aa import acc_bits
+
+    worst = min(max(0.0, acc_bits(v)) for v in flat)
+    return f"{len(flat)} sound values, worst certificate {worst:.1f} bits"
+
+
+def cmd_analyze(ns) -> int:
+    cfg = _config(ns)
+    if cfg.mode != "aa":
+        raise SystemExit("analyze requires an affine configuration")
+    from dataclasses import replace
+
+    compiler = SafeGen(replace(cfg, prioritize=True))
+    source = _read_source(ns.file)
+    prog = compiler.compile(source, entry=ns.entry)
+    print(prog.analysis_report)
+    if prog.priority_map:
+        print("prioritized operations (stmt -> variable):")
+        for stmt_id, var in sorted(prog.priority_map.items()):
+            print(f"  op {stmt_id}: prioritize({var})")
+        print()
+        print("annotated program (paper Fig. 7):")
+        print(compiler.annotate(source, entry=ns.entry))
+    return 0
+
+
+def cmd_bench(ns) -> int:
+    from .bench import float_baseline_time, make_workload, run_config
+
+    w = make_workload(ns.name, seed=ns.seed)
+    base = float_baseline_time(w)
+    r = run_config(w, ns.config, k=ns.k, repeats=ns.repeats, baseline_s=base)
+    print(f"{r.benchmark} [{r.config} k={r.k}]")
+    print(f"  certified bits : {r.acc_bits:.2f}")
+    print(f"  runtime        : {r.runtime_s * 1e3:.3f} ms "
+          f"({r.slowdown:.1f}x the unsound program)")
+    if r.analysis:
+        print(f"  {r.analysis}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ns = _build_parser().parse_args(argv)
+    handler = {
+        "compile": cmd_compile,
+        "run": cmd_run,
+        "analyze": cmd_analyze,
+        "bench": cmd_bench,
+    }[ns.command]
+    return handler(ns)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

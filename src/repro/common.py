@@ -1,0 +1,51 @@
+"""Small shared helpers used by both the IA and AA runtimes."""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import AmbiguousComparisonError
+
+__all__ = ["DecisionPolicy", "decide_comparison"]
+
+
+class DecisionPolicy(enum.Enum):
+    """What to do when a comparison between overlapping ranges is ambiguous.
+
+    The paper supports comparison operations on affine values but a range
+    comparison only has a definite answer when the ranges are disjoint.  When
+    they overlap:
+
+    * ``STRICT`` raises :class:`repro.errors.AmbiguousComparisonError` — the
+      fully sound behaviour (control flow cannot be certified).
+    * ``CENTRAL`` decides using the central values / midpoints and records
+      that the decision was unsound; useful to keep exploring a computation
+      whose certificate is already lost.
+    """
+
+    STRICT = "strict"
+    CENTRAL = "central"
+
+
+def decide_comparison(
+    definite: bool | None,
+    central_answer: bool,
+    policy: DecisionPolicy,
+    what: str,
+    stats=None,
+) -> bool:
+    """Resolve a three-valued comparison result.
+
+    ``definite`` is True/False when the ranges are disjoint enough to decide,
+    None when ambiguous.  ``stats`` (optional) is an object with an
+    ``ambiguous_branches`` counter that is incremented on unsound decisions.
+    """
+    if definite is not None:
+        return definite
+    if policy is DecisionPolicy.STRICT:
+        raise AmbiguousComparisonError(
+            f"comparison {what} is ambiguous: ranges overlap"
+        )
+    if stats is not None:
+        stats.ambiguous_branches += 1
+    return central_answer

@@ -1,0 +1,39 @@
+"""The SafeGen source-to-source compiler (Sections III, IV, VI-C).
+
+Public entry points:
+
+* :func:`compile_c` — one call: C source in, sound runnable program out.
+* :class:`SafeGen` / :class:`CompilerConfig` — the configured pipeline.
+* :class:`Runtime` — the execution context generated code runs against.
+"""
+
+from .cast import TranslationUnit
+from .clexer import tokenize
+from .codegen_c import generate_c
+from .codegen_py import generate_python
+from .config import CompilerConfig
+from .constfold import fold_constants
+from .cparser import parse
+from .driver import CompiledProgram, ProgramResult, SafeGen, compile_c
+from .runtime import Runtime
+from .simd import lower_simd
+from .tac import to_tac
+from .typecheck import typecheck
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerConfig",
+    "ProgramResult",
+    "Runtime",
+    "SafeGen",
+    "TranslationUnit",
+    "compile_c",
+    "fold_constants",
+    "generate_c",
+    "generate_python",
+    "lower_simd",
+    "parse",
+    "to_tac",
+    "tokenize",
+    "typecheck",
+]

@@ -1,0 +1,331 @@
+"""AST node definitions for the supported C subset.
+
+The node set covers everything the paper's four benchmarks (and its worked
+examples) need: function definitions, scalar/array/pointer declarations,
+``for``/``while``/``do``/``if``/``return``, the full C expression grammar
+over ``double``/``float``/``int``, calls to math-library functions, SIMD
+intrinsics (lowered by :mod:`repro.compiler.simd`), and the custom
+``#pragma safegen prioritize(var)`` annotation emitted by the static
+analysis.
+
+Every node carries a source location so later stages (TAC, the analysis
+annotator) can map results back to the input program, exactly as the paper's
+LLVM-debug-info plumbing does (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Loc",
+    "Node",
+    "CType",
+    "ArrayType",
+    "PointerType",
+    "VectorType",
+    "TranslationUnit",
+    "FuncDef",
+    "Param",
+    "Decl",
+    "Compound",
+    "ExprStmt",
+    "If",
+    "For",
+    "While",
+    "DoWhile",
+    "Return",
+    "Break",
+    "Continue",
+    "Pragma",
+    "Expr",
+    "IntLit",
+    "FloatLit",
+    "Ident",
+    "BinOp",
+    "UnOp",
+    "Assign",
+    "Call",
+    "Index",
+    "Cast",
+    "Cond",
+    "IntervalLit",
+    "FLOAT_KINDS",
+]
+
+Loc = Tuple[int, int]  # (line, col), 1-based
+
+FLOAT_KINDS = ("float", "double")
+
+
+class Node:
+    """Common base class for all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CType(Node):
+    """A scalar base type: ``void``, ``int``, ``long``, ``float``,
+    ``double``."""
+
+    kind: str
+
+    def is_float(self) -> bool:
+        return self.kind in FLOAT_KINDS
+
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "long", "char", "unsigned")
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class ArrayType(Node):
+    """``elem[dim]``; ``dim`` may be None for unsized parameter arrays."""
+
+    elem: Union["CType", "ArrayType", "PointerType"]
+    dim: Optional[int]
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+    def base_scalar(self):
+        t = self.elem
+        while isinstance(t, (ArrayType, PointerType)):
+            t = t.elem if isinstance(t, ArrayType) else t.pointee
+        return t
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.dim if self.dim is not None else ''}]"
+
+
+@dataclass(frozen=True)
+class PointerType(Node):
+    pointee: Union["CType", "ArrayType", "PointerType"]
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class VectorType(Node):
+    """SIMD vector type (``__m256d`` etc.): ``lanes`` lanes of ``elem``."""
+
+    elem: CType
+    lanes: int
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"__m{self.lanes * 64}d"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    loc: Loc = field(default=(0, 0), compare=False)
+    ty: object = field(default=None, compare=False)  # filled by typecheck
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    text: str = ""  # original spelling (for exactness analysis / C output)
+
+
+@dataclass
+class IntervalLit(Expr):
+    """A soundly folded constant range (produced by constfold)."""
+
+    lo: float = 0.0
+    hi: float = 0.0
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""  # + - * / % << >> < <= > >= == != && || & | ^
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""  # - ! ~ + & * ++ -- p++ p--
+    operand: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # = += -= *= /=
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    to: object = None  # CType
+    expr: Expr = None
+
+
+@dataclass
+class Cond(Expr):
+    cond: Expr = None
+    then: Expr = None
+    els: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# statements / declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    loc: Loc = field(default=(0, 0), compare=False)
+
+
+@dataclass
+class Decl(Stmt):
+    name: str = ""
+    type: object = None
+    init: Optional[Expr] = None
+    # Unique statement id assigned by the TAC pass (analysis anchor).
+    stmt_id: Optional[int] = field(default=None, compare=False)
+    # Variable to prioritize for this operation (from pragma / analysis).
+    prioritize: Optional[str] = field(default=None, compare=False)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+    stmt_id: Optional[int] = field(default=None, compare=False)
+    # Variable to prioritize for this operation (from pragma / analysis).
+    prioritize: Optional[str] = field(default=None, compare=False)
+
+
+@dataclass
+class Compound(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # Decl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Pragma(Stmt):
+    """``#pragma safegen prioritize(var)`` — applies to the next statement."""
+
+    kind: str = "prioritize"
+    arg: str = ""
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: object = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: object = None
+    params: List[Param] = field(default_factory=list)
+    body: Compound = None
+    loc: Loc = (0, 0)
+
+
+@dataclass
+class TranslationUnit(Node):
+    funcs: List[FuncDef] = field(default_factory=list)
+    globals: List[Decl] = field(default_factory=list)
+
+    def func(self, name: str) -> FuncDef:
+        for f in self.funcs:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function named {name!r}")

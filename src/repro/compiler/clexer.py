@@ -1,0 +1,134 @@
+"""Tokenizer for the supported C subset.
+
+Handles identifiers/keywords, integer and floating literals (decimal and
+hex), all operators and punctuation used by C expressions, ``//`` and
+``/* */`` comments, and preprocessor lines.  Preprocessor lines are skipped
+except ``#pragma safegen ...``, which is surfaced as a PRAGMA token so the
+parser can attach it to the following statement (Section VI-C).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    """void int long char unsigned float double const if else for while do
+    return break continue static inline restrict""".split()
+)
+
+# Longest-match operator table (order matters: longest first).
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ",", ";", "(", ")", "[", "]", "{", "}", ".",
+]
+
+_FLOAT_RE = re.compile(
+    r"(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fFlL]?"
+)
+_HEXFLOAT_RE = re.compile(r"0[xX][0-9a-fA-F]*\.?[0-9a-fA-F]*[pP][+-]?\d+[fFlL]?")
+_INT_RE = re.compile(r"(?:0[xX][0-9a-fA-F]+|\d+)[uUlL]*")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_PRAGMA_RE = re.compile(r"#\s*pragma\s+safegen\s+(\w+)\s*\(\s*([A-Za-z0-9_\[\].]+)\s*\)")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'pragma' | 'eof'
+    text: str
+    line: int
+    col: int
+    # Parsed payload for pragma tokens: (pragma_kind, argument).
+    payload: object = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize C source; raises :class:`repro.errors.ParseError` on
+    unrecognized input."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    line_start = 0
+    n = len(source)
+
+    def col() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise ParseError("unterminated block comment", line, col())
+            line += source.count("\n", i, j)
+            if "\n" in source[i:j]:
+                line_start = i + source[i:j].rfind("\n") + 1
+            i = j + 2
+            continue
+        # preprocessor / pragma
+        if ch == "#":
+            j = source.find("\n", i)
+            if j < 0:
+                j = n
+            text = source[i:j]
+            m = _PRAGMA_RE.match(text)
+            if m:
+                tokens.append(Token("pragma", text.strip(), line, col(),
+                                    payload=(m.group(1), m.group(2))))
+            # other preprocessor lines (includes, defines) are skipped
+            i = j
+            continue
+        # numeric literals (floats before ints: "1.5" must not lex as "1")
+        m = _HEXFLOAT_RE.match(source, i) or _FLOAT_RE.match(source, i)
+        if m:
+            tokens.append(Token("float", m.group(0), line, col()))
+            i = m.end()
+            continue
+        m = _INT_RE.match(source, i)
+        if m:
+            tokens.append(Token("int", m.group(0), line, col()))
+            i = m.end()
+            continue
+        # identifiers / keywords
+        m = _IDENT_RE.match(source, i)
+        if m:
+            word = m.group(0)
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col()))
+            i = m.end()
+            continue
+        # operators / punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col()))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, col())
+    tokens.append(Token("eof", "", line, col()))
+    return tokens

@@ -1,0 +1,342 @@
+"""C backend: renders the transformed program as sound C (paper Fig. 2).
+
+The output is the C a user of the original SafeGen would see: declarations
+retyped to the affine types (``f64a``/``dda``) or interval types, every
+floating-point operation replaced by a call into the affine library
+(``aa_add_f64`` …), constants converted conservatively, and
+``aa_prioritize`` calls injected where the static analysis protected a
+variable's symbols.
+
+This backend is for inspection/fidelity — the executable artifact in this
+reproduction is the Python backend (see DESIGN.md).  It is nevertheless a
+complete pretty-printer: the emitted C is syntactically valid against the
+declarations in ``include/safegen_aa.h`` (shipped as documentation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import UnsupportedFeatureError
+from . import cast as A
+from .constfold import _text_is_exact
+from .typecheck import MATH_FUNCS
+
+__all__ = ["generate_c"]
+
+_TYPE_NAMES = {
+    "aa-f64a": "f64a",
+    "aa-dda": "dda",
+    "ia-f64": "interval_f64",
+    "ia-dd": "interval_dd",
+    # "plain" renders the (TAC-transformed, analysis-annotated) program as
+    # ordinary C with `#pragma safegen prioritize(...)` lines — the output
+    # of the paper's preprocessing step (Figs. 6 and 7).
+    "plain": "double",
+}
+
+_SUFFIX = {
+    "aa-f64a": "f64",
+    "aa-dda": "dd",
+    "ia-f64": "i64",
+    "ia-dd": "idd",
+    "plain": "",
+}
+
+
+def generate_c(unit: A.TranslationUnit, flavor: str = "aa-f64a") -> str:
+    """Render the transformed unit as C using the affine/interval library.
+
+    ``flavor`` selects the numeric family: ``aa-f64a`` (default),
+    ``aa-dda``, ``ia-f64`` or ``ia-dd``.
+    """
+    if flavor not in _TYPE_NAMES:
+        raise ValueError(f"unknown flavor {flavor!r}")
+    return _CGen(unit, flavor).module()
+
+
+class _CGen:
+    def __init__(self, unit: A.TranslationUnit, flavor: str) -> None:
+        self.unit = unit
+        self.flavor = flavor
+        self.ty = _TYPE_NAMES[flavor]
+        self.sfx = _SUFFIX[flavor]
+        self.user_funcs = {f.name for f in unit.funcs}
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # -- module -----------------------------------------------------------------
+
+    @property
+    def plain(self) -> bool:
+        return self.flavor == "plain"
+
+    def module(self) -> str:
+        self.lines = [] if self.plain else [
+            '#include "safegen_aa.h"',
+            "",
+        ]
+        for f in self.unit.funcs:
+            if f.body is None:
+                continue
+            self.function(f)
+            self.emit("")
+        return "\n".join(self.lines) + "\n"
+
+    def type_str(self, t, name: str) -> str:
+        """C declarator for (type, name) with double mapped to the sound type."""
+        if isinstance(t, A.CType):
+            base = self.ty if t.is_float() else t.kind
+            return f"{base} {name}"
+        if isinstance(t, A.PointerType):
+            inner = self.type_str(t.pointee, f"*{name}")
+            return inner
+        if isinstance(t, A.ArrayType):
+            dims = ""
+            base = t
+            while isinstance(base, A.ArrayType):
+                dims += f"[{base.dim if base.dim is not None else ''}]"
+                base = base.elem
+            return f"{self.type_str(base, name)}{dims}"
+        if isinstance(t, A.VectorType):
+            return f"{self.ty} {name}[{t.lanes}]"
+        raise UnsupportedFeatureError(f"type {t!r}")
+
+    def function(self, f: A.FuncDef) -> None:
+        params = ", ".join(self.type_str(p.type, p.name) for p in f.params)
+        ret = self.type_str(f.return_type, "").strip() \
+            if isinstance(f.return_type, A.CType) else "void"
+        self.emit(f"{ret} {f.name}({params or 'void'}) {{")
+        self.indent += 1
+        for s in f.body.stmts:
+            self.stmt(s)
+        self.indent -= 1
+        self.emit("}")
+
+    # -- statements ----------------------------------------------------------------
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Compound):
+            self.emit("{")
+            self.indent += 1
+            for sub in s.stmts:
+                self.stmt(sub)
+            self.indent -= 1
+            self.emit("}")
+            return
+        if isinstance(s, A.Decl):
+            self._maybe_prioritize(s)
+            if isinstance(s.type, A.CType) and s.type.is_float():
+                init = f" = {self.float_value(s.init)}" if s.init is not None else ""
+                self.emit(f"{self.ty} {s.name}{init};")
+            else:
+                init = f" = {self.expr(s.init)}" if s.init is not None else ""
+                self.emit(f"{self.type_str(s.type, s.name)}{init};")
+            return
+        if isinstance(s, A.ExprStmt):
+            self._maybe_prioritize(s)
+            e = s.expr
+            if isinstance(e, A.Assign):
+                is_float = isinstance(e.target.ty, A.CType) and e.target.ty.is_float()
+                value = self.float_value(e.value) if is_float else self.expr(e.value)
+                self.emit(f"{self.expr(e.target)} {e.op} {value};")
+            else:
+                self.emit(f"{self.expr(e)};")
+            return
+        if isinstance(s, A.If):
+            self.emit(f"if ({self.expr(s.cond)}) {{")
+            self._body(s.then)
+            if s.els is not None:
+                self.emit("} else {")
+                self._body(s.els)
+            self.emit("}")
+            return
+        if isinstance(s, A.For):
+            init = self._inline_stmt(s.init) if s.init is not None else ""
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self.expr(s.step) if s.step is not None else ""
+            self.emit(f"for ({init}; {cond}; {step}) {{")
+            self._body(s.body)
+            self.emit("}")
+            return
+        if isinstance(s, A.While):
+            self.emit(f"while ({self.expr(s.cond)}) {{")
+            self._body(s.body)
+            self.emit("}")
+            return
+        if isinstance(s, A.DoWhile):
+            self.emit("do {")
+            self._body(s.body)
+            self.emit(f"}} while ({self.expr(s.cond)});")
+            return
+        if isinstance(s, A.Return):
+            self.emit("return;" if s.value is None
+                      else f"return {self.ret_value(s.value)};")
+            return
+        if isinstance(s, A.Break):
+            self.emit("break;")
+            return
+        if isinstance(s, A.Continue):
+            self.emit("continue;")
+            return
+        if isinstance(s, A.Pragma):
+            self.emit(f"#pragma safegen {s.kind}({s.arg})")
+            return
+        raise UnsupportedFeatureError(f"statement {type(s).__name__}")
+
+    def ret_value(self, e: A.Expr) -> str:
+        if isinstance(e.ty, A.CType) and e.ty.is_float():
+            return self.float_value(e)
+        return self.expr(e)
+
+    def _body(self, s: A.Stmt) -> None:
+        self.indent += 1
+        if isinstance(s, A.Compound):
+            for sub in s.stmts:
+                self.stmt(sub)
+        else:
+            self.stmt(s)
+        self.indent -= 1
+
+    def _inline_stmt(self, s: A.Stmt) -> str:
+        if isinstance(s, A.Decl):
+            init = f" = {self.expr(s.init)}" if s.init is not None else ""
+            return f"{self.type_str(s.type, s.name)}{init}"
+        if isinstance(s, A.ExprStmt):
+            return self.expr(s.expr)
+        raise UnsupportedFeatureError("complex for-loop initializer")
+
+    def _maybe_prioritize(self, s) -> None:
+        prio = getattr(s, "prioritize", None)
+        if prio is None:
+            return
+        if self.plain:
+            self.emit(f"#pragma safegen prioritize({prio})")
+        else:
+            self.emit(f"aa_prioritize_{self.sfx}(&{prio});")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def float_value(self, e: A.Expr) -> str:
+        if self.plain:
+            return self._plain_expr(e)
+        if isinstance(e, A.FloatLit):
+            if _text_is_exact(e):
+                return f"aa_const_exact_{self.sfx}({e.text or repr(e.value)})"
+            return f"aa_const_{self.sfx}({e.text or repr(e.value)})"
+        if isinstance(e, A.IntLit):
+            return f"aa_const_exact_{self.sfx}({float(e.value)!r})"
+        if isinstance(e, A.IntervalLit):
+            return f"aa_const_range_{self.sfx}({e.lo!r}, {e.hi!r})"
+        if isinstance(e, A.BinOp) and e.op in ("+", "-", "*", "/"):
+            fn = {"+": "add", "-": "sub", "*": "mul", "/": "div"}[e.op]
+            return (f"aa_{fn}_{self.sfx}({self.float_value(e.lhs)}, "
+                    f"{self.float_value(e.rhs)})")
+        if isinstance(e, A.UnOp) and e.op == "-":
+            return f"aa_neg_{self.sfx}({self.float_value(e.operand)})"
+        if isinstance(e, A.Call) and e.name in MATH_FUNCS:
+            args = ", ".join(self.float_value(a) for a in e.args)
+            return f"aa_{e.name}_{self.sfx}({args})"
+        if isinstance(e, A.Cast) and isinstance(e.to, A.CType) and e.to.is_float():
+            if isinstance(e.expr.ty, A.CType) and e.expr.ty.is_integer():
+                return f"aa_from_int_{self.sfx}({self.expr(e.expr)})"
+            return self.float_value(e.expr)
+        if isinstance(e.ty, A.CType) and e.ty.is_integer():
+            return f"aa_from_int_{self.sfx}({self.expr(e)})"
+        if isinstance(e, (A.Ident, A.Index)):
+            return self.expr(e)
+        if isinstance(e, A.Call):
+            return self.expr(e)
+        raise UnsupportedFeatureError(f"float expression {type(e).__name__}")
+
+    def _plain_expr(self, e: A.Expr) -> str:
+        """Ordinary C rendering (for the 'plain' annotated-source flavor)."""
+        if isinstance(e, A.FloatLit):
+            return e.text or repr(e.value)
+        if isinstance(e, A.IntervalLit):
+            mid = e.lo + (e.hi - e.lo) / 2.0
+            return repr(mid)
+        if isinstance(e, A.IntLit):
+            return str(e.value)
+        if isinstance(e, A.Ident):
+            return e.name
+        if isinstance(e, A.Index):
+            return f"{self._plain_expr(e.base)}[{self._plain_expr(e.index)}]"
+        if isinstance(e, A.BinOp):
+            return (f"({self._plain_expr(e.lhs)} {e.op} "
+                    f"{self._plain_expr(e.rhs)})")
+        if isinstance(e, A.UnOp):
+            if e.op in ("p++", "p--"):
+                return f"{self._plain_expr(e.operand)}{e.op[1:]}"
+            return f"{e.op}({self._plain_expr(e.operand)})"
+        if isinstance(e, A.Call):
+            args = ", ".join(self._plain_expr(a) for a in e.args)
+            return f"{e.name}({args})"
+        if isinstance(e, A.Cast):
+            return f"(({e.to}){self._plain_expr(e.expr)})"
+        if isinstance(e, A.Assign):
+            return (f"{self._plain_expr(e.target)} {e.op} "
+                    f"{self._plain_expr(e.value)}")
+        if isinstance(e, A.Cond):
+            return (f"({self._plain_expr(e.cond)} ? "
+                    f"{self._plain_expr(e.then)} : "
+                    f"{self._plain_expr(e.els)})")
+        raise UnsupportedFeatureError(f"expression {type(e).__name__}")
+
+    def expr(self, e: A.Expr) -> str:
+        if self.plain:
+            return self._plain_expr(e)
+        if isinstance(e, A.IntLit):
+            return str(e.value)
+        if isinstance(e, A.FloatLit):
+            return self.float_value(e)
+        if isinstance(e, A.IntervalLit):
+            return self.float_value(e)
+        if isinstance(e, A.Ident):
+            return e.name
+        if isinstance(e, A.Index):
+            return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+        if isinstance(e, A.BinOp):
+            lf = isinstance(e.lhs.ty, A.CType) and e.lhs.ty.is_float()
+            rf = isinstance(e.rhs.ty, A.CType) and e.rhs.ty.is_float()
+            if e.op in ("<", "<=", ">", ">=", "==", "!=") and (lf or rf):
+                fn = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                      "==": "eq", "!=": "ne"}[e.op]
+                return (f"aa_cmp_{fn}_{self.sfx}({self.float_value(e.lhs)}, "
+                        f"{self.float_value(e.rhs)})")
+            if e.op in ("+", "-", "*", "/") and (
+                (isinstance(e.ty, A.CType) and e.ty.is_float()) or lf or rf
+            ):
+                return self.float_value(e)
+            return f"({self.expr(e.lhs)} {e.op} {self.expr(e.rhs)})"
+        if isinstance(e, A.UnOp):
+            if e.op == "-" and isinstance(e.ty, A.CType) and e.ty.is_float():
+                return self.float_value(e)
+            if e.op in ("p++", "p--"):
+                return f"{self.expr(e.operand)}{e.op[1:]}"
+            if e.op in ("++", "--"):
+                return f"{e.op}{self.expr(e.operand)}"
+            return f"{e.op}({self.expr(e.operand)})"
+        if isinstance(e, A.Call):
+            if e.name in MATH_FUNCS:
+                return self.float_value(e)
+            args = ", ".join(
+                self.float_value(a)
+                if isinstance(a.ty, A.CType) and a.ty.is_float()
+                else self.expr(a)
+                for a in e.args
+            )
+            return f"{e.name}({args})"
+        if isinstance(e, A.Assign):
+            return f"{self.expr(e.target)} {e.op} {self.expr(e.value)}"
+        if isinstance(e, A.Cast):
+            return self.float_value(e) \
+                if isinstance(e.to, A.CType) and e.to.is_float() \
+                else f"(({e.to}){self.expr(e.expr)})"
+        if isinstance(e, A.Cond):
+            return (f"({self.expr(e.cond)} ? {self.expr(e.then)} : "
+                    f"{self.expr(e.els)})")
+        raise UnsupportedFeatureError(f"expression {type(e).__name__}")

@@ -1,0 +1,159 @@
+"""Compiler configuration, including the paper's notation strings.
+
+Section VII-A uses strings like ``f64a-dspv``: precision, then one letter
+each for placement (s/d), fusion (s/m/o/r), prioritization (p/n), and
+vectorization (v/n).  ``CompilerConfig.from_string`` parses exactly that,
+plus the interval modes ``ia-f64`` / ``ia-dd`` used for the IGen baseline
+comparison of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..aa import AffineContext, FusionPolicy, PlacementPolicy, Precision
+from ..common import DecisionPolicy
+
+__all__ = ["CompilerConfig"]
+
+_PLACEMENT = {"s": PlacementPolicy.SORTED, "d": PlacementPolicy.DIRECT_MAPPED}
+_FUSION = {
+    "s": FusionPolicy.SMALLEST,
+    "m": FusionPolicy.MEAN,
+    "o": FusionPolicy.OLDEST,
+    "r": FusionPolicy.RANDOM,
+}
+_PRECISION = {"f64a": Precision.F64, "dda": Precision.DD, "f32a": Precision.F32}
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Full configuration of a SafeGen compilation.
+
+    ``mode`` selects the numeric family: ``aa`` (affine — the paper's
+    SafeGen output), ``ia`` (double intervals, IGen-f64) or ``ia_dd``
+    (double-double intervals, IGen-dd).
+    """
+
+    mode: str = "aa"
+    # Affine implementation within aa mode: 'auto' (the paper's bounded
+    # forms) or a library baseline: 'full' (yalaa-aff0), 'fixed'
+    # (yalaa-aff1), 'ceres' (ceres-affine).
+    impl: str = "auto"
+    k: int = 16
+    precision: Precision = Precision.F64
+    placement: PlacementPolicy = PlacementPolicy.DIRECT_MAPPED
+    fusion: FusionPolicy = FusionPolicy.SMALLEST
+    prioritize: bool = False
+    vectorize: bool = False
+    decision_policy: DecisionPolicy = DecisionPolicy.CENTRAL
+    seed: int = 0x5AFE
+    # analysis knobs
+    unroll: bool = True
+    unroll_budget: int = 4000
+    solver: str = "auto"  # 'ilp' | 'greedy' | 'auto'
+    ilp_time_limit: float = 30.0
+    # Minimum winner-vote share for a statement to receive a prioritize
+    # pragma (see repro.analysis.annotate.priority_pragmas).
+    vote_threshold: float = 0.2
+    # concrete values for integer params, so analysis can unroll their loops
+    int_params: dict = field(default_factory=dict, hash=False, compare=False)
+
+    def __post_init__(self):
+        if self.mode not in ("aa", "ia", "ia_dd", "float"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.impl not in ("auto", "full", "fixed", "ceres"):
+            raise ValueError(f"unknown impl {self.impl!r}")
+        if self.solver not in ("ilp", "greedy", "auto"):
+            raise ValueError(f"unknown solver {self.solver!r}")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.vectorize and self.placement is not PlacementPolicy.DIRECT_MAPPED:
+            raise ValueError("vectorized output requires direct-mapped placement")
+        if self.vectorize and self.precision is not Precision.F64:
+            raise ValueError("vectorized output supports f64a only")
+
+    # -- paper notation ----------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, name: str, k: int = 16, **overrides) -> "CompilerConfig":
+        """Parse a paper-style configuration string.
+
+        Examples: ``f64a-dspv`` (direct-mapped, smallest, prioritized,
+        vectorized), ``dda-dsnn``, ``f64a-srnn``, ``ia-f64``, ``ia-dd``.
+        """
+        name = name.strip().lower()
+        if name in ("ia-f64", "igen-f64"):
+            return cls(mode="ia", k=k, **overrides)
+        if name in ("ia-dd", "igen-dd"):
+            return cls(mode="ia_dd", k=k, **overrides)
+        if name in ("float", "unsound", "original"):
+            return cls(mode="float", k=k, **overrides)
+        if name == "yalaa-aff0":
+            return cls(mode="aa", impl="full", k=k, **overrides)
+        if name == "yalaa-aff1":
+            return cls(mode="aa", impl="fixed", k=k, **overrides)
+        if name in ("ceres", "ceres-affine"):
+            return cls(mode="aa", impl="ceres", k=k, **overrides)
+        try:
+            precision_s, flags = name.split("-")
+            precision = _PRECISION[precision_s]
+            placement = _PLACEMENT[flags[0]]
+            fusion = _FUSION[flags[1]]
+            prioritize = {"p": True, "n": False}[flags[2]]
+            vectorize = {"v": True, "n": False}[flags[3]]
+            if len(flags) != 4:
+                raise KeyError(flags)
+        except (ValueError, KeyError, IndexError):
+            raise ValueError(
+                f"cannot parse configuration string {name!r} "
+                "(expected e.g. 'f64a-dspv', 'dda-dsnn', 'ia-f64')"
+            ) from None
+        return cls(
+            mode="aa", k=k, precision=precision, placement=placement,
+            fusion=fusion, prioritize=prioritize, vectorize=vectorize,
+            **overrides,
+        )
+
+    @property
+    def name(self) -> str:
+        """The paper-style configuration string."""
+        if self.mode == "ia":
+            return "ia-f64"
+        if self.mode == "ia_dd":
+            return "ia-dd"
+        if self.mode == "float":
+            return "float"
+        if self.impl == "full":
+            return "yalaa-aff0"
+        if self.impl == "fixed":
+            return "yalaa-aff1"
+        if self.impl == "ceres":
+            return f"ceres-affine-k{self.k}"
+        return (
+            f"{self.precision.value}-{self.placement.code}{self.fusion.code}"
+            f"{'p' if self.prioritize else 'n'}{'v' if self.vectorize else 'n'}"
+        )
+
+    def with_k(self, k: int) -> "CompilerConfig":
+        return replace(self, k=k)
+
+    # -- runtime construction --------------------------------------------------------
+
+    def runtime_mode(self) -> str:
+        return self.mode
+
+    def make_context(self) -> Optional[AffineContext]:
+        if self.mode != "aa":
+            return None
+        return AffineContext(
+            k=self.k,
+            placement=self.placement,
+            fusion=self.fusion,
+            precision=self.precision,
+            vectorized=self.vectorize,
+            decision_policy=self.decision_policy,
+            seed=self.seed,
+            impl=self.impl,
+        )

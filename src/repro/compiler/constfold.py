@@ -1,0 +1,137 @@
+"""Sound constant folding (Section IV-B).
+
+Constant float subexpressions are folded at compile time *as ranges*: the
+fold is evaluated in interval arithmetic over the conservative enclosures of
+the literals (inexact literals are one ulp wide, eq. in Section IV-B), and
+the result becomes an :class:`repro.compiler.cast.IntervalLit` that the code
+generators turn into a single affine constant — saving the runtime
+operations without giving up the error accounting.
+
+Integer constant expressions fold exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..ia import Interval
+from . import cast as A
+
+__all__ = ["fold_constants"]
+
+
+def fold_constants(unit: A.TranslationUnit) -> A.TranslationUnit:
+    for f in unit.funcs:
+        if f.body is not None:
+            _fold_stmt(f.body)
+    return unit
+
+
+def _fold_stmt(s: A.Stmt) -> None:
+    for name in getattr(s, "__dataclass_fields__", {}):
+        v = getattr(s, name)
+        if isinstance(v, A.Expr):
+            setattr(s, name, _fold_expr(v))
+        elif isinstance(v, A.Stmt):
+            _fold_stmt(v)
+        elif isinstance(v, list):
+            for i, item in enumerate(v):
+                if isinstance(item, A.Expr):
+                    v[i] = _fold_expr(item)
+                elif isinstance(item, A.Stmt):
+                    _fold_stmt(item)
+
+
+def _literal_interval(e: A.Expr) -> Optional[Interval]:
+    if isinstance(e, A.FloatLit):
+        exact = _text_is_exact(e)
+        return Interval.from_constant(e.value, exact=exact)
+    if isinstance(e, A.IntervalLit):
+        return Interval(e.lo, e.hi)
+    if isinstance(e, A.IntLit):
+        return Interval.point(float(e.value))
+    return None
+
+
+def _text_is_exact(e: A.FloatLit) -> bool:
+    """A literal is exact when its decimal spelling round-trips exactly
+    (e.g. 0.5, 2.0, 1.25) — a refinement of the paper's integers-are-exact
+    rule that never weakens soundness."""
+    if not math.isfinite(e.value):
+        return False
+    if e.value == int(e.value):
+        return True
+    try:
+        from fractions import Fraction
+
+        txt = e.text.rstrip("fFlL") if e.text else None
+        if not txt:
+            return False
+        return Fraction(e.value) == Fraction(txt.replace("E", "e"))
+    except (ValueError, ZeroDivisionError):
+        return False
+
+
+def _result_literal(iv: Interval, loc) -> A.Expr:
+    if iv.is_point():
+        lit = A.FloatLit(loc=loc, value=iv.lo, text=repr(iv.lo))
+        lit.ty = A.CType("double")
+        return lit
+    out = A.IntervalLit(loc=loc, lo=iv.lo, hi=iv.hi)
+    out.ty = A.CType("double")
+    return out
+
+
+def _fold_expr(e: A.Expr) -> A.Expr:
+    # Fold children first.
+    for name in getattr(e, "__dataclass_fields__", {}):
+        v = getattr(e, name)
+        if isinstance(v, A.Expr):
+            setattr(e, name, _fold_expr(v))
+        elif isinstance(v, list):
+            for i, item in enumerate(v):
+                if isinstance(item, A.Expr):
+                    v[i] = _fold_expr(item)
+
+    if isinstance(e, A.BinOp) and e.op in ("+", "-", "*", "/"):
+        # Integer folding (exact).
+        if isinstance(e.lhs, A.IntLit) and isinstance(e.rhs, A.IntLit) \
+                and e.op != "/":
+            val = {"+": e.lhs.value + e.rhs.value,
+                   "-": e.lhs.value - e.rhs.value,
+                   "*": e.lhs.value * e.rhs.value}[e.op]
+            out = A.IntLit(loc=e.loc, value=val)
+            out.ty = e.ty
+            return out
+        if isinstance(e.ty, A.CType) and e.ty.is_float():
+            li = _literal_interval(e.lhs)
+            ri = _literal_interval(e.rhs)
+            if li is not None and ri is not None:
+                if e.op == "+":
+                    iv = li + ri
+                elif e.op == "-":
+                    iv = li - ri
+                elif e.op == "*":
+                    iv = li * ri
+                else:
+                    if ri.lo <= 0.0 <= ri.hi:
+                        return e  # leave division by zero-range to runtime
+                    iv = li / ri
+                if iv.is_valid() and iv.is_finite():
+                    return _result_literal(iv, e.loc)
+    if isinstance(e, A.UnOp) and e.op == "-":
+        if isinstance(e.operand, A.FloatLit):
+            out = A.FloatLit(loc=e.loc, value=-e.operand.value,
+                             text="-" + e.operand.text)
+            out.ty = e.ty
+            return out
+        if isinstance(e.operand, A.IntLit):
+            out = A.IntLit(loc=e.loc, value=-e.operand.value)
+            out.ty = e.ty
+            return out
+        if isinstance(e.operand, A.IntervalLit):
+            out = A.IntervalLit(loc=e.loc, lo=-e.operand.hi, hi=-e.operand.lo)
+            out.ty = e.ty
+            return out
+    return e

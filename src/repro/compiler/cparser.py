@@ -1,0 +1,455 @@
+"""Recursive-descent parser for the supported C subset.
+
+Produces the AST of :mod:`repro.compiler.cast`.  The subset is what the
+paper's benchmarks and examples need: function definitions over scalars,
+pointers and (multi-dimensional, constant-sized) arrays; full C expressions;
+``for``/``while``/``do``/``if``/``return``; SIMD vector types (``__m256d``,
+``__m128d``); and ``#pragma safegen`` annotations.
+
+This replaces the paper's Clang LibTooling frontend (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError, UnsupportedFeatureError
+from . import cast as A
+from .clexer import Token, tokenize
+
+__all__ = ["parse", "Parser"]
+
+_TYPE_KEYWORDS = frozenset(["void", "int", "long", "char", "unsigned",
+                            "float", "double", "const"])
+_VECTOR_TYPES = {"__m256d": A.VectorType(A.CType("double"), 4),
+                 "__m128d": A.VectorType(A.CType("double"), 2)}
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%="])
+
+
+def parse(source: str) -> A.TranslationUnit:
+    """Parse C source into a :class:`repro.compiler.cast.TranslationUnit`."""
+    return Parser(tokenize(source)).translation_unit()
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}",
+                             tok.line, tok.col)
+        return self.next()
+
+    def _loc(self) -> A.Loc:
+        tok = self.peek()
+        return (tok.line, tok.col)
+
+    # -- types -----------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        tok = self.peek()
+        if tok.kind == "keyword" and tok.text in _TYPE_KEYWORDS:
+            return True
+        return tok.kind == "ident" and tok.text in _VECTOR_TYPES
+
+    def base_type(self):
+        """Parse type specifiers (const/static/inline qualifiers ignored)."""
+        while self.accept("keyword", "const") or self.accept("keyword", "static") \
+                or self.accept("keyword", "inline") or self.accept("keyword", "restrict"):
+            pass
+        tok = self.peek()
+        if tok.kind == "ident" and tok.text in _VECTOR_TYPES:
+            self.next()
+            return _VECTOR_TYPES[tok.text]
+        if tok.kind != "keyword" or tok.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, found {tok.text!r}",
+                             tok.line, tok.col)
+        self.next()
+        kind = tok.text
+        if kind == "unsigned" and self.at("keyword", "int"):
+            self.next()
+        if kind == "long" and self.at("keyword", "long"):
+            self.next()
+        while self.accept("keyword", "const"):
+            pass
+        return A.CType("int" if kind in ("unsigned", "char") else kind)
+
+    def _declarator_suffix(self, base):
+        """Array dimensions after a declarator name."""
+        dims: List[Optional[int]] = []
+        while self.accept("op", "["):
+            if self.at("op", "]"):
+                dims.append(None)
+            else:
+                tok = self.expect("int")
+                dims.append(int(tok.text, 0))
+            self.expect("op", "]")
+        ty = base
+        for dim in reversed(dims):
+            ty = A.ArrayType(ty, dim)
+        return ty
+
+    # -- top level ---------------------------------------------------------------
+
+    def translation_unit(self) -> A.TranslationUnit:
+        unit = A.TranslationUnit()
+        while not self.at("eof"):
+            if self.at("pragma"):
+                # Stray pragma at top level: skip.
+                self.next()
+                continue
+            loc = self._loc()
+            base = self.base_type()
+            stars = 0
+            while self.accept("op", "*"):
+                stars += 1
+            name = self.expect("ident").text
+            if self.at("op", "("):
+                unit.funcs.append(self._func_def(base, stars, name, loc))
+            else:
+                ty = base
+                for _ in range(stars):
+                    ty = A.PointerType(ty)
+                ty = self._declarator_suffix(ty)
+                init = None
+                if self.accept("op", "="):
+                    init = self.assignment()
+                self.expect("op", ";")
+                unit.globals.append(A.Decl(loc=loc, name=name, type=ty, init=init))
+        return unit
+
+    def _func_def(self, base, stars, name, loc) -> A.FuncDef:
+        ret = base
+        for _ in range(stars):
+            ret = A.PointerType(ret)
+        self.expect("op", "(")
+        params: List[A.Param] = []
+        if not self.at("op", ")"):
+            if self.at("keyword", "void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    pbase = self.base_type()
+                    pstars = 0
+                    while self.accept("op", "*"):
+                        pstars += 1
+                    pname = self.expect("ident").text
+                    pty = pbase
+                    for _ in range(pstars):
+                        pty = A.PointerType(pty)
+                    pty = self._declarator_suffix(pty)
+                    params.append(A.Param(name=pname, type=pty))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        if self.accept("op", ";"):  # prototype: record as bodyless function
+            return A.FuncDef(name=name, return_type=ret, params=params,
+                             body=None, loc=loc)
+        body = self.compound()
+        return A.FuncDef(name=name, return_type=ret, params=params,
+                         body=body, loc=loc)
+
+    # -- statements -----------------------------------------------------------------
+
+    def compound(self) -> A.Compound:
+        loc = self._loc()
+        self.expect("op", "{")
+        stmts: List[A.Stmt] = []
+        while not self.at("op", "}"):
+            stmts.append(self.statement())
+        self.expect("op", "}")
+        return A.Compound(loc=loc, stmts=stmts)
+
+    def statement(self) -> A.Stmt:
+        loc = self._loc()
+        if self.at("pragma"):
+            tok = self.next()
+            kind, arg = tok.payload
+            return A.Pragma(loc=loc, kind=kind, arg=arg)
+        if self.at("op", "{"):
+            return self.compound()
+        if self.at("op", ";"):
+            self.next()
+            return A.Compound(loc=loc, stmts=[])
+        if self.at("keyword", "if"):
+            return self._if_stmt()
+        if self.at("keyword", "for"):
+            return self._for_stmt()
+        if self.at("keyword", "while"):
+            return self._while_stmt()
+        if self.at("keyword", "do"):
+            return self._do_stmt()
+        if self.at("keyword", "return"):
+            self.next()
+            value = None if self.at("op", ";") else self.expression()
+            self.expect("op", ";")
+            return A.Return(loc=loc, value=value)
+        if self.at("keyword", "break"):
+            self.next()
+            self.expect("op", ";")
+            return A.Break(loc=loc)
+        if self.at("keyword", "continue"):
+            self.next()
+            self.expect("op", ";")
+            return A.Continue(loc=loc)
+        if self.at_type():
+            return self._decl_stmt()
+        expr = self.expression()
+        self.expect("op", ";")
+        return A.ExprStmt(loc=loc, expr=expr)
+
+    def _decl_stmt(self) -> A.Stmt:
+        loc = self._loc()
+        base = self.base_type()
+        decls: List[A.Decl] = []
+        while True:
+            dloc = self._loc()
+            stars = 0
+            while self.accept("op", "*"):
+                stars += 1
+            name = self.expect("ident").text
+            ty = base
+            for _ in range(stars):
+                ty = A.PointerType(ty)
+            ty = self._declarator_suffix(ty)
+            init = None
+            if self.accept("op", "="):
+                if self.at("op", "{"):
+                    raise UnsupportedFeatureError(
+                        "brace initializers are not supported"
+                    )
+                init = self.assignment()
+            decls.append(A.Decl(loc=dloc, name=name, type=ty, init=init))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return A.Compound(loc=loc, stmts=decls)
+
+    def _if_stmt(self) -> A.If:
+        loc = self._loc()
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        then = self.statement()
+        els = None
+        if self.accept("keyword", "else"):
+            els = self.statement()
+        return A.If(loc=loc, cond=cond, then=then, els=els)
+
+    def _for_stmt(self) -> A.For:
+        loc = self._loc()
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[A.Stmt] = None
+        if not self.at("op", ";"):
+            if self.at_type():
+                init = self._decl_stmt()  # consumes the ';'
+            else:
+                expr = self.expression()
+                self.expect("op", ";")
+                init = A.ExprStmt(loc=loc, expr=expr)
+        else:
+            self.next()
+        cond = None if self.at("op", ";") else self.expression()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self.expression()
+        self.expect("op", ")")
+        body = self.statement()
+        return A.For(loc=loc, init=init, cond=cond, step=step, body=body)
+
+    def _while_stmt(self) -> A.While:
+        loc = self._loc()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        body = self.statement()
+        return A.While(loc=loc, cond=cond, body=body)
+
+    def _do_stmt(self) -> A.DoWhile:
+        loc = self._loc()
+        self.expect("keyword", "do")
+        body = self.statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return A.DoWhile(loc=loc, body=body, cond=cond)
+
+    # -- expressions --------------------------------------------------------------
+
+    def expression(self) -> A.Expr:
+        # The comma operator is not supported (rare in numeric kernels);
+        # `expression` is therefore assignment-expression.
+        return self.assignment()
+
+    def assignment(self) -> A.Expr:
+        loc = self._loc()
+        lhs = self.conditional()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.next()
+            rhs = self.assignment()
+            return A.Assign(loc=loc, op=tok.text, target=lhs, value=rhs)
+        return lhs
+
+    def conditional(self) -> A.Expr:
+        loc = self._loc()
+        cond = self.logical_or()
+        if self.accept("op", "?"):
+            then = self.expression()
+            self.expect("op", ":")
+            els = self.conditional()
+            return A.Cond(loc=loc, cond=cond, then=then, els=els)
+        return cond
+
+    def _binary_level(self, ops, next_level):
+        loc = self._loc()
+        lhs = next_level()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ops:
+                self.next()
+                rhs = next_level()
+                lhs = A.BinOp(loc=loc, op=tok.text, lhs=lhs, rhs=rhs)
+            else:
+                return lhs
+
+    def logical_or(self):
+        return self._binary_level(("||",), self.logical_and)
+
+    def logical_and(self):
+        return self._binary_level(("&&",), self.bit_or)
+
+    def bit_or(self):
+        return self._binary_level(("|",), self.bit_xor)
+
+    def bit_xor(self):
+        return self._binary_level(("^",), self.bit_and)
+
+    def bit_and(self):
+        return self._binary_level(("&",), self.equality)
+
+    def equality(self):
+        return self._binary_level(("==", "!="), self.relational)
+
+    def relational(self):
+        return self._binary_level(("<", "<=", ">", ">="), self.shift)
+
+    def shift(self):
+        return self._binary_level(("<<", ">>"), self.additive)
+
+    def additive(self):
+        return self._binary_level(("+", "-"), self.multiplicative)
+
+    def multiplicative(self):
+        return self._binary_level(("*", "/", "%"), self.unary)
+
+    def unary(self) -> A.Expr:
+        loc = self._loc()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "+", "!", "~", "*", "&"):
+            self.next()
+            operand = self.unary()
+            if tok.text == "+":
+                return operand
+            return A.UnOp(loc=loc, op=tok.text, operand=operand)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            return A.UnOp(loc=loc, op=tok.text, operand=self.unary())
+        # cast: '(' type ')' unary
+        if tok.text == "(" and self._is_cast_ahead():
+            self.next()
+            ty = self.base_type()
+            while self.accept("op", "*"):
+                ty = A.PointerType(ty)
+            self.expect("op", ")")
+            return A.Cast(loc=loc, to=ty, expr=self.unary())
+        return self.postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        nxt = self.peek(1)
+        if nxt.kind == "keyword" and nxt.text in _TYPE_KEYWORDS:
+            return True
+        return nxt.kind == "ident" and nxt.text in _VECTOR_TYPES
+
+    def postfix(self) -> A.Expr:
+        loc = self._loc()
+        expr = self.primary()
+        while True:
+            if self.at("op", "("):
+                if not isinstance(expr, A.Ident):
+                    raise UnsupportedFeatureError(
+                        "only direct function calls are supported"
+                    )
+                self.next()
+                args: List[A.Expr] = []
+                if not self.at("op", ")"):
+                    while True:
+                        args.append(self.assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = A.Call(loc=loc, name=expr.name, args=args)
+            elif self.at("op", "["):
+                self.next()
+                idx = self.expression()
+                self.expect("op", "]")
+                expr = A.Index(loc=loc, base=expr, index=idx)
+            elif self.at("op", "++") or self.at("op", "--"):
+                tok = self.next()
+                expr = A.UnOp(loc=loc, op="p" + tok.text, operand=expr)
+            else:
+                return expr
+
+    def primary(self) -> A.Expr:
+        tok = self.peek()
+        loc = (tok.line, tok.col)
+        if tok.kind == "int":
+            self.next()
+            return A.IntLit(loc=loc, value=int(tok.text.rstrip("uUlL"), 0))
+        if tok.kind == "float":
+            self.next()
+            return A.FloatLit(loc=loc,
+                              value=float.fromhex(tok.text.rstrip("fFlL"))
+                              if tok.text.lower().startswith("0x")
+                              else float(tok.text.rstrip("fFlL")),
+                              text=tok.text)
+        if tok.kind == "ident":
+            self.next()
+            return A.Ident(loc=loc, name=tok.text)
+        if tok.text == "(":
+            self.next()
+            expr = self.expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)

@@ -1,0 +1,286 @@
+"""The SafeGen driver: the full compilation pipeline (paper Fig. 1 + Fig. 6).
+
+    C source
+      → parse (clexer/cparser)
+      → SIMD-to-C lowering (simd)
+      → semantic analysis (typecheck)
+      → sound constant folding (constfold)
+      → three-address code (tac)
+      → [prioritize] unroll → DAG → reuse candidates → max-reuse ILP →
+        per-op pragmas (repro.analysis)
+      → code generation (codegen_py for execution, codegen_c for display)
+
+Use :func:`compile_c` for the one-call form, or :class:`SafeGen` to keep a
+configured compiler around.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import CompileError
+from . import cast as A
+from .codegen_c import generate_c
+from .codegen_py import generate_python
+from .config import CompilerConfig
+from .constfold import fold_constants
+from .cparser import parse
+from .rename import alpha_rename
+from .runtime import Runtime
+from .simd import lower_simd
+from .tac import to_tac
+from .typecheck import typecheck
+
+__all__ = ["SafeGen", "CompiledProgram", "ProgramResult", "compile_c"]
+
+
+@dataclass
+class AnalysisReport:
+    """What the static analysis did (Section VI) — attached to programs
+    compiled with prioritization."""
+
+    dag_nodes: int = 0
+    candidates: int = 0
+    total_profit: int = 0
+    annotated_statements: int = 0
+    solver: str = "none"
+    feasible: bool = False
+
+    def __str__(self) -> str:
+        if not self.feasible:
+            return "analysis: no beneficial prioritization found"
+        return (
+            f"analysis: {self.dag_nodes} nodes, {self.candidates} reuse "
+            f"candidates, profit {self.total_profit}, "
+            f"{self.annotated_statements} ops annotated ({self.solver})"
+        )
+
+
+@dataclass
+class ProgramResult:
+    """Result of running a compiled program once.
+
+    ``value`` is the function's return value (an affine form / interval for
+    float-returning functions).  ``params`` maps parameter names to the
+    (coerced, possibly mutated) argument values — output arrays are read
+    from here.  ``runtime`` exposes the context and statistics.
+    """
+
+    value: Any
+    params: Dict[str, Any]
+    runtime: Runtime
+    elapsed_s: float = 0.0
+
+    def interval(self):
+        if hasattr(self.value, "interval"):
+            return self.value.interval()
+        return self.value
+
+    def acc_bits(self) -> float:
+        from ..aa import acc_bits
+
+        return acc_bits(self.value)
+
+    @property
+    def stats(self):
+        return self.runtime.stats
+
+
+class CompiledProgram:
+    """A sound, runnable program produced by SafeGen.
+
+    Calling the program runs the generated Python against a *fresh* runtime:
+    plain floats (and nested lists of floats) are converted to sound inputs
+    carrying one error symbol of ``uncertainty_ulps`` ulps each, matching
+    the paper's experimental setup; affine/interval values pass through.
+    """
+
+    def __init__(self, config: CompilerConfig, unit: A.TranslationUnit,
+                 entry: str, python_source: str, c_source: str,
+                 priority_map: Dict[int, str],
+                 report: Optional[AnalysisReport]) -> None:
+        self.config = config
+        self.unit = unit
+        self.entry = entry
+        self.python_source = python_source
+        self.c_source = c_source
+        self.priority_map = priority_map
+        self.analysis_report = report
+        namespace: Dict[str, Any] = {}
+        exec(compile(python_source, f"<safegen:{entry}>", "exec"), namespace)
+        self._namespace = namespace
+        self._fn = namespace[entry]
+        self._params = [p.name for p in unit.func(entry).params]
+
+    def make_runtime(self) -> Runtime:
+        return Runtime(
+            mode=self.config.runtime_mode(),
+            ctx=self.config.make_context(),
+            decision_policy=self.config.decision_policy,
+        )
+
+    def __call__(self, *args, uncertainty_ulps: float = 1.0,
+                 runtime: Optional[Runtime] = None, **kwargs) -> ProgramResult:
+        import time
+
+        rt = runtime if runtime is not None else self.make_runtime()
+        bound: Dict[str, Any] = {}
+        if len(args) > len(self._params):
+            raise TypeError(
+                f"{self.entry}() takes {len(self._params)} arguments, "
+                f"got {len(args)}"
+            )
+        for name, value in zip(self._params, args):
+            bound[name] = value
+        for name, value in kwargs.items():
+            if name not in self._params:
+                raise TypeError(f"{self.entry}() has no parameter {name!r}")
+            if name in bound:
+                raise TypeError(f"duplicate argument {name!r}")
+            bound[name] = value
+        missing = [p for p in self._params if p not in bound]
+        if missing:
+            raise TypeError(f"missing arguments: {', '.join(missing)}")
+        func = self.unit.func(self.entry)
+        coerced: Dict[str, Any] = {}
+        for p in func.params:
+            v = bound[p.name]
+            if isinstance(p.type, A.CType) and p.type.is_integer():
+                coerced[p.name] = int(v)
+            else:
+                coerced[p.name] = rt.coerce_input(v, uncertainty_ulps)
+        t0 = time.perf_counter()
+        value = self._fn(rt, *(coerced[p] for p in self._params))
+        elapsed = time.perf_counter() - t0
+        return ProgramResult(value=value, params=coerced, runtime=rt,
+                             elapsed_s=elapsed)
+
+
+class SafeGen:
+    """The SafeGen source-to-source compiler (Sound Affine Generator)."""
+
+    def __init__(self, config: Optional[CompilerConfig] = None) -> None:
+        self.config = config if config is not None else CompilerConfig()
+
+    def compile(self, source: str, entry: Optional[str] = None
+                ) -> CompiledProgram:
+        """Compile C source into a sound runnable program.
+
+        ``entry`` names the function to expose (default: the last function
+        defined with a body).
+        """
+        unit = parse(source)
+        with_bodies = [f for f in unit.funcs if f.body is not None]
+        if not with_bodies:
+            raise CompileError("no function with a body in the input")
+        if entry is None:
+            entry = with_bodies[-1].name
+        else:
+            unit.func(entry)  # raises KeyError for unknown names
+
+        lower_simd(unit)
+        typecheck(unit)
+        alpha_rename(unit)  # C block scoping -> unique names (Python scoping)
+        fold_constants(unit)
+        to_tac(unit)
+        typecheck(unit)  # re-annotate types on TAC-introduced nodes
+
+        priority_map: Dict[int, str] = {}
+        report: Optional[AnalysisReport] = None
+        if self.config.mode == "aa" and self.config.prioritize:
+            priority_map, report = self._analyze(unit.func(entry))
+
+        python_source = generate_python(unit)
+        flavor = self._c_flavor()
+        c_source = generate_c(unit, flavor)
+        return CompiledProgram(self.config, unit, entry, python_source,
+                               c_source, priority_map, report)
+
+    def annotate(self, source: str, entry: Optional[str] = None) -> str:
+        """Run only the preprocessing of Fig. 6 and return the input program
+        (in TAC form) annotated with ``#pragma safegen prioritize`` lines —
+        the paper's Fig. 7 output."""
+        unit = parse(source)
+        with_bodies = [f for f in unit.funcs if f.body is not None]
+        if not with_bodies:
+            raise CompileError("no function with a body in the input")
+        if entry is None:
+            entry = with_bodies[-1].name
+        lower_simd(unit)
+        typecheck(unit)
+        alpha_rename(unit)
+        fold_constants(unit)
+        to_tac(unit)
+        typecheck(unit)
+        self._analyze(unit.func(entry))
+        return generate_c(unit, "plain")
+
+    def _c_flavor(self) -> str:
+        from ..aa import Precision
+
+        if self.config.mode == "ia":
+            return "ia-f64"
+        if self.config.mode == "ia_dd":
+            return "ia-dd"
+        return "aa-dda" if self.config.precision is Precision.DD else "aa-f64a"
+
+    def _analyze(self, func: A.FuncDef):
+        from .. import analysis as ana  # local import: avoids an import cycle
+
+        cfg = self.config
+        target = func
+        if cfg.unroll:
+            target = ana.unroll_for_analysis(
+                func, budget=cfg.unroll_budget, int_params=cfg.int_params
+            )
+        dag = ana.build_dag(target)
+        candidates = ana.find_reuse_candidates(dag)
+        problem = ana.MaxReuseProblem(dag=dag, candidates=candidates, k=cfg.k)
+        solver = cfg.solver
+        if solver == "auto":
+            # The exact ILP for big unrolled instances can explode; HiGHS
+            # handles thousands of variables fine, beyond that go greedy.
+            n_vars = len(candidates) + sum(len(c.connection) for c in candidates)
+            solver = "ilp" if n_vars <= 200_000 and len(candidates) <= 4000 \
+                else "greedy"
+        if solver == "ilp":
+            try:
+                assignment = ana.solve_ilp(problem,
+                                           time_limit=cfg.ilp_time_limit)
+            except Exception:
+                solver = "greedy"
+                assignment = ana.solve_greedy(problem)
+        else:
+            assignment = ana.solve_greedy(problem)
+        pragmas = ana.priority_pragmas(dag, assignment,
+                                       cfg.vote_threshold)
+        annotated = ana.apply_pragmas(func, pragmas)
+        report = AnalysisReport(
+            dag_nodes=dag.n_nodes,
+            candidates=len(candidates),
+            total_profit=assignment.total_profit,
+            annotated_statements=annotated,
+            solver=solver,
+            feasible=not assignment.is_empty() and annotated > 0,
+        )
+        return pragmas, report
+
+
+def compile_c(source: str, config: Optional[str | CompilerConfig] = None,
+              k: int = 16, entry: Optional[str] = None,
+              **overrides) -> CompiledProgram:
+    """One-call convenience: C source in, sound runnable program out.
+
+    ``config`` may be a paper-style string (``"f64a-dspv"``, ``"ia-f64"``)
+    or a :class:`CompilerConfig`; remaining keyword arguments override
+    config fields.
+    """
+    if config is None:
+        cfg = CompilerConfig(k=k, **overrides)
+    elif isinstance(config, str):
+        cfg = CompilerConfig.from_string(config, k=k, **overrides)
+    else:
+        cfg = config
+    return SafeGen(cfg).compile(source, entry=entry)

@@ -1,0 +1,128 @@
+"""Alpha renaming: make every declared name unique within a function.
+
+C has block scoping; the generated Python has function scoping, so an inner
+``double y`` must not clobber an outer ``y``.  This pass walks the scopes
+and renames shadowing declarations (``y`` -> ``y__2``), rewriting all uses.
+It runs after typechecking (names are known-valid) and before TAC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from . import cast as A
+
+__all__ = ["alpha_rename"]
+
+
+def alpha_rename(unit: A.TranslationUnit) -> A.TranslationUnit:
+    global_names = {g.name for g in unit.globals}
+    for f in unit.funcs:
+        if f.body is None:
+            continue
+        _Renamer(f, global_names).run()
+    return unit
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.map: Dict[str, str] = {}
+
+    def lookup(self, name: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.map:
+                return scope.map[name]
+            scope = scope.parent
+        return None
+
+
+class _Renamer:
+    def __init__(self, func: A.FuncDef, global_names: Set[str]) -> None:
+        self.func = func
+        self.used: Set[str] = set(global_names)
+        self.used.update(p.name for p in func.params)
+
+    def run(self) -> None:
+        root = _Scope(None)
+        for p in self.func.params:
+            root.map[p.name] = p.name
+        self.stmt(self.func.body, _Scope(root))
+
+    def _fresh(self, name: str) -> str:
+        if name not in self.used:
+            self.used.add(name)
+            return name
+        i = 2
+        while f"{name}__{i}" in self.used:
+            i += 1
+        fresh = f"{name}__{i}"
+        self.used.add(fresh)
+        return fresh
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, s: A.Stmt, scope: _Scope) -> None:
+        if isinstance(s, A.Compound):
+            inner = _Scope(scope)
+            for sub in s.stmts:
+                self.stmt(sub, inner)
+        elif isinstance(s, A.Decl):
+            if s.init is not None:
+                self.expr(s.init, scope)  # initializer sees the outer name
+            s.name = self._declare(s.name, scope)
+        elif isinstance(s, A.ExprStmt):
+            self.expr(s.expr, scope)
+        elif isinstance(s, A.If):
+            self.expr(s.cond, scope)
+            self.stmt(s.then, _Scope(scope))
+            if s.els is not None:
+                self.stmt(s.els, _Scope(scope))
+        elif isinstance(s, A.For):
+            header = _Scope(scope)
+            if s.init is not None:
+                self.stmt(s.init, header)
+            if s.cond is not None:
+                self.expr(s.cond, header)
+            if s.step is not None:
+                self.expr(s.step, header)
+            self.stmt(s.body, _Scope(header))
+        elif isinstance(s, A.While):
+            self.expr(s.cond, scope)
+            self.stmt(s.body, _Scope(scope))
+        elif isinstance(s, A.DoWhile):
+            self.stmt(s.body, _Scope(scope))
+            self.expr(s.cond, scope)
+        elif isinstance(s, A.Return):
+            if s.value is not None:
+                self.expr(s.value, scope)
+        elif isinstance(s, A.Pragma):
+            renamed = scope.lookup(s.arg)
+            if renamed is not None:
+                s.arg = renamed
+        # Break / Continue: nothing to do.
+
+    def _declare(self, name: str, scope: _Scope) -> str:
+        fresh = self._fresh(name)
+        scope.map[name] = fresh
+        return fresh
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, e: Optional[A.Expr], scope: _Scope) -> None:
+        if e is None:
+            return
+        if isinstance(e, A.Ident):
+            renamed = scope.lookup(e.name)
+            if renamed is not None:
+                e.name = renamed
+            return
+        for field in getattr(e, "__dataclass_fields__", {}):
+            v = getattr(e, field)
+            if isinstance(v, A.Expr):
+                self.expr(v, scope)
+            elif isinstance(v, list):
+                for item in v:
+                    if isinstance(item, A.Expr):
+                        self.expr(item, scope)

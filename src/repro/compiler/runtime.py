@@ -1,0 +1,367 @@
+"""Runtime support for SafeGen-generated Python code.
+
+The Python backend (:mod:`repro.compiler.codegen_py`) emits functions whose
+first parameter is a :class:`Runtime` — the equivalent of linking the
+generated C against the paper's affine library.  The runtime carries the
+:class:`repro.aa.AffineContext` (or interval mode) and provides constant
+construction, array allocation, comparison helpers, and the per-operation
+priority plumbing.
+
+It supports four numeric modes, selected by the compiler configuration:
+
+* ``aa``  — affine arithmetic (scalar or vectorized, f64a or dda, or one of
+  the library baselines via the context's ``impl`` field),
+* ``ia``  — double intervals (the IGen-f64 baseline),
+* ``ia_dd`` — double-double intervals (IGen-dd),
+* ``float`` — plain unsound doubles (the original program; used as the
+  runtime baseline that slowdown factors are measured against).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..aa import AffineContext
+from ..common import DecisionPolicy, decide_comparison
+from ..errors import CompileError
+from ..fp import ulp
+from ..ia import Interval, IntervalDD
+
+__all__ = ["Runtime"]
+
+
+class Runtime:
+    """Execution context handed to generated code.
+
+    ``mode`` is ``"aa"``, ``"ia"`` or ``"ia_dd"``.  In AA mode ``ctx`` is the
+    affine context; in the interval modes a minimal stats object is kept so
+    comparison bookkeeping still works.
+    """
+
+    def __init__(self, mode: str = "aa",
+                 ctx: Optional[AffineContext] = None,
+                 decision_policy: Optional[DecisionPolicy] = None) -> None:
+        if mode not in ("aa", "ia", "ia_dd", "float"):
+            raise ValueError(f"unknown runtime mode {mode!r}")
+        self.mode = mode
+        if mode == "aa":
+            self.ctx = ctx if ctx is not None else AffineContext()
+            self.decision_policy = self.ctx.decision_policy
+            self.stats = self.ctx.stats
+        else:
+            self.ctx = ctx  # unused in interval modes
+            self.decision_policy = decision_policy or DecisionPolicy.CENTRAL
+            from ..aa.context import AAStats
+
+            self.stats = AAStats()
+
+    # -- value construction ---------------------------------------------------
+
+    def const(self, value: float, exact: Optional[bool] = None):
+        """A source constant; inexact constants get a one-ulp enclosure."""
+        if self.mode == "float":
+            return value
+        if self.mode == "aa":
+            return self.ctx.constant(value, exact=exact)
+        if exact is None:
+            exact = bool(math.isfinite(value) and value == int(value))
+        if self.mode == "ia":
+            return Interval.from_constant(value, exact=exact)
+        return IntervalDD.from_constant(value, exact=exact)
+
+    def interval_const(self, lo: float, hi: float):
+        """A folded constant range (from sound constant folding)."""
+        if self.mode == "float":
+            return lo + (hi - lo) / 2.0
+        if self.mode == "aa":
+            return self.ctx.from_interval(lo, hi)
+        if self.mode == "ia":
+            return Interval(lo, hi)
+        return IntervalDD.from_interval(lo, hi)
+
+    def exact(self, value: float):
+        """An exact scalar (e.g. an integer promoted to double)."""
+        if self.mode == "float":
+            return float(value)
+        if self.mode == "aa":
+            return self.ctx.exact(float(value))
+        if self.mode == "ia":
+            return Interval.point(float(value))
+        return IntervalDD.point(float(value))
+
+    def input(self, value: float, uncertainty_ulps: float = 1.0):
+        """An input value carrying one symbol of ``uncertainty_ulps`` ulps
+        (the paper's experimental setup)."""
+        if self.mode == "float":
+            return float(value)
+        if self.mode == "aa":
+            return self.ctx.input(value, uncertainty_ulps)
+        rad = uncertainty_ulps * ulp(value)
+        if self.mode == "ia":
+            return Interval.with_radius(value, rad)
+        base = IntervalDD.point(value)
+        return base + IntervalDD.from_interval(-rad, rad)
+
+    def coerce_input(self, value, uncertainty_ulps: float = 1.0):
+        """Turn a plain float / nested list of floats into sound inputs;
+        pass already-sound values through."""
+        if isinstance(value, (int, float)):
+            return self.input(float(value), uncertainty_ulps)
+        if self.mode == "float" and hasattr(value, "central_float"):
+            return value.central_float()
+        if isinstance(value, (list, tuple)):
+            return [self.coerce_input(v, uncertainty_ulps) for v in value]
+        try:  # numpy arrays
+            import numpy as np
+
+            if isinstance(value, np.ndarray):
+                return self.coerce_input(value.tolist(), uncertainty_ulps)
+        except ImportError:  # pragma: no cover
+            pass
+        return value
+
+    def alloc_array(self, dims: Sequence[int]):
+        """A C local array: nested Python lists initialized to exact zero."""
+        if len(dims) == 1:
+            if self.mode == "float":
+                return [0.0] * dims[0]
+            return [self.exact(0.0) for _ in range(dims[0])]
+        return [self.alloc_array(dims[1:]) for _ in range(dims[0])]
+
+    def alloc_int_array(self, dims: Sequence[int]):
+        if len(dims) == 1:
+            return [0] * dims[0]
+        return [self.alloc_int_array(dims[1:]) for _ in range(dims[0])]
+
+    # -- priorities -------------------------------------------------------------
+
+    def protect(self, *forms) -> frozenset:
+        """Symbol ids of the given affine variables (pragma support).
+
+        In interval modes there is nothing to protect.
+        """
+        if self.mode != "aa":
+            return frozenset()
+        # Affine forms are immutable once built: cache the gathered set on
+        # the form (prioritization pragmas fire on every loop iteration,
+        # often on a variable that did not change since the last gather).
+        if len(forms) == 1 and not isinstance(forms[0], (list, tuple)):
+            cached = getattr(forms[0], "_pcache", None)
+            if cached is not None:
+                return cached
+        else:
+            # Gathering from an array walks every element; consecutive ops
+            # frequently protect the same (unmodified) array, so memoize on
+            # the identity tuple of the flattened elements.  Strong refs in
+            # the key keep ids stable; the memo is tiny (LRU of 4).
+            key = self._protect_key(forms)
+            memo = self._protect_memo
+            if key in memo:
+                return memo[key]
+        import numpy as np
+
+        best: dict = {}
+
+        def fragment(v) -> dict:
+            """Per-form {symbol id: |coeff|}, cached on the immutable form."""
+            frag = getattr(v, "_gcache", None)
+            if frag is not None:
+                return frag
+            ids = getattr(v, "ids", None)
+            if isinstance(ids, np.ndarray):
+                mask = ids != 0
+                frag = dict(zip(ids[mask].tolist(),
+                                np.abs(v.coeffs[mask]).tolist()))
+            elif hasattr(v, "coefficients"):
+                frag = {sid: abs(c) for sid, c in v.coefficients().items()}
+            elif hasattr(v, "symbol_ids"):
+                frag = {sid: 0.0 for sid in v.symbol_ids()}
+            else:
+                return {}
+            try:
+                object.__setattr__(v, "_gcache", frag)
+            except (AttributeError, TypeError):
+                pass
+            return frag
+
+        def gather(v) -> None:
+            if isinstance(v, (list, tuple)):
+                for item in v:
+                    gather(item)
+                return
+            for sid, mag in fragment(v).items():
+                if mag > best.get(sid, -1.0):
+                    best[sid] = mag
+
+        for f in forms:
+            gather(f)
+        # A node may prioritize at most k-1 symbols (eq. (9)); when a
+        # variable holds more, keep the largest coefficients — they carry
+        # the cancellation potential the analysis is after.
+        cap = max(1, self.ctx.k - 1)
+        if len(best) > cap:
+            out = frozenset(sorted(best, key=lambda s: -best[s])[:cap])
+        else:
+            out = frozenset(best)
+        if len(forms) == 1 and not isinstance(forms[0], (list, tuple)):
+            try:
+                object.__setattr__(forms[0], "_pcache", out)
+            except (AttributeError, TypeError):
+                pass
+        else:
+            memo = self._protect_memo
+            memo[key] = out
+            while len(memo) > 4:
+                memo.pop(next(iter(memo)))
+        return out
+
+    @property
+    def _protect_memo(self) -> dict:
+        memo = getattr(self, "_protect_memo_store", None)
+        if memo is None:
+            memo = {}
+            self._protect_memo_store = memo
+        return memo
+
+    @staticmethod
+    def _protect_key(forms) -> tuple:
+        flat = []
+
+        def rec(v):
+            if isinstance(v, (list, tuple)):
+                for item in v:
+                    rec(item)
+            else:
+                flat.append(v)
+
+        for f in forms:
+            rec(f)
+        return tuple(flat)
+
+    # -- arithmetic dispatch (interval modes lack the method/protect API) --------
+
+    def add(self, a, b, protect=frozenset()):
+        if self.mode == "aa":
+            return a.add(b, protect=protect)
+        return a + b
+
+    def sub(self, a, b, protect=frozenset()):
+        if self.mode == "aa":
+            return a.sub(b, protect=protect)
+        return a - b
+
+    def mul(self, a, b, protect=frozenset()):
+        if self.mode == "aa":
+            return a.mul(b, protect=protect)
+        return a * b
+
+    def div(self, a, b, protect=frozenset()):
+        if self.mode == "aa":
+            return a.div(b, protect=protect)
+        return a / b
+
+    def neg(self, a):
+        return -a if self.mode != "aa" else a.neg()
+
+    def sqrt(self, a, protect=frozenset()):
+        if self.mode == "aa":
+            return a.sqrt(protect=protect)
+        if self.mode == "float":
+            return math.sqrt(a)
+        return a.sqrt()
+
+    def fabs(self, a):
+        if self.mode == "aa":
+            return a.abs_()
+        return abs(a)
+
+    def exp(self, a, protect=frozenset()):
+        if self.mode == "aa":
+            return a.exp(protect=protect)
+        if self.mode == "float":
+            return math.exp(a)
+        if self.mode == "ia":
+            from ..ia import iexp
+
+            return iexp(a)
+        raise CompileError("exp is not supported in double-double intervals")
+
+    def log(self, a, protect=frozenset()):
+        if self.mode == "aa":
+            return a.log(protect=protect)
+        if self.mode == "float":
+            return math.log(a)
+        if self.mode == "ia":
+            from ..ia import ilog
+
+            return ilog(a)
+        raise CompileError("log is not supported in double-double intervals")
+
+    def fmin(self, a, b):
+        if self.mode == "float":
+            return min(a, b)
+        if self.mode == "aa":
+            return a.min_with(b)
+        return a.min_with(b) if hasattr(a, "min_with") else min(a, b)
+
+    def fmax(self, a, b):
+        if self.mode == "float":
+            return max(a, b)
+        if self.mode == "aa":
+            return a.max_with(b)
+        return a.max_with(b) if hasattr(a, "max_with") else max(a, b)
+
+    # -- comparisons ---------------------------------------------------------------
+
+    def _as_range(self, x):
+        if isinstance(x, (int, float)) and self.mode != "float":
+            return self.exact(float(x))
+        return x
+
+    def lt(self, a, b) -> bool:
+        if self.mode == "float":
+            return a < b
+        a, b = self._as_range(a), self._as_range(b)
+        if self.mode == "aa":
+            return a.compare_lt(b)
+        return a.compare_lt(b, policy=self.decision_policy, stats=self.stats)
+
+    def le(self, a, b) -> bool:
+        if self.mode == "float":
+            return a <= b
+        a, b = self._as_range(a), self._as_range(b)
+        if self.mode == "aa":
+            return a.compare_le(b)
+        if hasattr(a, "compare_le"):
+            return a.compare_le(b, policy=self.decision_policy, stats=self.stats)
+        return not self.lt(b, a)
+
+    def gt(self, a, b) -> bool:
+        return self.lt(b, a)
+
+    def ge(self, a, b) -> bool:
+        return self.le(b, a)
+
+    def eq(self, a, b) -> bool:
+        """Range equality: definite only for identical point ranges or
+        disjoint ranges; otherwise decided per policy on central values."""
+        if self.mode == "float":
+            return a == b
+        a, b = self._as_range(a), self._as_range(b)
+        ia = a.interval() if hasattr(a, "interval") else a
+        ib = b.interval() if hasattr(b, "interval") else b
+        definite: Optional[bool]
+        if not (ia.is_valid() and ib.is_valid()):
+            definite = None
+        elif ia.is_point() and ib.is_point():
+            definite = ia.lo == ib.lo
+        elif ia.hi < ib.lo or ib.hi < ia.lo:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(definite, ia.midpoint() == ib.midpoint(),
+                                 self.decision_policy, "==", self.stats)
+
+    def ne(self, a, b) -> bool:
+        return not self.eq(a, b)

@@ -1,0 +1,254 @@
+"""SIMD intrinsics: recognition and SIMD-to-C lowering.
+
+The paper's SafeGen accepts SIMD intrinsics in the *input* function and uses
+IGen's SIMD-to-C compiler as a preprocessing step to scalarize the ones it
+has no hand-optimized affine implementation for (Section IV-B).  This module
+is that preprocessing step: it rewrites vector declarations into scalar
+arrays and expands every intrinsic into per-lane scalar expressions, after
+which the normal affine transformation applies.
+
+Supported subset (the AVX/SSE double-precision core):
+
+========================  =============================================
+intrinsic                  lowering (lane i)
+========================  =============================================
+``_mm256_set1_pd(s)``      ``s``
+``_mm256_setzero_pd()``    ``0.0``
+``_mm256_set_pd(a..d)``    ``args[lanes-1-i]`` (intel reversed order)
+``_mm256_loadu_pd(p)``     ``p[i]``
+``_mm256_storeu_pd(p,v)``  ``p[i] = v_i``
+``_mm256_add_pd(x,y)``     ``x_i + y_i``  (sub/mul/div alike)
+``_mm256_sqrt_pd(x)``      ``sqrt(x_i)``
+``_mm256_fmadd_pd(a,b,c)`` ``a_i * b_i + c_i``
+``_mm256_max_pd(x,y)``     ``fmax(x_i, y_i)`` (min alike)
+========================  =============================================
+
+plus the ``_mm_..._pd`` 2-lane (SSE2) variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import UnsupportedFeatureError
+from . import cast as A
+
+__all__ = ["INTRINSIC_SIGNATURES", "lower_simd", "IntrinsicSig"]
+
+_D = A.CType("double")
+_V4 = A.VectorType(_D, 4)
+_V2 = A.VectorType(_D, 2)
+_VOID = A.CType("void")
+_PD = A.PointerType(_D)
+
+
+@dataclass(frozen=True)
+class IntrinsicSig:
+    params: Tuple[object, ...]
+    result: object
+    op: str  # semantic tag used by the lowering
+
+
+def _sigs_for(prefix: str, vec: A.VectorType) -> Dict[str, IntrinsicSig]:
+    lanes = vec.lanes
+    return {
+        f"{prefix}_set1_pd": IntrinsicSig((_D,), vec, "set1"),
+        f"{prefix}_setzero_pd": IntrinsicSig((), vec, "setzero"),
+        f"{prefix}_set_pd": IntrinsicSig((_D,) * lanes, vec, "set"),
+        f"{prefix}_loadu_pd": IntrinsicSig((_PD,), vec, "load"),
+        f"{prefix}_load_pd": IntrinsicSig((_PD,), vec, "load"),
+        f"{prefix}_storeu_pd": IntrinsicSig((_PD, vec), _VOID, "store"),
+        f"{prefix}_store_pd": IntrinsicSig((_PD, vec), _VOID, "store"),
+        f"{prefix}_add_pd": IntrinsicSig((vec, vec), vec, "+"),
+        f"{prefix}_sub_pd": IntrinsicSig((vec, vec), vec, "-"),
+        f"{prefix}_mul_pd": IntrinsicSig((vec, vec), vec, "*"),
+        f"{prefix}_div_pd": IntrinsicSig((vec, vec), vec, "/"),
+        f"{prefix}_sqrt_pd": IntrinsicSig((vec,), vec, "sqrt"),
+        f"{prefix}_fmadd_pd": IntrinsicSig((vec, vec, vec), vec, "fmadd"),
+        f"{prefix}_max_pd": IntrinsicSig((vec, vec), vec, "fmax"),
+        f"{prefix}_min_pd": IntrinsicSig((vec, vec), vec, "fmin"),
+    }
+
+
+INTRINSIC_SIGNATURES: Dict[str, IntrinsicSig] = {}
+INTRINSIC_SIGNATURES.update(_sigs_for("_mm256", _V4))
+INTRINSIC_SIGNATURES.update(_sigs_for("_mm", _V2))
+
+
+def lower_simd(unit: A.TranslationUnit) -> A.TranslationUnit:
+    """Scalarize all SIMD intrinsics in-place and return the unit."""
+    for f in unit.funcs:
+        if f.body is None:
+            continue
+        lowerer = _Lowerer()
+        for p in f.params:
+            if isinstance(p.type, A.VectorType):
+                lowerer.vectors[p.name] = p.type.lanes
+                p.type = A.ArrayType(_D, p.type.lanes)
+        f.body = lowerer.stmt(f.body)
+    return unit
+
+
+class _Lowerer:
+    def __init__(self) -> None:
+        self.vectors: Dict[str, int] = {}
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, s: A.Stmt) -> A.Stmt:
+        if isinstance(s, A.Compound):
+            out: List[A.Stmt] = []
+            for sub in s.stmts:
+                lowered = self.stmt(sub)
+                if isinstance(lowered, list):
+                    out.extend(lowered)
+                else:
+                    out.append(lowered)
+            return A.Compound(loc=s.loc, stmts=out)
+        if isinstance(s, A.Decl):
+            return self._decl(s)
+        if isinstance(s, A.ExprStmt):
+            return self._expr_stmt(s)
+        if isinstance(s, A.If):
+            s.then = self._as_single(self.stmt(s.then))
+            if s.els is not None:
+                s.els = self._as_single(self.stmt(s.els))
+            return s
+        if isinstance(s, A.For):
+            if s.init is not None:
+                s.init = self._as_single(self.stmt(s.init))
+            s.body = self._as_single(self.stmt(s.body))
+            return s
+        if isinstance(s, (A.While, A.DoWhile)):
+            s.body = self._as_single(self.stmt(s.body))
+            return s
+        return s
+
+    @staticmethod
+    def _as_single(s) -> A.Stmt:
+        if isinstance(s, list):
+            return A.Compound(stmts=s)
+        return s
+
+    def _decl(self, s: A.Decl):
+        if not isinstance(s.type, A.VectorType):
+            return s
+        lanes = s.type.lanes
+        self.vectors[s.name] = lanes
+        decl = A.Decl(loc=s.loc, name=s.name, type=A.ArrayType(_D, lanes))
+        if s.init is None:
+            return decl
+        stmts: List[A.Stmt] = [decl]
+        for i in range(lanes):
+            lane_val = self.lane(s.init, i, lanes)
+            target = A.Index(loc=s.loc, base=A.Ident(loc=s.loc, name=s.name),
+                             index=A.IntLit(loc=s.loc, value=i))
+            stmts.append(A.ExprStmt(
+                loc=s.loc,
+                expr=A.Assign(loc=s.loc, op="=", target=target, value=lane_val),
+            ))
+        return stmts
+
+    def _expr_stmt(self, s: A.ExprStmt):
+        e = s.expr
+        # store intrinsic
+        if isinstance(e, A.Call) and e.name in INTRINSIC_SIGNATURES \
+                and INTRINSIC_SIGNATURES[e.name].op == "store":
+            lanes = INTRINSIC_SIGNATURES[e.name].params[1].lanes
+            addr, vec = e.args
+            stmts: List[A.Stmt] = []
+            for i in range(lanes):
+                target = self._element(addr, i, s.loc)
+                stmts.append(A.ExprStmt(loc=s.loc, expr=A.Assign(
+                    loc=s.loc, op="=", target=target,
+                    value=self.lane(vec, i, lanes))))
+            return stmts
+        # vector assignment: v = <vector expr>
+        if isinstance(e, A.Assign) and isinstance(e.target, A.Ident) \
+                and e.target.name in self.vectors:
+            lanes = self.vectors[e.target.name]
+            if e.op != "=":
+                raise UnsupportedFeatureError(
+                    "compound assignment on vector variables is not supported"
+                )
+            stmts = []
+            for i in range(lanes):
+                target = A.Index(loc=s.loc,
+                                 base=A.Ident(loc=s.loc, name=e.target.name),
+                                 index=A.IntLit(loc=s.loc, value=i))
+                stmts.append(A.ExprStmt(loc=s.loc, expr=A.Assign(
+                    loc=s.loc, op="=", target=target,
+                    value=self.lane(e.value, i, lanes))))
+            return stmts
+        return s
+
+    # -- lane expansion -----------------------------------------------------------
+
+    def lane(self, e: A.Expr, i: int, lanes: int) -> A.Expr:
+        """The scalar expression for lane ``i`` of vector expression ``e``."""
+        loc = e.loc
+        if isinstance(e, A.Ident):
+            if e.name not in self.vectors:
+                raise UnsupportedFeatureError(
+                    f"line {loc[0]}: {e.name!r} used as a vector but not "
+                    "declared as one"
+                )
+            return A.Index(loc=loc, base=A.Ident(loc=loc, name=e.name),
+                           index=A.IntLit(loc=loc, value=i))
+        if isinstance(e, A.UnOp) and e.op == "-":
+            return A.UnOp(loc=loc, op="-", operand=self.lane(e.operand, i, lanes))
+        if isinstance(e, A.Call) and e.name in INTRINSIC_SIGNATURES:
+            sig = INTRINSIC_SIGNATURES[e.name]
+            op = sig.op
+            if op == "set1":
+                return e.args[0]
+            if op == "setzero":
+                return A.FloatLit(loc=loc, value=0.0, text="0.0")
+            if op == "set":
+                return e.args[lanes - 1 - i]  # Intel argument order
+            if op == "load":
+                return self._element(e.args[0], i, loc)
+            if op in ("+", "-", "*", "/"):
+                return A.BinOp(loc=loc, op=op,
+                               lhs=self.lane(e.args[0], i, lanes),
+                               rhs=self.lane(e.args[1], i, lanes))
+            if op == "sqrt":
+                return A.Call(loc=loc, name="sqrt",
+                              args=[self.lane(e.args[0], i, lanes)])
+            if op == "fmadd":
+                return A.BinOp(
+                    loc=loc, op="+",
+                    lhs=A.BinOp(loc=loc, op="*",
+                                lhs=self.lane(e.args[0], i, lanes),
+                                rhs=self.lane(e.args[1], i, lanes)),
+                    rhs=self.lane(e.args[2], i, lanes))
+            if op in ("fmin", "fmax"):
+                return A.Call(loc=loc, name=op,
+                              args=[self.lane(e.args[0], i, lanes),
+                                    self.lane(e.args[1], i, lanes)])
+            raise UnsupportedFeatureError(
+                f"line {loc[0]}: intrinsic {e.name} not supported"
+            )
+        raise UnsupportedFeatureError(
+            f"line {loc[0]}: cannot scalarize vector expression "
+            f"{type(e).__name__}"
+        )
+
+    @staticmethod
+    def _element(addr: A.Expr, i: int, loc) -> A.Expr:
+        """Lower an address expression to the element at offset ``i``."""
+        if isinstance(addr, A.UnOp) and addr.op == "&" \
+                and isinstance(addr.operand, A.Index):
+            base = addr.operand
+            return A.Index(loc=loc, base=base.base, index=A.BinOp(
+                loc=loc, op="+", lhs=base.index, rhs=A.IntLit(loc=loc, value=i)))
+        if isinstance(addr, A.Ident):
+            return A.Index(loc=loc, base=addr, index=A.IntLit(loc=loc, value=i))
+        if isinstance(addr, A.BinOp) and addr.op == "+":
+            # p + j  ->  p[j + i]
+            return A.Index(loc=loc, base=addr.lhs, index=A.BinOp(
+                loc=loc, op="+", lhs=addr.rhs, rhs=A.IntLit(loc=loc, value=i)))
+        raise UnsupportedFeatureError(
+            f"line {loc[0]}: unsupported address expression for SIMD load/store"
+        )

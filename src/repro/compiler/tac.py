@@ -1,0 +1,430 @@
+"""Three-address-code transformation (Section VI-C).
+
+Rewrites every floating-point expression so that each floating-point
+operation appears in a statement of its own, introducing ``__tN`` temporaries
+for intermediate results.  This gives the static analysis a one-op-per-node
+anchor (the ``stmt_id``) and lets a ``prioritize`` pragma target an
+individual operation.
+
+Also attaches ``#pragma safegen prioritize(v)`` annotations to the statement
+that follows them (the ``prioritize`` field of :class:`ExprStmt`).
+
+Requires a typechecked AST (expression ``ty`` fields must be filled).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..errors import CompileError, UnsupportedFeatureError
+from . import cast as A
+from .typecheck import MATH_FUNCS
+
+__all__ = ["to_tac", "collect_names"]
+
+_DOUBLE = A.CType("double")
+
+
+def collect_names(node, acc: Optional[Set[str]] = None) -> Set[str]:
+    """All identifier names appearing anywhere in the AST."""
+    if acc is None:
+        acc = set()
+    if isinstance(node, A.Ident):
+        acc.add(node.name)
+    if isinstance(node, (A.Decl,)):
+        acc.add(node.name)
+    if isinstance(node, A.FuncDef):
+        acc.add(node.name)
+        for p in node.params:
+            acc.add(p.name)
+    for f in getattr(node, "__dataclass_fields__", {}):
+        v = getattr(node, f)
+        if isinstance(v, A.Node):
+            collect_names(v, acc)
+        elif isinstance(v, list):
+            for item in v:
+                if isinstance(item, A.Node):
+                    collect_names(item, acc)
+    return acc
+
+
+def _is_float(e: A.Expr) -> bool:
+    return isinstance(e.ty, A.CType) and e.ty.is_float()
+
+
+def _is_float_op(e: A.Expr) -> bool:
+    """Whether ``e`` is a floating-point *operation* (creates a value and, in
+    the affine world, an error symbol)."""
+    if isinstance(e, A.BinOp) and _is_float(e) and e.op in ("+", "-", "*", "/"):
+        return True
+    if isinstance(e, A.UnOp) and e.op == "-" and _is_float(e):
+        return True
+    if isinstance(e, A.Call) and e.name in MATH_FUNCS:
+        return True
+    return False
+
+
+def to_tac(unit: A.TranslationUnit) -> A.TranslationUnit:
+    """Transform all function bodies to TAC form in place; returns the unit."""
+    for f in unit.funcs:
+        if f.body is None:
+            continue
+        used = collect_names(f)
+        xf = _TAC(used)
+        f.body = A.Compound(loc=f.body.loc, stmts=xf.block(f.body.stmts))
+    return unit
+
+
+class _TAC:
+    def __init__(self, used_names: Set[str]) -> None:
+        self.used = used_names
+        self.counter = 0
+        self.stmt_counter = 0
+        self.pending_prioritize: Optional[str] = None
+
+    def _temp(self) -> str:
+        while True:
+            name = f"__t{self.counter}"
+            self.counter += 1
+            if name not in self.used:
+                self.used.add(name)
+                return name
+
+    def _next_stmt_id(self) -> int:
+        self.stmt_counter += 1
+        return self.stmt_counter
+
+    # -- blocks / statements -----------------------------------------------------
+
+    def block(self, stmts: List[A.Stmt]) -> List[A.Stmt]:
+        out: List[A.Stmt] = []
+        for s in stmts:
+            if isinstance(s, A.Pragma):
+                if s.kind == "prioritize":
+                    self.pending_prioritize = s.arg
+                continue
+            out.extend(self.stmt(s))
+        return out
+
+    def stmt(self, s: A.Stmt) -> List[A.Stmt]:
+        prio = self.pending_prioritize
+        self.pending_prioritize = None
+
+        if isinstance(s, A.Compound):
+            return [A.Compound(loc=s.loc, stmts=self.block(s.stmts))]
+
+        if isinstance(s, A.Decl):
+            if isinstance(s.init, A.Cond) and isinstance(s.type, A.CType) \
+                    and s.type.is_float():
+                # double m = c ? a : b  ->  double m; if (c) m=a; else m=b;
+                cond_expr = s.init
+                s.init = None
+                s.stmt_id = None
+                ident = A.Ident(loc=s.loc, name=s.name)
+                ident.ty = s.type
+                assign = A.Assign(loc=s.loc, op="=", target=ident,
+                                  value=cond_expr)
+                assign.ty = s.type
+                follow = A.ExprStmt(loc=s.loc, expr=assign)
+                return [s] + self._assign(follow, assign, prio)
+            if s.init is None or (not _is_float(s.init)
+                                  and not _contains_float_op(s.init)):
+                s.stmt_id = None
+                return [s]
+            pre: List[A.Stmt] = []
+            value = self._flatten_operands(s.init, pre, prio)
+            s.init = value
+            if _is_float_op(value):
+                s.stmt_id = self._next_stmt_id()
+                if prio is not None:
+                    s.prioritize = prio
+            else:
+                s.stmt_id = None
+            return pre + [s]
+
+        if isinstance(s, A.ExprStmt):
+            return self._expr_stmt(s, prio)
+
+        if isinstance(s, A.Return):
+            if s.value is None or not _contains_float_op(s.value):
+                return [s]
+            pre = []
+            s.value, _ = self._flatten_into(s.value, pre, prio)
+            return pre + [s]
+
+        if isinstance(s, A.If):
+            pre = []
+            s.cond = self.flatten_cond(s.cond, pre, prio)
+            s.then = self._single(self.stmt_in_new_block(s.then))
+            if s.els is not None:
+                s.els = self._single(self.stmt_in_new_block(s.els))
+            return pre + [s]
+
+        if isinstance(s, A.For):
+            float_free_header = not (
+                _contains_float_op(s.cond)
+                or _contains_float_op(s.step)
+                or (isinstance(s.init, A.Decl) and _contains_float_op(s.init.init))
+                or (isinstance(s.init, A.ExprStmt) and _contains_float_op(s.init.expr))
+            )
+            if float_free_header:
+                # Common case (integer loop header): keep the For structure
+                # so the backends can recognize canonical counting loops.
+                s.body = self._single(self.stmt_in_new_block(s.body))
+                return [s]
+            init_stmts: List[A.Stmt] = []
+            if s.init is not None:
+                init_stmts = self.stmt(s.init)
+            body = self.stmt_in_new_block(s.body)
+            step_stmts = self.stmt(A.ExprStmt(loc=s.loc, expr=s.step)) \
+                if s.step is not None else []
+            # Float-dependent condition: re-evaluate inside the loop.
+            cond_pre: List[A.Stmt] = []
+            cond = self.flatten_cond(s.cond, cond_pre, None) \
+                if s.cond is not None else A.IntLit(loc=s.loc, value=1)
+            inner = cond_pre + [
+                A.If(loc=s.loc, cond=A.UnOp(loc=s.loc, op="!", operand=cond),
+                     then=A.Break(loc=s.loc))
+            ] + body + step_stmts
+            loop = A.While(loc=s.loc, cond=A.IntLit(loc=s.loc, value=1),
+                           body=A.Compound(loc=s.loc, stmts=inner))
+            return init_stmts + [loop]
+
+        if isinstance(s, A.While):
+            if _contains_float_op(s.cond):
+                cond_pre = []
+                cond = self.flatten_cond(s.cond, cond_pre, prio)
+                inner = cond_pre + [
+                    A.If(loc=s.loc, cond=A.UnOp(loc=s.loc, op="!", operand=cond),
+                         then=A.Break(loc=s.loc))
+                ] + self.stmt_in_new_block(s.body)
+                return [A.While(loc=s.loc, cond=A.IntLit(loc=s.loc, value=1),
+                                body=A.Compound(loc=s.loc, stmts=inner))]
+            s.body = self._single(self.stmt_in_new_block(s.body))
+            return [s]
+
+        if isinstance(s, A.DoWhile):
+            if _contains_float_op(s.cond):
+                body = self.stmt_in_new_block(s.body)
+                cond_pre = []
+                cond = self.flatten_cond(s.cond, cond_pre, prio)
+                inner = body + cond_pre + [
+                    A.If(loc=s.loc, cond=A.UnOp(loc=s.loc, op="!", operand=cond),
+                         then=A.Break(loc=s.loc))
+                ]
+                return [A.While(loc=s.loc, cond=A.IntLit(loc=s.loc, value=1),
+                                body=A.Compound(loc=s.loc, stmts=inner))]
+            s.body = self._single(self.stmt_in_new_block(s.body))
+            return [s]
+
+        return [s]
+
+    def stmt_in_new_block(self, s: A.Stmt) -> List[A.Stmt]:
+        if isinstance(s, A.Compound):
+            return self.block(s.stmts)
+        return self.block([s])
+
+    @staticmethod
+    def _single(stmts: List[A.Stmt]) -> A.Stmt:
+        if len(stmts) == 1:
+            return stmts[0]
+        return A.Compound(stmts=stmts)
+
+    # -- expression statements ------------------------------------------------------
+
+    def _expr_stmt(self, s: A.ExprStmt, prio: Optional[str]) -> List[A.Stmt]:
+        e = s.expr
+        if isinstance(e, A.Assign):
+            return self._assign(s, e, prio)
+        if not _contains_float_op(e):
+            return [s]
+        pre: List[A.Stmt] = []
+        s.expr, s.stmt_id = self._flatten_into(e, pre, prio)
+        return pre + [s]
+
+    def _assign(self, s: A.ExprStmt, e: A.Assign, prio: Optional[str]) -> List[A.Stmt]:
+        # Desugar compound assignment first: x op= v  ->  x = x op v.
+        if e.op != "=":
+            binop = A.BinOp(loc=e.loc, op=e.op[:-1], lhs=_clone_lvalue(e.target),
+                            rhs=e.value)
+            binop.ty = e.target.ty
+            e = A.Assign(loc=e.loc, op="=", target=e.target, value=binop)
+            e.ty = e.target.ty
+            s = A.ExprStmt(loc=s.loc, expr=e)
+
+        target_float = _is_float(e.target) if e.target.ty is not None else False
+        if not target_float or (not _contains_float_op(e.value)
+                                and not isinstance(e.value, A.Cond)):
+            # Flatten float ops hiding in integer contexts (rare) and move on.
+            if _contains_float_op(e.value):
+                pre: List[A.Stmt] = []
+                e.value, _ = self._flatten_into(e.value, pre, prio)
+                return pre + [s]
+            return [s]
+
+        # Ternary on floats: desugar to if/else around two TAC assignments.
+        if isinstance(e.value, A.Cond):
+            cond_pre: List[A.Stmt] = []
+            cond = self.flatten_cond(e.value.cond, cond_pre, None)
+            then_assign = A.ExprStmt(loc=s.loc, expr=A.Assign(
+                loc=s.loc, op="=", target=e.target, value=e.value.then))
+            then_assign.expr.ty = e.target.ty
+            els_assign = A.ExprStmt(loc=s.loc, expr=A.Assign(
+                loc=s.loc, op="=", target=_clone_lvalue(e.target),
+                value=e.value.els))
+            els_assign.expr.ty = e.target.ty
+            branch = A.If(loc=s.loc, cond=cond,
+                          then=self._single(self._assign(then_assign,
+                                                         then_assign.expr, prio)),
+                          els=self._single(self._assign(els_assign,
+                                                        els_assign.expr, prio)))
+            return cond_pre + [branch]
+
+        pre = []
+        if isinstance(e.target, A.Index):
+            # Array stores go through a scalar temp (true three-address
+            # form); the temp, not the array, is then the op's variable —
+            # which keeps priority gathering cheap at runtime.
+            e.value, _ = self._flatten_into(e.value, pre, prio)
+            s.stmt_id = None
+            return pre + [s]
+        value = self._flatten_operands(e.value, pre, prio)
+        e.value = value
+        s.stmt_id = self._next_stmt_id() if _is_float_op(value) else None
+        s.prioritize = prio if s.stmt_id is not None else None
+        return pre + [s]
+
+    # -- expression flattening --------------------------------------------------------
+
+    def _flatten_into(self, e: A.Expr, pre: List[A.Stmt],
+                      prio: Optional[str]):
+        """Fully flatten ``e``; returns (simple expr, stmt_id of last op)."""
+        simple = self._flatten_operands(e, pre, prio)
+        if _is_float_op(simple):
+            return self._emit_temp(simple, pre, prio)
+        return simple, None
+
+    def _flatten_operands(self, e: A.Expr, pre: List[A.Stmt],
+                          prio: Optional[str]) -> A.Expr:
+        """Flatten all float-op *sub*-expressions of ``e`` into temps; ``e``
+        itself stays an op (becoming the statement's single operation)."""
+        if isinstance(e, A.BinOp):
+            e.lhs = self._simple(e.lhs, pre, prio)
+            e.rhs = self._simple(e.rhs, pre, prio)
+            return e
+        if isinstance(e, A.UnOp):
+            e.operand = self._simple(e.operand, pre, prio)
+            return e
+        if isinstance(e, A.Call):
+            e.args = [self._simple(a, pre, prio) for a in e.args]
+            return e
+        if isinstance(e, A.Index):
+            e.index = self._flatten_int(e.index, pre)
+            return e
+        if isinstance(e, A.Cast):
+            e.expr = self._simple(e.expr, pre, prio)
+            return e
+        return e
+
+    def _simple(self, e: A.Expr, pre: List[A.Stmt],
+                prio: Optional[str]) -> A.Expr:
+        """Reduce ``e`` to a 'simple' expression (no float ops)."""
+        if isinstance(e, (A.IntLit, A.FloatLit, A.IntervalLit, A.Ident)):
+            return e
+        if isinstance(e, A.Index):
+            e.index = self._flatten_int(e.index, pre)
+            if _contains_float_op(e.base):
+                raise UnsupportedFeatureError("float ops in array base")
+            return e
+        if isinstance(e, A.Cast):
+            e.expr = self._simple(e.expr, pre, prio)
+            return e
+        if _is_float_op(e):
+            e = self._flatten_operands(e, pre, prio)
+            ident, _ = self._emit_temp(e, pre, prio)
+            return ident
+        if isinstance(e, A.BinOp):  # integer expression
+            e.lhs = self._simple(e.lhs, pre, prio)
+            e.rhs = self._simple(e.rhs, pre, prio)
+            return e
+        if isinstance(e, A.UnOp):
+            e.operand = self._simple(e.operand, pre, prio)
+            return e
+        if isinstance(e, A.Cond):
+            raise UnsupportedFeatureError(
+                "ternary expressions are only supported as direct "
+                "assignment values"
+            )
+        return e
+
+    def _flatten_int(self, e: A.Expr, pre: List[A.Stmt]) -> A.Expr:
+        if _contains_float_op(e):
+            raise UnsupportedFeatureError(
+                "floating-point operations in array subscripts"
+            )
+        return e
+
+    def _emit_temp(self, op_expr: A.Expr, pre: List[A.Stmt],
+                   prio: Optional[str]):
+        name = self._temp()
+        decl = A.Decl(loc=op_expr.loc, name=name, type=_DOUBLE, init=op_expr)
+        decl.stmt_id = self._next_stmt_id()
+        # A pragma priority applies to every op of the annotated source stmt.
+        if prio is not None:
+            setattr(decl, "prioritize", prio)
+        pre.append(decl)
+        ident = A.Ident(loc=op_expr.loc, name=name)
+        ident.ty = _DOUBLE
+        return ident, decl.stmt_id
+
+    def flatten_cond(self, e: A.Expr, pre: List[A.Stmt],
+                     prio: Optional[str]) -> A.Expr:
+        """Flatten float operations inside a branch condition."""
+        if isinstance(e, A.BinOp) and e.op in ("&&", "||", "==", "!=",
+                                               "<", "<=", ">", ">="):
+            e.lhs = self.flatten_cond(e.lhs, pre, prio) \
+                if e.op in ("&&", "||") else self._simple(e.lhs, pre, prio)
+            e.rhs = self.flatten_cond(e.rhs, pre, prio) \
+                if e.op in ("&&", "||") else self._simple(e.rhs, pre, prio)
+            return e
+        if isinstance(e, A.UnOp) and e.op == "!":
+            e.operand = self.flatten_cond(e.operand, pre, prio)
+            return e
+        return self._simple(e, pre, prio)
+
+
+def _contains_float_op(e: Optional[A.Expr]) -> bool:
+    if e is None:
+        return False
+    if _is_float_op(e):
+        return True
+    for f in getattr(e, "__dataclass_fields__", {}):
+        v = getattr(e, f)
+        if isinstance(v, A.Expr) and _contains_float_op(v):
+            return True
+        if isinstance(v, list):
+            for item in v:
+                if isinstance(item, A.Expr) and _contains_float_op(item):
+                    return True
+    return False
+
+
+def _clone_lvalue(e: A.Expr) -> A.Expr:
+    """Deep-copy an lvalue expression (for compound-assignment desugaring)."""
+    if isinstance(e, A.Ident):
+        out = A.Ident(loc=e.loc, name=e.name)
+    elif isinstance(e, A.Index):
+        out = A.Index(loc=e.loc, base=_clone_lvalue(e.base),
+                      index=_clone_expr(e.index))
+    elif isinstance(e, A.UnOp) and e.op == "*":
+        out = A.UnOp(loc=e.loc, op="*", operand=_clone_lvalue(e.operand))
+    else:
+        raise CompileError(f"cannot clone lvalue {type(e).__name__}")
+    out.ty = e.ty
+    return out
+
+
+def _clone_expr(e: A.Expr) -> A.Expr:
+    import copy
+
+    return copy.deepcopy(e)

@@ -1,0 +1,350 @@
+"""Semantic analysis: scoped symbol tables, type inference/annotation, and
+subset validation.
+
+Annotates every expression node's ``ty`` field (used by the TAC pass and the
+code generators to decide which operations become affine calls) and rejects
+programs outside the supported subset with precise locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import TypeCheckError, UnsupportedFeatureError
+from . import cast as A
+from .simd import INTRINSIC_SIGNATURES
+
+__all__ = ["typecheck", "MATH_FUNCS", "Scope"]
+
+# name -> arity of supported math-library calls (all double -> double).
+MATH_FUNCS: Dict[str, int] = {
+    "sqrt": 1,
+    "fabs": 1,
+    "exp": 1,
+    "log": 1,
+    "fmin": 2,
+    "fmax": 2,
+}
+
+_INT = A.CType("int")
+_DOUBLE = A.CType("double")
+
+
+class Scope:
+    """A lexical scope mapping names to declared types."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, object] = {}
+
+    def declare(self, name: str, ty, loc) -> None:
+        if name in self.names:
+            raise TypeCheckError(
+                f"line {loc[0]}: redeclaration of {name!r} in the same scope"
+            )
+        self.names[name] = ty
+
+    def lookup(self, name: str):
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def typecheck(unit: A.TranslationUnit) -> None:
+    """Annotate ``ty`` on every expression and validate the program."""
+    functions = {f.name: f for f in unit.funcs}
+    global_scope = Scope()
+    for g in unit.globals:
+        global_scope.declare(g.name, g.type, g.loc)
+        if g.init is not None:
+            _Checker(functions, global_scope).expr(g.init)
+    for f in unit.funcs:
+        if f.body is None:
+            continue
+        checker = _Checker(functions, global_scope)
+        checker.check_function(f)
+
+
+class _Checker:
+    def __init__(self, functions: Dict[str, A.FuncDef], global_scope: Scope):
+        self.functions = functions
+        self.scope = Scope(global_scope)
+        self.current_return: object = None
+        self.loop_depth = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _err(loc, msg) -> TypeCheckError:
+        return TypeCheckError(f"line {loc[0]}, col {loc[1]}: {msg}")
+
+    @staticmethod
+    def _is_arith(ty) -> bool:
+        return isinstance(ty, A.CType) and (ty.is_float() or ty.is_integer())
+
+    @staticmethod
+    def _unify_arith(lt, rt):
+        """Usual arithmetic conversions within the subset: any float
+        operand promotes the result to double."""
+        if isinstance(lt, A.CType) and isinstance(rt, A.CType):
+            if lt.is_float() or rt.is_float():
+                return _DOUBLE
+            return _INT
+        return None
+
+    # -- entry -------------------------------------------------------------------
+
+    def check_function(self, f: A.FuncDef) -> None:
+        self.current_return = f.return_type
+        seen = set()
+        for p in f.params:
+            if p.name in seen:
+                raise self._err(f.loc, f"duplicate parameter {p.name!r}")
+            seen.add(p.name)
+            self.scope.declare(p.name, p.type, f.loc)
+        self.stmt(f.body)
+
+    # -- statements ----------------------------------------------------------------
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Compound):
+            outer = self.scope
+            self.scope = Scope(outer)
+            for sub in s.stmts:
+                self.stmt(sub)
+            self.scope = outer
+        elif isinstance(s, A.Decl):
+            if s.init is not None:
+                ity = self.expr(s.init)
+                self._check_assignable(s.type, ity, s.loc)
+            self.scope.declare(s.name, s.type, s.loc)
+        elif isinstance(s, A.ExprStmt):
+            self.expr(s.expr)
+        elif isinstance(s, A.If):
+            self._condition(s.cond)
+            self.stmt(s.then)
+            if s.els is not None:
+                self.stmt(s.els)
+        elif isinstance(s, A.For):
+            outer = self.scope
+            self.scope = Scope(outer)
+            if s.init is not None:
+                self.stmt(s.init)
+            if s.cond is not None:
+                self._condition(s.cond)
+            if s.step is not None:
+                self.expr(s.step)
+            self.loop_depth += 1
+            self.stmt(s.body)
+            self.loop_depth -= 1
+            self.scope = outer
+        elif isinstance(s, A.While):
+            self._condition(s.cond)
+            self.loop_depth += 1
+            self.stmt(s.body)
+            self.loop_depth -= 1
+        elif isinstance(s, A.DoWhile):
+            self.loop_depth += 1
+            self.stmt(s.body)
+            self.loop_depth -= 1
+            self._condition(s.cond)
+        elif isinstance(s, A.Return):
+            if s.value is not None:
+                vt = self.expr(s.value)
+                if isinstance(self.current_return, A.CType) and \
+                        self.current_return.kind == "void":
+                    raise self._err(s.loc, "returning a value from void function")
+            elif isinstance(self.current_return, A.CType) and \
+                    self.current_return.kind != "void":
+                raise self._err(s.loc, "missing return value")
+        elif isinstance(s, (A.Break, A.Continue)):
+            if self.loop_depth == 0:
+                raise self._err(s.loc, "break/continue outside of a loop")
+        elif isinstance(s, A.Pragma):
+            if s.kind != "prioritize":
+                raise self._err(s.loc, f"unknown safegen pragma {s.kind!r}")
+        else:
+            raise UnsupportedFeatureError(f"unsupported statement {type(s).__name__}")
+
+    def _condition(self, e: A.Expr) -> None:
+        ty = self.expr(e)
+        if isinstance(ty, (A.ArrayType, A.PointerType, A.VectorType)):
+            raise self._err(e.loc, "condition must be scalar")
+
+    def _check_assignable(self, target_ty, value_ty, loc) -> None:
+        if isinstance(target_ty, A.VectorType):
+            if not isinstance(value_ty, A.VectorType):
+                raise self._err(loc, "vector variables need vector initializers")
+            return
+        if isinstance(target_ty, (A.ArrayType, A.PointerType)):
+            if not isinstance(value_ty, (A.ArrayType, A.PointerType)):
+                raise self._err(loc, "cannot assign scalar to pointer/array")
+            return
+        if not self._is_arith(value_ty):
+            raise self._err(loc, "cannot assign non-arithmetic value")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def expr(self, e: A.Expr):
+        ty = self._expr(e)
+        e.ty = ty
+        return ty
+
+    def _expr(self, e: A.Expr):
+        if isinstance(e, A.IntLit):
+            return _INT
+        if isinstance(e, A.FloatLit):
+            return _DOUBLE
+        if isinstance(e, A.IntervalLit):
+            return _DOUBLE
+        if isinstance(e, A.Ident):
+            ty = self.scope.lookup(e.name)
+            if ty is None:
+                raise self._err(e.loc, f"use of undeclared identifier {e.name!r}")
+            return ty
+        if isinstance(e, A.BinOp):
+            return self._binop(e)
+        if isinstance(e, A.UnOp):
+            return self._unop(e)
+        if isinstance(e, A.Assign):
+            return self._assign(e)
+        if isinstance(e, A.Call):
+            return self._call(e)
+        if isinstance(e, A.Index):
+            base_ty = self.expr(e.base)
+            idx_ty = self.expr(e.index)
+            if not (isinstance(idx_ty, A.CType) and idx_ty.is_integer()):
+                raise self._err(e.loc, "array index must be an integer")
+            if isinstance(base_ty, A.ArrayType):
+                return base_ty.elem
+            if isinstance(base_ty, A.PointerType):
+                return base_ty.pointee
+            raise self._err(e.loc, "indexing a non-array value")
+        if isinstance(e, A.Cast):
+            self.expr(e.expr)
+            return e.to
+        if isinstance(e, A.Cond):
+            self._condition(e.cond)
+            tt = self.expr(e.then)
+            et = self.expr(e.els)
+            u = self._unify_arith(tt, et)
+            if u is None:
+                raise self._err(e.loc, "incompatible branches in ?:")
+            return u
+        raise UnsupportedFeatureError(f"unsupported expression {type(e).__name__}")
+
+    def _binop(self, e: A.BinOp):
+        lt = self.expr(e.lhs)
+        rt = self.expr(e.rhs)
+        op = e.op
+        if isinstance(lt, A.VectorType) or isinstance(rt, A.VectorType):
+            if op in ("+", "-", "*", "/") and lt == rt:
+                return lt
+            raise self._err(e.loc, f"unsupported vector operation {op!r}")
+        if op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+            if not (self._is_arith(lt) and self._is_arith(rt)):
+                raise self._err(e.loc, f"operands of {op!r} must be arithmetic")
+            return _INT
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not (isinstance(lt, A.CType) and lt.is_integer()
+                    and isinstance(rt, A.CType) and rt.is_integer()):
+                raise self._err(e.loc, f"operands of {op!r} must be integers")
+            return _INT
+        if op in ("+", "-", "*", "/"):
+            # pointer arithmetic: ptr + int
+            if isinstance(lt, (A.PointerType, A.ArrayType)) and op in ("+", "-"):
+                if isinstance(rt, A.CType) and rt.is_integer():
+                    return lt if isinstance(lt, A.PointerType) else \
+                        A.PointerType(lt.elem)
+                raise self._err(e.loc, "invalid pointer arithmetic")
+            u = self._unify_arith(lt, rt)
+            if u is None:
+                raise self._err(e.loc, f"invalid operands to {op!r}")
+            return u
+        raise UnsupportedFeatureError(f"unsupported operator {op!r}")
+
+    def _unop(self, e: A.UnOp):
+        ot = self.expr(e.operand)
+        op = e.op
+        if op in ("-",):
+            if isinstance(ot, A.VectorType):
+                return ot
+            if not self._is_arith(ot):
+                raise self._err(e.loc, "negating a non-arithmetic value")
+            return ot
+        if op in ("!",):
+            return _INT
+        if op in ("~",):
+            if not (isinstance(ot, A.CType) and ot.is_integer()):
+                raise self._err(e.loc, "~ needs an integer operand")
+            return _INT
+        if op in ("++", "--", "p++", "p--"):
+            if not (isinstance(ot, A.CType) and ot.is_integer()):
+                raise self._err(
+                    e.loc, "increment/decrement supported on integers only"
+                )
+            if not self._is_lvalue(e.operand):
+                raise self._err(e.loc, "increment target must be an lvalue")
+            return ot
+        if op == "&":
+            # address-of: only for passing arrays/scalars to intrinsics
+            return A.PointerType(ot)
+        if op == "*":
+            if isinstance(ot, A.PointerType):
+                return ot.pointee
+            if isinstance(ot, A.ArrayType):
+                return ot.elem
+            raise self._err(e.loc, "dereferencing a non-pointer")
+        raise UnsupportedFeatureError(f"unsupported unary operator {op!r}")
+
+    @staticmethod
+    def _is_lvalue(e: A.Expr) -> bool:
+        return isinstance(e, (A.Ident, A.Index)) or (
+            isinstance(e, A.UnOp) and e.op == "*"
+        )
+
+    def _assign(self, e: A.Assign):
+        if not self._is_lvalue(e.target):
+            raise self._err(e.loc, "assignment target must be an lvalue")
+        tt = self.expr(e.target)
+        vt = self.expr(e.value)
+        if e.op != "=" and not (self._is_arith(tt) or isinstance(tt, A.VectorType)):
+            raise self._err(e.loc, "compound assignment needs arithmetic target")
+        self._check_assignable(tt, vt, e.loc)
+        return tt
+
+    def _call(self, e: A.Call):
+        if e.name in MATH_FUNCS:
+            if len(e.args) != MATH_FUNCS[e.name]:
+                raise self._err(
+                    e.loc, f"{e.name} expects {MATH_FUNCS[e.name]} argument(s)"
+                )
+            for a in e.args:
+                at = self.expr(a)
+                if not self._is_arith(at):
+                    raise self._err(e.loc, f"{e.name} needs arithmetic arguments")
+            return _DOUBLE
+        if e.name in INTRINSIC_SIGNATURES:
+            sig = INTRINSIC_SIGNATURES[e.name]
+            if len(e.args) != len(sig.params):
+                raise self._err(
+                    e.loc, f"{e.name} expects {len(sig.params)} argument(s)"
+                )
+            for a in e.args:
+                self.expr(a)
+            return sig.result
+        if e.name in self.functions:
+            f = self.functions[e.name]
+            if len(e.args) != len(f.params):
+                raise self._err(
+                    e.loc,
+                    f"{e.name} expects {len(f.params)} argument(s), "
+                    f"got {len(e.args)}",
+                )
+            for a in e.args:
+                self.expr(a)
+            return f.return_type
+        raise self._err(e.loc, f"call to unknown function {e.name!r}")

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the SafeGen reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "TypeCheckError",
+    "CompileError",
+    "AnalysisError",
+    "SoundnessError",
+    "UnsupportedFeatureError",
+    "AmbiguousComparisonError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParseError(ReproError):
+    """Raised by the C frontend on malformed input.
+
+    Carries the source location when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"line {line}" + (f", col {col}" if col is not None else "") + f": {message}"
+        super().__init__(message)
+
+
+class TypeCheckError(ReproError):
+    """Raised when the input program fails semantic analysis."""
+
+
+class CompileError(ReproError):
+    """Raised when a well-formed program cannot be transformed."""
+
+
+class UnsupportedFeatureError(CompileError):
+    """The input uses a C feature outside the supported subset."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static analysis (DAG construction / max-reuse ILP)."""
+
+
+class SoundnessError(ReproError):
+    """An internal invariant protecting soundness was violated.
+
+    This should never escape to users; it exists so tests and the runtime
+    can fail loudly rather than return an unsound range.
+    """
+
+
+class AmbiguousComparisonError(ReproError):
+    """A comparison between overlapping ranges could not be decided and the
+    active policy forbids guessing."""

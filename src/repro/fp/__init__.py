@@ -1,0 +1,75 @@
+"""Floating-point substrate: error-free transformations, exact directed
+rounding, Shewchuk expansions, and double-double arithmetic.
+
+These primitives replace the hardware rounding modes (``-frounding-math``)
+that the paper's generated C code relies on; see DESIGN.md.
+"""
+
+from .doubledouble import DD, dd_from_float, dd_from_prod, dd_from_sum
+from .expansion import (
+    expansion_sign,
+    expansion_sum,
+    grow_expansion,
+    scale_expansion,
+    two_prod,
+    two_sum,
+)
+from .rounding import (
+    EPS,
+    ETA,
+    MAX_FLOAT,
+    MIN_NORMAL,
+    add_rd,
+    add_ru,
+    div_rd,
+    div_ru,
+    dot_ru,
+    float_ordinal,
+    floats_between,
+    mul_rd,
+    mul_ru,
+    next_down,
+    next_up,
+    sqrt_rd,
+    sqrt_ru,
+    sub_rd,
+    sub_ru,
+    sum_abs_ru,
+    sum_ru,
+    ulp,
+)
+
+__all__ = [
+    "DD",
+    "dd_from_float",
+    "dd_from_prod",
+    "dd_from_sum",
+    "expansion_sign",
+    "expansion_sum",
+    "grow_expansion",
+    "scale_expansion",
+    "two_prod",
+    "two_sum",
+    "EPS",
+    "ETA",
+    "MAX_FLOAT",
+    "MIN_NORMAL",
+    "add_rd",
+    "add_ru",
+    "div_rd",
+    "div_ru",
+    "dot_ru",
+    "float_ordinal",
+    "floats_between",
+    "mul_rd",
+    "mul_ru",
+    "next_down",
+    "next_up",
+    "sqrt_rd",
+    "sqrt_ru",
+    "sub_rd",
+    "sub_ru",
+    "sum_abs_ru",
+    "sum_ru",
+    "ulp",
+]

@@ -1,0 +1,349 @@
+"""Double-double arithmetic (the paper's ``dd`` precision, [33]).
+
+A double-double represents a real as an unevaluated sum ``hi + lo`` of two
+doubles with ``|lo| <= ulp(hi)/2``, giving roughly 106 bits of significand.
+The paper uses it (a) for the central value of the ``dda`` affine type and
+(b) for the endpoints of IGen's high-precision intervals.
+
+The algorithms are the classic Dekker/Bailey/QD-library ones.  For *sound*
+use (intervals, affine round-off accumulation) every operation also has a
+``*_with_err`` variant returning a rigorous upper bound on its absolute
+rounding error, based on the relative error theorems of Joldes, Muller &
+Popescu, "Tight and rigorous error bounds for basic building blocks of
+double-word arithmetic" (2017):
+
+* add:  relative error <= 3u^2 / (1 - 4u)   (u = 2^-53)
+* mul:  relative error <= 5u^2
+* div:  relative error <= 10u^2
+* sqrt: relative error <= 4u^2
+
+We round these constants up generously (see ``_REL_*``) and evaluate the
+bounds with upward-rounded arithmetic, so the reported error bound is itself
+an overapproximation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .expansion import fast_two_sum, two_prod, two_sum
+from .rounding import ETA, add_ru, mul_ru, next_up
+
+__all__ = ["DD", "dd_from_float", "dd_from_sum", "dd_from_prod"]
+
+_U = 2.0**-53
+# Relative error bounds, rounded up with slack over the published theorems.
+_REL_ADD = 4.0 * _U * _U
+_REL_MUL = 6.0 * _U * _U
+_REL_DIV = 12.0 * _U * _U
+_REL_SQRT = 5.0 * _U * _U
+
+# The theorems above assume no under/overflow inside TwoProd.  Outside this
+# exponent window multiplicative ops fall back to plain double arithmetic
+# with ulp-scale (rather than ulp^2-scale) error bounds, which stays sound.
+_SAFE_LO = 2.0**-950
+_SAFE_HI = 2.0**995
+
+
+def _mul_safe(x: float, y: float) -> bool:
+    """Whether TwoProd(x, y) has an exact residual."""
+    p = abs(x * y)
+    return (p == 0.0 and (x == 0.0 or y == 0.0)) or (_SAFE_LO < p < _SAFE_HI)
+
+
+class DD:
+    """An immutable double-double value ``hi + lo``.
+
+    Supports the standard arithmetic operators (round-to-nearest-ish
+    double-double semantics) plus ``*_with_err`` methods that additionally
+    return a sound bound on the operation's absolute error.
+    """
+
+    __slots__ = ("hi", "lo")
+
+    def __init__(self, hi: float, lo: float = 0.0) -> None:
+        if math.isnan(hi) or math.isnan(lo):
+            object.__setattr__(self, "hi", math.nan)
+            object.__setattr__(self, "lo", 0.0)
+            return
+        if math.isinf(hi):
+            object.__setattr__(self, "hi", hi)
+            object.__setattr__(self, "lo", 0.0)
+            return
+        s, e = fast_two_sum(hi, lo) if abs(hi) >= abs(lo) else fast_two_sum(lo, hi)
+        object.__setattr__(self, "hi", s)
+        object.__setattr__(self, "lo", e)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DD is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "DD":
+        return DD(0.0, 0.0)
+
+    @staticmethod
+    def nan() -> "DD":
+        return DD(math.nan, 0.0)
+
+    # -- predicates / conversions -----------------------------------------
+
+    def is_nan(self) -> bool:
+        return math.isnan(self.hi)
+
+    def is_inf(self) -> bool:
+        return math.isinf(self.hi)
+
+    def is_finite(self) -> bool:
+        return math.isfinite(self.hi)
+
+    def to_float(self) -> float:
+        """Round-to-nearest double approximation."""
+        return self.hi + self.lo
+
+    def __float__(self) -> float:
+        return self.to_float()
+
+    def abs_upper(self) -> float:
+        """A double upper bound on ``|self|``."""
+        if self.is_nan():
+            return math.nan
+        return add_ru(abs(self.hi), abs(self.lo))
+
+    def __repr__(self) -> str:
+        return f"DD({self.hi!r}, {self.lo!r})"
+
+    # -- comparisons (exact: the pair is an exact value) --------------------
+
+    def _cmp(self, other: "DD") -> int:
+        if self.hi != other.hi:
+            return -1 if self.hi < other.hi else 1
+        if self.lo != other.lo:
+            return -1 if self.lo < other.lo else 1
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            other = DD(float(other))
+        if not isinstance(other, DD):
+            return NotImplemented
+        if self.is_nan() or other.is_nan():
+            return False
+        return self._cmp(other) == 0
+
+    def __lt__(self, other: "DD") -> bool:
+        other = _coerce(other)
+        if self.is_nan() or other.is_nan():
+            return False
+        return self._cmp(other) < 0
+
+    def __le__(self, other: "DD") -> bool:
+        other = _coerce(other)
+        if self.is_nan() or other.is_nan():
+            return False
+        return self._cmp(other) <= 0
+
+    def __gt__(self, other: "DD") -> bool:
+        other = _coerce(other)
+        if self.is_nan() or other.is_nan():
+            return False
+        return self._cmp(other) > 0
+
+    def __ge__(self, other: "DD") -> bool:
+        other = _coerce(other)
+        if self.is_nan() or other.is_nan():
+            return False
+        return self._cmp(other) >= 0
+
+    def __hash__(self) -> int:
+        return hash((self.hi, self.lo))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __neg__(self) -> "DD":
+        return DD(-self.hi, -self.lo)
+
+    def __abs__(self) -> "DD":
+        return -self if self.hi < 0.0 or (self.hi == 0.0 and self.lo < 0.0) else self
+
+    def __add__(self, other: object) -> "DD":
+        return self.add(_coerce(other))
+
+    def __radd__(self, other: object) -> "DD":
+        return _coerce(other).add(self)
+
+    def __sub__(self, other: object) -> "DD":
+        return self.add(-_coerce(other))
+
+    def __rsub__(self, other: object) -> "DD":
+        return _coerce(other).add(-self)
+
+    def __mul__(self, other: object) -> "DD":
+        return self.mul(_coerce(other))
+
+    def __rmul__(self, other: object) -> "DD":
+        return _coerce(other).mul(self)
+
+    def __truediv__(self, other: object) -> "DD":
+        return self.div(_coerce(other))
+
+    def __rtruediv__(self, other: object) -> "DD":
+        return _coerce(other).div(self)
+
+    def add(self, other: "DD") -> "DD":
+        """AccurateDWPlusDW (Joldes et al. Algorithm 6)."""
+        if self.is_nan() or other.is_nan():
+            return DD.nan()
+        s_hi, s_lo = two_sum(self.hi, other.hi)
+        if math.isinf(s_hi):
+            return DD(s_hi)
+        t_hi, t_lo = two_sum(self.lo, other.lo)
+        c = s_lo + t_hi
+        v_hi, v_lo = fast_two_sum(s_hi, c)
+        w = t_lo + v_lo
+        hi, lo = fast_two_sum(v_hi, w)
+        return DD(hi, lo)
+
+    def mul(self, other: "DD") -> "DD":
+        """DWTimesDW (Joldes et al. Algorithm 12, no-FMA variant).
+
+        Outside the TwoProd-safe exponent window this degrades to the plain
+        double product (callers using ``mul_with_err`` get a correspondingly
+        wider, still sound, error bound).
+        """
+        if self.is_nan() or other.is_nan():
+            return DD.nan()
+        if not _mul_safe(self.hi, other.hi):
+            return DD(self.hi * other.hi)
+        p_hi, p_lo = two_prod(self.hi, other.hi)
+        if math.isinf(p_hi):
+            return DD(p_hi)
+        t = self.hi * other.lo + self.lo * other.hi
+        p_lo = p_lo + t
+        hi, lo = fast_two_sum(p_hi, p_lo)
+        return DD(hi, lo)
+
+    def div(self, other: "DD") -> "DD":
+        """Long division with two correction steps (QD-style)."""
+        if self.is_nan() or other.is_nan():
+            return DD.nan()
+        if other.hi == 0.0 and other.lo == 0.0:
+            if self.hi == 0.0 and self.lo == 0.0:
+                return DD.nan()
+            return DD(math.copysign(math.inf, self.hi))
+        q1 = self.hi / other.hi
+        if math.isinf(q1) or math.isnan(q1):
+            return DD(q1)
+        r = self.add(-(other.mul(DD(q1))))
+        q2 = r.hi / other.hi
+        r = r.add(-(other.mul(DD(q2))))
+        q3 = r.hi / other.hi
+        hi, lo = fast_two_sum(q1, q2)
+        out = DD(hi, lo).add(DD(q3))
+        return out
+
+    def sqrt(self) -> "DD":
+        """One Newton step on the double sqrt (Karp & Markstein trick)."""
+        if self.is_nan():
+            return DD.nan()
+        if self.hi < 0.0 or (self.hi == 0.0 and self.lo < 0.0):
+            return DD.nan()
+        if self.hi == 0.0:
+            return DD.zero()
+        if self.is_inf():
+            return DD(math.inf)
+        x = 1.0 / math.sqrt(self.hi)
+        ax = self.hi * x
+        axdd = DD(ax)
+        err = self.add(-(axdd.mul(axdd)))
+        hi, lo = fast_two_sum(ax, err.hi * (x * 0.5))
+        return DD(hi, lo)
+
+    # -- operations with rigorous error bounds ------------------------------
+
+    def _err_bound(self, rel: float) -> float:
+        """Sound absolute error bound ``rel * |self| + eta`` (rounded up)."""
+        return add_ru(mul_ru(rel, self.abs_upper()), ETA)
+
+    def _in_dw_range(self) -> bool:
+        """Exponent window in which the dd error theorems apply."""
+        a = abs(self.hi)
+        return a == 0.0 or 2.0**-800 < a < 2.0**800
+
+    # When the theorems do not apply, ops degrade to double accuracy; this
+    # ulp-scale relative bound (2^-48 ~ 32u) is sound for that fallback.
+    _FALLBACK_REL = 2.0**-48
+
+    def _fallback_err(self) -> float:
+        return add_ru(mul_ru(DD._FALLBACK_REL, self.abs_upper()), 4.0 * ETA)
+
+    def add_with_err(self, other: "DD") -> Tuple["DD", float]:
+        out = self.add(other)
+        if not out.is_finite():
+            return out, math.inf if out.is_inf() else math.nan
+        return out, out._err_bound(_REL_ADD)
+
+    def mul_with_err(self, other: "DD") -> Tuple["DD", float]:
+        out = self.mul(other)
+        if not out.is_finite():
+            return out, math.inf if out.is_inf() else math.nan
+        if not (self._in_dw_range() and other._in_dw_range() and out._in_dw_range()):
+            return out, out._fallback_err()
+        return out, out._err_bound(_REL_MUL)
+
+    def div_with_err(self, other: "DD") -> Tuple["DD", float]:
+        out = self.div(other)
+        if not out.is_finite():
+            return out, math.inf if out.is_inf() else math.nan
+        if not (self._in_dw_range() and other._in_dw_range() and out._in_dw_range()):
+            return out, out._fallback_err()
+        return out, out._err_bound(_REL_DIV)
+
+    def sqrt_with_err(self) -> Tuple["DD", float]:
+        out = self.sqrt()
+        if not out.is_finite():
+            return out, math.inf if out.is_inf() else math.nan
+        if not (self._in_dw_range() and out._in_dw_range()):
+            return out, out._fallback_err()
+        return out, out._err_bound(_REL_SQRT)
+
+    # -- directed rounding to double ----------------------------------------
+
+    def upper_double(self) -> float:
+        """Smallest double >= the exact dd value."""
+        if self.lo > 0.0:
+            return next_up(self.hi)
+        return self.hi
+
+    def lower_double(self) -> float:
+        """Largest double <= the exact dd value."""
+        if self.lo < 0.0:
+            return math.nextafter(self.hi, -math.inf)
+        return self.hi
+
+
+def _coerce(x: object) -> DD:
+    if isinstance(x, DD):
+        return x
+    if isinstance(x, (int, float)):
+        return DD(float(x))
+    raise TypeError(f"cannot coerce {type(x).__name__} to DD")
+
+
+def dd_from_float(x: float) -> DD:
+    """Exact embedding of a double."""
+    return DD(x, 0.0)
+
+
+def dd_from_sum(a: float, b: float) -> DD:
+    """The exact sum ``a + b`` as a DD."""
+    hi, lo = two_sum(a, b)
+    return DD(hi, lo)
+
+
+def dd_from_prod(a: float, b: float) -> DD:
+    """The exact product ``a * b`` as a DD (up to over/underflow)."""
+    hi, lo = two_prod(a, b)
+    return DD(hi, lo)

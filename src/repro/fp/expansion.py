@@ -1,0 +1,176 @@
+"""Shewchuk-style floating-point expansions.
+
+An *expansion* is a sequence of floats ``[e_0, ..., e_n]`` sorted by
+increasing magnitude whose exact (real-arithmetic) sum is the represented
+value, and whose components are non-overlapping.  Expansions let us compute
+*exact* signs of small polynomial expressions over doubles — which is how the
+directed-rounding primitives in :mod:`repro.fp.rounding` decide whether a
+round-to-nearest result lies above or below the true result.
+
+The algorithms follow Shewchuk, "Adaptive Precision Floating-Point Arithmetic
+and Fast Robust Geometric Predicates" (1997).  All of them are exact: no
+rounding error escapes, provided no intermediate overflows (guarded by the
+callers in :mod:`repro.fp.rounding`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = [
+    "two_sum",
+    "fast_two_sum",
+    "split",
+    "two_prod",
+    "grow_expansion",
+    "expansion_sum",
+    "scale_expansion",
+    "compress",
+    "expansion_sign",
+    "expansion_approx",
+    "from_float",
+]
+
+# Dekker's splitter for binary64: 2^27 + 1.
+_SPLITTER = 134217729.0
+# |a| above this may overflow inside split(); callers must guard.
+SPLIT_SAFE_BOUND = 2.0**995
+
+
+def two_sum(a: float, b: float) -> tuple[float, float]:
+    """Knuth's TwoSum: return ``(s, e)`` with ``s = fl(a+b)`` and
+    ``a + b = s + e`` exactly."""
+    s = a + b
+    bb = s - a
+    e = (a - (s - bb)) + (b - bb)
+    return s, e
+
+
+def fast_two_sum(a: float, b: float) -> tuple[float, float]:
+    """Dekker's FastTwoSum; requires ``|a| >= |b|`` (or a == 0)."""
+    s = a + b
+    e = b - (s - a)
+    return s, e
+
+
+def split(a: float) -> tuple[float, float]:
+    """Dekker's split: return ``(hi, lo)`` with ``a = hi + lo`` exactly and
+    both halves representable in 26 bits of mantissa.
+
+    Exact only for ``|a| <= SPLIT_SAFE_BOUND``.
+    """
+    c = _SPLITTER * a
+    hi = c - (c - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_prod(a: float, b: float) -> tuple[float, float]:
+    """Dekker/Veltkamp TwoProd: return ``(p, e)`` with ``p = fl(a*b)`` and
+    ``a * b = p + e`` exactly.
+
+    Exact provided neither split overflows and ``p`` is normal (callers in
+    :mod:`repro.fp.rounding` guard the over/underflow ranges).
+    """
+    p = a * b
+    a_hi, a_lo = split(a)
+    b_hi, b_lo = split(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def grow_expansion(expansion: Sequence[float], b: float) -> List[float]:
+    """Add a single float ``b`` to an expansion, exactly.
+
+    Returns a (possibly longer) expansion whose exact sum is
+    ``sum(expansion) + b``.  Zero components are kept out of the result.
+    """
+    q = b
+    out: List[float] = []
+    for e in expansion:
+        q, h = two_sum(q, e)
+        if h != 0.0:
+            out.append(h)
+    if q != 0.0 or not out:
+        out.append(q)
+    return out
+
+
+def expansion_sum(e: Sequence[float], f: Sequence[float]) -> List[float]:
+    """Exact sum of two expansions."""
+    out = list(e) if e else [0.0]
+    for b in f:
+        out = grow_expansion(out, b)
+    return out
+
+
+def scale_expansion(e: Sequence[float], b: float) -> List[float]:
+    """Product of an expansion by a single float.
+
+    Exact provided no component product over/underflows the TwoProd-safe
+    range (see :func:`two_prod`); subnormal partial products lose their
+    residual bits.  Callers needing guaranteed exactness must keep
+    ``|c * b|`` within ``(2**-968, 2**996)`` for every component ``c``.
+    """
+    out: List[float] = [0.0]
+    for comp in e:
+        p, err = two_prod(comp, b)
+        out = grow_expansion(out, err)
+        out = grow_expansion(out, p)
+    return out
+
+
+def compress(e: Sequence[float]) -> List[float]:
+    """Shewchuk's COMPRESS: equal value, fewer components, and the *last*
+    component approximates the total to within one ulp (hence carries its
+    sign).  Input must be a nonoverlapping expansion sorted by increasing
+    magnitude (as produced by :func:`grow_expansion`)."""
+    comps = [c for c in e if c != 0.0]
+    if not comps:
+        return [0.0]
+    # Downward traversal: absorb components into Q top-down.
+    g: List[float] = []
+    q = comps[-1]
+    for c in reversed(comps[:-1]):
+        q, small = fast_two_sum(q, c)
+        if small != 0.0:
+            g.append(q)
+            q = small
+    g.append(q)
+    # g is now ordered largest..smallest; upward traversal.
+    h: List[float] = []
+    q = g[-1]
+    for big in reversed(g[:-1]):
+        q, small = fast_two_sum(big, q)
+        if small != 0.0:
+            h.append(small)
+    h.append(q)
+    return h
+
+
+def expansion_sign(e: Sequence[float]) -> int:
+    """Exact sign (-1, 0, +1) of the value represented by an expansion.
+
+    ``math.fsum`` computes the correctly rounded (round-to-nearest) sum of
+    its arguments.  Every finite double is an integral multiple of
+    2**-1074, so a nonzero exact sum has magnitude >= 2**-1074 and cannot
+    round to zero; the sign of the correctly rounded sum is therefore the
+    exact sign.
+    """
+    s = math.fsum(e)
+    if s > 0.0:
+        return 1
+    if s < 0.0:
+        return -1
+    return 0
+
+
+def expansion_approx(e: Sequence[float]) -> float:
+    """Round-to-nearest-ish approximation of an expansion's value."""
+    return math.fsum(e)
+
+
+def from_float(x: float) -> List[float]:
+    """The trivial single-component expansion."""
+    return [x]

@@ -1,0 +1,361 @@
+"""Sound directed rounding on IEEE-754 binary64.
+
+The paper's generated code relies on hardware rounding modes (``RU`` rounds
+towards +inf, ``RD`` towards -inf, compiled with ``-frounding-math``).  CPython
+offers no portable access to the FPU rounding mode, so this module *emulates*
+directed rounding exactly using error-free transformations:
+
+* ``fl(a + b)`` and ``fl(a * b)`` leave an exactly representable residual
+  (TwoSum / Dekker TwoProd).  The residual's sign tells whether the
+  round-to-nearest result sits below or above the true result, and one
+  ``math.nextafter`` step lands on the correctly directed-rounded value.
+* Division and square root use exact sign tests of the residuals
+  ``a - q*b`` and ``a - s*s`` evaluated as Shewchuk expansions.
+
+Where the error-free transformations themselves could over/underflow (Dekker
+splitting breaks above ~2**996; TwoProd's residual is inexact for subnormal
+products) we fall back to a *conservative* one-ulp outward step, which is
+always sound because round-to-nearest is within half an ulp of the truth.
+
+All functions propagate NaN and keep the IEEE conventions spelled out in
+Section IV-A of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterable
+
+from .expansion import (
+    SPLIT_SAFE_BOUND,
+    expansion_sign,
+    grow_expansion,
+    two_prod,
+    two_sum,
+)
+
+__all__ = [
+    "EPS",
+    "ETA",
+    "MAX_FLOAT",
+    "MIN_NORMAL",
+    "next_up",
+    "next_down",
+    "ulp",
+    "float_ordinal",
+    "floats_between",
+    "two_sum",
+    "two_prod",
+    "add_ru",
+    "add_rd",
+    "sub_ru",
+    "sub_rd",
+    "mul_ru",
+    "mul_rd",
+    "div_ru",
+    "div_rd",
+    "sqrt_ru",
+    "sqrt_rd",
+    "sum_ru",
+    "sum_abs_ru",
+    "dot_ru",
+]
+
+#: Unit roundoff of binary64 (half the machine epsilon).
+EPS = 2.0**-53
+#: Smallest positive subnormal double.
+ETA = 5e-324
+#: Largest finite double.
+MAX_FLOAT = 1.7976931348623157e308
+#: Smallest positive normal double.
+MIN_NORMAL = 2.2250738585072014e-308
+
+_INF = math.inf
+
+# Products with |p| outside (2**-968, 2**996) bypass the exact TwoProd
+# residual (underflow makes the Dekker error term inexact, overflow breaks
+# the splitter) and use the conservative one-ulp step instead.
+_PROD_LO_SAFE = 2.0**-968
+_PROD_HI_SAFE = 2.0**996
+
+
+def next_up(x: float) -> float:
+    """The smallest double strictly greater than ``x`` (NaN passes through).
+
+    ``next_up(-inf)`` is ``-MAX_FLOAT`` and ``next_up(+inf)`` is ``+inf``,
+    matching IEEE nextUp semantics.
+    """
+    if math.isnan(x) or x == _INF:
+        return x
+    return math.nextafter(x, _INF)
+
+
+def next_down(x: float) -> float:
+    """The largest double strictly less than ``x`` (NaN passes through)."""
+    if math.isnan(x) or x == -_INF:
+        return x
+    return math.nextafter(x, -_INF)
+
+
+def ulp(x: float) -> float:
+    """Unit in the last place of ``x``: the gap between the two finite
+    doubles adjacent to ``x``.  ``ulp(inf)`` is ``inf``; ``ulp(0)`` is the
+    smallest subnormal."""
+    if math.isnan(x):
+        return x
+    if math.isinf(x):
+        return _INF
+    return math.ulp(x)
+
+
+def float_ordinal(x: float) -> int:
+    """Map a finite double to an integer such that the ordering of doubles
+    matches the ordering of the integers and consecutive doubles map to
+    consecutive integers.
+
+    This is the standard sign-magnitude-to-two's-complement bit trick; it is
+    what lets :mod:`repro.aa.accuracy` count the number of floating-point
+    values inside a range (eq. (10) of the paper).
+    """
+    if math.isnan(x):
+        raise ValueError("float_ordinal is undefined for NaN")
+    (bits,) = struct.unpack("<q", struct.pack("<d", x))
+    if bits < 0:
+        bits = -(bits & 0x7FFFFFFFFFFFFFFF)
+    return bits
+
+
+def floats_between(lo: float, hi: float) -> int:
+    """Number of doubles ``x`` with ``lo <= x <= hi`` (0 if ``hi < lo``).
+
+    Infinite endpoints are clamped to the largest-magnitude finite doubles,
+    which only *over*-counts (sound for the error metric).
+    """
+    if math.isnan(lo) or math.isnan(hi):
+        raise ValueError("floats_between is undefined for NaN endpoints")
+    if hi < lo:
+        return 0
+    lo = max(lo, -MAX_FLOAT)
+    hi = min(hi, MAX_FLOAT)
+    return float_ordinal(hi) - float_ordinal(lo) + 1
+
+
+def _bump(value: float, residual_sign: int, up: bool) -> float:
+    """Move a round-to-nearest ``value`` to the directed-rounded result given
+    the exact sign of ``truth - value``."""
+    if up:
+        return next_up(value) if residual_sign > 0 else value
+    return next_down(value) if residual_sign < 0 else value
+
+
+def _overflow_fixup(value: float, up: bool) -> float:
+    """A finite real operation that round-to-nearest overflowed to ±inf.
+
+    If RN(a op b) = +inf the true (finite) result exceeds MAX_FLOAT, so
+    RU = +inf and RD = MAX_FLOAT; symmetrically for -inf.
+    """
+    if value == _INF:
+        return _INF if up else MAX_FLOAT
+    return -MAX_FLOAT if up else -_INF
+
+
+# ---------------------------------------------------------------------------
+# addition / subtraction
+# ---------------------------------------------------------------------------
+
+def _add_dir(a: float, b: float, up: bool) -> float:
+    s, e = two_sum(a, b)
+    if math.isnan(s):
+        return s
+    if math.isinf(s):
+        if math.isinf(a) or math.isinf(b):
+            return s  # genuinely infinite operand: result is exact
+        return _overflow_fixup(s, up)
+    # TwoSum on finite, non-overflowing inputs is exact: e is the residual.
+    if e > 0.0:
+        return _bump(s, 1, up)
+    if e < 0.0:
+        return _bump(s, -1, up)
+    return s
+
+
+def add_ru(a: float, b: float) -> float:
+    """``a + b`` rounded towards +inf."""
+    return _add_dir(a, b, True)
+
+
+def add_rd(a: float, b: float) -> float:
+    """``a + b`` rounded towards -inf."""
+    return _add_dir(a, b, False)
+
+
+def sub_ru(a: float, b: float) -> float:
+    """``a - b`` rounded towards +inf."""
+    return _add_dir(a, -b, True)
+
+
+def sub_rd(a: float, b: float) -> float:
+    """``a - b`` rounded towards -inf."""
+    return _add_dir(a, -b, False)
+
+
+# ---------------------------------------------------------------------------
+# multiplication
+# ---------------------------------------------------------------------------
+
+def _mul_dir(a: float, b: float, up: bool) -> float:
+    p = a * b
+    if math.isnan(p):
+        return p
+    if math.isinf(p):
+        if math.isinf(a) or math.isinf(b):
+            return p
+        return _overflow_fixup(p, up)
+    ap, bp = abs(a), abs(b)
+    if (
+        ap > SPLIT_SAFE_BOUND
+        or bp > SPLIT_SAFE_BOUND
+        or not (_PROD_LO_SAFE < abs(p) < _PROD_HI_SAFE)
+    ):
+        # Conservative: RN is within half an ulp, one outward step is sound.
+        if p == 0.0:
+            if a == 0.0 or b == 0.0:
+                return p  # exact zero
+            # The true product is a nonzero value that underflowed.
+            positive = (a > 0.0) == (b > 0.0)
+            if up:
+                return ETA if positive else -0.0
+            return 0.0 if positive else -ETA
+        return next_up(p) if up else next_down(p)
+    _, e = two_prod(a, b)
+    if e > 0.0:
+        return _bump(p, 1, up)
+    if e < 0.0:
+        return _bump(p, -1, up)
+    return p
+
+
+def mul_ru(a: float, b: float) -> float:
+    """``a * b`` rounded towards +inf."""
+    return _mul_dir(a, b, True)
+
+
+def mul_rd(a: float, b: float) -> float:
+    """``a * b`` rounded towards -inf."""
+    return _mul_dir(a, b, False)
+
+
+# ---------------------------------------------------------------------------
+# division
+# ---------------------------------------------------------------------------
+
+def _div_dir(a: float, b: float, up: bool) -> float:
+    if math.isnan(a) or math.isnan(b):
+        return math.nan
+    if b == 0.0:
+        if a == 0.0:
+            return math.nan
+        # IEEE x/±0: signed infinity, which is an exact result.
+        return math.copysign(_INF, a) * math.copysign(1.0, b)
+    if math.isinf(b):
+        if math.isinf(a):
+            return math.nan
+        return 0.0 * math.copysign(1.0, a) * math.copysign(1.0, b)
+    if math.isinf(a):
+        return a * math.copysign(1.0, b)
+    q = a / b
+    if math.isinf(q):
+        return _overflow_fixup(q, up)
+    if q == 0.0:
+        if a == 0.0:
+            return q  # exact zero
+        # Quotient underflowed: the true quotient is nonzero but tiny.
+        positive = (a > 0.0) == (b > 0.0)
+        if up:
+            return ETA if positive else -0.0
+        return 0.0 if positive else -ETA
+    if (
+        abs(q) > SPLIT_SAFE_BOUND
+        or abs(b) > SPLIT_SAFE_BOUND
+        or not (_PROD_LO_SAFE < abs(q * b) < _PROD_HI_SAFE)
+    ):
+        # Conservative one-ulp step (RN is within half an ulp of truth).
+        return next_up(q) if up else next_down(q)
+    # Exact residual sign: sign(a - q*b) * sign(b) == sign(a/b - q).
+    p, pe = two_prod(q, b)
+    s1, e1 = two_sum(a, -p)
+    residual = grow_expansion([e1, s1], -pe)
+    rsign = expansion_sign(residual)
+    if b < 0.0:
+        rsign = -rsign
+    return _bump(q, rsign, up)
+
+
+def div_ru(a: float, b: float) -> float:
+    """``a / b`` rounded towards +inf."""
+    return _div_dir(a, b, True)
+
+
+def div_rd(a: float, b: float) -> float:
+    """``a / b`` rounded towards -inf."""
+    return _div_dir(a, b, False)
+
+
+# ---------------------------------------------------------------------------
+# square root
+# ---------------------------------------------------------------------------
+
+def _sqrt_dir(a: float, up: bool) -> float:
+    if math.isnan(a) or a < 0.0:
+        return math.nan
+    if a == 0.0 or math.isinf(a):
+        return math.sqrt(a) if a >= 0 else math.nan
+    s = math.sqrt(a)
+    if s > SPLIT_SAFE_BOUND or not (_PROD_LO_SAFE < a < _PROD_HI_SAFE):
+        return next_up(s) if up else next_down(s)
+    # sign(a - s*s) == sign(sqrt(a) - s)   (both sides share monotonicity).
+    p, pe = two_prod(s, s)
+    s1, e1 = two_sum(a, -p)
+    residual = grow_expansion([e1, s1] if abs(e1) <= abs(s1) else [s1, e1], -pe)
+    return _bump(s, expansion_sign(residual), up)
+
+
+def sqrt_ru(a: float) -> float:
+    """``sqrt(a)`` rounded towards +inf."""
+    return _sqrt_dir(a, True)
+
+
+def sqrt_rd(a: float) -> float:
+    """``sqrt(a)`` rounded towards -inf (NaN for negative input)."""
+    return _sqrt_dir(a, False)
+
+
+# ---------------------------------------------------------------------------
+# reductions (used pervasively when accumulating round-off coefficients)
+# ---------------------------------------------------------------------------
+
+def sum_ru(values: Iterable[float]) -> float:
+    """Sum rounded towards +inf (every partial sum rounds up: sound upper
+    bound on the exact sum)."""
+    acc = 0.0
+    for v in values:
+        acc = add_ru(acc, v)
+    return acc
+
+
+def sum_abs_ru(values: Iterable[float]) -> float:
+    """Upper bound on ``sum(|v|)``."""
+    acc = 0.0
+    for v in values:
+        acc = add_ru(acc, abs(v))
+    return acc
+
+
+def dot_ru(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Upper bound on ``sum(x_i * y_i)`` (each product and partial sum
+    rounded up)."""
+    acc = 0.0
+    for x, y in zip(xs, ys):
+        acc = add_ru(acc, mul_ru(x, y))
+    return acc

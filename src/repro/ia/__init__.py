@@ -1,0 +1,23 @@
+"""Interval arithmetic substrate — the IGen baseline (Section II-A/II-C).
+
+* :class:`Interval` — double endpoints (IGen-f64).
+* :class:`IntervalDD` — double-double endpoints (IGen-dd).
+* Elementary functions with sound outward widening in
+  :mod:`repro.ia.functions`.
+"""
+
+from .functions import LIBM_ULP_MARGIN, icos, iexp, ifabs, ilog, isin, isqrt
+from .interval import Interval
+from .interval_dd import IntervalDD
+
+__all__ = [
+    "Interval",
+    "IntervalDD",
+    "LIBM_ULP_MARGIN",
+    "icos",
+    "iexp",
+    "ifabs",
+    "ilog",
+    "isin",
+    "isqrt",
+]

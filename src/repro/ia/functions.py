@@ -1,0 +1,101 @@
+"""Elementary functions on intervals.
+
+``sqrt`` is exactly rounded (see :mod:`repro.fp.rounding`).  The
+transcendentals (exp, log, sin, cos) rely on the platform libm through
+:mod:`math`; correctly-rounded behaviour is not guaranteed by the standard,
+so every libm result is widened outward by :data:`LIBM_ULP_MARGIN` ulps.
+Glibc's documented worst-case errors for these functions are 1-2 ulps; the
+default margin of 4 leaves generous slack.  The margin is module-level so a
+paranoid user can raise it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..fp import next_down, next_up
+from .interval import Interval
+
+__all__ = ["LIBM_ULP_MARGIN", "iexp", "ilog", "isin", "icos", "ifabs", "isqrt"]
+
+#: Outward widening (in ulps) applied around every libm evaluation.
+LIBM_ULP_MARGIN = 4
+
+
+def _down(x: float) -> float:
+    for _ in range(LIBM_ULP_MARGIN):
+        x = next_down(x)
+    return x
+
+
+def _up(x: float) -> float:
+    for _ in range(LIBM_ULP_MARGIN):
+        x = next_up(x)
+    return x
+
+
+def iexp(x: Interval) -> Interval:
+    """Sound enclosure of ``exp`` over the interval (monotone increasing)."""
+    if not x.is_valid():
+        return Interval.invalid()
+    lo = 0.0 if x.lo == -math.inf else max(0.0, _down(math.exp(min(x.lo, 709.0))))
+    if x.hi > 709.0:  # exp overflows past ~709.78
+        hi = math.inf
+    else:
+        hi = _up(math.exp(x.hi))
+    return Interval(lo, hi)
+
+
+def ilog(x: Interval) -> Interval:
+    """Sound enclosure of ``log``; invalid if the interval reaches <= 0."""
+    if not x.is_valid() or x.lo <= 0.0:
+        return Interval.invalid()
+    return Interval(_down(math.log(x.lo)), _up(math.log(x.hi)))
+
+
+def _trig_range(x: Interval, fn, is_sin: bool) -> Interval:
+    """Shared sin/cos enclosure: exact ±1 once the width spans a period's
+    worth of extrema, otherwise endpoint evaluation plus extremum tests."""
+    if not x.is_valid():
+        return Interval.invalid()
+    if not x.is_finite() or x.width_ru() >= 2.0 * math.pi:
+        return Interval(-1.0, 1.0)
+    f_lo, f_hi = fn(x.lo), fn(x.hi)
+    lo = min(f_lo, f_hi)
+    hi = max(f_lo, f_hi)
+    # Check whether an extremum of sin (at pi/2 + k*pi) or cos (at k*pi)
+    # falls inside; the pi tests are themselves done conservatively by
+    # widening the index range by one on both sides.
+    half_pi = math.pi / 2.0
+    shift = half_pi if is_sin else 0.0
+    k_lo = math.floor((x.lo - shift) / math.pi) - 1
+    k_hi = math.ceil((x.hi - shift) / math.pi) + 1
+    for k in range(int(k_lo), int(k_hi) + 1):
+        extremum_at = shift + k * math.pi
+        if x.lo - 1e-9 <= extremum_at <= x.hi + 1e-9:
+            if k % 2 == 0:
+                hi = 1.0
+            else:
+                lo = -1.0
+    return Interval(max(-1.0, _down(lo)) if lo > -1.0 else -1.0,
+                    min(1.0, _up(hi)) if hi < 1.0 else 1.0)
+
+
+def isin(x: Interval) -> Interval:
+    """Sound enclosure of ``sin``."""
+    return _trig_range(x, math.sin, is_sin=True)
+
+
+def icos(x: Interval) -> Interval:
+    """Sound enclosure of ``cos``."""
+    return _trig_range(x, math.cos, is_sin=False)
+
+
+def ifabs(x: Interval) -> Interval:
+    """Exact ``fabs`` on intervals."""
+    return abs(x)
+
+
+def isqrt(x: Interval) -> Interval:
+    """Exactly rounded ``sqrt`` on intervals."""
+    return x.sqrt()

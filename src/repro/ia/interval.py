@@ -1,0 +1,347 @@
+"""Sound interval arithmetic with double endpoints (the IGen-f64 baseline).
+
+An :class:`Interval` ``[lo, hi]`` is a sound enclosure: every operation
+returns an interval guaranteed to contain the exact real result for any
+choice of reals inside the operand intervals (Section II-A, eq. (1) of the
+paper).  Directed rounding comes from :mod:`repro.fp.rounding`.
+
+NaN conventions follow Section IV-A: an interval that has seen NaN becomes
+*invalid* (``is_valid() == False``) and absorbs everything.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Union
+
+from ..common import DecisionPolicy, decide_comparison
+from ..errors import SoundnessError
+from ..fp import (
+    add_rd,
+    add_ru,
+    div_rd,
+    div_ru,
+    mul_rd,
+    mul_ru,
+    next_down,
+    next_up,
+    sqrt_rd,
+    sqrt_ru,
+    sub_rd,
+    sub_ru,
+    ulp,
+)
+
+__all__ = ["Interval"]
+
+Number = Union[int, float]
+
+
+class Interval:
+    """A closed interval over the doubles, ``lo <= hi``.
+
+    Instances are immutable; all arithmetic returns fresh intervals.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if math.isnan(lo) or math.isnan(hi):
+            lo = hi = math.nan
+        elif hi < lo:
+            raise SoundnessError(f"interval endpoints out of order: [{lo}, {hi}]")
+        object.__setattr__(self, "lo", float(lo))
+        object.__setattr__(self, "hi", float(hi))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Interval is immutable")
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def point(x: float) -> "Interval":
+        """The degenerate interval ``[x, x]`` (x is taken to be exact)."""
+        return Interval(x, x)
+
+    @staticmethod
+    def from_constant(x: float, exact: bool = False) -> "Interval":
+        """Enclosure for a source-program constant.
+
+        Following Section IV-B, a constant that may not be exactly
+        representable is widened by one ulp in each direction; constants
+        that are exact (integers, and values flagged ``exact``) stay points.
+        """
+        if exact or not math.isfinite(x) or x == int(x):
+            return Interval.point(x)
+        u = ulp(x)
+        return Interval(sub_rd(x, u), add_ru(x, u))
+
+    @staticmethod
+    def with_radius(center: float, radius: float) -> "Interval":
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        return Interval(sub_rd(center, radius), add_ru(center, radius))
+
+    @staticmethod
+    def entire() -> "Interval":
+        return Interval(-math.inf, math.inf)
+
+    @staticmethod
+    def invalid() -> "Interval":
+        """The NaN-absorbing invalid interval."""
+        return Interval(math.nan, math.nan)
+
+    @staticmethod
+    def hull_of(items: Iterable["Interval"]) -> "Interval":
+        lo, hi = math.inf, -math.inf
+        for it in items:
+            if not it.is_valid():
+                return Interval.invalid()
+            lo = min(lo, it.lo)
+            hi = max(hi, it.hi)
+        if lo > hi:
+            raise ValueError("hull_of needs at least one interval")
+        return Interval(lo, hi)
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_valid(self) -> bool:
+        return not math.isnan(self.lo)
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def is_finite(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def contains(self, x: Union[Number, Fraction]) -> bool:
+        """Whether the *exact* value ``x`` lies inside (invalid contains all)."""
+        if not self.is_valid():
+            return True
+        if isinstance(x, Fraction):
+            lo = Fraction(self.lo) if math.isfinite(self.lo) else None
+            hi = Fraction(self.hi) if math.isfinite(self.hi) else None
+            return (lo is None or lo <= x) and (hi is None or x <= hi)
+        if math.isnan(x):
+            return False
+        return self.lo <= x <= self.hi
+
+    def encloses(self, other: "Interval") -> bool:
+        if not self.is_valid():
+            return True
+        if not other.is_valid():
+            return False
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    # -- measures ------------------------------------------------------------
+
+    def midpoint(self) -> float:
+        if not self.is_valid():
+            return math.nan
+        if self.lo == -math.inf and self.hi == math.inf:
+            return 0.0
+        m = self.lo + (self.hi - self.lo) / 2.0
+        if math.isfinite(m):
+            return m
+        return self.lo / 2.0 + self.hi / 2.0
+
+    def radius_ru(self) -> float:
+        """Upper bound on the half-width around :meth:`midpoint`."""
+        if not self.is_valid():
+            return math.nan
+        m = self.midpoint()
+        return max(sub_ru(m, self.lo), sub_ru(self.hi, m))
+
+    def width_ru(self) -> float:
+        if not self.is_valid():
+            return math.nan
+        return sub_ru(self.hi, self.lo)
+
+    def mag(self) -> float:
+        """Largest absolute value in the interval."""
+        return max(abs(self.lo), abs(self.hi))
+
+    def mig(self) -> float:
+        """Smallest absolute value in the interval."""
+        if self.lo <= 0.0 <= self.hi:
+            return 0.0
+        return min(abs(self.lo), abs(self.hi))
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __abs__(self) -> "Interval":
+        if not self.is_valid():
+            return self
+        if self.lo >= 0.0:
+            return self
+        if self.hi <= 0.0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def __add__(self, other) -> "Interval":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        return Interval(add_rd(self.lo, other.lo), add_ru(self.hi, other.hi))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Interval":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        return Interval(sub_rd(self.lo, other.hi), sub_ru(self.hi, other.lo))
+
+    def __rsub__(self, other) -> "Interval":
+        return _coerce(other) - self
+
+    def __mul__(self, other) -> "Interval":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        a, b, c, d = self.lo, self.hi, other.lo, other.hi
+        # 0 * inf panics in directed rounding only through NaN; guard zeros.
+        if (a == 0.0 and b == 0.0) or (c == 0.0 and d == 0.0):
+            return Interval.point(0.0)
+        los = (mul_rd(a, c), mul_rd(a, d), mul_rd(b, c), mul_rd(b, d))
+        his = (mul_ru(a, c), mul_ru(a, d), mul_ru(b, c), mul_ru(b, d))
+        lo = min(x for x in los if not math.isnan(x))
+        hi = max(x for x in his if not math.isnan(x))
+        return Interval(lo, hi)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Interval":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        c, d = other.lo, other.hi
+        if c <= 0.0 <= d:
+            if c == 0.0 == d:
+                return Interval.invalid()
+            # Divisor straddles zero: the quotient is unbounded.
+            return Interval.entire()
+        a, b = self.lo, self.hi
+        los = (div_rd(a, c), div_rd(a, d), div_rd(b, c), div_rd(b, d))
+        his = (div_ru(a, c), div_ru(a, d), div_ru(b, c), div_ru(b, d))
+        lo = min(x for x in los if not math.isnan(x))
+        hi = max(x for x in his if not math.isnan(x))
+        return Interval(lo, hi)
+
+    def __rtruediv__(self, other) -> "Interval":
+        return _coerce(other) / self
+
+    def sqrt(self) -> "Interval":
+        if not self.is_valid() or self.hi < 0.0:
+            return Interval.invalid()
+        lo = sqrt_rd(self.lo) if self.lo > 0.0 else 0.0
+        return Interval(lo, sqrt_ru(self.hi))
+
+    def square(self) -> "Interval":
+        """Tighter than ``self * self`` (no dependency problem)."""
+        if not self.is_valid():
+            return self
+        m = abs(self)
+        return Interval(mul_rd(m.lo, m.lo), mul_ru(m.hi, m.hi))
+
+    def recip(self) -> "Interval":
+        return Interval.point(1.0) / self
+
+    # -- lattice ops ---------------------------------------------------------
+
+    def hull(self, other: "Interval") -> "Interval":
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection, or None when empty."""
+        if not self.is_valid():
+            return other
+        if not other.is_valid():
+            return self
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if hi < lo:
+            return None
+        return Interval(lo, hi)
+
+    def min_with(self, other: "Interval") -> "Interval":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_with(self, other: "Interval") -> "Interval":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return Interval.invalid()
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def interval(self) -> "Interval":
+        """Uniform range API: an Interval is its own enclosure."""
+        return self
+
+    def widen_outward(self) -> "Interval":
+        """One-ulp outward widening (used by sound constant folding)."""
+        if not self.is_valid():
+            return self
+        return Interval(next_down(self.lo), next_up(self.hi))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def compare_lt(self, other, policy: DecisionPolicy = DecisionPolicy.STRICT,
+                   stats=None) -> bool:
+        other = _coerce(other)
+        definite: bool | None
+        if not (self.is_valid() and other.is_valid()):
+            definite = None
+        elif self.hi < other.lo:
+            definite = True
+        elif self.lo >= other.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(
+            definite, self.midpoint() < other.midpoint(), policy, "<", stats
+        )
+
+    def compare_le(self, other, policy: DecisionPolicy = DecisionPolicy.STRICT,
+                   stats=None) -> bool:
+        other = _coerce(other)
+        definite: bool | None
+        if not (self.is_valid() and other.is_valid()):
+            definite = None
+        elif self.hi <= other.lo:
+            definite = True
+        elif self.lo > other.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(
+            definite, self.midpoint() <= other.midpoint(), policy, "<=", stats
+        )
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lo!r}, {self.hi!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if not (self.is_valid() and other.is_valid()):
+            return self.is_valid() == other.is_valid()
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+
+def _coerce(x) -> Interval:
+    if isinstance(x, Interval):
+        return x
+    if isinstance(x, (int, float)):
+        return Interval.point(float(x))
+    raise TypeError(f"cannot coerce {type(x).__name__} to Interval")

@@ -1,0 +1,259 @@
+"""Sound interval arithmetic with double-double endpoints (IGen-dd).
+
+Each endpoint is a :class:`repro.fp.DD` (~106 significand bits).  Operations
+compute the round-to-nearest double-double result and then shift the
+endpoints *outward* by a rigorous error bound (see
+:meth:`repro.fp.DD.add_with_err` and friends).  The outward shift itself is
+exact: for a normalized dd value ``hi + lo`` we replace ``lo`` by
+``RD(lo - err)`` (resp. ``RU(lo + err)``) — the renormalization in the DD
+constructor is an error-free transformation, so the shifted endpoint is a
+true lower (upper) bound.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+from ..common import DecisionPolicy, decide_comparison
+from ..errors import SoundnessError
+from ..fp import DD, add_ru, dd_from_float, sub_rd
+
+__all__ = ["IntervalDD"]
+
+
+def _shift_down(v: DD, err: float) -> DD:
+    """An exact lower bound on ``value(v) - err``."""
+    if not v.is_finite():
+        return v
+    if math.isinf(err):
+        return DD(-math.inf)
+    return DD(v.hi, sub_rd(v.lo, err))
+
+
+def _shift_up(v: DD, err: float) -> DD:
+    """An exact upper bound on ``value(v) + err``."""
+    if not v.is_finite():
+        return v
+    if math.isinf(err):
+        return DD(math.inf)
+    return DD(v.hi, add_ru(v.lo, err))
+
+
+class IntervalDD:
+    """A closed interval with double-double endpoints."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: DD, hi: DD) -> None:
+        if lo.is_nan() or hi.is_nan():
+            lo = hi = DD.nan()
+        elif hi < lo:
+            raise SoundnessError(f"IntervalDD endpoints out of order: [{lo}, {hi}]")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("IntervalDD is immutable")
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def point(x: Union[float, DD]) -> "IntervalDD":
+        d = x if isinstance(x, DD) else dd_from_float(float(x))
+        return IntervalDD(d, d)
+
+    @staticmethod
+    def from_constant(x: float, exact: bool = False) -> "IntervalDD":
+        """One-ulp-of-double widening for potentially inexact constants."""
+        if exact or not math.isfinite(x) or x == int(x):
+            return IntervalDD.point(x)
+        u = math.ulp(x)
+        d = dd_from_float(x)
+        return IntervalDD(_shift_down(d, u), _shift_up(d, u))
+
+    @staticmethod
+    def from_interval(lo: float, hi: float) -> "IntervalDD":
+        return IntervalDD(dd_from_float(lo), dd_from_float(hi))
+
+    @staticmethod
+    def entire() -> "IntervalDD":
+        return IntervalDD(DD(-math.inf), DD(math.inf))
+
+    @staticmethod
+    def invalid() -> "IntervalDD":
+        return IntervalDD(DD.nan(), DD.nan())
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_valid(self) -> bool:
+        return not self.lo.is_nan()
+
+    def contains(self, x: Union[float, Fraction]) -> bool:
+        if not self.is_valid():
+            return True
+        xf = x if isinstance(x, Fraction) else Fraction(float(x))
+        lo_ok = not self.lo.is_finite() or (Fraction(self.lo.hi) + Fraction(self.lo.lo)) <= xf
+        hi_ok = not self.hi.is_finite() or xf <= (Fraction(self.hi.hi) + Fraction(self.hi.lo))
+        return lo_ok and hi_ok
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_double_interval(self):
+        """Sound conversion to a double-endpoint Interval."""
+        from .interval import Interval
+
+        if not self.is_valid():
+            return Interval.invalid()
+        return Interval(self.lo.lower_double(), self.hi.upper_double())
+
+    def interval(self):
+        """Alias for :meth:`to_double_interval` (uniform range API)."""
+        return self.to_double_interval()
+
+    def midpoint(self) -> float:
+        if not self.is_valid():
+            return math.nan
+        return (self.lo.to_float() + self.hi.to_float()) / 2.0
+
+    def width_upper(self) -> float:
+        if not self.is_valid():
+            return math.nan
+        d, err = self.hi.add_with_err(-self.lo)
+        return add_ru(d.abs_upper(), err)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __neg__(self) -> "IntervalDD":
+        return IntervalDD(-self.hi, -self.lo)
+
+    def __add__(self, other) -> "IntervalDD":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return IntervalDD.invalid()
+        lo, elo = self.lo.add_with_err(other.lo)
+        hi, ehi = self.hi.add_with_err(other.hi)
+        return IntervalDD(_shift_down(lo, elo), _shift_up(hi, ehi))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "IntervalDD":
+        other = _coerce(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "IntervalDD":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other) -> "IntervalDD":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return IntervalDD.invalid()
+        candidates_lo = []
+        candidates_hi = []
+        for x in (self.lo, self.hi):
+            for y in (other.lo, other.hi):
+                p, err = x.mul_with_err(y)
+                if p.is_nan():
+                    # 0 * inf inside dd mul: treat as exact zero only when
+                    # one operand is exactly zero.
+                    if (x.hi == 0.0 and x.lo == 0.0) or (y.hi == 0.0 and y.lo == 0.0):
+                        p, err = DD.zero(), 0.0
+                    else:
+                        return IntervalDD.invalid()
+                candidates_lo.append(_shift_down(p, err))
+                candidates_hi.append(_shift_up(p, err))
+        return IntervalDD(min(candidates_lo), max(candidates_hi))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "IntervalDD":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return IntervalDD.invalid()
+        zero = DD.zero()
+        if other.lo <= zero <= other.hi:
+            if other.lo == zero and other.hi == zero:
+                return IntervalDD.invalid()
+            return IntervalDD.entire()
+        candidates_lo = []
+        candidates_hi = []
+        for x in (self.lo, self.hi):
+            for y in (other.lo, other.hi):
+                q, err = x.div_with_err(y)
+                if q.is_nan():
+                    return IntervalDD.invalid()
+                candidates_lo.append(_shift_down(q, err))
+                candidates_hi.append(_shift_up(q, err))
+        return IntervalDD(min(candidates_lo), max(candidates_hi))
+
+    def __rtruediv__(self, other) -> "IntervalDD":
+        return _coerce(other) / self
+
+    def __abs__(self) -> "IntervalDD":
+        if not self.is_valid():
+            return self
+        zero = DD.zero()
+        if self.lo >= zero:
+            return self
+        if self.hi <= zero:
+            return -self
+        return IntervalDD(zero, (-self.lo) if -self.lo > self.hi else self.hi)
+
+    def min_with(self, other) -> "IntervalDD":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return IntervalDD.invalid()
+        return IntervalDD(self.lo if self.lo < other.lo else other.lo,
+                          self.hi if self.hi < other.hi else other.hi)
+
+    def max_with(self, other) -> "IntervalDD":
+        other = _coerce(other)
+        if not (self.is_valid() and other.is_valid()):
+            return IntervalDD.invalid()
+        return IntervalDD(self.lo if self.lo > other.lo else other.lo,
+                          self.hi if self.hi > other.hi else other.hi)
+
+    def sqrt(self) -> "IntervalDD":
+        if not self.is_valid() or self.hi < DD.zero():
+            return IntervalDD.invalid()
+        if self.lo <= DD.zero():
+            lo = DD.zero()
+        else:
+            s, err = self.lo.sqrt_with_err()
+            lo = _shift_down(s, err)
+            if lo < DD.zero():
+                lo = DD.zero()
+        s, err = self.hi.sqrt_with_err()
+        return IntervalDD(lo, _shift_up(s, err))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def compare_lt(self, other, policy: DecisionPolicy = DecisionPolicy.STRICT,
+                   stats=None) -> bool:
+        other = _coerce(other)
+        definite: bool | None
+        if not (self.is_valid() and other.is_valid()):
+            definite = None
+        elif self.hi < other.lo:
+            definite = True
+        elif self.lo >= other.hi:
+            definite = False
+        else:
+            definite = None
+        return decide_comparison(
+            definite, self.midpoint() < other.midpoint(), policy, "<", stats
+        )
+
+    def __repr__(self) -> str:
+        return f"IntervalDD({self.lo!r}, {self.hi!r})"
+
+
+def _coerce(x) -> IntervalDD:
+    if isinstance(x, IntervalDD):
+        return x
+    if isinstance(x, DD):
+        return IntervalDD.point(x)
+    if isinstance(x, (int, float)):
+        return IntervalDD.point(float(x))
+    raise TypeError(f"cannot coerce {type(x).__name__} to IntervalDD")

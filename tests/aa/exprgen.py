@@ -1,0 +1,94 @@
+"""Random straight-line-program generator shared by the AA soundness tests.
+
+A program is a list of register ops over {+, -, *, /} plus input leaves.
+The same program can be evaluated (a) over any affine/interval
+implementation and (b) in exact rational arithmetic at concrete points
+sampled from the input ranges — the soundness oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+OPS = ("add", "sub", "mul", "div")
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: str  # add | sub | mul | div
+    lhs: int  # register index
+    rhs: int
+
+
+@dataclass(frozen=True)
+class Program:
+    n_inputs: int
+    input_ranges: List[Tuple[float, float]]
+    ops: List[Op]
+
+    @property
+    def n_regs(self) -> int:
+        return self.n_inputs + len(self.ops)
+
+
+def random_program(rng: random.Random, n_inputs: int = 3, n_ops: int = 12,
+                   allow_div: bool = True) -> Program:
+    """Generate a random program whose intermediate values stay well-behaved
+    (inputs in [0.5, 2.0] keep products/quotients in a sane range)."""
+    ranges = []
+    for _ in range(n_inputs):
+        lo = rng.uniform(0.5, 1.5)
+        hi = lo + rng.uniform(0.0, 0.5)
+        ranges.append((lo, hi))
+    ops: List[Op] = []
+    for i in range(n_ops):
+        n_avail = n_inputs + i
+        kind = rng.choice(OPS if allow_div else OPS[:3])
+        ops.append(Op(kind, rng.randrange(n_avail), rng.randrange(n_avail)))
+    return Program(n_inputs, ranges, ops)
+
+
+def eval_affine(program: Program, inputs: Sequence) -> object:
+    """Evaluate over affine/interval values (anything with operators)."""
+    regs = list(inputs)
+    for op in program.ops:
+        a, b = regs[op.lhs], regs[op.rhs]
+        if op.kind == "add":
+            regs.append(a + b)
+        elif op.kind == "sub":
+            regs.append(a - b)
+        elif op.kind == "mul":
+            regs.append(a * b)
+        else:
+            regs.append(a / b)
+    return regs[-1]
+
+
+def eval_exact(program: Program, points: Sequence[Fraction]) -> Fraction | None:
+    """Exact rational evaluation; None if a division by zero occurs."""
+    regs: List[Fraction] = list(points)
+    for op in program.ops:
+        a, b = regs[op.lhs], regs[op.rhs]
+        if op.kind == "add":
+            regs.append(a + b)
+        elif op.kind == "sub":
+            regs.append(a - b)
+        elif op.kind == "mul":
+            regs.append(a * b)
+        else:
+            if b == 0:
+                return None
+            regs.append(a / b)
+    return regs[-1]
+
+
+def sample_inputs(program: Program, rng: random.Random) -> List[Fraction]:
+    """Concrete rational points inside each input range."""
+    pts = []
+    for lo, hi in program.input_ranges:
+        t = Fraction(rng.randrange(0, 1001), 1000)
+        pts.append(Fraction(lo) + (Fraction(hi) - Fraction(lo)) * t)
+    return pts

@@ -1,0 +1,55 @@
+"""Tests for the err/acc metric (eqs. (10)-(11))."""
+
+import math
+
+import pytest
+
+from repro.aa import AffineContext, acc_bits, acc_bits_clamped, err_bits
+from repro.ia import Interval
+
+
+class TestErrBits:
+    def test_point_interval(self):
+        assert err_bits(Interval.point(1.0)) == 0.0
+
+    def test_one_ulp_interval(self):
+        iv = Interval(1.0, math.nextafter(1.0, 2.0))
+        assert err_bits(iv) == 1.0
+
+    def test_three_floats(self):
+        hi = math.nextafter(math.nextafter(1.0, 2.0), 2.0)
+        assert err_bits(Interval(1.0, hi)) == math.log2(3)
+
+    def test_invalid_is_infinite(self):
+        assert err_bits(Interval.invalid()) == math.inf
+
+    def test_entire_is_huge(self):
+        assert err_bits(Interval.entire()) > 60
+
+    def test_accepts_affine_forms(self):
+        ctx = AffineContext(k=4)
+        x = ctx.exact(1.0)
+        assert err_bits(x) == 0.0
+
+
+class TestAccBits:
+    def test_exact_value_has_53_bits(self):
+        assert acc_bits(Interval.point(2.0)) == 53.0
+
+    def test_acc_decreases_with_width(self):
+        narrow = Interval.with_radius(1.0, 1e-15)
+        wide = Interval.with_radius(1.0, 1e-9)
+        assert acc_bits(narrow) > acc_bits(wide)
+
+    def test_clamped_never_negative(self):
+        assert acc_bits_clamped(Interval.entire()) == 0.0
+
+    def test_relation_to_relative_error(self):
+        # ~n certified bits corresponds to relative error ~2^-n.
+        iv = Interval.with_radius(1.0, 2.0**-20)
+        bits = acc_bits(iv)
+        assert 18 < bits < 22
+
+    def test_mantissa_bits_parameter(self):
+        iv = Interval.point(1.0)
+        assert acc_bits(iv, mantissa_bits=24) == 24.0

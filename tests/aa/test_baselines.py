@@ -1,0 +1,152 @@
+"""Tests for the library baselines: FullAffine (yalaa-aff0), FixedAffine
+(yalaa-aff1), CeresAffine — and their expected accuracy ordering."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import (
+    AffineContext,
+    CeresAffine,
+    FixedAffine,
+    FullAffine,
+    acc_bits,
+)
+from repro.ia import Interval
+
+
+def henon_step(x, y, a, b):
+    return 1.0 - a * (x * x) + y, b * x
+
+
+def run_henon(x, y, a, b, iters):
+    for _ in range(iters):
+        x, y = henon_step(x, y, a, b)
+    return x
+
+
+class TestFullAffine:
+    def test_symbols_grow_per_op(self):
+        ctx = AffineContext(k=4)
+        x = FullAffine.from_center_and_symbol(ctx, 1.0, 1e-10)
+        y = x * x
+        assert y.n_symbols() > x.n_symbols()
+
+    def test_cancellation_exact(self):
+        ctx = AffineContext(k=4)
+        x = FullAffine.from_center_and_symbol(ctx, 0.5, 0.5)
+        d = x - x
+        assert d.interval().lo == 0.0 and d.interval().hi == 0.0
+
+    def test_full_beats_bounded_on_henon(self):
+        iters = 15
+        ctx_f = AffineContext(k=4)
+        x0 = FullAffine.from_center_and_symbol(ctx_f, 0.3, 1e-16)
+        y0 = FullAffine.from_center_and_symbol(ctx_f, 0.4, 1e-16)
+        full_res = run_henon(x0, y0, 1.05, 0.3, iters)
+
+        ctx_b = AffineContext(k=4)
+        xb = ctx_b.from_interval(0.3 - 1e-16, 0.3 + 1e-16)
+        yb = ctx_b.from_interval(0.4 - 1e-16, 0.4 + 1e-16)
+        bounded_res = run_henon(xb, yb, 1.05, 0.3, iters)
+
+        assert acc_bits(full_res) >= acc_bits(bounded_res)
+
+    def test_scalar_division(self):
+        ctx = AffineContext(k=4)
+        x = FullAffine.from_center_and_symbol(ctx, 2.0, 1e-10)
+        q = x / 2.0
+        assert q.contains(Fraction(1))
+        assert abs(q.central_float() - 1.0) < 1e-9
+
+
+class TestFixedAffine:
+    def test_no_new_symbols_created(self):
+        ctx = AffineContext(k=4)
+        x = FixedAffine.from_center_and_symbol(ctx, 1.0, 1e-10)
+        y = FixedAffine.from_center_and_symbol(ctx, 2.0, 1e-10)
+        z = (x * y) + x - y
+        assert set(z.terms) <= set(x.terms) | set(y.terms)
+        assert z.slack > 0.0
+
+    def test_slack_never_cancels(self):
+        ctx = AffineContext(k=4)
+        x = FixedAffine.from_center_and_symbol(ctx, 1.0, 1e-10)
+        y = x * x  # creates slack
+        d = y - y  # input symbols cancel, slack doubles
+        assert d.slack >= 2 * y.slack * (1 - 1e-15)
+
+    def test_input_symbols_still_cancel(self):
+        ctx = AffineContext(k=4)
+        x = FixedAffine.from_center_and_symbol(ctx, 0.5, 0.5)
+        d = x - x
+        assert d.radius_ru() == 0.0
+
+    def test_worse_than_full_on_long_runs(self):
+        iters = 12
+        ctx1 = AffineContext(k=4)
+        xf = FullAffine.from_center_and_symbol(ctx1, 0.3, 1e-16)
+        yf = FullAffine.from_center_and_symbol(ctx1, 0.4, 1e-16)
+        full_res = run_henon(xf, yf, 1.05, 0.3, iters)
+
+        ctx2 = AffineContext(k=4)
+        xx = FixedAffine.from_center_and_symbol(ctx2, 0.3, 1e-16)
+        yx = FixedAffine.from_center_and_symbol(ctx2, 0.4, 1e-16)
+        fixed_res = run_henon(xx, yx, 1.05, 0.3, iters)
+
+        assert acc_bits(full_res) >= acc_bits(fixed_res)
+
+
+class TestCeresAffine:
+    def test_compaction_bounds_symbols(self):
+        ctx = AffineContext(k=5)
+        acc = CeresAffine.from_center_and_symbol(ctx, 1.0, 1e-10)
+        for i in range(20):
+            acc = acc * CeresAffine.from_center_and_symbol(ctx, 1.0, 1e-12)
+            assert acc.n_symbols() <= 5
+
+    def test_compaction_is_sound(self):
+        ctx = AffineContext(k=3)
+        x = CeresAffine.from_center_and_symbol(ctx, 0.75, 0.25)
+        acc = x
+        for _ in range(10):
+            acc = acc * x
+        # exact value of x^11 at sample points must be enclosed
+        for t in (0.5, 0.75, 1.0):
+            exact = Fraction(t) ** 11
+            assert acc.contains(exact)
+
+    def test_compaction_keeps_large_terms(self):
+        ctx = AffineContext(k=2)
+        big = CeresAffine.from_center_and_symbol(ctx, 1.0, 0.5)
+        big_ids = set(big.terms)
+        acc = big
+        for _ in range(5):
+            acc = acc + CeresAffine.from_center_and_symbol(ctx, 1.0, 1e-18)
+        assert big_ids & set(acc.terms)
+
+
+class TestAccuracyOrdering:
+    """Full AA >= Ceres-style bounded >= IA on a cancellation-heavy run."""
+
+    def test_ordering_on_henon(self):
+        iters = 12
+        a, b = 1.05, 0.3
+
+        ctx1 = AffineContext(k=6)
+        xf = FullAffine.from_center_and_symbol(ctx1, 0.3, 1e-16)
+        yf = FullAffine.from_center_and_symbol(ctx1, 0.4, 1e-16)
+        acc_full = acc_bits(run_henon(xf, yf, a, b, iters))
+
+        ctx2 = AffineContext(k=6)
+        xc = CeresAffine.from_center_and_symbol(ctx2, 0.3, 1e-16)
+        yc = CeresAffine.from_center_and_symbol(ctx2, 0.4, 1e-16)
+        acc_ceres = acc_bits(run_henon(xc, yc, a, b, iters))
+
+        xi = Interval.with_radius(0.3, 1e-16)
+        yi = Interval.with_radius(0.4, 1e-16)
+        acc_ia = acc_bits(run_henon(xi, yi, a, b, iters))
+
+        assert acc_full >= acc_ceres - 1e-9
+        assert acc_ceres > acc_ia

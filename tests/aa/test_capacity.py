@@ -1,0 +1,109 @@
+"""Tests for per-variable symbol capacities — the paper's Section VIII
+future-work direction ("assigning a different limit on the number of
+symbols for each variable")."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import AffineContext, PlacementPolicy
+from repro.errors import SoundnessError
+
+from .exprgen import eval_exact, random_program, sample_inputs
+
+
+def ctx_sorted(k=8):
+    return AffineContext(k=k, placement=PlacementPolicy.SORTED)
+
+
+class TestBasics:
+    def test_with_capacity_shrinks(self):
+        ctx = ctx_sorted(k=16)
+        acc = ctx.input(1.0)
+        for i in range(10):
+            acc = acc + ctx.input(1.0 + 0.01 * i)
+        assert acc.n_symbols() > 4
+        small = acc.with_capacity(4)
+        assert small.n_symbols() <= 4
+
+    def test_shrink_is_sound(self):
+        ctx = ctx_sorted(k=16)
+        x = ctx.from_interval(0.0, 1.0)
+        y = ctx.from_interval(2.0, 3.0)
+        z = (x * y + x).with_capacity(2)
+        # range must still cover the full product range
+        for t in (0.0, 1.0):
+            for u in (2.0, 3.0):
+                assert z.contains(Fraction(t) * Fraction(u) + Fraction(t))
+
+    def test_capacity_sticks_through_ops(self):
+        ctx = ctx_sorted(k=16)
+        small = ctx.input(1.0).with_capacity(3)
+        acc = small
+        for i in range(12):
+            acc = acc + small
+            assert acc.n_symbols() <= 16
+        assert acc.capacity == 3
+        assert acc.n_symbols() <= 3
+
+    def test_mixed_capacity_takes_larger(self):
+        ctx = ctx_sorted(k=16)
+        small = ctx.input(1.0).with_capacity(2)
+        big = ctx.input(2.0).with_capacity(10)
+        out = small + big
+        assert out.capacity == 10
+
+    def test_uncapped_plus_capped(self):
+        ctx = ctx_sorted(k=6)
+        capped = ctx.input(1.0).with_capacity(2)
+        plain = ctx.input(2.0)
+        out = capped + plain
+        assert out.capacity == 6  # max(2, ctx.k)
+
+    def test_direct_mapped_rejected(self):
+        ctx = AffineContext(k=8)  # direct-mapped default
+        with pytest.raises(SoundnessError):
+            ctx.input(1.0).with_capacity(4)
+
+    def test_invalid_capacity(self):
+        ctx = ctx_sorted()
+        with pytest.raises(ValueError):
+            ctx.input(1.0).with_capacity(0)
+
+
+class TestAccuracyTrade:
+    def test_smaller_capacity_cheaper_looser(self):
+        """The future-work hypothesis: small-k variables in low-reuse parts
+        save work; here we just confirm the accuracy/width monotonicity."""
+        def run(cap):
+            ctx = ctx_sorted(k=32)
+            acc = ctx.input(1.0).with_capacity(cap)
+            x = ctx.input(0.5, uncertainty_ulps=2.0**20).with_capacity(cap)
+            for _ in range(15):
+                acc = (acc * x).with_capacity(cap)
+                acc = (acc + x).with_capacity(cap)
+            return acc.interval().width_ru()
+
+        assert run(2) >= run(16) * 0.99
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_capped_random_programs_sound(self, seed):
+        rng = random.Random(seed * 13 + 3)
+        program = random_program(rng, n_inputs=3, n_ops=10)
+        ctx = ctx_sorted(k=12)
+        caps = [2, 5, 12]
+        inputs = [
+            ctx.from_interval(lo, hi).with_capacity(caps[i % 3])
+            for i, (lo, hi) in enumerate(program.input_ranges)
+        ]
+        from .exprgen import eval_affine
+
+        result = eval_affine(program, inputs)
+        if not result.is_valid():
+            return
+        for _ in range(4):
+            pts = sample_inputs(program, rng)
+            exact = eval_exact(program, pts)
+            if exact is not None:
+                assert result.contains(exact)

@@ -1,0 +1,120 @@
+"""Tests for the dda type: double-double central value, double coefficients
+(Section IV-A)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import AffineContext, PlacementPolicy, Precision
+from repro.fp import DD
+
+
+def dd_ctx(k=8, placement=PlacementPolicy.DIRECT_MAPPED):
+    return AffineContext(k=k, precision=Precision.DD, placement=placement)
+
+
+class TestCentralIsDD:
+    def test_central_type(self):
+        ctx = dd_ctx()
+        x = ctx.input(0.1)
+        assert isinstance(x.central, DD)
+
+    def test_central_propagates(self):
+        ctx = dd_ctx()
+        s = ctx.exact(0.1) + ctx.exact(0.2)
+        assert isinstance(s.central, DD)
+        # dd central captures 0.1 + 0.2 far beyond double accuracy
+        exact = Fraction(0.1) + Fraction(0.2)
+        got = Fraction(s.central.hi) + Fraction(s.central.lo)
+        assert abs(got - exact) < Fraction(2) ** -100
+
+    def test_coefficients_stay_double(self):
+        ctx = dd_ctx()
+        x = ctx.input(0.1)
+        assert all(isinstance(c, float) for c in x.coeffs)
+
+
+class TestAccuracyAdvantage:
+    def test_dd_central_shrinks_roundoff_symbols(self):
+        """Accumulation: the dda round-off symbols are u^2-scale, so a long
+        sum certifies ~all bits where f64a loses some."""
+        def run(precision):
+            ctx = AffineContext(k=8, precision=precision)
+            acc = ctx.exact(0.0)
+            c = ctx.exact(0.1)
+            for _ in range(500):
+                acc = acc + c
+            return acc
+
+        dd = run(Precision.DD)
+        f64 = run(Precision.F64)
+        assert dd.radius_ru() < f64.radius_ru() / 1e3
+        assert dd.contains(Fraction(0.1) * 500)
+
+    def test_interval_conversion_sound(self):
+        ctx = dd_ctx()
+        s = ctx.exact(0.1) + ctx.exact(0.2)
+        iv = s.interval()
+        assert iv.contains(Fraction(0.1) + Fraction(0.2))
+
+    def test_henon_dda_at_least_f64a(self):
+        from repro.aa import acc_bits
+
+        def henon(ctx, iters=40):
+            x, y = ctx.input(0.3), ctx.input(0.4)
+            a, b = ctx.constant(1.05), ctx.constant(0.3)
+            one = ctx.exact(1.0)
+            for _ in range(iters):
+                x, y = one - a * (x * x) + y, b * x
+            return x
+
+        dd = henon(AffineContext(k=16, precision=Precision.DD))
+        f64 = henon(AffineContext(k=16, precision=Precision.F64))
+        assert acc_bits(dd) >= acc_bits(f64) - 0.5
+
+
+class TestOperations:
+    def test_division_by_affine(self):
+        ctx = dd_ctx()
+        x = ctx.from_interval(1.0, 2.0)
+        y = ctx.from_interval(3.0, 4.0)
+        q = x / y
+        assert q.contains(Fraction(1, 3))
+        assert q.contains(Fraction(2, 3))
+
+    def test_division_by_exact_scalar(self):
+        ctx = dd_ctx()
+        q = ctx.exact(1.0) / ctx.exact(3.0)
+        assert q.contains(Fraction(1, 3))
+        # dd central: the symbol mass is u^2-tight (the double-endpoint
+        # interval() conversion adds up to one double ulp on each side).
+        assert q.radius_ru() < 1e-30
+
+    def test_sqrt(self):
+        ctx = dd_ctx()
+        s = ctx.from_interval(2.0, 3.0).sqrt()
+        iv = s.interval()
+        assert Fraction(iv.lo) ** 2 <= 2
+        assert Fraction(iv.hi) ** 2 >= 3
+
+    def test_neg(self):
+        ctx = dd_ctx()
+        x = ctx.exact(0.1) + ctx.exact(0.2)
+        n = x.neg()
+        assert isinstance(n.central, DD)
+        assert n.contains(-(Fraction(0.1) + Fraction(0.2)))
+
+    def test_sorted_placement_dd(self):
+        ctx = dd_ctx(placement=PlacementPolicy.SORTED)
+        acc = ctx.input(1.0)
+        for i in range(12):
+            acc = acc * ctx.input(1.0 + i * 0.01)
+        assert acc.n_symbols() <= 8
+        assert acc.is_valid()
+
+    def test_overflow_handling(self):
+        ctx = dd_ctx()
+        big = ctx.exact(1e308)
+        r = big * big
+        assert not r.is_valid() or not r.interval().is_finite()

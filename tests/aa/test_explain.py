@@ -1,0 +1,85 @@
+"""Tests for the explain() radius-decomposition utility."""
+
+import pytest
+
+from repro.aa import (
+    AffineContext,
+    CeresAffine,
+    FixedAffine,
+    FullAffine,
+    PlacementPolicy,
+    explain,
+)
+
+
+class TestExplain:
+    def test_shares_sum_to_one(self):
+        ctx = AffineContext(k=8)
+        x = ctx.input(1.0, uncertainty_ulps=100)
+        y = ctx.input(2.0, uncertainty_ulps=50)
+        e = explain(x * y + x)
+        assert e.n_symbols == len(e.shares)
+        assert sum(s.share for s in e.shares) == pytest.approx(1.0, abs=1e-9)
+
+    def test_sorted_by_magnitude(self):
+        ctx = AffineContext(k=8)
+        big = ctx.input(1.0, uncertainty_ulps=2**30)
+        small = ctx.input(1.0)
+        e = explain(big + small)
+        mags = [abs(s.coefficient) for s in e.shares]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_provenance_tracked(self):
+        ctx = AffineContext(k=8, track_provenance=True)
+        x = ctx.input(1.0, name="pressure")
+        e = explain(x)
+        assert e.shares[0].provenance == "input:pressure"
+
+    def test_no_provenance_by_default(self):
+        ctx = AffineContext(k=8)
+        e = explain(ctx.input(1.0))
+        assert e.shares[0].provenance is None
+
+    def test_str_output(self):
+        ctx = AffineContext(k=4, track_provenance=True)
+        x = ctx.input(1.0, name="x")
+        text = str(explain(x * x))
+        assert "radius" in text
+        assert "ε" in text
+
+    def test_works_on_baselines(self):
+        ctx = AffineContext(k=4)
+        for cls in (FullAffine, CeresAffine):
+            form = cls.from_center_and_symbol(ctx, 1.0, 0.5)
+            e = explain(form)
+            assert e.radius >= 0.5
+
+    def test_fixed_affine_slack_reported(self):
+        ctx = AffineContext(k=4)
+        x = FixedAffine.from_center_and_symbol(ctx, 1.0, 0.5)
+        y = x * x  # creates slack
+        e = explain(y)
+        assert any(s.provenance == "slack accumulator" for s in e.shares)
+
+    def test_radius_matches_form(self):
+        ctx = AffineContext(k=8)
+        x = ctx.input(1.0, uncertainty_ulps=1000)
+        form = x * x - x
+        e = explain(form)
+        assert e.radius == pytest.approx(form.radius_ru(), rel=1e-12)
+
+    def test_exact_value_no_symbols(self):
+        ctx = AffineContext(k=4)
+        e = explain(ctx.exact(2.0))
+        assert e.n_symbols == 0
+        assert e.radius == 0.0
+        assert "0 symbols" in str(e)
+
+    def test_top_limits(self):
+        ctx = AffineContext(k=16, placement=PlacementPolicy.SORTED)
+        acc = ctx.input(1.0)
+        for i in range(10):
+            acc = acc + ctx.input(1.0 + i * 0.1)
+        e = explain(acc)
+        assert len(e.top(3)) == 3
+        assert "more" in str(e)

@@ -1,0 +1,114 @@
+"""Tests for the single-precision affine type f32a (Section IV-A)."""
+
+import math
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.aa import AffineContext, Precision, acc_bits
+from repro.compiler import compile_c
+
+from .exprgen import eval_affine, eval_exact, random_program, sample_inputs
+
+
+def f32_ctx(k=8, **kw):
+    return AffineContext(k=k, precision=Precision.F32, **kw)
+
+
+class TestCentralRounding:
+    def test_central_is_f32_representable(self):
+        ctx = f32_ctx()
+        x = ctx.input(0.1)
+        assert x.central_float() == float(np.float32(0.1))
+
+    def test_ops_keep_central_in_f32(self):
+        ctx = f32_ctx()
+        a, b = ctx.input(0.1), ctx.input(0.2)
+        for result in (a + b, a * b, a - b, a / b):
+            c = result.central_float()
+            assert c == float(np.float32(c))
+
+    def test_rounding_error_absorbed_in_radius(self):
+        ctx = f32_ctx()
+        a, b = ctx.exact(0.1), ctx.exact(0.2)
+        s = a + b
+        # The exact double sum is inside the range despite f32 central.
+        assert s.contains(Fraction(0.1) + Fraction(0.2))
+
+    def test_input_range_covers_intent(self):
+        ctx = f32_ctx()
+        value = 0.7  # not f32-representable
+        x = ctx.input(value)
+        iv = x.interval()
+        assert iv.lo <= value <= iv.hi
+
+    def test_from_interval_covers(self):
+        ctx = f32_ctx()
+        x = ctx.from_interval(0.1, 0.30000000001)
+        iv = x.interval()
+        assert iv.lo <= 0.1 and iv.hi >= 0.3
+
+
+class TestAccuracy:
+    def test_f32_certifies_fewer_bits_than_f64(self):
+        src = """
+            double f(double x, double y) {
+                double acc = 0.0;
+                for (int i = 0; i < 20; i++) { acc = acc + x * y; }
+                return acc;
+            }
+        """
+        r32 = compile_c(src, "f32a-dsnn", k=8)(0.3, 0.7)
+        r64 = compile_c(src, "f64a-dsnn", k=8)(0.3, 0.7)
+        acc32 = acc_bits(r32.value, mantissa_bits=24)
+        acc64 = acc_bits(r64.value)
+        # f32 can certify at most 24 bits; its absolute range is far wider.
+        assert acc32 <= 24
+        assert r32.value.interval().width_ru() > \
+            r64.value.interval().width_ru() * 1e3
+
+    def test_config_string_roundtrip(self):
+        from repro.compiler import CompilerConfig
+
+        cfg = CompilerConfig.from_string("f32a-dsnn", k=8)
+        assert cfg.precision is Precision.F32
+        assert cfg.name == "f32a-dsnn"
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_programs_sound(self, seed):
+        rng = random.Random(seed + 777)
+        program = random_program(rng, n_inputs=3, n_ops=10)
+        ctx = f32_ctx(k=4)
+        inputs = [ctx.from_interval(lo, hi) for lo, hi in program.input_ranges]
+        result = eval_affine(program, inputs)
+        if not result.is_valid():
+            return
+        for _ in range(4):
+            pts = sample_inputs(program, rng)
+            exact = eval_exact(program, pts)
+            if exact is not None:
+                assert result.contains(exact)
+
+    def test_compiled_program_sound(self):
+        from repro.bench.oracle import ExactOracle
+
+        src = """
+            double f(double a, double b) {
+                return (a + b) * (a - b) - a * a + b * b;
+            }
+        """
+        prog = compile_c(src, "f32a-ssnn", k=8)
+        res = prog(0.75, 0.5)
+        truth = ExactOracle(src).run(0.75, 0.5)["value"]
+        lo, hi = truth.to_fractions()
+        assert res.value.contains(lo) and res.value.contains(hi)
+
+    def test_cancellation_still_works(self):
+        ctx = f32_ctx()
+        x = ctx.from_interval(0.0, 1.0)
+        d = x - x
+        assert d.interval().width_ru() < 1e-6  # far below the input width

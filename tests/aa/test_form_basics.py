@@ -1,0 +1,250 @@
+"""Unit tests for the bounded AffineForm: storage invariants, capacity,
+cancellation, policies in action."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import (
+    AffineContext,
+    AffineForm,
+    FusionPolicy,
+    PlacementPolicy,
+    Precision,
+)
+from repro.errors import SoundnessError
+
+
+def ctx_sorted(k=4, fusion=FusionPolicy.SMALLEST):
+    return AffineContext(k=k, placement=PlacementPolicy.SORTED, fusion=fusion)
+
+
+def ctx_direct(k=4, fusion=FusionPolicy.SMALLEST):
+    return AffineContext(k=k, placement=PlacementPolicy.DIRECT_MAPPED, fusion=fusion)
+
+
+class TestConstruction:
+    def test_exact_has_no_symbols(self):
+        ctx = ctx_sorted()
+        a = ctx.exact(1.5)
+        assert a.n_symbols() == 0
+        assert a.interval().is_point()
+
+    def test_input_has_one_symbol(self):
+        ctx = ctx_sorted()
+        a = ctx.input(1.0)
+        assert a.n_symbols() == 1
+        assert a.radius_ru() == math.ulp(1.0)
+
+    def test_constant_inexact_gets_symbol(self):
+        ctx = ctx_sorted()
+        c = ctx.constant(0.1)
+        assert c.n_symbols() == 1
+        assert c.contains(Fraction(1, 10))
+
+    def test_constant_integral_is_exact(self):
+        ctx = ctx_sorted()
+        assert ctx.constant(2.0).n_symbols() == 0
+
+    def test_from_interval_encloses(self):
+        ctx = ctx_direct()
+        a = ctx.from_interval(0.0, 1.0)
+        iv = a.interval()
+        assert iv.lo <= 0.0 and iv.hi >= 1.0
+
+    def test_direct_mapped_storage_is_k_slots(self):
+        ctx = ctx_direct(k=6)
+        a = ctx.input(1.0)
+        assert len(a.ids) == 6
+        for slot, sid in enumerate(a.ids):
+            assert sid == 0 or sid % 6 == slot
+
+
+class TestCancellation:
+    """The raison d'être of AA: x - x == 0 exactly (Section II-B)."""
+
+    @pytest.mark.parametrize("make_ctx", [ctx_sorted, ctx_direct])
+    def test_x_minus_x_is_zero(self, make_ctx):
+        ctx = make_ctx()
+        x = ctx.from_interval(0.0, 1.0)
+        d = x - x
+        iv = d.interval()
+        assert iv.lo == 0.0 and iv.hi == 0.0
+
+    @pytest.mark.parametrize("make_ctx", [ctx_sorted, ctx_direct])
+    def test_partial_cancellation_beats_ia(self, make_ctx):
+        # (x + y) - x should have roughly the radius of y, not x + y.
+        ctx = make_ctx(k=8)
+        x = ctx.from_interval(0.0, 1.0)
+        y = ctx.from_interval(0.0, 0.01)
+        d = (x + y) - x
+        assert d.radius_ru() < 0.02
+
+    def test_mul_cancellation_fig4(self):
+        # Fig. 4: x*z - y*z cancels z's symbol.
+        ctx = ctx_sorted(k=8)
+        x = ctx.input(1.0, uncertainty_ulps=2**40)
+        y = ctx.input(1.0, uncertainty_ulps=2**40)
+        z = ctx.input(1.0, uncertainty_ulps=2**45)  # large symbol: must cancel
+        t = x * z - y * z
+        # Without cancellation the radius would include 2*r(z) ~ 2^-7.
+        # With cancellation it is ~2*r(x) ~ 2^-12.
+        assert t.radius_ru() < 2.0**-10
+
+
+class TestCapacity:
+    @pytest.mark.parametrize("make_ctx", [ctx_sorted, ctx_direct])
+    @pytest.mark.parametrize("fusion", list(FusionPolicy))
+    def test_symbol_count_never_exceeds_k(self, make_ctx, fusion):
+        ctx = make_ctx(k=3, fusion=fusion)
+        acc = ctx.input(1.0)
+        for i in range(20):
+            acc = acc * ctx.input(1.0 + i * 0.01)
+            assert acc.n_symbols() <= 3
+
+    def test_sorted_ids_stay_sorted(self):
+        ctx = ctx_sorted(k=5)
+        acc = ctx.input(1.0)
+        for i in range(10):
+            acc = acc + ctx.input(2.0)
+            assert acc.ids == sorted(acc.ids)
+
+    def test_fusion_stats_recorded(self):
+        ctx = ctx_sorted(k=2)
+        acc = ctx.input(1.0)
+        for _ in range(5):
+            acc = acc + ctx.input(1.0)
+        assert ctx.stats.n_fused_symbols > 0
+
+
+class TestPolicies:
+    def test_oldest_policy_keeps_young_symbols(self):
+        ctx = ctx_sorted(k=3, fusion=FusionPolicy.OLDEST)
+        a = ctx.input(1.0)
+        for _ in range(6):
+            a = a + ctx.input(1.0)
+        ids = a.symbol_ids()
+        # With OP the oldest ids were fused away: remaining ids are recent.
+        assert min(ids) > 1
+
+    def test_smallest_policy_keeps_large_coefficients(self):
+        ctx = ctx_sorted(k=3, fusion=FusionPolicy.SMALLEST)
+        big = ctx.input(1.0, uncertainty_ulps=2**30)
+        big_ids = set(big.symbol_ids())
+        acc = big
+        for _ in range(6):
+            acc = acc + ctx.input(1.0)  # tiny 1-ulp symbols
+        # The big symbol survives all the fusions.
+        assert big_ids & set(acc.symbol_ids())
+
+    def test_random_policy_is_seeded(self):
+        r1 = self._run_random(seed=7)
+        r2 = self._run_random(seed=7)
+        assert r1 == r2
+
+    @staticmethod
+    def _run_random(seed):
+        ctx = AffineContext(k=3, placement=PlacementPolicy.SORTED,
+                            fusion=FusionPolicy.RANDOM, seed=seed)
+        acc = ctx.input(1.0)
+        for _ in range(8):
+            acc = acc + ctx.input(1.0)
+        return acc.symbol_ids()
+
+    def test_mean_policy_fuses_below_mean(self):
+        ctx = ctx_sorted(k=3, fusion=FusionPolicy.MEAN)
+        acc = ctx.input(1.0, uncertainty_ulps=2**30)
+        for _ in range(6):
+            acc = acc + ctx.input(1.0)
+        assert acc.n_symbols() <= 3
+
+
+class TestProtection:
+    def test_protected_symbol_survives_fusion(self):
+        ctx = ctx_sorted(k=3, fusion=FusionPolicy.SMALLEST)
+        tiny = ctx.input(1.0)  # 1-ulp symbol: natural fusion victim
+        protected = frozenset(tiny.symbol_ids())
+        acc = tiny
+        for _ in range(6):
+            nxt = ctx.input(1.0, uncertainty_ulps=2**20)
+            acc = acc.add(nxt, protect=protected)
+        assert protected & set(acc.symbol_ids())
+
+    def test_unprotected_tiny_symbol_fused(self):
+        ctx = ctx_sorted(k=3, fusion=FusionPolicy.SMALLEST)
+        tiny = ctx.input(1.0)
+        tiny_ids = set(tiny.symbol_ids())
+        acc = tiny
+        for _ in range(6):
+            acc = acc + ctx.input(1.0, uncertainty_ulps=2**20)
+        assert not (tiny_ids & set(acc.symbol_ids()))
+
+
+class TestExactOperations:
+    def test_neg_is_exact(self):
+        ctx = ctx_direct()
+        x = ctx.from_interval(1.0, 2.0)
+        n = x.neg()
+        assert n.n_symbols() == x.n_symbols()
+        assert (-n.interval().hi, -n.interval().lo) == (
+            x.interval().lo, x.interval().hi)
+
+    def test_exact_add_creates_no_symbol(self):
+        # 0.25 + 0.5 is exact: no round-off symbol needed.
+        ctx = ctx_sorted()
+        a = ctx.exact(0.25)
+        b = ctx.exact(0.5)
+        c = a + b
+        assert c.n_symbols() == 0
+        assert c.central_float() == 0.75
+
+
+class TestComparisons:
+    def test_definite_lt(self):
+        ctx = ctx_direct()
+        assert ctx.from_interval(0.0, 1.0) < ctx.from_interval(2.0, 3.0)
+
+    def test_ambiguous_uses_central_by_default(self):
+        ctx = ctx_direct()  # default decision policy: CENTRAL
+        a = ctx.from_interval(0.0, 2.0)
+        b = ctx.from_interval(1.0, 3.0)
+        assert a < b
+        assert ctx.stats.ambiguous_branches == 1
+
+
+class TestMixedContexts:
+    def test_mixing_contexts_raises(self):
+        c1, c2 = ctx_sorted(), ctx_sorted()
+        with pytest.raises(SoundnessError):
+            c1.input(1.0) + c2.input(1.0)
+
+    def test_scalar_coercion(self):
+        ctx = ctx_direct()
+        x = ctx.input(1.0)
+        assert (x + 1.0).central_float() == 2.0
+        assert (2.0 * x).central_float() == 2.0
+        assert (1.0 - x).central_float() == 0.0
+
+
+class TestDDCentral:
+    def test_dda_tighter_central_rounding(self):
+        # Accumulating 0.1: the dd central value keeps round-off symbols tiny.
+        ctx_f64 = AffineContext(k=8, precision=Precision.F64)
+        ctx_dd = AffineContext(k=8, precision=Precision.DD)
+        s64 = ctx_f64.exact(0.0)
+        sdd = ctx_dd.exact(0.0)
+        c64 = ctx_f64.exact(0.1)
+        cdd = ctx_dd.exact(0.1)
+        for _ in range(100):
+            s64 = s64 + c64
+            sdd = sdd + cdd
+        assert sdd.radius_ru() < s64.radius_ru() / 100
+
+    def test_dda_contains_exact(self):
+        ctx = AffineContext(k=8, precision=Precision.DD)
+        s = ctx.exact(0.0)
+        c = ctx.exact(0.1)
+        for _ in range(10):
+            s = s + c
+        assert s.contains(Fraction(0.1) * 10)

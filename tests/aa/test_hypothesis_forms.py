@@ -1,0 +1,142 @@
+"""Hypothesis-driven property tests over the bounded affine forms.
+
+Complements the seeded random-program tests: hypothesis explores the
+operation space adversarially (shrinking to minimal failing sequences) and
+checks the core invariants on every path:
+
+* soundness — sampled exact evaluations stay inside the range;
+* capacity — never more than k symbols;
+* monotonicity of the radius under fusion (fusion preserves the radius up
+  to the round-off of re-accumulation).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aa import AffineContext, FusionPolicy, PlacementPolicy
+
+op_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["+", "-", "*", "/"]),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+configs = st.tuples(
+    st.sampled_from(list(PlacementPolicy)),
+    st.sampled_from(list(FusionPolicy)),
+    st.integers(min_value=1, max_value=6),
+)
+
+input_boxes = st.lists(
+    st.tuples(st.floats(min_value=0.5, max_value=1.5),
+              st.floats(min_value=0.0, max_value=0.5)),
+    min_size=3, max_size=3,
+)
+
+
+def run_ops(ctx, boxes, steps):
+    inputs = [ctx.from_interval(lo, lo + width) for lo, width in boxes]
+    acc = inputs[0]
+    for op, j in steps:
+        rhs = inputs[j]
+        if op == "+":
+            acc = acc + rhs
+        elif op == "-":
+            acc = acc - rhs
+        elif op == "*":
+            acc = acc * rhs
+        else:
+            acc = acc / rhs
+    return acc, inputs
+
+
+def corner_points(boxes):
+    """All corners of the input box (2^3 = 8 exact rational points)."""
+    corners = [[]]
+    for lo, width in boxes:
+        hi = lo + width
+        corners = [c + [v] for c in corners
+                   for v in (Fraction(lo), Fraction(hi))]
+    return corners
+
+
+def eval_exact(points, steps):
+    acc = points[0]
+    for op, j in steps:
+        rhs = points[j]
+        if op == "+":
+            acc = acc + rhs
+        elif op == "-":
+            acc = acc - rhs
+        elif op == "*":
+            acc = acc * rhs
+        else:
+            if rhs == 0:
+                return None
+            acc = acc / rhs
+    return acc
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs, input_boxes, op_steps)
+def test_soundness_invariant(config, boxes, steps):
+    placement, fusion, k = config
+    ctx = AffineContext(k=k, placement=placement, fusion=fusion)
+    acc, _ = run_ops(ctx, boxes, steps)
+    if not acc.is_valid():
+        return
+    for pts in corner_points(boxes):
+        exact = eval_exact(pts, steps)
+        if exact is not None:
+            assert acc.contains(exact), (
+                f"{placement}/{fusion}/k={k}: {exact} outside "
+                f"{acc.interval()}"
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs, input_boxes, op_steps)
+def test_capacity_invariant(config, boxes, steps):
+    placement, fusion, k = config
+    ctx = AffineContext(k=k, placement=placement, fusion=fusion)
+    acc, _ = run_ops(ctx, boxes, steps)
+    assert acc.n_symbols() <= k
+
+
+@settings(max_examples=40, deadline=None)
+@given(input_boxes, op_steps)
+def test_vectorized_matches_scalar_enclosure(boxes, steps):
+    """Scalar and vectorized results must mutually overlap: both enclose
+    the same exact values."""
+    sc = AffineContext(k=4)
+    ve = AffineContext(k=4, vectorized=True)
+    a, _ = run_ops(sc, boxes, steps)
+    b, _ = run_ops(ve, boxes, steps)
+    if not (a.is_valid() and b.is_valid()):
+        return
+    ia, ib = a.interval(), b.interval()
+    assert ia.intersect(ib) is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(input_boxes, op_steps)
+def test_full_aa_tightest(boxes, steps):
+    """Full AA's range is contained in (or equal to) the bounded range for
+    the same computation at small k — fusion only ever loses precision."""
+    bounded_ctx = AffineContext(k=2)
+    full_ctx = AffineContext(k=2, impl="full")
+    b, _ = run_ops(bounded_ctx, boxes, steps)
+    f, _ = run_ops(full_ctx, boxes, steps)
+    if not (b.is_valid() and f.is_valid()):
+        return
+    # The full-AA width never exceeds the bounded width (up to 1 ulp slack
+    # from radius re-accumulation order).
+    assert f.interval().width_ru() <= b.interval().width_ru() * (1 + 1e-12)

@@ -1,0 +1,106 @@
+"""Tests for the min-range linearizations: |f(x) - (alpha x + zeta)| <= delta
+must hold over the whole domain."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aa.linearize import (
+    linearize_exp,
+    linearize_inv,
+    linearize_log,
+    linearize_sqrt,
+)
+from repro.errors import SoundnessError
+
+
+def check_bound(f, a, b, alpha, zeta, delta, samples=50):
+    for i in range(samples + 1):
+        # Clamp: float sampling may land a hair outside [a, b], where the
+        # guarantee does not apply.
+        x = min(max(a + (b - a) * i / samples, a), b)
+        approx = alpha * x + zeta
+        # The guarantee is on exact arithmetic; this check evaluates f and
+        # the linear form in doubles, so allow a few ulps of slack.
+        slack = 1e-12 * (abs(f(x)) + abs(approx) + abs(alpha * x)) + 1e-300
+        assert abs(f(x) - approx) <= delta + slack, (
+            f"x={x}: |{f(x)} - {approx}| > {delta}"
+        )
+
+
+pos_pair = st.tuples(
+    st.floats(min_value=1e-3, max_value=1e3),
+    st.floats(min_value=1e-3, max_value=1e3),
+).map(lambda t: (min(t), max(t)))
+
+
+class TestInv:
+    @given(pos_pair)
+    def test_positive_domain(self, ab):
+        a, b = ab
+        alpha, zeta, delta = linearize_inv(a, b)
+        check_bound(lambda x: 1.0 / x, a, b, alpha, zeta, delta)
+
+    @given(pos_pair)
+    def test_negative_domain(self, ab):
+        a, b = ab
+        alpha, zeta, delta = linearize_inv(-b, -a)
+        check_bound(lambda x: 1.0 / x, -b, -a, alpha, zeta, delta)
+
+    def test_zero_domain_rejected(self):
+        with pytest.raises(SoundnessError):
+            linearize_inv(-1.0, 1.0)
+
+    def test_tight_on_narrow_interval(self):
+        alpha, zeta, delta = linearize_inv(2.0, 2.0 + 1e-9)
+        assert delta < 1e-9
+
+
+class TestSqrt:
+    @given(pos_pair)
+    def test_bound(self, ab):
+        a, b = ab
+        alpha, zeta, delta = linearize_sqrt(a, b)
+        check_bound(math.sqrt, a, b, alpha, zeta, delta)
+
+    def test_zero_left_endpoint(self):
+        alpha, zeta, delta = linearize_sqrt(0.0, 4.0)
+        check_bound(math.sqrt, 0.0, 4.0, alpha, zeta, delta)
+
+    def test_degenerate_point(self):
+        alpha, zeta, delta = linearize_sqrt(2.0, 2.0)
+        assert alpha == 0.0
+        assert abs(zeta - math.sqrt(2.0)) <= delta + 1e-300
+
+    def test_negative_rejected(self):
+        with pytest.raises(SoundnessError):
+            linearize_sqrt(-1.0, 1.0)
+
+
+class TestExp:
+    @given(st.tuples(st.floats(min_value=-20, max_value=20),
+                     st.floats(min_value=-20, max_value=20)).map(
+        lambda t: (min(t), max(t))))
+    def test_bound(self, ab):
+        a, b = ab
+        alpha, zeta, delta = linearize_exp(a, b)
+        check_bound(math.exp, a, b, alpha, zeta, delta)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(SoundnessError):
+            linearize_exp(0.0, 1000.0)
+
+
+class TestLog:
+    @given(pos_pair)
+    def test_bound(self, ab):
+        a, b = ab
+        alpha, zeta, delta = linearize_log(a, b)
+        check_bound(math.log, a, b, alpha, zeta, delta)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SoundnessError):
+            linearize_log(0.0, 1.0)

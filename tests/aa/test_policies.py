@@ -1,0 +1,102 @@
+"""Unit tests for placement/fusion policy selection helpers."""
+
+import random
+
+import pytest
+
+from repro.aa.policies import (
+    FusionPolicy,
+    PlacementPolicy,
+    resolve_conflict,
+    select_victims,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestSelectVictims:
+    IDS = [1, 2, 3, 4, 5]
+    COEFFS = [10.0, 0.1, 5.0, 0.01, 7.0]
+
+    def test_smallest_selects_by_magnitude(self, rng):
+        v = select_victims(self.IDS, self.COEFFS, 2, FusionPolicy.SMALLEST, rng)
+        assert sorted(v) == [1, 3]  # coeffs 0.1 and 0.01
+
+    def test_oldest_selects_lowest_ids(self, rng):
+        v = select_victims(self.IDS, self.COEFFS, 2, FusionPolicy.OLDEST, rng)
+        assert sorted(v) == [0, 1]  # ids 1 and 2
+
+    def test_mean_selects_all_below_mean(self, rng):
+        # mean(|coeffs|) = 4.422: below are 0.1, 0.01 -> both fused even
+        # though only one was requested.
+        v = select_victims(self.IDS, self.COEFFS, 1, FusionPolicy.MEAN, rng)
+        assert sorted(v) == [1, 3]
+
+    def test_mean_tops_up_with_oldest(self, rng):
+        # Request more than fall below the mean.
+        v = select_victims(self.IDS, self.COEFFS, 3, FusionPolicy.MEAN, rng)
+        assert len(v) == 3
+        assert 1 in v and 3 in v  # the below-mean ones
+        assert 0 in v  # topped up with the oldest (id 1, index 0)
+
+    def test_random_is_reproducible(self):
+        v1 = select_victims(self.IDS, self.COEFFS, 2, FusionPolicy.RANDOM,
+                            random.Random(5))
+        v2 = select_victims(self.IDS, self.COEFFS, 2, FusionPolicy.RANDOM,
+                            random.Random(5))
+        assert v1 == v2
+
+    def test_protection_respected(self, rng):
+        protected = {2, 4}  # ids of the two smallest coefficients
+        v = select_victims(self.IDS, self.COEFFS, 2, FusionPolicy.SMALLEST,
+                           rng, protected)
+        chosen_ids = {self.IDS[i] for i in v}
+        assert not (chosen_ids & protected)
+
+    def test_protection_yields_when_unavoidable(self, rng):
+        protected = {1, 2, 3, 4}  # only id 5 unprotected
+        v = select_victims(self.IDS, self.COEFFS, 3, FusionPolicy.SMALLEST,
+                           rng, protected)
+        assert len(v) == 3  # capacity wins over protection
+
+    def test_fuse_all(self, rng):
+        v = select_victims(self.IDS, self.COEFFS, 5, FusionPolicy.SMALLEST, rng)
+        assert sorted(v) == [0, 1, 2, 3, 4]
+
+    def test_fuse_none(self, rng):
+        assert select_victims(self.IDS, self.COEFFS, 0,
+                              FusionPolicy.SMALLEST, rng) == []
+
+
+class TestResolveConflict:
+    def test_smallest_keeps_larger(self, rng):
+        assert resolve_conflict(1, 5.0, 2, 0.1, FusionPolicy.SMALLEST, rng)
+        assert not resolve_conflict(1, 0.1, 2, 5.0, FusionPolicy.SMALLEST, rng)
+
+    def test_oldest_keeps_newer(self, rng):
+        assert not resolve_conflict(1, 5.0, 9, 0.1, FusionPolicy.OLDEST, rng)
+        assert resolve_conflict(9, 0.1, 1, 5.0, FusionPolicy.OLDEST, rng)
+
+    def test_protection_beats_policy(self, rng):
+        assert resolve_conflict(1, 0.001, 2, 100.0, FusionPolicy.SMALLEST,
+                                rng, protected={1})
+        assert not resolve_conflict(1, 100.0, 2, 0.001, FusionPolicy.SMALLEST,
+                                    rng, protected={2})
+
+    def test_tie_broken_by_id(self, rng):
+        assert resolve_conflict(5, 1.0, 3, 1.0, FusionPolicy.SMALLEST, rng)
+
+
+class TestPolicyCodes:
+    def test_placement_codes(self):
+        assert PlacementPolicy.SORTED.code == "s"
+        assert PlacementPolicy.DIRECT_MAPPED.code == "d"
+
+    def test_fusion_codes(self):
+        assert FusionPolicy.RANDOM.code == "r"
+        assert FusionPolicy.OLDEST.code == "o"
+        assert FusionPolicy.SMALLEST.code == "s"
+        assert FusionPolicy.MEAN.code == "m"

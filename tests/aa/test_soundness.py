@@ -1,0 +1,170 @@
+"""The central soundness property: for every configuration of the AA
+runtime, the range produced by a random program encloses the exact
+real-arithmetic result at every sampled input point."""
+
+import random
+
+import pytest
+
+from repro.aa import AffineContext, FusionPolicy, PlacementPolicy, Precision
+from repro.aa.ceres import CeresAffine
+from repro.aa.fixed import FixedAffine
+from repro.aa.full import FullAffine
+
+from .exprgen import eval_affine, eval_exact, random_program, sample_inputs
+
+ALL_PLACEMENTS = list(PlacementPolicy)
+ALL_FUSIONS = list(FusionPolicy)
+
+
+def check_program_soundness(make_inputs, seed, n_ops=14, n_checks=4,
+                            allow_div=True):
+    rng = random.Random(seed)
+    program = random_program(rng, n_inputs=3, n_ops=n_ops, allow_div=allow_div)
+    result = eval_affine(program, make_inputs(program))
+    if not result.is_valid():
+        return  # an invalid (NaN) result encloses everything: vacuously sound
+    for _ in range(n_checks):
+        pts = sample_inputs(program, rng)
+        exact = eval_exact(program, pts)
+        if exact is None:
+            continue
+        assert result.contains(exact), (
+            f"unsound: exact={float(exact)} not in {result.interval()} "
+            f"(seed={seed})"
+        )
+
+
+def affine_inputs(ctx):
+    def make(program):
+        return [ctx.from_interval(lo, hi) for lo, hi in program.input_ranges]
+
+    return make
+
+
+@pytest.mark.parametrize("placement", ALL_PLACEMENTS)
+@pytest.mark.parametrize("fusion", ALL_FUSIONS)
+@pytest.mark.parametrize("k", [2, 4, 16])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_bounded_form_sound(placement, fusion, k, seed):
+    ctx = AffineContext(k=k, placement=placement, fusion=fusion)
+    check_program_soundness(affine_inputs(ctx), seed)
+
+
+@pytest.mark.parametrize("fusion", ALL_FUSIONS)
+@pytest.mark.parametrize("k", [2, 8])
+@pytest.mark.parametrize("seed", [4, 5, 6])
+def test_vectorized_sound(fusion, k, seed):
+    ctx = AffineContext(k=k, placement=PlacementPolicy.DIRECT_MAPPED,
+                        fusion=fusion, vectorized=True)
+    check_program_soundness(affine_inputs(ctx), seed)
+
+
+@pytest.mark.parametrize("placement", ALL_PLACEMENTS)
+@pytest.mark.parametrize("seed", [7, 8, 9])
+def test_dd_central_sound(placement, seed):
+    ctx = AffineContext(k=8, placement=placement, precision=Precision.DD)
+    check_program_soundness(affine_inputs(ctx), seed)
+
+
+@pytest.mark.parametrize("seed", range(10, 16))
+def test_full_affine_sound(seed):
+    ctx = AffineContext(k=4)
+
+    def make(program):
+        return [
+            FullAffine.from_center_and_symbol(
+                ctx, (lo + hi) / 2, max(hi - (lo + hi) / 2, (lo + hi) / 2 - lo)
+                * (1 + 1e-15) + 1e-300
+            )
+            for lo, hi in program.input_ranges
+        ]
+
+    check_program_soundness(make, seed)
+
+
+@pytest.mark.parametrize("seed", range(16, 21))
+def test_fixed_affine_sound(seed):
+    ctx = AffineContext(k=4)
+
+    def make(program):
+        return [
+            FixedAffine.from_center_and_symbol(
+                ctx, (lo + hi) / 2, max(hi - (lo + hi) / 2, (lo + hi) / 2 - lo)
+                * (1 + 1e-15) + 1e-300
+            )
+            for lo, hi in program.input_ranges
+        ]
+
+    check_program_soundness(make, seed)
+
+
+@pytest.mark.parametrize("k", [2, 8])
+@pytest.mark.parametrize("seed", range(21, 25))
+def test_ceres_sound(k, seed):
+    ctx = AffineContext(k=k)
+
+    def make(program):
+        return [
+            CeresAffine.from_center_and_symbol(
+                ctx, (lo + hi) / 2, max(hi - (lo + hi) / 2, (lo + hi) / 2 - lo)
+                * (1 + 1e-15) + 1e-300
+            )
+            for lo, hi in program.input_ranges
+        ]
+
+    check_program_soundness(make, seed)
+
+
+@pytest.mark.parametrize("seed", [31, 32, 33])
+def test_protection_does_not_break_soundness(seed):
+    """Protecting arbitrary symbols must never lose soundness."""
+    rng = random.Random(seed)
+    program = random_program(rng, n_inputs=3, n_ops=10)
+    ctx = AffineContext(k=3)
+    inputs = [ctx.from_interval(lo, hi) for lo, hi in program.input_ranges]
+    protect = frozenset(
+        sid for form in inputs for sid in form.symbol_ids()
+    )
+    regs = list(inputs)
+    for op in program.ops:
+        a, b = regs[op.lhs], regs[op.rhs]
+        method = {"add": a.add, "sub": a.sub, "mul": a.mul, "div": a.div}[op.kind]
+        regs.append(method(b, protect=protect))
+    result = regs[-1]
+    if not result.is_valid():
+        return
+    for _ in range(4):
+        pts = sample_inputs(program, rng)
+        exact = eval_exact(program, pts)
+        if exact is not None:
+            assert result.contains(exact)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_tiny_k_still_sound(k):
+    """k=1 degenerates towards IA but must stay sound."""
+    for seed in (41, 42, 43):
+        ctx = AffineContext(k=k)
+        check_program_soundness(affine_inputs(ctx), seed, n_ops=10)
+
+
+def test_sqrt_soundness_squared_check():
+    """sqrt containment verified by squaring the enclosure endpoints."""
+    from fractions import Fraction
+
+    for placement in ALL_PLACEMENTS:
+        ctx = AffineContext(k=4, placement=placement)
+        x = ctx.from_interval(2.0, 3.0)
+        s = x.sqrt()
+        iv = s.interval()
+        # sqrt([2,3]) subset of [iv.lo, iv.hi]:
+        assert Fraction(iv.lo) ** 2 <= 2
+        assert Fraction(iv.hi) ** 2 >= 3
+
+
+def test_division_by_straddling_range_is_invalid():
+    ctx = AffineContext(k=4)
+    x = ctx.from_interval(1.0, 2.0)
+    y = ctx.from_interval(-1.0, 1.0)
+    assert not (x / y).is_valid()

@@ -1,0 +1,179 @@
+"""Tests specific to the numpy-vectorized direct-mapped kernels: interface
+parity with the scalar form, conflict handling, and the a-priori error
+model's relationship to the scalar EFT bounds."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import AffineContext, FusionPolicy, Precision
+from repro.errors import SoundnessError
+
+
+def contexts(k=8, fusion=FusionPolicy.SMALLEST, seed=1):
+    """A scalar and a vectorized context with identical configuration."""
+    sc = AffineContext(k=k, fusion=fusion, seed=seed)
+    ve = AffineContext(k=k, fusion=fusion, seed=seed, vectorized=True)
+    return sc, ve
+
+
+def run_chain(ctx, ops):
+    """Execute a list of ('op', operand_spec) steps; returns final form."""
+    vals = [ctx.input(1.0 + 0.1 * i, uncertainty_ulps=2.0**16)
+            for i in range(4)]
+    acc = vals[0]
+    for op, j in ops:
+        if op == "+":
+            acc = acc.add(vals[j])
+        elif op == "-":
+            acc = acc.sub(vals[j])
+        elif op == "*":
+            acc = acc.mul(vals[j])
+        elif op == "/":
+            acc = acc.div(vals[j])
+    return acc
+
+
+# Linear chain: exact parity expected (division linearizes over the
+# operand's *interval*, which differs by the vectorized radius fudge).
+CHAIN = [("+", 1), ("*", 2), ("-", 3), ("*", 1), ("+", 2),
+         ("*", 0), ("-", 1)]
+CHAIN_DIV = CHAIN + [("/", 3)]
+
+
+class TestScalarParity:
+    def test_same_central_values(self):
+        sc, ve = contexts()
+        a = run_chain(sc, CHAIN)
+        b = run_chain(ve, CHAIN)
+        assert a.central_float() == b.central_float()
+
+    def test_same_symbol_structure(self):
+        sc, ve = contexts()
+        a = run_chain(sc, CHAIN)
+        b = run_chain(ve, CHAIN)
+        assert a.n_symbols() == b.n_symbols()
+        # Fresh-symbol ids may diverge on the final op: the two paths'
+        # round-off coefficients differ in the last ulps, which can flip
+        # the victim-slot choice.  The carried (input/older) symbols agree.
+        common = set(a.symbol_ids()) & set(b.symbol_ids())
+        assert len(common) >= a.n_symbols() - 1
+
+    def test_vectorized_radius_within_factor(self):
+        # The a-priori model is looser than exact EFT but only slightly.
+        sc, ve = contexts()
+        a = run_chain(sc, CHAIN)
+        b = run_chain(ve, CHAIN)
+        assert a.radius_ru() <= b.radius_ru() * 1.001
+        assert b.radius_ru() <= a.radius_ru() * 1.5
+
+    def test_division_chain_agrees_approximately(self):
+        # Division linearizes 1/x over the operand's enclosing interval;
+        # the vectorized radius fudge shifts that interval by a few ulps,
+        # so central values agree only to ~1e-12 relative.
+        sc, ve = contexts()
+        a = run_chain(sc, CHAIN_DIV)
+        b = run_chain(ve, CHAIN_DIV)
+        assert a.central_float() == pytest.approx(b.central_float(),
+                                                  rel=1e-9)
+        assert a.n_symbols() == b.n_symbols()
+        # Each result encloses the other's central value.
+        assert a.interval().contains(b.central_float())
+        assert b.interval().contains(a.central_float())
+
+    @pytest.mark.parametrize("fusion", list(FusionPolicy))
+    def test_parity_across_policies(self, fusion):
+        if fusion is FusionPolicy.RANDOM:
+            pytest.skip("random tie-breaks use different RNG streams")
+        sc, ve = contexts(k=4, fusion=fusion)
+        a = run_chain(sc, CHAIN)
+        b = run_chain(ve, CHAIN)
+        assert a.central_float() == b.central_float()
+        assert a.interval().contains(b.central_float())
+
+
+class TestVectorizedSpecifics:
+    def test_requires_direct_mapped(self):
+        from repro.aa import PlacementPolicy
+
+        with pytest.raises(ValueError):
+            AffineContext(placement=PlacementPolicy.SORTED, vectorized=True)
+
+    def test_rejects_dd_precision(self):
+        with pytest.raises((SoundnessError, ValueError)):
+            ctx = AffineContext(vectorized=True, precision=Precision.DD)
+            ctx.exact(1.0)
+
+    def test_ids_spread_over_slots(self):
+        ctx = AffineContext(k=8, vectorized=True)
+        forms = [ctx.input(1.0) for _ in range(4)]
+        slots = set()
+        for f in forms:
+            nz = [i for i, sid in enumerate(f.ids) if sid != 0]
+            slots.update(nz)
+        assert len(slots) == 4  # four distinct slots, no collisions
+
+    def test_conflict_counted(self):
+        ctx = AffineContext(k=2, vectorized=True)
+        a = ctx.input(1.0)
+        for _ in range(6):
+            a = a.add(ctx.input(1.0))
+        assert ctx.stats.n_conflicts > 0
+
+    def test_overflow_to_invalid(self):
+        import numpy as np
+
+        ctx = AffineContext(k=4, vectorized=True)
+        a = ctx.input(1e308)
+        b = a.mul(a)
+        iv = b.interval()
+        assert (not iv.is_valid()) or not iv.is_finite()
+
+    def test_neg_exact(self):
+        ctx = AffineContext(k=4, vectorized=True)
+        a = ctx.input(2.0)
+        n = a.neg()
+        assert n.central_float() == -2.0
+        assert n.n_symbols() == a.n_symbols()
+
+    def test_division_by_scalar_point(self):
+        ctx = AffineContext(k=4, vectorized=True)
+        a = ctx.input(6.0)
+        q = a.div(ctx.exact(3.0))
+        assert q.contains(Fraction(2))
+
+    def test_sqrt_sound(self):
+        ctx = AffineContext(k=4, vectorized=True)
+        s = ctx.from_interval(2.0, 3.0).sqrt()
+        iv = s.interval()
+        assert Fraction(iv.lo) ** 2 <= 2
+        assert Fraction(iv.hi) ** 2 >= 3
+
+    def test_min_max_definite(self):
+        ctx = AffineContext(k=4, vectorized=True)
+        a = ctx.from_interval(0.0, 1.0)
+        b = ctx.from_interval(2.0, 3.0)
+        assert a.min_with(b) is a
+        assert a.max_with(b) is b
+
+
+class TestProtection:
+    def test_protected_symbol_survives(self):
+        ctx = AffineContext(k=3, vectorized=True)
+        keep = ctx.input(1.0, uncertainty_ulps=4.0)
+        protected = frozenset(keep.symbol_ids())
+        acc = keep
+        for _ in range(8):
+            acc = acc.add(ctx.input(1.0, uncertainty_ulps=2.0**20),
+                          protect=protected)
+        assert protected & set(acc.symbol_ids())
+
+    def test_unprotected_small_symbol_dies(self):
+        ctx = AffineContext(k=3, vectorized=True)
+        small = ctx.input(1.0, uncertainty_ulps=1.0)
+        small_ids = set(small.symbol_ids())
+        acc = small
+        for _ in range(8):
+            acc = acc.add(ctx.input(1.0, uncertainty_ulps=2.0**20))
+        assert not (small_ids & set(acc.symbol_ids()))

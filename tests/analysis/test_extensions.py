@@ -1,0 +1,113 @@
+"""Tests for the Section VI-B extensions: per-node capacities and multiple
+reuse connections per (s, t) pair."""
+
+import pytest
+
+from repro.analysis import (
+    ComputationDag,
+    MaxReuseProblem,
+    find_reuse_candidates,
+    solve_greedy,
+    solve_ilp,
+)
+
+
+def diamond_dag():
+    """s -> (a, b) -> t plus a second diamond through (c, d)."""
+    dag = ComputationDag()
+    s = dag.add_node("input", "s")
+    a = dag.add_node("op", "a", stmt_id=1, op="*", preds=[s, s])
+    b = dag.add_node("op", "b", stmt_id=2, op="+", preds=[s, a])
+    c = dag.add_node("op", "c", stmt_id=3, op="+", preds=[s, a])
+    t = dag.add_node("op", "t", stmt_id=4, op="-", preds=[b, c])
+    return dag, s, a, b, c, t
+
+
+class TestPerNodeCapacities:
+    def test_zero_capacity_blocks_node(self):
+        dag, s, a, b, c, t = diamond_dag()
+        cands = find_reuse_candidates(dag)
+        assert cands
+        # Forbid prioritization at b entirely: candidates through b die.
+        problem = MaxReuseProblem(dag=dag, candidates=cands, k=4,
+                                  capacities={b: 0})
+        sol = solve_ilp(problem)
+        for cand in sol.selected:
+            assert b not in cand.connection
+
+    def test_generous_capacity_matches_uniform(self):
+        dag, *_ = diamond_dag()
+        cands = find_reuse_candidates(dag)
+        uniform = solve_ilp(MaxReuseProblem(dag=dag, candidates=cands, k=4))
+        boosted = solve_ilp(MaxReuseProblem(
+            dag=dag, candidates=cands, k=4,
+            capacities={n.id: 10 for n in dag.nodes}))
+        assert boosted.total_profit >= uniform.total_profit
+
+    def test_greedy_respects_capacities(self):
+        dag, s, a, b, c, t = diamond_dag()
+        cands = find_reuse_candidates(dag)
+        problem = MaxReuseProblem(dag=dag, candidates=cands, k=4,
+                                  capacities={b: 0, c: 0})
+        sol = solve_greedy(problem)
+        for cand in sol.selected:
+            assert not ({b, c} & cand.connection)
+
+    def test_verify_flags_capacity_violation(self):
+        from repro.analysis import PriorityAssignment
+
+        dag, s, a, b, c, t = diamond_dag()
+        problem = MaxReuseProblem(dag=dag, candidates=[], k=2,
+                                  capacities={b: 0})
+        bad = PriorityAssignment(pi={s: {b}})
+        with pytest.raises(ValueError):
+            problem.verify(bad)
+
+
+class TestMultiConnection:
+    def test_more_connections_enumerated(self):
+        dag, *_ = diamond_dag()
+        single = find_reuse_candidates(dag, connections_per_pair=1)
+        multi = find_reuse_candidates(dag, connections_per_pair=3)
+        assert len(multi) >= len(single)
+
+    def test_connections_are_distinct(self):
+        dag, *_ = diamond_dag()
+        multi = find_reuse_candidates(dag, connections_per_pair=4)
+        by_pair = {}
+        for c in multi:
+            by_pair.setdefault((c.s, c.t), []).append(c.connection)
+        for conns in by_pair.values():
+            assert len(conns) == len(set(conns))
+
+    def test_profit_counted_once_per_pair(self):
+        dag, *_ = diamond_dag()
+        single = solve_ilp(MaxReuseProblem(
+            dag=dag, candidates=find_reuse_candidates(dag), k=8))
+        multi = solve_ilp(MaxReuseProblem(
+            dag=dag,
+            candidates=find_reuse_candidates(dag, connections_per_pair=3),
+            k=8))
+        # More alternatives can never *increase* the once-per-pair profit
+        # beyond selecting every pair.
+        pairs_single = {(c.s, c.t) for c in single.selected}
+        pairs_multi = {(c.s, c.t) for c in multi.selected}
+        assert len(pairs_multi) == len(multi.selected)  # no duplicates
+        assert multi.total_profit >= single.total_profit
+
+    def test_alternatives_help_under_tight_capacity(self):
+        """With a bottleneck node forbidden, an alternative connection that
+        avoids it can still realize the reuse."""
+        dag = ComputationDag()
+        s = dag.add_node("input", "s")
+        p1 = dag.add_node("op", "p1", stmt_id=1, op="+", preds=[s, s])
+        p2 = dag.add_node("op", "p2", stmt_id=2, op="+", preds=[s, s])
+        u = dag.add_node("op", "u", stmt_id=3, op="+", preds=[p1, s])
+        t = dag.add_node("op", "t", stmt_id=4, op="-", preds=[u, p2])
+        single = find_reuse_candidates(dag, connections_per_pair=1)
+        multi = find_reuse_candidates(dag, connections_per_pair=4)
+        # ban whichever node the single connection for (s, t) used besides
+        # the mandatory parents
+        target_single = [c for c in single if c.t == t]
+        target_multi = [c for c in multi if c.t == t]
+        assert len(target_multi) >= len(target_single)

@@ -1,0 +1,169 @@
+"""Tests for the analysis-time loop unroller."""
+
+import pytest
+
+from repro.analysis.unroll import unroll_for_analysis
+from repro.compiler import cast as A
+from repro.compiler.cparser import parse
+from repro.compiler.tac import to_tac
+from repro.compiler.typecheck import typecheck
+
+
+def prep(src, entry=None):
+    unit = parse(src)
+    typecheck(unit)
+    to_tac(unit)
+    typecheck(unit)
+    funcs = [f for f in unit.funcs if f.body is not None]
+    return funcs[-1] if entry is None else unit.func(entry)
+
+
+def count_stmts(func):
+    n = 0
+
+    def walk(s):
+        nonlocal n
+        n += 1
+        for f in getattr(s, "__dataclass_fields__", {}):
+            v = getattr(s, f)
+            if isinstance(v, A.Stmt):
+                walk(v)
+            elif isinstance(v, list):
+                for item in v:
+                    if isinstance(item, A.Stmt):
+                        walk(item)
+
+    walk(func.body)
+    return n
+
+
+class TestBasicUnrolling:
+    SRC = """
+        double f(double x) {
+            for (int i = 0; i < 4; i++) { x = x * 2.0; }
+            return x;
+        }
+    """
+
+    def test_constant_loop_unrolled(self):
+        func = prep(self.SRC)
+        unrolled = unroll_for_analysis(func)
+        assert count_stmts(unrolled) > count_stmts(func)
+        assert not _has_for(unrolled.body)
+
+    def test_original_untouched(self):
+        func = prep(self.SRC)
+        before = count_stmts(func)
+        unroll_for_analysis(func)
+        assert count_stmts(func) == before
+
+    def test_loop_variable_substituted(self):
+        func = prep("""
+            double f(double v[4]) {
+                double s = 0.0;
+                for (int i = 0; i < 4; i++) { s = s + v[i]; }
+                return s;
+            }
+        """)
+        unrolled = unroll_for_analysis(func)
+        # all subscripts are now IntLits
+        lits = []
+
+        def walk(node):
+            if isinstance(node, A.Index) and isinstance(node.index, A.IntLit):
+                lits.append(node.index.value)
+            for f in getattr(node, "__dataclass_fields__", {}):
+                v = getattr(node, f)
+                if isinstance(v, A.Node):
+                    walk(v)
+                elif isinstance(v, list):
+                    for item in v:
+                        if isinstance(item, A.Node):
+                            walk(item)
+
+        walk(unrolled.body)
+        assert set(lits) >= {0, 1, 2, 3}
+
+    def test_int_param_binding(self):
+        func = prep("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i++) { x = x * 2.0; }
+                return x;
+            }
+        """)
+        kept = unroll_for_analysis(func)
+        assert _has_for(kept.body)  # n unknown: stays rolled
+        unrolled = unroll_for_analysis(func, int_params={"n": 3})
+        assert not _has_for(unrolled.body)
+
+
+class TestNested:
+    def test_nested_loops(self):
+        func = prep("""
+            double f(double A[3][3]) {
+                double s = 0.0;
+                for (int i = 0; i < 3; i++) {
+                    for (int j = 0; j < 3; j++) { s = s + A[i][j]; }
+                }
+                return s;
+            }
+        """)
+        unrolled = unroll_for_analysis(func)
+        assert not _has_for(unrolled.body)
+
+    def test_triangular_bounds(self):
+        func = prep("""
+            double f(double A[4][4]) {
+                for (int k = 0; k < 3; k++) {
+                    for (int i = k + 1; i < 4; i++) {
+                        A[i][k] = A[i][k] / A[k][k];
+                    }
+                }
+                return A[3][2];
+            }
+        """)
+        unrolled = unroll_for_analysis(func)
+        assert not _has_for(unrolled.body)
+
+    def test_budget_leaves_rolled(self):
+        func = prep("""
+            double f(double x) {
+                for (int i = 0; i < 1000000; i++) { x = x * 2.0; }
+                return x;
+            }
+        """)
+        unrolled = unroll_for_analysis(func, budget=100)
+        assert _has_for(unrolled.body)
+
+
+class TestConstantBranches:
+    def test_known_condition_resolved(self):
+        func = prep("""
+            double f(double x) {
+                for (int i = 0; i < 4; i++) {
+                    if (i % 2 == 0) { x = x * 2.0; } else { x = x + 1.0; }
+                }
+                return x;
+            }
+        """)
+        unrolled = unroll_for_analysis(func)
+        # with i substituted, every if resolves: no If nodes remain
+        assert not _has_node(unrolled.body, A.If)
+
+
+def _has_for(stmt) -> bool:
+    return _has_node(stmt, A.For)
+
+
+def _has_node(stmt, kind) -> bool:
+    if isinstance(stmt, kind):
+        return True
+    for f in getattr(stmt, "__dataclass_fields__", {}):
+        v = getattr(stmt, f)
+        if isinstance(v, A.Stmt) and _has_node(v, kind):
+            return True
+        if isinstance(v, list):
+            for item in v:
+                if isinstance(item, A.Stmt) and _has_node(item, kind):
+                    return True
+    return False

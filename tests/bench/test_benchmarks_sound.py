@@ -1,0 +1,106 @@
+"""The paper's four benchmarks, end to end: every configuration's output
+range must enclose the oracle's high-precision result.
+
+This is the repository's strongest integration test: compiler + runtime +
+policies + analysis + benchmark programs all participate.
+"""
+
+import pytest
+
+from repro.bench import ExactOracle, make_workload
+from repro.bench.runner import result_accuracy
+from repro.compiler import CompilerConfig, SafeGen
+
+SMALL = dict(henon_iters=25, sor_n=6, sor_iters=3, luf_n=6,
+             fgm_n=3, fgm_iters=6)
+
+CONFIGS = ["f64a-dsnn", "f64a-dspn", "f64a-dsnv", "f64a-ssnn", "f64a-smnn",
+           "f64a-sonn", "f64a-srnn", "dda-dsnn", "ia-f64", "ia-dd",
+           "yalaa-aff0", "yalaa-aff1", "ceres-affine"]
+
+
+def run_benchmark(name, config, k=6, seed=0):
+    w = make_workload(name, seed=seed, **SMALL)
+    cfg = CompilerConfig.from_string(
+        config, k=k, int_params=dict(w.program.int_params))
+    prog = SafeGen(cfg).compile(w.program.source, entry=w.program.entry)
+    res = prog(**w.inputs)
+    oracle = ExactOracle(w.program.source, entry=w.program.entry, prec=60)
+    truth = oracle.run(**{k_: v for k_, v in w.inputs.items()})
+    return w, res, truth
+
+
+def assert_enclosed(range_value, dec) -> None:
+    lo, hi = dec.to_fractions()
+    assert range_value.contains(lo) and range_value.contains(hi), (
+        f"range {range_value.interval()} misses [{float(lo)}, {float(hi)}]"
+    )
+
+
+def walk_pairs(produced, truth):
+    if isinstance(produced, list):
+        for p, t in zip(produced, truth):
+            yield from walk_pairs(p, t)
+    elif hasattr(produced, "contains"):
+        yield produced, truth
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("name", ["henon", "sor", "luf", "fgm"])
+def test_benchmark_soundness(name, config):
+    w, res, truth = run_benchmark(name, config)
+    if res.value is not None:
+        assert_enclosed(res.value, truth["value"])
+    for pname, produced in res.params.items():
+        if isinstance(produced, list):
+            for p, t in walk_pairs(produced, truth["params"][pname]):
+                assert_enclosed(p, t)
+
+
+class TestAccuracyShape:
+    """Coarse qualitative shape checks used by the paper's narrative."""
+
+    def test_henon_aa_beats_ia_at_length(self):
+        w = make_workload("henon", seed=0, henon_iters=100)
+        ints = dict(w.program.int_params)
+        aa = SafeGen(CompilerConfig.from_string("f64a-dsnn", k=8,
+                                                int_params=ints)) \
+            .compile(w.program.source, entry="henon")(**w.inputs)
+        ia = SafeGen(CompilerConfig.from_string("ia-f64")) \
+            .compile(w.program.source, entry="henon")(**w.inputs)
+        assert max(0.0, ia.acc_bits()) == 0.0  # IA loses everything
+        assert aa.acc_bits() > 15.0
+
+    def test_full_aa_is_most_accurate(self):
+        for name in ("henon", "fgm"):
+            w = make_workload(name, seed=0, **SMALL)
+            ints = dict(w.program.int_params)
+            full = SafeGen(CompilerConfig.from_string(
+                "yalaa-aff0", int_params=ints)).compile(
+                w.program.source, entry=w.program.entry)(**w.inputs)
+            bounded = SafeGen(CompilerConfig.from_string(
+                "f64a-dsnn", k=4, int_params=ints)).compile(
+                w.program.source, entry=w.program.entry)(**w.inputs)
+            assert result_accuracy(full) >= result_accuracy(bounded) - 1e-9
+
+    def test_larger_k_more_accurate(self):
+        w = make_workload("henon", seed=0, henon_iters=60)
+        ints = dict(w.program.int_params)
+        accs = []
+        for k in (4, 8, 16, 32):
+            prog = SafeGen(CompilerConfig.from_string(
+                "f64a-dsnn", k=k, int_params=ints)).compile(
+                w.program.source, entry="henon")
+            accs.append(prog(**w.inputs).acc_bits())
+        assert accs[0] < accs[-1]
+
+    def test_dd_precision_at_least_f64(self):
+        w = make_workload("sor", seed=0, **SMALL)
+        ints = dict(w.program.int_params)
+        f64 = SafeGen(CompilerConfig.from_string(
+            "f64a-ssnn", k=16, int_params=ints)).compile(
+            w.program.source, entry="sor")(**w.inputs)
+        dd = SafeGen(CompilerConfig.from_string(
+            "dda-ssnn", k=16, int_params=ints)).compile(
+            w.program.source, entry="sor")(**w.inputs)
+        assert result_accuracy(dd) >= result_accuracy(f64) - 0.6

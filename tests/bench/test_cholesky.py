@@ -1,0 +1,62 @@
+"""Soundness tests for the Cholesky extension benchmark (sqrt + division
+through the full compiler pipeline)."""
+
+import pytest
+
+from repro.bench import ExactOracle, make_workload
+from repro.compiler import CompilerConfig, SafeGen
+
+CONFIGS = ["f64a-dsnn", "f64a-ssnn", "f64a-dsnv", "dda-dsnn",
+           "ia-f64", "ia-dd", "yalaa-aff0"]
+
+
+def run(config, n=5, seed=0, k=8):
+    w = make_workload("cholesky", seed=seed, cholesky_n=n)
+    cfg = CompilerConfig.from_string(config, k=k)
+    prog = SafeGen(cfg).compile(w.program.source, entry="cholesky")
+    res = prog(**w.inputs)
+    oracle = ExactOracle(w.program.source, entry="cholesky", prec=60)
+    truth = oracle.run(**w.inputs)
+    return w, res, truth
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_cholesky_soundness(config):
+    w, res, truth = run(config)
+    n = len(w.inputs["A"])
+    out = res.params["A"]
+    exact = truth["params"]["A"]
+    for i in range(n):
+        for j in range(i + 1):  # lower triangle is the output
+            lo, hi = exact[i][j].to_fractions()
+            assert out[i][j].contains(lo) and out[i][j].contains(hi), (
+                f"{config}: L[{i}][{j}] unsound"
+            )
+
+
+def test_factorization_reconstructs():
+    """Sanity: central values satisfy L L^T ≈ A."""
+    w, res, _ = run("f64a-dsnn", n=4)
+    a = w.inputs["A"]
+    out = res.params["A"]
+    l = [[out[i][j].central_float() if j <= i else 0.0 for j in range(4)]
+         for i in range(4)]
+    for i in range(4):
+        for j in range(4):
+            got = sum(l[i][t] * l[j][t] for t in range(4))
+            assert got == pytest.approx(a[i][j], rel=1e-9)
+
+
+def test_diagonal_certificates_positive():
+    w, res, _ = run("f64a-dsnn", n=6)
+    out = res.params["A"]
+    for i in range(6):
+        iv = out[i][i].interval()
+        assert iv.lo > 0.0  # the certified pivot stays strictly positive
+
+
+def test_accuracy_reasonable():
+    from repro.bench.runner import result_accuracy
+
+    _, res, _ = run("f64a-dsnn", n=6, k=16)
+    assert result_accuracy(res) > 35.0

@@ -1,0 +1,142 @@
+"""Tests for the benchmark harness plumbing: workloads, runner, report."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    ALL_BENCHMARKS,
+    BenchResult,
+    float_baseline_time,
+    format_table,
+    make_workload,
+    pareto_front,
+    run_config,
+    write_csv,
+)
+from repro.bench.runner import result_accuracy
+
+
+class TestWorkloads:
+    def test_seeded_reproducibility(self):
+        w1 = make_workload("henon", seed=3)
+        w2 = make_workload("henon", seed=3)
+        assert w1.inputs == w2.inputs
+
+    def test_different_seeds_differ(self):
+        w1 = make_workload("henon", seed=3)
+        w2 = make_workload("henon", seed=4)
+        assert w1.inputs != w2.inputs
+
+    def test_henon_inputs_in_basin(self):
+        for seed in range(5):
+            w = make_workload("henon", seed=seed)
+            x, y = w.inputs["x"], w.inputs["y"]
+            for _ in range(200):
+                x, y = 1 - 1.05 * x * x + y, 0.3 * x
+                assert abs(x) < 5, "orbit escaped the attractor basin"
+
+    def test_luf_diagonally_dominant(self):
+        w = make_workload("luf", seed=0, luf_n=8)
+        a = w.inputs["A"]
+        for i in range(8):
+            off = sum(abs(a[i][j]) for j in range(8) if j != i)
+            assert a[i][i] > off
+
+    def test_fgm_step_stability(self):
+        # The generated (H, step, beta) must make the plain-float iteration
+        # converge (bounded output).
+        w = make_workload("fgm", seed=0, fgm_n=6, fgm_iters=60)
+        res = run_config(w, "float", repeats=1)
+        xs = res.extra if False else None
+        # rerun through the float program and check boundedness
+        from repro.compiler import CompilerConfig, SafeGen
+
+        prog = SafeGen(CompilerConfig(mode="float")).compile(
+            w.program.source, entry="fgm")
+        out = prog(**w.inputs)
+        assert all(abs(v) < 1e3 for v in out.params["x"])
+
+    def test_sor_sizes(self):
+        w = make_workload("sor", seed=0, sor_n=5, sor_iters=2)
+        assert len(w.inputs["G"]) == 5
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            make_workload("nbody")
+
+    def test_all_benchmarks_factory(self):
+        progs = ALL_BENCHMARKS()
+        assert set(progs) == {"henon", "sor", "luf", "fgm"}
+        for p in progs.values():
+            assert p.source and p.entry
+
+
+class TestRunner:
+    def test_run_config_result_fields(self):
+        w = make_workload("henon", seed=0, henon_iters=10)
+        base = float_baseline_time(w, repeats=3)
+        r = run_config(w, "f64a-dsnn", k=4, repeats=1, baseline_s=base)
+        assert r.benchmark == "henon"
+        assert r.config == "f64a-dsnn"
+        assert r.k == 4
+        assert r.acc_bits >= 0.0
+        assert r.runtime_s > 0
+        assert r.slowdown > 1.0
+
+    def test_slowdown_nan_without_baseline(self):
+        w = make_workload("henon", seed=0, henon_iters=5)
+        r = run_config(w, "f64a-dsnn", k=4, repeats=1)
+        assert math.isnan(r.slowdown)
+
+    def test_result_accuracy_scans_arrays(self):
+        w = make_workload("sor", seed=0, sor_n=5, sor_iters=2)
+        from repro.compiler import CompilerConfig, SafeGen
+
+        cfg = CompilerConfig.from_string("f64a-dsnn", k=8)
+        prog = SafeGen(cfg).compile(w.program.source, entry="sor")
+        res = prog(**w.inputs)
+        acc = result_accuracy(res)
+        assert 0 < acc <= 53
+
+    def test_row_shape(self):
+        r = BenchResult(benchmark="x", config="c", k=2, acc_bits=1.234,
+                        runtime_s=0.5, baseline_s=0.1)
+        row = r.row()
+        assert row["slowdown"] == 5.0
+        assert row["acc_bits"] == 1.23
+
+
+class TestPareto:
+    def make(self, acc, t):
+        return BenchResult(benchmark="b", config=f"c{acc}", k=1,
+                           acc_bits=acc, runtime_s=t)
+
+    def test_dominated_removed(self):
+        rs = [self.make(10, 1.0), self.make(5, 2.0), self.make(20, 0.5)]
+        front = pareto_front(rs)
+        assert [r.acc_bits for r in front] == [20]
+
+    def test_incomparable_kept(self):
+        rs = [self.make(10, 1.0), self.make(20, 2.0), self.make(30, 3.0)]
+        assert len(pareto_front(rs)) == 3
+
+    def test_sorted_by_runtime(self):
+        rs = [self.make(30, 3.0), self.make(10, 1.0), self.make(20, 2.0)]
+        front = pareto_front(rs)
+        assert [r.runtime_s for r in front] == [1.0, 2.0, 3.0]
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        out = format_table(rows, title="T")
+        assert "T" in out and "a" in out and "22" in out
+
+    def test_format_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), [{"a": 1, "b": 2}])
+        assert path.read_text().startswith("a,b")

@@ -1,0 +1,136 @@
+"""Tests for the high-precision decimal-interval oracle."""
+
+from decimal import Decimal
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.oracle import (
+    DecInterval,
+    ExactOracle,
+    OracleAmbiguous,
+    OracleUndefined,
+)
+
+
+class TestDecInterval:
+    def setup_method(self):
+        DecInterval.set_precision(40)
+
+    def test_from_float_exact(self):
+        d = DecInterval.from_float(0.1)
+        assert d.is_point()
+        assert Fraction(d.lo) == Fraction(0.1)
+
+    def test_from_fraction_encloses(self):
+        d = DecInterval.from_fraction(Fraction(1, 3))
+        assert Fraction(d.lo) <= Fraction(1, 3) <= Fraction(d.hi)
+        assert not d.is_point()
+
+    def test_arithmetic_encloses(self):
+        a = DecInterval.from_fraction(Fraction(1, 3))
+        b = DecInterval.from_fraction(Fraction(1, 7))
+        s = a + b
+        assert Fraction(s.lo) <= Fraction(1, 3) + Fraction(1, 7) <= Fraction(s.hi)
+        p = a * b
+        assert Fraction(p.lo) <= Fraction(1, 21) <= Fraction(p.hi)
+        q = a / b
+        assert Fraction(q.lo) <= Fraction(7, 3) <= Fraction(q.hi)
+
+    def test_sqrt(self):
+        d = DecInterval.from_float(2.0).sqrt()
+        assert Fraction(d.lo) ** 2 <= 2 <= Fraction(d.hi) ** 2
+
+    def test_division_by_zero_interval(self):
+        z = DecInterval(Decimal(-1), Decimal(1))
+        with pytest.raises(OracleUndefined):
+            DecInterval.from_float(1.0) / z
+
+    def test_comparisons(self):
+        a = DecInterval.from_float(1.0)
+        b = DecInterval.from_float(2.0)
+        assert a.definitely_lt(b)
+        assert not b.definitely_lt(a)
+
+    def test_ambiguous_comparison(self):
+        a = DecInterval(Decimal(0), Decimal(2))
+        b = DecInterval(Decimal(1), Decimal(3))
+        with pytest.raises(OracleAmbiguous):
+            a.definitely_lt(b)
+
+
+class TestOracleExecution:
+    def test_simple_arithmetic(self):
+        oracle = ExactOracle("double f(double a, double b) { return a * b + 1.0; }")
+        out = oracle.run(0.5, 0.25)["value"]
+        assert Fraction(out.lo) <= Fraction(9, 8) <= Fraction(out.hi)
+
+    def test_loop(self):
+        oracle = ExactOracle("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i++) { x = x * 0.5; }
+                return x;
+            }
+        """)
+        out = oracle.run(8.0, 3)["value"]
+        assert out.is_point() and Fraction(out.lo) == 1
+
+    def test_array_mutation(self):
+        oracle = ExactOracle("""
+            void f(double v[3]) {
+                for (int i = 0; i < 3; i++) { v[i] = v[i] + 1.0; }
+            }
+        """)
+        result = oracle.run([1.0, 2.0, 3.0])
+        v = result["params"]["v"]
+        assert Fraction(v[2].lo) == 4
+
+    def test_branches(self):
+        oracle = ExactOracle("""
+            double f(double x) {
+                if (x < 0.0) { return 0.0 - x; }
+                return x;
+            }
+        """)
+        assert Fraction(oracle.run(-2.0)["value"].lo) == 2
+
+    def test_user_functions(self):
+        oracle = ExactOracle("""
+            double sq(double x) { return x * x; }
+            double f(double x) { return sq(x) + sq(x + 1.0); }
+        """, entry="f")
+        out = oracle.run(2.0)["value"]
+        assert Fraction(out.lo) == 13
+
+    def test_integer_semantics(self):
+        oracle = ExactOracle("""
+            int f(int a, int b) { return a / b + a % b; }
+        """)
+        # C truncation: -7/2 = -3, -7%2 = -1.
+        assert oracle.run(-7, 2)["value"] == -4
+
+    def test_high_precision_iteration(self):
+        # 100 henon iterations stay tractable (unlike exact rationals).
+        oracle = ExactOracle("""
+            double henon(double x, double y, int n) {
+                for (int i = 0; i < n; i++) {
+                    double xn = 1.0 - 1.05 * (x * x) + y;
+                    y = 0.3 * x;
+                    x = xn;
+                }
+                return x;
+            }
+        """, prec=80)
+        out = oracle.run(0.3, 0.4, 100)["value"]
+        width = Fraction(out.hi) - Fraction(out.lo)
+        assert width < Fraction(1, 10**40)
+
+    def test_sqrt_in_program(self):
+        oracle = ExactOracle("double f(double x) { return sqrt(x) * sqrt(x); }")
+        out = oracle.run(2.0)["value"]
+        assert Fraction(out.lo) <= 2 <= Fraction(out.hi)
+
+    def test_undefined_division(self):
+        oracle = ExactOracle("double f(double x) { return 1.0 / x; }")
+        with pytest.raises(OracleUndefined):
+            oracle.run(0.0)

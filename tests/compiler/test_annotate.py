@@ -1,0 +1,82 @@
+"""Tests for the annotated-source output (paper Figs. 6-7): the
+preprocessing step's result — TAC'd plain C with prioritize pragmas —
+and its round-trip back through the compiler."""
+
+import pytest
+
+from repro.compiler import CompilerConfig, SafeGen, compile_c
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+
+
+def annotated(src=HENON, k=8, **kw):
+    cfg = CompilerConfig.from_string("f64a-dspn", k=k,
+                                     int_params={"n": 20}, **kw)
+    return SafeGen(cfg).annotate(src, entry="henon")
+
+
+class TestAnnotatedOutput:
+    def test_is_plain_c(self):
+        out = annotated()
+        assert "double henon(double x, double y, int n)" in out
+        assert "aa_" not in out
+        assert "f64a" not in out
+
+    def test_contains_pragmas(self):
+        out = annotated()
+        assert "#pragma safegen prioritize(" in out
+
+    def test_tac_form(self):
+        out = annotated()
+        assert "__t0" in out  # temporaries visible, one op per line
+
+    def test_no_pragmas_when_no_reuse(self):
+        out = SafeGen(CompilerConfig.from_string("f64a-dspn", k=8)).annotate(
+            "double f(double a, double b) { return a + b; }")
+        assert "#pragma" not in out
+
+
+class TestRoundTrip:
+    def test_annotated_source_recompiles(self):
+        """The Fig. 7 output is a valid SafeGen input: pragmas parse and
+        drive prioritization without rerunning the analysis."""
+        out = annotated()
+        cfg = CompilerConfig.from_string("f64a-dsnn", k=8)  # no analysis
+        prog = SafeGen(cfg).compile(out, entry="henon")
+        assert "_rt.protect(" in prog.python_source
+
+    def test_roundtrip_accuracy_matches_integrated(self):
+        iters = 50
+        # Integrated: analysis inside compile.
+        direct = compile_c(HENON, "f64a-dspn", k=8,
+                           int_params={"n": iters})(0.3, 0.4, iters)
+        # Two-step: annotate, then compile the annotated source plainly.
+        cfg = CompilerConfig.from_string("f64a-dspn", k=8,
+                                         int_params={"n": iters})
+        text = SafeGen(cfg).annotate(HENON, entry="henon")
+        two_step = compile_c(text, "f64a-dsnn", k=8)(0.3, 0.4, iters)
+        assert two_step.acc_bits() == pytest.approx(direct.acc_bits(),
+                                                    abs=2.0)
+
+    def test_pragma_soundness_preserved(self):
+        from fractions import Fraction
+
+        from repro.bench.oracle import ExactOracle
+
+        out = annotated()
+        prog = SafeGen(CompilerConfig.from_string("f64a-dsnn", k=6)).compile(
+            out, entry="henon")
+        res = prog(0.3, 0.4, 15)
+        truth = ExactOracle(HENON).run(0.3, 0.4, 15)["value"]
+        lo, hi = truth.to_fractions()
+        assert res.value.contains(lo) and res.value.contains(hi)

@@ -1,0 +1,118 @@
+"""Tests for the C display backend (paper Fig. 2 fidelity)."""
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.compiler.codegen_c import generate_c
+from repro.compiler.constfold import fold_constants
+from repro.compiler.cparser import parse
+from repro.compiler.tac import to_tac
+from repro.compiler.typecheck import typecheck
+
+
+def gen(src, flavor="aa-f64a"):
+    unit = parse(src)
+    typecheck(unit)
+    fold_constants(unit)
+    to_tac(unit)
+    typecheck(unit)
+    return generate_c(unit, flavor)
+
+
+class TestFig2Style:
+    SRC = """
+        double f(double a, double b) {
+            double c;
+            c = a * b + 0.1;
+            return c;
+        }
+    """
+
+    def test_types_rewritten(self):
+        out = gen(self.SRC)
+        assert "f64a f(f64a a, f64a b)" in out
+        assert "f64a c;" in out
+        assert "double c" not in out
+
+    def test_ops_become_library_calls(self):
+        out = gen(self.SRC)
+        assert "aa_mul_f64(a, b)" in out
+        assert "aa_add_f64(" in out
+
+    def test_inexact_constant_conversion(self):
+        out = gen(self.SRC)
+        assert "aa_const_f64(0.1)" in out
+
+    def test_exact_constant_conversion(self):
+        out = gen("double f(double a) { return a + 2.0; }")
+        assert "aa_const_exact_f64(2.0)" in out
+
+    def test_header_included(self):
+        assert '#include "safegen_aa.h"' in gen(self.SRC)
+
+    def test_dd_flavor(self):
+        out = gen(self.SRC, "aa-dda")
+        assert "dda f(dda a, dda b)" in out
+        assert "aa_mul_dd(" in out
+
+    def test_interval_flavors(self):
+        out = gen(self.SRC, "ia-f64")
+        assert "interval_f64" in out
+        out = gen(self.SRC, "ia-dd")
+        assert "interval_dd" in out
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            gen(self.SRC, "posit-32")
+
+
+class TestStructure:
+    def test_loops_preserved(self):
+        out = gen("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i++) { x = x * x; }
+                return x;
+            }
+        """)
+        assert "for (int i = 0; (i < n); i++)" in out
+
+    def test_arrays_and_params(self):
+        out = gen("void f(double A[3][4], double *p, int n) { }")
+        assert "f64a A[3][4]" in out
+        assert "f64a *p" in out
+        assert "int n" in out
+
+    def test_comparison_calls(self):
+        out = gen("""
+            double f(double a, double b) {
+                if (a < b) { return a; }
+                return b;
+            }
+        """)
+        assert "aa_cmp_lt_f64(" in out
+
+    def test_prioritize_call_emitted(self):
+        prog = compile_c("""
+            double henon(double x, double y, int n) {
+                double a = 1.05;
+                for (int i = 0; i < n; i++) {
+                    double xn = 1.0 - a * (x * x) + y;
+                    y = 0.3 * x;
+                    x = xn;
+                }
+                return x;
+            }
+        """, "f64a-dspn", k=8, int_params={"n": 20})
+        assert "aa_prioritize_f64(&" in prog.c_source
+
+    def test_math_functions(self):
+        out = gen("double f(double x) { return sqrt(x); }")
+        assert "aa_sqrt_f64(" in out
+
+    def test_division(self):
+        out = gen("double f(double a, double b) { return a / b; }")
+        assert "aa_div_f64(" in out
+
+    def test_integer_code_untouched(self):
+        out = gen("int f(int a, int b) { return a * b + (a % b); }")
+        assert "aa_" not in out.replace("safegen_aa.h", "")

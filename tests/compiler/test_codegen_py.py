@@ -1,0 +1,178 @@
+"""Tests for the Python backend: generated-code shapes and C semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compiler import compile_c
+
+
+def source_of(src, config="f64a-dsnn", **kw):
+    return compile_c(src, config, **kw).python_source
+
+
+class TestGeneratedShapes:
+    def test_canonical_for_becomes_range(self):
+        out = source_of("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i++) { x = x + 1.0; }
+                return x;
+            }
+        """)
+        assert "for i in range(0, n):" in out
+
+    def test_le_loop_bound(self):
+        out = source_of("""
+            double f(double x, int n) {
+                for (int i = 1; i <= n; i++) { x = x + 1.0; }
+                return x;
+            }
+        """)
+        assert "range(1, n + 1)" in out
+
+    def test_step_loop(self):
+        out = source_of("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i += 2) { x = x + 1.0; }
+                return x;
+            }
+        """)
+        assert "range(0, n, 2)" in out
+
+    def test_noncanonical_for_falls_back_to_while(self):
+        out = source_of("""
+            double f(double x, int n) {
+                for (int i = n; i > 0; i--) { x = x + 1.0; }
+                return x;
+            }
+        """)
+        assert "while (i > 0):" in out
+
+    def test_reassigned_loop_var_not_range(self):
+        out = source_of("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i++) {
+                    if (n > 5) { i = i + 1; }
+                    x = x + 1.0;
+                }
+                return x;
+            }
+        """)
+        assert "while" in out
+
+    def test_float_ops_are_runtime_calls(self):
+        out = source_of("double f(double a, double b) { return a / b; }")
+        assert "_rt.div(" in out
+
+    def test_int_ops_native(self):
+        out = source_of("int f(int a, int b) { return a + b * 2; }")
+        assert "(a + (b * 2))" in out
+
+
+class TestCSemantics:
+    def test_integer_division_truncates_toward_zero(self):
+        prog = compile_c("int f(int a, int b) { return a / b; }", "float")
+        assert prog(-7, 2).value == -3   # C: -3, Python //: -4
+        assert prog(7, -2).value == -3
+        assert prog(7, 2).value == 3
+
+    def test_integer_modulo_sign_of_dividend(self):
+        prog = compile_c("int f(int a, int b) { return a % b; }", "float")
+        assert prog(-7, 2).value == -1   # C: -1, Python %: 1
+        assert prog(7, -2).value == 1
+
+    def test_do_while_runs_once(self):
+        prog = compile_c("""
+            int f(int n) {
+                int c = 0;
+                do { c = c + 1; } while (c < n);
+                return c;
+            }
+        """, "float")
+        assert prog(0).value == 1
+        assert prog(5).value == 5
+
+    def test_pre_and_post_increment_statements(self):
+        prog = compile_c("""
+            int f(int n) {
+                int c = 0;
+                for (int i = 0; i < n; ++i) { c++; }
+                return c;
+            }
+        """, "float")
+        assert prog(4).value == 4
+
+    def test_nested_loops(self):
+        prog = compile_c("""
+            int f(int n) {
+                int c = 0;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j <= i; j++) { c = c + 1; }
+                }
+                return c;
+            }
+        """, "float")
+        assert prog(4).value == 10
+
+    def test_break_in_loop(self):
+        prog = compile_c("""
+            int f(int n) {
+                int c = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i == 3) { break; }
+                    c = c + 1;
+                }
+                return c;
+            }
+        """, "float")
+        assert prog(100).value == 3
+
+    def test_continue_in_canonical_loop(self):
+        prog = compile_c("""
+            int f(int n) {
+                int c = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0) { continue; }
+                    c = c + 1;
+                }
+                return c;
+            }
+        """, "float")
+        assert prog(10).value == 5
+
+    def test_logical_short_circuit(self):
+        prog = compile_c("""
+            int f(int a, int b) {
+                if (a != 0 && b / a > 1) { return 1; }
+                return 0;
+            }
+        """, "float")
+        assert prog(0, 5).value == 0  # must not divide by zero
+
+    def test_ternary_integer(self):
+        prog = compile_c("int f(int a, int b) { return a < b ? a : b; }",
+                         "float")
+        assert prog(3, 7).value == 3
+
+
+class TestFloatModeMatchesNative:
+    """The float runtime mode must behave exactly like the original
+    program (it is the slowdown baseline)."""
+
+    def test_henon_matches_python(self):
+        src = """
+            double henon(double x, double y, int n) {
+                for (int i = 0; i < n; i++) {
+                    double xn = 1.0 - 1.05 * (x * x) + y;
+                    y = 0.3 * x;
+                    x = xn;
+                }
+                return x;
+            }
+        """
+        prog = compile_c(src, "float")
+        got = prog(0.3, 0.4, 50).value
+        x, y = 0.3, 0.4
+        for _ in range(50):
+            x, y = 1.0 - 1.05 * (x * x) + y, 0.3 * x
+        assert got == x

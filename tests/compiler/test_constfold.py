@@ -1,0 +1,95 @@
+"""Tests for sound constant folding."""
+
+from fractions import Fraction
+
+from repro.compiler import cast as A
+from repro.compiler.constfold import fold_constants
+from repro.compiler.cparser import parse
+from repro.compiler.typecheck import typecheck
+
+
+def fold(src):
+    unit = parse(src)
+    typecheck(unit)
+    fold_constants(unit)
+    return unit
+
+
+def init_of(unit, fname="f"):
+    return unit.func(fname).body.stmts[0].init
+
+
+class TestIntegerFolding:
+    def test_int_add(self):
+        unit = fold("void f(void) { int x = 2 + 3; }")
+        assert init_of(unit) == A.IntLit(value=5)
+
+    def test_int_mul_nested(self):
+        unit = fold("void f(void) { int x = 2 * 3 + 4; }")
+        assert init_of(unit).value == 10
+
+    def test_unary_minus(self):
+        unit = fold("void f(void) { int x = -(2 + 3); }")
+        assert init_of(unit).value == -5
+
+
+class TestFloatFolding:
+    def test_exact_fold_stays_point(self):
+        unit = fold("void f(void) { double x = 0.5 * 0.5; }")
+        lit = init_of(unit)
+        assert isinstance(lit, A.FloatLit)
+        assert lit.value == 0.25
+
+    def test_inexact_literal_folds_to_range(self):
+        # 0.1 is inexact: 0.1 + 0.2 folds to an interval enclosing 3/10.
+        unit = fold("void f(void) { double x = 0.1 + 0.2; }")
+        lit = init_of(unit)
+        assert isinstance(lit, A.IntervalLit)
+        assert Fraction(lit.lo) <= Fraction(3, 10) <= Fraction(lit.hi)
+
+    def test_fold_with_integer_operand(self):
+        unit = fold("void f(void) { double x = 2 * 0.5; }")
+        lit = init_of(unit)
+        assert isinstance(lit, A.FloatLit) and lit.value == 1.0
+
+    def test_division_by_zero_not_folded(self):
+        unit = fold("void f(void) { double x = 1.0 / 0.0; }")
+        assert isinstance(init_of(unit), A.BinOp)
+
+    def test_nonconstant_not_folded(self):
+        unit = fold("void f(double y) { double x = y + 1.0; }")
+        assert isinstance(init_of(unit), A.BinOp)
+
+    def test_partial_folding(self):
+        # y + (2.0 * 3.0): the constant subtree folds, the sum stays.
+        unit = fold("void f(double y) { double x = y + 2.0 * 3.0; }")
+        e = init_of(unit)
+        assert isinstance(e, A.BinOp)
+        assert isinstance(e.rhs, A.FloatLit) and e.rhs.value == 6.0
+
+    def test_exactness_of_decimal_spellings(self):
+        # 0.25 round-trips exactly -> point; 0.3 does not -> range.
+        unit = fold("void f(void) { double x = 0.25 + 0.25; }")
+        assert isinstance(init_of(unit), A.FloatLit)
+        unit = fold("void f(void) { double x = 0.3 + 0.3; }")
+        assert isinstance(init_of(unit), A.IntervalLit)
+
+
+class TestSoundnessOfFoldedConstants:
+    def test_folded_range_used_at_runtime(self):
+        from repro.compiler import compile_c
+
+        src = "double f(double y) { return y + 0.1 * 0.1; }"
+        prog = compile_c(src, "f64a-dsnn", k=4)
+        res = prog(1.0)
+        exact = Fraction(1) + Fraction(1, 10) ** 2
+        # The input carries 1 ulp, so containment of a nearby value:
+        assert res.value.interval().contains(exact)
+
+    def test_fold_reduces_runtime_ops(self):
+        from repro.compiler import compile_c
+
+        src = "double f(double y) { return y * (2.0 * 3.0 * 4.0); }"
+        prog = compile_c(src, "f64a-dsnn", k=4)
+        res = prog(1.0)
+        assert res.stats.n_mul == 1  # constants folded at compile time

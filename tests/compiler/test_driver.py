@@ -1,0 +1,101 @@
+"""Tests for driver-level behaviours: entry selection, runtime reuse,
+result plumbing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compiler import CompilerConfig, SafeGen, compile_c
+
+TWO_FUNCS = """
+double helper(double x) { return x * 2.0; }
+double main_fn(double x) { return helper(x) + 1.0; }
+"""
+
+
+class TestEntrySelection:
+    def test_default_entry_is_last(self):
+        prog = compile_c(TWO_FUNCS, "f64a-dsnn")
+        assert prog.entry == "main_fn"
+
+    def test_explicit_entry(self):
+        prog = compile_c(TWO_FUNCS, "f64a-dsnn", entry="helper")
+        assert prog.entry == "helper"
+        assert prog(3.0).value.contains(Fraction(6))
+
+    def test_unknown_entry(self):
+        with pytest.raises(KeyError):
+            compile_c(TWO_FUNCS, "f64a-dsnn", entry="nope")
+
+
+class TestRuntimeReuse:
+    def test_shared_runtime_accumulates_stats(self):
+        prog = compile_c("double f(double x) { return x * x; }", "f64a-dsnn")
+        rt = prog.make_runtime()
+        prog(1.0, runtime=rt)
+        prog(2.0, runtime=rt)
+        assert rt.stats.n_mul == 2
+
+    def test_fresh_runtime_fresh_symbols(self):
+        prog = compile_c("double f(double x) { return x; }", "f64a-dsnn")
+        r1 = prog(1.0)
+        r2 = prog(1.0)
+        # With fresh runtimes the symbol ids restart identically.
+        assert r1.value.symbol_ids() == r2.value.symbol_ids()
+
+    def test_affine_inputs_pass_through(self):
+        prog = compile_c("double f(double x) { return x + x; }", "f64a-dsnn")
+        rt = prog.make_runtime()
+        x = rt.ctx.from_interval(0.0, 1.0)
+        res = prog(x, runtime=rt)
+        iv = res.value.interval()
+        assert iv.lo <= 0.0 and iv.hi >= 2.0
+        # correlation kept: width is 2, not 2 + 2
+        assert iv.hi - iv.lo == pytest.approx(2.0, abs=1e-12)
+
+
+class TestProgramResult:
+    def test_interval_helper(self):
+        res = compile_c("double f(double x) { return x; }", "f64a-dsnn")(1.0)
+        iv = res.interval()
+        assert iv.lo <= 1.0 <= iv.hi
+
+    def test_elapsed_recorded(self):
+        res = compile_c("double f(double x) { return x; }", "f64a-dsnn")(1.0)
+        assert res.elapsed_s >= 0.0
+
+    def test_int_return(self):
+        res = compile_c("int f(int x) { return x + 1; }", "float")(41)
+        assert res.value == 42
+
+    def test_positional_and_keyword_mix(self):
+        prog = compile_c(
+            "double f(double a, double b) { return a - b; }", "f64a-dsnn")
+        assert prog(5.0, b=2.0).value.contains(Fraction(3))
+
+
+class TestConfigOverrides:
+    def test_overrides_via_compile_c(self):
+        prog = compile_c("double f(double x) { return x; }",
+                         "f64a-dspn", k=4, unroll=False, solver="greedy")
+        assert prog.config.k == 4
+        assert prog.config.solver == "greedy"
+
+    def test_with_k(self):
+        cfg = CompilerConfig.from_string("f64a-dsnn", k=8)
+        assert cfg.with_k(32).k == 32
+        assert cfg.k == 8  # frozen original unchanged
+
+    def test_seed_changes_random_policy(self):
+        src = """
+            double f(double x) {
+                double acc = x;
+                for (int i = 0; i < 30; i++) { acc = acc * x + x; }
+                return acc;
+            }
+        """
+        def width(seed):
+            prog = compile_c(src, "f64a-drnn", k=3, seed=seed)
+            return prog(0.9).value.interval().width_ru()
+
+        assert width(1) == width(1)  # deterministic per seed

@@ -1,0 +1,243 @@
+"""End-to-end compilation tests: compile C, run soundly, verify against the
+high-precision oracle."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.oracle import ExactOracle
+from repro.compiler import CompilerConfig, SafeGen, compile_c
+from repro.errors import AmbiguousComparisonError
+
+ALL_CONFIGS = [
+    "f64a-dsnn", "f64a-dsnv", "f64a-ssnn", "f64a-smnn", "f64a-sonn",
+    "f64a-srnn", "dda-dsnn", "ia-f64", "ia-dd",
+    "yalaa-aff0", "yalaa-aff1", "ceres-affine",
+]
+
+
+def oracle_box(dec):
+    lo, hi = dec.to_fractions()
+    return lo, hi
+
+
+def check_encloses(range_value, dec) -> bool:
+    """The produced range must enclose the oracle's tiny decimal interval."""
+    lo, hi = dec.to_fractions()
+    return range_value.contains(lo) and range_value.contains(hi)
+
+
+class TestScalarPrograms:
+    SRC = """
+        double poly(double x, double y) {
+            double a = x * x - 2.0 * x * y + y * y;
+            double b = (x - y) * (x - y);
+            return a - b;
+        }
+    """
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_poly_identity_sound(self, config):
+        # a and b are mathematically equal; the result encloses ~0 with an
+        # error that depends on the arithmetic's ability to cancel.
+        prog = compile_c(self.SRC, config, k=8)
+        res = prog(0.7, 0.3)
+        oracle = ExactOracle(self.SRC)
+        # Inputs carry 1 ulp of uncertainty; evaluate the oracle at the
+        # central points: the result range must enclose it.
+        got = oracle.run(0.7, 0.3)["value"]
+        assert check_encloses(res.value, got)
+
+    def test_affine_cancellation_beats_ia(self):
+        aa = compile_c(self.SRC, "f64a-dsnn", k=8)(0.7, 0.3)
+        ia = compile_c(self.SRC, "ia-f64")(0.7, 0.3)
+        assert aa.value.interval().width_ru() < ia.value.width_ru()
+
+
+class TestLoopsAndArrays:
+    SRC = """
+        double dot(double a[4], double b[4]) {
+            double acc = 0.0;
+            for (int i = 0; i < 4; i++) {
+                acc = acc + a[i] * b[i];
+            }
+            return acc;
+        }
+    """
+
+    @pytest.mark.parametrize("config", ["f64a-dsnn", "f64a-dsnv", "ia-f64",
+                                        "dda-dsnn"])
+    def test_dot_product(self, config):
+        prog = compile_c(self.SRC, config, k=8)
+        a = [0.1, 0.2, 0.3, 0.4]
+        b = [1.0, 0.5, 0.25, 0.125]
+        res = prog(a, b)
+        got = ExactOracle(self.SRC).run(a, b)["value"]
+        assert check_encloses(res.value, got)
+
+    def test_output_array_mutation(self):
+        src = """
+            void double_all(double x[3]) {
+                for (int i = 0; i < 3; i++) { x[i] = x[i] * 2.0; }
+            }
+        """
+        prog = compile_c(src, "f64a-dsnn", k=4)
+        res = prog([1.0, 2.0, 3.0])
+        out = res.params["x"]
+        assert out[1].contains(Fraction(4))
+
+    def test_2d_array(self):
+        src = """
+            double trace(double A[3][3]) {
+                double t = 0.0;
+                for (int i = 0; i < 3; i++) { t = t + A[i][i]; }
+                return t;
+            }
+        """
+        prog = compile_c(src, "f64a-ssnn", k=8)
+        a = [[float(i * 3 + j) for j in range(3)] for i in range(3)]
+        res = prog(a)
+        assert res.value.contains(Fraction(12))  # 0 + 4 + 8
+
+
+class TestControlFlow:
+    def test_branch_on_float(self):
+        src = """
+            double relu(double x) {
+                if (x < 0.0) { return 0.0; }
+                return x;
+            }
+        """
+        prog = compile_c(src, "f64a-dsnn", k=4)
+        assert prog(2.0).value.contains(Fraction(2))
+        assert prog(-2.0).value.contains(Fraction(0))
+
+    def test_ambiguous_branch_strict_raises(self):
+        from repro.common import DecisionPolicy
+
+        src = """
+            double f(double x) {
+                double eps = x - x;
+                if (eps < 0.0) { return 1.0; }
+                return 2.0;
+            }
+        """
+        # x - x is exactly zero in AA: not ambiguous even for STRICT.
+        prog = compile_c(src, "f64a-dsnn", k=4,
+                         decision_policy=DecisionPolicy.STRICT)
+        assert prog(1.5).value.contains(Fraction(2))
+
+        src2 = """
+            double f(double x, double y) {
+                if (x < y) { return 1.0; }
+                return 2.0;
+            }
+        """
+        prog2 = compile_c(src2, "f64a-dsnn", k=4,
+                          decision_policy=DecisionPolicy.STRICT)
+        with pytest.raises(AmbiguousComparisonError):
+            prog2(1.0, 1.0)  # both carry 1-ulp ranges that overlap
+
+    def test_while_loop(self):
+        src = """
+            int count(int n) {
+                int c = 0;
+                while (n > 1) {
+                    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                    c = c + 1;
+                }
+                return c;
+            }
+        """
+        prog = compile_c(src, "f64a-dsnn")
+        assert prog(6).value == 8  # Collatz steps for 6
+
+    def test_user_function_calls(self):
+        src = """
+            double square(double x) { return x * x; }
+            double f(double x) { return square(x) + square(x + 1.0); }
+        """
+        prog = compile_c(src, "f64a-dsnn", k=8, entry="f")
+        res = prog(2.0)
+        assert res.value.contains(Fraction(13))
+
+
+class TestMathFunctions:
+    def test_sqrt(self):
+        prog = compile_c("double f(double x) { return sqrt(x); }",
+                         "f64a-dsnn", k=4)
+        res = prog(2.0)
+        iv = res.value.interval()
+        assert Fraction(iv.lo) ** 2 <= 2 <= Fraction(iv.hi) ** 2
+
+    def test_fabs(self):
+        prog = compile_c("double f(double x) { return fabs(x); }",
+                         "f64a-dsnn", k=4)
+        assert prog(-3.0).value.contains(Fraction(3))
+
+    def test_fmin_fmax(self):
+        prog = compile_c(
+            "double f(double a, double b) { return fmax(a, b) - fmin(a, b); }",
+            "f64a-dsnn", k=4)
+        res = prog(1.0, 5.0)
+        assert res.value.contains(Fraction(4))
+
+    def test_division(self):
+        prog = compile_c("double f(double a, double b) { return a / b; }",
+                         "f64a-dsnn", k=4)
+        res = prog(1.0, 3.0)
+        assert res.value.contains(Fraction(1, 3))
+
+
+class TestConfigPlumbing:
+    def test_config_from_string_roundtrip(self):
+        for name in ("f64a-dspv", "f64a-srnn", "dda-dsnn", "ia-f64", "ia-dd"):
+            cfg = CompilerConfig.from_string(name)
+            assert cfg.name == name
+
+    def test_invalid_config_string(self):
+        with pytest.raises(ValueError):
+            CompilerConfig.from_string("f64a-zzzz")
+
+    def test_c_source_generated(self):
+        prog = compile_c("double f(double x) { return x * 0.1; }",
+                         "f64a-dsnn", k=4)
+        assert "f64a" in prog.c_source
+        assert "aa_mul_f64" in prog.c_source
+
+    def test_c_source_interval_flavor(self):
+        prog = compile_c("double f(double x) { return x * 0.1; }", "ia-f64")
+        assert "interval_f64" in prog.c_source
+
+    def test_python_source_visible(self):
+        prog = compile_c("double f(double x) { return x + 1.0; }",
+                         "f64a-dsnn", k=4)
+        assert "_rt.add" in prog.python_source
+
+    def test_missing_argument_raises(self):
+        prog = compile_c("double f(double x) { return x; }", "f64a-dsnn")
+        with pytest.raises(TypeError):
+            prog()
+
+    def test_unknown_kwarg_raises(self):
+        prog = compile_c("double f(double x) { return x; }", "f64a-dsnn")
+        with pytest.raises(TypeError):
+            prog(x=1.0, z=2.0)
+
+
+class TestStatistics:
+    def test_op_counts_recorded(self):
+        prog = compile_c(
+            "double f(double x) { return x * x + x; }", "f64a-dsnn", k=4)
+        res = prog(1.5)
+        assert res.stats.n_mul == 1
+        assert res.stats.n_add == 1
+
+    def test_fresh_runtime_per_call(self):
+        prog = compile_c("double f(double x) { return x + x; }",
+                         "f64a-dsnn", k=4)
+        r1 = prog(1.0)
+        r2 = prog(1.0)
+        assert r1.runtime is not r2.runtime
+        assert r1.stats.n_add == r2.stats.n_add

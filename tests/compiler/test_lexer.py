@@ -1,0 +1,91 @@
+"""Tests for the C tokenizer."""
+
+import pytest
+
+from repro.compiler.clexer import tokenize
+from repro.errors import ParseError
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        toks = kinds("double foo int bar_2")
+        assert toks == [("keyword", "double"), ("ident", "foo"),
+                        ("keyword", "int"), ("ident", "bar_2")]
+
+    def test_integer_literals(self):
+        toks = kinds("42 0x1F 100u 7L")
+        assert [t[0] for t in toks] == ["int"] * 4
+
+    def test_float_literals(self):
+        toks = kinds("1.5 .5 1. 1e10 1.5e-3 2.0f 0x1.8p1")
+        assert [t[0] for t in toks] == ["float"] * 7
+
+    def test_float_vs_int(self):
+        toks = kinds("1.5")
+        assert toks == [("float", "1.5")]
+        toks = kinds("15")
+        assert toks == [("int", "15")]
+
+    def test_operators_longest_match(self):
+        toks = kinds("a<<=b <= < ++ +")
+        texts = [t[1] for t in toks if t[0] == "op"]
+        assert texts == ["<<=", "<=", "<", "++", "+"]
+
+    def test_punctuation(self):
+        toks = kinds("f(a[1], b);")
+        texts = [t[1] for t in toks if t[0] == "op"]
+        assert texts == ["(", "[", "]", ",", ")", ";"]
+
+
+class TestCommentsAndPreprocessor:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never ends")
+
+    def test_include_skipped(self):
+        assert kinds("#include <math.h>\nx") == [("ident", "x")]
+
+    def test_define_skipped(self):
+        assert kinds("#define N 10\nx") == [("ident", "x")]
+
+    def test_safegen_pragma_kept(self):
+        toks = tokenize("#pragma safegen prioritize(foo)\nx")
+        assert toks[0].kind == "pragma"
+        assert toks[0].payload == ("prioritize", "foo")
+
+    def test_other_pragma_skipped(self):
+        assert kinds("#pragma omp parallel\nx") == [("ident", "x")]
+
+
+class TestLocations:
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].col == 3
+
+    def test_lines_after_block_comment(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("ok\n  @")
+        assert err.value.line == 2

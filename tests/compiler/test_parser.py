@@ -1,0 +1,195 @@
+"""Tests for the C parser."""
+
+import pytest
+
+from repro.compiler import cast as A
+from repro.compiler.cparser import parse
+from repro.errors import ParseError, UnsupportedFeatureError
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        unit = parse("double f(double x, int n) { return x; }")
+        f = unit.func("f")
+        assert f.return_type == A.CType("double")
+        assert [p.name for p in f.params] == ["x", "n"]
+        assert f.params[1].type == A.CType("int")
+
+    def test_void_function_no_params(self):
+        unit = parse("void f(void) { }")
+        assert unit.func("f").params == []
+
+    def test_pointer_param(self):
+        unit = parse("void f(double *x) { }")
+        assert isinstance(unit.func("f").params[0].type, A.PointerType)
+
+    def test_array_param(self):
+        unit = parse("void f(double A[10][20]) { }")
+        ty = unit.func("f").params[0].type
+        assert isinstance(ty, A.ArrayType)
+        assert ty.dim == 10
+        assert ty.elem.dim == 20
+
+    def test_vector_type(self):
+        unit = parse("void f(void) { __m256d v; }")
+        decl = unit.func("f").body.stmts[0]
+        assert isinstance(decl.type, A.VectorType)
+        assert decl.type.lanes == 4
+
+    def test_local_declarations(self):
+        unit = parse("void f(void) { double x = 1.0, y; int i = 0; }")
+        stmts = unit.func("f").body.stmts
+        # double x, y comes back as a Compound of two Decls
+        assert isinstance(stmts[0], A.Compound)
+        assert [d.name for d in stmts[0].stmts] == ["x", "y"]
+
+    def test_const_qualifier_ignored(self):
+        unit = parse("void f(const double x) { }")
+        assert unit.func("f").params[0].type == A.CType("double")
+
+    def test_prototype(self):
+        unit = parse("double g(double x); double f(double x) { return g(x); }")
+        assert unit.func("g").body is None
+
+    def test_global_variable(self):
+        unit = parse("int N = 10;\nvoid f(void) { }")
+        assert unit.globals[0].name == "N"
+
+    def test_brace_initializer_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("void f(void) { double a[2] = {1.0, 2.0}; }")
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        unit = parse(f"double f(double a, double b, double c) {{ return {text}; }}")
+        ret = unit.func("f").body.stmts[-1]
+        return ret.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.parse_expr("a + b * c")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.rhs, A.BinOp) and e.rhs.op == "*"
+
+    def test_left_associativity(self):
+        e = self.parse_expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.lhs, A.BinOp) and e.lhs.op == "-"
+
+    def test_parentheses(self):
+        e = self.parse_expr("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.lhs, A.BinOp) and e.lhs.op == "+"
+
+    def test_unary_minus(self):
+        e = self.parse_expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.lhs, A.UnOp)
+
+    def test_ternary(self):
+        e = self.parse_expr("a ? b : c")
+        assert isinstance(e, A.Cond)
+
+    def test_cast(self):
+        e = self.parse_expr("(double)a")
+        assert isinstance(e, A.Cast)
+
+    def test_call_with_args(self):
+        unit = parse("double f(double a) { return sqrt(a); }")
+        e = unit.func("f").body.stmts[0].value
+        assert isinstance(e, A.Call) and e.name == "sqrt"
+
+    def test_nested_index(self):
+        unit = parse("void f(double A[2][2]) { A[0][1] = 1.0; }")
+        assign = unit.func("f").body.stmts[0].expr
+        assert isinstance(assign.target, A.Index)
+        assert isinstance(assign.target.base, A.Index)
+
+    def test_compound_assignment(self):
+        unit = parse("void f(double x) { x += 1.0; }")
+        assert unit.func("f").body.stmts[0].expr.op == "+="
+
+    def test_logical_operators(self):
+        e = self.parse_expr("a < b && b < c || a == c")
+        assert e.op == "||"
+
+    def test_float_literal_text_preserved(self):
+        e = self.parse_expr("0.1")
+        assert isinstance(e, A.FloatLit)
+        assert e.text == "0.1"
+
+    def test_hex_float(self):
+        e = self.parse_expr("0x1.8p1")
+        assert e.value == 3.0
+
+
+class TestStatements:
+    def test_for_loop(self):
+        unit = parse("void f(void) { for (int i = 0; i < 10; i++) { } }")
+        loop = unit.func("f").body.stmts[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.Decl)
+
+    def test_while_do(self):
+        unit = parse("void f(int n) { while (n > 0) n--; do n++; while (n < 5); }")
+        stmts = unit.func("f").body.stmts
+        assert isinstance(stmts[0], A.While)
+        assert isinstance(stmts[1], A.DoWhile)
+
+    def test_if_else(self):
+        unit = parse("void f(int n) { if (n) n = 1; else n = 2; }")
+        s = unit.func("f").body.stmts[0]
+        assert isinstance(s, A.If) and s.els is not None
+
+    def test_dangling_else(self):
+        unit = parse("void f(int a, int b) { if (a) if (b) a = 1; else a = 2; }")
+        outer = unit.func("f").body.stmts[0]
+        assert outer.els is None  # else binds to the inner if
+        assert outer.then.els is not None
+
+    def test_break_continue_return(self):
+        unit = parse("""
+            int f(int n) {
+                for (int i = 0; i < n; i++) {
+                    if (i == 1) continue;
+                    if (i == 2) break;
+                }
+                return n;
+            }
+        """)
+        assert unit.func("f").body.stmts[-1].value is not None
+
+    def test_pragma_statement(self):
+        unit = parse("""
+            void f(double x) {
+                #pragma safegen prioritize(x)
+                double y = x * x;
+            }
+        """)
+        stmts = unit.func("f").body.stmts
+        assert isinstance(stmts[0], A.Pragma)
+        assert stmts[0].arg == "x"
+
+    def test_empty_statement(self):
+        unit = parse("void f(void) { ; }")
+        assert unit.func("f").body.stmts[0] == A.Compound(stmts=[])
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { double x = 1.0 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { double x = (1.0; }")
+
+    def test_error_location(self):
+        with pytest.raises(ParseError) as err:
+            parse("void f(void) {\n  double x = ;\n}")
+        assert err.value.line == 2
+
+    def test_unknown_function_name_lookup(self):
+        unit = parse("void f(void) { }")
+        with pytest.raises(KeyError):
+            unit.func("g")

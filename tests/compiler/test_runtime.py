@@ -1,0 +1,150 @@
+"""Tests for the Runtime support object (all four modes)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import AffineContext
+from repro.compiler.runtime import Runtime
+
+
+@pytest.fixture(params=["aa", "ia", "ia_dd", "float"])
+def rt(request):
+    return Runtime(mode=request.param)
+
+
+class TestConstruction:
+    def test_const_inexact_encloses(self, rt):
+        c = rt.const(0.1)
+        if rt.mode == "float":
+            assert c == 0.1
+        else:
+            assert c.contains(Fraction(1, 10))
+
+    def test_exact_is_point(self, rt):
+        v = rt.exact(2.0)
+        if rt.mode == "float":
+            assert v == 2.0
+        else:
+            iv = v.interval() if hasattr(v, "interval") else v
+            assert iv.lo == iv.hi == 2.0 or (
+                hasattr(iv, "lo") and float(iv.lo) == 2.0)
+
+    def test_input_carries_one_ulp(self, rt):
+        v = rt.input(1.0)
+        if rt.mode == "float":
+            assert v == 1.0
+            return
+        iv = v.interval()
+        assert iv.lo <= 1.0 - math.ulp(1.0) / 2
+        assert iv.hi >= 1.0 + math.ulp(1.0) / 2
+
+    def test_alloc_array_shape(self, rt):
+        arr = rt.alloc_array((2, 3))
+        assert len(arr) == 2 and len(arr[0]) == 3
+
+    def test_alloc_int_array(self, rt):
+        arr = rt.alloc_int_array((4,))
+        assert arr == [0, 0, 0, 0]
+
+    def test_coerce_nested(self, rt):
+        out = rt.coerce_input([[1.0, 2.0], [3.0, 4.0]])
+        assert len(out) == 2
+
+    def test_interval_const(self, rt):
+        v = rt.interval_const(1.0, 2.0)
+        if rt.mode == "float":
+            assert v == 1.5
+        else:
+            assert v.contains(1.5)
+
+
+class TestArithmeticDispatch:
+    def test_add_sub_mul_div(self, rt):
+        a, b = rt.exact(6.0), rt.exact(3.0)
+        checks = [
+            (rt.add(a, b), 9.0),
+            (rt.sub(a, b), 3.0),
+            (rt.mul(a, b), 18.0),
+            (rt.div(a, b), 2.0),
+        ]
+        for got, want in checks:
+            if rt.mode == "float":
+                assert got == want
+            else:
+                assert got.contains(Fraction(want))
+
+    def test_sqrt(self, rt):
+        got = rt.sqrt(rt.exact(4.0))
+        if rt.mode == "float":
+            assert got == 2.0
+        else:
+            assert got.contains(Fraction(2))
+
+    def test_neg_fabs(self, rt):
+        v = rt.neg(rt.exact(2.0))
+        a = rt.fabs(v)
+        if rt.mode == "float":
+            assert v == -2.0 and a == 2.0
+        else:
+            assert v.contains(Fraction(-2)) and a.contains(Fraction(2))
+
+    def test_fmin_fmax(self, rt):
+        lo = rt.fmin(rt.exact(1.0), rt.exact(5.0))
+        hi = rt.fmax(rt.exact(1.0), rt.exact(5.0))
+        if rt.mode == "float":
+            assert (lo, hi) == (1.0, 5.0)
+        else:
+            assert lo.contains(Fraction(1)) and hi.contains(Fraction(5))
+
+
+class TestComparisons:
+    def test_definite(self, rt):
+        assert rt.lt(rt.exact(1.0), rt.exact(2.0))
+        assert not rt.lt(rt.exact(2.0), rt.exact(1.0))
+        assert rt.le(rt.exact(1.0), rt.exact(1.0))
+        assert rt.ge(rt.exact(2.0), rt.exact(1.0))
+        assert rt.gt(rt.exact(2.0), rt.exact(1.0))
+
+    def test_eq_ne(self, rt):
+        assert rt.eq(rt.exact(1.0), rt.exact(1.0))
+        assert rt.ne(rt.exact(1.0), rt.exact(2.0))
+
+
+class TestProtect:
+    def test_protect_gathers_symbols(self):
+        rt = Runtime(mode="aa", ctx=AffineContext(k=8))
+        x = rt.input(1.0)
+        assert rt.protect(x)
+
+    def test_protect_caps_at_k_minus_1(self):
+        rt = Runtime(mode="aa", ctx=AffineContext(k=4))
+        vals = [rt.input(1.0) for _ in range(10)]
+        assert len(rt.protect(*vals)) <= 3
+
+    def test_protect_keeps_largest(self):
+        rt = Runtime(mode="aa", ctx=AffineContext(k=3))
+        big = rt.ctx.input(1.0, uncertainty_ulps=2**30)
+        small = [rt.ctx.input(1.0) for _ in range(5)]
+        kept = rt.protect(big, *small)
+        assert set(big.symbol_ids()) <= kept
+
+    def test_protect_recurses_lists(self):
+        rt = Runtime(mode="aa", ctx=AffineContext(k=8))
+        arr = [[rt.input(1.0)], [rt.input(2.0)]]
+        assert len(rt.protect(arr)) == 2
+
+    def test_protect_ignores_none_and_ints(self):
+        rt = Runtime(mode="aa", ctx=AffineContext(k=8))
+        assert rt.protect(None, 3) == frozenset()
+
+    def test_interval_mode_protect_empty(self):
+        rt = Runtime(mode="ia")
+        assert rt.protect(rt.input(1.0)) == frozenset()
+
+
+class TestErrors:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            Runtime(mode="quantum")

@@ -1,0 +1,168 @@
+"""Tests for SIMD intrinsic lowering (SIMD-to-C, Section IV-B)."""
+
+import pytest
+
+from repro.compiler import cast as A
+from repro.compiler.cparser import parse
+from repro.compiler.simd import lower_simd
+from repro.compiler.typecheck import typecheck
+from repro.compiler import compile_c
+from repro.errors import UnsupportedFeatureError
+
+
+def lower(src):
+    unit = parse(src)
+    lower_simd(unit)
+    typecheck(unit)  # lowered output must typecheck
+    return unit
+
+
+class TestLowering:
+    def test_vector_decl_becomes_array(self):
+        unit = lower("""
+            void f(double *x) {
+                __m256d v = _mm256_loadu_pd(x);
+                _mm256_storeu_pd(x, v);
+            }
+        """)
+        decl = unit.func("f").body.stmts[0]
+        assert isinstance(decl.type, A.ArrayType)
+        assert decl.type.dim == 4
+
+    def test_load_store_expansion(self):
+        unit = lower("""
+            void f(double *x, double *y) {
+                __m256d v = _mm256_loadu_pd(x);
+                _mm256_storeu_pd(y, v);
+            }
+        """)
+        stmts = unit.func("f").body.stmts
+        # decl + 4 lane loads + 4 lane stores
+        assert len(stmts) == 9
+
+    def test_arithmetic_lanes(self):
+        unit = lower("""
+            void f(double *x) {
+                __m256d a = _mm256_loadu_pd(x);
+                __m256d b = _mm256_mul_pd(a, a);
+                _mm256_storeu_pd(x, b);
+            }
+        """)
+        # find one of b's lane assignments: b[i] = a[i] * a[i]
+        assigns = [s.expr for s in unit.func("f").body.stmts
+                   if isinstance(s, A.ExprStmt)]
+        lane = [a for a in assigns
+                if isinstance(a.value, A.BinOp) and a.value.op == "*"]
+        assert len(lane) == 4
+
+    def test_set1_broadcast(self):
+        unit = lower("""
+            void f(double *x) {
+                __m256d c = _mm256_set1_pd(2.0);
+                _mm256_storeu_pd(x, c);
+            }
+        """)
+        broadcasts = [s.expr for s in unit.func("f").body.stmts
+                      if isinstance(s, A.ExprStmt)
+                      and isinstance(s.expr.target, A.Index)
+                      and isinstance(s.expr.target.base, A.Ident)
+                      and s.expr.target.base.name == "c"]
+        assert len(broadcasts) == 4
+        assert all(isinstance(b.value, A.FloatLit) and b.value.value == 2.0
+                   for b in broadcasts)
+
+    def test_set_pd_reversed_order(self):
+        unit = lower("""
+            void f(double *x) {
+                __m256d c = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
+                _mm256_storeu_pd(x, c);
+            }
+        """)
+        # Intel order: lane 0 gets the LAST argument (1.0).
+        decl_assigns = [s.expr for s in unit.func("f").body.stmts
+                        if isinstance(s, A.ExprStmt)
+                        and isinstance(s.expr.target, A.Index)
+                        and isinstance(s.expr.target.base, A.Ident)
+                        and s.expr.target.base.name == "c"]
+        assert decl_assigns[0].value.value == 1.0
+        assert decl_assigns[3].value.value == 4.0
+
+    def test_fmadd(self):
+        unit = lower("""
+            void f(double *x) {
+                __m256d a = _mm256_loadu_pd(x);
+                __m256d r = _mm256_fmadd_pd(a, a, a);
+                _mm256_storeu_pd(x, r);
+            }
+        """)
+        assigns = [s.expr for s in unit.func("f").body.stmts
+                   if isinstance(s, A.ExprStmt)
+                   and isinstance(s.expr.value, A.BinOp)
+                   and s.expr.value.op == "+"]
+        assert len(assigns) == 4
+
+    def test_load_with_offset(self):
+        unit = lower("""
+            void f(double A[8]) {
+                __m256d v = _mm256_loadu_pd(&A[4]);
+                _mm256_storeu_pd(&A[0], v);
+            }
+        """)
+        # lane 0 of v reads A[4 + 0]
+        assigns = [s.expr for s in unit.func("f").body.stmts
+                   if isinstance(s, A.ExprStmt)
+                   and isinstance(s.expr.target.base, A.Ident)
+                   and s.expr.target.base.name == "v"]
+        first = assigns[0].value
+        assert isinstance(first, A.Index)
+
+    def test_sse_two_lanes(self):
+        unit = lower("""
+            void f(double *x) {
+                __m128d v = _mm_loadu_pd(x);
+                _mm_storeu_pd(x, v);
+            }
+        """)
+        stmts = unit.func("f").body.stmts
+        assert len(stmts) == 5  # decl + 2 loads + 2 stores
+
+    def test_sqrt_intrinsic(self):
+        unit = lower("""
+            void f(double *x) {
+                __m256d v = _mm256_loadu_pd(x);
+                v = _mm256_sqrt_pd(v);
+                _mm256_storeu_pd(x, v);
+            }
+        """)
+        calls = [s.expr.value for s in unit.func("f").body.stmts
+                 if isinstance(s, A.ExprStmt)
+                 and isinstance(s.expr.value, A.Call)]
+        assert all(c.name == "sqrt" for c in calls)
+        assert len(calls) == 4
+
+
+class TestEndToEnd:
+    def test_simd_program_runs_soundly(self):
+        from fractions import Fraction
+
+        src = """
+            void scale4(double *x) {
+                __m256d v = _mm256_loadu_pd(x);
+                __m256d c = _mm256_set1_pd(0.5);
+                __m256d r = _mm256_mul_pd(v, c);
+                _mm256_storeu_pd(x, r);
+            }
+        """
+        prog = compile_c(src, "f64a-dsnn", k=8)
+        res = prog(x=[1.0, 2.0, 3.0, 4.0])
+        out = res.params["x"]
+        for i, v in enumerate((0.5, 1.0, 1.5, 2.0)):
+            assert out[i].contains(Fraction(v))
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(Exception):
+            compile_c("""
+                void f(double *x) {
+                    __m256d v = _mm256_hadd_pd(v, v);
+                }
+            """, "f64a-dsnn")

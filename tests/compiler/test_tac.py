@@ -1,0 +1,213 @@
+"""Tests for the three-address-code transformation."""
+
+import pytest
+
+from repro.compiler import cast as A
+from repro.compiler.cparser import parse
+from repro.compiler.tac import to_tac
+from repro.compiler.typecheck import typecheck
+
+
+def tac(src):
+    unit = parse(src)
+    typecheck(unit)
+    to_tac(unit)
+    typecheck(unit)  # TAC output must typecheck again
+    return unit
+
+
+def float_ops_per_stmt(stmts):
+    """Each float-op statement must contain exactly one float operation."""
+    from repro.compiler.tac import _is_float_op
+
+    counts = []
+
+    def count_ops(e):
+        if e is None:
+            return 0
+        n = 1 if _is_float_op(e) else 0
+        for f in getattr(e, "__dataclass_fields__", {}):
+            v = getattr(e, f)
+            if isinstance(v, A.Expr):
+                n += count_ops(v)
+            elif isinstance(v, list):
+                n += sum(count_ops(i) for i in v if isinstance(i, A.Expr))
+        return n
+
+    def walk(s):
+        if isinstance(s, A.Decl):
+            counts.append(count_ops(s.init))
+        elif isinstance(s, A.ExprStmt):
+            counts.append(count_ops(s.expr))
+        for f in getattr(s, "__dataclass_fields__", {}):
+            v = getattr(s, f)
+            if isinstance(v, A.Stmt):
+                walk(v)
+            elif isinstance(v, list):
+                for item in v:
+                    if isinstance(item, A.Stmt):
+                        walk(item)
+
+    for s in stmts:
+        walk(s)
+    return counts
+
+
+class TestFlattening:
+    def test_single_op_per_statement(self):
+        unit = tac("""
+            double f(double a, double b, double c) {
+                double d = a * b + c * (a - b);
+                return d;
+            }
+        """)
+        counts = float_ops_per_stmt(unit.func("f").body.stmts)
+        assert all(c <= 1 for c in counts)
+        assert sum(counts) == 4  # *, *, -, +
+
+    def test_stmt_ids_unique_and_assigned(self):
+        unit = tac("double f(double a) { double b = a * a + a; return b; }")
+        ids = []
+
+        def collect(s):
+            sid = getattr(s, "stmt_id", None)
+            if sid is not None:
+                ids.append(sid)
+            for f in getattr(s, "__dataclass_fields__", {}):
+                v = getattr(s, f)
+                if isinstance(v, A.Stmt):
+                    collect(v)
+                elif isinstance(v, list):
+                    for i in v:
+                        if isinstance(i, A.Stmt):
+                            collect(i)
+
+        for s in unit.func("f").body.stmts:
+            collect(s)
+        assert len(ids) == len(set(ids)) == 2
+
+    def test_no_temp_for_simple_copy(self):
+        unit = tac("double f(double a) { double b = a; return b; }")
+        stmts = unit.func("f").body.stmts
+        assert len(stmts) == 2  # decl + return, no temps
+
+    def test_compound_assignment_desugared(self):
+        unit = tac("void f(double x, double y) { x += y * 2.0; }")
+        # find the final assignment: must be x = x + <temp or op>
+        assigns = [s.expr for s in _flat(unit.func("f").body)
+                   if isinstance(s, A.ExprStmt) and isinstance(s.expr, A.Assign)]
+        final = assigns[-1]
+        assert final.op == "="
+        assert isinstance(final.value, A.BinOp) and final.value.op == "+"
+
+    def test_array_store_goes_through_temp(self):
+        unit = tac("void f(double A[3]) { A[0] = A[1] * A[2] + 1.0; }")
+        stmts = _flat(unit.func("f").body)
+        final = stmts[-1].expr
+        assert isinstance(final.target, A.Index)
+        assert isinstance(final.value, A.Ident)  # plain copy from a temp
+
+    def test_call_args_flattened(self):
+        unit = tac("double f(double a, double b) { return sqrt(a * b); }")
+        stmts = _flat(unit.func("f").body)
+        ret = stmts[-1]
+        assert isinstance(ret, A.Return)
+        assert isinstance(ret.value, A.Ident)
+
+    def test_temp_names_avoid_collision(self):
+        unit = tac("double f(double __t0) { return __t0 * __t0 + 1.0; }")
+        names = {s.name for s in _flat(unit.func("f").body)
+                 if isinstance(s, A.Decl)}
+        assert "__t0" not in names  # the param keeps its name
+
+
+class TestPragmas:
+    def test_pragma_attaches_to_all_ops_of_next_stmt(self):
+        unit = tac("""
+            double f(double x, double y) {
+                #pragma safegen prioritize(y)
+                double z = x * x + y;
+                return z;
+            }
+        """)
+        stmts = _flat(unit.func("f").body)
+        annotated = [s for s in stmts
+                     if getattr(s, "prioritize", None) == "y"]
+        assert len(annotated) == 2  # the mul temp and the add
+
+    def test_pragma_not_sticky(self):
+        unit = tac("""
+            double f(double x, double y) {
+                #pragma safegen prioritize(y)
+                double z = x * x;
+                double w = z * z;
+                return w;
+            }
+        """)
+        stmts = _flat(unit.func("f").body)
+        annotated = [s for s in stmts if getattr(s, "prioritize", None)]
+        assert len(annotated) == 1
+
+
+class TestControlFlow:
+    def test_integer_for_preserved(self):
+        unit = tac("""
+            double f(double x, int n) {
+                for (int i = 0; i < n; i++) { x = x * x; }
+                return x;
+            }
+        """)
+        body = unit.func("f").body.stmts
+        assert any(isinstance(s, A.For) for s in body)
+
+    def test_float_condition_while_rewritten(self):
+        unit = tac("""
+            double f(double x) {
+                while (x * x < 2.0) { x = x + 0.1; }
+                return x;
+            }
+        """)
+        body = unit.func("f").body.stmts
+        loop = next(s for s in body if isinstance(s, A.While))
+        assert isinstance(loop.cond, A.IntLit)  # while(1) + internal break
+
+    def test_if_condition_flattened(self):
+        unit = tac("""
+            double f(double a, double b) {
+                if (a * a < b) { return a; }
+                return b;
+            }
+        """)
+        stmts = unit.func("f").body.stmts
+        # the a*a temp is hoisted before the if
+        assert isinstance(stmts[0], A.Decl)
+        assert isinstance(stmts[1], A.If)
+
+    def test_ternary_desugared_to_if(self):
+        unit = tac("""
+            double f(double a, double b) {
+                double m;
+                m = a < b ? a : b;
+                return m;
+            }
+        """)
+        stmts = unit.func("f").body.stmts
+        assert any(isinstance(s, A.If) for s in stmts)
+
+
+def _flat(stmt):
+    out = []
+
+    def walk(s):
+        out.append(s)
+        for f in getattr(s, "__dataclass_fields__", {}):
+            v = getattr(s, f)
+            if isinstance(v, A.Stmt):
+                walk(v)
+            elif isinstance(v, list):
+                for item in v:
+                    if isinstance(item, A.Stmt):
+                        walk(item)
+
+    walk(stmt)
+    return out

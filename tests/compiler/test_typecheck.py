@@ -1,0 +1,116 @@
+"""Tests for semantic analysis."""
+
+import pytest
+
+from repro.compiler import cast as A
+from repro.compiler.cparser import parse
+from repro.compiler.typecheck import typecheck
+from repro.errors import TypeCheckError
+
+
+def check(src):
+    unit = parse(src)
+    typecheck(unit)
+    return unit
+
+
+class TestTyping:
+    def test_float_promotion(self):
+        unit = check("double f(double x, int i) { return x + i; }")
+        ret = unit.func("f").body.stmts[0]
+        assert ret.value.ty == A.CType("double")
+
+    def test_int_arithmetic_stays_int(self):
+        unit = check("int f(int a, int b) { return a * b + 1; }")
+        assert unit.func("f").body.stmts[0].value.ty == A.CType("int")
+
+    def test_comparison_is_int(self):
+        unit = check("int f(double a, double b) { return a < b; }")
+        assert unit.func("f").body.stmts[0].value.ty == A.CType("int")
+
+    def test_index_type(self):
+        unit = check("double f(double A[3][3]) { return A[0][1]; }")
+        assert unit.func("f").body.stmts[0].value.ty == A.CType("double")
+
+    def test_math_call(self):
+        unit = check("double f(double x) { return sqrt(x); }")
+        assert unit.func("f").body.stmts[0].value.ty == A.CType("double")
+
+    def test_user_call(self):
+        check("""
+            double g(double x) { return x; }
+            double f(double x) { return g(x) + 1.0; }
+        """)
+
+
+class TestScoping:
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeCheckError):
+            check("double f(void) { return y; }")
+
+    def test_block_scoping(self):
+        check("void f(void) { { int i = 0; } { int i = 1; } }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(TypeCheckError):
+            check("void f(void) { int i = 0; int i = 1; }")
+
+    def test_for_scope(self):
+        check("void f(void) { for (int i = 0; i < 3; i++) { } "
+              "for (int i = 0; i < 3; i++) { } }")
+
+    def test_shadowing(self):
+        check("void f(int i) { { double i = 1.0; double x = i + 1.0; } }")
+
+    def test_duplicate_params(self):
+        with pytest.raises(TypeCheckError):
+            check("void f(int a, int a) { }")
+
+
+class TestRules:
+    def test_modulo_needs_integers(self):
+        with pytest.raises(TypeCheckError):
+            check("double f(double x) { return x % 2.0; }")
+
+    def test_index_must_be_integer(self):
+        with pytest.raises(TypeCheckError):
+            check("double f(double A[3], double x) { return A[x]; }")
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("double f(double x) { return x[0]; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(TypeCheckError):
+            check("void f(double x) { x + 1.0 = 2.0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(TypeCheckError):
+            check("void f(void) { break; }")
+
+    def test_wrong_arity_math(self):
+        with pytest.raises(TypeCheckError):
+            check("double f(double x) { return sqrt(x, x); }")
+
+    def test_wrong_arity_user(self):
+        with pytest.raises(TypeCheckError):
+            check("""
+                double g(double x) { return x; }
+                double f(double x) { return g(x, x); }
+            """)
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeCheckError):
+            check("double f(double x) { return frobnicate(x); }")
+
+    def test_increment_on_float_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("void f(double x) { x++; }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(TypeCheckError):
+            check("void f(int x) { return x; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(TypeCheckError):
+            check("int f(void) { return; }")

@@ -1,0 +1,133 @@
+"""The compiler must reject out-of-subset programs with precise errors
+rather than miscompiling them."""
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.errors import (
+    CompileError,
+    ParseError,
+    TypeCheckError,
+    UnsupportedFeatureError,
+)
+
+
+def rejects(src, exc=UnsupportedFeatureError, config="f64a-dsnn"):
+    with pytest.raises(exc):
+        compile_c(src, config)
+
+
+class TestUnsupportedFeatures:
+    def test_empty_input(self):
+        rejects("", CompileError)
+
+    def test_prototype_only(self):
+        rejects("double f(double x);", CompileError)
+
+    def test_float_to_int_cast(self):
+        rejects("int f(double x) { return (int)x; }")
+
+    def test_chained_assignment(self):
+        rejects("void f(double x, double y) { x = y = 1.0; }")
+
+    def test_increment_as_value(self):
+        rejects("int f(int i) { return i++; }")
+
+    def test_float_op_in_subscript(self):
+        rejects("double f(double A[4], double x) { return A[(int)(x * 2.0)]; }")
+
+    def test_global_variables_python_backend(self):
+        rejects("double g = 1.0;\ndouble f(double x) { return x + g; }")
+
+    def test_unknown_call(self):
+        rejects("double f(double x) { return sinh(x); }", TypeCheckError)
+
+    def test_address_of_scalar_outside_simd(self):
+        rejects("double f(double x) { double *p = &x; return *p; }")
+
+    def test_ternary_in_condition_of_while(self):
+        # nested ternary used as a value inside a larger float expression
+        rejects("""
+            double f(double a, double b) {
+                double m = 1.0 + (a < b ? a : b);
+                return m;
+            }
+        """)
+
+    def test_continue_in_noncanonical_loop(self):
+        rejects("""
+            double f(double x, int n) {
+                for (int i = n; i > 0; i--) {
+                    if (i == 2) { continue; }
+                    x = x + 1.0;
+                }
+                return x;
+            }
+        """)
+
+    def test_brace_initializer(self):
+        rejects("void f(void) { double a[2] = {1.0, 2.0}; }")
+
+    def test_unsized_local_array(self):
+        rejects("void f(void) { double a[]; }", (ParseError,
+                                                 UnsupportedFeatureError))
+
+
+class TestMalformedInput:
+    def test_garbage(self):
+        rejects("not a c program @@@", ParseError)
+
+    def test_unbalanced_braces(self):
+        rejects("double f(double x) { return x;", ParseError)
+
+    def test_type_errors_have_location(self):
+        with pytest.raises(TypeCheckError) as err:
+            compile_c("double f(double x) {\n  return y;\n}", "f64a-dsnn")
+        assert "line 2" in str(err.value)
+
+
+class TestSupportedEdgeCases:
+    """Things that look borderline but are in the subset."""
+
+    def test_empty_function_body(self):
+        prog = compile_c("void f(double x) { }", "f64a-dsnn")
+        assert prog(1.0).value is None
+
+    def test_function_without_return_path(self):
+        prog = compile_c("""
+            void f(double *out, double x) { out[0] = x * 2.0; }
+        """, "f64a-dsnn")
+        res = prog([0.0], 3.0)
+        from fractions import Fraction
+
+        assert res.params["out"][0].contains(Fraction(6))
+
+    def test_deeply_nested_expression(self):
+        expr = "x"
+        for _ in range(30):
+            expr = f"({expr} + 1.0) * 0.5"
+        prog = compile_c(f"double f(double x) {{ return {expr}; }}",
+                         "f64a-dsnn", k=8)
+        assert prog(1.0).value.is_valid()
+
+    def test_shadowed_names(self):
+        prog = compile_c("""
+            double f(double x) {
+                double y = x + 1.0;
+                { double y = x + 2.0; x = y; }
+                return x + y;
+            }
+        """, "f64a-dsnn")
+        from fractions import Fraction
+
+        # inner y = x+2 -> x = 3; outer y = 2; result 5 (x starts at 1)
+        assert prog(1.0).value.contains(Fraction(5))
+
+    def test_unary_plus(self):
+        prog = compile_c("double f(double x) { return +x; }", "f64a-dsnn")
+        assert prog(2.0).value.contains(2.0)
+
+    def test_not_operator_on_int(self):
+        prog = compile_c("int f(int x) { return !x; }", "float")
+        assert prog(0).value in (1, True)
+        assert prog(5).value in (0, False)

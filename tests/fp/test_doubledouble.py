@@ -1,0 +1,139 @@
+"""Tests for double-double arithmetic (repro.fp.doubledouble)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp import DD, dd_from_float, dd_from_prod, dd_from_sum
+
+nice = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e100, max_value=1e100
+)
+
+
+def frac(d: DD) -> Fraction:
+    return Fraction(d.hi) + Fraction(d.lo)
+
+
+@st.composite
+def dds(draw):
+    hi = draw(nice)
+    lo = draw(st.floats(allow_nan=False, allow_infinity=False,
+                        min_value=-1.0, max_value=1.0))
+    return DD(hi, lo * math.ulp(hi) * 0.5 if hi != 0 else 0.0)
+
+
+class TestConstruction:
+    def test_normalization(self):
+        d = DD(1.0, 1.0)
+        assert d.hi == 2.0
+        assert d.lo == 0.0
+
+    def test_exact_sum(self):
+        d = dd_from_sum(1.0, 1e-20)
+        assert frac(d) == Fraction(1.0) + Fraction(1e-20)
+
+    def test_exact_prod(self):
+        d = dd_from_prod(0.1, 0.1)
+        assert frac(d) == Fraction(0.1) * Fraction(0.1)
+
+    def test_immutability(self):
+        d = dd_from_float(1.0)
+        with pytest.raises(AttributeError):
+            d.hi = 2.0
+
+    def test_nan(self):
+        assert DD.nan().is_nan()
+        assert not DD.nan().is_finite()
+
+
+class TestArithmetic:
+    @given(dds(), dds())
+    def test_add_accuracy(self, a, b):
+        out, err = a.add_with_err(b)
+        exact = frac(a) + frac(b)
+        assert abs(frac(out) - exact) <= Fraction(err)
+
+    @given(dds(), dds())
+    def test_mul_accuracy(self, a, b):
+        out, err = a.mul_with_err(b)
+        if not out.is_finite() or abs(float(out)) < 1e-280:
+            return
+        exact = frac(a) * frac(b)
+        assert abs(frac(out) - exact) <= Fraction(err)
+
+    @given(dds(), dds())
+    def test_div_accuracy(self, a, b):
+        if abs(b.hi) < 1e-100:
+            return
+        out, err = a.div_with_err(b)
+        if not out.is_finite() or (out.hi != 0 and abs(float(out)) < 1e-280):
+            return
+        exact = frac(a) / frac(b)
+        assert abs(frac(out) - exact) <= Fraction(err)
+
+    @given(st.floats(min_value=1e-100, max_value=1e100))
+    def test_sqrt_accuracy(self, x):
+        a = dd_from_float(x)
+        out, err = a.sqrt_with_err()
+        # |out^2 - x| small => |out - sqrt(x)| <= err.
+        lo, hi = frac(out) - Fraction(err), frac(out) + Fraction(err)
+        assert lo * lo <= Fraction(x) or lo < 0
+        assert hi * hi >= Fraction(x)
+
+    def test_exact_small_integers(self):
+        a = dd_from_float(3.0)
+        b = dd_from_float(4.0)
+        assert float(a + b) == 7.0
+        assert float(a * b) == 12.0
+        assert float((a * b) / b) == 3.0
+
+    def test_precision_beats_double(self):
+        # 0.1 in dd from exact decomposition keeps ~106 bits.
+        a = dd_from_sum(0.1, 0.0)
+        s = a + a + a  # 0.3 in dd
+        err = abs(frac(s) - 3 * Fraction(0.1))
+        assert err < Fraction(2) ** -100
+
+    def test_neg_abs(self):
+        d = dd_from_sum(-1.0, -1e-20)
+        assert frac(-d) == -frac(d)
+        assert frac(abs(d)) == -frac(d)
+
+    def test_operators_with_scalars(self):
+        d = dd_from_float(2.0)
+        assert float(d + 1) == 3.0
+        assert float(1 + d) == 3.0
+        assert float(d * 3) == 6.0
+        assert float(6 / d) == 3.0
+
+
+class TestComparison:
+    def test_ordering_uses_lo(self):
+        a = dd_from_sum(1.0, 1e-20)
+        b = dd_from_float(1.0)
+        assert b < a
+        assert a > b
+        assert a >= b
+        assert not a == b
+
+    def test_nan_compares_false(self):
+        assert not (DD.nan() < DD.nan())
+        assert not (DD.nan() == DD.nan())
+
+    @given(dds(), dds())
+    def test_cmp_matches_fraction(self, a, b):
+        assert (a < b) == (frac(a) < frac(b))
+        assert (a == b) == (frac(a) == frac(b))
+
+
+class TestDirectedToDouble:
+    @given(dds())
+    def test_upper_lower(self, a):
+        up, lo = a.upper_double(), a.lower_double()
+        assert Fraction(up) >= frac(a)
+        assert Fraction(lo) <= frac(a)
+        assert up == lo or up == math.nextafter(lo, math.inf)

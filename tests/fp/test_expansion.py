@@ -1,0 +1,97 @@
+"""Tests for Shewchuk expansions (repro.fp.expansion)."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp import expansion as E
+
+nice = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e120, max_value=1e120
+)
+
+
+def exact(e):
+    return sum((Fraction(c) for c in e), Fraction(0))
+
+
+@given(nice, nice)
+def test_two_sum_exact(a, b):
+    s, err = E.two_sum(a, b)
+    assert Fraction(s) + Fraction(err) == Fraction(a) + Fraction(b)
+
+
+@given(nice, nice)
+def test_two_prod_exact_in_range(a, b):
+    p = a * b
+    if not (2.0**-960 < abs(p) < 2.0**990):
+        return
+    ph, pe = E.two_prod(a, b)
+    assert Fraction(ph) + Fraction(pe) == Fraction(a) * Fraction(b)
+
+
+@given(st.lists(nice, min_size=0, max_size=8), nice)
+def test_grow_expansion_exact(xs, b):
+    e = [0.0]
+    for x in xs:
+        e = E.grow_expansion(e, x)
+    before = exact(e)
+    grown = E.grow_expansion(e, b)
+    assert exact(grown) == before + Fraction(b)
+
+
+@given(st.lists(nice, max_size=6), st.lists(nice, max_size=6))
+def test_expansion_sum_exact(xs, ys):
+    e = [0.0]
+    for x in xs:
+        e = E.grow_expansion(e, x)
+    f = [0.0]
+    for y in ys:
+        f = E.grow_expansion(f, y)
+    assert exact(E.expansion_sum(e, f)) == exact(e) + exact(f)
+
+
+# scale_expansion is exact only while every partial product stays inside the
+# TwoProd-safe range; keep magnitudes where |c * b| cannot underflow.
+_scale_comp = st.floats(min_value=1e-100, max_value=1e100).map(lambda x: x) | st.floats(
+    min_value=1e-100, max_value=1e100
+).map(lambda x: -x)
+
+
+@given(st.lists(_scale_comp, max_size=6),
+       _scale_comp.filter(lambda b: 1e-50 <= abs(b) <= 1e50))
+def test_scale_expansion_exact(xs, b):
+    e = [0.0]
+    for x in xs:
+        e = E.grow_expansion(e, x)
+    assert exact(E.scale_expansion(e, b)) == exact(e) * Fraction(b)
+
+
+@given(st.lists(nice, min_size=1, max_size=8))
+def test_expansion_sign_matches_fraction(xs):
+    e = [0.0]
+    for x in xs:
+        e = E.grow_expansion(e, x)
+    v = exact(e)
+    want = 0 if v == 0 else (1 if v > 0 else -1)
+    assert E.expansion_sign(e) == want
+
+
+def test_sign_of_cancelling_components():
+    # Sum is exactly 1e-30 despite huge intermediate magnitudes.
+    e = E.grow_expansion(E.grow_expansion([1e-30], 2.0**60), -(2.0**60))
+    assert E.expansion_sign(e) == 1
+
+
+@given(st.lists(nice, min_size=1, max_size=8))
+def test_compress_preserves_value(xs):
+    e = [0.0]
+    for x in xs:
+        e = E.grow_expansion(e, x)
+    c = E.compress(e)
+    assert exact(c) == exact(e)
+    # Largest (last) component approximates the total.
+    if exact(e) != 0:
+        assert math.copysign(1.0, c[-1]) == (1.0 if exact(e) > 0 else -1.0)

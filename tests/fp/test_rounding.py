@@ -1,0 +1,218 @@
+"""Tests for exact directed rounding (repro.fp.rounding).
+
+The oracle is exact rational arithmetic via fractions.Fraction: RU(x op y)
+must be the smallest double >= the exact result, RD the largest double <=.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import rounding as R
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+nice = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e150, max_value=1e150
+)
+nonzero_nice = nice.filter(lambda x: abs(x) > 1e-150)
+
+
+def exact_ru(value: Fraction) -> float:
+    """Smallest double >= value (reference implementation)."""
+    f = float(value)  # round-to-nearest
+    if math.isinf(f):
+        if f > 0:
+            return math.inf
+        return -math.inf if value <= Fraction(-R.MAX_FLOAT) else -R.MAX_FLOAT
+    if Fraction(f) >= value:
+        # RN landed at or above: but maybe one below is still >= value.
+        below = math.nextafter(f, -math.inf)
+        return f if Fraction(below) < value else below
+    return math.nextafter(f, math.inf)
+
+
+def exact_rd(value: Fraction) -> float:
+    return -exact_ru(-value)
+
+
+@given(nice, nice)
+def test_add_ru_matches_oracle(a, b):
+    assert R.add_ru(a, b) == exact_ru(Fraction(a) + Fraction(b))
+
+
+@given(nice, nice)
+def test_add_rd_matches_oracle(a, b):
+    assert R.add_rd(a, b) == exact_rd(Fraction(a) + Fraction(b))
+
+
+@given(nice, nice)
+def test_sub_matches_oracle(a, b):
+    v = Fraction(a) - Fraction(b)
+    assert R.sub_ru(a, b) == exact_ru(v)
+    assert R.sub_rd(a, b) == exact_rd(v)
+
+
+@given(nice, nice)
+def test_mul_brackets_oracle(a, b):
+    v = Fraction(a) * Fraction(b)
+    # In the safe range mul is exact; everywhere it must bracket.
+    assert Fraction(R.mul_ru(a, b)) >= v
+    assert Fraction(R.mul_rd(a, b)) <= v
+
+
+@given(nonzero_nice, nonzero_nice)
+def test_mul_exact_in_safe_range(a, b):
+    v = Fraction(a) * Fraction(b)
+    p = a * b
+    if 2.0**-960 < abs(p) < 2.0**990:
+        assert R.mul_ru(a, b) == exact_ru(v)
+        assert R.mul_rd(a, b) == exact_rd(v)
+
+
+@given(nice, nonzero_nice)
+def test_div_matches_oracle(a, b):
+    v = Fraction(a) / Fraction(b)
+    q = a / b
+    if q == 0.0 and a != 0.0:
+        return  # underflow branch checked separately
+    if 2.0**-960 < abs(a) < 2.0**990 or a == 0.0:
+        assert R.div_ru(a, b) == exact_ru(v)
+        assert R.div_rd(a, b) == exact_rd(v)
+    else:
+        assert Fraction(R.div_ru(a, b)) >= v
+        assert Fraction(R.div_rd(a, b)) <= v
+
+
+@given(st.floats(min_value=1e-140, max_value=1e140, allow_nan=False))
+def test_sqrt_brackets(a):
+    lo, hi = R.sqrt_rd(a), R.sqrt_ru(a)
+    assert lo <= hi
+    assert Fraction(lo) ** 2 <= Fraction(a) <= Fraction(hi) ** 2
+    # RU/RD differ by at most one ulp.
+    assert hi == lo or hi == math.nextafter(lo, math.inf)
+
+
+def test_sqrt_exact_cases():
+    assert R.sqrt_ru(4.0) == 2.0
+    assert R.sqrt_rd(4.0) == 2.0
+    assert R.sqrt_ru(0.0) == 0.0
+    assert math.isnan(R.sqrt_ru(-1.0))
+    assert math.isnan(R.sqrt_rd(-1.0))
+
+
+def test_sqrt_two_directed():
+    lo, hi = R.sqrt_rd(2.0), R.sqrt_ru(2.0)
+    assert hi == math.nextafter(lo, math.inf)
+    assert Fraction(lo) ** 2 < 2 < Fraction(hi) ** 2
+
+
+class TestEdgeCases:
+    def test_add_overflow_ru(self):
+        assert R.add_ru(R.MAX_FLOAT, R.MAX_FLOAT) == math.inf
+
+    def test_add_overflow_rd_clamps_to_max(self):
+        # RN overflows to +inf, but the true (finite) sum's RD is MAX_FLOAT.
+        assert R.add_rd(R.MAX_FLOAT, R.MAX_FLOAT) == R.MAX_FLOAT
+
+    def test_add_negative_overflow(self):
+        assert R.add_rd(-R.MAX_FLOAT, -R.MAX_FLOAT) == -math.inf
+        assert R.add_ru(-R.MAX_FLOAT, -R.MAX_FLOAT) == -R.MAX_FLOAT
+
+    def test_infinite_operands_pass_through(self):
+        assert R.add_ru(math.inf, 1.0) == math.inf
+        assert R.add_rd(math.inf, 1.0) == math.inf
+        assert R.add_rd(-math.inf, 1.0) == -math.inf
+
+    def test_nan_propagates(self):
+        for f in (R.add_ru, R.add_rd, R.mul_ru, R.mul_rd, R.div_ru, R.div_rd):
+            assert math.isnan(f(math.nan, 1.0))
+            assert math.isnan(f(1.0, math.nan))
+
+    def test_mul_underflow_is_outward(self):
+        tiny = 1e-300
+        assert R.mul_ru(tiny, tiny) >= R.ETA
+        assert R.mul_rd(tiny, tiny) >= 0.0
+        assert R.mul_rd(tiny, -tiny) <= -R.ETA
+
+    def test_div_by_zero(self):
+        assert R.div_ru(1.0, 0.0) == math.inf
+        assert R.div_ru(-1.0, 0.0) == -math.inf
+        assert math.isnan(R.div_ru(0.0, 0.0))
+
+    def test_div_underflow(self):
+        assert R.div_ru(R.ETA, 4.0) == R.ETA
+        assert R.div_rd(R.ETA, 4.0) == 0.0
+        assert R.div_rd(-R.ETA, 4.0) == -R.ETA
+
+    def test_mul_huge_conservative_but_sound(self):
+        a = 1e300
+        b = 1.0000000000000002
+        v = Fraction(a) * Fraction(b)
+        assert Fraction(R.mul_ru(a, b)) >= v
+        assert Fraction(R.mul_rd(a, b)) <= v
+
+    def test_exact_operations_do_not_widen(self):
+        assert R.add_ru(0.25, 0.5) == 0.75
+        assert R.add_rd(0.25, 0.5) == 0.75
+        assert R.mul_ru(0.5, 0.5) == 0.25
+        assert R.mul_rd(0.5, 0.5) == 0.25
+        assert R.div_ru(1.0, 4.0) == 0.25
+        assert R.div_rd(1.0, 4.0) == 0.25
+
+    def test_classic_inexact(self):
+        # 0.1 + 0.2 is inexact; RU and RD must differ by one ulp.
+        hi = R.add_ru(0.1, 0.2)
+        lo = R.add_rd(0.1, 0.2)
+        assert hi == math.nextafter(lo, math.inf)
+        assert lo <= 0.1 + 0.2 <= hi
+
+
+class TestOrdinal:
+    def test_consecutive(self):
+        assert R.float_ordinal(math.nextafter(1.0, 2.0)) == R.float_ordinal(1.0) + 1
+
+    def test_zero_crossing(self):
+        assert R.float_ordinal(0.0) == 0
+        assert R.float_ordinal(R.ETA) == 1
+        assert R.float_ordinal(-R.ETA) == -1
+
+    def test_floats_between(self):
+        assert R.floats_between(1.0, 1.0) == 1
+        assert R.floats_between(1.0, math.nextafter(1.0, 2.0)) == 2
+        assert R.floats_between(2.0, 1.0) == 0
+        assert R.floats_between(-R.ETA, R.ETA) == 3
+
+    @given(nice, nice)
+    def test_ordinal_monotone(self, a, b):
+        if a < b:
+            assert R.float_ordinal(a) < R.float_ordinal(b)
+        elif a == b:
+            assert R.float_ordinal(a) == R.float_ordinal(b) or (a == 0.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            R.float_ordinal(math.nan)
+
+
+class TestReductions:
+    @given(st.lists(nice, max_size=20))
+    def test_sum_ru_is_upper_bound(self, xs):
+        exact = sum((Fraction(x) for x in xs), Fraction(0))
+        assert Fraction(R.sum_ru(xs)) >= exact
+
+    @given(st.lists(nice, max_size=20))
+    def test_sum_abs_ru(self, xs):
+        exact = sum((abs(Fraction(x)) for x in xs), Fraction(0))
+        assert Fraction(R.sum_abs_ru(xs)) >= exact
+
+    @given(st.lists(st.tuples(nice, nice), max_size=10))
+    def test_dot_ru(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        exact = sum((Fraction(x) * Fraction(y) for x, y in pairs), Fraction(0))
+        got = R.dot_ru(xs, ys)
+        if math.isfinite(got):
+            assert Fraction(got) >= exact

@@ -1,0 +1,149 @@
+"""Tests for sound elementary functions on intervals (repro.ia.functions)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ia import Interval, icos, iexp, ifabs, ilog, isin, isqrt
+
+
+def sample(iv, n=20):
+    return [min(max(iv.lo + (iv.hi - iv.lo) * i / n, iv.lo), iv.hi)
+            for i in range(n + 1)]
+
+
+moderate = st.floats(min_value=-50.0, max_value=50.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw, lo=-50.0, hi=50.0):
+    a = draw(st.floats(min_value=lo, max_value=hi))
+    b = draw(st.floats(min_value=lo, max_value=hi))
+    return Interval(min(a, b), max(a, b))
+
+
+class TestExp:
+    @given(intervals())
+    def test_encloses_pointwise(self, iv):
+        out = iexp(iv)
+        for x in sample(iv):
+            assert out.lo <= math.exp(x) <= out.hi
+
+    def test_overflow_goes_to_inf(self):
+        out = iexp(Interval(0.0, 1000.0))
+        assert out.hi == math.inf
+        assert out.lo >= 0.0
+
+    def test_nonnegative(self):
+        assert iexp(Interval(-100.0, -1.0)).lo >= 0.0
+
+    def test_invalid_propagates(self):
+        assert not iexp(Interval.invalid()).is_valid()
+
+
+class TestLog:
+    @given(intervals(lo=1e-6, hi=1e6))
+    def test_encloses_pointwise(self, iv):
+        out = ilog(iv)
+        for x in sample(iv):
+            assert out.lo <= math.log(x) <= out.hi
+
+    def test_nonpositive_invalid(self):
+        assert not ilog(Interval(-1.0, 1.0)).is_valid()
+        assert not ilog(Interval(0.0, 1.0)).is_valid()
+
+    def test_roundtrip_widening(self):
+        iv = Interval(2.0, 3.0)
+        out = iexp(ilog(iv))
+        assert out.lo <= 2.0 and out.hi >= 3.0
+
+
+class TestTrig:
+    @given(intervals(lo=-20.0, hi=20.0))
+    def test_sin_encloses(self, iv):
+        out = isin(iv)
+        for x in sample(iv):
+            assert out.lo <= math.sin(x) <= out.hi
+
+    @given(intervals(lo=-20.0, hi=20.0))
+    def test_cos_encloses(self, iv):
+        out = icos(iv)
+        for x in sample(iv):
+            assert out.lo <= math.cos(x) <= out.hi
+
+    def test_bounded_by_unit(self):
+        out = isin(Interval(-1000.0, 1000.0))
+        assert out == Interval(-1.0, 1.0)
+
+    def test_extremum_inside(self):
+        out = isin(Interval(1.0, 2.0))  # pi/2 inside
+        assert out.hi == 1.0
+
+    def test_narrow_interval_tight(self):
+        out = isin(Interval(0.5, 0.6))
+        assert out.hi - out.lo < 0.2
+
+
+class TestFabsSqrt:
+    def test_fabs(self):
+        assert ifabs(Interval(-3.0, 2.0)) == Interval(0.0, 3.0)
+
+    def test_sqrt(self):
+        out = isqrt(Interval(4.0, 9.0))
+        assert out.lo <= 2.0 and out.hi >= 3.0
+
+
+class TestAffineElementaryFunctions:
+    """exp/log on affine forms via min-range linearization."""
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_affine_exp_sound(self, vectorized):
+        from repro.aa import AffineContext
+
+        ctx = AffineContext(k=4, vectorized=vectorized)
+        x = ctx.from_interval(0.5, 1.5)
+        out = x.exp()
+        iv = out.interval()
+        for t in sample(Interval(0.5, 1.5)):
+            assert iv.lo <= math.exp(t) <= iv.hi
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_affine_log_sound(self, vectorized):
+        from repro.aa import AffineContext
+
+        ctx = AffineContext(k=4, vectorized=vectorized)
+        x = ctx.from_interval(1.0, 4.0)
+        out = x.log()
+        iv = out.interval()
+        for t in sample(Interval(1.0, 4.0)):
+            assert iv.lo <= math.log(t) <= iv.hi
+
+    def test_affine_exp_keeps_correlation(self):
+        # exp(x) - x: the linear part of exp keeps x's symbol, so the
+        # result is tighter than the interval evaluation.
+        from repro.aa import AffineContext
+
+        ctx = AffineContext(k=8)
+        x = ctx.from_interval(0.0, 0.4)
+        aa_width = (x.exp() - x).interval().width_ru()
+        iv = Interval(0.0, 0.4)
+        ia_width = (iexp(iv) - iv).width_ru()
+        assert aa_width < ia_width
+
+    def test_affine_exp_overflow_invalid(self):
+        from repro.aa import AffineContext
+
+        ctx = AffineContext(k=4)
+        assert not ctx.from_interval(0.0, 1000.0).exp().is_valid()
+
+    def test_full_affine_exp_log(self):
+        from repro.aa import AffineContext, FullAffine
+
+        ctx = AffineContext()
+        x = FullAffine.from_center_and_symbol(ctx, 1.0, 0.1)
+        out = x.exp().log()
+        iv = out.interval()
+        assert iv.lo <= 0.9 + 1e-9 and iv.hi >= 1.1 - 1e-9

@@ -1,0 +1,190 @@
+"""Tests for repro.ia.interval — soundness against exact rational sampling."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import DecisionPolicy
+from repro.errors import AmbiguousComparisonError, SoundnessError
+from repro.ia import Interval
+
+nice = st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-1e100, max_value=1e100)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(nice)
+    b = draw(nice)
+    return Interval(min(a, b), max(a, b))
+
+
+def sample_points(iv: Interval, rng: random.Random, n=3):
+    """Exact rational points inside iv (endpoints + midpoints)."""
+    lo, hi = Fraction(iv.lo), Fraction(iv.hi)
+    pts = [lo, hi]
+    for _ in range(n):
+        t = Fraction(rng.randrange(0, 1001), 1000)
+        pts.append(lo + (hi - lo) * t)
+    return pts
+
+
+class TestConstruction:
+    def test_order_enforced(self):
+        with pytest.raises(SoundnessError):
+            Interval(2.0, 1.0)
+
+    def test_nan_becomes_invalid(self):
+        assert not Interval(math.nan, 1.0).is_valid()
+
+    def test_point(self):
+        iv = Interval.point(1.5)
+        assert iv.is_point() and iv.contains(1.5)
+
+    def test_from_constant_inexact(self):
+        iv = Interval.from_constant(0.1)
+        assert iv.contains(Fraction(1, 10))
+        assert iv.width_ru() <= 4 * math.ulp(0.1)
+
+    def test_from_constant_exact_integer(self):
+        assert Interval.from_constant(3.0).is_point()
+
+    def test_with_radius(self):
+        iv = Interval.with_radius(1.0, 0.5)
+        assert iv.lo <= 0.5 and iv.hi >= 1.5
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Interval.point(0.0).lo = 1.0
+
+
+class TestSoundArithmetic:
+    """Property: for exact points x in X, y in Y, x op y in (X op Y)."""
+
+    @given(intervals(), intervals(), st.integers(0, 2**32))
+    def test_add(self, x, y, seed):
+        rng = random.Random(seed)
+        z = x + y
+        for px in sample_points(x, rng, 2):
+            for py in sample_points(y, rng, 2):
+                assert z.contains(px + py)
+
+    @given(intervals(), intervals(), st.integers(0, 2**32))
+    def test_sub(self, x, y, seed):
+        rng = random.Random(seed)
+        z = x - y
+        for px in sample_points(x, rng, 2):
+            for py in sample_points(y, rng, 2):
+                assert z.contains(px - py)
+
+    @given(intervals(), intervals(), st.integers(0, 2**32))
+    def test_mul(self, x, y, seed):
+        rng = random.Random(seed)
+        z = x * y
+        for px in sample_points(x, rng, 2):
+            for py in sample_points(y, rng, 2):
+                assert z.contains(px * py)
+
+    @given(intervals(), intervals(), st.integers(0, 2**32))
+    def test_div(self, x, y, seed):
+        rng = random.Random(seed)
+        z = x / y
+        if not z.is_valid():
+            return
+        for px in sample_points(x, rng, 2):
+            for py in sample_points(y, rng, 2):
+                if py != 0:
+                    assert z.contains(px / py)
+
+    @given(intervals(), st.integers(0, 2**32))
+    def test_square(self, x, seed):
+        rng = random.Random(seed)
+        z = x.square()
+        for px in sample_points(x, rng, 3):
+            assert z.contains(px * px)
+
+    @given(st.floats(min_value=0, max_value=1e100), st.floats(min_value=0, max_value=1e100))
+    def test_sqrt(self, a, b):
+        iv = Interval(min(a, b), max(a, b))
+        z = iv.sqrt()
+        for p in (iv.lo, iv.hi, iv.midpoint()):
+            s = Fraction(math.sqrt(p)) if p >= 0 else None
+            # check by squaring the bounds instead of exact sqrt
+        assert Fraction(z.lo) ** 2 <= Fraction(iv.lo)
+        assert Fraction(z.hi) ** 2 >= Fraction(iv.hi)
+
+
+class TestDependencyProblem:
+    def test_x_minus_x_grows(self):
+        # The classic IA dependency problem: x - x != [0, 0].
+        x = Interval(0.0, 1.0)
+        d = x - x
+        assert d.lo == -1.0 and d.hi == 1.0
+
+
+class TestSpecials:
+    def test_mul_zero_by_entire(self):
+        z = Interval.point(0.0) * Interval.entire()
+        assert z.contains(0.0)
+
+    def test_div_by_zero_interval(self):
+        z = Interval(1.0, 2.0) / Interval(-1.0, 1.0)
+        assert z == Interval.entire()
+
+    def test_div_by_exact_zero(self):
+        assert not (Interval(1.0, 2.0) / Interval.point(0.0)).is_valid()
+
+    def test_invalid_absorbs(self):
+        bad = Interval.invalid()
+        assert not (bad + Interval.point(1.0)).is_valid()
+        assert not (Interval.point(1.0) * bad).is_valid()
+
+    def test_neg_abs(self):
+        iv = Interval(-2.0, 1.0)
+        assert (-iv) == Interval(-1.0, 2.0)
+        assert abs(iv) == Interval(0.0, 2.0)
+
+    def test_mig_mag(self):
+        iv = Interval(-2.0, 1.0)
+        assert iv.mag() == 2.0
+        assert iv.mig() == 0.0
+        assert Interval(1.0, 3.0).mig() == 1.0
+
+
+class TestLattice:
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(2, 3)) == Interval(0, 3)
+
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_min_max(self):
+        a, b = Interval(0, 2), Interval(1, 3)
+        assert a.min_with(b) == Interval(0, 2)
+        assert a.max_with(b) == Interval(1, 3)
+
+    def test_hull_of(self):
+        assert Interval.hull_of([Interval(0, 1), Interval(5, 6)]) == Interval(0, 6)
+
+
+class TestComparisons:
+    def test_definite(self):
+        assert Interval(0, 1).compare_lt(Interval(2, 3))
+        assert not Interval(2, 3).compare_lt(Interval(0, 1))
+
+    def test_ambiguous_strict_raises(self):
+        with pytest.raises(AmbiguousComparisonError):
+            Interval(0, 2).compare_lt(Interval(1, 3))
+
+    def test_ambiguous_central_decides(self):
+        assert Interval(0, 2).compare_lt(Interval(1, 3),
+                                         policy=DecisionPolicy.CENTRAL)
+
+    def test_le(self):
+        assert Interval(0, 1).compare_le(Interval(1, 2))
+        assert not Interval(1.5, 2).compare_le(Interval(0, 1))

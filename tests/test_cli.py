@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+
+
+@pytest.fixture
+def henon_file(tmp_path):
+    path = tmp_path / "henon.c"
+    path.write_text(HENON)
+    return str(path)
+
+
+class TestCompile:
+    def test_emit_c(self, henon_file, capsys):
+        assert main(["compile", henon_file]) == 0
+        out = capsys.readouterr().out
+        assert "f64a henon(" in out
+        assert "aa_mul_f64" in out
+
+    def test_emit_python(self, henon_file, capsys):
+        main(["compile", henon_file, "--emit", "python"])
+        out = capsys.readouterr().out
+        assert "_rt.mul" in out
+
+    def test_config_selection(self, henon_file, capsys):
+        main(["compile", henon_file, "--config", "ia-f64"])
+        out = capsys.readouterr().out
+        assert "interval_f64" in out
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("double f(double x) { return x; }"))
+        main(["compile", "-"])
+        assert "f64a f(" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_prints_certificate(self, henon_file, capsys):
+        assert main(["run", "--config", "f64a-dsnn", "-k", "8",
+                     henon_file, "0.3", "0.4", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "certified" in out
+        assert "enclosure" in out
+
+    def test_json_output(self, henon_file, capsys):
+        main(["run", "--json", henon_file, "0.3", "0.4", "10"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entry"] == "henon"
+        assert payload["interval"][0] <= payload["interval"][1]
+        assert payload["acc_bits"] > 0
+
+    def test_array_argument_from_json(self, tmp_path, capsys):
+        src = tmp_path / "dot.c"
+        src.write_text("""
+            double dot(double a[3], double b[3]) {
+                double s = 0.0;
+                for (int i = 0; i < 3; i++) { s = s + a[i] * b[i]; }
+                return s;
+            }
+        """)
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1.0, 2.0, 3.0]")
+        main(["run", str(src), f"@{arr}", f"@{arr}"])
+        assert "certified" in capsys.readouterr().out
+
+    def test_uncertainty_flag(self, henon_file, capsys):
+        main(["run", "--json", "--uncertainty-ulps", "1000",
+              henon_file, "0.3", "0.4", "5"])
+        wide = json.loads(capsys.readouterr().out)
+        main(["run", "--json", henon_file, "0.3", "0.4", "5"])
+        narrow = json.loads(capsys.readouterr().out)
+        assert wide["acc_bits"] < narrow["acc_bits"]
+
+
+class TestAnalyze:
+    def test_analyze_henon(self, henon_file, capsys):
+        assert main(["analyze", henon_file, "-k", "8",
+                     "--int-param", "n=20"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse candidates" in out
+        assert "prioritize(" in out
+
+    def test_analyze_rejects_interval_mode(self, henon_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", henon_file, "--config", "ia-f64"])
+
+
+class TestBench:
+    def test_bench_henon(self, capsys):
+        assert main(["bench", "henon", "--config", "ia-f64",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "certified bits" in out
+
+
+class TestErrors:
+    def test_bad_int_param(self, henon_file):
+        with pytest.raises(SystemExit):
+            main(["compile", henon_file, "--int-param", "oops"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert "repro" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Tests for shared helpers (decision policies) and symbol allocation."""
+
+import pytest
+
+from repro.aa import SymbolFactory
+from repro.common import DecisionPolicy, decide_comparison
+from repro.errors import AmbiguousComparisonError
+
+
+class TestDecideComparison:
+    def test_definite_overrides_policy(self):
+        assert decide_comparison(True, False, DecisionPolicy.STRICT, "<")
+        assert not decide_comparison(False, True, DecisionPolicy.STRICT, "<")
+
+    def test_strict_raises_on_ambiguous(self):
+        with pytest.raises(AmbiguousComparisonError):
+            decide_comparison(None, True, DecisionPolicy.STRICT, "<")
+
+    def test_central_uses_fallback(self):
+        assert decide_comparison(None, True, DecisionPolicy.CENTRAL, "<")
+        assert not decide_comparison(None, False, DecisionPolicy.CENTRAL, "<")
+
+    def test_stats_counter(self):
+        class Stats:
+            ambiguous_branches = 0
+
+        stats = Stats()
+        decide_comparison(None, True, DecisionPolicy.CENTRAL, "<", stats)
+        decide_comparison(True, True, DecisionPolicy.CENTRAL, "<", stats)
+        assert stats.ambiguous_branches == 1
+
+    def test_error_message_names_operator(self):
+        with pytest.raises(AmbiguousComparisonError, match="<="):
+            decide_comparison(None, True, DecisionPolicy.STRICT, "<=")
+
+
+class TestSymbolFactory:
+    def test_monotone_ids(self):
+        f = SymbolFactory()
+        ids = [f.fresh() for _ in range(5)]
+        assert ids == sorted(ids)
+        assert ids[0] == 1  # id 0 reserved
+
+    def test_fresh_at_congruence(self):
+        f = SymbolFactory()
+        for slot in (3, 0, 7, 3):
+            sid = f.fresh_at(slot, 8)
+            assert sid % 8 == slot
+
+    def test_fresh_at_monotone(self):
+        f = SymbolFactory()
+        prev = 0
+        for slot in (5, 1, 1, 7, 0):
+            sid = f.fresh_at(slot, 8)
+            assert sid > prev
+            prev = sid
+
+    def test_fresh_at_bad_slot(self):
+        f = SymbolFactory()
+        with pytest.raises(ValueError):
+            f.fresh_at(9, 8)
+
+    def test_peek_next(self):
+        f = SymbolFactory()
+        assert f.peek_next == 1
+        f.fresh()
+        assert f.peek_next == 2
+
+    def test_provenance_tracking(self):
+        f = SymbolFactory(track_provenance=True)
+        sid = f.fresh("input:x")
+        assert f.provenance_of(sid) == "input:x"
+        assert f.provenance_of(999) is None
+
+    def test_provenance_off_by_default(self):
+        f = SymbolFactory()
+        sid = f.fresh("input:x")
+        assert f.provenance_of(sid) is None
+
+    def test_reset(self):
+        f = SymbolFactory(track_provenance=True)
+        f.fresh("a")
+        f.reset()
+        assert f.peek_next == 1
+        assert f.count == 0

@@ -1,0 +1,68 @@
+"""Smoke tests for the package-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_compiler_exports(self):
+        assert repro.SafeGen is not None
+        assert repro.CompilerConfig is not None
+        assert callable(repro.compile_c)
+        assert repro.CompiledProgram is not None
+
+    def test_aa_exports(self):
+        assert repro.AffineForm is not None
+        assert repro.AffineContext is not None
+        assert repro.FullAffine is not None
+        assert repro.PlacementPolicy is not None
+        assert repro.FusionPolicy is not None
+
+    def test_ia_exports(self):
+        assert repro.Interval is not None
+        assert repro.IntervalDD is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.DoesNotExist
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestErrorsHierarchy:
+    def test_all_subclass_repro_error(self):
+        from repro.errors import (
+            AnalysisError,
+            CompileError,
+            ParseError,
+            ReproError,
+            SoundnessError,
+            TypeCheckError,
+            UnsupportedFeatureError,
+        )
+
+        for exc in (ParseError, TypeCheckError, CompileError, AnalysisError,
+                    SoundnessError, UnsupportedFeatureError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(UnsupportedFeatureError, CompileError)
+
+    def test_parse_error_location(self):
+        from repro.errors import ParseError
+
+        err = ParseError("bad token", line=3, col=7)
+        assert "line 3" in str(err)
+        assert err.line == 3 and err.col == 7
+
+
+class TestOneLinerWorkflow:
+    def test_readme_quickstart_works(self):
+        program = repro.compile_c(
+            "double f(double x) { return x * x - x; }", "f64a-dsnn", k=8)
+        result = program(0.5)
+        from fractions import Fraction
+
+        assert result.value.contains(Fraction(-1, 4))
+        assert result.acc_bits() > 40
+        assert "aa_mul_f64" in program.c_source
