@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-accuracy examples clean
+.PHONY: install test verify test-slow bench bench-accuracy bench-smoke \
+	examples clean
 
 install:
 	pip install -e . || ( \
@@ -12,6 +13,23 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 verification: the full test suite against the in-tree sources
+# (no install needed).
+verify:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest -x -q
+
+# The deliberately-hanging timeout/retry tests (deselected by default).
+test-slow:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest -q -m slow tests/
+
+# Smoke-test the service layer: one tiny parallel batch through the
+# compile cache + process-pool engine.
+bench-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro batch \
+	  examples/jobs_smoke.json --jobs 2 --cache-dir .repro-cache \
+	  --stats .repro-cache/stats.json -o /dev/null
+	@cat .repro-cache/stats.json
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:
@@ -27,5 +45,5 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results \
-	  test_output.txt bench_output.txt
+	  .repro-cache test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -21,7 +21,7 @@ from repro.bench import (
     float_baseline_time,
     format_table,
     pareto_front,
-    run_config,
+    run_sweep,
 )
 
 from conftest import emit
@@ -30,15 +30,15 @@ K_VALUES = [8, 16, 32, 48]
 
 
 @pytest.fixture(scope="module")
-def fig8_results(workloads, results_dir):
+def fig8_results(workloads, results_dir, bench_jobs):
     all_rows = {}
     for name, w in workloads.items():
         base = float_baseline_time(w)
-        results = []
-        for config in FIG8_CONFIGS:
-            for k in K_VALUES:
-                results.append(
-                    run_config(w, config, k=k, repeats=2, baseline_s=base))
+        # jobs=1 is the plain serial loop; --jobs N fans the (config, k)
+        # points out over the service layer's process pool — same values,
+        # same ordering.
+        results = run_sweep(w, FIG8_CONFIGS, K_VALUES, repeats=2,
+                            baseline_s=base, jobs=bench_jobs)
         all_rows[name] = results
         text = format_table(
             [r.row() for r in results],

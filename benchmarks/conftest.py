@@ -33,6 +33,20 @@ def bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "quick")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", type=int,
+        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        help="run sweep points in parallel on N worker processes "
+             "(through the repro.service batch engine); also settable via "
+             "REPRO_BENCH_JOBS")
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(request) -> int:
+    return request.config.getoption("--jobs")
+
+
 def scale_sizes() -> dict:
     return dict(SCALES[bench_scale()])
 

@@ -37,10 +37,16 @@ __all__ = [
 
 def __getattr__(name: str):
     # Lazy re-exports so `import repro` stays cheap and avoids import cycles.
-    if name in {"SafeGen", "CompilerConfig", "compile_c", "CompiledProgram"}:
+    if name in {"SafeGen", "CompilerConfig", "compile_c", "CompiledProgram",
+                "BatchCompiler"}:
         from . import compiler
 
         return getattr(compiler, name)
+    if name in {"CompileService", "BatchEngine", "CompileJob", "RunJob",
+                "JobResult", "ServiceStats"}:
+        from . import service
+
+        return getattr(service, name)
     if name in {
         "AffineForm",
         "AffineContext",

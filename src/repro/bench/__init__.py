@@ -20,6 +20,7 @@ from .runner import (
     pareto_front,
     result_accuracy,
     run_config,
+    run_sweep,
 )
 from .workloads import Workload, make_workload
 
@@ -50,6 +51,7 @@ __all__ = [
     "print_results",
     "result_accuracy",
     "run_config",
+    "run_sweep",
     "sor",
     "write_csv",
 ]

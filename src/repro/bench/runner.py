@@ -8,6 +8,7 @@ same interpreter (runtime mode ``float``).
 
 from __future__ import annotations
 
+import math
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -17,7 +18,8 @@ from ..aa import acc_bits
 from ..compiler import CompilerConfig, SafeGen
 from .workloads import Workload
 
-__all__ = ["BenchResult", "run_config", "float_baseline_time", "pareto_front"]
+__all__ = ["BenchResult", "run_config", "run_sweep", "float_baseline_time",
+           "pareto_front"]
 
 
 @dataclass
@@ -41,13 +43,17 @@ class BenchResult:
         return self.runtime_s / self.baseline_s
 
     def row(self) -> Dict[str, Any]:
+        # slowdown is NaN when no baseline was measured; emit None (JSON
+        # null) instead of letting round(nan, 1) leak NaN into reports.
+        slowdown = self.slowdown
         return {
             "benchmark": self.benchmark,
             "config": self.config,
             "k": self.k,
             "acc_bits": round(self.acc_bits, 2),
             "runtime_ms": round(self.runtime_s * 1e3, 3),
-            "slowdown": round(self.slowdown, 1),
+            "compile_s": round(self.compile_s, 4),
+            "slowdown": None if math.isnan(slowdown) else round(slowdown, 1),
         }
 
 
@@ -121,6 +127,68 @@ def run_config(workload: Workload,
         compile_s=compile_s,
         analysis=str(prog.analysis_report) if prog.analysis_report else None,
     )
+
+
+def run_sweep(workload: Workload,
+              configs: List[Union[str, CompilerConfig]],
+              ks: List[int],
+              repeats: int = 3,
+              baseline_s: Optional[float] = None,
+              jobs: int = 1,
+              timeout_s: Optional[float] = None,
+              retries: int = 0,
+              cache_dir: Optional[str] = None) -> List[BenchResult]:
+    """Measure every (config, k) point of a sweep, optionally in parallel.
+
+    With ``jobs <= 1`` this is exactly the serial
+    ``for config: for k: run_config(...)`` loop (same code path per point);
+    with ``jobs > 1`` the points run on a process pool through the service
+    layer.  Either way the result list is ordered configs-major, k-minor,
+    and the computed values (accuracy, enclosures) are identical — only
+    wall-clock measurements vary run to run.
+    """
+    from ..service import BatchEngine, RunJob  # lazy: service imports bench
+
+    if baseline_s is None:
+        baseline_s = float_baseline_time(workload)
+    batch = []
+    for config in configs:
+        for k in ks:
+            if isinstance(config, str):
+                cfg = CompilerConfig.from_string(
+                    config, k=k,
+                    int_params=dict(workload.program.int_params))
+            else:
+                cfg = config.with_k(k)
+            batch.append(RunJob(
+                source=workload.program.source,
+                config=cfg,
+                k=k,
+                entry=workload.program.entry,
+                inputs=dict(workload.inputs),
+                repeats=repeats,
+                tag={"benchmark": workload.name},
+            ))
+    engine = BatchEngine(jobs=jobs, timeout_s=timeout_s, retries=retries,
+                         cache_dir=cache_dir)
+    results = []
+    for job_result in engine.run(batch):
+        if not job_result.ok:
+            raise RuntimeError(
+                f"sweep point {job_result.index} failed: {job_result.error}")
+        v = job_result.value
+        results.append(BenchResult(
+            benchmark=workload.name,
+            config=v["config"],
+            k=v["k"],
+            acc_bits=v["acc_bits"] if v["acc_bits"] is not None
+            else float("nan"),
+            runtime_s=v["runtime_s"],
+            baseline_s=baseline_s,
+            compile_s=v["compile_s"],
+            analysis=v["analysis"],
+        ))
+    return results
 
 
 def pareto_front(results: List[BenchResult]) -> List[BenchResult]:

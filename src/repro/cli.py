@@ -7,6 +7,15 @@ conveniences this reproduction can offer because the output is runnable:
     python -m repro run prog.c --config f64a-dsnn -k 8 -- 0.3 0.4 100
     python -m repro analyze prog.c -k 8
     python -m repro bench henon --config f64a-dspv -k 16
+
+Service-layer additions: every subcommand accepts ``--cache-dir DIR`` to
+reuse compilations across invocations (content-addressed on-disk cache);
+``compile`` takes several files at once with ``--jobs N``; ``bench`` sweeps
+``--k-sweep 8,16,32`` in parallel with ``--jobs N``; and
+
+    python -m repro batch jobs.json --jobs 4 --stats stats.json
+
+executes a JSON manifest of compile/run jobs through the batch engine.
 """
 
 from __future__ import annotations
@@ -44,13 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=VALUE",
                        help="concrete value for an integer parameter "
                             "(lets the analysis unroll its loops)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed compile cache directory "
+                            "(reused across invocations)")
 
     p_compile = sub.add_parser("compile",
                                help="print the transformed (sound) C")
     common(p_compile)
-    p_compile.add_argument("file", help="input C file ('-' for stdin)")
+    p_compile.add_argument("files", nargs="+", metavar="file",
+                           help="input C file(s) ('-' for stdin)")
     p_compile.add_argument("--emit", choices=["c", "python", "both"],
                            default="c")
+    p_compile.add_argument("--jobs", type=int, default=1,
+                           help="compile files in parallel on N processes")
 
     p_run = sub.add_parser("run", help="compile and execute on inputs")
     common(p_run)
@@ -71,6 +86,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("name", choices=["henon", "sor", "luf", "fgm"])
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--k-sweep", default=None, metavar="K1,K2,...",
+                         help="measure a comma-separated list of k values "
+                              "instead of a single -k point")
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="run sweep points in parallel on N processes")
+
+    p_batch = sub.add_parser(
+        "batch", help="execute a JSON manifest of compile/run jobs")
+    p_batch.add_argument("manifest",
+                         help="jobs file: a list of job entries, or "
+                              "{'defaults': {...}, 'jobs': [...]}")
+    p_batch.add_argument("--jobs", type=int, default=1,
+                         help="process-pool width (1 = serial)")
+    p_batch.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_batch.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-job wall-clock timeout (pool mode only)")
+    p_batch.add_argument("--retries", type=int, default=0,
+                         help="extra attempts for failed/timed-out jobs")
+    p_batch.add_argument("--stats", default=None, metavar="FILE",
+                         help="write ServiceStats JSON here")
+    p_batch.add_argument("-o", "--output", default=None, metavar="FILE",
+                         help="write job results JSON here (default stdout)")
     return parser
 
 
@@ -106,19 +143,46 @@ def _parse_arg(text: str):
         return float(text)
 
 
+def _compile_one(ns, source: str):
+    """Compile through the service layer when a cache dir is configured,
+    else directly."""
+    cfg = _config(ns)
+    if getattr(ns, "cache_dir", None):
+        from .service import CompileService
+
+        return CompileService(cache_dir=ns.cache_dir).compile(
+            source, cfg, entry=ns.entry)
+    return SafeGen(cfg).compile(source, entry=ns.entry)
+
+
 def cmd_compile(ns) -> int:
-    prog = SafeGen(_config(ns)).compile(_read_source(ns.file), entry=ns.entry)
-    if ns.emit in ("c", "both"):
-        print(prog.c_source)
-    if ns.emit in ("python", "both"):
-        print(prog.python_source)
-    if prog.analysis_report is not None:
-        print(f"// {prog.analysis_report}", file=sys.stderr)
+    sources = [_read_source(f) for f in ns.files]
+    if len(sources) == 1 and ns.jobs <= 1:
+        programs = [_compile_one(ns, sources[0])]
+    else:
+        from .compiler import BatchCompiler
+        from .service import CompileJob
+
+        batch = BatchCompiler(jobs=ns.jobs, cache_dir=ns.cache_dir)
+        programs = batch.compile_many([
+            CompileJob(source=src, config=_config(ns), k=ns.k,
+                       entry=ns.entry)
+            for src in sources
+        ])
+    for path, prog in zip(ns.files, programs):
+        if len(programs) > 1:
+            print(f"// ==== {path} ====")
+        if ns.emit in ("c", "both"):
+            print(prog.c_source)
+        if ns.emit in ("python", "both"):
+            print(prog.python_source)
+        if prog.analysis_report is not None:
+            print(f"// {prog.analysis_report}", file=sys.stderr)
     return 0
 
 
 def cmd_run(ns) -> int:
-    prog = SafeGen(_config(ns)).compile(_read_source(ns.file), entry=ns.entry)
+    prog = _compile_one(ns, _read_source(ns.file))
     args = [_parse_arg(a) for a in ns.args]
     result = prog(*args, uncertainty_ulps=ns.uncertainty_ulps)
     if ns.json:
@@ -186,10 +250,33 @@ def cmd_analyze(ns) -> int:
 
 
 def cmd_bench(ns) -> int:
-    from .bench import float_baseline_time, make_workload, run_config
+    from .bench import (
+        float_baseline_time,
+        format_table,
+        make_workload,
+        run_config,
+        run_sweep,
+    )
 
     w = make_workload(ns.name, seed=ns.seed)
     base = float_baseline_time(w)
+    if ns.k_sweep:
+        try:
+            ks = [int(k) for k in ns.k_sweep.split(",") if k]
+        except ValueError:
+            raise SystemExit(
+                f"--k-sweep expects comma-separated integers, "
+                f"got {ns.k_sweep!r}")
+        if not ks:
+            raise SystemExit("--k-sweep expects at least one k value")
+        results = run_sweep(w, [ns.config], ks, repeats=ns.repeats,
+                            baseline_s=base, jobs=ns.jobs,
+                            cache_dir=ns.cache_dir)
+        print(format_table(
+            [r.row() for r in results],
+            title=f"{ns.name}: {ns.config} over k={ks} "
+                  f"(baseline {base * 1e3:.3f} ms, jobs={ns.jobs})"))
+        return 0
     r = run_config(w, ns.config, k=ns.k, repeats=ns.repeats, baseline_s=base)
     print(f"{r.benchmark} [{r.config} k={r.k}]")
     print(f"  certified bits : {r.acc_bits:.2f}")
@@ -200,6 +287,30 @@ def cmd_bench(ns) -> int:
     return 0
 
 
+def cmd_batch(ns) -> int:
+    from .service import BatchEngine, jobs_from_json
+
+    try:
+        batch = jobs_from_json(ns.manifest)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load jobs manifest {ns.manifest!r}: {exc}")
+    engine = BatchEngine(jobs=ns.jobs, timeout_s=ns.timeout,
+                         retries=ns.retries, cache_dir=ns.cache_dir)
+    results = engine.run(batch)
+    payload = json.dumps([r.to_row() for r in results], indent=2,
+                         default=str)
+    if ns.output:
+        with open(ns.output, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    if ns.stats:
+        engine.stats.dump_json(ns.stats)
+    print(f"// {engine.stats}", file=sys.stderr)
+    failed = sum(1 for r in results if not r.ok)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     ns = _build_parser().parse_args(argv)
     handler = {
@@ -207,6 +318,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "analyze": cmd_analyze,
         "bench": cmd_bench,
+        "batch": cmd_batch,
     }[ns.command]
     return handler(ns)
 

@@ -14,13 +14,20 @@ from .codegen_py import generate_python
 from .config import CompilerConfig
 from .constfold import fold_constants
 from .cparser import parse
-from .driver import CompiledProgram, ProgramResult, SafeGen, compile_c
+from .driver import (
+    BatchCompiler,
+    CompiledProgram,
+    ProgramResult,
+    SafeGen,
+    compile_c,
+)
 from .runtime import Runtime
 from .simd import lower_simd
 from .tac import to_tac
 from .typecheck import typecheck
 
 __all__ = [
+    "BatchCompiler",
     "CompiledProgram",
     "CompilerConfig",
     "ProgramResult",

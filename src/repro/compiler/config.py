@@ -9,8 +9,10 @@ comparison of Fig. 9.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..aa import AffineContext, FusionPolicy, PlacementPolicy, Precision
 from ..common import DecisionPolicy
@@ -138,6 +140,76 @@ class CompilerConfig:
 
     def with_k(self, k: int) -> "CompilerConfig":
         return replace(self, k=k)
+
+    # -- serialization / hashing -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict of every field (enums become their string values).
+
+        Round-trips through :meth:`from_dict`; the canonical encoding of this
+        dict is what :meth:`cache_key` hashes, so adding a field here changes
+        every cache key (as it must).
+        """
+        return {
+            "mode": self.mode,
+            "impl": self.impl,
+            "k": self.k,
+            "precision": self.precision.value,
+            "placement": self.placement.value,
+            "fusion": self.fusion.value,
+            "prioritize": self.prioritize,
+            "vectorize": self.vectorize,
+            "decision_policy": self.decision_policy.value,
+            "seed": self.seed,
+            "unroll": self.unroll,
+            "unroll_budget": self.unroll_budget,
+            "solver": self.solver,
+            "ilp_time_limit": self.ilp_time_limit,
+            "vote_threshold": self.vote_threshold,
+            "int_params": {str(k): int(v)
+                           for k, v in sorted(self.int_params.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompilerConfig":
+        """Inverse of :meth:`to_dict`; missing keys take the field defaults."""
+        data = dict(data)
+        enums = {
+            "precision": Precision,
+            "placement": PlacementPolicy,
+            "fusion": FusionPolicy,
+            "decision_policy": DecisionPolicy,
+        }
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            if name in enums and not isinstance(value, enums[name]):
+                value = enums[name](value)
+            kwargs[name] = value
+        unknown = set(kwargs) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown CompilerConfig fields: {sorted(unknown)}")
+        return cls(**kwargs)
+
+    def cache_key(self, source: str = "", entry: Optional[str] = None,
+                  version: Optional[str] = None) -> str:
+        """Stable content-addressed key for a compilation of ``source``.
+
+        SHA-256 over the canonical JSON of (source, every config field —
+        including ``k`` and ``int_params`` — entry name, and the package
+        version), so any input that can change the generated program changes
+        the key.  With the default ``source=""`` it hashes the configuration
+        alone, which is handy for experiment manifests.
+        """
+        if version is None:
+            from .. import __version__ as version
+        payload = {
+            "source": source,
+            "config": self.to_dict(),
+            "entry": entry,
+            "version": version,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # -- runtime construction --------------------------------------------------------
 

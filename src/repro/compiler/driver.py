@@ -33,7 +33,8 @@ from .simd import lower_simd
 from .tac import to_tac
 from .typecheck import typecheck
 
-__all__ = ["SafeGen", "CompiledProgram", "ProgramResult", "compile_c"]
+__all__ = ["SafeGen", "CompiledProgram", "ProgramResult", "compile_c",
+           "BatchCompiler"]
 
 
 @dataclass
@@ -266,6 +267,88 @@ class SafeGen:
             feasible=not assignment.is_empty() and annotated > 0,
         )
         return pragmas, report
+
+
+class BatchCompiler:
+    """SafeGen behind the service layer: cached, optionally parallel.
+
+    A thin facade over :class:`repro.service.CompileService` +
+    :class:`repro.service.BatchEngine` for callers that think in terms of
+    the compiler rather than the service: ``compile`` is a drop-in cached
+    :meth:`SafeGen.compile`, ``compile_many`` fans a list of compilation
+    requests out over a process pool (``jobs > 1``) and returns
+    :class:`CompiledProgram` objects in request order.  Parallel workers
+    write through to the shared cache entries, so the parent's cache is warm
+    afterwards.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 maxsize: int = 128) -> None:
+        from ..service import CompileService
+
+        self.jobs = jobs
+        self.service = CompileService(cache_dir=cache_dir, maxsize=maxsize)
+
+    @property
+    def stats(self):
+        return self.service.stats
+
+    def compile(self, source: str,
+                config: Optional[str | CompilerConfig] = None,
+                k: int = 16, entry: Optional[str] = None,
+                **overrides) -> CompiledProgram:
+        return self.service.compile(source, config, k=k, entry=entry,
+                                    **overrides)
+
+    def compile_many(self, requests: List[Any],
+                     jobs: Optional[int] = None) -> List[CompiledProgram]:
+        """Compile a batch.  Each request is a C source string, a
+        ``(source, config)`` / ``(source, config, k)`` tuple, or a
+        :class:`repro.service.CompileJob`."""
+        from ..service import BatchEngine, CacheEntry, CompileJob
+
+        batch: List[CompileJob] = []
+        for req in requests:
+            if isinstance(req, CompileJob):
+                batch.append(req)
+            elif isinstance(req, str):
+                batch.append(CompileJob(source=req))
+            else:
+                source, config, *rest = req
+                batch.append(CompileJob(source=source, config=config,
+                                        k=rest[0] if rest else 16))
+        n_jobs = self.jobs if jobs is None else jobs
+        engine = BatchEngine(jobs=n_jobs, service=self.service)
+        results = engine.run(batch)
+        programs: List[CompiledProgram] = []
+        for job, result in zip(batch, results):
+            if not result.ok:
+                raise CompileError(
+                    f"batch compile failed for job {result.index}: "
+                    f"{result.error}")
+            value = result.value
+            cfg = job.resolved_config()
+            cache_entry = CacheEntry(
+                key=cfg.cache_key(job.source, entry=job.entry),
+                entry=value["entry"],
+                config=cfg.to_dict(),
+                unit_blob=value["unit_blob"],
+                python_source=value["python_source"],
+                c_source=value["c_source"],
+                priority_map=dict(value["priority_map"]),
+                report=None,
+                compile_s=value["compile_s"],
+            )
+            # Warm the parent cache with what the workers produced; prefer
+            # an existing entry (it carries the full analysis report).
+            existing = self.service.cache.get(cache_entry.key) \
+                if cache_entry.key in self.service.cache else None
+            if existing is not None:
+                cache_entry = existing
+            else:
+                self.service.cache.put(cache_entry.key, cache_entry)
+            programs.append(self.service.program_from_entry(cache_entry, cfg))
+        return programs
 
 
 def compile_c(source: str, config: Optional[str | CompilerConfig] = None,

@@ -1,0 +1,43 @@
+"""Compilation service layer: compile cache + parallel batch execution.
+
+This package turns the one-shot :class:`repro.SafeGen` compiler into a
+reusable service:
+
+* :class:`CompileService` — cached compilation front-end (in-memory LRU over
+  an optional content-addressed on-disk store).
+* :class:`BatchEngine` — run lists of :class:`CompileJob` / :class:`RunJob`
+  serially or on a process pool, with per-job timeout and bounded retry,
+  returning deterministically-ordered :class:`JobResult` lists.
+* :class:`ServiceStats` — hit/miss/eviction and job counters, dumpable as
+  JSON.
+
+See DESIGN.md ("Service layer") for the cache-key recipe and the batching
+model.
+"""
+
+from .cache import CacheEntry, CompileCache
+from .engine import BatchEngine
+from .jobs import (
+    CompileJob,
+    JobResult,
+    RunJob,
+    execute_job,
+    job_from_dict,
+    jobs_from_json,
+)
+from .service import CompileService
+from .stats import ServiceStats
+
+__all__ = [
+    "BatchEngine",
+    "CacheEntry",
+    "CompileCache",
+    "CompileJob",
+    "CompileService",
+    "JobResult",
+    "RunJob",
+    "ServiceStats",
+    "execute_job",
+    "job_from_dict",
+    "jobs_from_json",
+]

@@ -1,0 +1,158 @@
+"""Content-addressed compile cache: in-memory LRU over an optional disk store.
+
+The key is ``CompilerConfig.cache_key(source, entry)`` — a SHA-256 over the
+canonicalized C source, every config field (k, policies, int-params, ...),
+the entry name, and ``repro.__version__`` — so a hit can only be served for
+a byte-identical compilation question asked by the same code version.
+
+What we store is everything needed to rebuild a :class:`CompiledProgram`
+without re-running the pipeline: the pickled (already TAC-transformed)
+translation unit, the generated Python and C sources, the priority map and
+the analysis report.  Rebuilding is three orders of magnitude cheaper than
+compiling (one ``pickle.loads`` plus one ``exec`` of the generated module).
+
+The disk store is sharded two hex characters deep and written atomically
+(temp file + ``os.replace``), so concurrent worker processes can share one
+cache directory without locks: the worst case is two processes doing the
+same compile and one rename winning, which is harmless because both wrote
+identical content under a content-addressed name.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .stats import ServiceStats
+
+__all__ = ["CacheEntry", "CompileCache"]
+
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+@dataclass
+class CacheEntry:
+    """One cached compilation, in rebuild-ready form."""
+
+    key: str
+    entry: str                 # resolved entry-function name
+    config: Dict[str, Any]     # CompilerConfig.to_dict() of the compile
+    unit_blob: bytes           # pickled TAC-form TranslationUnit
+    python_source: str
+    c_source: str
+    priority_map: Dict[int, str] = field(default_factory=dict)
+    report: Any = None         # AnalysisReport or None
+    compile_s: float = 0.0     # what the original compile cost
+
+
+class CompileCache:
+    """LRU of :class:`CacheEntry` with an optional on-disk second level.
+
+    ``get``/``put`` never raise on disk trouble: a corrupt or unreadable
+    file is treated as a miss (and deleted best-effort), a failed write is
+    ignored — the cache is an accelerator, not a source of truth.
+    """
+
+    def __init__(self, maxsize: int = 128,
+                 cache_dir: Optional[str] = None,
+                 stats: Optional[ServiceStats] = None) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.cache_dir = cache_dir
+        self.stats = stats if stats is not None else ServiceStats()
+        self._mem: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem or self._disk_path_if_exists(key) is not None
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._mem.get(key)
+        if entry is not None:
+            self._mem.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.compile_s_saved += entry.compile_s
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self._mem_put(key, entry)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self.stats.compile_s_saved += entry.compile_s
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self._mem_put(key, entry)
+        self._disk_put(key, entry)
+
+    def clear(self) -> None:
+        self._mem.clear()
+
+    # -- in-memory LRU ---------------------------------------------------------------
+
+    def _mem_put(self, key: str, entry: CacheEntry) -> None:
+        self._mem[key] = entry
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.maxsize:
+            self._mem.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk store ------------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, key[:2], key + ".pkl")
+
+    def _disk_path_if_exists(self, key: str) -> Optional[str]:
+        path = self._disk_path(key)
+        return path if path is not None and os.path.exists(path) else None
+
+    def _disk_get(self, key: str) -> Optional[CacheEntry]:
+        path = self._disk_path_if_exists(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if not isinstance(entry, CacheEntry) or entry.key != key:
+                raise ValueError("cache file does not match its key")
+            return entry
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, entry: CacheEntry) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=_PICKLE_PROTO)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            pass

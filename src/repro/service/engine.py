@@ -1,0 +1,240 @@
+"""Parallel batch execution on a process pool, with timeout and retry.
+
+Design notes:
+
+* **Determinism.** Results come back as a list indexed exactly like the
+  submitted batch, whatever order workers finish in, and every worker runs
+  the same ``execute_job`` code as the serial path — so a parallel batch
+  produces the same values as a serial one, just faster.
+* **Per-job wall-clock timeout.** At most ``jobs`` futures are in flight at
+  a time, so a submitted future starts essentially immediately and its
+  deadline can be anchored at submission.  A worker stuck past its deadline
+  cannot be cancelled through ``concurrent.futures``, so the engine marks
+  the job timed out, *replaces the whole pool* (terminating the stuck
+  process), and resubmits the innocent in-flight jobs without charging them
+  an attempt.
+* **Bounded retry.** A job that raises or times out is resubmitted up to
+  ``retries`` extra times; transient failures (a worker OOM-killed, a
+  flaky filesystem) get a second chance, deterministic failures surface as
+  a failed :class:`JobResult` carrying the formatted exception.
+* **Caching.** Each worker process keeps a process-local
+  :class:`CompileService`; give the engine a ``cache_dir`` (or a service
+  with one) and all workers share compilations through the content-addressed
+  disk store.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .jobs import CompileJob, JobResult, execute_job
+from .stats import ServiceStats
+
+__all__ = ["BatchEngine"]
+
+# Per-worker-process service, created by the pool initializer.
+_WORKER_SERVICE = None
+
+
+def _pool_init(cache_dir: Optional[str], maxsize: int) -> None:
+    global _WORKER_SERVICE
+    from .service import CompileService
+
+    _WORKER_SERVICE = CompileService(cache_dir=cache_dir, maxsize=maxsize)
+
+
+def _pool_execute(payload: dict) -> Tuple[dict, float, ServiceStats]:
+    # Ship the cache-counter delta back with the result so the parent's
+    # stats reflect what happened inside the worker processes.
+    from dataclasses import fields, replace
+
+    before = replace(_WORKER_SERVICE.stats)
+    t0 = time.perf_counter()
+    value = execute_job(payload, _WORKER_SERVICE)
+    elapsed = time.perf_counter() - t0
+    after = _WORKER_SERVICE.stats
+    delta = ServiceStats(**{
+        f.name: getattr(after, f.name) - getattr(before, f.name)
+        for f in fields(ServiceStats)})
+    return value, elapsed, delta
+
+
+class BatchEngine:
+    """Run a batch of Compile/Run jobs; see the module docstring."""
+
+    #: how often (seconds) in-flight futures are polled for deadlines
+    _TICK = 0.05
+
+    def __init__(self, jobs: int = 1,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 0,
+                 cache_dir: Optional[str] = None,
+                 maxsize: int = 128,
+                 service=None,
+                 stats: Optional[ServiceStats] = None) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.maxsize = maxsize
+        self.service = service
+        if service is not None and cache_dir is None:
+            cache_dir = service.cache.cache_dir
+        self.cache_dir = cache_dir
+        if stats is not None:
+            self.stats = stats
+        elif service is not None:
+            self.stats = service.stats
+        else:
+            self.stats = ServiceStats()
+
+    # -- entry point -----------------------------------------------------------------
+
+    def run(self, batch: Sequence[CompileJob]) -> List[JobResult]:
+        payloads = [job.to_payload() for job in batch]
+        if self.jobs <= 1:
+            return self._run_serial(payloads)
+        return self._run_pool(payloads)
+
+    # -- serial path -----------------------------------------------------------------
+
+    def _run_serial(self, payloads: List[dict]) -> List[JobResult]:
+        # In-process execution cannot preempt a running job, so timeouts are
+        # only enforced on the pool path; retries still apply.
+        service = self.service
+        if service is None:
+            from .service import CompileService
+
+            service = CompileService(cache_dir=self.cache_dir,
+                                     maxsize=self.maxsize,
+                                     stats=self.stats)
+            self.service = service
+        results: List[JobResult] = []
+        for index, payload in enumerate(payloads):
+            attempt = 1
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    value = execute_job(payload, service)
+                except Exception:
+                    if attempt <= self.retries:
+                        attempt += 1
+                        self.stats.jobs_retried += 1
+                        continue
+                    self.stats.jobs_failed += 1
+                    results.append(JobResult(
+                        index=index, kind=payload["kind"], ok=False,
+                        error=traceback.format_exc(limit=8),
+                        attempts=attempt,
+                        elapsed_s=time.perf_counter() - t0))
+                    break
+                self.stats.jobs_run += 1
+                results.append(JobResult(
+                    index=index, kind=payload["kind"], ok=True, value=value,
+                    attempts=attempt,
+                    elapsed_s=time.perf_counter() - t0))
+                break
+        return results
+
+    # -- pool path -------------------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_pool_init,
+            initargs=(self.cache_dir, self.maxsize),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        # shutdown(wait=False) alone leaves a hung worker running forever;
+        # terminate whatever processes the executor still tracks.
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=2.0)
+
+    def _run_pool(self, payloads: List[dict]) -> List[JobResult]:
+        n = len(payloads)
+        results: List[Optional[JobResult]] = [None] * n
+        queue = deque((i, 1) for i in range(n))  # (index, attempt number)
+        pool = self._new_pool()
+        inflight: Dict[object, Tuple[int, int, Optional[float]]] = {}
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.jobs:
+                    index, attempt = queue.popleft()
+                    future = pool.submit(_pool_execute, payloads[index])
+                    deadline = (time.monotonic() + self.timeout_s
+                                if self.timeout_s else None)
+                    inflight[future] = (index, attempt, deadline)
+                done, _ = wait(set(inflight), timeout=self._TICK,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, attempt, _ = inflight.pop(future)
+                    try:
+                        value, elapsed, worker_delta = future.result()
+                        self.stats.merge(worker_delta)
+                    except Exception as exc:
+                        if attempt <= self.retries:
+                            queue.append((index, attempt + 1))
+                            self.stats.jobs_retried += 1
+                        else:
+                            self.stats.jobs_failed += 1
+                            results[index] = JobResult(
+                                index=index, kind=payloads[index]["kind"],
+                                ok=False, attempts=attempt,
+                                error="".join(traceback.format_exception_only(
+                                    type(exc), exc)).strip())
+                        continue
+                    self.stats.jobs_run += 1
+                    results[index] = JobResult(
+                        index=index, kind=payloads[index]["kind"], ok=True,
+                        value=value, attempts=attempt, elapsed_s=elapsed)
+                pool = self._reap_expired(pool, inflight, queue, results,
+                                          payloads)
+        finally:
+            self._kill_pool(pool)
+        return [r for r in results if r is not None]
+
+    def _reap_expired(self, pool, inflight, queue, results, payloads):
+        """Handle in-flight jobs past their deadline; returns the (possibly
+        replaced) pool."""
+        if not inflight:
+            return pool
+        now = time.monotonic()
+        expired = [f for f, (_, _, deadline) in inflight.items()
+                   if deadline is not None and now > deadline
+                   and not f.done()]
+        if not expired:
+            return pool
+        expired_set = set(expired)
+        for future, (index, attempt, _) in inflight.items():
+            if future in expired_set:
+                self.stats.jobs_timed_out += 1
+                if attempt <= self.retries:
+                    queue.append((index, attempt + 1))
+                    self.stats.jobs_retried += 1
+                else:
+                    self.stats.jobs_failed += 1
+                    results[index] = JobResult(
+                        index=index, kind=payloads[index]["kind"], ok=False,
+                        attempts=attempt, timed_out=True,
+                        error=f"timed out after {self.timeout_s}s")
+            else:
+                # Innocent bystanders die with the pool; resubmit them
+                # without charging an attempt.
+                queue.appendleft((index, attempt))
+        inflight.clear()
+        self._kill_pool(pool)
+        return self._new_pool()

@@ -1,0 +1,260 @@
+"""Job descriptions for the batch engine, and how to execute one.
+
+Jobs are deliberately plain data (strings, numbers, dicts) so they cross
+process boundaries and JSON files unchanged:
+
+* :class:`CompileJob` — compile C source under one configuration.
+* :class:`RunJob` — compile and execute on concrete inputs, with repeats
+  (this is the shape of one benchmark point).
+
+``execute_job`` is the single implementation used by the serial path, by
+every pool worker, and by the CLI ``batch`` subcommand, which is what keeps
+parallel results identical to serial ones: the math is the same code either
+way, only the scheduling differs.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..compiler.config import CompilerConfig
+
+__all__ = ["CompileJob", "RunJob", "JobResult", "job_from_dict",
+           "jobs_from_json", "execute_job"]
+
+
+def normalize_config(config: Union[None, str, Dict[str, Any], CompilerConfig],
+                     k: int = 16,
+                     int_params: Optional[Dict[str, int]] = None
+                     ) -> CompilerConfig:
+    """Accept the config spellings users have (paper string, dict, object,
+    None) and return a CompilerConfig."""
+    overrides: Dict[str, Any] = {}
+    if int_params:
+        overrides["int_params"] = dict(int_params)
+    if config is None:
+        return CompilerConfig(k=k, **overrides)
+    if isinstance(config, str):
+        return CompilerConfig.from_string(config, k=k, **overrides)
+    if isinstance(config, dict):
+        merged = dict(config)
+        merged.setdefault("k", k)
+        if int_params:
+            merged.setdefault("int_params", dict(int_params))
+        return CompilerConfig.from_dict(merged)
+    return config
+
+
+@dataclass
+class CompileJob:
+    """Compile ``source`` under ``config``; yields the generated program."""
+
+    source: str
+    config: Union[None, str, Dict[str, Any], CompilerConfig] = None
+    k: int = 16
+    entry: Optional[str] = None
+    int_params: Dict[str, int] = field(default_factory=dict)
+    tag: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "compile"
+
+    def resolved_config(self) -> CompilerConfig:
+        return normalize_config(self.config, k=self.k,
+                                int_params=self.int_params)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A picklable/JSON-safe dict that fully describes this job."""
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "config": self.resolved_config().to_dict(),
+            "entry": self.entry,
+            "tag": dict(self.tag),
+        }
+
+
+@dataclass
+class RunJob(CompileJob):
+    """Compile and execute: positional ``args`` then keyword ``inputs``."""
+
+    args: List[Any] = field(default_factory=list)
+    inputs: Dict[str, Any] = field(default_factory=dict)
+    uncertainty_ulps: float = 1.0
+    repeats: int = 1
+
+    kind = "run"
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = super().to_payload()
+        payload.update(
+            args=list(self.args),
+            inputs=dict(self.inputs),
+            uncertainty_ulps=self.uncertainty_ulps,
+            repeats=self.repeats,
+        )
+        return payload
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, in submission order (``index`` is the position in
+    the submitted batch)."""
+
+    index: int
+    kind: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    timed_out: bool = False
+    elapsed_s: float = 0.0
+
+    def to_row(self) -> Dict[str, Any]:
+        """JSON-safe summary (drops bulky fields like the pickled unit)."""
+        value = self.value
+        if isinstance(value, dict):
+            value = {k: v for k, v in value.items() if k != "unit_blob"}
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "error": self.error,
+            "value": value,
+        }
+
+
+# -- JSON manifests ------------------------------------------------------------------
+
+
+def job_from_dict(data: Dict[str, Any], base_dir: str = ".") -> CompileJob:
+    """Build a job from one manifest entry.
+
+    The entry carries either inline ``source`` or a ``file`` path (resolved
+    against the manifest's directory).  ``kind`` defaults to ``compile``.
+    """
+    import os
+
+    data = dict(data)
+    kind = data.pop("kind", "compile")
+    if "file" in data:
+        path = data.pop("file")
+        if not os.path.isabs(path):
+            path = os.path.join(base_dir, path)
+        with open(path) as fh:
+            data["source"] = fh.read()
+    if "source" not in data:
+        raise ValueError("job needs either 'source' or 'file'")
+    cls = {"compile": CompileJob, "run": RunJob}.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown job kind {kind!r}")
+    allowed = {f for f in cls.__dataclass_fields__}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(f"unknown {kind} job fields: {sorted(unknown)}")
+    return cls(**data)
+
+
+def jobs_from_json(path: str) -> List[CompileJob]:
+    """Load a jobs manifest: either a bare list of job entries or
+    ``{"defaults": {...}, "jobs": [...]}`` where defaults fill missing
+    fields."""
+    import json
+    import os
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    base_dir = os.path.dirname(os.path.abspath(path))
+    defaults: Dict[str, Any] = {}
+    entries = doc
+    if isinstance(doc, dict):
+        defaults = doc.get("defaults", {})
+        entries = doc.get("jobs", [])
+    if not isinstance(entries, list):
+        raise ValueError("jobs manifest must be a list or have a 'jobs' list")
+    jobs = []
+    for entry in entries:
+        merged = dict(defaults)
+        merged.update(entry)
+        jobs.append(job_from_dict(merged, base_dir=base_dir))
+    return jobs
+
+
+# -- execution -----------------------------------------------------------------------
+
+
+def execute_job(payload: Dict[str, Any], service) -> Dict[str, Any]:
+    """Run one job payload against a :class:`CompileService`; returns the
+    picklable result value."""
+    cfg = CompilerConfig.from_dict(payload["config"])
+    if payload["kind"] == "compile":
+        return _execute_compile(payload, cfg, service)
+    if payload["kind"] == "run":
+        return _execute_run(payload, cfg, service)
+    raise ValueError(f"unknown job kind {payload['kind']!r}")
+
+
+def _execute_compile(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    prog, entry = service.compile_entry(payload["source"], cfg,
+                                        entry=payload["entry"])
+    compile_s = time.perf_counter() - t0
+    return {
+        "entry": entry.entry,
+        "config": cfg.name,
+        "k": cfg.k,
+        "cache_key": entry.key,
+        "compile_s": compile_s,
+        "c_source": entry.c_source,
+        "python_source": entry.python_source,
+        "priority_map": dict(entry.priority_map),
+        "analysis": str(prog.analysis_report) if prog.analysis_report else None,
+        "unit_blob": entry.unit_blob,
+        "tag": payload.get("tag", {}),
+    }
+
+
+def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
+    # Mirrors repro.bench.runner.run_config: the first execution provides
+    # both the accuracy and the first timing sample; the median over all
+    # samples is the reported runtime.
+    from ..bench.runner import result_accuracy  # lazy: bench imports service
+
+    t0 = time.perf_counter()
+    prog = service.compile(payload["source"], cfg, entry=payload["entry"])
+    compile_s = time.perf_counter() - t0
+
+    args = payload.get("args", [])
+    inputs = payload.get("inputs", {})
+    ulps = payload.get("uncertainty_ulps", 1.0)
+    repeats = max(int(payload.get("repeats", 1)), 1)
+    res = prog(*args, uncertainty_ulps=ulps, **inputs)
+    acc = max(0.0, result_accuracy(res)) if cfg.mode != "float" \
+        else float("nan")
+    times = [res.elapsed_s]
+    for _ in range(repeats - 1):
+        times.append(prog(*args, uncertainty_ulps=ulps, **inputs).elapsed_s)
+
+    value: Dict[str, Any] = {
+        "entry": prog.entry,
+        "config": cfg.name,
+        "k": cfg.k,
+        "acc_bits": acc if not math.isnan(acc) else None,
+        "runtime_s": statistics.median(times),
+        "compile_s": compile_s,
+        "times": times,
+        "analysis": str(prog.analysis_report) if prog.analysis_report else None,
+        "tag": payload.get("tag", {}),
+    }
+    if res.value is not None and hasattr(res.value, "interval"):
+        iv = res.value.interval()
+        value["interval"] = [iv.lo, iv.hi]
+    elif isinstance(res.value, (int, float)):
+        value["value"] = res.value
+    return value

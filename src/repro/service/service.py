@@ -1,0 +1,119 @@
+"""The compile service: SafeGen behind a content-addressed cache.
+
+``CompileService.compile`` has the same signature spirit as
+:func:`repro.compiler.compile_c` but consults the cache first; a hit skips
+the whole parse→typecheck→TAC→ILP→codegen pipeline and rebuilds the runnable
+program from the stored artifacts (pickled TAC unit + generated Python),
+which is ~1000x cheaper than compiling.  ``ServiceStats`` records what the
+cache did and what the batch engine ran.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..compiler.config import CompilerConfig
+from ..compiler.driver import CompiledProgram, SafeGen
+from .cache import CacheEntry, CompileCache
+from .jobs import CompileJob, JobResult, normalize_config
+from .stats import ServiceStats
+
+__all__ = ["CompileService"]
+
+
+class CompileService:
+    """A reusable compilation front-end with caching and batching.
+
+    ``cache_dir=None`` keeps the cache purely in memory; pointing it at a
+    directory makes compilations persistent across processes (the batch
+    engine's workers share it the same way).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 maxsize: int = 128,
+                 cache: Optional[CompileCache] = None,
+                 stats: Optional[ServiceStats] = None) -> None:
+        self.stats = stats if stats is not None else ServiceStats()
+        self.cache = cache if cache is not None else CompileCache(
+            maxsize=maxsize, cache_dir=cache_dir, stats=self.stats)
+
+    # -- single compilations ---------------------------------------------------------
+
+    def compile(self, source: str,
+                config: Union[None, str, Dict[str, Any], CompilerConfig] = None,
+                k: int = 16, entry: Optional[str] = None,
+                **overrides) -> CompiledProgram:
+        """Cached equivalent of :func:`repro.compiler.compile_c`."""
+        prog, _ = self.compile_entry(source, config, k=k, entry=entry,
+                                     **overrides)
+        return prog
+
+    def compile_entry(self, source: str,
+                      config: Union[None, str, Dict[str, Any],
+                                    CompilerConfig] = None,
+                      k: int = 16, entry: Optional[str] = None,
+                      **overrides) -> Tuple[CompiledProgram, CacheEntry]:
+        """Compile (or fetch) and also return the underlying cache entry."""
+        cfg = normalize_config(config, k=k)
+        if overrides:
+            from dataclasses import replace
+
+            cfg = replace(cfg, **overrides)
+        key = cfg.cache_key(source, entry=entry)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._rebuild(cfg, cached), cached
+        t0 = time.perf_counter()
+        prog = SafeGen(cfg).compile(source, entry=entry)
+        compile_s = time.perf_counter() - t0
+        cache_entry = CacheEntry(
+            key=key,
+            entry=prog.entry,
+            config=cfg.to_dict(),
+            unit_blob=pickle.dumps(prog.unit,
+                                   protocol=pickle.HIGHEST_PROTOCOL),
+            python_source=prog.python_source,
+            c_source=prog.c_source,
+            priority_map=dict(prog.priority_map),
+            report=prog.analysis_report,
+            compile_s=compile_s,
+        )
+        self.cache.put(key, cache_entry)
+        return prog, cache_entry
+
+    def program_from_entry(self, entry: CacheEntry,
+                           config: Optional[CompilerConfig] = None
+                           ) -> CompiledProgram:
+        """Rebuild a runnable program from a cache entry (e.g. one produced
+        by a worker process)."""
+        cfg = config if config is not None \
+            else CompilerConfig.from_dict(entry.config)
+        return self._rebuild(cfg, entry)
+
+    def _rebuild(self, cfg: CompilerConfig,
+                 entry: CacheEntry) -> CompiledProgram:
+        unit = pickle.loads(entry.unit_blob)
+        return CompiledProgram(cfg, unit, entry.entry, entry.python_source,
+                               entry.c_source, dict(entry.priority_map),
+                               entry.report)
+
+    # -- batches ---------------------------------------------------------------------
+
+    def run_batch(self, batch: List[CompileJob], jobs: int = 1,
+                  timeout_s: Optional[float] = None,
+                  retries: int = 0) -> List[JobResult]:
+        """Execute a list of Compile/Run jobs, serially (``jobs<=1``,
+        through this service's cache) or on a process pool sharing this
+        service's disk cache directory."""
+        from .engine import BatchEngine  # lazy: engine imports this module
+
+        engine = BatchEngine(jobs=jobs, timeout_s=timeout_s, retries=retries,
+                             service=self)
+        return engine.run(batch)
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def dump_stats(self, path: Optional[str] = None) -> str:
+        return self.stats.dump_json(path)

@@ -1,0 +1,75 @@
+"""Metrics for the compilation service layer.
+
+One :class:`ServiceStats` object is shared by the cache and the batch engine
+that sit inside a :class:`repro.service.CompileService`, so a single dump
+answers both "how well is the cache doing" and "what happened to my jobs".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+__all__ = ["ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters exposed by the service layer.
+
+    Cache side: ``hits`` / ``misses`` / ``evictions`` count lookups against
+    the in-memory LRU; ``disk_hits`` is the subset of hits satisfied by the
+    on-disk store; ``compile_s_saved`` accumulates the original compile time
+    of every entry served from cache (an estimate of wall-clock avoided).
+
+    Engine side: ``jobs_run`` / ``jobs_failed`` / ``jobs_timed_out`` /
+    ``jobs_retried`` count batch-job outcomes.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    compile_s_saved: float = 0.0
+    jobs_run: int = 0
+    jobs_failed: int = 0
+    jobs_timed_out: int = 0
+    jobs_retried: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["hit_rate"] = round(self.hit_rate, 4)
+        out["compile_s_saved"] = round(self.compile_s_saved, 6)
+        return out
+
+    def merge(self, other: "ServiceStats") -> None:
+        """Fold another stats object (e.g. from a worker process) into this
+        one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def dump_json(self, path: Optional[str] = None) -> str:
+        """Serialize the counters as JSON; also write to ``path`` if given."""
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        return text
+
+    def __str__(self) -> str:
+        return (
+            f"cache {self.hits}/{self.lookups} hits "
+            f"({self.disk_hits} from disk, {self.evictions} evicted, "
+            f"{self.compile_s_saved:.3f}s compile saved); "
+            f"jobs {self.jobs_run} ok / {self.jobs_failed} failed / "
+            f"{self.jobs_timed_out} timed out / {self.jobs_retried} retried"
+        )

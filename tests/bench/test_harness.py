@@ -106,6 +106,22 @@ class TestRunner:
         assert row["slowdown"] == 5.0
         assert row["acc_bits"] == 1.23
 
+    def test_row_emits_compile_time(self):
+        r = BenchResult(benchmark="x", config="c", k=2, acc_bits=1.0,
+                        runtime_s=0.5, baseline_s=0.1, compile_s=0.12345)
+        assert r.row()["compile_s"] == 0.1235
+
+    def test_row_without_baseline_has_null_slowdown(self):
+        # round(nan, 1) used to leak NaN into JSON reports; now the row
+        # carries None (JSON null) when no baseline was measured.
+        import json
+
+        r = BenchResult(benchmark="x", config="c", k=2, acc_bits=1.0,
+                        runtime_s=0.5)
+        row = r.row()
+        assert row["slowdown"] is None
+        assert "NaN" not in json.dumps(row)
+
 
 class TestPareto:
     def make(self, acc, t):

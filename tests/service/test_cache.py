@@ -1,0 +1,177 @@
+"""Cache key recipe + LRU/disk semantics of the compile cache."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.compiler import CompilerConfig
+from repro.service import CacheEntry, CompileCache, ServiceStats
+
+SRC = "double f(double x) { return x * x + 1.0; }"
+
+
+def entry_for(key, tag="e"):
+    return CacheEntry(key=key, entry=tag, config={}, unit_blob=b"",
+                      python_source="", c_source="", compile_s=0.25)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        cfg = CompilerConfig.from_string("f64a-dspv", k=16)
+        assert cfg.cache_key(SRC) == cfg.cache_key(SRC)
+
+    def test_is_hex_sha256(self):
+        key = CompilerConfig().cache_key(SRC)
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_source_sensitive(self):
+        cfg = CompilerConfig()
+        assert cfg.cache_key(SRC) != cfg.cache_key(SRC + " ")
+
+    def test_config_sensitive(self):
+        a = CompilerConfig.from_string("f64a-dsnn", k=16)
+        b = CompilerConfig.from_string("f64a-dspn", k=16)
+        assert a.cache_key(SRC) != b.cache_key(SRC)
+
+    def test_k_sensitive(self):
+        cfg = CompilerConfig()
+        assert cfg.cache_key(SRC) != cfg.with_k(8).cache_key(SRC)
+
+    def test_entry_sensitive(self):
+        cfg = CompilerConfig()
+        assert cfg.cache_key(SRC, entry="f") != cfg.cache_key(SRC, entry=None)
+
+    def test_int_params_sensitive(self):
+        a = CompilerConfig(int_params={"n": 4})
+        b = CompilerConfig(int_params={"n": 8})
+        assert a.cache_key(SRC) != b.cache_key(SRC)
+
+    def test_version_sensitive(self):
+        cfg = CompilerConfig()
+        assert cfg.cache_key(SRC, version="0.0.0") != \
+            cfg.cache_key(SRC, version=repro.__version__)
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("name", [
+        "f64a-dspv", "dda-dsnn", "f64a-srnn", "ia-f64", "ia-dd",
+        "yalaa-aff0", "float",
+    ])
+    def test_to_from_dict(self, name):
+        cfg = CompilerConfig.from_string(name, k=12)
+        assert CompilerConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        cfg = CompilerConfig(int_params={"n": 3})
+        assert json.loads(json.dumps(cfg.to_dict())) == cfg.to_dict()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CompilerConfig.from_dict({"nonsense": 1})
+
+    def test_missing_fields_take_defaults(self):
+        cfg = CompilerConfig.from_dict({"k": 5})
+        assert cfg.k == 5 and cfg.mode == "aa"
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = CompileCache(maxsize=4)
+        assert cache.get("k1") is None
+        cache.put("k1", entry_for("k1"))
+        assert cache.get("k1").entry == "e"
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = CompileCache(maxsize=2)
+        cache.put("a", entry_for("a"))
+        cache.put("b", entry_for("b"))
+        cache.get("a")                      # refresh a; b is now oldest
+        cache.put("c", entry_for("c"))      # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_compile_s_saved_accumulates(self):
+        cache = CompileCache(maxsize=4)
+        cache.put("a", entry_for("a"))
+        cache.get("a")
+        cache.get("a")
+        assert cache.stats.compile_s_saved == pytest.approx(0.5)
+
+
+class TestDiskStore:
+    def test_write_and_reload_via_fresh_cache(self, tmp_path):
+        d = str(tmp_path / "cache")
+        first = CompileCache(maxsize=4, cache_dir=d)
+        first.put("deadbeef", entry_for("deadbeef"))
+        second = CompileCache(maxsize=4, cache_dir=d)
+        got = second.get("deadbeef")
+        assert got is not None and got.entry == "e"
+        assert second.stats.disk_hits == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = CompileCache(maxsize=4, cache_dir=d)
+        cache.put("cafe00", entry_for("cafe00"))
+        path = os.path.join(d, "ca", "cafe00.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        fresh = CompileCache(maxsize=4, cache_dir=d)
+        assert fresh.get("cafe00") is None
+        assert not os.path.exists(path)  # removed best-effort
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = CompileCache(maxsize=4, cache_dir=d)
+        os.makedirs(os.path.join(d, "aa"), exist_ok=True)
+        with open(os.path.join(d, "aa", "aaaa.pkl"), "wb") as fh:
+            pickle.dump(entry_for("other-key"), fh)
+        assert cache.get("aaaa") is None
+
+    def test_survives_a_fresh_process(self, tmp_path):
+        """A compile cached by one interpreter is a disk hit in the next."""
+        d = str(tmp_path / "cache")
+        script = (
+            "from repro.service import CompileService\n"
+            f"svc = CompileService(cache_dir={d!r})\n"
+            f"svc.compile({SRC!r}, 'f64a-dsnn', k=8)\n"
+            "assert svc.stats.misses == 1\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+
+        from repro.service import CompileService
+
+        svc = CompileService(cache_dir=d)
+        prog = svc.compile(SRC, "f64a-dsnn", k=8)
+        assert svc.stats.hits == 1 and svc.stats.disk_hits == 1
+        assert prog(0.5).interval().lo <= 1.25 <= prog(0.5).interval().hi
+
+
+class TestStats:
+    def test_dump_json(self, tmp_path):
+        stats = ServiceStats(hits=3, misses=1)
+        path = str(tmp_path / "stats.json")
+        text = stats.dump_json(path)
+        import json
+
+        data = json.loads(text)
+        assert data["hits"] == 3 and data["hit_rate"] == 0.75
+        assert json.loads(open(path).read()) == data
+
+    def test_merge(self):
+        a = ServiceStats(hits=1, jobs_run=2, compile_s_saved=0.5)
+        a.merge(ServiceStats(hits=2, jobs_failed=1, compile_s_saved=0.25))
+        assert a.hits == 3 and a.jobs_run == 2 and a.jobs_failed == 1
+        assert a.compile_s_saved == pytest.approx(0.75)

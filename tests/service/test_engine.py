@@ -1,0 +1,125 @@
+"""Batch engine: determinism vs the serial path, timeout + retry."""
+
+import math
+
+import pytest
+
+from repro.bench import make_workload, run_sweep
+from repro.service import BatchEngine, RunJob
+
+# Tiny sizes: the point is parallel == serial, not paper-scale numbers.
+TINY = dict(henon_iters=20, sor_n=4, sor_iters=3, luf_n=5,
+            fgm_n=3, fgm_iters=6)
+
+HANG = "double spin(double x) { while (x > 0.0) { x = x + 1.0; } return x; }"
+OK = "double sq(double x) { return x * x; }"
+
+
+def deterministic_rows(results):
+    """BenchResult.row() minus the wall-clock fields, which legitimately
+    vary between any two runs (serial or not)."""
+    rows = []
+    for r in results:
+        row = r.row()
+        row.pop("runtime_ms")
+        row.pop("compile_s")
+        row.pop("slowdown")
+        rows.append(row)
+    return rows
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("name", ["henon", "sor", "luf", "fgm"])
+    def test_paper_benchmark_sweep_identical(self, name):
+        w = make_workload(name, seed=3, **TINY)
+        configs = ["f64a-dsnn", "dda-dsnn"]
+        ks = [4, 8]
+        serial = run_sweep(w, configs, ks, repeats=1, baseline_s=1.0, jobs=1)
+        parallel = run_sweep(w, configs, ks, repeats=1, baseline_s=1.0,
+                             jobs=2)
+        import json
+
+        assert json.dumps(deterministic_rows(serial), sort_keys=True) == \
+            json.dumps(deterministic_rows(parallel), sort_keys=True)
+
+    def test_result_order_is_submission_order(self):
+        jobs = [RunJob(source=OK, config="f64a-dsnn", k=k, inputs={"x": 0.5})
+                for k in (2, 4, 8, 16)]
+        engine = BatchEngine(jobs=2)
+        results = engine.run(jobs)
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.value["k"] for r in results] == [2, 4, 8, 16]
+        assert all(r.ok for r in results)
+        assert engine.stats.jobs_run == 4
+
+    def test_serial_and_parallel_engines_agree(self):
+        jobs = [RunJob(source=OK, config="f64a-dsnn", k=k,
+                       inputs={"x": 0.25}) for k in (4, 8)]
+        serial = BatchEngine(jobs=1).run(jobs)
+        parallel = BatchEngine(jobs=2).run(jobs)
+        for s, p in zip(serial, parallel):
+            assert s.value["acc_bits"] == p.value["acc_bits"]
+            assert s.value["interval"] == p.value["interval"]
+
+
+class TestFailures:
+    def test_compile_error_is_a_failed_result(self):
+        jobs = [RunJob(source=OK, config="f64a-dsnn", k=4,
+                       inputs={"x": 0.5}),
+                RunJob(source="double bad( {", config="f64a-dsnn", k=4)]
+        engine = BatchEngine(jobs=2)
+        results = engine.run(jobs)
+        assert results[0].ok and not results[1].ok
+        assert results[1].error
+        assert engine.stats.jobs_failed == 1
+
+    def test_serial_retry_counts_attempts(self):
+        jobs = [RunJob(source="double bad( {", config="f64a-dsnn", k=4)]
+        engine = BatchEngine(jobs=1, retries=2)
+        results = engine.run(jobs)
+        assert not results[0].ok
+        assert results[0].attempts == 3
+        assert engine.stats.jobs_retried == 2
+        assert engine.stats.jobs_failed == 1
+
+    def test_pool_retry_counts_attempts(self):
+        engine = BatchEngine(jobs=2, retries=1)
+        results = engine.run(
+            [RunJob(source="double bad( {", config="f64a-dsnn", k=4)])
+        assert not results[0].ok
+        assert results[0].attempts == 2
+        assert engine.stats.jobs_retried == 1
+
+    def test_rejects_negative_settings(self):
+        with pytest.raises(ValueError):
+            BatchEngine(jobs=-1)
+        with pytest.raises(ValueError):
+            BatchEngine(retries=-1)
+
+
+@pytest.mark.slow
+class TestTimeout:
+    def test_hanging_job_times_out_and_retries(self):
+        jobs = [
+            RunJob(source=OK, config="f64a-dsnn", k=4, inputs={"x": 0.5}),
+            RunJob(source=HANG, config="f64a-dsnn", k=4,
+                   inputs={"x": 1.0}),
+            RunJob(source=OK, config="f64a-dsnn", k=8, inputs={"x": 0.25}),
+        ]
+        engine = BatchEngine(jobs=2, timeout_s=1.0, retries=1)
+        results = engine.run(jobs)
+        # The hang timed out, was retried once, and timed out again ...
+        hung = results[1]
+        assert not hung.ok
+        assert hung.timed_out
+        assert hung.attempts == 2
+        assert engine.stats.jobs_timed_out == 2
+        assert engine.stats.jobs_retried == 1
+        assert engine.stats.jobs_failed == 1
+        # ... while the innocent jobs still completed with correct values.
+        assert results[0].ok and results[2].ok
+        lo0, hi0 = results[0].value["interval"]
+        assert lo0 <= 0.25 <= hi0
+        lo2, hi2 = results[2].value["interval"]
+        assert lo2 <= 0.0625 <= hi2
+        assert engine.stats.jobs_run == 2

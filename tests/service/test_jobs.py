@@ -1,0 +1,94 @@
+"""Job model: payload round-trips and JSON manifests."""
+
+import json
+
+import pytest
+
+from repro.compiler import CompilerConfig
+from repro.service import CompileJob, RunJob, job_from_dict, jobs_from_json
+
+SRC = "double f(double x) { return x + 1.0; }"
+
+
+class TestPayloads:
+    def test_compile_payload_is_json_safe(self):
+        job = CompileJob(source=SRC, config="f64a-dspv", k=8, entry="f")
+        payload = job.to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["kind"] == "compile"
+        assert payload["config"]["k"] == 8
+
+    def test_run_payload_carries_inputs(self):
+        job = RunJob(source=SRC, config="f64a-dsnn", k=4, args=[1.0],
+                     inputs={"x": 0.5}, repeats=3)
+        payload = job.to_payload()
+        assert payload["kind"] == "run"
+        assert payload["args"] == [1.0]
+        assert payload["inputs"] == {"x": 0.5}
+        assert payload["repeats"] == 3
+
+    def test_resolved_config_spellings_agree(self):
+        by_string = CompileJob(source=SRC, config="dda-dsnn", k=8)
+        by_object = CompileJob(
+            source=SRC, config=CompilerConfig.from_string("dda-dsnn", k=8))
+        by_dict = CompileJob(
+            source=SRC,
+            config=CompilerConfig.from_string("dda-dsnn", k=8).to_dict())
+        assert by_string.resolved_config() == by_object.resolved_config() \
+            == by_dict.resolved_config()
+
+    def test_int_params_reach_config(self):
+        job = CompileJob(source=SRC, config="f64a-dspn", k=8,
+                         int_params={"n": 4})
+        assert job.resolved_config().int_params == {"n": 4}
+
+
+class TestManifest:
+    def test_bare_list(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"kind": "compile", "source": SRC, "config": "f64a-dsnn"},
+            {"kind": "run", "source": SRC, "inputs": {"x": 0.5}},
+        ]))
+        jobs = jobs_from_json(str(path))
+        assert isinstance(jobs[0], CompileJob)
+        assert isinstance(jobs[1], RunJob)
+
+    def test_defaults_merge(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({
+            "defaults": {"config": "dda-dsnn", "k": 8},
+            "jobs": [{"kind": "compile", "source": SRC},
+                     {"kind": "compile", "source": SRC, "k": 16}],
+        }))
+        jobs = jobs_from_json(str(path))
+        assert jobs[0].k == 8 and jobs[1].k == 16
+        assert jobs[0].config == "dda-dsnn"
+
+    def test_file_reference_resolved_relative_to_manifest(self, tmp_path):
+        (tmp_path / "prog.c").write_text(SRC)
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"kind": "compile", "file": "prog.c"}]))
+        jobs = jobs_from_json(str(path))
+        assert jobs[0].source == SRC
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            job_from_dict({"kind": "teleport", "source": SRC})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            job_from_dict({"kind": "compile", "source": SRC, "bogus": 1})
+
+    def test_source_or_file_required(self):
+        with pytest.raises(ValueError, match="source"):
+            job_from_dict({"kind": "compile"})
+
+    def test_example_manifest_parses(self):
+        import pathlib
+
+        example = pathlib.Path(__file__).resolve().parents[2] / \
+            "examples" / "jobs_smoke.json"
+        jobs = jobs_from_json(str(example))
+        assert len(jobs) == 4
+        assert {j.kind for j in jobs} == {"compile", "run"}

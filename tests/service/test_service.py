@@ -1,0 +1,112 @@
+"""CompileService behaviour: cached compiles are fast and equivalent."""
+
+import time
+
+import pytest
+
+from repro.compiler import BatchCompiler, CompilerConfig
+from repro.service import CompileService
+
+SRC = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+
+
+class TestCachedCompile:
+    def test_repeat_compile_hits_cache_and_is_5x_faster(self):
+        # The acceptance bar for the service layer: the second identical
+        # compile is served from cache and at least 5x faster (in practice
+        # it is ~1000x: one pickle.loads + exec instead of the pipeline).
+        svc = CompileService()
+        t0 = time.perf_counter()
+        svc.compile(SRC, "f64a-dspn", k=16, entry="henon")
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        svc.compile(SRC, "f64a-dspn", k=16, entry="henon")
+        warm = time.perf_counter() - t0
+        assert svc.stats.hits > 0
+        assert svc.stats.misses == 1
+        assert cold >= 5 * warm, f"cold={cold:.4f}s warm={warm:.4f}s"
+        assert svc.stats.compile_s_saved > 0
+
+    def test_cached_program_equivalent(self):
+        svc = CompileService()
+        fresh = svc.compile(SRC, "f64a-dsnn", k=8)
+        cached = svc.compile(SRC, "f64a-dsnn", k=8)
+        a = fresh(0.3, 0.2, 30).interval()
+        b = cached(0.3, 0.2, 30).interval()
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+        assert fresh.c_source == cached.c_source
+        assert fresh.python_source == cached.python_source
+
+    def test_cached_program_keeps_analysis_report(self):
+        svc = CompileService()
+        first = svc.compile(SRC, "f64a-dspn", k=16,
+                            int_params={"n": 10})
+        again = svc.compile(SRC, "f64a-dspn", k=16,
+                            int_params={"n": 10})
+        assert first.analysis_report is not None
+        assert str(again.analysis_report) == str(first.analysis_report)
+        assert again.priority_map == first.priority_map
+
+    def test_different_config_is_a_miss(self):
+        svc = CompileService()
+        svc.compile(SRC, "f64a-dsnn", k=8)
+        svc.compile(SRC, "f64a-dsnn", k=16)
+        svc.compile(SRC, "dda-dsnn", k=8)
+        assert svc.stats.hits == 0
+        assert svc.stats.misses == 3
+
+    def test_config_overrides_apply(self):
+        svc = CompileService()
+        prog = svc.compile(SRC, "f64a-dsnn", k=8, seed=7)
+        assert prog.config.seed == 7
+
+
+class TestBatchCompiler:
+    def test_compile_many_serial(self):
+        other = "double g(double x) { return x + 2.0; }"
+        bc = BatchCompiler(jobs=1)
+        progs = bc.compile_many([(SRC, "f64a-dsnn", 8),
+                                 (other, "f64a-dsnn", 8)])
+        assert [p.entry for p in progs] == ["henon", "g"]
+        r = progs[1](1.0)
+        iv = r.interval()
+        assert iv.lo <= 3.0 <= iv.hi
+
+    def test_compile_many_parallel_matches_serial(self):
+        other = "double g(double x) { return x * x - 0.5; }"
+        requests = [(SRC, "f64a-dsnn", 8), (other, "dda-dsnn", 8)]
+        serial = BatchCompiler(jobs=1).compile_many(requests)
+        parallel = BatchCompiler(jobs=2).compile_many(requests)
+        for s, p in zip(serial, parallel):
+            assert s.c_source == p.c_source
+            assert s.python_source == p.python_source
+
+    def test_compile_many_warms_parent_cache(self):
+        bc = BatchCompiler(jobs=2)
+        bc.compile_many([(SRC, "f64a-dsnn", 8)])
+        t0 = time.perf_counter()
+        bc.compile(SRC, "f64a-dsnn", k=8)
+        assert time.perf_counter() - t0 < 0.1
+        assert bc.stats.hits > 0
+
+    def test_bad_source_raises_compile_error(self):
+        from repro.errors import CompileError
+
+        with pytest.raises(CompileError):
+            BatchCompiler(jobs=1).compile_many(["double f( {"])
+
+    def test_plain_string_requests(self):
+        progs = BatchCompiler(jobs=1).compile_many(
+            ["double f(double x) { return x + 1.0; }"])
+        assert progs[0].entry == "f"
+        assert progs[0].config == CompilerConfig()

@@ -120,3 +120,85 @@ class TestErrors:
         with pytest.raises(SystemExit):
             main(["--version"])
         assert "repro" in capsys.readouterr().out
+
+
+SQUARE = "double sq(double x) { return x * x; }"
+
+
+class TestServiceFlags:
+    def test_compile_with_cache_dir(self, henon_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["compile", henon_file, "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["compile", henon_file, "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "f64a henon(" in second
+
+    def test_compile_many_files(self, henon_file, tmp_path, capsys):
+        other = tmp_path / "sq.c"
+        other.write_text(SQUARE)
+        assert main(["compile", henon_file, str(other)]) == 0
+        out = capsys.readouterr().out
+        assert f"// ==== {henon_file} ====" in out
+        assert f"// ==== {other} ====" in out
+        assert "f64a sq(" in out
+
+    def test_run_with_cache_dir(self, henon_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["run", henon_file, "0.3", "0.2", "10",
+                "--cache-dir", cache, "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["interval"] == second["interval"]
+
+    def test_bench_k_sweep(self, capsys):
+        assert main(["bench", "henon", "--config", "f64a-dsnn",
+                     "--k-sweep", "2,4", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "acc_bits" in out
+        assert "compile_s" in out
+
+
+class TestBatch:
+    def manifest(self, tmp_path, jobs):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs))
+        return str(path)
+
+    def test_batch_runs_manifest(self, tmp_path, capsys):
+        path = self.manifest(tmp_path, [
+            {"kind": "compile", "source": SQUARE, "config": "f64a-dsnn"},
+            {"kind": "run", "source": SQUARE, "config": "f64a-dsnn",
+             "k": 4, "inputs": {"x": 0.5}},
+        ])
+        assert main(["batch", path]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert all(r["ok"] for r in rows)
+        assert rows[0]["kind"] == "compile"
+        assert "unit_blob" not in json.dumps(rows)
+        lo, hi = rows[1]["value"]["interval"]
+        assert lo <= 0.25 <= hi
+
+    def test_batch_writes_stats_and_output(self, tmp_path, capsys):
+        path = self.manifest(tmp_path, [
+            {"kind": "run", "source": SQUARE, "config": "f64a-dsnn",
+             "k": 4, "inputs": {"x": 0.5}},
+        ])
+        out = str(tmp_path / "results.json")
+        stats = str(tmp_path / "stats.json")
+        assert main(["batch", path, "-o", out, "--stats", stats]) == 0
+        assert json.loads(open(out).read())[0]["ok"]
+        assert "jobs_run" in json.loads(open(stats).read())
+
+    def test_batch_failure_sets_exit_code(self, tmp_path, capsys):
+        path = self.manifest(tmp_path, [
+            {"kind": "compile", "source": "double bad( {"},
+        ])
+        assert main(["batch", path]) == 1
+        rows = json.loads(capsys.readouterr().out)
+        assert not rows[0]["ok"]
+        assert rows[0]["error"]
