@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify test-slow bench bench-accuracy bench-smoke \
+.PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
 	examples clean
 
 install:
@@ -18,6 +18,17 @@ test:
 # (no install needed).
 verify:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest -x -q
+
+# Static checks (ruff; config in pyproject.toml).  Skips gracefully when
+# ruff is not installed locally — CI always has it.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+	  $(PYTHON) -m ruff check src tests; \
+	elif command -v ruff >/dev/null 2>&1; then \
+	  ruff check src tests; \
+	else \
+	  echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 # The deliberately-hanging timeout/retry tests (deselected by default).
 test-slow:

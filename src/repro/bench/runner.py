@@ -34,6 +34,9 @@ class BenchResult:
     baseline_s: float = 0.0
     compile_s: float = 0.0
     analysis: Optional[str] = None
+    # Pass name -> wall seconds from the compile's PipelineReport (None for
+    # cache hits served before instrumentation existed).
+    pass_timings: Optional[Dict[str, float]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -42,11 +45,14 @@ class BenchResult:
             return float("nan")
         return self.runtime_s / self.baseline_s
 
-    def row(self) -> Dict[str, Any]:
+    def row(self, timings: bool = False) -> Dict[str, Any]:
+        """One report row.  ``timings=True`` appends a ``pass:<name>_ms``
+        column per compiler pass (kept out of the default row so that rows
+        stay comparable across runs that share a compile cache)."""
         # slowdown is NaN when no baseline was measured; emit None (JSON
         # null) instead of letting round(nan, 1) leak NaN into reports.
         slowdown = self.slowdown
-        return {
+        out = {
             "benchmark": self.benchmark,
             "config": self.config,
             "k": self.k,
@@ -55,6 +61,10 @@ class BenchResult:
             "compile_s": round(self.compile_s, 4),
             "slowdown": None if math.isnan(slowdown) else round(slowdown, 1),
         }
+        if timings:
+            for name, seconds in (self.pass_timings or {}).items():
+                out[f"pass:{name}_ms"] = round(seconds * 1e3, 3)
+        return out
 
 
 def _min_acc(value: Any) -> float:
@@ -126,6 +136,8 @@ def run_config(workload: Workload,
         baseline_s=baseline_s,
         compile_s=compile_s,
         analysis=str(prog.analysis_report) if prog.analysis_report else None,
+        pass_timings=prog.pipeline_report.timings()
+        if prog.pipeline_report is not None else None,
     )
 
 
@@ -187,6 +199,7 @@ def run_sweep(workload: Workload,
             baseline_s=baseline_s,
             compile_s=v["compile_s"],
             analysis=v["analysis"],
+            pass_timings=v.get("pass_s"),
         ))
     return results
 

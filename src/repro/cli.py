@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from . import __version__
 from .compiler import CompilerConfig, SafeGen
+from .errors import ReproError, format_cli_error
 
 __all__ = ["main"]
 
@@ -56,6 +57,14 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="content-addressed compile cache directory "
                             "(reused across invocations)")
+        p.add_argument("--passes", default=None, metavar="P1,P2,...",
+                       help="explicit compiler pass pipeline (see "
+                            "repro.compiler.available_passes())")
+        p.add_argument("--no-opt", action="store_true",
+                       help="skip the sound TAC optimization passes "
+                            "(cse, dte)")
+        p.add_argument("--timings", action="store_true",
+                       help="report per-pass wall time on stderr")
 
     p_compile = sub.add_parser("compile",
                                help="print the transformed (sound) C")
@@ -64,6 +73,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="input C file(s) ('-' for stdin)")
     p_compile.add_argument("--emit", choices=["c", "python", "both"],
                            default="c")
+    p_compile.add_argument("--emit-after", action="append", default=[],
+                           metavar="PASS",
+                           help="also dump the intermediate program after "
+                                "the named pass (repeatable)")
     p_compile.add_argument("--jobs", type=int, default=1,
                            help="compile files in parallel on N processes")
 
@@ -129,8 +142,15 @@ def _int_params(pairs: List[str]) -> dict:
 
 
 def _config(ns) -> CompilerConfig:
+    overrides = {}
+    if getattr(ns, "no_opt", False):
+        overrides["opt"] = False
+    passes = getattr(ns, "passes", None)
+    if passes:
+        overrides["passes"] = tuple(p for p in passes.split(",") if p)
     return CompilerConfig.from_string(ns.config, k=ns.k,
-                                      int_params=_int_params(ns.int_param))
+                                      int_params=_int_params(ns.int_param),
+                                      **overrides)
 
 
 def _parse_arg(text: str):
@@ -143,35 +163,53 @@ def _parse_arg(text: str):
         return float(text)
 
 
-def _compile_one(ns, source: str):
+def _compile_one(ns, source: str, path: str = "<source>"):
     """Compile through the service layer when a cache dir is configured,
-    else directly."""
+    else directly.  Compiler errors exit with a ``file:line:col: message``
+    diagnostic instead of a traceback."""
     cfg = _config(ns)
-    if getattr(ns, "cache_dir", None):
-        from .service import CompileService
+    emit_after = tuple(getattr(ns, "emit_after", ()) or ())
+    try:
+        if getattr(ns, "cache_dir", None):
+            from .service import CompileService
 
-        return CompileService(cache_dir=ns.cache_dir).compile(
-            source, cfg, entry=ns.entry)
-    return SafeGen(cfg).compile(source, entry=ns.entry)
+            prog = CompileService(cache_dir=ns.cache_dir).compile(
+                source, cfg, entry=ns.entry, emit_after=emit_after)
+        else:
+            prog = SafeGen(cfg).compile(source, entry=ns.entry,
+                                        emit_after=emit_after)
+    except ReproError as exc:
+        raise SystemExit(format_cli_error(exc, path))
+    if getattr(ns, "timings", False) and prog.pipeline_report is not None:
+        print(prog.pipeline_report, file=sys.stderr)
+    return prog
 
 
 def cmd_compile(ns) -> int:
     sources = [_read_source(f) for f in ns.files]
     if len(sources) == 1 and ns.jobs <= 1:
-        programs = [_compile_one(ns, sources[0])]
+        programs = [_compile_one(ns, sources[0], path=ns.files[0])]
     else:
         from .compiler import BatchCompiler
         from .service import CompileJob
 
         batch = BatchCompiler(jobs=ns.jobs, cache_dir=ns.cache_dir)
-        programs = batch.compile_many([
-            CompileJob(source=src, config=_config(ns), k=ns.k,
-                       entry=ns.entry)
-            for src in sources
-        ])
+        try:
+            programs = batch.compile_many([
+                CompileJob(source=src, config=_config(ns), k=ns.k,
+                           entry=ns.entry)
+                for src in sources
+            ])
+        except ReproError as exc:
+            raise SystemExit(str(exc))
     for path, prog in zip(ns.files, programs):
         if len(programs) > 1:
             print(f"// ==== {path} ====")
+        for pass_name in ns.emit_after:
+            dump = prog.dumps.get(pass_name)
+            if dump is not None:
+                print(f"// ---- after pass '{pass_name}' ----")
+                print(dump)
         if ns.emit in ("c", "both"):
             print(prog.c_source)
         if ns.emit in ("python", "both"):
@@ -182,7 +220,7 @@ def cmd_compile(ns) -> int:
 
 
 def cmd_run(ns) -> int:
-    prog = _compile_one(ns, _read_source(ns.file))
+    prog = _compile_one(ns, _read_source(ns.file), path=ns.file)
     args = [_parse_arg(a) for a in ns.args]
     result = prog(*args, uncertainty_ulps=ns.uncertainty_ulps)
     if ns.json:
@@ -273,17 +311,21 @@ def cmd_bench(ns) -> int:
                             baseline_s=base, jobs=ns.jobs,
                             cache_dir=ns.cache_dir)
         print(format_table(
-            [r.row() for r in results],
+            [r.row(timings=ns.timings) for r in results],
             title=f"{ns.name}: {ns.config} over k={ks} "
                   f"(baseline {base * 1e3:.3f} ms, jobs={ns.jobs})"))
         return 0
-    r = run_config(w, ns.config, k=ns.k, repeats=ns.repeats, baseline_s=base)
+    r = run_config(w, ns.config, k=ns.k, repeats=ns.repeats, baseline_s=base,
+                   opt=not ns.no_opt)
     print(f"{r.benchmark} [{r.config} k={r.k}]")
     print(f"  certified bits : {r.acc_bits:.2f}")
     print(f"  runtime        : {r.runtime_s * 1e3:.3f} ms "
           f"({r.slowdown:.1f}x the unsound program)")
     if r.analysis:
         print(f"  {r.analysis}")
+    if ns.timings and r.pass_timings:
+        for name, seconds in r.pass_timings.items():
+            print(f"  pass {name:<12} {seconds * 1e3:9.3f} ms")
     return 0
 
 

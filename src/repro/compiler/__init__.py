@@ -21,20 +21,34 @@ from .driver import (
     SafeGen,
     compile_c,
 )
+from .passes import (
+    AnalysisReport,
+    PassManager,
+    PipelineReport,
+    available_passes,
+    default_pipeline,
+    register_pass,
+)
 from .runtime import Runtime
 from .simd import lower_simd
 from .tac import to_tac
 from .typecheck import typecheck
 
 __all__ = [
+    "AnalysisReport",
     "BatchCompiler",
     "CompiledProgram",
     "CompilerConfig",
+    "PassManager",
+    "PipelineReport",
     "ProgramResult",
     "Runtime",
     "SafeGen",
     "TranslationUnit",
+    "available_passes",
     "compile_c",
+    "default_pipeline",
+    "register_pass",
     "fold_constants",
     "generate_c",
     "generate_python",

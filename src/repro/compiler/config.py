@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..aa import AffineContext, FusionPolicy, PlacementPolicy, Precision
 from ..common import DecisionPolicy
@@ -61,8 +61,15 @@ class CompilerConfig:
     vote_threshold: float = 0.2
     # concrete values for integer params, so analysis can unroll their loops
     int_params: dict = field(default_factory=dict, hash=False, compare=False)
+    # pipeline selection: run the sound TAC optimization passes (cse/dte)?
+    opt: bool = True
+    # Explicit pass pipeline (tuple of registered pass names); None means
+    # the default pipeline for this config.  Part of the cache key.
+    passes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self):
+        if self.passes is not None and not isinstance(self.passes, tuple):
+            object.__setattr__(self, "passes", tuple(self.passes))
         if self.mode not in ("aa", "ia", "ia_dd", "float"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.impl not in ("auto", "full", "fixed", "ceres"):
@@ -168,6 +175,8 @@ class CompilerConfig:
             "vote_threshold": self.vote_threshold,
             "int_params": {str(k): int(v)
                            for k, v in sorted(self.int_params.items())},
+            "opt": self.opt,
+            "passes": list(self.passes) if self.passes is not None else None,
         }
 
     @classmethod
@@ -184,6 +193,8 @@ class CompilerConfig:
         for name, value in data.items():
             if name in enums and not isinstance(value, enums[name]):
                 value = enums[name](value)
+            if name == "passes" and isinstance(value, list):
+                value = tuple(value)
             kwargs[name] = value
         unknown = set(kwargs) - {f for f in cls.__dataclass_fields__}
         if unknown:

@@ -6,57 +6,32 @@
       → semantic analysis (typecheck)
       → sound constant folding (constfold)
       → three-address code (tac)
+      → sound TAC optimizations (cse, dte — unless ``opt=False``)
       → [prioritize] unroll → DAG → reuse candidates → max-reuse ILP →
         per-op pragmas (repro.analysis)
       → code generation (codegen_py for execution, codegen_c for display)
 
+The pipeline is a sequence of registered passes run by
+:class:`repro.compiler.passes.PassManager`; every compile carries a
+:class:`PipelineReport` with per-pass wall time and node/float-op counts.
 Use :func:`compile_c` for the one-call form, or :class:`SafeGen` to keep a
 configured compiler around.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..errors import CompileError
 from . import cast as A
-from .codegen_c import generate_c
-from .codegen_py import generate_python
 from .config import CompilerConfig
-from .constfold import fold_constants
-from .cparser import parse
-from .rename import alpha_rename
+from .passes import AnalysisReport, AnalyzePass, PassManager, \
+    PipelineReport, FRONTEND
 from .runtime import Runtime
-from .simd import lower_simd
-from .tac import to_tac
-from .typecheck import typecheck
 
 __all__ = ["SafeGen", "CompiledProgram", "ProgramResult", "compile_c",
-           "BatchCompiler"]
-
-
-@dataclass
-class AnalysisReport:
-    """What the static analysis did (Section VI) — attached to programs
-    compiled with prioritization."""
-
-    dag_nodes: int = 0
-    candidates: int = 0
-    total_profit: int = 0
-    annotated_statements: int = 0
-    solver: str = "none"
-    feasible: bool = False
-
-    def __str__(self) -> str:
-        if not self.feasible:
-            return "analysis: no beneficial prioritization found"
-        return (
-            f"analysis: {self.dag_nodes} nodes, {self.candidates} reuse "
-            f"candidates, profit {self.total_profit}, "
-            f"{self.annotated_statements} ops annotated ({self.solver})"
-        )
+           "BatchCompiler", "AnalysisReport", "PipelineReport"]
 
 
 @dataclass
@@ -101,7 +76,10 @@ class CompiledProgram:
     def __init__(self, config: CompilerConfig, unit: A.TranslationUnit,
                  entry: str, python_source: str, c_source: str,
                  priority_map: Dict[int, str],
-                 report: Optional[AnalysisReport]) -> None:
+                 report: Optional[AnalysisReport],
+                 pipeline_report: Optional[PipelineReport] = None,
+                 dumps: Optional[Dict[str, str]] = None,
+                 diagnostics: Optional[List[str]] = None) -> None:
         self.config = config
         self.unit = unit
         self.entry = entry
@@ -109,6 +87,9 @@ class CompiledProgram:
         self.c_source = c_source
         self.priority_map = priority_map
         self.analysis_report = report
+        self.pipeline_report = pipeline_report
+        self.dumps = dumps if dumps is not None else {}
+        self.diagnostics = diagnostics if diagnostics is not None else []
         namespace: Dict[str, Any] = {}
         exec(compile(python_source, f"<safegen:{entry}>", "exec"), namespace)
         self._namespace = namespace
@@ -165,108 +146,36 @@ class SafeGen:
     def __init__(self, config: Optional[CompilerConfig] = None) -> None:
         self.config = config if config is not None else CompilerConfig()
 
-    def compile(self, source: str, entry: Optional[str] = None
+    def compile(self, source: str, entry: Optional[str] = None,
+                emit_after: Optional[Iterable[str]] = None
                 ) -> CompiledProgram:
         """Compile C source into a sound runnable program.
 
         ``entry`` names the function to expose (default: the last function
-        defined with a body).
+        defined with a body).  ``emit_after`` names passes whose
+        intermediate output should be kept on ``CompiledProgram.dumps``.
         """
-        unit = parse(source)
-        with_bodies = [f for f in unit.funcs if f.body is not None]
-        if not with_bodies:
-            raise CompileError("no function with a body in the input")
-        if entry is None:
-            entry = with_bodies[-1].name
-        else:
-            unit.func(entry)  # raises KeyError for unknown names
-
-        lower_simd(unit)
-        typecheck(unit)
-        alpha_rename(unit)  # C block scoping -> unique names (Python scoping)
-        fold_constants(unit)
-        to_tac(unit)
-        typecheck(unit)  # re-annotate types on TAC-introduced nodes
-
-        priority_map: Dict[int, str] = {}
-        report: Optional[AnalysisReport] = None
-        if self.config.mode == "aa" and self.config.prioritize:
-            priority_map, report = self._analyze(unit.func(entry))
-
-        python_source = generate_python(unit)
-        flavor = self._c_flavor()
-        c_source = generate_c(unit, flavor)
-        return CompiledProgram(self.config, unit, entry, python_source,
-                               c_source, priority_map, report)
+        manager = PassManager.for_config(self.config, emit_after=emit_after)
+        state, report = manager.run(source, entry=entry)
+        if state.python_source is None or state.c_source is None:
+            raise CompileError(
+                "pipeline produced no output (missing codegen passes?)")
+        return CompiledProgram(self.config, state.unit, state.entry,
+                               state.python_source, state.c_source,
+                               state.priority_map, state.analysis_report,
+                               pipeline_report=report, dumps=state.dumps,
+                               diagnostics=state.diagnostics)
 
     def annotate(self, source: str, entry: Optional[str] = None) -> str:
         """Run only the preprocessing of Fig. 6 and return the input program
         (in TAC form) annotated with ``#pragma safegen prioritize`` lines —
         the paper's Fig. 7 output."""
-        unit = parse(source)
-        with_bodies = [f for f in unit.funcs if f.body is not None]
-        if not with_bodies:
-            raise CompileError("no function with a body in the input")
-        if entry is None:
-            entry = with_bodies[-1].name
-        lower_simd(unit)
-        typecheck(unit)
-        alpha_rename(unit)
-        fold_constants(unit)
-        to_tac(unit)
-        typecheck(unit)
-        self._analyze(unit.func(entry))
-        return generate_c(unit, "plain")
+        from .codegen_c import generate_c
 
-    def _c_flavor(self) -> str:
-        from ..aa import Precision
-
-        if self.config.mode == "ia":
-            return "ia-f64"
-        if self.config.mode == "ia_dd":
-            return "ia-dd"
-        return "aa-dda" if self.config.precision is Precision.DD else "aa-f64a"
-
-    def _analyze(self, func: A.FuncDef):
-        from .. import analysis as ana  # local import: avoids an import cycle
-
-        cfg = self.config
-        target = func
-        if cfg.unroll:
-            target = ana.unroll_for_analysis(
-                func, budget=cfg.unroll_budget, int_params=cfg.int_params
-            )
-        dag = ana.build_dag(target)
-        candidates = ana.find_reuse_candidates(dag)
-        problem = ana.MaxReuseProblem(dag=dag, candidates=candidates, k=cfg.k)
-        solver = cfg.solver
-        if solver == "auto":
-            # The exact ILP for big unrolled instances can explode; HiGHS
-            # handles thousands of variables fine, beyond that go greedy.
-            n_vars = len(candidates) + sum(len(c.connection) for c in candidates)
-            solver = "ilp" if n_vars <= 200_000 and len(candidates) <= 4000 \
-                else "greedy"
-        if solver == "ilp":
-            try:
-                assignment = ana.solve_ilp(problem,
-                                           time_limit=cfg.ilp_time_limit)
-            except Exception:
-                solver = "greedy"
-                assignment = ana.solve_greedy(problem)
-        else:
-            assignment = ana.solve_greedy(problem)
-        pragmas = ana.priority_pragmas(dag, assignment,
-                                       cfg.vote_threshold)
-        annotated = ana.apply_pragmas(func, pragmas)
-        report = AnalysisReport(
-            dag_nodes=dag.n_nodes,
-            candidates=len(candidates),
-            total_profit=assignment.total_profit,
-            annotated_statements=annotated,
-            solver=solver,
-            feasible=not assignment.is_empty() and annotated > 0,
-        )
-        return pragmas, report
+        passes = list(FRONTEND) + [AnalyzePass(force=True)]
+        manager = PassManager(self.config, passes=passes)
+        state, _ = manager.run(source, entry=entry)
+        return generate_c(state.unit, "plain")
 
 
 class BatchCompiler:
@@ -338,6 +247,7 @@ class BatchCompiler:
                 priority_map=dict(value["priority_map"]),
                 report=None,
                 compile_s=value["compile_s"],
+                pipeline=value.get("pipeline"),
             )
             # Warm the parent cache with what the workers produced; prefer
             # an existing entry (it carries the full analysis report).

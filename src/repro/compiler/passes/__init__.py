@@ -1,0 +1,44 @@
+"""Pass-manager architecture for the SafeGen pipeline.
+
+Importing this package registers the builtin stage passes (``stages``) and
+the sound TAC optimizations (``optim``) in the pass registry.
+"""
+
+from .base import AnalysisReport, CompilationState, Pass, PassReport, \
+    PipelineReport, unit_metrics
+from .manager import BACKEND, FRONTEND, OPTIMIZATIONS, PassManager, \
+    available_passes, default_pipeline, register_pass, resolve_pass
+from .optim import CsePass, DeadTempPass
+from .stages import AnalyzePass, CodegenCPass, CodegenPyPass, ConstFoldPass, \
+    ParsePass, RenamePass, RetypecheckPass, SimdPass, TacPass, \
+    TypecheckPass, c_flavor
+
+__all__ = [
+    "AnalysisReport",
+    "AnalyzePass",
+    "BACKEND",
+    "CodegenCPass",
+    "CodegenPyPass",
+    "CompilationState",
+    "ConstFoldPass",
+    "CsePass",
+    "DeadTempPass",
+    "FRONTEND",
+    "OPTIMIZATIONS",
+    "ParsePass",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "PipelineReport",
+    "RenamePass",
+    "RetypecheckPass",
+    "SimdPass",
+    "TacPass",
+    "TypecheckPass",
+    "available_passes",
+    "c_flavor",
+    "default_pipeline",
+    "register_pass",
+    "resolve_pass",
+    "unit_metrics",
+]

@@ -1,0 +1,204 @@
+"""Pass-manager foundations: compilation state, the pass protocol, and
+per-pass instrumentation.
+
+The SafeGen pipeline (paper Fig. 1 + Fig. 6) is expressed as a sequence of
+:class:`Pass` objects transforming one shared :class:`CompilationState`.
+Each pass is timed and measured (AST/TAC node count and floating-point
+operation count before/after); the measurements accumulate into a
+:class:`PipelineReport` that rides on :class:`CompiledProgram`, in
+``BenchResult`` rows, and in ``ServiceStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import cast as A
+from ..tac import _is_float_op
+
+__all__ = [
+    "AnalysisReport",
+    "CompilationState",
+    "Pass",
+    "PassReport",
+    "PipelineReport",
+    "unit_metrics",
+]
+
+
+@dataclass
+class AnalysisReport:
+    """What the static analysis did (Section VI) — attached to programs
+    compiled with prioritization."""
+
+    dag_nodes: int = 0
+    candidates: int = 0
+    total_profit: int = 0
+    annotated_statements: int = 0
+    solver: str = "none"
+    feasible: bool = False
+
+    def __str__(self) -> str:
+        if not self.feasible:
+            return "analysis: no beneficial prioritization found"
+        return (
+            f"analysis: {self.dag_nodes} nodes, {self.candidates} reuse "
+            f"candidates, profit {self.total_profit}, "
+            f"{self.annotated_statements} ops annotated ({self.solver})"
+        )
+
+
+@dataclass
+class CompilationState:
+    """Everything the pipeline knows about one compilation in flight.
+
+    Passes mutate this in place: the frontend fills ``unit`` and resolves
+    ``entry``; transformation passes rewrite ``unit``; the analysis pass
+    fills ``priority_map``/``analysis_report``; the codegens fill
+    ``python_source``/``c_source``.  ``dumps`` collects the intermediate
+    program text after passes named in the manager's ``emit_after`` set
+    (the CLI's ``--emit-after``), and ``diagnostics`` collects free-form
+    notes passes want surfaced (e.g. what an optimization removed).
+    """
+
+    source: str
+    config: Any
+    entry: Optional[str] = None
+    unit: Optional[A.TranslationUnit] = None
+    priority_map: Dict[int, str] = field(default_factory=dict)
+    analysis_report: Optional[AnalysisReport] = None
+    python_source: Optional[str] = None
+    c_source: Optional[str] = None
+    diagnostics: List[str] = field(default_factory=list)
+    dumps: Dict[str, str] = field(default_factory=dict)
+
+    def note(self, message: str) -> None:
+        self.diagnostics.append(message)
+
+
+class Pass:
+    """One pipeline stage.  Subclasses set ``name`` (the registry key used
+    by ``CompilerConfig.passes`` and ``--passes``) and implement
+    :meth:`run`, mutating the state in place."""
+
+    name: str = "?"
+
+    def run(self, state: CompilationState) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<pass {self.name}>"
+
+
+def unit_metrics(unit: Optional[A.TranslationUnit]) -> Tuple[int, int]:
+    """(AST node count, floating-point operation count) of a unit.
+
+    The float-op count is the number of expression nodes the TAC/analysis
+    layers treat as one affine-library call at run time (``_is_float_op``);
+    it is only meaningful once types are annotated, and 0 before parsing.
+    """
+    if unit is None:
+        return 0, 0
+    nodes = 0
+    float_ops = 0
+    stack: List[Any] = [unit]
+    while stack:
+        node = stack.pop()
+        nodes += 1
+        if isinstance(node, A.Expr) and _is_float_op(node):
+            float_ops += 1
+        for f in getattr(node, "__dataclass_fields__", {}):
+            v = getattr(node, f)
+            if isinstance(v, A.Node):
+                stack.append(v)
+            elif isinstance(v, list):
+                stack.extend(item for item in v if isinstance(item, A.Node))
+    return nodes, float_ops
+
+
+@dataclass
+class PassReport:
+    """Instrumentation for one executed pass."""
+
+    name: str
+    wall_s: float = 0.0
+    nodes_before: int = 0
+    nodes_after: int = 0
+    float_ops_before: int = 0
+    float_ops_after: int = 0
+
+    @property
+    def nodes_delta(self) -> int:
+        return self.nodes_after - self.nodes_before
+
+    @property
+    def float_ops_delta(self) -> int:
+        return self.float_ops_after - self.float_ops_before
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_s": round(self.wall_s, 6),
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "float_ops_before": self.float_ops_before,
+            "float_ops_after": self.float_ops_after,
+        }
+
+
+@dataclass
+class PipelineReport:
+    """The per-pass instrumentation of one full compilation."""
+
+    passes: List[PassReport] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(p.wall_s for p in self.passes)
+
+    @property
+    def float_ops(self) -> int:
+        """Float-op count of the final program (0 when nothing ran)."""
+        return self.passes[-1].float_ops_after if self.passes else 0
+
+    @property
+    def float_ops_removed(self) -> int:
+        """Float ops eliminated after TAC introduced them (optimization
+        wins; constant folding removes ops *before* TAC counts them)."""
+        removed = 0
+        for p in self.passes:
+            if p.float_ops_after < p.float_ops_before:
+                removed += p.float_ops_before - p.float_ops_after
+        return removed
+
+    def timings(self) -> Dict[str, float]:
+        """Pass name -> wall seconds (summed over duplicate names)."""
+        out: Dict[str, float] = {}
+        for p in self.passes:
+            out[p.name] = out.get(p.name, 0.0) + p.wall_s
+        return out
+
+    def pass_report(self, name: str) -> Optional[PassReport]:
+        for p in self.passes:
+            if p.name == name:
+                return p
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_s": round(self.total_s, 6),
+            "passes": [p.to_dict() for p in self.passes],
+        }
+
+    def __str__(self) -> str:
+        width = max([len(p.name) for p in self.passes] + [4])
+        lines = [f"{'pass'.ljust(width)}  {'ms':>9}  {'nodes':>7}  "
+                 f"{'fops':>5}  {'Δfops':>5}"]
+        for p in self.passes:
+            lines.append(
+                f"{p.name.ljust(width)}  {p.wall_s * 1e3:>9.3f}  "
+                f"{p.nodes_after:>7}  {p.float_ops_after:>5}  "
+                f"{p.float_ops_delta:>+5}")
+        lines.append(f"{'total'.ljust(width)}  {self.total_s * 1e3:>9.3f}")
+        return "\n".join(lines)

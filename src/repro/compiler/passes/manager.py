@@ -1,0 +1,136 @@
+"""The pass manager: a declared pipeline of registered passes, run with
+per-pass instrumentation.
+
+Passes register under a short name (``@register_pass("tac")``); a pipeline
+is a list of names (``CompilerConfig.passes`` / CLI ``--passes``) or pass
+instances.  ``PassManager.run`` executes the pipeline over one
+:class:`CompilationState`, timing each pass and measuring the unit before
+and after, and returns the state with a :class:`PipelineReport` attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from ...errors import CompileError
+from .base import CompilationState, Pass, PassReport, PipelineReport, \
+    unit_metrics
+
+__all__ = [
+    "PassManager",
+    "available_passes",
+    "default_pipeline",
+    "register_pass",
+    "resolve_pass",
+]
+
+_REGISTRY: Dict[str, Type[Pass]] = {}
+
+#: The classic SafeGen stage order (paper Fig. 1 + Fig. 6).
+FRONTEND = ("parse", "simd", "typecheck", "rename", "constfold", "tac",
+            "retypecheck")
+#: Sound TAC-level optimizations (on by default; dropped by ``--no-opt``).
+OPTIMIZATIONS = ("cse", "dte")
+BACKEND = ("analyze", "codegen-py", "codegen-c")
+
+
+def register_pass(name: str):
+    """Class decorator: make ``cls`` constructible by name in pipelines."""
+
+    def deco(cls: Type[Pass]) -> Type[Pass]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def available_passes() -> List[str]:
+    """All registered pass names (importing the package registers the
+    builtin stages)."""
+    from . import stages, optim  # noqa: F401  (import for side effect)
+
+    return sorted(_REGISTRY)
+
+
+def resolve_pass(spec: Union[str, Pass]) -> Pass:
+    if isinstance(spec, Pass):
+        return spec
+    from . import stages, optim  # noqa: F401  (import for side effect)
+
+    cls = _REGISTRY.get(spec)
+    if cls is None:
+        raise CompileError(
+            f"unknown pass {spec!r} (available: {', '.join(sorted(_REGISTRY))})"
+        )
+    return cls()
+
+
+def default_pipeline(config) -> List[str]:
+    """The pipeline a config compiles with when it does not name one."""
+    names = list(FRONTEND)
+    if getattr(config, "opt", True):
+        names.extend(OPTIMIZATIONS)
+    names.extend(BACKEND)
+    return names
+
+
+class PassManager:
+    """Runs a declared pipeline over a compilation, instrumented.
+
+    ``passes`` may mix registered names and pass instances; ``None`` takes
+    ``config.passes`` (when set) or the default pipeline for the config.
+    ``emit_after`` names passes whose output should be dumped as plain C
+    into ``state.dumps`` (the CLI's ``--emit-after``).
+    """
+
+    def __init__(self, config,
+                 passes: Optional[Sequence[Union[str, Pass]]] = None,
+                 emit_after: Optional[Iterable[str]] = None) -> None:
+        self.config = config
+        if passes is None:
+            passes = getattr(config, "passes", None) or \
+                default_pipeline(config)
+        self.passes: List[Pass] = [resolve_pass(p) for p in passes]
+        self.emit_after = set(emit_after or ())
+        unknown = self.emit_after - {p.name for p in self.passes}
+        if unknown:
+            raise CompileError(
+                f"--emit-after names passes not in the pipeline: "
+                f"{', '.join(sorted(unknown))}")
+
+    @classmethod
+    def for_config(cls, config,
+                   emit_after: Optional[Iterable[str]] = None
+                   ) -> "PassManager":
+        return cls(config, emit_after=emit_after)
+
+    def run(self, source: str, entry: Optional[str] = None
+            ) -> tuple[CompilationState, PipelineReport]:
+        state = CompilationState(source=source, config=self.config,
+                                 entry=entry)
+        report = PipelineReport()
+        for p in self.passes:
+            nodes_before, fops_before = unit_metrics(state.unit)
+            t0 = time.perf_counter()
+            p.run(state)
+            wall_s = time.perf_counter() - t0
+            nodes_after, fops_after = unit_metrics(state.unit)
+            report.passes.append(PassReport(
+                name=p.name, wall_s=wall_s,
+                nodes_before=nodes_before, nodes_after=nodes_after,
+                float_ops_before=fops_before, float_ops_after=fops_after,
+            ))
+            if p.name in self.emit_after:
+                state.dumps[p.name] = self._dump(state)
+        return state, report
+
+    @staticmethod
+    def _dump(state: CompilationState) -> str:
+        """Plain-C rendering of the unit as it stands (AST or TAC form)."""
+        if state.unit is None:
+            return state.source
+        from ..codegen_c import generate_c
+
+        return generate_c(state.unit, "plain")

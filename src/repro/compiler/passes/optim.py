@@ -1,0 +1,364 @@
+"""Sound TAC-level optimization passes: CSE and dead-temporary elimination.
+
+Both passes run on the TAC form (one float op per statement) and preserve
+the rounding behaviour of every value the program still computes:
+
+* **CSE** replaces a float operation whose operator and operands are
+  syntactically identical to one already available with a copy of the
+  earlier result.  Re-running an identical rounded operation is
+  bit-identical to reusing its result, so the replacement is exact — and
+  in the affine world it is an improvement beyond speed, because the reused
+  result carries the *same* noise symbols instead of fresh ones, keeping
+  correlations that subtraction can cancel.  No commutative reordering is
+  attempted; only literally identical operand lists match.
+
+* **DTE** removes declarations whose value is never read.  Only
+  side-effect-free initializers are eligible: division, ``sqrt`` and
+  ``log`` can raise on invalid ranges at affine-evaluation time, so
+  statements containing them are kept even when dead.
+
+Neither pass touches statements carrying a ``prioritize`` annotation —
+those anchor the analysis/runtime protection protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import cast as A
+from ..tac import _is_float_op
+from ..typecheck import MATH_FUNCS
+from .base import CompilationState, Pass
+from .manager import register_pass
+
+__all__ = ["CsePass", "DeadTempPass"]
+
+_DOUBLE = A.CType("double")
+
+# Calls that cannot raise for any finite input range (``sqrt``/``log`` have
+# domain errors; division can hit a zero-straddling range).
+_SAFE_CALLS = frozenset({"fabs", "fmin", "fmax", "exp"})
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+def _root_name(e: A.Expr) -> Optional[str]:
+    """The variable a store/increment ultimately writes through."""
+    while isinstance(e, (A.Index, A.UnOp, A.Cast)):
+        if isinstance(e, A.Index):
+            e = e.base
+        elif isinstance(e, A.UnOp):
+            e = e.operand
+        else:
+            e = e.expr
+    return e.name if isinstance(e, A.Ident) else None
+
+
+_MUTATING_UNOPS = ("++", "--", "p++", "p--", "&")
+
+
+def assigned_names(node, acc: Optional[Set[str]] = None) -> Set[str]:
+    """Every name a statement subtree may write (or alias via ``&``)."""
+    if acc is None:
+        acc = set()
+    if isinstance(node, A.Decl):
+        acc.add(node.name)
+    elif isinstance(node, A.Assign):
+        name = _root_name(node.target)
+        if name is not None:
+            acc.add(name)
+    elif isinstance(node, A.UnOp) and node.op in _MUTATING_UNOPS:
+        name = _root_name(node.operand)
+        if name is not None:
+            acc.add(name)
+    for f in getattr(node, "__dataclass_fields__", {}):
+        v = getattr(node, f)
+        if isinstance(v, A.Node):
+            assigned_names(v, acc)
+        elif isinstance(v, list):
+            for item in v:
+                if isinstance(item, A.Node):
+                    assigned_names(item, acc)
+    return acc
+
+
+def _has_impure_call(node) -> bool:
+    """Whether the subtree calls anything outside the math whitelist."""
+    if isinstance(node, A.Call) and node.name not in MATH_FUNCS:
+        return True
+    for f in getattr(node, "__dataclass_fields__", {}):
+        v = getattr(node, f)
+        if isinstance(v, A.Node) and _has_impure_call(v):
+            return True
+        if isinstance(v, list):
+            for item in v:
+                if isinstance(item, A.Node) and _has_impure_call(item):
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# common-subexpression elimination
+# ---------------------------------------------------------------------------
+
+# An availability entry: expression key -> (holder variable, operand names).
+_Env = Dict[tuple, Tuple[str, Set[str]]]
+
+
+def _operand_key(e: A.Expr) -> Optional[tuple]:
+    """Key for a *simple* operand; None disqualifies the expression.
+
+    Literal keys use ``float.hex`` so that ``0.0`` and ``-0.0`` (equal under
+    ``==`` but not bit-identical) never match each other.
+    """
+    if isinstance(e, A.Ident):
+        return ("id", e.name)
+    if isinstance(e, A.IntLit):
+        return ("int", e.value)
+    if isinstance(e, A.FloatLit):
+        return ("flt", float(e.value).hex())
+    if isinstance(e, A.IntervalLit):
+        return ("ivl", float(e.lo).hex(), float(e.hi).hex())
+    return None
+
+
+def _expr_key(e: A.Expr) -> Optional[Tuple[tuple, Set[str]]]:
+    """(key, operand names) for a pure float op over simple operands."""
+    if isinstance(e, A.BinOp):
+        lhs, rhs = _operand_key(e.lhs), _operand_key(e.rhs)
+        if lhs is None or rhs is None:
+            return None
+        key = ("bin", e.op, lhs, rhs)
+        operands = [e.lhs, e.rhs]
+    elif isinstance(e, A.UnOp):
+        op = _operand_key(e.operand)
+        if op is None:
+            return None
+        key = ("un", e.op, op)
+        operands = [e.operand]
+    elif isinstance(e, A.Call):
+        arg_keys = [_operand_key(a) for a in e.args]
+        if any(k is None for k in arg_keys):
+            return None
+        key = ("call", e.name, tuple(arg_keys))
+        operands = list(e.args)
+    else:
+        return None
+    names = {o.name for o in operands if isinstance(o, A.Ident)}
+    return key, names
+
+
+def _kill(env: _Env, names: Set[str]) -> None:
+    if not names:
+        return
+    for key in [k for k, (holder, used) in env.items()
+                if holder in names or (used & names)]:
+        del env[key]
+
+
+class _Cse:
+    """One function's CSE walk.  ``env`` maps available-expression keys to
+    the variable holding the result; control flow copies and kills it."""
+
+    def __init__(self) -> None:
+        self.replaced = 0
+
+    def block(self, stmts: List[A.Stmt], env: _Env) -> None:
+        for s in stmts:
+            self.stmt(s, env)
+
+    def stmt(self, s: A.Stmt, env: _Env) -> None:
+        if isinstance(s, A.Compound):
+            # Post-alpha-rename names are function-unique, so nested blocks
+            # share the enclosing environment.
+            self.block(s.stmts, env)
+        elif isinstance(s, A.Decl):
+            self._decl(s, env)
+        elif isinstance(s, A.ExprStmt):
+            self._expr_stmt(s, env)
+        elif isinstance(s, A.If):
+            _kill(env, assigned_names(s.cond))
+            self.stmt(s.then, dict(env))
+            if s.els is not None:
+                self.stmt(s.els, dict(env))
+            _kill(env, assigned_names(s))
+        elif isinstance(s, (A.For, A.While, A.DoWhile)):
+            # The body may run many times: anything the loop writes is
+            # unavailable both inside (back-edge) and after it.
+            _kill(env, assigned_names(s))
+            self.stmt(s.body, dict(env))
+        # Return/Break/Continue/Pragma: nothing to do (post-TAC their
+        # expressions are simple).
+
+    def _decl(self, s: A.Decl, env: _Env) -> None:
+        if s.init is None:
+            return
+        if _has_impure_call(s.init):
+            env.clear()
+            return
+        if not _is_float_op(s.init) or s.prioritize is not None:
+            return
+        keyed = _expr_key(s.init)
+        if keyed is None:
+            return
+        key, operand_names = keyed
+        hit = env.get(key)
+        if hit is not None:
+            ident = A.Ident(loc=s.init.loc, name=hit[0])
+            ident.ty = s.init.ty
+            s.init = ident
+            s.stmt_id = None
+            self.replaced += 1
+        elif isinstance(s.type, A.CType) and s.type.is_float():
+            env[key] = (s.name, operand_names)
+
+    def _expr_stmt(self, s: A.ExprStmt, env: _Env) -> None:
+        e = s.expr
+        if _has_impure_call(e):
+            env.clear()
+            return
+        if not isinstance(e, A.Assign):
+            _kill(env, assigned_names(e))
+            return
+        target_name = e.target.name if isinstance(e.target, A.Ident) else None
+        if _is_float_op(e.value) and s.prioritize is None:
+            keyed = _expr_key(e.value)
+            if keyed is not None:
+                key, operand_names = keyed
+                hit = env.get(key)
+                if hit is not None and hit[0] != target_name:
+                    ident = A.Ident(loc=e.value.loc, name=hit[0])
+                    ident.ty = e.value.ty
+                    e.value = ident
+                    s.stmt_id = None
+                    self.replaced += 1
+                    _kill(env, assigned_names(s))
+                    return
+                _kill(env, assigned_names(s))
+                if target_name is not None and \
+                        target_name not in operand_names and \
+                        isinstance(e.target.ty, A.CType) and \
+                        e.target.ty.is_float():
+                    env[key] = (target_name, operand_names)
+                return
+        _kill(env, assigned_names(s))
+
+
+@register_pass("cse")
+class CsePass(Pass):
+    """Common-subexpression elimination over pure float ops (TAC form)."""
+
+    def run(self, state: CompilationState) -> None:
+        total = 0
+        for f in state.unit.funcs:
+            if f.body is None:
+                continue
+            walker = _Cse()
+            walker.block(f.body.stmts, {})
+            total += walker.replaced
+        if total:
+            state.note(f"cse: reused {total} redundant float op(s)")
+
+
+# ---------------------------------------------------------------------------
+# dead-temporary elimination
+# ---------------------------------------------------------------------------
+
+def _count_ident_uses(node, acc: Dict[str, int]) -> None:
+    if isinstance(node, A.Ident):
+        acc[node.name] = acc.get(node.name, 0) + 1
+    for f in getattr(node, "__dataclass_fields__", {}):
+        v = getattr(node, f)
+        if isinstance(v, A.Node):
+            _count_ident_uses(v, acc)
+        elif isinstance(v, list):
+            for item in v:
+                if isinstance(item, A.Node):
+                    _count_ident_uses(item, acc)
+
+
+def _init_is_removable(e: Optional[A.Expr]) -> bool:
+    """Whether dropping this initializer can change observable behaviour.
+
+    Division and ``sqrt``/``log`` calls can raise for some input ranges at
+    affine-evaluation time, so they must execute even if their result is
+    never read.
+    """
+    if e is None:
+        return True
+    if isinstance(e, (A.IntLit, A.FloatLit, A.IntervalLit, A.Ident, A.Index)):
+        return True
+    if isinstance(e, A.BinOp):
+        return e.op in ("+", "-", "*") and _init_is_removable(e.lhs) \
+            and _init_is_removable(e.rhs)
+    if isinstance(e, A.UnOp):
+        return e.op in ("-", "+", "!", "~") and _init_is_removable(e.operand)
+    if isinstance(e, A.Call):
+        return e.name in _SAFE_CALLS and all(_init_is_removable(a)
+                                             for a in e.args)
+    if isinstance(e, A.Cast):
+        return _init_is_removable(e.expr)
+    return False
+
+
+def _dead_decls(func: A.FuncDef) -> Set[int]:
+    """ids() of Decl statements that are provably dead this round."""
+    uses: Dict[str, int] = {}
+    _count_ident_uses(func, uses)
+    dead: Set[int] = set()
+
+    def visit(node) -> None:
+        for f in getattr(node, "__dataclass_fields__", {}):
+            v = getattr(node, f)
+            items = v if isinstance(v, list) else \
+                [v] if isinstance(v, A.Node) else []
+            for item in items:
+                # Only statement-list members can be stripped; a Decl in a
+                # single-statement position (e.g. an If arm) stays put.
+                if isinstance(v, list) and isinstance(item, A.Decl) \
+                        and isinstance(item.type, A.CType) \
+                        and item.prioritize is None \
+                        and uses.get(item.name, 0) == 0 \
+                        and _init_is_removable(item.init):
+                    dead.add(id(item))
+                if isinstance(item, A.Node):
+                    visit(item)
+
+    visit(func)
+    return dead
+
+
+def _strip_decls(node, dead: Set[int]) -> None:
+    """Remove dead Decl statements from every statement list in place."""
+    for f in getattr(node, "__dataclass_fields__", {}):
+        v = getattr(node, f)
+        if isinstance(v, list):
+            kept = [item for item in v if id(item) not in dead]
+            if len(kept) != len(v):
+                v[:] = kept
+            for item in kept:
+                if isinstance(item, A.Node):
+                    _strip_decls(item, dead)
+        elif isinstance(v, A.Node):
+            _strip_decls(v, dead)
+
+
+@register_pass("dte")
+class DeadTempPass(Pass):
+    """Dead-temporary elimination: drop never-read, non-trapping decls."""
+
+    def run(self, state: CompilationState) -> None:
+        total = 0
+        for f in state.unit.funcs:
+            if f.body is None:
+                continue
+            while True:
+                dead = _dead_decls(f)
+                if not dead:
+                    break
+                _strip_decls(f.body, dead)
+                total += len(dead)
+        if total:
+            state.note(f"dte: removed {total} dead declaration(s)")

@@ -1,0 +1,194 @@
+"""The classic SafeGen stages, wrapped as registered passes.
+
+Each pass delegates to the existing stage module (``cparser``, ``simd``,
+``typecheck``, ``rename``, ``constfold``, ``tac``, ``repro.analysis``,
+``codegen_py``/``codegen_c``); the pass layer adds only the shared state
+plumbing and the instrumentation hooks of the manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...errors import CompileError
+from .. import cast as A
+from ..codegen_c import generate_c
+from ..codegen_py import generate_python
+from ..constfold import fold_constants
+from ..cparser import parse
+from ..rename import alpha_rename
+from ..simd import lower_simd
+from ..tac import to_tac
+from ..typecheck import typecheck
+from .base import AnalysisReport, CompilationState, Pass
+from .manager import register_pass
+
+__all__ = [
+    "AnalyzePass",
+    "CodegenCPass",
+    "CodegenPyPass",
+    "ConstFoldPass",
+    "ParsePass",
+    "RenamePass",
+    "RetypecheckPass",
+    "SimdPass",
+    "TacPass",
+    "TypecheckPass",
+    "c_flavor",
+]
+
+
+def c_flavor(config) -> str:
+    """Which C dialect the C backend should emit for a config."""
+    from ...aa import Precision
+
+    if config.mode == "ia":
+        return "ia-f64"
+    if config.mode == "ia_dd":
+        return "ia-dd"
+    return "aa-dda" if config.precision is Precision.DD else "aa-f64a"
+
+
+@register_pass("parse")
+class ParsePass(Pass):
+    """Lexer + parser; also resolves the entry function (default: the last
+    function defined with a body)."""
+
+    def run(self, state: CompilationState) -> None:
+        unit = parse(state.source)
+        with_bodies = [f for f in unit.funcs if f.body is not None]
+        if not with_bodies:
+            raise CompileError("no function with a body in the input")
+        if state.entry is None:
+            state.entry = with_bodies[-1].name
+        else:
+            unit.func(state.entry)  # raises KeyError for unknown names
+        state.unit = unit
+
+
+@register_pass("simd")
+class SimdPass(Pass):
+    """SIMD-to-C lowering of vector intrinsics."""
+
+    def run(self, state: CompilationState) -> None:
+        lower_simd(state.unit)
+
+
+@register_pass("typecheck")
+class TypecheckPass(Pass):
+    """Semantic analysis: annotate every expression with its type."""
+
+    def run(self, state: CompilationState) -> None:
+        typecheck(state.unit)
+
+
+@register_pass("rename")
+class RenamePass(Pass):
+    """C block scoping -> unique names (Python scoping)."""
+
+    def run(self, state: CompilationState) -> None:
+        alpha_rename(state.unit)
+
+
+@register_pass("constfold")
+class ConstFoldPass(Pass):
+    """Sound constant folding over literal ranges (Section IV-B)."""
+
+    def run(self, state: CompilationState) -> None:
+        fold_constants(state.unit)
+
+
+@register_pass("tac")
+class TacPass(Pass):
+    """Three-address-code transformation (Section VI-C)."""
+
+    def run(self, state: CompilationState) -> None:
+        to_tac(state.unit)
+
+
+@register_pass("retypecheck")
+class RetypecheckPass(Pass):
+    """Re-annotate types on TAC-introduced nodes."""
+
+    def run(self, state: CompilationState) -> None:
+        typecheck(state.unit)
+
+
+@register_pass("analyze")
+class AnalyzePass(Pass):
+    """The unroll -> DAG -> reuse candidates -> max-reuse ILP chain
+    (Section VI), annotating prioritized operations.
+
+    Self-skipping: runs only for affine configs with prioritization on
+    (``force=True`` overrides, for ``SafeGen.annotate``)."""
+
+    def __init__(self, force: bool = False) -> None:
+        self.force = force
+
+    def run(self, state: CompilationState) -> None:
+        cfg = state.config
+        if cfg.mode != "aa" or not (cfg.prioritize or self.force):
+            return
+        func = state.unit.func(state.entry)
+        priority_map, report = self._analyze(cfg, func)
+        state.priority_map = priority_map
+        state.analysis_report = report
+
+    @staticmethod
+    def _analyze(cfg, func: A.FuncDef
+                 ) -> Tuple[Dict[int, str], AnalysisReport]:
+        from ... import analysis as ana  # local import: avoids an import cycle
+
+        target = func
+        if cfg.unroll:
+            target = ana.unroll_for_analysis(
+                func, budget=cfg.unroll_budget, int_params=cfg.int_params
+            )
+        dag = ana.build_dag(target)
+        candidates = ana.find_reuse_candidates(dag)
+        problem = ana.MaxReuseProblem(dag=dag, candidates=candidates, k=cfg.k)
+        solver = cfg.solver
+        if solver == "auto":
+            # The exact ILP for big unrolled instances can explode; HiGHS
+            # handles thousands of variables fine, beyond that go greedy.
+            n_vars = len(candidates) + sum(len(c.connection)
+                                           for c in candidates)
+            solver = "ilp" if n_vars <= 200_000 and len(candidates) <= 4000 \
+                else "greedy"
+        if solver == "ilp":
+            try:
+                assignment = ana.solve_ilp(problem,
+                                           time_limit=cfg.ilp_time_limit)
+            except Exception:
+                solver = "greedy"
+                assignment = ana.solve_greedy(problem)
+        else:
+            assignment = ana.solve_greedy(problem)
+        pragmas = ana.priority_pragmas(dag, assignment, cfg.vote_threshold)
+        annotated = ana.apply_pragmas(func, pragmas)
+        report = AnalysisReport(
+            dag_nodes=dag.n_nodes,
+            candidates=len(candidates),
+            total_profit=assignment.total_profit,
+            annotated_statements=annotated,
+            solver=solver,
+            feasible=not assignment.is_empty() and annotated > 0,
+        )
+        return pragmas, report
+
+
+@register_pass("codegen-py")
+class CodegenPyPass(Pass):
+    """Python backend: the runnable output (our stand-in for linking the
+    generated C against the affine library)."""
+
+    def run(self, state: CompilationState) -> None:
+        state.python_source = generate_python(state.unit)
+
+
+@register_pass("codegen-c")
+class CodegenCPass(Pass):
+    """C backend: the paper-faithful textual output."""
+
+    def run(self, state: CompilationState) -> None:
+        state.c_source = generate_c(state.unit, c_flavor(state.config))

@@ -11,6 +11,7 @@ __all__ = [
     "SoundnessError",
     "UnsupportedFeatureError",
     "AmbiguousComparisonError",
+    "format_cli_error",
 ]
 
 
@@ -27,6 +28,7 @@ class ParseError(ReproError):
     def __init__(self, message: str, line: int | None = None, col: int | None = None):
         self.line = line
         self.col = col
+        self.raw_message = message
         if line is not None:
             message = f"line {line}" + (f", col {col}" if col is not None else "") + f": {message}"
         super().__init__(message)
@@ -59,3 +61,20 @@ class SoundnessError(ReproError):
 class AmbiguousComparisonError(ReproError):
     """A comparison between overlapping ranges could not be decided and the
     active policy forbids guessing."""
+
+
+def format_cli_error(exc: ReproError, path: str) -> str:
+    """Compiler-style ``file:line:col: message`` rendering of an error.
+
+    Location components are dropped when the exception does not carry them
+    (only :class:`ParseError` does today).
+    """
+    line = getattr(exc, "line", None)
+    col = getattr(exc, "col", None)
+    message = getattr(exc, "raw_message", None) or str(exc)
+    loc = path
+    if line is not None:
+        loc += f":{line}"
+        if col is not None:
+            loc += f":{col}"
+    return f"{loc}: {message}"

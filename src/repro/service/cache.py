@@ -47,6 +47,9 @@ class CacheEntry:
     priority_map: Dict[int, str] = field(default_factory=dict)
     report: Any = None         # AnalysisReport or None
     compile_s: float = 0.0     # what the original compile cost
+    pipeline: Any = None       # PipelineReport or None
+    # Intermediate dumps kept for --emit-after (pass name -> plain C text).
+    dumps: Dict[str, str] = field(default_factory=dict)
 
 
 class CompileCache:

@@ -50,16 +50,11 @@ def _pool_init(cache_dir: Optional[str], maxsize: int) -> None:
 def _pool_execute(payload: dict) -> Tuple[dict, float, ServiceStats]:
     # Ship the cache-counter delta back with the result so the parent's
     # stats reflect what happened inside the worker processes.
-    from dataclasses import fields, replace
-
-    before = replace(_WORKER_SERVICE.stats)
+    before = _WORKER_SERVICE.stats.snapshot()
     t0 = time.perf_counter()
     value = execute_job(payload, _WORKER_SERVICE)
     elapsed = time.perf_counter() - t0
-    after = _WORKER_SERVICE.stats
-    delta = ServiceStats(**{
-        f.name: getattr(after, f.name) - getattr(before, f.name)
-        for f in fields(ServiceStats)})
+    delta = ServiceStats.delta(before, _WORKER_SERVICE.stats)
     return value, elapsed, delta
 
 

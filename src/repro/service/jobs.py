@@ -118,6 +118,9 @@ class JobResult:
         value = self.value
         if isinstance(value, dict):
             value = {k: v for k, v in value.items() if k != "unit_blob"}
+            pipeline = value.get("pipeline")
+            if pipeline is not None and hasattr(pipeline, "to_dict"):
+                value["pipeline"] = pipeline.to_dict()
         return {
             "index": self.index,
             "kind": self.kind,
@@ -216,6 +219,7 @@ def _execute_compile(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
         "priority_map": dict(entry.priority_map),
         "analysis": str(prog.analysis_report) if prog.analysis_report else None,
         "unit_blob": entry.unit_blob,
+        "pipeline": getattr(entry, "pipeline", None),
         "tag": payload.get("tag", {}),
     }
 
@@ -250,6 +254,8 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
         "compile_s": compile_s,
         "times": times,
         "analysis": str(prog.analysis_report) if prog.analysis_report else None,
+        "pass_s": prog.pipeline_report.timings()
+        if prog.pipeline_report is not None else None,
         "tag": payload.get("tag", {}),
     }
     if res.value is not None and hasattr(res.value, "interval"):

@@ -44,30 +44,45 @@ class CompileService:
     def compile(self, source: str,
                 config: Union[None, str, Dict[str, Any], CompilerConfig] = None,
                 k: int = 16, entry: Optional[str] = None,
+                emit_after: Optional[Tuple[str, ...]] = None,
                 **overrides) -> CompiledProgram:
         """Cached equivalent of :func:`repro.compiler.compile_c`."""
         prog, _ = self.compile_entry(source, config, k=k, entry=entry,
-                                     **overrides)
+                                     emit_after=emit_after, **overrides)
         return prog
 
     def compile_entry(self, source: str,
                       config: Union[None, str, Dict[str, Any],
                                     CompilerConfig] = None,
                       k: int = 16, entry: Optional[str] = None,
+                      emit_after: Optional[Tuple[str, ...]] = None,
                       **overrides) -> Tuple[CompiledProgram, CacheEntry]:
-        """Compile (or fetch) and also return the underlying cache entry."""
+        """Compile (or fetch) and also return the underlying cache entry.
+
+        ``emit_after`` requests intermediate dumps; a cached entry missing a
+        requested dump is recompiled and the entry updated in place, so the
+        dumps round-trip through the cache on later lookups.
+        """
         cfg = normalize_config(config, k=k)
         if overrides:
             from dataclasses import replace
 
             cfg = replace(cfg, **overrides)
+        wanted = tuple(emit_after) if emit_after else ()
         key = cfg.cache_key(source, entry=entry)
         cached = self.cache.get(key)
         if cached is not None:
-            return self._rebuild(cfg, cached), cached
+            have = getattr(cached, "dumps", None) or {}
+            if all(name in have for name in wanted):
+                return self._rebuild(cfg, cached), cached
         t0 = time.perf_counter()
-        prog = SafeGen(cfg).compile(source, entry=entry)
+        prog = SafeGen(cfg).compile(source, entry=entry, emit_after=wanted)
         compile_s = time.perf_counter() - t0
+        self.stats.record_pipeline(prog.pipeline_report)
+        dumps = dict(prog.dumps)
+        if cached is not None:
+            # Keep dumps other callers already paid for.
+            dumps = {**(getattr(cached, "dumps", None) or {}), **dumps}
         cache_entry = CacheEntry(
             key=key,
             entry=prog.entry,
@@ -79,6 +94,8 @@ class CompileService:
             priority_map=dict(prog.priority_map),
             report=prog.analysis_report,
             compile_s=compile_s,
+            pipeline=prog.pipeline_report,
+            dumps=dumps,
         )
         self.cache.put(key, cache_entry)
         return prog, cache_entry
@@ -95,9 +112,14 @@ class CompileService:
     def _rebuild(self, cfg: CompilerConfig,
                  entry: CacheEntry) -> CompiledProgram:
         unit = pickle.loads(entry.unit_blob)
+        # getattr: entries pickled by older versions lack the new fields.
         return CompiledProgram(cfg, unit, entry.entry, entry.python_source,
                                entry.c_source, dict(entry.priority_map),
-                               entry.report)
+                               entry.report,
+                               pipeline_report=getattr(entry, "pipeline",
+                                                       None),
+                               dumps=dict(getattr(entry, "dumps", None)
+                                          or {}))
 
     # -- batches ---------------------------------------------------------------------
 

@@ -7,8 +7,9 @@ answers both "how well is the cache doing" and "what happened to my jobs".
 
 from __future__ import annotations
 
+import copy
 import json
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional
 
 __all__ = ["ServiceStats"]
@@ -25,6 +26,9 @@ class ServiceStats:
 
     Engine side: ``jobs_run`` / ``jobs_failed`` / ``jobs_timed_out`` /
     ``jobs_retried`` count batch-job outcomes.
+
+    Pipeline side: ``pass_s`` accumulates wall seconds per compiler pass
+    over every non-cached compilation this service performed.
     """
 
     hits: int = 0
@@ -36,6 +40,7 @@ class ServiceStats:
     jobs_failed: int = 0
     jobs_timed_out: int = 0
     jobs_retried: int = 0
+    pass_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -45,17 +50,51 @@ class ServiceStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def record_pipeline(self, report) -> None:
+        """Fold one compilation's :class:`PipelineReport` timings in."""
+        if report is None:
+            return
+        for name, seconds in report.timings().items():
+            self.pass_s[name] = self.pass_s.get(name, 0.0) + seconds
+
     def to_dict(self) -> Dict[str, Any]:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["hit_rate"] = round(self.hit_rate, 4)
         out["compile_s_saved"] = round(self.compile_s_saved, 6)
+        out["pass_s"] = {k: round(v, 6) for k, v in sorted(self.pass_s.items())}
         return out
+
+    def snapshot(self) -> "ServiceStats":
+        """An independent copy (safe to diff against later)."""
+        return copy.deepcopy(self)
 
     def merge(self, other: "ServiceStats") -> None:
         """Fold another stats object (e.g. from a worker process) into this
         one."""
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, dict):
+                for k, v in theirs.items():
+                    mine[k] = mine.get(k, 0.0) + v
+            else:
+                setattr(self, f.name, mine + theirs)
+
+    @classmethod
+    def delta(cls, before: "ServiceStats",
+              after: "ServiceStats") -> "ServiceStats":
+        """Counter-wise ``after - before`` (worker-process accounting)."""
+        out = cls()
+        for f in fields(cls):
+            b = getattr(before, f.name)
+            a = getattr(after, f.name)
+            if isinstance(a, dict):
+                diff = {k: v - b.get(k, 0.0) for k, v in a.items()
+                        if v != b.get(k, 0.0)}
+                setattr(out, f.name, diff)
+            else:
+                setattr(out, f.name, a - b)
+        return out
 
     def dump_json(self, path: Optional[str] = None) -> str:
         """Serialize the counters as JSON; also write to ``path`` if given."""

@@ -1,0 +1,140 @@
+"""Edge cases for sound constant folding: signed zero, division by zero,
+NaN/inf propagation, and soundness under both rounding directions."""
+
+import math
+from fractions import Fraction
+
+from repro.compiler import cast as A
+from repro.compiler.constfold import fold_constants
+from repro.compiler.cparser import parse
+from repro.compiler.typecheck import typecheck
+
+
+def fold(src):
+    unit = parse(src)
+    typecheck(unit)
+    fold_constants(unit)
+    return unit
+
+
+def init_of(unit, fname="f"):
+    return unit.func(fname).body.stmts[0].init
+
+
+class TestSignedZero:
+    def test_negative_zero_literal_preserved(self):
+        unit = fold("void f(void) { double x = -0.0; }")
+        lit = init_of(unit)
+        assert isinstance(lit, A.FloatLit)
+        assert lit.value == 0.0
+        assert math.copysign(1.0, lit.value) == -1.0
+
+    def test_sum_of_opposite_zeros_encloses_zero(self):
+        # IEEE: (+0.0) + (-0.0) == +0.0 in round-to-nearest.  Whatever form
+        # folding yields, it must enclose 0.
+        unit = fold("void f(void) { double x = 0.0 + -0.0; }")
+        lit = init_of(unit)
+        if isinstance(lit, A.FloatLit):
+            assert lit.value == 0.0
+        elif isinstance(lit, A.IntervalLit):
+            assert lit.lo <= 0.0 <= lit.hi
+        else:  # left unfolded is also sound
+            assert isinstance(lit, (A.BinOp, A.UnOp))
+
+    def test_multiplication_by_negative_zero(self):
+        unit = fold("void f(void) { double x = -0.0 * 5.0; }")
+        lit = init_of(unit)
+        if isinstance(lit, A.FloatLit):
+            assert lit.value == 0.0
+        elif isinstance(lit, A.IntervalLit):
+            assert lit.lo <= 0.0 <= lit.hi
+
+
+class TestDivisionByZero:
+    def test_exact_zero_divisor_not_folded(self):
+        unit = fold("void f(void) { double x = 1.0 / 0.0; }")
+        assert isinstance(init_of(unit), A.BinOp)
+
+    def test_negative_zero_divisor_not_folded(self):
+        unit = fold("void f(void) { double x = 1.0 / -0.0; }")
+        lit = init_of(unit)
+        assert isinstance(lit, (A.BinOp, A.UnOp)) or not isinstance(
+            lit, (A.FloatLit, A.IntervalLit))
+
+    def test_zero_straddling_divisor_not_folded(self):
+        # (0.1 + 0.2) - 0.3 folds to a tiny interval around 1e-17 that may
+        # or may not straddle zero; dividing by an interval containing or
+        # touching zero must never fold to a finite literal claiming
+        # otherwise.  Soundness: if it folded, the enclosure must contain
+        # the true rational value, which here is huge or undefined — so the
+        # expression must stay unfolded.
+        unit = fold(
+            "void f(void) { double x = 1.0 / ((0.1 + 0.2) - 0.3); }")
+        assert isinstance(init_of(unit), A.BinOp)
+
+
+class TestNanInfPropagation:
+    def test_overflow_to_infinity_not_narrowed(self):
+        # 1e308 * 10 overflows; folding must not produce a finite literal.
+        unit = fold("void f(void) { double x = 1e308 * 10.0; }")
+        lit = init_of(unit)
+        if isinstance(lit, A.FloatLit):
+            assert math.isinf(lit.value)
+        elif isinstance(lit, A.IntervalLit):
+            assert math.isinf(lit.hi)
+        else:
+            assert isinstance(lit, A.BinOp)
+
+    def test_inf_minus_inf_not_folded_to_number(self):
+        unit = fold(
+            "void f(void) { double x = 1e308 * 10.0 - 1e308 * 10.0; }")
+        lit = init_of(unit)
+        if isinstance(lit, A.FloatLit):
+            assert math.isnan(lit.value) or math.isinf(lit.value)
+        elif isinstance(lit, A.IntervalLit):
+            assert math.isnan(lit.lo) or math.isnan(lit.hi) \
+                or math.isinf(lit.lo) or math.isinf(lit.hi)
+        else:
+            assert isinstance(lit, (A.BinOp, A.UnOp))
+
+
+class TestRoundingSoundness:
+    """The folded range must enclose the exact rational value from below
+    AND above — i.e. be sound whichever way the hardware would round."""
+
+    CASES = [
+        ("0.1 + 0.2", Fraction(3, 10)),
+        ("0.1 * 0.1", Fraction(1, 100)),
+        ("0.3 - 0.1", Fraction(2, 10)),
+        ("0.1 / 0.3", Fraction(1, 3)),
+        ("1.0 / 3.0", Fraction(1, 3)),
+    ]
+
+    def test_folded_range_encloses_exact_value(self):
+        for expr, exact in self.CASES:
+            unit = fold(f"void f(void) {{ double x = {expr}; }}")
+            lit = init_of(unit)
+            if isinstance(lit, A.FloatLit):
+                assert Fraction(lit.value) == exact, expr
+            elif isinstance(lit, A.IntervalLit):
+                assert Fraction(lit.lo) <= exact <= Fraction(lit.hi), expr
+                # And the bounds are the tightest doubles or wider — never
+                # an empty or inverted range.
+                assert lit.lo <= lit.hi, expr
+            else:
+                raise AssertionError(f"{expr} did not fold: {lit!r}")
+
+    def test_fold_never_tightens_below_directed_rounding(self):
+        # The lower bound must be <= round-down(exact), the upper bound
+        # >= round-up(exact): check against the nearest-double neighbours.
+        unit = fold("void f(void) { double x = 0.1 + 0.2; }")
+        lit = init_of(unit)
+        assert isinstance(lit, A.IntervalLit)
+        exact = Fraction(3, 10)
+        assert Fraction(lit.lo) <= exact
+        assert Fraction(lit.hi) >= exact
+        # The enclosure is tight: the inexact input literals each carry a
+        # one-ULP enclosure and the sum adds one more rounding, so the
+        # result spans at most a few ULPs around the round-to-nearest sum.
+        nearest = 0.1 + 0.2
+        assert lit.hi - lit.lo <= 4 * math.ulp(nearest)

@@ -1,0 +1,129 @@
+"""Property tests: the sound TAC optimizations (cse, dte) never widen the
+computed enclosure beyond the unoptimized pipeline's, and never lose
+soundness.
+
+Reuses the random straight-line-program generator from ``tests/aa/exprgen``
+by rendering each ``Program`` as C source.  Every generated program gets
+one duplicated operation appended so CSE always has material to work on,
+and random programs naturally contain dead registers for DTE.
+
+What is provable depends on the value representation:
+
+* ``mode="ia"`` (plain intervals): a reused result is bit-identical to
+  recomputing it, so the optimized and unoptimized intervals are EQUAL.
+* ``impl="full"`` (unbounded affine forms): recomputing a duplicate in the
+  unoptimized pipeline mints an extra independent rounding symbol, so the
+  optimized interval is equal or strictly TIGHTER (contained).
+* bounded forms (the default ``k``-limited config): removing ops shifts
+  noise-symbol indices, which can change the condensation order either
+  way; both results stay sound but are not always comparable.  There we
+  assert the unconditional invariant — soundness against the exact
+  rational oracle — plus that the optimizations did reduce the float-op
+  count.
+"""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerConfig, SafeGen
+
+from ..aa.exprgen import Program, eval_exact, random_program, sample_inputs
+
+_SYM = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+
+
+def program_to_c(program, name="g"):
+    """Render an exprgen Program as a straight-line C function."""
+    params = ", ".join(f"double x{i}" for i in range(program.n_inputs))
+    names = [f"x{i}" for i in range(program.n_inputs)]
+    lines = [f"double {name}({params}) {{"]
+    for k, op in enumerate(program.ops):
+        lines.append(f"    double r{k} = "
+                     f"{names[op.lhs]} {_SYM[op.kind]} {names[op.rhs]};")
+        names.append(f"r{k}")
+    lines.append(f"    return {names[-1]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def with_duplicate(program, rng):
+    """Append a copy of a random op so CSE always finds a redundancy."""
+    ops = list(program.ops)
+    ops.append(ops[rng.randrange(len(ops))])
+    return Program(program.n_inputs, program.input_ranges, ops)
+
+
+def make_program(seed, n_ops=12):
+    rng = random.Random(seed)
+    return with_duplicate(random_program(rng, n_inputs=3, n_ops=n_ops), rng)
+
+
+def compile_both(source, **config_kw):
+    opt = SafeGen(CompilerConfig(**config_kw)).compile(source)
+    unopt = SafeGen(CompilerConfig(opt=False, **config_kw)).compile(source)
+    return opt, unopt
+
+
+def range_interval(prog, program):
+    """Evaluate the compiled program over the full input box."""
+    rt = prog.make_runtime()
+    args = [rt.interval_const(lo, hi) for lo, hi in program.input_ranges]
+    return prog(*args, runtime=rt).interval()
+
+
+def finite(iv):
+    return math.isfinite(iv.lo) and math.isfinite(iv.hi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_interval_mode_optimized_interval_identical(seed):
+    program = make_program(seed)
+    opt, unopt = compile_both(program_to_c(program), mode="ia")
+    iv_opt = range_interval(opt, program)
+    iv_un = range_interval(unopt, program)
+    if not (finite(iv_opt) and finite(iv_un)):
+        return  # division through zero: both invalid, vacuously sound
+    assert (iv_opt.lo, iv_opt.hi) == (iv_un.lo, iv_un.hi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_full_affine_optimized_interval_contained(seed):
+    program = make_program(seed)
+    opt, unopt = compile_both(program_to_c(program), impl="full")
+    iv_opt = range_interval(opt, program)
+    iv_un = range_interval(unopt, program)
+    if not (finite(iv_opt) and finite(iv_un)):
+        return
+    assert iv_un.lo <= iv_opt.lo <= iv_opt.hi <= iv_un.hi
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_bounded_default_stays_sound(seed):
+    """Bounded forms: both pipelines enclose the exact rational result at
+    sampled points, and the optimizations really removed float ops."""
+    rng = random.Random(1000 + seed)
+    program = make_program(seed)
+    opt, unopt = compile_both(program_to_c(program))
+    assert opt.pipeline_report.float_ops_removed >= 1
+    assert (opt.pipeline_report.float_ops
+            < unopt.pipeline_report.float_ops)
+    iv_opt = range_interval(opt, program)
+    iv_un = range_interval(unopt, program)
+    if not (finite(iv_opt) and finite(iv_un)):
+        return
+    for _ in range(4):
+        pts = sample_inputs(program, rng)
+        exact = eval_exact(program, pts)
+        if exact is None:
+            continue
+        for iv in (iv_opt, iv_un):
+            assert Fraction(iv.lo) <= exact <= Fraction(iv.hi), (
+                f"unsound (seed={seed}): exact={float(exact)} "
+                f"outside [{iv.lo}, {iv.hi}]")

@@ -1,0 +1,185 @@
+"""Unit tests for the sound TAC optimization passes (cse, dte)."""
+
+from repro.compiler import CompilerConfig, generate_c
+from repro.compiler.cast import FloatLit
+from repro.compiler.passes import FRONTEND, PassManager
+from repro.compiler.passes.optim import _operand_key
+
+
+def run_pipeline(source, *extra_passes):
+    manager = PassManager(CompilerConfig(),
+                          passes=list(FRONTEND) + list(extra_passes))
+    state, report = manager.run(source)
+    return generate_c(state.unit, "plain"), state, report
+
+
+class TestCse:
+    def test_reuses_duplicate_op(self):
+        dump, state, report = run_pipeline("""
+            double g(double x, double y) {
+                double a = x * y;
+                double b = x * y;
+                return a - b;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 1
+        assert "double b = a;" in dump
+        assert report.pass_report("cse").float_ops_delta == -1
+        assert any("cse" in d for d in state.diagnostics)
+
+    def test_reassignment_kills_availability(self):
+        dump, _, _ = run_pipeline("""
+            double f(double x, double y) {
+                double a = x * y;
+                x = x + 1.0;
+                double b = x * y;
+                return a + b;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 2
+
+    def test_assignment_in_branch_kills_availability(self):
+        dump, _, _ = run_pipeline("""
+            double h(double x, double y, int c) {
+                double a = x * y;
+                if (c) { x = 0.5; }
+                double b = x * y;
+                return a + b;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 2
+
+    def test_outer_availability_usable_inside_branch(self):
+        dump, _, _ = run_pipeline("""
+            double h2(double x, double y, int c) {
+                double a = x * y;
+                double r = 0.0;
+                if (c) { r = x * y; }
+                return a + r;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 1
+        assert "r = a;" in dump
+
+    def test_loop_modified_operand_not_reused(self):
+        dump, _, _ = run_pipeline("""
+            double l(double x, double y, int n) {
+                double a = x * y;
+                double s = 0.0;
+                for (int i = 0; i < n; i++) {
+                    s = s + x * y;
+                    x = x * 0.5;
+                }
+                return a + s;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 2
+
+    def test_loop_invariant_operands_reused(self):
+        dump, _, _ = run_pipeline("""
+            double l2(double x, double y, int n) {
+                double a = x * y;
+                double s = 0.0;
+                for (int i = 0; i < n; i++) {
+                    s = s + x * y;
+                }
+                return a + s;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 1
+
+    def test_prioritized_statement_not_replaced(self):
+        dump, _, _ = run_pipeline("""
+            double q(double x, double y) {
+                double a = x * y;
+                #pragma safegen prioritize(x)
+                double b = x * y;
+                return a + b;
+            }
+        """, "cse")
+        assert dump.count("(x * y)") == 2
+
+    def test_signed_zero_literals_do_not_match(self):
+        assert _operand_key(FloatLit(value=0.0)) != \
+            _operand_key(FloatLit(value=-0.0))
+
+    def test_call_reuse(self):
+        dump, _, _ = run_pipeline("""
+            double c(double x) {
+                double a = sqrt(x);
+                double b = sqrt(x);
+                return a + b;
+            }
+        """, "cse")
+        assert dump.count("sqrt(x)") == 1
+
+
+class TestDte:
+    def test_removes_dead_chain_to_fixpoint(self):
+        dump, state, report = run_pipeline("""
+            double d(double x) {
+                double unused = x * x;
+                double chain = unused * 2.0;
+                return x;
+            }
+        """, "dte")
+        assert "unused" not in dump
+        assert "chain" not in dump
+        assert report.pass_report("dte").float_ops_delta == -2
+        assert any("dte" in d for d in state.diagnostics)
+
+    def test_keeps_potentially_trapping_ops(self):
+        dump, _, _ = run_pipeline("""
+            double t(double x, double y) {
+                double dead1 = x / y;
+                double dead2 = sqrt(x);
+                double dead3 = log(x);
+                return x;
+            }
+        """, "dte")
+        for name in ("dead1", "dead2", "dead3"):
+            assert name in dump
+
+    def test_removes_safe_dead_call(self):
+        dump, _, _ = run_pipeline("""
+            double s(double x) {
+                double dead = fabs(x);
+                return x;
+            }
+        """, "dte")
+        assert "dead" not in dump
+
+    def test_keeps_prioritized_decl(self):
+        dump, _, _ = run_pipeline("""
+            double p(double x, double y) {
+                #pragma safegen prioritize(x)
+                double dead = x * y;
+                return x;
+            }
+        """, "dte")
+        assert "dead" in dump
+
+    def test_keeps_used_decl(self):
+        dump, _, _ = run_pipeline("""
+            double u(double x) {
+                double a = x * x;
+                return a;
+            }
+        """, "dte")
+        assert "double a" in dump
+
+
+class TestCseThenDte:
+    def test_cse_feeds_dte(self):
+        # After CSE drops the duplicate op, the copy is still used, so DTE
+        # keeps everything live — but a fully-dead duplicate disappears.
+        dump, _, report = run_pipeline("""
+            double fd(double x, double y) {
+                double a = x * y;
+                double b = x * y;
+                return a;
+            }
+        """, "cse", "dte")
+        # b became a copy of a, then died entirely.
+        assert "double b" not in dump
+        assert dump.count("(x * y)") == 1

@@ -1,0 +1,169 @@
+"""Pass-manager architecture: pipelines, instrumentation, cache keys."""
+
+import pytest
+
+from repro.bench.programs import fgm, henon, luf, sor
+from repro.compiler import (
+    CompilerConfig,
+    PassManager,
+    SafeGen,
+    available_passes,
+    compile_c,
+    default_pipeline,
+)
+from repro.compiler.passes import FRONTEND, OPTIMIZATIONS, Pass, register_pass
+from repro.errors import CompileError
+from repro.service import CompileService
+
+POLY = """
+double poly(double x, double y) {
+    double a = x*x - 2.0*x*y + y*y;
+    double b = (x - y) * (x - y);
+    return a - b;
+}
+"""
+
+
+class TestRegistry:
+    def test_all_stages_registered(self):
+        names = available_passes()
+        for expected in ("parse", "simd", "typecheck", "rename", "constfold",
+                         "tac", "retypecheck", "cse", "dte", "analyze",
+                         "codegen-py", "codegen-c"):
+            assert expected in names
+
+    def test_unknown_pass_rejected(self):
+        cfg = CompilerConfig(passes=("parse", "warp-drive"))
+        with pytest.raises(CompileError, match="warp-drive"):
+            SafeGen(cfg).compile(POLY)
+
+    def test_custom_pass_instances_run(self):
+        ran = []
+
+        @register_pass("test-probe")
+        class Probe(Pass):
+            def run(self, state):
+                ran.append(state.entry)
+
+        cfg = CompilerConfig()
+        pipeline = list(default_pipeline(cfg))
+        pipeline.insert(pipeline.index("tac") + 1, "test-probe")
+        manager = PassManager(cfg, passes=pipeline)
+        manager.run(POLY)
+        assert ran == ["poly"]
+
+    def test_default_pipeline_respects_opt(self):
+        with_opt = default_pipeline(CompilerConfig())
+        without = default_pipeline(CompilerConfig(opt=False))
+        assert "cse" in with_opt and "dte" in with_opt
+        assert "cse" not in without and "dte" not in without
+        assert [p for p in with_opt if p not in OPTIMIZATIONS] == without
+
+
+class TestPipelineReport:
+    @pytest.mark.parametrize("program", [henon(), sor(4, 4), luf(4), fgm(3)],
+                             ids=["henon", "sor", "luf", "fgm"])
+    def test_paper_benchmarks_report_populated(self, program):
+        prog = compile_c(program.source, entry=program.entry)
+        report = prog.pipeline_report
+        assert report is not None
+        names = [p.name for p in report.passes]
+        assert names == default_pipeline(prog.config)
+        assert report.total_s > 0
+        # TAC has run, so the float-op count of the final unit is positive.
+        assert report.float_ops > 0
+        # The table renders one line per pass plus header and total.
+        assert len(str(report).splitlines()) == len(names) + 2
+
+    def test_cse_reduces_float_ops_with_equal_interval(self):
+        opt = compile_c(POLY)
+        unopt = SafeGen(CompilerConfig(opt=False)).compile(POLY)
+        assert opt.pipeline_report.float_ops < unopt.pipeline_report.float_ops
+        assert opt.pipeline_report.float_ops_removed >= 1
+        iv_opt = opt(1.0, 2.0).interval()
+        iv_un = unopt(1.0, 2.0).interval()
+        assert iv_un.lo <= iv_opt.lo <= iv_opt.hi <= iv_un.hi
+
+    def test_timings_cover_every_pass(self):
+        prog = compile_c(POLY)
+        timings = prog.pipeline_report.timings()
+        assert set(timings) == set(default_pipeline(prog.config))
+        assert all(t >= 0 for t in timings.values())
+
+
+class TestCacheKeys:
+    def test_opt_and_no_opt_are_distinct_entries(self):
+        with_opt = CompilerConfig()
+        without = CompilerConfig(opt=False)
+        assert with_opt.cache_key(POLY) != without.cache_key(POLY)
+        service = CompileService()
+        service.compile(POLY, with_opt)
+        service.compile(POLY, without)
+        assert service.stats.misses == 2  # no collision
+        assert len(service.cache) == 2
+
+    def test_explicit_pipeline_changes_key(self):
+        default = CompilerConfig()
+        explicit = CompilerConfig(passes=tuple(default_pipeline(default)))
+        assert default.cache_key(POLY) != explicit.cache_key(POLY)
+
+    def test_passes_roundtrip_through_dict(self):
+        cfg = CompilerConfig(passes=tuple(FRONTEND) + ("codegen-py",
+                                                       "codegen-c"))
+        again = CompilerConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+        assert isinstance(again.passes, tuple)
+
+
+class TestEmitAfter:
+    def test_emit_after_collects_dump(self):
+        prog = SafeGen(CompilerConfig()).compile(POLY, emit_after=("tac",))
+        assert "tac" in prog.dumps
+        assert "__t0" in prog.dumps["tac"]
+
+    def test_emit_after_unknown_pass_rejected(self):
+        with pytest.raises(CompileError, match="emit-after"):
+            SafeGen(CompilerConfig()).compile(POLY, emit_after=("nope",))
+
+    def test_emit_after_roundtrips_through_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        service = CompileService(cache_dir=cache)
+        prog = service.compile(POLY, emit_after=("tac",))
+        assert "__t0" in prog.dumps["tac"]
+        # Second service, same disk cache: dump served without recompiling.
+        service2 = CompileService(cache_dir=cache)
+        prog2 = service2.compile(POLY, emit_after=("tac",))
+        assert prog2.dumps["tac"] == prog.dumps["tac"]
+        assert service2.stats.hits == 1
+        assert service2.stats.misses == 0
+
+    def test_cached_entry_without_dump_is_recompiled_once(self):
+        service = CompileService()
+        service.compile(POLY)  # populates the entry, no dumps
+        prog = service.compile(POLY, emit_after=("tac",))
+        assert "tac" in prog.dumps
+        # Third call finds the dump in the updated entry.
+        again = service.compile(POLY, emit_after=("tac",))
+        assert again.dumps["tac"] == prog.dumps["tac"]
+
+
+class TestServiceStats:
+    def test_pass_timings_recorded(self):
+        service = CompileService()
+        service.compile(POLY)
+        assert service.stats.pass_s.get("tac", 0) > 0
+        d = service.stats.to_dict()
+        assert "pass_s" in d and "tac" in d["pass_s"]
+
+    def test_merge_and_delta_handle_dict_fields(self):
+        from repro.service import ServiceStats
+
+        a = ServiceStats(hits=1, pass_s={"tac": 0.5})
+        b = ServiceStats(hits=2, pass_s={"tac": 0.25, "cse": 0.1})
+        before = a.snapshot()
+        a.merge(b)
+        assert a.hits == 3
+        assert a.pass_s == {"tac": 0.75, "cse": 0.1}
+        delta = ServiceStats.delta(before, a)
+        assert delta.hits == 2
+        assert delta.pass_s == {"tac": 0.25, "cse": 0.1}

@@ -202,3 +202,57 @@ class TestBatch:
         rows = json.loads(capsys.readouterr().out)
         assert not rows[0]["ok"]
         assert rows[0]["error"]
+
+
+class TestErrorReporting:
+    """CompileErrors surface as file:line:col messages, not tracebacks."""
+
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        path = tmp_path / "bad.c"
+        path.write_text("double f(double x) { return x +; }\n")
+        return str(path)
+
+    def test_parse_error_location_and_exit_code(self, bad_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compile", bad_file])
+        assert exc.value.code != 0
+        message = str(exc.value.code)
+        assert message.startswith(bad_file + ":1:")
+        assert "Traceback" not in message
+
+    def test_run_reports_same_format(self, bad_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", bad_file])
+        assert bad_file + ":1:" in str(exc.value.code)
+
+    def test_unknown_pass_reported(self, henon_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["compile", henon_file, "--passes", "parse,warp-drive"])
+        assert "warp-drive" in str(exc.value.code)
+
+
+class TestPipelineFlags:
+    def test_emit_after_prints_dump(self, henon_file, capsys):
+        assert main(["compile", henon_file, "--emit-after", "tac"]) == 0
+        out = capsys.readouterr().out
+        assert "after pass 'tac'" in out
+        assert "__t0" in out
+
+    def test_no_opt_skips_optimizations(self, henon_file, capsys):
+        assert main(["compile", henon_file, "--no-opt", "--timings"]) == 0
+        err = capsys.readouterr().err
+        assert "cse" not in err
+        assert "tac" in err
+
+    def test_timings_prints_pipeline_table(self, henon_file, capsys):
+        assert main(["compile", henon_file, "--timings"]) == 0
+        err = capsys.readouterr().err
+        for name in ("parse", "tac", "cse", "dte", "codegen-c"):
+            assert name in err
+
+    def test_explicit_passes_flag(self, henon_file, capsys):
+        passes = ("parse,simd,typecheck,rename,constfold,tac,retypecheck,"
+                  "codegen-py,codegen-c")
+        assert main(["compile", henon_file, "--passes", passes]) == 0
+        assert "henon(" in capsys.readouterr().out
