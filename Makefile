@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
-	examples clean
+	serve-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -41,6 +41,23 @@ bench-smoke:
 	  examples/jobs_smoke.json --jobs 2 --cache-dir .repro-cache \
 	  --stats .repro-cache/stats.json -o /dev/null
 	@cat .repro-cache/stats.json
+
+# Smoke-test the serve path: boot the daemon on an ephemeral port, run the
+# example client against it, and require a clean drain (server exits 0).
+serve-smoke:
+	@rm -f .repro-serve.port
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro serve --port 0 \
+	  --port-file .repro-serve.port --workers 1 & \
+	server_pid=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -s .repro-serve.port ] && break; sleep 0.1; \
+	done; \
+	[ -s .repro-serve.port ] || { echo "server never wrote port file"; \
+	  kill $$server_pid 2>/dev/null; exit 1; }; \
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/serve_client.py \
+	  --port $$(cat .repro-serve.port) || { kill $$server_pid 2>/dev/null; exit 1; }; \
+	wait $$server_pid; status=$$?; rm -f .repro-serve.port; \
+	echo "server exited with status $$status"; exit $$status
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:

@@ -1,0 +1,237 @@
+"""Load generator for the sound-computation server.
+
+Measures throughput and p50/p99 latency of hot-cache vs cold-cache
+workloads against a live server, and pins down the four operational claims
+the server makes:
+
+(a) many concurrent clients are served with enclosures *bit-identical*
+    to the direct ``compile_c`` + evaluate path;
+(b) hot-cache ``run`` requests never enter the process pool;
+(c) a full admission queue yields ``overloaded`` replies instead of
+    unbounded buffering;
+(d) ``drain`` completes every accepted request — zero lost responses.
+
+Run under pytest (``pytest benchmarks/bench_server_throughput.py -s``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_server_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import format_table
+from repro.compiler import compile_c
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+N_CLIENTS = 50
+HOT_REQUESTS_PER_CLIENT = 4
+
+KERNEL = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+ARGS = [0.3, 0.2, 30]
+CONFIG, K = "f64a-dsnn", 8
+
+
+def cold_variant(i: int) -> str:
+    return (f"double v{i}(double x, double y) "
+            f"{{ return x * {1.0 + i * 0.001!r} + y * y; }}")
+
+
+def slow_variant(i: int) -> str:
+    return KERNEL.replace("1.05", repr(1.05 + 0.01 * i)) \
+                 .replace("henon", f"henon{i}")
+
+
+def percentile_ms(samples, q) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, int(q * len(ordered)) - 1))
+    return ordered[idx] * 1e3
+
+
+def run_phase(port: int, n_clients: int, requests_per_client: int,
+              frame_for) -> dict:
+    """Fan ``n_clients`` blocking clients (one thread each) at the server;
+    returns latencies, replies, and wall time."""
+    latencies, replies, errors = [], [], []
+
+    def one_client(idx: int) -> None:
+        try:
+            with ServerClient(port=port, timeout=120.0) as client:
+                for j in range(requests_per_client):
+                    t0 = time.perf_counter()
+                    result = frame_for(client, idx, j)
+                    latencies.append(time.perf_counter() - t0)
+                    replies.append(result)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((idx, exc))
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=n_clients) as pool:
+        list(pool.map(one_client, range(n_clients)))
+    wall = time.perf_counter() - t0
+    assert not errors, f"client failures: {errors[:3]}"
+    return {"latencies": latencies, "replies": replies, "wall_s": wall}
+
+
+def phase_row(name: str, phase: dict) -> dict:
+    lat = phase["latencies"]
+    return {
+        "phase": name,
+        "clients": N_CLIENTS,
+        "requests": len(lat),
+        "throughput_rps": round(len(lat) / phase["wall_s"], 1),
+        "p50_ms": round(percentile_ms(lat, 0.50), 3),
+        "p99_ms": round(percentile_ms(lat, 0.99), 3),
+        "max_ms": round(max(lat) * 1e3, 3),
+        "mean_ms": round(statistics.mean(lat) * 1e3, 3),
+    }
+
+
+# -- the four claims -----------------------------------------------------------------
+
+
+def measure_hot_and_cold() -> tuple:
+    """Claims (a) and (b): identical results, hot requests bypass the pool."""
+    direct = compile_c(KERNEL, CONFIG, k=K)(*ARGS).value.interval()
+    config = ServerConfig(port=0, pool_workers=2, max_queue=256,
+                          cache_maxsize=512)
+    with ServerThread(config) as srv:
+        with ServerClient(port=srv.port) as warmup:
+            first = warmup.run(KERNEL, config=CONFIG, k=K, args=ARGS)
+            assert first["route"] == "pool"
+            pool_submits_before = \
+                warmup.stats()["server"]["pool_submits"]
+
+        hot = run_phase(
+            srv.port, N_CLIENTS, HOT_REQUESTS_PER_CLIENT,
+            lambda c, i, j: c.run(KERNEL, config=CONFIG, k=K, args=ARGS))
+
+        with ServerClient(port=srv.port) as probe:
+            stats = probe.stats()
+        # (b) the hot phase never touched the pool.
+        assert stats["server"]["pool_submits"] == pool_submits_before, \
+            "hot-cache run requests entered the process pool"
+        for reply in hot["replies"]:
+            assert reply["route"] == "inline"
+            # (a) bit-identical to the direct path.
+            assert tuple(reply["interval"]) == (direct.lo, direct.hi), \
+                "served enclosure differs from compile_c"
+
+        cold = run_phase(
+            srv.port, N_CLIENTS, 1,
+            lambda c, i, j: c.compile(cold_variant(i), config=CONFIG, k=K))
+        for reply in cold["replies"]:
+            assert reply["route"] == "pool"
+
+        server_hist = stats["service"]["latency"].get("server:run", {})
+        with ServerClient(port=srv.port) as closer:
+            closer.drain()
+    return hot, cold, server_hist
+
+
+def measure_overload() -> dict:
+    """Claim (c): a full queue answers 'overloaded', it does not buffer."""
+    config = ServerConfig(port=0, pool_workers=1, pool_limit=1,
+                          inline_limit=1, max_queue=4)
+    n = 40
+    with ServerThread(config) as srv:
+        with ServerClient(port=srv.port, timeout=120.0) as client:
+            for i in range(n):
+                client.send_raw({"id": i, "op": "compile",
+                                 "source": slow_variant(i),
+                                 "config": CONFIG, "k": K})
+            replies = [client.read_reply() for _ in range(n)]
+            stats = client.stats()
+            client.drain()
+    ids = {r["id"] for r in replies}
+    assert ids == set(range(n)), "lost or duplicated replies under flood"
+    ok = sum(1 for r in replies if r["ok"])
+    overloaded = sum(1 for r in replies
+                     if not r["ok"] and r["error"]["code"] == "overloaded")
+    assert ok + overloaded == n
+    assert overloaded > 0, "flood never tripped the admission bound"
+    assert stats["server"]["admission"]["rejected_total"] == overloaded
+    return {"flooded": n, "served": ok, "overloaded": overloaded}
+
+
+def measure_drain() -> dict:
+    """Claim (d): drain finishes all accepted work, loses nothing."""
+    config = ServerConfig(port=0, pool_workers=2, pool_limit=2, max_queue=16)
+    n = 8
+    srv = ServerThread(config).start()
+    work = ServerClient(port=srv.port, timeout=120.0).connect()
+    control = ServerClient(port=srv.port).connect()
+    for i in range(n):
+        work.send_raw({"id": i, "op": "compile", "source": slow_variant(i),
+                       "config": "f64a-dspn", "k": 16,
+                       "int_params": {"n": 10}})
+    while control.stats()["server"]["admission"]["admitted_total"] < n:
+        time.sleep(0.005)
+    control.send_raw({"id": "drain", "op": "drain"})
+    accepted_replies = [work.read_reply() for _ in range(n)]
+    drain_reply = control.read_reply()
+    work.close()
+    control.close()
+    srv._thread.join(timeout=60)
+    assert drain_reply["ok"] and drain_reply["result"]["drained"]
+    assert drain_reply["result"]["outstanding"] == 0
+    completed = sum(1 for r in accepted_replies if r["ok"])
+    assert completed == n, \
+        f"drain lost responses: {completed}/{n} completed"
+    return {"accepted": n, "completed": completed, "lost": n - completed}
+
+
+def build_report() -> tuple:
+    hot, cold, server_hist = measure_hot_and_cold()
+    overload = measure_overload()
+    drained = measure_drain()
+    rows = [phase_row("hot-cache run", hot),
+            phase_row("cold-cache compile", cold)]
+    lines = [format_table(rows, title=f"Server throughput "
+                          f"({N_CLIENTS} concurrent clients)")]
+    if server_hist:
+        lines.append(
+            f"server-side run latency: n={server_hist['count']} "
+            f"p50={server_hist['p50_s'] * 1e3:.3f}ms "
+            f"p99={server_hist['p99_s'] * 1e3:.3f}ms")
+    lines.append(
+        f"backpressure: {overload['flooded']} flooded -> "
+        f"{overload['served']} served + {overload['overloaded']} "
+        f"overloaded replies (queue bound 4)")
+    lines.append(
+        f"drain: {drained['accepted']} accepted -> "
+        f"{drained['completed']} completed, {drained['lost']} lost")
+    return "\n".join(lines), rows
+
+
+class TestServerThroughput:
+    def test_throughput_and_operational_claims(self, results_dir):
+        from conftest import emit
+
+        text, rows = build_report()
+        emit(results_dir, "server_throughput", text, rows=rows)
+
+
+def main() -> None:  # standalone: PYTHONPATH=src python benchmarks/...
+    import pathlib
+
+    text, _rows = build_report()
+    print(text)
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    (out / "server_throughput.txt").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Talking to the sound-computation server.
+
+Compilation dominates the cost of a sound evaluation; the server keeps one
+``CompileService`` (compile cache + process pool) warm across requests, so
+clients pay the compile once and every later evaluation of the same kernel
+is served inline from the cache.  This example compiles the Henon map,
+evaluates it twice (the cold compile rides the process pool; once the cache
+is warm every request is served inline on the event loop), prints the
+server's own accounting, and finishes with a clean drain.
+
+Run against a live server:   python examples/serve_client.py --port 8437
+Run self-contained:          python examples/serve_client.py
+(the latter boots an in-process server on an ephemeral port, so it doubles
+as the CI smoke test for the whole serve path).
+"""
+
+import argparse
+
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+
+
+def demo(port: int, drain: bool) -> None:
+    with ServerClient(port=port) as client:
+        health = client.health()
+        print(f"server up: status={health['status']} "
+              f"uptime={health['uptime_s']:.1f}s")
+
+        compiled = client.compile(HENON, config="f64a-dsnn", k=8)
+        print(f"compiled entry '{compiled['entry']}' via "
+              f"route={compiled['route']} in {compiled['compile_s']:.3f}s")
+
+        first = client.run(HENON, config="f64a-dsnn", k=8,
+                           args=[0.3, 0.2, 30])
+        lo, hi = first["interval"]
+        print(f"henon(0.3, 0.2, 30) in [{lo!r}, {hi!r}] "
+              f"(width {hi - lo:.3e}, route={first['route']})")
+
+        again = client.run(HENON, config="f64a-dsnn", k=8,
+                           args=[0.3, 0.2, 30])
+        assert again["route"] == "inline", "re-run should be cache-hot"
+        assert again["interval"] == first["interval"]
+        print(f"re-run served {again['route']} in "
+              f"{again['runtime_s']:.4f}s — identical enclosure")
+
+        stats = client.stats()
+        server = stats["server"]
+        print(f"server stats: {server['counters']['requests_total']} "
+              f"requests, {server['inline_served']} inline, "
+              f"{server['pool_submits']} pool submits, "
+              f"{server['admission']['rejected_total']} rejected")
+
+        if drain:
+            result = client.drain()
+            assert result["drained"] and result["outstanding"] == 0
+            print(f"drained cleanly: {result['completed_ok']} requests "
+                  f"completed, {result['outstanding']} outstanding")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--port", type=int, default=None,
+                        help="connect to a running server on this port "
+                             "(default: boot an in-process one)")
+    parser.add_argument("--no-drain", action="store_true",
+                        help="leave the server running afterwards")
+    args = parser.parse_args()
+
+    if args.port is not None:
+        demo(args.port, drain=not args.no_drain)
+    else:
+        print("no --port given; booting an in-process server")
+        srv = ServerThread(ServerConfig(port=0, pool_workers=1)).start()
+        try:
+            demo(srv.port, drain=not args.no_drain)
+        finally:
+            srv.stop()
+
+
+if __name__ == "__main__":
+    main()

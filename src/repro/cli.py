@@ -16,6 +16,15 @@ reuse compilations across invocations (content-addressed on-disk cache);
     python -m repro batch jobs.json --jobs 4 --stats stats.json
 
 executes a JSON manifest of compile/run jobs through the batch engine.
+
+Server mode keeps the cache and worker pool warm across requests:
+
+    python -m repro serve --port 8437 --cache-dir .repro-cache --workers 4
+    python -m repro request run prog.c 0.3 0.4 100 --port 8437
+    python -m repro request stats --port 8437
+    python -m repro request drain --port 8437
+
+(run arguments follow the file directly; options come after.)
 """
 
 from __future__ import annotations
@@ -121,6 +130,50 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write ServiceStats JSON here")
     p_batch.add_argument("-o", "--output", default=None, metavar="FILE",
                          help="write job results JSON here (default stdout)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sound-computation server (asyncio daemon)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8437,
+                         help="TCP port (0 = ephemeral; see --port-file)")
+    p_serve.add_argument("--port-file", default=None, metavar="FILE",
+                         help="write the actually-bound port here once "
+                              "listening (for scripts using --port 0)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="compile cache shared with the pool workers")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes for cold compiles")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admitted-request bound; beyond it requests "
+                              "get 'overloaded' replies")
+    p_serve.add_argument("--pool-limit", type=int, default=None,
+                         help="concurrent pool requests (default: workers)")
+    p_serve.add_argument("--inline-limit", type=int, default=1,
+                         help="concurrent cache-hit requests on the loop")
+    p_serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="default per-request deadline")
+    p_serve.add_argument("--maxsize", type=int, default=256,
+                         help="in-memory cache entries")
+
+    p_request = sub.add_parser(
+        "request", help="send one request to a running server")
+    p_request.add_argument("op",
+                           choices=["compile", "run", "stats", "health",
+                                    "drain"])
+    p_request.add_argument("file", nargs="?", default=None,
+                           help="C file for compile/run ('-' for stdin)")
+    p_request.add_argument("args", nargs="*",
+                           help="run arguments (directly after the file): "
+                                "numbers, or @file.json for arrays")
+    p_request.add_argument("--host", default="127.0.0.1")
+    p_request.add_argument("--port", type=int, default=8437)
+    p_request.add_argument("--config", default="f64a-dsnn")
+    p_request.add_argument("-k", type=int, default=16)
+    p_request.add_argument("--entry", default=None)
+    p_request.add_argument("--deadline", type=float, default=None,
+                           metavar="S")
+    p_request.add_argument("--uncertainty-ulps", type=float, default=1.0)
+    p_request.add_argument("--repeats", type=int, default=1)
     return parser
 
 
@@ -349,8 +402,80 @@ def cmd_batch(ns) -> int:
     if ns.stats:
         engine.stats.dump_json(ns.stats)
     print(f"// {engine.stats}", file=sys.stderr)
+    latency = engine.stats.latency_summary()
+    if latency:
+        for line in latency.splitlines():
+            print(f"// {line}", file=sys.stderr)
     failed = sum(1 for r in results if not r.ok)
     return 1 if failed else 0
+
+
+def cmd_serve(ns) -> int:
+    import asyncio
+
+    from .server import ServerConfig, SoundServer
+
+    config = ServerConfig(
+        host=ns.host, port=ns.port, cache_dir=ns.cache_dir,
+        cache_maxsize=ns.maxsize, pool_workers=ns.workers,
+        max_queue=ns.max_queue, inline_limit=ns.inline_limit,
+        pool_limit=ns.pool_limit, default_deadline_s=ns.deadline)
+
+    async def _main() -> None:
+        server = SoundServer(config)
+        await server.start()
+        print(f"// serving on {config.host}:{server.port} "
+              f"(workers={config.pool_workers}, "
+              f"max_queue={config.max_queue})", file=sys.stderr)
+        if ns.port_file:
+            with open(ns.port_file, "w") as fh:
+                fh.write(f"{server.port}\n")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            print(f"// drained; {server.stats}", file=sys.stderr)
+            latency = server.stats.latency_summary()
+            if latency:
+                for line in latency.splitlines():
+                    print(f"// {line}", file=sys.stderr)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("// interrupted", file=sys.stderr)
+    return 0
+
+
+def cmd_request(ns) -> int:
+    from .server import ServerClient, ServerError
+
+    client = ServerClient(host=ns.host, port=ns.port)
+    try:
+        with client:
+            if ns.op in ("compile", "run"):
+                if ns.file is None:
+                    raise SystemExit(f"request {ns.op} needs a C file")
+                source = _read_source(ns.file)
+                if ns.op == "compile":
+                    result = client.compile(
+                        source, config=ns.config, k=ns.k, entry=ns.entry,
+                        deadline_s=ns.deadline)
+                else:
+                    result = client.run(
+                        source, args=[_parse_arg(a) for a in ns.args],
+                        config=ns.config, k=ns.k, entry=ns.entry,
+                        uncertainty_ulps=ns.uncertainty_ulps,
+                        repeats=ns.repeats, deadline_s=ns.deadline)
+            else:
+                result = client.request(ns.op)
+    except ServerError as exc:
+        raise SystemExit(f"server error [{exc.code}]: {exc.message}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach server at {ns.host}:{ns.port}: "
+                         f"{exc}")
+    print(json.dumps(result, indent=2, default=str))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -361,6 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "bench": cmd_bench,
         "batch": cmd_batch,
+        "serve": cmd_serve,
+        "request": cmd_request,
     }[ns.command]
     return handler(ns)
 

@@ -1,0 +1,61 @@
+"""Sound-computation server: certified evaluation as a network service.
+
+An asyncio daemon (:class:`SoundServer`) that serves ``compile`` / ``run``
+(compile + evaluate on given input boxes) / ``stats`` / ``health`` /
+``drain`` requests as newline-delimited JSON over TCP, through one shared
+:class:`repro.service.CompileService` — so the content-addressed compile
+cache and the worker process pool stay warm across millions of requests
+instead of being rebuilt by every one-shot CLI invocation.
+
+Layers (each its own module):
+
+* :mod:`.protocol`   — framing, request parsing, structured error codes
+* :mod:`.config`     — :class:`ServerConfig` tuning knobs
+* :mod:`.admission`  — bounded queue + per-class concurrency limits
+* :mod:`.dispatcher` — inline (cache-hit) vs process-pool routing,
+  per-request deadlines
+* :mod:`.daemon`     — the server itself + :class:`ServerThread` embedding
+* :mod:`.client`     — blocking :class:`ServerClient` library
+
+Entry points: ``python -m repro serve`` / ``python -m repro request``,
+``examples/serve_client.py``, ``benchmarks/bench_server_throughput.py``.
+See README "Serving" and the DESIGN.md addendum for the architecture.
+"""
+
+from .admission import AdmissionController, Ticket
+from .client import ServerClient, ServerError
+from .config import ServerConfig
+from .daemon import ServerThread, SoundServer
+from .dispatcher import Dispatcher, PreparedRequest
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    ProtocolError,
+    Request,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Dispatcher",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PreparedRequest",
+    "ProtocolError",
+    "Request",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerThread",
+    "SoundServer",
+    "Ticket",
+    "encode_frame",
+    "error_reply",
+    "ok_reply",
+    "parse_request",
+]

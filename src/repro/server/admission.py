@@ -1,0 +1,94 @@
+"""Admission control: bounded queue + per-class concurrency limits.
+
+Every work request must win a :class:`Ticket` before it may execute.
+Admission is a synchronous decision on the event loop: if the number of
+admitted-but-unfinished requests has reached ``max_queue``, the request is
+rejected immediately (the server turns that into an ``overloaded`` reply)
+— nothing is buffered, so a flood costs the server one reply per frame,
+not memory.  An admitted request then waits (this wait *is* the bounded
+queue) on its class semaphore — ``inline`` for cache hits executed on the
+loop, ``pool`` for work dispatched to worker processes — so one class
+cannot starve the other's concurrency budget.
+
+Everything here runs on the event-loop thread; no locks are needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+__all__ = ["AdmissionController", "Ticket"]
+
+
+class Ticket:
+    """Permission to run one request; must be released exactly once."""
+
+    __slots__ = ("_controller", "cls", "_acquired", "_released")
+
+    def __init__(self, controller: "AdmissionController", cls: str) -> None:
+        self._controller = controller
+        self.cls = cls
+        self._acquired = False
+        self._released = False
+
+    async def acquire(self) -> None:
+        """Wait for a concurrency slot in this ticket's class."""
+        await self._controller._sems[self.cls].acquire()
+        self._acquired = True
+        self._controller._running[self.cls] += 1
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        if self._acquired:
+            self._controller._sems[self.cls].release()
+            self._controller._running[self.cls] -= 1
+        self._controller._admitted -= 1
+
+
+class AdmissionController:
+    """Tracks admitted requests against a global bound and class limits."""
+
+    def __init__(self, max_queue: int, limits: Dict[str, int]) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = max_queue
+        self.limits = dict(limits)
+        self._sems = {cls: asyncio.Semaphore(n) for cls, n in limits.items()}
+        self._running = {cls: 0 for cls in limits}
+        self._admitted = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    def try_admit(self, cls: str) -> Optional[Ticket]:
+        """Admit a request of class ``cls``, or return ``None`` when full."""
+        if cls not in self._sems:
+            raise KeyError(f"unknown admission class {cls!r}")
+        if self._admitted >= self.max_queue:
+            self.rejected_total += 1
+            return None
+        self._admitted += 1
+        self.admitted_total += 1
+        return Ticket(self, cls)
+
+    @property
+    def admitted(self) -> int:
+        """Requests admitted and not yet finished (queued + running)."""
+        return self._admitted
+
+    @property
+    def queued(self) -> int:
+        return self._admitted - sum(self._running.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "admitted": self._admitted,
+            "queued": self.queued,
+            "running": dict(self._running),
+            "max_queue": self.max_queue,
+            "limits": dict(self.limits),
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+        }

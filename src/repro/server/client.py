@@ -1,0 +1,155 @@
+"""Blocking client for the sound-computation server.
+
+Dependency-free: one TCP socket, newline-delimited JSON frames, request ids
+assigned per client.  A :class:`ServerClient` keeps one outstanding request
+at a time (replies therefore arrive in order); run many clients — one per
+thread — to load the server concurrently, which is exactly what
+``benchmarks/bench_server_throughput.py`` does.
+
+    from repro.server import ServerClient
+
+    with ServerClient(port=8437) as c:
+        r = c.run(source, config="f64a-dsnn", k=8, args=[0.3, 0.2, 100])
+        print(r["interval"], r["acc_bits"])
+
+Error replies raise :class:`ServerError` carrying the structured code
+(``overloaded``, ``deadline_exceeded``, ``compile_error``, ...), so callers
+can implement retry policies without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterable, Optional
+
+from .protocol import encode_frame
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """An error reply from the server, with its structured code."""
+
+    def __init__(self, code: str, message: str,
+                 reply: Optional[Dict[str, Any]] = None) -> None:
+        self.code = code
+        self.message = message
+        self.reply = reply
+        super().__init__(f"{code}: {message}")
+
+
+class ServerClient:
+    """See the module docstring."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8437,
+                 timeout: Optional[float] = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection ------------------------------------------------------------------
+
+    def connect(self) -> "ServerClient":
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=self.timeout)
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServerClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- frame I/O -------------------------------------------------------------------
+
+    def send_raw(self, frame: Dict[str, Any]) -> None:
+        """Send one frame without waiting for the reply (pipelining)."""
+        self.connect()
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+
+    def read_reply(self) -> Dict[str, Any]:
+        """Read one reply frame; raises ConnectionError on EOF."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def raw_request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send an arbitrary frame and return the raw reply dict (no
+        error-to-exception translation) — protocol tests use this."""
+        self.send_raw(frame)
+        return self.read_reply()
+
+    # -- the op API ------------------------------------------------------------------
+
+    def request(self, op: str, deadline_s: Optional[float] = None,
+                **params: Any) -> Dict[str, Any]:
+        """Send one request; return ``result`` or raise :class:`ServerError`."""
+        self._next_id += 1
+        frame: Dict[str, Any] = {"id": self._next_id, "op": op, **params}
+        if deadline_s is not None:
+            frame["deadline_s"] = deadline_s
+        reply = self.raw_request(frame)
+        if reply.get("id") != self._next_id:
+            raise ServerError("internal",
+                              f"reply id {reply.get('id')!r} does not match "
+                              f"request id {self._next_id}", reply)
+        if not reply.get("ok"):
+            err = reply.get("error") or {}
+            raise ServerError(err.get("code", "internal"),
+                              err.get("message", "missing error body"),
+                              reply)
+        return reply["result"]
+
+    def compile(self, source: str, config: Any = None, k: int = 16,
+                entry: Optional[str] = None,
+                deadline_s: Optional[float] = None,
+                **params: Any) -> Dict[str, Any]:
+        if config is not None:
+            params["config"] = config
+        return self.request("compile", deadline_s=deadline_s, source=source,
+                            k=k, entry=entry, **params)
+
+    def run(self, source: str, args: Iterable[Any] = (),
+            inputs: Optional[Dict[str, Any]] = None, config: Any = None,
+            k: int = 16, entry: Optional[str] = None,
+            uncertainty_ulps: float = 1.0, repeats: int = 1,
+            deadline_s: Optional[float] = None,
+            **params: Any) -> Dict[str, Any]:
+        if config is not None:
+            params["config"] = config
+        return self.request(
+            "run", deadline_s=deadline_s, source=source, k=k, entry=entry,
+            args=list(args), inputs=dict(inputs or {}),
+            uncertainty_ulps=uncertainty_ulps, repeats=repeats, **params)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the server to finish accepted work and shut down."""
+        return self.request("drain")

@@ -1,0 +1,60 @@
+"""Server tuning knobs, all in one picklable dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .protocol import MAX_FRAME_BYTES
+
+__all__ = ["ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Configuration of one :class:`repro.server.SoundServer`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``SoundServer.port`` after start — the CLI's ``--port-file`` exists for
+    exactly this).  ``max_queue`` bounds *admitted* work requests (queued +
+    executing); request number ``max_queue + 1`` gets an ``overloaded``
+    reply instead of a buffer slot, which is what keeps memory bounded
+    under flood.  ``pool_limit`` / ``inline_limit`` are per-class
+    concurrency caps enforced by the admission controller on top of that
+    single global bound.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: compile cache shared by the event loop and the pool workers;
+    #: ``None`` keeps caches per-process (workers still warm themselves).
+    cache_dir: Optional[str] = None
+    cache_maxsize: int = 256
+    #: worker processes for cold compiles/evaluations (must be >= 1).
+    pool_workers: int = 2
+    #: bound on admitted (queued + in-flight) work requests.
+    max_queue: int = 64
+    #: concurrent cache-hit requests executed on the event loop.  These are
+    #: cheap (pickle.loads + eval) but do block the loop, so the default
+    #: serializes them; raise it only with care.
+    inline_limit: int = 1
+    #: concurrent requests outstanding on the process pool
+    #: (default: ``pool_workers``).
+    pool_limit: Optional[int] = None
+    #: default per-request deadline when the client sends none.
+    default_deadline_s: Optional[float] = None
+    #: hard cap on how long ``drain`` waits for in-flight work.
+    drain_grace_s: float = 60.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.pool_workers < 1:
+            raise ValueError("pool_workers must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.inline_limit < 1:
+            raise ValueError("inline_limit must be >= 1")
+        if self.pool_limit is None:
+            self.pool_limit = self.pool_workers
+        if self.pool_limit < 1:
+            raise ValueError("pool_limit must be >= 1")

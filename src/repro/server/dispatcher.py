@@ -1,0 +1,199 @@
+"""Request routing: cache hits run inline, everything else goes to the pool.
+
+The dispatcher owns the server's :class:`~concurrent.futures.
+ProcessPoolExecutor` (the same worker setup the batch engine uses: each
+worker holds a process-local :class:`~repro.service.CompileService` pointed
+at the shared cache directory) and decides, per request, which side of the
+latency cliff it lands on:
+
+* **inline** — the compile key is already warm (in-memory LRU or disk
+  shard).  Rebuilding a program is one ``pickle.loads`` + ``exec``, and
+  evaluating the paper kernels is sub-millisecond, so these run directly on
+  the event loop: no pool round-trip, no pickling the request twice.  This
+  is what makes hot-cache throughput scale with the event loop instead of
+  the pool.
+* **pool** — a cold compile (or compile+evaluate) runs on a worker process
+  with a per-request deadline enforced by ``asyncio.wait_for``.  The worker
+  ships back, alongside the result, its stats delta and the freshly minted
+  cache entry, which the dispatcher adopts into the parent's in-memory
+  cache — so a cold key becomes inline-served for every later request even
+  when no shared cache directory is configured.
+
+A worker running past its deadline cannot be preempted through
+``concurrent.futures``; the future is cancelled best-effort (which works
+while it is still queued) and otherwise the worker finishes into a dropped
+future while the client already holds a ``deadline_exceeded`` reply.  The
+``pool_abandoned`` counter makes that visible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from ..service import engine as _engine
+from ..service.jobs import execute_job, job_from_dict
+from ..service.service import CompileService
+from ..service.stats import ServiceStats
+from .config import ServerConfig
+from .protocol import (
+    E_BAD_REQUEST,
+    E_COMPILE,
+    E_DEADLINE,
+    ProtocolError,
+    Request,
+)
+
+__all__ = ["Dispatcher", "PreparedRequest"]
+
+
+def _server_pool_execute(payload: dict
+                         ) -> Tuple[dict, float, ServiceStats, Any]:
+    """Worker-side execution: the engine's job runner plus the cache entry
+    the job produced, so the parent can warm its own in-memory cache."""
+    service = _engine._WORKER_SERVICE
+    before = service.stats.snapshot()
+    t0 = time.perf_counter()
+    value = execute_job(payload, service)
+    elapsed = time.perf_counter() - t0
+    service.stats.observe_latency(f"job:{payload['kind']}", elapsed)
+    delta = ServiceStats.delta(before, service.stats)
+    from ..compiler.config import CompilerConfig
+
+    cfg = CompilerConfig.from_dict(payload["config"])
+    key = cfg.cache_key(payload["source"], entry=payload["entry"])
+    # Raw dict access: a plain .get() would inflate the hit counters with
+    # bookkeeping lookups that no request made.
+    entry = service.cache._mem.get(key)
+    return value, elapsed, delta, entry
+
+
+@dataclass
+class PreparedRequest:
+    """A validated work request, ready to execute."""
+
+    request: Request
+    payload: Dict[str, Any]
+    key: str
+    route: str          # "inline" | "pool"
+
+
+class Dispatcher:
+    """Routes prepared requests; see the module docstring."""
+
+    def __init__(self, service: CompileService,
+                 config: ServerConfig) -> None:
+        self.service = service
+        self.config = config
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.pool_submits = 0
+        self.inline_served = 0
+        self.pool_abandoned = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.pool_workers,
+            initializer=_engine._pool_init,
+            initargs=(self.config.cache_dir, self.config.cache_maxsize),
+        )
+
+    def stop(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- request preparation ---------------------------------------------------------
+
+    def prepare(self, request: Request) -> PreparedRequest:
+        """Validate params, build the job payload, and pick a route.
+
+        Raises :class:`ProtocolError` (``bad_request``) on invalid
+        parameters.  Routing is a point-in-time decision: a key warm at
+        admission time is executed inline; the (rare) race where it gets
+        evicted before execution degrades to an inline compile, never to a
+        wrong answer.
+        """
+        params = dict(request.params)
+        if "file" in params:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "server requests must inline 'source'; "
+                                "'file' is client-side only")
+        params["kind"] = request.op
+        try:
+            job = job_from_dict(params)
+            payload = job.to_payload()
+            cfg = job.resolved_config()
+            key = cfg.cache_key(job.source, entry=job.entry)
+        except ProtocolError:
+            raise
+        except (ReproError, TypeError, ValueError, KeyError) as exc:
+            raise ProtocolError(E_BAD_REQUEST, f"invalid request: {exc}")
+        route = "inline" if key in self.service.cache else "pool"
+        return PreparedRequest(request=request, payload=payload, key=key,
+                               route=route)
+
+    # -- execution -------------------------------------------------------------------
+
+    async def execute(self, prepared: PreparedRequest,
+                      timeout_s: Optional[float]) -> Dict[str, Any]:
+        """Run one prepared request; returns the JSON-safe result dict.
+
+        Raises :class:`ProtocolError` with ``deadline_exceeded`` or
+        ``compile_error``; anything else bubbles up as an internal error.
+        """
+        if timeout_s is not None and timeout_s <= 0:
+            raise ProtocolError(E_DEADLINE, "deadline passed while queued")
+        if prepared.route == "inline":
+            return self._execute_inline(prepared)
+        return await self._execute_pool(prepared, timeout_s)
+
+    def _execute_inline(self, prepared: PreparedRequest) -> Dict[str, Any]:
+        self.inline_served += 1
+        try:
+            value = execute_job(prepared.payload, self.service)
+        except ReproError as exc:
+            raise ProtocolError(E_COMPILE, str(exc))
+        return self._shape(prepared, value)
+
+    async def _execute_pool(self, prepared: PreparedRequest,
+                            timeout_s: Optional[float]) -> Dict[str, Any]:
+        assert self._pool is not None, "dispatcher not started"
+        self.pool_submits += 1
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, _server_pool_execute,
+                                      prepared.payload)
+        try:
+            value, _elapsed, delta, entry = await asyncio.wait_for(
+                future, timeout=timeout_s)
+        except asyncio.TimeoutError:
+            self.pool_abandoned += 1
+            raise ProtocolError(
+                E_DEADLINE,
+                f"not completed within {timeout_s:.3f}s")
+        except ReproError as exc:
+            raise ProtocolError(E_COMPILE, str(exc))
+        self.service.stats.merge(delta)
+        if entry is not None:
+            # Warm only the in-memory level: the worker already wrote the
+            # shared disk shard when a cache_dir is configured.
+            self.service.cache._mem_put(prepared.key, entry)
+        return self._shape(prepared, value)
+
+    # -- result shaping --------------------------------------------------------------
+
+    def _shape(self, prepared: PreparedRequest,
+               value: Dict[str, Any]) -> Dict[str, Any]:
+        """JSON-safe reply body: drop process-internal payloads."""
+        out = {k: v for k, v in value.items() if k != "unit_blob"}
+        pipeline = out.get("pipeline")
+        if pipeline is not None and hasattr(pipeline, "to_dict"):
+            out["pipeline"] = pipeline.to_dict()
+        out["route"] = prepared.route
+        out["cached"] = prepared.route == "inline"
+        return out

@@ -1,0 +1,142 @@
+"""Wire protocol of the sound-computation server.
+
+One frame = one JSON object on one line (newline-delimited JSON over TCP).
+Requests carry a caller-chosen ``id`` that is echoed verbatim on the reply,
+so a client may pipeline many requests on one connection and match replies
+out of order.
+
+Request frame::
+
+    {"id": 7, "op": "run", "source": "double f(...) {...}",
+     "config": "f64a-dsnn", "k": 16, "args": [0.3, 0.2, 100],
+     "deadline_s": 5.0}
+
+Reply frames::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": {"code": "overloaded",
+                                     "message": "queue full (64 admitted)"}}
+
+Error codes are a closed set (:data:`ERROR_CODES`): clients can switch on
+them without parsing messages.  A frame that cannot be parsed at all is
+answered with ``id: null`` and code ``malformed``; everything after the
+request is identified carries its id, including structured compile errors
+(code ``compile_error``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "CONTROL_OPS",
+    "ERROR_CODES",
+    "E_BAD_REQUEST",
+    "E_COMPILE",
+    "E_DEADLINE",
+    "E_DRAINING",
+    "E_INTERNAL",
+    "E_MALFORMED",
+    "E_OVERLOADED",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "encode_frame",
+    "error_reply",
+    "ok_reply",
+    "parse_request",
+]
+
+#: Largest accepted frame (a request carrying a C source comfortably fits).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Work ops go through admission control; control ops are always served.
+OPS = ("compile", "run", "stats", "health", "drain")
+CONTROL_OPS = ("stats", "health", "drain")
+
+E_MALFORMED = "malformed"            # frame is not a JSON object / too big
+E_BAD_REQUEST = "bad_request"        # unknown op or invalid parameters
+E_OVERLOADED = "overloaded"          # admission queue full; retry later
+E_DRAINING = "draining"              # server is draining; no new work
+E_DEADLINE = "deadline_exceeded"     # request deadline passed
+E_COMPILE = "compile_error"          # the C program failed to compile
+E_INTERNAL = "internal"              # unexpected server-side failure
+
+ERROR_CODES = (E_MALFORMED, E_BAD_REQUEST, E_OVERLOADED, E_DRAINING,
+               E_DEADLINE, E_COMPILE, E_INTERNAL)
+
+
+class ProtocolError(Exception):
+    """A request-level failure with a structured error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ERROR_CODES, code
+        self.code = code
+        self.message = message
+        super().__init__(f"{code}: {message}")
+
+
+@dataclass
+class Request:
+    """A parsed request frame."""
+
+    id: Any
+    op: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialize one frame: compact JSON + newline.
+
+    ``allow_nan`` stays on (Python's ``Infinity``/``NaN`` extension):
+    enclosures of diverging programs have infinite bounds, and Python's
+    ``repr``-based float serialization round-trips doubles bit-exactly,
+    which the soundness tests rely on.
+    """
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def ok_reply(req_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_reply(req_id: Any, code: str, message: str) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    return {"id": req_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def parse_request(line: bytes) -> Request:
+    """Parse one frame into a :class:`Request`.
+
+    Raises :class:`ProtocolError` with ``malformed`` (not a JSON object,
+    bad encoding) or ``bad_request`` (unknown op, bad deadline).
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(E_MALFORMED,
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(E_MALFORMED, f"bad JSON frame: {exc}")
+    if not isinstance(data, dict):
+        raise ProtocolError(E_MALFORMED,
+                            f"frame must be a JSON object, got "
+                            f"{type(data).__name__}")
+    op = data.pop("op", None)
+    if op not in OPS:
+        raise ProtocolError(E_BAD_REQUEST,
+                            f"unknown op {op!r}; expected one of {OPS}")
+    req_id = data.pop("id", None)
+    deadline = data.pop("deadline_s", None)
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or deadline <= 0 \
+                or deadline != deadline:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "deadline_s must be a positive number")
+        deadline = float(deadline)
+    return Request(id=req_id, op=op, params=data, deadline_s=deadline)

@@ -26,7 +26,7 @@ from .jobs import (
     jobs_from_json,
 )
 from .service import CompileService
-from .stats import ServiceStats
+from .stats import LatencyHistogram, ServiceStats
 
 __all__ = [
     "BatchEngine",
@@ -35,6 +35,7 @@ __all__ = [
     "CompileJob",
     "CompileService",
     "JobResult",
+    "LatencyHistogram",
     "RunJob",
     "ServiceStats",
     "execute_job",

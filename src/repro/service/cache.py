@@ -82,22 +82,33 @@ class CompileCache:
         entry = self._mem.get(key)
         if entry is not None:
             self._mem.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.compile_s_saved += entry.compile_s
+            self.stats.add("hits")
+            self.stats.add("compile_s_saved", entry.compile_s)
             return entry
         entry = self._disk_get(key)
         if entry is not None:
             self._mem_put(key, entry)
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self.stats.compile_s_saved += entry.compile_s
+            self.stats.add("hits")
+            self.stats.add("disk_hits")
+            self.stats.add("compile_s_saved", entry.compile_s)
             return entry
-        self.stats.misses += 1
+        self.stats.add("misses")
         return None
 
     def put(self, key: str, entry: CacheEntry) -> None:
         self._mem_put(key, entry)
         self._disk_put(key, entry)
+
+    def invalidate(self, key: str) -> None:
+        """Drop ``key`` from both levels (e.g. an entry whose payload turned
+        out to be corrupt after a successful load)."""
+        self._mem.pop(key, None)
+        path = self._disk_path_if_exists(key)
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def clear(self) -> None:
         self._mem.clear()
@@ -109,7 +120,7 @@ class CompileCache:
         self._mem.move_to_end(key)
         while len(self._mem) > self.maxsize:
             self._mem.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.add("evictions")
 
     # -- disk store ------------------------------------------------------------------
 
@@ -133,6 +144,9 @@ class CompileCache:
                 raise ValueError("cache file does not match its key")
             return entry
         except Exception:
+            # Truncated write, unpicklable class, wrong key: demote to a
+            # miss, count it, and drop the file so it is not re-read.
+            self.stats.add("cache_errors")
             try:
                 os.unlink(path)
             except OSError:
@@ -158,4 +172,4 @@ class CompileCache:
                     pass
                 raise
         except Exception:
-            pass
+            self.stats.add("cache_errors")

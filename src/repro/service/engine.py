@@ -54,6 +54,7 @@ def _pool_execute(payload: dict) -> Tuple[dict, float, ServiceStats]:
     t0 = time.perf_counter()
     value = execute_job(payload, _WORKER_SERVICE)
     elapsed = time.perf_counter() - t0
+    _WORKER_SERVICE.stats.observe_latency(f"job:{payload['kind']}", elapsed)
     delta = ServiceStats.delta(before, _WORKER_SERVICE.stats)
     return value, elapsed, delta
 
@@ -121,20 +122,21 @@ class BatchEngine:
                 except Exception:
                     if attempt <= self.retries:
                         attempt += 1
-                        self.stats.jobs_retried += 1
+                        self.stats.add("jobs_retried")
                         continue
-                    self.stats.jobs_failed += 1
+                    self.stats.add("jobs_failed")
                     results.append(JobResult(
                         index=index, kind=payload["kind"], ok=False,
                         error=traceback.format_exc(limit=8),
                         attempts=attempt,
                         elapsed_s=time.perf_counter() - t0))
                     break
-                self.stats.jobs_run += 1
+                self.stats.add("jobs_run")
+                elapsed = time.perf_counter() - t0
+                self.stats.observe_latency(f"job:{payload['kind']}", elapsed)
                 results.append(JobResult(
                     index=index, kind=payload["kind"], ok=True, value=value,
-                    attempts=attempt,
-                    elapsed_s=time.perf_counter() - t0))
+                    attempts=attempt, elapsed_s=elapsed))
                 break
         return results
 
@@ -183,16 +185,16 @@ class BatchEngine:
                     except Exception as exc:
                         if attempt <= self.retries:
                             queue.append((index, attempt + 1))
-                            self.stats.jobs_retried += 1
+                            self.stats.add("jobs_retried")
                         else:
-                            self.stats.jobs_failed += 1
+                            self.stats.add("jobs_failed")
                             results[index] = JobResult(
                                 index=index, kind=payloads[index]["kind"],
                                 ok=False, attempts=attempt,
                                 error="".join(traceback.format_exception_only(
                                     type(exc), exc)).strip())
                         continue
-                    self.stats.jobs_run += 1
+                    self.stats.add("jobs_run")
                     results[index] = JobResult(
                         index=index, kind=payloads[index]["kind"], ok=True,
                         value=value, attempts=attempt, elapsed_s=elapsed)
@@ -216,12 +218,12 @@ class BatchEngine:
         expired_set = set(expired)
         for future, (index, attempt, _) in inflight.items():
             if future in expired_set:
-                self.stats.jobs_timed_out += 1
+                self.stats.add("jobs_timed_out")
                 if attempt <= self.retries:
                     queue.append((index, attempt + 1))
-                    self.stats.jobs_retried += 1
+                    self.stats.add("jobs_retried")
                 else:
-                    self.stats.jobs_failed += 1
+                    self.stats.add("jobs_failed")
                     results[index] = JobResult(
                         index=index, kind=payloads[index]["kind"], ok=False,
                         attempts=attempt, timed_out=True,

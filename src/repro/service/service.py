@@ -74,7 +74,15 @@ class CompileService:
         if cached is not None:
             have = getattr(cached, "dumps", None) or {}
             if all(name in have for name in wanted):
-                return self._rebuild(cfg, cached), cached
+                try:
+                    return self._rebuild(cfg, cached), cached
+                except Exception:
+                    # The entry loaded but its payload is rotten (e.g. a
+                    # truncated unit_blob): treat as a miss and recompile
+                    # rather than surface cache damage to the caller.
+                    self.stats.add("cache_errors")
+                    self.cache.invalidate(key)
+                    cached = None
         t0 = time.perf_counter()
         prog = SafeGen(cfg).compile(source, entry=entry, emit_after=wanted)
         compile_s = time.perf_counter() - t0

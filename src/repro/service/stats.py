@@ -1,18 +1,147 @@
 """Metrics for the compilation service layer.
 
-One :class:`ServiceStats` object is shared by the cache and the batch engine
-that sit inside a :class:`repro.service.CompileService`, so a single dump
-answers both "how well is the cache doing" and "what happened to my jobs".
+One :class:`ServiceStats` object is shared by the cache, the batch engine
+and (new) the sound-computation server that sit inside or above a
+:class:`repro.service.CompileService`, so a single dump answers "how well
+is the cache doing", "what happened to my jobs" and "how fast are requests
+being served".
+
+Concurrency: the server mutates these counters from the asyncio event loop
+while worker-completion callbacks and client threads read/merge them, so
+every mutation goes through :meth:`ServiceStats.add` /
+:meth:`ServiceStats.observe_latency` / :meth:`ServiceStats.merge` under an
+internal re-entrant lock, and :meth:`ServiceStats.snapshot` returns an
+atomic copy.  The lock never crosses process boundaries: pickling drops it
+and unpickling re-creates a fresh one.
 """
 
 from __future__ import annotations
 
 import copy
 import json
+import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["ServiceStats"]
+__all__ = ["LatencyHistogram", "ServiceStats"]
+
+
+def _log_spaced_bounds(lo: float = 1e-6, hi: float = 1e2,
+                       per_decade: int = 8) -> Tuple[float, ...]:
+    decades = 8  # log10(hi / lo)
+    n = decades * per_decade
+    return tuple(lo * 10.0 ** (i / per_decade) for i in range(n + 1))
+
+
+class LatencyHistogram:
+    """Fixed log-spaced wall-clock histogram (no dependencies).
+
+    Buckets are upper bounds in seconds, 8 per decade from 1 microsecond to
+    100 seconds (65 bounds) plus one overflow bucket.  Percentiles are
+    reported as the upper bound of the bucket containing the requested
+    rank, so they over- rather than under-state latency — the conservative
+    direction for a p99 claim.
+    """
+
+    BOUNDS: Tuple[float, ...] = _log_spaced_bounds()
+
+    __slots__ = ("counts", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.counts[bisect_left(self.BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        if not self.count:
+            return None
+        rank = max(1, int(q * self.count + 0.9999999))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.BOUNDS[i] if i < len(self.BOUNDS) else self.max_s
+        return self.max_s
+
+    @property
+    def mean_s(self) -> Optional[float]:
+        return self.total_s / self.count if self.count else None
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
+    def minus(self, before: "LatencyHistogram") -> "LatencyHistogram":
+        """Bucket-wise ``self - before`` (worker-delta accounting).
+
+        ``min_s``/``max_s`` cannot be un-merged, so the delta keeps the
+        observed extremes of ``self`` — still sound as an envelope.
+        """
+        out = LatencyHistogram()
+        out.counts = [a - b for a, b in zip(self.counts, before.counts)]
+        out.count = self.count - before.count
+        out.total_s = self.total_s - before.total_s
+        if out.count > 0:
+            out.min_s = self.min_s
+            out.max_s = self.max_s
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"count": self.count}
+        if self.count:
+            out.update(
+                mean_s=round(self.total_s / self.count, 6),
+                min_s=round(self.min_s, 6),
+                max_s=round(self.max_s, 6),
+                p50_s=round(self.quantile(0.50), 6),
+                p90_s=round(self.quantile(0.90), 6),
+                p99_s=round(self.quantile(0.99), 6),
+            )
+            out["buckets"] = [
+                [round(self.BOUNDS[i], 9) if i < len(self.BOUNDS) else None, c]
+                for i, c in enumerate(self.counts) if c
+            ]
+        return out
+
+    def summary(self) -> str:
+        if not self.count:
+            return "n=0"
+        return (f"n={self.count} p50={self.quantile(0.5) * 1e3:.3f}ms "
+                f"p99={self.quantile(0.99) * 1e3:.3f}ms "
+                f"max={self.max_s * 1e3:.3f}ms")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyHistogram({self.summary()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (self.counts == other.counts
+                and self.total_s == other.total_s)
+
+    # __slots__ classes pickle via getstate/setstate.
+    def __getstate__(self):
+        return (self.counts, self.count, self.total_s, self.min_s, self.max_s)
+
+    def __setstate__(self, state):
+        (self.counts, self.count, self.total_s,
+         self.min_s, self.max_s) = state
 
 
 @dataclass
@@ -21,26 +150,54 @@ class ServiceStats:
 
     Cache side: ``hits`` / ``misses`` / ``evictions`` count lookups against
     the in-memory LRU; ``disk_hits`` is the subset of hits satisfied by the
-    on-disk store; ``compile_s_saved`` accumulates the original compile time
-    of every entry served from cache (an estimate of wall-clock avoided).
+    on-disk store; ``cache_errors`` counts corrupt/unreadable entries that
+    were demoted to misses; ``compile_s_saved`` accumulates the original
+    compile time of every entry served from cache (an estimate of
+    wall-clock avoided).
 
     Engine side: ``jobs_run`` / ``jobs_failed`` / ``jobs_timed_out`` /
     ``jobs_retried`` count batch-job outcomes.
 
     Pipeline side: ``pass_s`` accumulates wall seconds per compiler pass
     over every non-cached compilation this service performed.
+
+    Latency side: ``latency`` maps a probe name (``job:run``,
+    ``server:compile``, ...) to a :class:`LatencyHistogram` of per-request
+    wall-clock seconds.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    cache_errors: int = 0
     compile_s_saved: float = 0.0
     jobs_run: int = 0
     jobs_failed: int = 0
     jobs_timed_out: int = 0
     jobs_retried: int = 0
     pass_s: Dict[str, float] = field(default_factory=dict)
+    latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: fields()-driven code (to_dict/merge/delta)
+        # never sees it, and pickling drops it (see __getstate__).
+        self._lock = threading.RLock()
+
+    # -- concurrency-safe mutation ---------------------------------------------------
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Atomically increment a scalar counter by ``amount``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Atomically record one wall-clock sample under probe ``name``."""
+        with self._lock:
+            hist = self.latency.get(name)
+            if hist is None:
+                hist = self.latency[name] = LatencyHistogram()
+            hist.observe(seconds)
 
     @property
     def lookups(self) -> int:
@@ -54,31 +211,43 @@ class ServiceStats:
         """Fold one compilation's :class:`PipelineReport` timings in."""
         if report is None:
             return
-        for name, seconds in report.timings().items():
-            self.pass_s[name] = self.pass_s.get(name, 0.0) + seconds
+        with self._lock:
+            for name, seconds in report.timings().items():
+                self.pass_s[name] = self.pass_s.get(name, 0.0) + seconds
 
     def to_dict(self) -> Dict[str, Any]:
-        out = {f.name: getattr(self, f.name) for f in fields(self)}
-        out["hit_rate"] = round(self.hit_rate, 4)
-        out["compile_s_saved"] = round(self.compile_s_saved, 6)
-        out["pass_s"] = {k: round(v, 6) for k, v in sorted(self.pass_s.items())}
-        return out
+        with self._lock:
+            out = {f.name: getattr(self, f.name) for f in fields(self)}
+            out["hit_rate"] = round(self.hit_rate, 4)
+            out["compile_s_saved"] = round(self.compile_s_saved, 6)
+            out["pass_s"] = {k: round(v, 6)
+                             for k, v in sorted(self.pass_s.items())}
+            out["latency"] = {k: v.to_dict()
+                              for k, v in sorted(self.latency.items())}
+            return out
 
     def snapshot(self) -> "ServiceStats":
-        """An independent copy (safe to diff against later)."""
-        return copy.deepcopy(self)
+        """An atomic, independent copy (safe to diff against later)."""
+        with self._lock:
+            return copy.deepcopy(self)
 
     def merge(self, other: "ServiceStats") -> None:
         """Fold another stats object (e.g. from a worker process) into this
         one."""
-        for f in fields(self):
-            mine = getattr(self, f.name)
-            theirs = getattr(other, f.name)
-            if isinstance(mine, dict):
-                for k, v in theirs.items():
-                    mine[k] = mine.get(k, 0.0) + v
-            else:
-                setattr(self, f.name, mine + theirs)
+        with self._lock:
+            for f in fields(self):
+                mine = getattr(self, f.name)
+                theirs = getattr(other, f.name)
+                if isinstance(mine, dict):
+                    for k, v in theirs.items():
+                        if isinstance(v, LatencyHistogram):
+                            if k not in mine:
+                                mine[k] = LatencyHistogram()
+                            mine[k].merge(v)
+                        else:
+                            mine[k] = mine.get(k, 0.0) + v
+                else:
+                    setattr(self, f.name, mine + theirs)
 
     @classmethod
     def delta(cls, before: "ServiceStats",
@@ -89,12 +258,24 @@ class ServiceStats:
             b = getattr(before, f.name)
             a = getattr(after, f.name)
             if isinstance(a, dict):
-                diff = {k: v - b.get(k, 0.0) for k, v in a.items()
-                        if v != b.get(k, 0.0)}
+                diff: Dict[str, Any] = {}
+                for k, v in a.items():
+                    if isinstance(v, LatencyHistogram):
+                        d = v.minus(b.get(k, LatencyHistogram()))
+                        if d.count:
+                            diff[k] = d
+                    elif v != b.get(k, 0.0):
+                        diff[k] = v - b.get(k, 0.0)
                 setattr(out, f.name, diff)
             else:
                 setattr(out, f.name, a - b)
         return out
+
+    def latency_summary(self) -> str:
+        """One line per probe: ``name: n=... p50=... p99=...``."""
+        with self._lock:
+            return "\n".join(f"lat {name:<16} {hist.summary()}"
+                             for name, hist in sorted(self.latency.items()))
 
     def dump_json(self, path: Optional[str] = None) -> str:
         """Serialize the counters as JSON; also write to ``path`` if given."""
@@ -104,10 +285,28 @@ class ServiceStats:
                 fh.write(text + "\n")
         return text
 
+    # -- pickling (the lock stays process-local) -------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def __deepcopy__(self, memo) -> "ServiceStats":
+        out = self.__class__()
+        for f in fields(self):
+            setattr(out, f.name, copy.deepcopy(getattr(self, f.name), memo))
+        return out
+
     def __str__(self) -> str:
         return (
             f"cache {self.hits}/{self.lookups} hits "
             f"({self.disk_hits} from disk, {self.evictions} evicted, "
+            f"{self.cache_errors} corrupt, "
             f"{self.compile_s_saved:.3f}s compile saved); "
             f"jobs {self.jobs_run} ok / {self.jobs_failed} failed / "
             f"{self.jobs_timed_out} timed out / {self.jobs_retried} retried"

@@ -12,6 +12,7 @@ checks the core invariants on every path:
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 
 import pytest
@@ -137,6 +138,10 @@ def test_full_aa_tightest(boxes, steps):
     f, _ = run_ops(full_ctx, boxes, steps)
     if not (b.is_valid() and f.is_valid()):
         return
-    # The full-AA width never exceeds the bounded width (up to 1 ulp slack
-    # from radius re-accumulation order).
-    assert f.interval().width_ru() <= b.interval().width_ru() * (1 + 1e-12)
+    # The full-AA width never exceeds the bounded width, up to a few ulps
+    # of slack per step from radius re-accumulation order.  The relative
+    # term covers normal magnitudes; once the widths are subnormal it is
+    # worth less than one ulp, so the ulps are also granted absolutely.
+    slack = 4 * len(steps) * math.ulp(0.0)
+    assert f.interval().width_ru() \
+        <= b.interval().width_ru() * (1 + 1e-12) + slack

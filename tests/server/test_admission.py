@@ -1,0 +1,89 @@
+"""Admission control: global bound, per-class limits, ticket accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.server import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_admits_until_full(self):
+        async def scenario():
+            ctl = AdmissionController(2, {"pool": 4})
+            t1 = ctl.try_admit("pool")
+            t2 = ctl.try_admit("pool")
+            t3 = ctl.try_admit("pool")
+            assert t1 is not None and t2 is not None
+            assert t3 is None
+            assert ctl.admitted == 2
+            assert ctl.rejected_total == 1
+            t1.release()
+            assert ctl.try_admit("pool") is not None
+
+        run(scenario())
+
+    def test_unknown_class_raises(self):
+        async def scenario():
+            ctl = AdmissionController(2, {"pool": 1})
+            with pytest.raises(KeyError):
+                ctl.try_admit("warp")
+
+        run(scenario())
+
+    def test_class_limit_queues(self):
+        async def scenario():
+            ctl = AdmissionController(8, {"pool": 1})
+            t1 = ctl.try_admit("pool")
+            t2 = ctl.try_admit("pool")
+            await t1.acquire()
+            assert ctl.queued == 1  # t2 admitted but cannot run yet
+            acquired = asyncio.ensure_future(t2.acquire())
+            await asyncio.sleep(0)
+            assert not acquired.done()  # blocked on the class semaphore
+            t1.release()
+            await acquired
+            assert ctl.queued == 0
+            t2.release()
+            assert ctl.admitted == 0
+
+        run(scenario())
+
+    def test_release_is_idempotent(self):
+        async def scenario():
+            ctl = AdmissionController(2, {"inline": 1})
+            t = ctl.try_admit("inline")
+            await t.acquire()
+            t.release()
+            t.release()
+            assert ctl.admitted == 0
+            assert ctl.snapshot()["running"] == {"inline": 0}
+
+        run(scenario())
+
+    def test_release_without_acquire_frees_admission_only(self):
+        async def scenario():
+            ctl = AdmissionController(1, {"inline": 1})
+            t = ctl.try_admit("inline")
+            t.release()  # e.g. rejected later in the pipeline
+            assert ctl.admitted == 0
+            assert ctl.try_admit("inline") is not None
+
+        run(scenario())
+
+    def test_snapshot_shape(self):
+        async def scenario():
+            ctl = AdmissionController(4, {"inline": 1, "pool": 2})
+            ctl.try_admit("pool")
+            snap = ctl.snapshot()
+            assert snap["admitted"] == 1
+            assert snap["max_queue"] == 4
+            assert snap["limits"] == {"inline": 1, "pool": 2}
+            assert snap["admitted_total"] == 1
+            assert snap["rejected_total"] == 0
+
+        run(scenario())

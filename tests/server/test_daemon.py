@@ -1,0 +1,255 @@
+"""Server lifecycle: serve, route, backpressure, deadlines, drain."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.server import ServerClient, ServerConfig, ServerError, ServerThread
+
+SRC = "double f(double x) { return x * x + 1.0; }"
+
+
+def src_variant(i: int) -> str:
+    return f"double v{i}(double x) {{ return x * {float(i + 1)!r} + 1.0; }}"
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, pool_workers=1)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestBasicOps:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+
+    def test_cold_compile_goes_to_pool_then_warm_inline(self, client):
+        first = client.compile(SRC, config="f64a-dsnn", k=8)
+        assert first["route"] == "pool"
+        assert first["entry"] == "f"
+        assert "unit_blob" not in first
+        second = client.compile(SRC, config="f64a-dsnn", k=8)
+        assert second["route"] == "inline"
+        assert second["cached"] is True
+        assert second["c_source"] == first["c_source"]
+
+    def test_hot_run_is_inline(self, client):
+        client.compile(SRC, config="f64a-dsnn", k=8)
+        before = client.stats()["server"]["pool_submits"]
+        result = client.run(SRC, config="f64a-dsnn", k=8, args=[0.5])
+        assert result["route"] == "inline"
+        lo, hi = result["interval"]
+        assert lo <= 1.25 <= hi
+        assert client.stats()["server"]["pool_submits"] == before
+
+    def test_compile_error_is_structured(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.compile("double f(double x) { return x + ; }")
+        assert exc_info.value.code == "compile_error"
+
+    def test_bad_request_file_param_rejected(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.request("compile", file="/etc/passwd")
+        assert exc_info.value.code == "bad_request"
+
+    def test_bad_config_rejected(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.compile(SRC, config="no-such-config")
+        assert exc_info.value.code == "bad_request"
+
+    def test_malformed_frame_gets_null_id_reply(self, client):
+        client.connect()
+        client._file.write(b"this is not json\n")
+        client._file.flush()
+        reply = client.read_reply()
+        assert reply["id"] is None
+        assert reply["error"]["code"] == "malformed"
+        # The connection survives a malformed frame.
+        assert client.health()["status"] == "ok"
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert "service" in stats and "server" in stats
+        assert "admission" in stats["server"]
+        assert "latency" in stats["service"]
+
+    def test_pipelined_requests_matched_by_id(self, client):
+        client.compile(SRC, config="f64a-dsnn", k=8)  # warm
+        frames = [{"id": f"req-{i}", "op": "run", "source": SRC,
+                   "config": "f64a-dsnn", "k": 8, "args": [0.1 * i]}
+                  for i in range(5)]
+        for frame in frames:
+            client.send_raw(frame)
+        replies = {client.read_reply()["id"] for _ in frames}
+        assert replies == {f"req-{i}" for i in range(5)}
+
+    def test_concurrent_clients(self, server):
+        # Many clients, one server: every reply correct and none lost.
+        n_clients, errors, results = 12, [], {}
+
+        def worker(idx):
+            try:
+                with ServerClient(port=server.port) as c:
+                    r = c.run(SRC, config="f64a-dsnn", k=8, args=[0.5])
+                    results[idx] = r["interval"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((idx, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(results) == n_clients
+        assert len({tuple(iv) for iv in results.values()}) == 1
+
+
+class TestFrameLimit:
+    def test_oversize_frame_replies_malformed_and_disconnects(self):
+        config = ServerConfig(port=0, pool_workers=1, max_frame_bytes=1024)
+        with ServerThread(config) as srv:
+            with socket.create_connection(("127.0.0.1", srv.port),
+                                          timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b'{"op": "compile", "source": "'
+                         + b"x" * 4096 + b'"}\n')
+                fh.flush()
+                reply = json.loads(fh.readline())
+                assert reply["error"]["code"] == "malformed"
+                assert fh.readline() == b""  # server hung up
+            with ServerClient(port=srv.port) as c:
+                c.drain()
+
+
+class TestBackpressure:
+    def test_full_queue_yields_overloaded(self):
+        config = ServerConfig(port=0, pool_workers=1, pool_limit=1,
+                              inline_limit=1, max_queue=2)
+        with ServerThread(config) as srv:
+            with ServerClient(port=srv.port) as c:
+                n = 6
+                for i in range(n):
+                    c.send_raw({"id": i, "op": "compile",
+                                "source": src_variant(i),
+                                "config": "f64a-dsnn", "k": 8})
+                replies = [c.read_reply() for _ in range(n)]
+                by_id = {r["id"]: r for r in replies}
+                assert len(by_id) == n  # nothing lost, nothing duplicated
+                codes = [r["error"]["code"] for r in replies
+                         if not r["ok"]]
+                assert codes and set(codes) == {"overloaded"}
+                # The admitted prefix (queue bound = 2) is served fine.
+                assert by_id[0]["ok"] and by_id[1]["ok"]
+                assert len(codes) == n - 2
+                stats = c.stats()
+                assert stats["server"]["admission"]["rejected_total"] \
+                    == n - 2
+                c.drain()
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_on_cold_compile(self):
+        config = ServerConfig(port=0, pool_workers=1)
+        with ServerThread(config) as srv:
+            with ServerClient(port=srv.port) as c:
+                with pytest.raises(ServerError) as exc_info:
+                    c.compile(src_variant(99), config="f64a-dspn", k=16,
+                              deadline_s=1e-4)
+                assert exc_info.value.code == "deadline_exceeded"
+                # The server still serves after an abandoned pool job.
+                assert c.health()["status"] == "ok"
+                c.drain()
+
+    def test_default_deadline_from_config(self):
+        config = ServerConfig(port=0, pool_workers=1,
+                              default_deadline_s=1e-4)
+        with ServerThread(config) as srv:
+            with ServerClient(port=srv.port) as c:
+                with pytest.raises(ServerError) as exc_info:
+                    c.compile(src_variant(98), config="f64a-dsnn", k=8)
+                assert exc_info.value.code == "deadline_exceeded"
+                c.drain()
+
+
+class TestDrain:
+    # Slow work (~0.5s per compile: prioritization over an unrolled loop)
+    # keeps requests verifiably in flight while the drain sequence runs.
+    SLOW = """
+double henon(double x, double y, int n) {{
+    double a = {a!r};
+    for (int i = 0; i < n; i++) {{
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }}
+    return x;
+}}
+"""
+
+    def slow_frame(self, i: int) -> dict:
+        return {"id": i, "op": "compile",
+                "source": self.SLOW.format(a=1.05 + i * 0.01),
+                "config": "f64a-dspn", "k": 16, "int_params": {"n": 30}}
+
+    def test_drain_completes_accepted_rejects_new_stops_server(self):
+        config = ServerConfig(port=0, pool_workers=1, pool_limit=1,
+                              max_queue=8)
+        srv = ServerThread(config).start()
+        work = ServerClient(port=srv.port).connect()
+        control = ServerClient(port=srv.port).connect()
+        late = ServerClient(port=srv.port).connect()
+        n = 4
+        for i in range(n):
+            work.send_raw(self.slow_frame(i))
+        # Wait until every request is admitted (accepted work, queued
+        # behind pool_limit=1) and still unfinished before draining.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            snap = control.stats()["server"]["admission"]
+            if snap["admitted_total"] >= n:
+                assert snap["admitted"] >= 1, \
+                    "work drained before the test could observe it"
+                break
+            time.sleep(0.005)
+        else:  # pragma: no cover
+            pytest.fail("requests never admitted")
+        control.send_raw({"id": "drain", "op": "drain"})
+        # Control ops are always served: poll until the flag is visible,
+        # then a work request is deterministically rejected.
+        while late.health()["status"] != "draining":
+            time.sleep(0.005)
+        with pytest.raises(ServerError) as exc_info:
+            late.compile(src_variant(50), config="f64a-dsnn", k=8)
+        assert exc_info.value.code == "draining"
+        # Every accepted request completed with a real reply: zero lost.
+        work_replies = {work.read_reply()["id"] for _ in range(n)}
+        assert work_replies == set(range(n))
+        drain_reply = control.read_reply()
+        assert drain_reply["id"] == "drain" and drain_reply["ok"]
+        assert drain_reply["result"]["drained"] is True
+        assert drain_reply["result"]["outstanding"] == 0
+        srv._thread.join(timeout=30)
+        assert not srv._thread.is_alive()
+        for c in (work, control, late):
+            c.close()
+
+    def test_drain_on_idle_server_stops_immediately(self):
+        srv = ServerThread(ServerConfig(port=0, pool_workers=1)).start()
+        with ServerClient(port=srv.port) as c:
+            result = c.drain()
+            assert result["drained"] is True
+        srv._thread.join(timeout=30)
+        assert not srv._thread.is_alive()

@@ -1,0 +1,111 @@
+"""Framing and request parsing: the closed error-code contract."""
+
+import json
+import math
+
+import pytest
+
+from repro.server import (
+    ERROR_CODES,
+    ProtocolError,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from repro.server.protocol import E_BAD_REQUEST, E_MALFORMED
+
+
+def parse_error(line: bytes) -> ProtocolError:
+    with pytest.raises(ProtocolError) as exc_info:
+        parse_request(line)
+    return exc_info.value
+
+
+class TestParseRequest:
+    def test_minimal_valid(self):
+        req = parse_request(b'{"id": 1, "op": "health"}')
+        assert req.id == 1
+        assert req.op == "health"
+        assert req.params == {}
+        assert req.deadline_s is None
+
+    def test_params_are_everything_else(self):
+        req = parse_request(
+            b'{"id": "a", "op": "run", "source": "s", "k": 8,'
+            b' "args": [1, 2]}')
+        assert req.params == {"source": "s", "k": 8, "args": [1, 2]}
+
+    def test_deadline_parsed(self):
+        req = parse_request(b'{"id": 1, "op": "compile", "deadline_s": 2.5}')
+        assert req.deadline_s == 2.5
+        assert "deadline_s" not in req.params
+
+    def test_missing_id_is_none(self):
+        assert parse_request(b'{"op": "stats"}').id is None
+
+    def test_not_json(self):
+        assert parse_error(b"not json\n").code == E_MALFORMED
+
+    def test_not_an_object(self):
+        assert parse_error(b"[1, 2]\n").code == E_MALFORMED
+
+    def test_bad_encoding(self):
+        assert parse_error(b'\xff\xfe{"op": "stats"}').code == E_MALFORMED
+
+    def test_unknown_op(self):
+        assert parse_error(b'{"id": 1, "op": "explode"}').code \
+            == E_BAD_REQUEST
+
+    def test_missing_op(self):
+        assert parse_error(b'{"id": 1}').code == E_BAD_REQUEST
+
+    @pytest.mark.parametrize("deadline", ["-1", "0", '"soon"', "NaN"])
+    def test_bad_deadline(self, deadline):
+        line = b'{"id": 1, "op": "run", "deadline_s": ' \
+            + deadline.encode() + b"}"
+        assert parse_error(line).code == E_BAD_REQUEST
+
+    def test_oversize_frame(self):
+        from repro.server.protocol import MAX_FRAME_BYTES
+
+        line = b'{"op": "run", "source": "' \
+            + b"x" * MAX_FRAME_BYTES + b'"}'
+        assert parse_error(line).code == E_MALFORMED
+
+
+class TestFrames:
+    def test_encode_is_one_line(self):
+        data = encode_frame({"id": 1, "nested": {"a": [1.5, "b"]}})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data) == {"id": 1, "nested": {"a": [1.5, "b"]}}
+
+    def test_floats_round_trip_bit_exact(self):
+        values = [0.1, 1e-308, 2.0 ** -1074, 1.7976931348623157e308,
+                  float("inf"), -float("inf")]
+        out = json.loads(encode_frame({"v": values}))["v"]
+        assert out == values
+
+    def test_nan_round_trips(self):
+        out = json.loads(encode_frame({"v": float("nan")}))["v"]
+        assert math.isnan(out)
+
+    def test_ok_reply_shape(self):
+        assert ok_reply(3, {"x": 1}) == {"id": 3, "ok": True,
+                                         "result": {"x": 1}}
+
+    def test_error_reply_shape(self):
+        reply = error_reply(None, "overloaded", "queue full")
+        assert reply == {"id": None, "ok": False,
+                         "error": {"code": "overloaded",
+                                   "message": "queue full"}}
+
+    def test_error_reply_rejects_unknown_code(self):
+        with pytest.raises(AssertionError):
+            error_reply(1, "nonsense", "boom")
+
+    def test_error_codes_closed_set(self):
+        assert set(ERROR_CODES) == {
+            "malformed", "bad_request", "overloaded", "draining",
+            "deadline_exceeded", "compile_error", "internal"}

@@ -1,0 +1,65 @@
+"""Served enclosures must be bit-identical to the direct compile path.
+
+The server adds caching, process hops and JSON transport between the user
+and the compiler; none of those layers may perturb a single bit of the
+certified enclosure.  JSON is safe because Python serializes floats via
+``repr`` (shortest round-trip form), and these tests pin the end-to-end
+guarantee for both routes (pool = cold, inline = hot).
+"""
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+
+CASES = [
+    ("f64a-dsnn", 8, [0.3, 0.2, 30]),
+    ("f64a-dsnn", 16, [0.3, 0.2, 30]),
+    ("ia-f64", 8, [0.1, 0.1, 10]),
+]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, pool_workers=1)) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestServedSoundness:
+    @pytest.mark.parametrize("config,k,args", CASES)
+    def test_cold_then_hot_match_direct_path(self, client, config, k, args):
+        direct = compile_c(HENON, config, k=k)(*args).value.interval()
+        cold = client.run(HENON, config=config, k=k, args=args)
+        hot = client.run(HENON, config=config, k=k, args=args)
+        assert cold["route"] == "pool"
+        assert hot["route"] == "inline"
+        for served in (cold, hot):
+            lo, hi = served["interval"]
+            assert (lo, hi) == (direct.lo, direct.hi), \
+                f"served enclosure differs on {config} k={k}"
+
+    def test_served_compile_emits_identical_sources(self, client):
+        direct = compile_c(HENON, "f64a-dspn", k=16)
+        served = client.compile(HENON, config="f64a-dspn", k=16)
+        assert served["c_source"] == direct.c_source
+        assert served["python_source"] == direct.python_source
+        assert served["priority_map"] == {
+            str(k): v for k, v in direct.priority_map.items()}

@@ -1,0 +1,88 @@
+"""Disk-store corruption is demoted to misses, never raised to callers."""
+
+import os
+import pickle
+
+from repro.compiler import CompilerConfig
+from repro.service import CacheEntry, CompileCache, CompileService
+
+SRC = "double f(double x) { return x * x + 1.0; }"
+
+
+def shard_path(cache: CompileCache, key: str) -> str:
+    return os.path.join(cache.cache_dir, key[:2], key + ".pkl")
+
+
+def write_shard(cache: CompileCache, key: str, data: bytes) -> str:
+    path = shard_path(cache, key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return path
+
+
+class TestDiskCorruption:
+    def test_truncated_shard_is_a_counted_miss_and_unlinked(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "ab" + "0" * 62
+        path = write_shard(cache, key, b"\x80\x05truncated-garbage")
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+        assert cache.stats.cache_errors == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_wrong_key_shard_is_rejected(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key_a = "aa" + "0" * 62
+        key_b = "bb" + "0" * 62
+        entry = CacheEntry(key=key_a, entry="f", config={}, unit_blob=b"",
+                           python_source="", c_source="")
+        write_shard(cache, key_b, pickle.dumps(entry))
+        assert cache.get(key_b) is None
+        assert cache.stats.cache_errors == 1
+
+    def test_non_entry_pickle_is_rejected(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "cc" + "0" * 62
+        write_shard(cache, key, pickle.dumps({"not": "an entry"}))
+        assert cache.get(key) is None
+        assert cache.stats.cache_errors == 1
+
+    def test_invalidate_drops_both_levels(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "dd" + "0" * 62
+        entry = CacheEntry(key=key, entry="f", config={}, unit_blob=b"",
+                           python_source="", c_source="")
+        cache.put(key, entry)
+        assert key in cache
+        cache.invalidate(key)
+        assert key not in cache
+        assert not os.path.exists(shard_path(cache, key))
+
+
+class TestServiceRecovery:
+    def test_rotten_unit_blob_recompiles_instead_of_raising(self, tmp_path):
+        # A shard that unpickles fine but whose payload is rotten must not
+        # leak an exception out of CompileService.compile.
+        svc = CompileService(cache_dir=str(tmp_path))
+        prog = svc.compile(SRC, "f64a-dsnn", k=8)
+        good = prog(0.5).value.interval()
+
+        cfg = CompilerConfig.from_string("f64a-dsnn", k=8)
+        key = cfg.cache_key(SRC)
+        path = shard_path(svc.cache, key)
+        entry = pickle.loads(open(path, "rb").read())
+        entry.unit_blob = b"this is not a pickled unit"
+        with open(path, "wb") as fh:
+            pickle.dump(entry, fh)
+
+        fresh = CompileService(cache_dir=str(tmp_path))
+        prog2 = fresh.compile(SRC, "f64a-dsnn", k=8)  # must not raise
+        again = prog2(0.5).value.interval()
+        assert (again.lo, again.hi) == (good.lo, good.hi)
+        assert fresh.stats.cache_errors >= 1
+        # The rotten shard was replaced by the recompile.
+        prog3 = CompileService(cache_dir=str(tmp_path)).compile(
+            SRC, "f64a-dsnn", k=8)
+        assert prog3(0.5).value.interval().lo == good.lo

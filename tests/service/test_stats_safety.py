@@ -1,0 +1,148 @@
+"""Concurrency safety of ServiceStats + the latency histogram satellite."""
+
+import pickle
+import threading
+
+from repro.service import LatencyHistogram, ServiceStats
+
+
+class TestConcurrentMutation:
+    def test_concurrent_add_loses_nothing(self):
+        stats = ServiceStats()
+        n_threads, n_iter = 8, 2000
+
+        def hammer():
+            for _ in range(n_iter):
+                stats.add("hits")
+                stats.add("compile_s_saved", 0.5)
+                stats.observe_latency("server:run", 0.001)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.hits == n_threads * n_iter
+        assert abs(stats.compile_s_saved - 0.5 * n_threads * n_iter) < 1e-6
+        assert stats.latency["server:run"].count == n_threads * n_iter
+
+    def test_snapshot_is_atomic_and_independent(self):
+        stats = ServiceStats()
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                stats.add("hits")
+                stats.observe_latency("x", 0.01)
+
+        t = threading.Thread(target=mutate)
+        t.start()
+        try:
+            for _ in range(50):
+                snap = stats.snapshot()
+                assert snap.hits >= 0
+                snap.add("hits", 1000000)  # must not touch the original
+        finally:
+            stop.set()
+            t.join()
+        assert stats.hits < 1000000
+
+    def test_merge_under_concurrent_observation(self):
+        stats = ServiceStats()
+        other = ServiceStats()
+        other.add("jobs_run", 3)
+        other.observe_latency("job:run", 0.5)
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                stats.observe_latency("job:run", 0.1)
+
+        t = threading.Thread(target=mutate)
+        t.start()
+        try:
+            for _ in range(50):
+                stats.merge(other)
+        finally:
+            stop.set()
+            t.join()
+        assert stats.jobs_run == 150
+
+
+class TestPickling:
+    def test_lock_does_not_cross_process_boundaries(self):
+        stats = ServiceStats(hits=3)
+        stats.observe_latency("job:compile", 0.25)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.hits == 3
+        assert clone.latency["job:compile"].count == 1
+        clone.add("hits")  # the restored lock works
+        assert clone.hits == 4
+
+    def test_delta_survives_pickling(self):
+        before = ServiceStats()
+        after = ServiceStats(hits=5)
+        after.observe_latency("job:run", 0.1)
+        delta = pickle.loads(pickle.dumps(ServiceStats.delta(before, after)))
+        assert delta.hits == 5
+        assert delta.latency["job:run"].count == 1
+
+
+class TestLatencyHistogram:
+    def test_quantiles_bound_the_samples(self):
+        hist = LatencyHistogram()
+        samples = [0.001, 0.002, 0.004, 0.008, 0.5]
+        for s in samples:
+            hist.observe(s)
+        assert hist.count == 5
+        # Bucketed quantiles over-approximate, never under-approximate.
+        assert hist.quantile(0.5) >= 0.002
+        assert hist.quantile(0.99) >= 0.5
+        assert hist.quantile(0.99) <= 0.5 * 10 ** 0.125 * 1.0001
+        assert hist.min_s == 0.001
+        assert hist.max_s == 0.5
+
+    def test_empty_quantile_is_none(self):
+        assert LatencyHistogram().quantile(0.5) is None
+        assert LatencyHistogram().mean_s is None
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(1e6)  # past the last bound (100 s)
+        assert hist.quantile(0.99) == 1e6
+
+    def test_merge_and_minus_round_trip(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for s in (0.001, 0.01):
+            a.observe(s)
+        for s in (0.1, 1.0, 10.0):
+            b.observe(s)
+        merged = LatencyHistogram()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.count == 5
+        assert merged.minus(a) == b
+
+    def test_to_dict_shape(self):
+        hist = LatencyHistogram()
+        hist.observe(0.003)
+        d = hist.to_dict()
+        assert d["count"] == 1
+        assert set(d) >= {"count", "mean_s", "p50_s", "p99_s", "max_s",
+                          "buckets"}
+        assert sum(c for _, c in d["buckets"]) == 1
+
+    def test_stats_to_dict_includes_latency(self):
+        stats = ServiceStats()
+        stats.observe_latency("server:run", 0.02)
+        out = stats.to_dict()
+        assert out["latency"]["server:run"]["count"] == 1
+
+    def test_latency_summary_lines(self):
+        stats = ServiceStats()
+        assert stats.latency_summary() == ""
+        stats.observe_latency("server:run", 0.02)
+        summary = stats.latency_summary()
+        assert "server:run" in summary
+        assert "p99" in summary
