@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
-	serve-smoke examples clean
+	serve-smoke obs-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -59,6 +59,15 @@ serve-smoke:
 	wait $$server_pid; status=$$?; rm -f .repro-serve.port; \
 	echo "server exited with status $$status"; exit $$status
 
+# Smoke-test observability: a traced compile+run through the server,
+# asserting the exported JSONL spans are well-formed and nest into one
+# connected tree (CI uploads obs-trace.jsonl as a workflow artifact).
+obs-smoke:
+	@rm -f obs-trace.jsonl
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/obs_smoke.py \
+	  --out obs-trace.jsonl
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro trace check obs-trace.jsonl
+
 # Timing microbenchmarks (pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -73,5 +82,5 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results \
-	  .repro-cache test_output.txt bench_output.txt
+	  .repro-cache test_output.txt bench_output.txt obs-trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Observability smoke test: one traced compile+run through the server.
+
+Boots an in-process server, sends a traced ``run`` request (cold, so it
+crosses the process pool), pulls the span tree back through the ``trace``
+op, and asserts the trace is one connected, well-formed tree covering
+every layer — protocol, dispatch, compile service, compiler passes, and
+the generated program's execution — with the runtime ``OpProfile`` on the
+run span.  Also scrapes the ``metrics`` op and checks the exposition is
+parseable Prometheus text.
+
+The spans are written as JSONL (CI uploads the file as a workflow
+artifact; render it with ``repro trace show <file>``):
+
+    python examples/obs_smoke.py --out obs-trace.jsonl
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs import TraceLog, check_spans, new_trace_id, render_waterfall
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+KERNEL = """
+double axpy(double a, double x, double y) {
+    return a * x + y;
+}
+"""
+
+#: spans every traced cold run must produce, one connected tree.
+REQUIRED = ("server:run", "dispatch:pool", "service:compile",
+            "pass:parse", "pass:codegen-py", "job:run", "exec:axpy")
+
+
+def assert_tree(spans) -> None:
+    problems = check_spans(spans)
+    assert not problems, "malformed trace:\n" + "\n".join(problems)
+    by_name = {s["name"]: s for s in spans}
+    for name in REQUIRED:
+        assert name in by_name, f"span {name!r} missing from trace"
+    roots = [s for s in spans if s["parent_id"] is None]
+    assert len(roots) == 1, f"expected one root span, got {len(roots)}"
+    assert roots[0]["name"] == "server:run"
+    # Spans nest: every pass runs inside the compile, the compile and the
+    # execution inside the worker's job span, the job under the dispatch.
+    assert by_name["pass:parse"]["parent_id"] == \
+        by_name["service:compile"]["span_id"]
+    assert by_name["exec:axpy"]["parent_id"] == by_name["job:run"]["span_id"]
+    assert by_name["dispatch:pool"]["parent_id"] == roots[0]["span_id"]
+    profile = by_name["job:run"]["attrs"]["op_profile"]
+    assert profile["ops"]["mul"] == 1 and profile["ops"]["add"] == 1
+
+
+def check_metrics(text: str) -> int:
+    assert text.endswith("\n"), "exposition must end with a newline"
+    names = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            names.add(line.split()[2])
+        elif not line.startswith("#"):
+            value = line.rsplit(" ", 1)[1]
+            float("inf" if value == "+Inf" else value)  # parses as a number
+    for required in ("repro_server_requests_total", "repro_latency_seconds",
+                     "repro_cache_lookups_total"):
+        assert required in names, f"metric {required} missing"
+    return len(names)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the span JSONL here (CI artifact)")
+    args = parser.parse_args()
+
+    trace_id = new_trace_id()
+    with ServerThread(ServerConfig(port=0, pool_workers=1)) as srv:
+        with ServerClient(port=srv.port) as client:
+            result = client.run(KERNEL, config="f64a-dsnn", k=8,
+                                args=[2.0, 3.0, 1.0], trace_id=trace_id)
+            lo, hi = result["interval"]
+            assert lo <= 7.0 <= hi, (lo, hi)
+            assert "op_profile" in result
+            spans = client.trace(trace_id=trace_id)["spans"]
+            metric_count = check_metrics(client.metrics())
+    assert_tree(spans)
+
+    if args.out:
+        with TraceLog(args.out) as log:
+            log.write(spans)
+        # Re-read what we wrote: the artifact itself must be well-formed.
+        from repro.obs import load_trace
+
+        assert check_spans(load_trace(args.out)) == []
+        print(f"wrote {len(spans)} spans -> {args.out}")
+    print(render_waterfall(spans))
+    print(f"ok: {len(spans)} spans, one connected tree; "
+          f"{metric_count} metrics exposed; enclosure [{lo!r}, {hi!r}]")
+    print(json.dumps({"trace_id": trace_id, "spans": len(spans),
+                      "metrics": metric_count}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

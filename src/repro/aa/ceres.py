@@ -101,6 +101,7 @@ class CeresAffine:
             mass = add_ru(mass, abs(c))
             del self.terms[sid]
         self.ctx.stats.n_fused_symbols += n_merge
+        self.ctx.stats.n_condensations += 1
         if mass != 0.0:
             self.terms[self.ctx.symbols.fresh("ceres:compact")] = mass
 

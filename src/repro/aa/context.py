@@ -44,6 +44,7 @@ class AAStats:
     n_sqrt: int = 0
     n_fused_symbols: int = 0
     n_conflicts: int = 0
+    n_condensations: int = 0  # capacity-overflow fusion events
     flops: int = 0  # model floating-point op count (Section V cost analysis)
     ambiguous_branches: int = 0
 

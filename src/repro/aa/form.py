@@ -210,7 +210,8 @@ class AffineForm:
         if n > k:
             # Fusing produces a fresh symbol, so reserve its slot up front.
             victims = set(select_victims(out.ids, out.coeffs, n - (k - 1),
-                                         self.ctx.fusion, self.ctx.rng))
+                                         self.ctx.fusion, self.ctx.rng,
+                                         stats=self.ctx.stats))
             x = 0.0
             for i in victims:
                 x = add_ru(x, abs(out.coeffs[i]))
@@ -374,7 +375,8 @@ class AffineForm:
         if overflow <= 0:
             return ids, coeffs, x
         victims = select_victims(
-            ids, coeffs, overflow, ctx.fusion, ctx.rng, protect
+            ids, coeffs, overflow, ctx.fusion, ctx.rng, protect,
+            stats=ctx.stats
         )
         vic = set(victims)
         for i in victims:

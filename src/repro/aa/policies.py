@@ -85,17 +85,22 @@ def select_victims(
     policy: FusionPolicy,
     rng: random.Random,
     protected: AbstractSet[int] = _EMPTY,
+    stats=None,
 ) -> List[int]:
     """Choose *at least* ``n_fuse`` positions (indices into ``ids``) to fuse.
 
     Protected symbols are selected only if the unprotected ones do not
     suffice.  For ``MEAN`` the below-mean symbols are all selected (that is
     the policy's single-pass efficiency trick), topped up by OLDEST when
-    fewer than ``n_fuse`` fall below the mean.
+    fewer than ``n_fuse`` fall below the mean.  ``stats`` (an
+    :class:`~repro.aa.context.AAStats`) counts each effective selection as
+    one condensation event.
     """
     n = len(ids)
     if n_fuse <= 0:
         return []
+    if stats is not None:
+        stats.n_condensations += 1
     if n_fuse >= n:
         return list(range(n))
     unprot = [i for i in range(n) if ids[i] not in protected]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from . import __version__
@@ -74,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(cse, dte)")
         p.add_argument("--timings", action="store_true",
                        help="report per-pass wall time on stderr")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="append a JSONL span trace of this invocation "
+                            "(render it with 'repro trace show FILE')")
 
     p_compile = sub.add_parser("compile",
                                help="print the transformed (sound) C")
@@ -128,6 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="extra attempts for failed/timed-out jobs")
     p_batch.add_argument("--stats", default=None, metavar="FILE",
                          help="write ServiceStats JSON here")
+    p_batch.add_argument("--trace", default=None, metavar="FILE",
+                         help="append a JSONL span trace of the batch "
+                              "(worker spans included)")
     p_batch.add_argument("-o", "--output", default=None, metavar="FILE",
                          help="write job results JSON here (default stdout)")
 
@@ -154,12 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="default per-request deadline")
     p_serve.add_argument("--maxsize", type=int, default=256,
                          help="in-memory cache entries")
+    p_serve.add_argument("--trace-log", default=None, metavar="FILE",
+                         help="append every traced request's spans to this "
+                              "JSONL file (traces all requests)")
+    p_serve.add_argument("--trace-buffer", type=int, default=4096,
+                         help="in-memory span ring capacity (the 'trace' "
+                              "op serves it)")
 
     p_request = sub.add_parser(
         "request", help="send one request to a running server")
     p_request.add_argument("op",
                            choices=["compile", "run", "stats", "health",
-                                    "drain"])
+                                    "drain", "trace", "metrics"])
     p_request.add_argument("file", nargs="?", default=None,
                            help="C file for compile/run ('-' for stdin)")
     p_request.add_argument("args", nargs="*",
@@ -174,7 +187,45 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="S")
     p_request.add_argument("--uncertainty-ulps", type=float, default=1.0)
     p_request.add_argument("--repeats", type=int, default=1)
+    p_request.add_argument("--trace", default=None, metavar="FILE",
+                           help="trace this compile/run on the server and "
+                                "append its spans to this JSONL file")
+
+    p_stats = sub.add_parser(
+        "stats", help="fetch stats from a running server")
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=8437)
+    p_stats.add_argument("--prom", action="store_true",
+                         help="Prometheus text exposition instead of JSON")
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a JSONL span trace file")
+    p_trace.add_argument("action", choices=["show", "check"],
+                         help="show = waterfall; check = well-formedness")
+    p_trace.add_argument("file", help="JSONL trace file")
+    p_trace.add_argument("--width", type=int, default=30,
+                         help="waterfall bar width in characters")
     return parser
+
+
+@contextmanager
+def _trace_to(path: Optional[str], root_name: str):
+    """Run the body under a fresh ambient tracer when ``path`` is set and
+    append the recorded spans (JSONL) afterwards; no-op otherwise."""
+    if not path:
+        yield
+        return
+    from .obs import TraceLog, Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span(root_name):
+            yield
+    spans = tracer.to_dicts()
+    with TraceLog(path) as log:
+        log.write(spans)
+    print(f"// trace {tracer.trace_id}: {len(spans)} spans -> {path}",
+          file=sys.stderr)
 
 
 def _read_source(path: str) -> str:
@@ -240,21 +291,22 @@ def _compile_one(ns, source: str, path: str = "<source>"):
 
 def cmd_compile(ns) -> int:
     sources = [_read_source(f) for f in ns.files]
-    if len(sources) == 1 and ns.jobs <= 1:
-        programs = [_compile_one(ns, sources[0], path=ns.files[0])]
-    else:
-        from .compiler import BatchCompiler
-        from .service import CompileJob
+    with _trace_to(ns.trace, "cli:compile"):
+        if len(sources) == 1 and ns.jobs <= 1:
+            programs = [_compile_one(ns, sources[0], path=ns.files[0])]
+        else:
+            from .compiler import BatchCompiler
+            from .service import CompileJob
 
-        batch = BatchCompiler(jobs=ns.jobs, cache_dir=ns.cache_dir)
-        try:
-            programs = batch.compile_many([
-                CompileJob(source=src, config=_config(ns), k=ns.k,
-                           entry=ns.entry)
-                for src in sources
-            ])
-        except ReproError as exc:
-            raise SystemExit(str(exc))
+            batch = BatchCompiler(jobs=ns.jobs, cache_dir=ns.cache_dir)
+            try:
+                programs = batch.compile_many([
+                    CompileJob(source=src, config=_config(ns), k=ns.k,
+                               entry=ns.entry)
+                    for src in sources
+                ])
+            except ReproError as exc:
+                raise SystemExit(str(exc))
     for path, prog in zip(ns.files, programs):
         if len(programs) > 1:
             print(f"// ==== {path} ====")
@@ -273,9 +325,10 @@ def cmd_compile(ns) -> int:
 
 
 def cmd_run(ns) -> int:
-    prog = _compile_one(ns, _read_source(ns.file), path=ns.file)
-    args = [_parse_arg(a) for a in ns.args]
-    result = prog(*args, uncertainty_ulps=ns.uncertainty_ulps)
+    with _trace_to(ns.trace, "cli:run"):
+        prog = _compile_one(ns, _read_source(ns.file), path=ns.file)
+        args = [_parse_arg(a) for a in ns.args]
+        result = prog(*args, uncertainty_ulps=ns.uncertainty_ulps)
     if ns.json:
         payload = {"config": prog.config.name, "entry": prog.entry}
         if result.value is not None and hasattr(result.value, "interval"):
@@ -328,7 +381,8 @@ def cmd_analyze(ns) -> int:
 
     compiler = SafeGen(replace(cfg, prioritize=True))
     source = _read_source(ns.file)
-    prog = compiler.compile(source, entry=ns.entry)
+    with _trace_to(ns.trace, "cli:analyze"):
+        prog = compiler.compile(source, entry=ns.entry)
     print(prog.analysis_report)
     if prog.priority_map:
         print("prioritized operations (stmt -> variable):")
@@ -360,16 +414,18 @@ def cmd_bench(ns) -> int:
                 f"got {ns.k_sweep!r}")
         if not ks:
             raise SystemExit("--k-sweep expects at least one k value")
-        results = run_sweep(w, [ns.config], ks, repeats=ns.repeats,
-                            baseline_s=base, jobs=ns.jobs,
-                            cache_dir=ns.cache_dir)
+        with _trace_to(ns.trace, f"bench:{ns.name}"):
+            results = run_sweep(w, [ns.config], ks, repeats=ns.repeats,
+                                baseline_s=base, jobs=ns.jobs,
+                                cache_dir=ns.cache_dir)
         print(format_table(
             [r.row(timings=ns.timings) for r in results],
             title=f"{ns.name}: {ns.config} over k={ks} "
                   f"(baseline {base * 1e3:.3f} ms, jobs={ns.jobs})"))
         return 0
-    r = run_config(w, ns.config, k=ns.k, repeats=ns.repeats, baseline_s=base,
-                   opt=not ns.no_opt)
+    with _trace_to(ns.trace, f"bench:{ns.name}"):
+        r = run_config(w, ns.config, k=ns.k, repeats=ns.repeats,
+                       baseline_s=base, opt=not ns.no_opt)
     print(f"{r.benchmark} [{r.config} k={r.k}]")
     print(f"  certified bits : {r.acc_bits:.2f}")
     print(f"  runtime        : {r.runtime_s * 1e3:.3f} ms "
@@ -391,7 +447,8 @@ def cmd_batch(ns) -> int:
         raise SystemExit(f"cannot load jobs manifest {ns.manifest!r}: {exc}")
     engine = BatchEngine(jobs=ns.jobs, timeout_s=ns.timeout,
                          retries=ns.retries, cache_dir=ns.cache_dir)
-    results = engine.run(batch)
+    with _trace_to(ns.trace, "cli:batch"):
+        results = engine.run(batch)
     payload = json.dumps([r.to_row() for r in results], indent=2,
                          default=str)
     if ns.output:
@@ -419,7 +476,8 @@ def cmd_serve(ns) -> int:
         host=ns.host, port=ns.port, cache_dir=ns.cache_dir,
         cache_maxsize=ns.maxsize, pool_workers=ns.workers,
         max_queue=ns.max_queue, inline_limit=ns.inline_limit,
-        pool_limit=ns.pool_limit, default_deadline_s=ns.deadline)
+        pool_limit=ns.pool_limit, default_deadline_s=ns.deadline,
+        trace_log=ns.trace_log, trace_buffer=ns.trace_buffer)
 
     async def _main() -> None:
         server = SoundServer(config)
@@ -450,6 +508,11 @@ def cmd_serve(ns) -> int:
 def cmd_request(ns) -> int:
     from .server import ServerClient, ServerError
 
+    trace_id = None
+    if ns.trace and ns.op in ("compile", "run"):
+        from .obs import new_trace_id
+
+        trace_id = new_trace_id()
     client = ServerClient(host=ns.host, port=ns.port)
     try:
         with client:
@@ -460,21 +523,77 @@ def cmd_request(ns) -> int:
                 if ns.op == "compile":
                     result = client.compile(
                         source, config=ns.config, k=ns.k, entry=ns.entry,
-                        deadline_s=ns.deadline)
+                        deadline_s=ns.deadline, trace_id=trace_id)
                 else:
                     result = client.run(
                         source, args=[_parse_arg(a) for a in ns.args],
                         config=ns.config, k=ns.k, entry=ns.entry,
                         uncertainty_ulps=ns.uncertainty_ulps,
-                        repeats=ns.repeats, deadline_s=ns.deadline)
+                        repeats=ns.repeats, deadline_s=ns.deadline,
+                        trace_id=trace_id)
             else:
                 result = client.request(ns.op)
+            if trace_id is not None:
+                from .obs import TraceLog
+
+                spans = client.trace(trace_id=trace_id)["spans"]
+                with TraceLog(ns.trace) as log:
+                    log.write(spans)
+                print(f"// trace {trace_id}: {len(spans)} spans -> "
+                      f"{ns.trace}", file=sys.stderr)
     except ServerError as exc:
         raise SystemExit(f"server error [{exc.code}]: {exc.message}")
     except (ConnectionError, OSError) as exc:
         raise SystemExit(f"cannot reach server at {ns.host}:{ns.port}: "
                          f"{exc}")
+    if ns.op == "metrics":
+        sys.stdout.write(result["text"])
+        return 0
     print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def cmd_stats(ns) -> int:
+    from .server import ServerClient, ServerError
+
+    try:
+        with ServerClient(host=ns.host, port=ns.port) as client:
+            if ns.prom:
+                sys.stdout.write(client.metrics())
+            else:
+                print(json.dumps(client.stats(), indent=2, default=str))
+    except ServerError as exc:
+        raise SystemExit(f"server error [{exc.code}]: {exc.message}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach server at {ns.host}:{ns.port}: "
+                         f"{exc}")
+    return 0
+
+
+def cmd_trace(ns) -> int:
+    from .obs import check_spans, load_trace, render_waterfall
+
+    try:
+        spans = load_trace(ns.file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {ns.file!r}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    problems = check_spans(spans)
+    if ns.action == "check":
+        for problem in problems:
+            print(problem)
+        print(f"// {len(spans)} spans, {len(problems)} problems",
+              file=sys.stderr)
+        return 1 if problems else 0
+    try:
+        print(render_waterfall(spans, width=ns.width))
+    except BrokenPipeError:  # waterfalls get piped into head/less
+        sys.stderr.close()   # suppress the interpreter's flush complaint
+        return 0
+    if problems:
+        print(f"// WARNING: {len(problems)} well-formedness problems "
+              f"(see 'repro trace check {ns.file}')", file=sys.stderr)
     return 0
 
 
@@ -488,6 +607,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": cmd_batch,
         "serve": cmd_serve,
         "request": cmd_request,
+        "stats": cmd_stats,
+        "trace": cmd_trace,
     }[ns.command]
     return handler(ns)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..errors import CompileError
+from ..obs.trace import current_tracer
 from . import cast as A
 from .config import CompilerConfig
 from .passes import AnalysisReport, AnalyzePass, PassManager, \
@@ -105,8 +106,6 @@ class CompiledProgram:
 
     def __call__(self, *args, uncertainty_ulps: float = 1.0,
                  runtime: Optional[Runtime] = None, **kwargs) -> ProgramResult:
-        import time
-
         rt = runtime if runtime is not None else self.make_runtime()
         bound: Dict[str, Any] = {}
         if len(args) > len(self._params):
@@ -133,11 +132,16 @@ class CompiledProgram:
                 coerced[p.name] = int(v)
             else:
                 coerced[p.name] = rt.coerce_input(v, uncertainty_ulps)
-        t0 = time.perf_counter()
-        value = self._fn(rt, *(coerced[p] for p in self._params))
-        elapsed = time.perf_counter() - t0
+        with current_tracer().span(f"exec:{self.entry}") as sp:
+            value = self._fn(rt, *(coerced[p] for p in self._params))
+        if sp.recording:
+            stats = rt.stats
+            sp.set(mode=self.config.runtime_mode(),
+                   aa_ops=stats.total_ops(),
+                   fused_symbols=stats.n_fused_symbols,
+                   condensations=getattr(stats, "n_condensations", 0))
         return ProgramResult(value=value, params=coerced, runtime=rt,
-                             elapsed_s=elapsed)
+                             elapsed_s=sp.wall_s)
 
 
 class SafeGen:

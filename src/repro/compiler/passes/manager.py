@@ -10,10 +10,10 @@ and after, and returns the state with a :class:`PipelineReport` attached.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
 
 from ...errors import CompileError
+from ...obs.trace import current_tracer
 from .base import CompilationState, Pass, PassReport, PipelineReport, \
     unit_metrics
 
@@ -111,14 +111,19 @@ class PassManager:
         state = CompilationState(source=source, config=self.config,
                                  entry=entry)
         report = PipelineReport()
+        tracer = current_tracer()
         for p in self.passes:
             nodes_before, fops_before = unit_metrics(state.unit)
-            t0 = time.perf_counter()
-            p.run(state)
-            wall_s = time.perf_counter() - t0
+            # The span measures the pass even when tracing is disabled
+            # (DisabledSpan self-times), so the PipelineReport wall time
+            # and the exported span are the same number by construction.
+            with tracer.span(f"pass:{p.name}") as sp:
+                p.run(state)
             nodes_after, fops_after = unit_metrics(state.unit)
+            sp.set(nodes_before=nodes_before, nodes_after=nodes_after,
+                   float_ops_before=fops_before, float_ops_after=fops_after)
             report.passes.append(PassReport(
-                name=p.name, wall_s=wall_s,
+                name=p.name, wall_s=sp.wall_s,
                 nodes_before=nodes_before, nodes_after=nodes_after,
                 float_ops_before=fops_before, float_ops_after=fops_after,
             ))

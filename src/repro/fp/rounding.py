@@ -60,6 +60,7 @@ __all__ = [
     "sum_ru",
     "sum_abs_ru",
     "dot_ru",
+    "set_rounding_profile",
 ]
 
 #: Unit roundoff of binary64 (half the machine epsilon).
@@ -78,6 +79,21 @@ _INF = math.inf
 # the splitter) and use the conservative one-ulp step instead.
 _PROD_LO_SAFE = 2.0**-968
 _PROD_HI_SAFE = 2.0**996
+
+# Optional emulation-count collector (repro.obs.profile.count_rounding).
+# None when profiling is off: the directed ops pay one global load and one
+# identity test per call, which keeps the disabled hot path flat.
+_PROFILE = None
+
+
+def set_rounding_profile(counts):
+    """Install ``counts`` (a dict with ``add``/``mul``/``div``/``sqrt``
+    keys, or None to disable) as the emulation-count collector.  Returns
+    the previous collector so callers can nest and restore."""
+    global _PROFILE
+    prev = _PROFILE
+    _PROFILE = counts
+    return prev
 
 
 def next_up(x: float) -> float:
@@ -165,6 +181,8 @@ def _overflow_fixup(value: float, up: bool) -> float:
 # ---------------------------------------------------------------------------
 
 def _add_dir(a: float, b: float, up: bool) -> float:
+    if _PROFILE is not None:
+        _PROFILE["add"] += 1
     s, e = two_sum(a, b)
     if math.isnan(s):
         return s
@@ -205,6 +223,8 @@ def sub_rd(a: float, b: float) -> float:
 # ---------------------------------------------------------------------------
 
 def _mul_dir(a: float, b: float, up: bool) -> float:
+    if _PROFILE is not None:
+        _PROFILE["mul"] += 1
     p = a * b
     if math.isnan(p):
         return p
@@ -251,6 +271,8 @@ def mul_rd(a: float, b: float) -> float:
 # ---------------------------------------------------------------------------
 
 def _div_dir(a: float, b: float, up: bool) -> float:
+    if _PROFILE is not None:
+        _PROFILE["div"] += 1
     if math.isnan(a) or math.isnan(b):
         return math.nan
     if b == 0.0:
@@ -307,6 +329,8 @@ def div_rd(a: float, b: float) -> float:
 # ---------------------------------------------------------------------------
 
 def _sqrt_dir(a: float, up: bool) -> float:
+    if _PROFILE is not None:
+        _PROFILE["sqrt"] += 1
     if math.isnan(a) or a < 0.0:
         return math.nan
     if a == 0.0 or math.isinf(a):

@@ -1,0 +1,40 @@
+"""Observability for the sound-computation stack.
+
+Dependency-free structured tracing (:mod:`.trace`), trace exporters
+(:mod:`.export`), runtime operation profiling (:mod:`.profile`),
+Prometheus text exposition (:mod:`.metrics`), and terminal waterfall
+rendering (:mod:`.waterfall`).  See DESIGN.md § Observability for the
+span model and the per-layer record inventory.
+"""
+
+from .export import TraceBuffer, TraceLog, check_spans, load_trace
+from .metrics import render_prometheus
+from .profile import OpProfile, count_rounding
+from .trace import (
+    NULL_TRACER,
+    DisabledSpan,
+    Span,
+    Tracer,
+    current_tracer,
+    new_trace_id,
+    use_tracer,
+)
+from .waterfall import render_waterfall
+
+__all__ = [
+    "DisabledSpan",
+    "NULL_TRACER",
+    "OpProfile",
+    "Span",
+    "TraceBuffer",
+    "TraceLog",
+    "Tracer",
+    "check_spans",
+    "count_rounding",
+    "current_tracer",
+    "load_trace",
+    "new_trace_id",
+    "render_prometheus",
+    "render_waterfall",
+    "use_tracer",
+]

@@ -1,0 +1,158 @@
+"""Trace exporters: JSONL files and a bounded in-memory ring buffer.
+
+Two sinks cover the two consumption patterns:
+
+* :class:`TraceLog` appends spans to a JSONL file (one span per line) —
+  the durable artifact `repro trace show` renders and CI uploads.
+* :class:`TraceBuffer` keeps the last ``capacity`` spans in memory — what
+  the server's ``trace`` op serves, so a client can pull the span tree of
+  a request it just made without the server touching disk.
+
+:func:`check_spans` is the well-formedness gate the CI smoke (and the
+tests) run over an exported trace: structural field checks, parent links
+that resolve within the same trace, and acyclic nesting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["TraceBuffer", "TraceLog", "check_spans", "load_trace"]
+
+
+class TraceBuffer:
+    """Bounded in-memory span store (newest ``capacity`` spans win)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: deque = deque(maxlen=capacity)
+        self.total = 0
+
+    def extend(self, span_dicts: Iterable[Dict[str, Any]]) -> None:
+        for span in span_dicts:
+            self._spans.append(span)
+            self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound since startup."""
+        return self.total - len(self._spans)
+
+    def spans(self, trace_id: Optional[str] = None,
+              limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Stored spans, oldest first, optionally filtered by trace id and
+        truncated to the newest ``limit``."""
+        out = [s for s in self._spans
+               if trace_id is None or s.get("trace_id") == trace_id]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+
+class TraceLog:
+    """Append-only JSONL span sink.
+
+    The file handle stays open (the server writes per request); ``close``
+    is idempotent and writes after close are dropped silently so a drain
+    race cannot take the server down.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a")
+
+    def write(self, span_dicts: Iterable[Dict[str, Any]]) -> None:
+        if self._fh is None:
+            return
+        for span in span_dicts:
+            self._fh.write(json.dumps(span, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into span dicts (blank lines skipped).
+
+    Raises ``ValueError`` naming the offending line on malformed JSON.
+    """
+    spans = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSONL span: {exc}")
+            if not isinstance(span, dict):
+                raise ValueError(f"{path}:{lineno}: span must be an object")
+            spans.append(span)
+    return spans
+
+
+def check_spans(spans: List[Dict[str, Any]]) -> List[str]:
+    """Well-formedness problems of an exported trace (empty list = OK).
+
+    Checks: required fields and their types, span-id uniqueness, parent
+    links resolving to a span of the *same* trace, no parent cycles, and
+    non-negative durations.
+    """
+    problems: List[str] = []
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for i, span in enumerate(spans):
+        where = f"span[{i}]"
+        for fname in ("trace_id", "span_id", "name"):
+            if not isinstance(span.get(fname), str) or not span.get(fname):
+                problems.append(f"{where}: missing/empty {fname!r}")
+        if not isinstance(span.get("wall_s"), (int, float)) \
+                or span.get("wall_s", -1) < 0:
+            problems.append(f"{where}: wall_s must be a non-negative number")
+        if not isinstance(span.get("start_ts"), (int, float)):
+            problems.append(f"{where}: start_ts must be a number")
+        sid = span.get("span_id")
+        if isinstance(sid, str) and sid:
+            if sid in by_id:
+                problems.append(f"{where}: duplicate span_id {sid!r}")
+            by_id[sid] = span
+    for i, span in enumerate(spans):
+        parent = span.get("parent_id")
+        if parent is None:
+            continue
+        ref = by_id.get(parent)
+        if ref is None:
+            problems.append(
+                f"span[{i}] ({span.get('name')!r}): parent_id {parent!r} "
+                f"does not name a span in this export")
+        elif ref.get("trace_id") != span.get("trace_id"):
+            problems.append(
+                f"span[{i}] ({span.get('name')!r}): parent belongs to a "
+                f"different trace")
+    # Cycle check: follow parent links with a visited set per start.
+    for i, span in enumerate(spans):
+        seen = set()
+        node = span
+        while node is not None:
+            sid = node.get("span_id")
+            if sid in seen:
+                problems.append(
+                    f"span[{i}] ({span.get('name')!r}): parent cycle")
+                break
+            seen.add(sid)
+            node = by_id.get(node.get("parent_id"))
+    return problems

@@ -1,0 +1,205 @@
+"""Prometheus text exposition over the service and server counters.
+
+:func:`render_prometheus` turns a :class:`~repro.service.stats.ServiceStats`
+(plus, for a live server, the daemon's counter/admission snapshot) into the
+Prometheus text exposition format, version 0.0.4 — dependency-free, and
+conservative about conventions so standard scrapers ingest it unchanged:
+
+* counters end in ``_total``; time counters in ``_seconds_total``,
+* the latency histograms follow the ``_bucket{le=...}`` / ``_sum`` /
+  ``_count`` cumulative-bucket contract with a closing ``+Inf`` bucket,
+* every metric gets exactly one ``# HELP`` / ``# TYPE`` block, and the
+  label set per metric name is stable across renders (scrape continuity).
+
+The renderer reads an atomic ``ServiceStats.snapshot()`` — callers may
+pass a live object; it is snapshotted here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["render_prometheus"]
+
+_PREFIX = "repro"
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    return repr(v)
+
+
+def _fmt_labels(labels: Optional[Dict[str, Any]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def metric(self, name: str, mtype: str, help_text: str,
+               samples: List[Tuple[Optional[Dict[str, Any]], float]],
+               suffix_samples: bool = False) -> None:
+        """One HELP/TYPE block plus its samples.  ``suffix_samples`` means
+        the sample tuples are ``(suffix, labels, value)`` (histograms)."""
+        if not samples:
+            return
+        full = f"{_PREFIX}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {mtype}")
+        for sample in samples:
+            if suffix_samples:
+                suffix, labels, value = sample
+                self.lines.append(
+                    f"{full}{suffix}{_fmt_labels(labels)} "
+                    f"{_fmt_value(value)}")
+            else:
+                labels, value = sample
+                self.lines.append(
+                    f"{full}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _histogram_samples(name_labels: Dict[str, str], hist) -> List[Tuple]:
+    """Cumulative-bucket samples for one LatencyHistogram."""
+    out: List[Tuple] = []
+    cum = 0
+    for i, count in enumerate(hist.counts):
+        cum += count
+        le = ("+Inf" if i >= len(hist.BOUNDS)
+              else _fmt_value(float(hist.BOUNDS[i])))
+        # Keep the exposition compact: only emit buckets that close a
+        # count change, plus the mandatory +Inf terminator.
+        if count or i >= len(hist.BOUNDS):
+            out.append(("_bucket", {**name_labels, "le": le}, cum))
+    out.append(("_sum", dict(name_labels), hist.total_s))
+    out.append(("_count", dict(name_labels), hist.count))
+    return out
+
+
+def render_prometheus(stats, server: Optional[Dict[str, Any]] = None) -> str:
+    """Render ``stats`` (a ServiceStats) and an optional server snapshot
+    (the dict the daemon's ``stats`` op returns under ``"server"``) as
+    Prometheus text exposition."""
+    snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
+    w = _Writer()
+
+    w.metric("cache_lookups_total", "counter",
+             "Compile-cache lookups by outcome.",
+             [({"outcome": "hit"}, snap.hits),
+              ({"outcome": "miss"}, snap.misses)])
+    w.metric("cache_disk_hits_total", "counter",
+             "Cache hits satisfied by the on-disk store.",
+             [(None, snap.disk_hits)])
+    w.metric("cache_evictions_total", "counter",
+             "In-memory LRU evictions.", [(None, snap.evictions)])
+    w.metric("cache_errors_total", "counter",
+             "Corrupt/unreadable cache entries demoted to misses.",
+             [(None, snap.cache_errors)])
+    w.metric("compile_seconds_saved_total", "counter",
+             "Original compile seconds avoided by cache hits.",
+             [(None, snap.compile_s_saved)])
+    w.metric("jobs_total", "counter", "Batch/server job outcomes.",
+             [({"outcome": "run"}, snap.jobs_run),
+              ({"outcome": "failed"}, snap.jobs_failed),
+              ({"outcome": "timed_out"}, snap.jobs_timed_out),
+              ({"outcome": "retried"}, snap.jobs_retried)])
+    if snap.pass_s:
+        w.metric("pass_seconds_total", "counter",
+                 "Wall seconds spent per compiler pass.",
+                 [({"pass": name}, seconds)
+                  for name, seconds in sorted(snap.pass_s.items())])
+    ops = getattr(snap, "ops", None)
+    if ops:
+        w.metric("runtime_ops_total", "counter",
+                 "Runtime operation counts (affine ops, symbol placements, "
+                 "fusions, condensations, rounding emulations).",
+                 [({"op": name}, count)
+                  for name, count in sorted(ops.items())])
+    if snap.latency:
+        samples: List[Tuple] = []
+        for probe, hist in sorted(snap.latency.items()):
+            samples.extend(_histogram_samples({"probe": probe}, hist))
+        w.metric("latency_seconds", "histogram",
+                 "Per-request wall-clock latency by probe.",
+                 samples, suffix_samples=True)
+
+    if server:
+        counters = server.get("counters", {})
+        w.metric("server_requests_total", "counter",
+                 "Frames received by the server.",
+                 [(None, counters.get("requests_total", 0))])
+        w.metric("server_replies_ok_total", "counter",
+                 "Successful replies sent.",
+                 [(None, counters.get("replies_ok", 0))])
+        op_samples = [({"op": key[3:]}, value)
+                      for key, value in sorted(counters.items())
+                      if key.startswith("op:")]
+        w.metric("server_op_requests_total", "counter",
+                 "Requests by op.", op_samples)
+        err_samples = [({"code": key[4:]}, value)
+                       for key, value in sorted(counters.items())
+                       if key.startswith("err:")]
+        w.metric("server_errors_total", "counter",
+                 "Error replies by structured code.", err_samples)
+        w.metric("server_route_total", "counter",
+                 "Work requests by execution route.",
+                 [({"route": "inline"}, server.get("inline_served", 0)),
+                  ({"route": "pool"}, server.get("pool_submits", 0))])
+        w.metric("server_pool_abandoned_total", "counter",
+                 "Pool futures abandoned past their deadline.",
+                 [(None, server.get("pool_abandoned", 0))])
+        admission = server.get("admission", {})
+        if admission:
+            w.metric("server_admitted_requests", "gauge",
+                     "Admitted (queued + running) work requests.",
+                     [(None, admission.get("admitted", 0))])
+            w.metric("server_queued_requests", "gauge",
+                     "Admitted requests waiting for a class slot.",
+                     [(None, admission.get("queued", 0))])
+            w.metric("server_admission_total", "counter",
+                     "Admission decisions.",
+                     [({"decision": "admitted"},
+                       admission.get("admitted_total", 0)),
+                      ({"decision": "rejected"},
+                       admission.get("rejected_total", 0))])
+        w.metric("server_draining", "gauge",
+                 "1 while the server is draining.",
+                 [(None, 1 if server.get("draining") else 0)])
+        if "uptime_s" in server:
+            w.metric("server_uptime_seconds", "gauge",
+                     "Seconds since the server started.",
+                     [(None, server["uptime_s"])])
+        if "started_at" in server:
+            w.metric("server_start_time_seconds", "gauge",
+                     "Unix time the server started.",
+                     [(None, server["started_at"])])
+        trace = server.get("trace", {})
+        if trace:
+            w.metric("trace_spans_total", "counter",
+                     "Spans recorded into the trace ring buffer.",
+                     [(None, trace.get("total", 0))])
+            w.metric("trace_spans_dropped_total", "counter",
+                     "Spans evicted from the trace ring buffer.",
+                     [(None, trace.get("dropped", 0))])
+    return w.render()

@@ -1,0 +1,131 @@
+"""Runtime operation profiling: what did a sound computation *do*?
+
+An :class:`OpProfile` is the per-run counter set the paper's cost analysis
+(Section V) argues about, captured from a finished
+:class:`~repro.compiler.runtime.Runtime`:
+
+* affine operations (add/mul/div/sqrt) and their model flop count,
+* symbol placements (fresh error symbols allocated by the factory),
+* fusion work — symbols fused, direct-mapped slot conflicts, and
+  condensation events (capacity-overflow fusions via ``select_victims``),
+* ambiguous branch decisions, and
+* directed-rounding emulations (the TwoSum/TwoProd software stand-ins for
+  the hardware rounding modes, counted per operator class).
+
+The affine counters ride on :class:`~repro.aa.context.AAStats`, which the
+runtime maintains unconditionally — capturing them is free.  The
+directed-rounding counters live in :mod:`repro.fp.rounding` behind a
+module-level gate that costs one ``is None`` test per call when off; wrap
+a run in :func:`count_rounding` to collect them (the service layer does
+this whenever the run is traced).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..fp import rounding as _rounding
+
+__all__ = ["OpProfile", "count_rounding"]
+
+
+@contextmanager
+def count_rounding():
+    """Collect directed-rounding emulation counts for the enclosed code.
+
+    Yields the live ``{"add": n, "mul": n, "div": n, "sqrt": n}`` dict
+    (``add`` covers subtraction too: ``a - b`` rounds through the adder).
+    Nesting restores the previous collector on exit.  The gate is a
+    process-global, so concurrently profiled runs in one process would
+    share a collector — the server serializes inline runs, and pool
+    workers profile one job at a time.
+    """
+    counts = {"add": 0, "mul": 0, "div": 0, "sqrt": 0}
+    prev = _rounding.set_rounding_profile(counts)
+    try:
+        yield counts
+    finally:
+        _rounding.set_rounding_profile(prev)
+
+
+@dataclass
+class OpProfile:
+    """Operation counts of one program run (all JSON-safe)."""
+
+    n_add: int = 0
+    n_mul: int = 0
+    n_div: int = 0
+    n_sqrt: int = 0
+    flops: int = 0
+    symbols_placed: int = 0
+    fused_symbols: int = 0
+    conflicts: int = 0
+    condensations: int = 0
+    ambiguous_branches: int = 0
+    #: directed-rounding emulations per operator class; ``None`` when the
+    #: run was not wrapped in :func:`count_rounding`.
+    rounding: Optional[Dict[str, int]] = field(default=None)
+
+    @classmethod
+    def capture(cls, runtime,
+                rounding: Optional[Dict[str, int]] = None) -> "OpProfile":
+        """Read the counters off a finished runtime (AA, IA or float mode;
+        interval/float modes report zero affine work)."""
+        stats = getattr(runtime, "stats", None)
+        ctx = getattr(runtime, "ctx", None)
+        symbols = 0
+        if ctx is not None and getattr(ctx, "symbols", None) is not None:
+            symbols = ctx.symbols.count
+        return cls(
+            n_add=getattr(stats, "n_add", 0),
+            n_mul=getattr(stats, "n_mul", 0),
+            n_div=getattr(stats, "n_div", 0),
+            n_sqrt=getattr(stats, "n_sqrt", 0),
+            flops=getattr(stats, "flops", 0),
+            symbols_placed=symbols,
+            fused_symbols=getattr(stats, "n_fused_symbols", 0),
+            conflicts=getattr(stats, "n_conflicts", 0),
+            condensations=getattr(stats, "n_condensations", 0),
+            ambiguous_branches=getattr(stats, "ambiguous_branches", 0),
+            rounding=dict(rounding) if rounding is not None else None,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return self.n_add + self.n_mul + self.n_div + self.n_sqrt
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ops": {"add": self.n_add, "mul": self.n_mul,
+                    "div": self.n_div, "sqrt": self.n_sqrt,
+                    "total": self.total_ops},
+            "flops": self.flops,
+            "symbols_placed": self.symbols_placed,
+            "fused_symbols": self.fused_symbols,
+            "conflicts": self.conflicts,
+            "condensations": self.condensations,
+            "ambiguous_branches": self.ambiguous_branches,
+        }
+        if self.rounding is not None:
+            out["rounding"] = dict(self.rounding)
+        return out
+
+    def counter_items(self) -> Dict[str, int]:
+        """Flat ``name -> count`` view for metrics accumulation
+        (:class:`~repro.service.stats.ServiceStats` ``ops`` field)."""
+        out = {
+            "aa_add": self.n_add, "aa_mul": self.n_mul,
+            "aa_div": self.n_div, "aa_sqrt": self.n_sqrt,
+            "flops": self.flops,
+            "symbols_placed": self.symbols_placed,
+            "fused_symbols": self.fused_symbols,
+            "conflicts": self.conflicts,
+            "condensations": self.condensations,
+            "ambiguous_branches": self.ambiguous_branches,
+        }
+        if self.rounding:
+            for op, n in self.rounding.items():
+                out[f"rounding_{op}"] = n
+        return {k: v for k, v in out.items() if v}

@@ -1,0 +1,229 @@
+"""Structured tracing: span trees with near-zero cost when disabled.
+
+One :class:`Tracer` records one request's (or one CLI invocation's) span
+tree.  A span is opened with a context manager and carries a trace id, its
+own span id, its parent's span id, a wall-clock start timestamp, a
+monotonic duration, and free-form JSON-safe attributes::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("server:run", op="run") as sp:
+            ...
+            sp.set(route="inline")
+    spans = tracer.to_dicts()          # JSON-safe, ready for JSONL export
+
+Layers that cannot be handed a tracer explicitly (the pass manager deep
+inside a compile, the generated-program runtime) read the *ambient* tracer
+from a :mod:`contextvars` variable via :func:`current_tracer`; the default
+is a process-wide disabled tracer.  Context variables propagate correctly
+into asyncio tasks and stay isolated between threads, which is exactly the
+concurrency structure of the server.
+
+Cost model: a **disabled** tracer hands out :class:`DisabledSpan` objects —
+two ``perf_counter`` calls and one small allocation, no attribute storage,
+no recording (~0.5 µs per span; see ``benchmarks/bench_obs_overhead.py``).
+Spans always measure their duration even when disabled because the pass
+manager derives :class:`~repro.compiler.passes.PipelineReport` wall times
+from them.
+
+Trace ids cross process boundaries: a worker-side tracer is constructed
+with the parent's ``trace_id`` and the dispatching span's id as
+``root_parent``, so worker spans merge into the parent's tree with correct
+parent links (see ``Tracer.adopt``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "DisabledSpan",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "new_trace_id",
+    "use_tracer",
+]
+
+
+#: Per-process tracer numbering (itertools.count is atomic in CPython).
+_TRACER_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (random, process-independent)."""
+    return uuid.uuid4().hex[:16]
+
+
+class DisabledSpan:
+    """The span a disabled tracer hands out: times itself (callers such as
+    the pass manager need the duration either way) but records nothing."""
+
+    __slots__ = ("_t0", "wall_s")
+
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    name = ""
+    recording = False
+
+    def __init__(self) -> None:
+        self.wall_s = 0.0
+
+    def __enter__(self) -> "DisabledSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """No-op: attributes are dropped when tracing is off."""
+
+
+class Span:
+    """One recorded operation; also its own context manager."""
+
+    __slots__ = ("_tracer", "_t0", "trace_id", "span_id", "parent_id",
+                 "name", "start_ts", "wall_s", "attrs", "error")
+
+    recording = True
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 parent_id: Optional[str], attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.trace_id = tracer.trace_id
+        self.span_id = tracer._next_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ts = 0.0
+        self.wall_s = 0.0
+        self.attrs = attrs
+        self.error: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self.span_id)
+        self.start_ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer._record(self)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach JSON-safe attributes (usable during *and* after the
+        ``with`` block: spans are serialized at export time)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ts": round(self.start_ts, 6),
+            "wall_s": round(self.wall_s, 9),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Tracer:
+    """Records one span tree; see the module docstring.
+
+    ``enabled=False`` makes every :meth:`span` call return a fresh
+    :class:`DisabledSpan` — the hot-path configuration.  ``root_parent``
+    seeds the parent id of top-level spans (worker-side tracers use it to
+    graft their spans under the dispatching span of the parent process).
+    ``explain_top`` is the number of width-provenance shares the runtime
+    layer attaches to run spans (0 disables the sampling).
+    """
+
+    __slots__ = ("enabled", "trace_id", "spans", "explain_top",
+                 "_stack", "_seq", "_id_prefix")
+
+    def __init__(self, trace_id: Optional[str] = None, enabled: bool = True,
+                 root_parent: Optional[str] = None,
+                 explain_top: int = 5) -> None:
+        self.enabled = enabled
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.explain_top = explain_top
+        self.spans: List[Any] = []
+        self._stack: List[Optional[str]] = [root_parent]
+        self._seq = 0
+        # Span ids must stay unique when spans from other tracers merge into
+        # this tree (pool workers, same-process adoption), so the prefix
+        # bakes in the process id and a per-process tracer number.
+        self._id_prefix = f"{os.getpid():x}.{next(_TRACER_IDS):x}"
+
+    def _next_span_id(self) -> str:
+        self._seq += 1
+        return f"{self._id_prefix}.{self._seq:x}"
+
+    def span(self, name: str, **attrs: Any):
+        """Open a child span of whatever span is currently innermost."""
+        if not self.enabled:
+            return DisabledSpan()
+        return Span(self, name, self._stack[-1], attrs)
+
+    def _record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open span (None outside any span)."""
+        return self._stack[-1]
+
+    def adopt(self, span_dicts: Iterable[Dict[str, Any]]) -> None:
+        """Merge already-serialized spans (e.g. shipped back from a pool
+        worker) into this trace."""
+        if not self.enabled:
+            return
+        self.spans.extend(span_dicts)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All recorded spans as JSON-safe dicts, in completion order."""
+        return [s if isinstance(s, dict) else s.to_dict()
+                for s in self.spans]
+
+
+#: The process-wide disabled tracer (the ambient default).
+NULL_TRACER = Tracer(trace_id="", enabled=False, explain_top=0)
+
+_CURRENT: contextvars.ContextVar[Optional[Tracer]] = \
+    contextvars.ContextVar("repro_obs_tracer", default=None)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (the disabled tracer when none is active)."""
+    tracer = _CURRENT.get()
+    return tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Make ``tracer`` the ambient tracer for the dynamic extent of the
+    ``with`` block (asyncio-task- and thread-correct via contextvars)."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,132 @@
+"""Terminal waterfall rendering of an exported span tree.
+
+``repro trace show <file>`` pipes a JSONL trace through
+:func:`render_waterfall`: spans are grouped per trace, nested by parent
+links, and drawn as proportional bars on a shared time axis so the hot
+pass (or the pool hop) is visible at a glance::
+
+    trace 3f2a9c0d11aa20b4 (total 12.4 ms, 9 spans)
+    server:run                [##########################..] 12.40ms
+      dispatch:pool           [...#######################..] 11.02ms
+        job:run               [....#####################...] 10.10ms
+          pass:const_fold     [....##......................]  1.21ms
+
+Orphan spans (parent not present in the export — e.g. a truncated ring
+buffer) are promoted to roots rather than dropped, so partial traces
+still render.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["render_waterfall"]
+
+_BAR_WIDTH = 30
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _bar(start: float, duration: float, t0: float, total: float,
+         width: int = _BAR_WIDTH) -> str:
+    if total <= 0:
+        return "[" + "#" * width + "]"
+    lo = int(round((start - t0) / total * width))
+    hi = int(round((start - t0 + duration) / total * width))
+    lo = max(0, min(width, lo))
+    hi = max(lo, min(width, hi))
+    if hi == lo:
+        hi = min(width, lo + 1)
+    return "[" + "." * lo + "#" * (hi - lo) + "." * (width - hi) + "]"
+
+
+def _children_index(spans: List[Dict[str, Any]]):
+    by_id = {s.get("span_id"): s for s in spans}
+    roots: List[Dict[str, Any]] = []
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None or parent not in by_id:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+    key = lambda s: (s.get("start_ts", 0.0), s.get("span_id", ""))  # noqa: E731
+    roots.sort(key=key)
+    for kids in children.values():
+        kids.sort(key=key)
+    return roots, children
+
+
+def _render_trace(trace_id: str, spans: List[Dict[str, Any]],
+                  width: int) -> List[str]:
+    roots, children = _children_index(spans)
+    t0 = min(s.get("start_ts", 0.0) for s in spans)
+    t1 = max(s.get("start_ts", 0.0) + s.get("wall_s", 0.0) for s in spans)
+    total = max(t1 - t0, 0.0)
+    lines = [f"trace {trace_id} (total {_fmt_duration(total)}, "
+             f"{len(spans)} spans)"]
+    name_width = max(
+        (len(s.get("name", "")) + 2 * _depth(s, spans) for s in spans),
+        default=0)
+    name_width = min(max(name_width, 12), 48)
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        name = "  " * depth + str(span.get("name", "?"))
+        bar = _bar(span.get("start_ts", 0.0), span.get("wall_s", 0.0),
+                   t0, total, width)
+        dur = _fmt_duration(span.get("wall_s", 0.0))
+        suffix = ""
+        if span.get("error"):
+            suffix = f"  !{span['error']}"
+        attrs = span.get("attrs") or {}
+        brief = {k: attrs[k] for k in ("route", "cached", "op", "entry")
+                 if k in attrs}
+        if brief:
+            suffix += "  " + " ".join(f"{k}={v}" for k, v in brief.items())
+        lines.append(f"{name:<{name_width}} {bar} {dur:>9}{suffix}")
+        for child in children.get(span.get("span_id"), ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return lines
+
+
+def _depth(span: Dict[str, Any], spans: List[Dict[str, Any]]) -> int:
+    by_id = {s.get("span_id"): s for s in spans}
+    depth, node, seen = 0, span, set()
+    while True:
+        parent = node.get("parent_id")
+        if parent is None or parent not in by_id or parent in seen:
+            return depth
+        seen.add(parent)
+        node = by_id[parent]
+        depth += 1
+
+
+def render_waterfall(spans: List[Dict[str, Any]],
+                     width: int = _BAR_WIDTH) -> str:
+    """Render span dicts (any number of traces) as an aligned text
+    waterfall; traces are separated by blank lines, ordered by first
+    span start time."""
+    if not spans:
+        return "(no spans)"
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(str(span.get("trace_id", "?")), []).append(span)
+    ordered = sorted(
+        by_trace.items(),
+        key=lambda kv: min(s.get("start_ts", 0.0) for s in kv[1]))
+    blocks = [_render_trace(tid, group, width) for tid, group in ordered]
+    lines: List[str] = []
+    for i, block in enumerate(blocks):
+        if i:
+            lines.append("")
+        lines.extend(block)
+    return "\n".join(lines)

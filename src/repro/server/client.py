@@ -104,12 +104,15 @@ class ServerClient:
     # -- the op API ------------------------------------------------------------------
 
     def request(self, op: str, deadline_s: Optional[float] = None,
+                trace_id: Optional[str] = None,
                 **params: Any) -> Dict[str, Any]:
         """Send one request; return ``result`` or raise :class:`ServerError`."""
         self._next_id += 1
         frame: Dict[str, Any] = {"id": self._next_id, "op": op, **params}
         if deadline_s is not None:
             frame["deadline_s"] = deadline_s
+        if trace_id is not None:
+            frame["trace_id"] = trace_id
         reply = self.raw_request(frame)
         if reply.get("id") != self._next_id:
             raise ServerError("internal",
@@ -125,10 +128,12 @@ class ServerClient:
     def compile(self, source: str, config: Any = None, k: int = 16,
                 entry: Optional[str] = None,
                 deadline_s: Optional[float] = None,
+                trace_id: Optional[str] = None,
                 **params: Any) -> Dict[str, Any]:
         if config is not None:
             params["config"] = config
-        return self.request("compile", deadline_s=deadline_s, source=source,
+        return self.request("compile", deadline_s=deadline_s,
+                            trace_id=trace_id, source=source,
                             k=k, entry=entry, **params)
 
     def run(self, source: str, args: Iterable[Any] = (),
@@ -136,12 +141,13 @@ class ServerClient:
             k: int = 16, entry: Optional[str] = None,
             uncertainty_ulps: float = 1.0, repeats: int = 1,
             deadline_s: Optional[float] = None,
+            trace_id: Optional[str] = None,
             **params: Any) -> Dict[str, Any]:
         if config is not None:
             params["config"] = config
         return self.request(
-            "run", deadline_s=deadline_s, source=source, k=k, entry=entry,
-            args=list(args), inputs=dict(inputs or {}),
+            "run", deadline_s=deadline_s, trace_id=trace_id, source=source,
+            k=k, entry=entry, args=list(args), inputs=dict(inputs or {}),
             uncertainty_ulps=uncertainty_ulps, repeats=repeats, **params)
 
     def stats(self) -> Dict[str, Any]:
@@ -153,3 +159,21 @@ class ServerClient:
     def drain(self) -> Dict[str, Any]:
         """Ask the server to finish accepted work and shut down."""
         return self.request("drain")
+
+    def trace(self, trace_id: Optional[str] = None,
+              limit: Optional[int] = None) -> Dict[str, Any]:
+        """Fetch spans from the server's in-memory trace ring buffer.
+
+        ``trace_id`` filters to one trace; ``limit`` keeps the newest N
+        spans.  Returns ``{"spans": [...], "total": ..., "dropped": ...}``.
+        """
+        params: Dict[str, Any] = {}
+        if trace_id is not None:
+            params["filter_trace_id"] = trace_id
+        if limit is not None:
+            params["limit"] = limit
+        return self.request("trace", **params)
+
+    def metrics(self) -> str:
+        """Fetch the Prometheus text exposition of the server's stats."""
+        return self.request("metrics")["text"]

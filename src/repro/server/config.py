@@ -46,8 +46,16 @@ class ServerConfig:
     #: hard cap on how long ``drain`` waits for in-flight work.
     drain_grace_s: float = 60.0
     max_frame_bytes: int = MAX_FRAME_BYTES
+    #: JSONL file every traced request's spans are appended to (``None``
+    #: keeps traces in memory only).  Requests without a ``trace_id`` are
+    #: traced too when a log is configured.
+    trace_log: Optional[str] = None
+    #: capacity of the in-memory span ring buffer (the ``trace`` op).
+    trace_buffer: int = 4096
 
     def __post_init__(self) -> None:
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be >= 1")
         if self.pool_workers < 1:
             raise ValueError("pool_workers must be >= 1")
         if self.max_queue < 1:

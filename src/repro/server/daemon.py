@@ -35,6 +35,9 @@ import traceback
 from collections import Counter
 from typing import Any, Dict, Optional
 
+from ..obs.export import TraceBuffer, TraceLog
+from ..obs.metrics import render_prometheus
+from ..obs.trace import Tracer, use_tracer
 from ..service.service import CompileService
 from .admission import AdmissionController
 from .config import ServerConfig
@@ -79,6 +82,8 @@ class SoundServer:
              "pool": self.config.pool_limit},
         )
         self.counters: Counter = Counter()
+        self.trace_buffer = TraceBuffer(self.config.trace_buffer)
+        self._trace_log: Optional[TraceLog] = None
         self._draining = False
         self._drained: Optional[asyncio.Event] = None
         self._stop_requested: Optional[asyncio.Event] = None
@@ -86,6 +91,7 @@ class SoundServer:
         self._writers: set = set()
         self._conn_tasks: set = set()
         self._started_at = 0.0
+        self._started_wall = 0.0
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -102,11 +108,14 @@ class SoundServer:
     async def start(self) -> None:
         self._drained = asyncio.Event()
         self._stop_requested = asyncio.Event()
+        if self.config.trace_log is not None:
+            self._trace_log = TraceLog(self.config.trace_log)
         self.dispatcher.start()
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host,
             port=self.config.port, limit=self.config.max_frame_bytes)
         self._started_at = time.monotonic()
+        self._started_wall = time.time()
 
     async def serve_forever(self) -> None:
         """Serve until a ``drain`` completes (or :meth:`request_stop`)."""
@@ -134,6 +143,8 @@ class SoundServer:
         if self._conn_tasks:
             await asyncio.wait(list(self._conn_tasks), timeout=5.0)
         self.dispatcher.stop()
+        if self._trace_log is not None:
+            self._trace_log.close()
 
     # -- connection handling ---------------------------------------------------------
 
@@ -213,6 +224,44 @@ class SoundServer:
 
     async def _handle_work(self, request: Request,
                            t0: float) -> Dict[str, Any]:
+        tracer = self._tracer_for(request)
+        if tracer is None:
+            return await self._execute_work(request, t0)
+        # contextvars flow into everything this task awaits, so the
+        # dispatcher, service, passes and runtime all see this tracer;
+        # concurrent requests each get their own.
+        with use_tracer(tracer):
+            with tracer.span(f"server:{request.op}",
+                             op=request.op) as root:
+                reply = await self._execute_work(request, t0)
+            ok = bool(reply.get("ok"))
+            root.set(ok=ok)
+            if ok:
+                root.set(route=reply["result"].get("route"))
+            else:
+                root.set(error_code=reply["error"]["code"])
+        self._export_spans(tracer)
+        reply["trace_id"] = tracer.trace_id
+        return reply
+
+    def _tracer_for(self, request: Request) -> Optional[Tracer]:
+        """A per-request tracer when the client asked for one (trace_id on
+        the frame) or the server logs every request; None otherwise —
+        the untraced hot path never touches the tracing machinery."""
+        if request.trace_id is None and self._trace_log is None:
+            return None
+        return Tracer(trace_id=request.trace_id)
+
+    def _export_spans(self, tracer: Tracer) -> None:
+        spans = tracer.to_dicts()
+        if not spans:
+            return
+        self.trace_buffer.extend(spans)
+        if self._trace_log is not None:
+            self._trace_log.write(spans)
+
+    async def _execute_work(self, request: Request,
+                            t0: float) -> Dict[str, Any]:
         if self._draining:
             return error_reply(request.id, E_DRAINING,
                                "server is draining; not accepting work")
@@ -258,8 +307,14 @@ class SoundServer:
                 reply = ok_reply(request.id, self._health())
             elif request.op == "stats":
                 reply = ok_reply(request.id, self._stats())
+            elif request.op == "trace":
+                reply = ok_reply(request.id, self._trace(request))
+            elif request.op == "metrics":
+                reply = ok_reply(request.id, self._metrics())
             else:
                 reply = ok_reply(request.id, await self._drain())
+            if request.trace_id is not None:
+                reply["trace_id"] = request.trace_id
             self.counters["replies_ok"] += 1
         except ProtocolError as exc:
             self.counters["err:" + exc.code] += 1
@@ -292,8 +347,40 @@ class SoundServer:
                 "pool_abandoned": self.dispatcher.pool_abandoned,
                 "draining": self._draining,
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "started_at": round(self._started_wall, 3),
+                "trace": {
+                    "total": self.trace_buffer.total,
+                    "dropped": self.trace_buffer.dropped,
+                    "capacity": self.trace_buffer.capacity,
+                },
             },
         }
+
+    def _trace(self, request: Request) -> Dict[str, Any]:
+        """The ``trace`` op: spans from the in-memory ring buffer,
+        optionally filtered by ``trace_id`` and truncated to the newest
+        ``limit``."""
+        params = request.params
+        trace_id = params.get("filter_trace_id") or request.trace_id
+        limit = params.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            from .protocol import E_BAD_REQUEST
+
+            raise ProtocolError(E_BAD_REQUEST,
+                                "limit must be a non-negative integer")
+        spans = self.trace_buffer.spans(trace_id=trace_id, limit=limit)
+        return {
+            "spans": spans,
+            "total": self.trace_buffer.total,
+            "dropped": self.trace_buffer.dropped,
+        }
+
+    def _metrics(self) -> Dict[str, Any]:
+        """The ``metrics`` op: Prometheus text exposition of the service
+        and server counters (the client serves/prints ``text`` as-is)."""
+        server = self._stats()["server"]
+        return {"text": render_prometheus(self.stats, server=server),
+                "content_type": "text/plain; version=0.0.4"}
 
     async def _drain(self) -> Dict[str, Any]:
         """Reject new work, finish everything admitted, report, shut down."""

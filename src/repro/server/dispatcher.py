@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.trace import current_tracer, use_tracer
 from ..service import engine as _engine
 from ..service.jobs import execute_job, job_from_dict
 from ..service.service import CompileService
@@ -52,13 +53,19 @@ __all__ = ["Dispatcher", "PreparedRequest"]
 
 
 def _server_pool_execute(payload: dict
-                         ) -> Tuple[dict, float, ServiceStats, Any]:
+                         ) -> Tuple[dict, float, ServiceStats, Any, list]:
     """Worker-side execution: the engine's job runner plus the cache entry
-    the job produced, so the parent can warm its own in-memory cache."""
+    the job produced (so the parent can warm its own in-memory cache) and
+    the worker's recorded spans (so they merge into the request's trace)."""
     service = _engine._WORKER_SERVICE
+    tracer = _engine.worker_tracer(payload)
     before = service.stats.snapshot()
     t0 = time.perf_counter()
-    value = execute_job(payload, service)
+    if tracer is not None:
+        with use_tracer(tracer):
+            value = execute_job(payload, service)
+    else:
+        value = execute_job(payload, service)
     elapsed = time.perf_counter() - t0
     service.stats.observe_latency(f"job:{payload['kind']}", elapsed)
     delta = ServiceStats.delta(before, service.stats)
@@ -69,7 +76,8 @@ def _server_pool_execute(payload: dict
     # Raw dict access: a plain .get() would inflate the hit counters with
     # bookkeeping lookups that no request made.
     entry = service.cache._mem.get(key)
-    return value, elapsed, delta, entry
+    spans = tracer.to_dicts() if tracer is not None else []
+    return value, elapsed, delta, entry, spans
 
 
 @dataclass
@@ -155,10 +163,13 @@ class Dispatcher:
 
     def _execute_inline(self, prepared: PreparedRequest) -> Dict[str, Any]:
         self.inline_served += 1
+        tracer = current_tracer()
         try:
-            value = execute_job(prepared.payload, self.service)
+            with tracer.span("dispatch:inline") as sp:
+                value = execute_job(prepared.payload, self.service)
         except ReproError as exc:
             raise ProtocolError(E_COMPILE, str(exc))
+        sp.set(key=prepared.key[:16])
         return self._shape(prepared, value)
 
     async def _execute_pool(self, prepared: PreparedRequest,
@@ -166,23 +177,30 @@ class Dispatcher:
         assert self._pool is not None, "dispatcher not started"
         self.pool_submits += 1
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(self._pool, _server_pool_execute,
-                                      prepared.payload)
-        try:
-            value, _elapsed, delta, entry = await asyncio.wait_for(
-                future, timeout=timeout_s)
-        except asyncio.TimeoutError:
-            self.pool_abandoned += 1
-            raise ProtocolError(
-                E_DEADLINE,
-                f"not completed within {timeout_s:.3f}s")
-        except ReproError as exc:
-            raise ProtocolError(E_COMPILE, str(exc))
-        self.service.stats.merge(delta)
-        if entry is not None:
-            # Warm only the in-memory level: the worker already wrote the
-            # shared disk shard when a cache_dir is configured.
-            self.service.cache._mem_put(prepared.key, entry)
+        tracer = current_tracer()
+        with tracer.span("dispatch:pool") as sp:
+            payload = prepared.payload
+            if tracer.enabled:
+                payload = _engine.traced_payload(payload, tracer)
+            future = loop.run_in_executor(self._pool, _server_pool_execute,
+                                          payload)
+            try:
+                value, _elapsed, delta, entry, spans = await asyncio.wait_for(
+                    future, timeout=timeout_s)
+            except asyncio.TimeoutError:
+                self.pool_abandoned += 1
+                raise ProtocolError(
+                    E_DEADLINE,
+                    f"not completed within {timeout_s:.3f}s")
+            except ReproError as exc:
+                raise ProtocolError(E_COMPILE, str(exc))
+            self.service.stats.merge(delta)
+            tracer.adopt(spans)
+            if entry is not None:
+                # Warm only the in-memory level: the worker already wrote
+                # the shared disk shard when a cache_dir is configured.
+                self.service.cache._mem_put(prepared.key, entry)
+        sp.set(key=prepared.key[:16])
         return self._shape(prepared, value)
 
     # -- result shaping --------------------------------------------------------------

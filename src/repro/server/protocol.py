@@ -22,6 +22,27 @@ them without parsing messages.  A frame that cannot be parsed at all is
 answered with ``id: null`` and code ``malformed``; everything after the
 request is identified carries its id, including structured compile errors
 (code ``compile_error``).
+
+Tracing and metrics ops
+-----------------------
+
+Any request may carry an optional ``trace_id`` (non-empty string, at most
+128 chars).  For work ops the server records a span tree for the request
+under that id — protocol handling, dispatch, compile passes, program
+execution — into a bounded in-memory ring buffer (and a JSONL log when
+``--trace-log`` is set); the id is echoed in the reply's ``trace_id``
+field so the caller can correlate.  Two control ops expose the results:
+
+``trace``
+    ``{"id": 3, "op": "trace", "filter_trace_id": "...", "limit": 100}``
+    returns ``{"spans": [...], "total": N, "dropped": M}`` — span dicts
+    from the ring buffer (oldest first), optionally filtered to one trace
+    and/or truncated to the newest ``limit``.
+
+``metrics``
+    returns ``{"text": "...", "content_type": "text/plain; version=0.0.4"}``
+    — the server's counters, latency histograms and runtime op profile
+    rendered in the Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -54,8 +75,8 @@ __all__ = [
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: Work ops go through admission control; control ops are always served.
-OPS = ("compile", "run", "stats", "health", "drain")
-CONTROL_OPS = ("stats", "health", "drain")
+OPS = ("compile", "run", "stats", "health", "drain", "trace", "metrics")
+CONTROL_OPS = ("stats", "health", "drain", "trace", "metrics")
 
 E_MALFORMED = "malformed"            # frame is not a JSON object / too big
 E_BAD_REQUEST = "bad_request"        # unknown op or invalid parameters
@@ -87,6 +108,9 @@ class Request:
     op: str
     params: Dict[str, Any] = field(default_factory=dict)
     deadline_s: Optional[float] = None
+    #: caller-chosen trace id; the server records the request's span tree
+    #: under it and echoes it on the reply.
+    trace_id: Optional[str] = None
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:
@@ -139,4 +163,12 @@ def parse_request(line: bytes) -> Request:
             raise ProtocolError(E_BAD_REQUEST,
                                 "deadline_s must be a positive number")
         deadline = float(deadline)
-    return Request(id=req_id, op=op, params=data, deadline_s=deadline)
+    trace_id = data.pop("trace_id", None)
+    if trace_id is not None:
+        if not isinstance(trace_id, str) or not trace_id \
+                or len(trace_id) > 128:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "trace_id must be a non-empty string "
+                                "(at most 128 chars)")
+    return Request(id=req_id, op=op, params=data, deadline_s=deadline,
+                   trace_id=trace_id)

@@ -31,6 +31,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import Tracer, current_tracer, use_tracer
 from .jobs import CompileJob, JobResult, execute_job
 from .stats import ServiceStats
 
@@ -47,16 +48,42 @@ def _pool_init(cache_dir: Optional[str], maxsize: int) -> None:
     _WORKER_SERVICE = CompileService(cache_dir=cache_dir, maxsize=maxsize)
 
 
-def _pool_execute(payload: dict) -> Tuple[dict, float, ServiceStats]:
-    # Ship the cache-counter delta back with the result so the parent's
-    # stats reflect what happened inside the worker processes.
+def worker_tracer(payload: dict) -> Optional[Tracer]:
+    """Build the worker-side tracer for a payload carrying a ``__trace__``
+    marker ({trace_id, parent_id}, injected by the submitting process).
+    Pops the marker; returns None for untraced payloads."""
+    trace = payload.pop("__trace__", None)
+    if trace is None:
+        return None
+    return Tracer(trace_id=trace.get("trace_id"),
+                  root_parent=trace.get("parent_id"))
+
+
+def traced_payload(payload: dict, tracer) -> dict:
+    """A copy of ``payload`` carrying the ``__trace__`` marker (the
+    original is left untouched — it may be retried untraced)."""
+    return {**payload, "__trace__": {"trace_id": tracer.trace_id,
+                                     "parent_id": tracer.current_span_id}}
+
+
+def _pool_execute(payload: dict
+                  ) -> Tuple[dict, float, ServiceStats, List[dict]]:
+    # Ship the cache-counter delta (and any recorded spans) back with the
+    # result so the parent's stats and trace reflect what happened inside
+    # the worker processes.
+    tracer = worker_tracer(payload)
     before = _WORKER_SERVICE.stats.snapshot()
     t0 = time.perf_counter()
-    value = execute_job(payload, _WORKER_SERVICE)
+    if tracer is not None:
+        with use_tracer(tracer):
+            value = execute_job(payload, _WORKER_SERVICE)
+    else:
+        value = execute_job(payload, _WORKER_SERVICE)
     elapsed = time.perf_counter() - t0
     _WORKER_SERVICE.stats.observe_latency(f"job:{payload['kind']}", elapsed)
     delta = ServiceStats.delta(before, _WORKER_SERVICE.stats)
-    return value, elapsed, delta
+    spans = tracer.to_dicts() if tracer is not None else []
+    return value, elapsed, delta, spans
 
 
 class BatchEngine:
@@ -167,11 +194,15 @@ class BatchEngine:
         queue = deque((i, 1) for i in range(n))  # (index, attempt number)
         pool = self._new_pool()
         inflight: Dict[object, Tuple[int, int, Optional[float]]] = {}
+        tracer = current_tracer()
         try:
             while queue or inflight:
                 while queue and len(inflight) < self.jobs:
                     index, attempt = queue.popleft()
-                    future = pool.submit(_pool_execute, payloads[index])
+                    payload = payloads[index]
+                    if tracer.enabled:
+                        payload = traced_payload(payload, tracer)
+                    future = pool.submit(_pool_execute, payload)
                     deadline = (time.monotonic() + self.timeout_s
                                 if self.timeout_s else None)
                     inflight[future] = (index, attempt, deadline)
@@ -180,8 +211,9 @@ class BatchEngine:
                 for future in done:
                     index, attempt, _ = inflight.pop(future)
                     try:
-                        value, elapsed, worker_delta = future.result()
+                        value, elapsed, worker_delta, spans = future.result()
                         self.stats.merge(worker_delta)
+                        tracer.adopt(spans)
                     except Exception as exc:
                         if attempt <= self.retries:
                             queue.append((index, attempt + 1))

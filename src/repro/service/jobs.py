@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from ..compiler.config import CompilerConfig
+from ..obs.profile import OpProfile, count_rounding
+from ..obs.trace import current_tracer
 
 __all__ = ["CompileJob", "RunJob", "JobResult", "job_from_dict",
            "jobs_from_json", "execute_job"]
@@ -238,7 +240,23 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     inputs = payload.get("inputs", {})
     ulps = payload.get("uncertainty_ulps", 1.0)
     repeats = max(int(payload.get("repeats", 1)), 1)
-    res = prog(*args, uncertainty_ulps=ulps, **inputs)
+    tracer = current_tracer()
+    # The first execution is the profiled one (it also provides the
+    # accuracy sample); directed-rounding counting is only switched on
+    # for traced runs — it is the one profiling hook with per-op cost.
+    with tracer.span("job:run", entry=payload["entry"] or prog.entry,
+                     config=cfg.name) as sp:
+        if tracer.enabled:
+            with count_rounding() as rounding:
+                res = prog(*args, uncertainty_ulps=ulps, **inputs)
+        else:
+            rounding = None
+            res = prog(*args, uncertainty_ulps=ulps, **inputs)
+    profile = OpProfile.capture(res.runtime, rounding=rounding)
+    service.stats.record_ops(profile)
+    if sp.recording:
+        sp.set(op_profile=profile.to_dict())
+        _attach_explain(sp, res.value, tracer.explain_top)
     acc = max(0.0, result_accuracy(res)) if cfg.mode != "float" \
         else float("nan")
     times = [res.elapsed_s]
@@ -246,6 +264,7 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
         times.append(prog(*args, uncertainty_ulps=ulps, **inputs).elapsed_s)
 
     value: Dict[str, Any] = {
+        "op_profile": profile.to_dict(),
         "entry": prog.entry,
         "config": cfg.name,
         "k": cfg.k,
@@ -264,3 +283,28 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     elif isinstance(res.value, (int, float)):
         value["value"] = res.value
     return value
+
+
+def _attach_explain(sp, value, top_k: int) -> None:
+    """Width-provenance sampling: put the top-k ``aa.explain`` shares of
+    the result on the run span, so a wide enclosure is attributable from
+    the trace alone."""
+    if not top_k or value is None:
+        return
+    if not (hasattr(value, "coefficients") or hasattr(value, "terms")):
+        return
+    try:
+        from ..aa.explain import explain
+
+        ex = explain(value)
+    except (TypeError, AttributeError):
+        return
+    sp.set(explain={
+        "radius": ex.radius,
+        "n_symbols": ex.n_symbols,
+        "top": [{"symbol": s.symbol_id,
+                 "coefficient": s.coefficient,
+                 "share": round(s.share, 4),
+                 "provenance": s.provenance}
+                for s in ex.top(top_k)],
+    })

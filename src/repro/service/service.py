@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..compiler.config import CompilerConfig
 from ..compiler.driver import CompiledProgram, SafeGen
+from ..obs.trace import current_tracer
 from .cache import CacheEntry, CompileCache
 from .jobs import CompileJob, JobResult, normalize_config
 from .stats import ServiceStats
@@ -70,22 +71,28 @@ class CompileService:
             cfg = replace(cfg, **overrides)
         wanted = tuple(emit_after) if emit_after else ()
         key = cfg.cache_key(source, entry=entry)
-        cached = self.cache.get(key)
-        if cached is not None:
-            have = getattr(cached, "dumps", None) or {}
-            if all(name in have for name in wanted):
-                try:
-                    return self._rebuild(cfg, cached), cached
-                except Exception:
-                    # The entry loaded but its payload is rotten (e.g. a
-                    # truncated unit_blob): treat as a miss and recompile
-                    # rather than surface cache damage to the caller.
-                    self.stats.add("cache_errors")
-                    self.cache.invalidate(key)
-                    cached = None
-        t0 = time.perf_counter()
-        prog = SafeGen(cfg).compile(source, entry=entry, emit_after=wanted)
-        compile_s = time.perf_counter() - t0
+        tracer = current_tracer()
+        with tracer.span("service:compile", config=cfg.name) as sp:
+            cached = self.cache.get(key)
+            if cached is not None:
+                have = getattr(cached, "dumps", None) or {}
+                if all(name in have for name in wanted):
+                    try:
+                        prog = self._rebuild(cfg, cached)
+                        sp.set(cached=True)
+                        return prog, cached
+                    except Exception:
+                        # The entry loaded but its payload is rotten (e.g. a
+                        # truncated unit_blob): treat as a miss and recompile
+                        # rather than surface cache damage to the caller.
+                        self.stats.add("cache_errors")
+                        self.cache.invalidate(key)
+                        cached = None
+            t0 = time.perf_counter()
+            prog = SafeGen(cfg).compile(source, entry=entry,
+                                        emit_after=wanted)
+            compile_s = time.perf_counter() - t0
+            sp.set(cached=False, compile_s=round(compile_s, 6))
         self.stats.record_pipeline(prog.pipeline_report)
         dumps = dict(prog.dumps)
         if cached is not None:

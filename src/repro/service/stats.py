@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import copy
 import json
+import math
 import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field, fields
@@ -29,7 +30,9 @@ __all__ = ["LatencyHistogram", "ServiceStats"]
 
 def _log_spaced_bounds(lo: float = 1e-6, hi: float = 1e2,
                        per_decade: int = 8) -> Tuple[float, ...]:
-    decades = 8  # log10(hi / lo)
+    if not (0.0 < lo < hi):
+        raise ValueError("bounds require 0 < lo < hi")
+    decades = max(1, round(math.log10(hi / lo)))
     n = decades * per_decade
     return tuple(lo * 10.0 ** (i / per_decade) for i in range(n + 1))
 
@@ -103,16 +106,23 @@ class LatencyHistogram:
         return out
 
     def to_dict(self) -> Dict[str, Any]:
+        # Deltas from minus() can be degenerate: count == 0 with nonzero
+        # total_s (and quantile() returning None).  Every derived figure
+        # is therefore guarded on its own availability, never on count
+        # alone, and total_s survives even when no sample count did.
         out: Dict[str, Any] = {"count": self.count}
+        if self.total_s:
+            out["total_s"] = round(self.total_s, 6)
         if self.count:
-            out.update(
-                mean_s=round(self.total_s / self.count, 6),
-                min_s=round(self.min_s, 6),
-                max_s=round(self.max_s, 6),
-                p50_s=round(self.quantile(0.50), 6),
-                p90_s=round(self.quantile(0.90), 6),
-                p99_s=round(self.quantile(0.99), 6),
-            )
+            out["mean_s"] = round(self.total_s / self.count, 6)
+            if math.isfinite(self.min_s):
+                out["min_s"] = round(self.min_s, 6)
+            out["max_s"] = round(self.max_s, 6)
+            for label, q in (("p50_s", 0.50), ("p90_s", 0.90),
+                             ("p99_s", 0.99)):
+                value = self.quantile(q)
+                if value is not None:
+                    out[label] = round(value, 6)
             out["buckets"] = [
                 [round(self.BOUNDS[i], 9) if i < len(self.BOUNDS) else None, c]
                 for i, c in enumerate(self.counts) if c
@@ -121,9 +131,15 @@ class LatencyHistogram:
 
     def summary(self) -> str:
         if not self.count:
+            if self.total_s:
+                return f"n=0 total={self.total_s * 1e3:.3f}ms"
             return "n=0"
-        return (f"n={self.count} p50={self.quantile(0.5) * 1e3:.3f}ms "
-                f"p99={self.quantile(0.99) * 1e3:.3f}ms "
+        p50 = self.quantile(0.5)
+        p99 = self.quantile(0.99)
+        if p50 is None or p99 is None:  # degenerate delta: counts drained
+            return f"n={self.count} total={self.total_s * 1e3:.3f}ms"
+        return (f"n={self.count} p50={p50 * 1e3:.3f}ms "
+                f"p99={p99 * 1e3:.3f}ms "
                 f"max={self.max_s * 1e3:.3f}ms")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -177,6 +193,7 @@ class ServiceStats:
     jobs_timed_out: int = 0
     jobs_retried: int = 0
     pass_s: Dict[str, float] = field(default_factory=dict)
+    ops: Dict[str, float] = field(default_factory=dict)
     latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -215,6 +232,18 @@ class ServiceStats:
             for name, seconds in report.timings().items():
                 self.pass_s[name] = self.pass_s.get(name, 0.0) + seconds
 
+    def record_ops(self, profile) -> None:
+        """Fold one run's operation counters in — an
+        :class:`repro.obs.profile.OpProfile` or a flat ``name -> count``
+        dict (as shipped back in a worker delta)."""
+        items = profile.counter_items() \
+            if hasattr(profile, "counter_items") else profile
+        if not items:
+            return
+        with self._lock:
+            for name, n in items.items():
+                self.ops[name] = self.ops.get(name, 0) + n
+
     def to_dict(self) -> Dict[str, Any]:
         with self._lock:
             out = {f.name: getattr(self, f.name) for f in fields(self)}
@@ -222,6 +251,7 @@ class ServiceStats:
             out["compile_s_saved"] = round(self.compile_s_saved, 6)
             out["pass_s"] = {k: round(v, 6)
                              for k, v in sorted(self.pass_s.items())}
+            out["ops"] = dict(sorted(self.ops.items()))
             out["latency"] = {k: v.to_dict()
                               for k, v in sorted(self.latency.items())}
             return out

@@ -1,0 +1,162 @@
+"""Prometheus text exposition: format validity, naming, label stability."""
+
+import re
+
+from repro.obs import render_prometheus
+from repro.service import ServiceStats
+
+_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                 # metric name
+    rf"(\{{{_LABEL}(,{_LABEL})*\}})?"            # optional label set
+    r" (NaN|[+-]?Inf|[-+0-9.e]+)$")              # value
+
+
+def populated_stats() -> ServiceStats:
+    stats = ServiceStats()
+    stats.add("hits", 3)
+    stats.add("misses", 1)
+    stats.add("compile_s_saved", 0.25)
+    stats.add("jobs_run", 4)
+    stats.record_ops({"aa_add": 10, "condensations": 2})
+    stats.observe_latency("server:run", 0.002)
+    stats.observe_latency("server:run", 0.004)
+    stats.observe_latency("server:compile", 1.5)
+    stats.pass_s["cse"] = 0.125
+    return stats
+
+
+def parse_exposition(text: str):
+    """Validate the overall 0.0.4 shape; return (samples, types)."""
+    assert text.endswith("\n")
+    samples, types, helped = [], {}, set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            assert name not in helped, f"duplicate HELP for {name}"
+            helped.add(name)
+        elif line.startswith("# TYPE "):
+            _, _, name, mtype = line.split()
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = mtype
+        else:
+            assert SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+            samples.append(line)
+    return samples, types
+
+
+class TestValidity:
+    def test_every_line_is_valid_exposition(self):
+        samples, types = parse_exposition(
+            render_prometheus(populated_stats()))
+        assert samples
+        # Every sample's base name has a TYPE declaration.
+        for line in samples:
+            name = line.split("{")[0].split(" ")[0]
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert name in types or base in types, name
+
+    def test_counters_end_in_total(self):
+        _, types = parse_exposition(render_prometheus(populated_stats()))
+        for name, mtype in types.items():
+            if mtype == "counter":
+                assert name.endswith("_total"), name
+
+    def test_all_metrics_carry_the_repro_prefix(self):
+        _, types = parse_exposition(render_prometheus(populated_stats()))
+        assert types
+        for name in types:
+            assert name.startswith("repro_"), name
+
+    def test_cache_and_job_counters_present(self):
+        text = render_prometheus(populated_stats())
+        assert 'repro_cache_lookups_total{outcome="hit"} 3' in text
+        assert 'repro_cache_lookups_total{outcome="miss"} 1' in text
+        assert 'repro_jobs_total{outcome="run"} 4' in text
+        assert 'repro_runtime_ops_total{op="aa_add"} 10' in text
+        assert 'repro_runtime_ops_total{op="condensations"} 2' in text
+        assert 'repro_pass_seconds_total{pass="cse"} 0.125' in text
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_inf_terminator(self):
+        text = render_prometheus(populated_stats())
+        runs = [line for line in text.splitlines()
+                if line.startswith("repro_latency_seconds_bucket")
+                and 'probe="server:run"' in line]
+        assert runs, "histogram buckets missing"
+        counts = [int(line.rsplit(" ", 1)[1]) for line in runs]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert 'le="+Inf"' in runs[-1]
+        assert counts[-1] == 2
+        assert 'repro_latency_seconds_count{probe="server:run"} 2' in text
+        sum_line = [line for line in text.splitlines() if line.startswith(
+            'repro_latency_seconds_sum{probe="server:run"}')]
+        assert sum_line and abs(
+            float(sum_line[0].rsplit(" ", 1)[1]) - 0.006) < 1e-9
+
+    def test_histogram_has_one_help_type_block(self):
+        text = render_prometheus(populated_stats())
+        assert text.count("# TYPE repro_latency_seconds histogram") == 1
+
+
+class TestStability:
+    def test_label_sets_stable_across_renders(self):
+        stats = populated_stats()
+        first = render_prometheus(stats)
+        stats.add("hits", 100)
+        second = render_prometheus(stats)
+
+        def label_sets(text):
+            out = {}
+            for line in text.splitlines():
+                if line.startswith("#") or "{" not in line:
+                    continue
+                name, rest = line.split("{", 1)
+                labels = frozenset(
+                    part.split("=")[0]
+                    for part in rest.rsplit("}", 1)[0].split(","))
+                out.setdefault(name, set()).add(labels)
+            return out
+
+        assert label_sets(first) == label_sets(second)
+
+    def test_label_escaping(self):
+        stats = ServiceStats()
+        stats.pass_s['we"ird\\pass\n'] = 1.0
+        text = render_prometheus(stats)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parse_exposition(text)
+
+
+class TestServerSection:
+    SERVER = {
+        "counters": {"requests_total": 9, "replies_ok": 8,
+                     "op:run": 5, "op:stats": 4, "err:overloaded": 1},
+        "inline_served": 3,
+        "pool_submits": 2,
+        "pool_abandoned": 0,
+        "admission": {"admitted": 1, "queued": 0,
+                      "admitted_total": 7, "rejected_total": 1},
+        "draining": False,
+        "uptime_s": 12.5,
+        "started_at": 1700000000.0,
+        "trace": {"total": 40, "dropped": 4, "capacity": 16},
+    }
+
+    def test_server_metrics(self):
+        text = render_prometheus(ServiceStats(), server=self.SERVER)
+        parse_exposition(text)
+        assert "repro_server_requests_total 9" in text
+        assert 'repro_server_op_requests_total{op="run"} 5' in text
+        assert 'repro_server_errors_total{code="overloaded"} 1' in text
+        assert 'repro_server_route_total{route="inline"} 3' in text
+        assert "repro_server_uptime_seconds 12.5" in text
+        assert "repro_server_start_time_seconds 1700000000.0" in text
+        assert "repro_trace_spans_total 40" in text
+        assert "repro_trace_spans_dropped_total 4" in text
+        assert "repro_server_draining 0" in text
+
+    def test_without_server_snapshot_no_server_metrics(self):
+        text = render_prometheus(populated_stats())
+        assert "repro_server_" not in text

@@ -1,0 +1,107 @@
+"""OpProfile: exact, deterministic counts for a known kernel."""
+
+from repro.compiler import CompilerConfig, SafeGen
+from repro.obs import OpProfile, count_rounding
+from repro.service import ServiceStats
+
+# 4 multiplications and 1 addition; every nonlinear op places one fresh
+# error symbol, the input uncertainty places another, so k=3 under sorted
+# placement + oldest fusion overflows deterministically.
+KERNEL = """
+double f(double x) {
+  double a = x * x;
+  double b = a * x;
+  double c = b * b;
+  double d = c * a;
+  return d + b;
+}
+"""
+
+
+def profile_kernel(k: int) -> OpProfile:
+    cfg = CompilerConfig.from_string("f64a-sonn", k=k)
+    prog = SafeGen(cfg).compile(KERNEL)
+    with count_rounding() as rounding:
+        res = prog(0.5)
+    return OpProfile.capture(res.runtime, rounding=rounding)
+
+
+class TestKnownKernel:
+    def test_exact_op_counts(self):
+        p = profile_kernel(k=16)
+        assert (p.n_add, p.n_mul, p.n_div, p.n_sqrt) == (1, 4, 0, 0)
+        assert p.total_ops == 5
+        assert p.symbols_placed == 6  # 1 input + 1 per mul + 1 rounding
+
+    def test_exact_fusion_and_condensation_counts(self):
+        roomy = profile_kernel(k=16)
+        assert roomy.condensations == 0
+        assert roomy.fused_symbols == 0
+        tight = profile_kernel(k=3)
+        # Symbols 4..6 each overflow a k=3 form: one condensation event
+        # apiece, fusing two symbols per event (oldest-pair policy).
+        assert tight.condensations == 3
+        assert tight.fused_symbols == 6
+        assert tight.symbols_placed == 6
+
+    def test_deterministic_across_runs(self):
+        assert profile_kernel(k=3).to_dict() == profile_kernel(k=3).to_dict()
+
+    def test_rounding_counts_gated(self):
+        cfg = CompilerConfig.from_string("f64a-sonn", k=8)
+        prog = SafeGen(cfg).compile(KERNEL)
+        res = prog(0.5)
+        assert OpProfile.capture(res.runtime).rounding is None
+        with count_rounding() as rounding:
+            prog(0.5)
+        p = OpProfile.capture(res.runtime, rounding=rounding)
+        assert p.rounding["mul"] == 4  # one directed-mul pair per affine mul
+        assert p.rounding["add"] > 0
+        assert p.rounding["div"] == 0
+        assert p.rounding["sqrt"] == 0
+
+    def test_count_rounding_nests_and_restores(self):
+        from repro.fp import rounding as fpr
+
+        with count_rounding() as outer:
+            fpr.add_ru(0.1, 0.2)
+            with count_rounding() as inner:
+                fpr.add_ru(0.1, 0.2)
+            fpr.add_ru(0.1, 0.2)
+        assert inner == {"add": 1, "mul": 0, "div": 0, "sqrt": 0}
+        assert outer["add"] == 2
+        # The gate is fully off again outside the context.
+        fpr.add_ru(0.1, 0.2)
+        assert outer["add"] == 2
+
+
+class TestShapes:
+    def test_to_dict_shape(self):
+        d = profile_kernel(k=3).to_dict()
+        assert d["ops"]["total"] == 5
+        assert set(d) >= {"ops", "flops", "symbols_placed", "fused_symbols",
+                          "conflicts", "condensations",
+                          "ambiguous_branches", "rounding"}
+
+    def test_counter_items_flat_and_nonzero(self):
+        items = profile_kernel(k=3).counter_items()
+        assert items["aa_mul"] == 4
+        assert items["condensations"] == 3
+        assert all(v for v in items.values())
+        assert "aa_div" not in items  # zero counters dropped
+
+    def test_feeds_service_stats_ops(self):
+        stats = ServiceStats()
+        stats.record_ops(profile_kernel(k=3))
+        stats.record_ops(profile_kernel(k=3))
+        assert stats.ops["aa_mul"] == 8
+        assert stats.ops["condensations"] == 6
+        assert stats.to_dict()["ops"]["aa_add"] == 2
+
+    def test_capture_on_interval_runtime_is_zero_affine(self):
+        cfg = CompilerConfig.from_string("ia-f64")
+        prog = SafeGen(cfg).compile(KERNEL)
+        res = prog(0.5)
+        p = OpProfile.capture(res.runtime)
+        assert p.condensations == 0
+        assert p.fused_symbols == 0

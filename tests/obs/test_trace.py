@@ -1,0 +1,228 @@
+"""Span trees: recording, nesting, export, and the disabled hot path."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TraceBuffer,
+    TraceLog,
+    Tracer,
+    check_spans,
+    current_tracer,
+    load_trace,
+    new_trace_id,
+    render_waterfall,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_span_tree_links(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+            with tracer.span("sibling") as sib:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert sib.parent_id == root.span_id
+        assert {s.trace_id for s in (root, child, grand, sib)} \
+            == {tracer.trace_id}
+        assert check_spans(tracer.to_dicts()) == []
+
+    def test_spans_time_themselves(self):
+        tracer = Tracer()
+        with tracer.span("timed") as sp:
+            sum(range(1000))
+        assert sp.wall_s > 0.0
+        assert sp.start_ts > 0.0
+
+    def test_attributes_settable_during_and_after(self):
+        tracer = Tracer()
+        with tracer.span("op", preset=1) as sp:
+            sp.set(during=2)
+        sp.set(after=3)
+        d = tracer.to_dicts()[0]
+        assert d["attrs"] == {"preset": 1, "during": 2, "after": 3}
+
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        d = tracer.to_dicts()[0]
+        assert d["error"] == "ValueError"
+
+    def test_explicit_trace_id_and_root_parent(self):
+        tracer = Tracer(trace_id="abc123", root_parent="parent.7")
+        with tracer.span("worker"):
+            pass
+        d = tracer.to_dicts()[0]
+        assert d["trace_id"] == "abc123"
+        assert d["parent_id"] == "parent.7"
+
+    def test_adopt_merges_worker_spans(self):
+        parent = Tracer(trace_id="t1")
+        with parent.span("dispatch") as sp:
+            worker = Tracer(trace_id="t1", root_parent=sp.span_id)
+            with worker.span("job"):
+                pass
+            parent.adopt(worker.to_dicts())
+        spans = parent.to_dicts()
+        assert len(spans) == 2
+        assert check_spans(spans) == []
+        names = {s["name"]: s for s in spans}
+        assert names["job"]["parent_id"] == names["dispatch"]["span_id"]
+
+    def test_span_ids_unique_across_adoption(self):
+        # Worker span ids carry the worker pid; two tracers in one process
+        # still cannot collide because each has its own sequence... but the
+        # merged export must stay duplicate-free regardless.
+        parent = Tracer(trace_id="t2")
+        with parent.span("a") as sp:
+            worker = Tracer(trace_id="t2", root_parent=sp.span_id)
+            with worker.span("b"):
+                pass
+            parent.adopt(worker.to_dicts())
+        ids = [s["span_id"] for s in parent.to_dicts()]
+        assert len(ids) == len(set(ids))
+
+    def test_new_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)  # hex
+        assert tid != new_trace_id()
+
+
+class TestDisabled:
+    def test_disabled_span_records_nothing_but_times(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible", attr=1) as sp:
+            pass
+        assert sp.recording is False
+        assert sp.wall_s >= 0.0
+        sp.set(extra=2)  # no-op, no error
+        assert tracer.to_dicts() == []
+
+    def test_null_tracer_is_ambient_default(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_use_tracer_scopes_the_ambient(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("inner"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert [s["name"] for s in tracer.to_dicts()] == ["inner"]
+
+
+class TestExport:
+    def test_trace_log_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with TraceLog(path) as log:
+            log.write(tracer.to_dicts())
+        spans = load_trace(path)
+        assert [s["name"] for s in spans] == ["b", "a"]
+        assert check_spans(spans) == []
+
+    def test_trace_log_appends_and_drops_after_close(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        log = TraceLog(path)
+        log.write([{"n": 1}])
+        log.close()
+        log.close()  # idempotent
+        log.write([{"n": 2}])  # dropped silently
+        with open(path) as fh:
+            assert len(fh.readlines()) == 1
+
+    def test_load_trace_names_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(str(path))
+
+    def test_buffer_is_bounded_and_counts_drops(self):
+        buf = TraceBuffer(capacity=3)
+        buf.extend({"span_id": str(i), "trace_id": "t"} for i in range(5))
+        assert buf.total == 5
+        assert buf.dropped == 2
+        assert [s["span_id"] for s in buf.spans()] == ["2", "3", "4"]
+        assert [s["span_id"] for s in buf.spans(limit=1)] == ["4"]
+
+    def test_buffer_filters_by_trace(self):
+        buf = TraceBuffer()
+        buf.extend([{"span_id": "1", "trace_id": "a"},
+                    {"span_id": "2", "trace_id": "b"}])
+        assert [s["span_id"] for s in buf.spans(trace_id="b")] == ["2"]
+
+
+class TestCheckSpans:
+    def _span(self, **over):
+        base = {"trace_id": "t", "span_id": "s1", "parent_id": None,
+                "name": "x", "start_ts": 1.0, "wall_s": 0.1}
+        base.update(over)
+        return base
+
+    def test_clean_trace_passes(self):
+        spans = [self._span(),
+                 self._span(span_id="s2", parent_id="s1")]
+        assert check_spans(spans) == []
+
+    def test_missing_fields_flagged(self):
+        problems = check_spans([{"trace_id": "t"}])
+        assert any("span_id" in p for p in problems)
+        assert any("wall_s" in p for p in problems)
+
+    def test_dangling_parent_flagged(self):
+        problems = check_spans([self._span(parent_id="ghost")])
+        assert any("ghost" in p for p in problems)
+
+    def test_cross_trace_parent_flagged(self):
+        spans = [self._span(),
+                 self._span(span_id="s2", trace_id="other",
+                            parent_id="s1")]
+        assert any("different trace" in p for p in check_spans(spans))
+
+    def test_parent_cycle_flagged(self):
+        spans = [self._span(parent_id="s2"),
+                 self._span(span_id="s2", parent_id="s1")]
+        assert any("cycle" in p for p in check_spans(spans))
+
+    def test_negative_duration_flagged(self):
+        problems = check_spans([self._span(wall_s=-1.0)])
+        assert any("wall_s" in p for p in problems)
+
+
+class TestWaterfall:
+    def test_renders_nested_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = render_waterfall(tracer.to_dicts())
+        lines = text.splitlines()
+        assert tracer.trace_id in lines[0]
+        assert any(line.lstrip().startswith("root") for line in lines)
+        # The child renders indented under the root.
+        child_lines = [line for line in lines if "child" in line]
+        assert child_lines and child_lines[0].startswith("  ")
+
+    def test_empty_input(self):
+        assert "no spans" in render_waterfall([])
+
+    def test_spans_are_json_safe(self):
+        tracer = Tracer()
+        with tracer.span("op", n=3, label="x"):
+            pass
+        json.dumps(tracer.to_dicts())  # must not raise

@@ -1,0 +1,193 @@
+"""End-to-end observability through the live server: trace-id propagation
+(including pool-worker spans merged into the parent tree), the ``trace``
+and ``metrics`` ops, and the stats additions."""
+
+import pytest
+
+from repro.obs import check_spans
+from repro.server import ServerClient, ServerConfig, ServerError, ServerThread
+
+SRC = "double g(double x) { return x * x + 2.0; }"
+SRC2 = "double h(double x) { return x + 0.5; }"
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, pool_workers=1)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+def span_index(spans):
+    return {s["name"]: s for s in spans}
+
+
+class TestTracePropagation:
+    def test_cold_run_trace_spans_all_layers(self, client):
+        reply = client.raw_request(
+            {"id": 1, "op": "run", "source": SRC, "config": "f64a-dsnn",
+             "k": 8, "args": [0.25], "trace_id": "prop-cold"})
+        assert reply["ok"] and reply["trace_id"] == "prop-cold"
+        assert reply["result"]["route"] == "pool"
+        spans = client.trace(trace_id="prop-cold")["spans"]
+        assert check_spans(spans) == []
+        names = span_index(spans)
+        # One connected tree: protocol -> dispatch -> service -> passes ->
+        # runtime, with the pool worker's spans grafted under dispatch:pool.
+        for required in ("server:run", "dispatch:pool", "service:compile",
+                         "pass:parse", "pass:codegen-py", "job:run",
+                         "exec:g"):
+            assert required in names, f"missing span {required}"
+        root = names["server:run"]
+        assert root["parent_id"] is None
+        assert names["dispatch:pool"]["parent_id"] == root["span_id"]
+        # Worker spans carry the worker pid prefix yet link to the parent
+        # process's dispatch span.
+        assert names["job:run"]["parent_id"] == \
+            names["dispatch:pool"]["span_id"]
+        assert names["exec:g"]["parent_id"] == names["job:run"]["span_id"]
+        assert names["pass:parse"]["parent_id"] == \
+            names["service:compile"]["span_id"]
+        assert {s["trace_id"] for s in spans} == {"prop-cold"}
+
+    def test_warm_run_traces_inline_route(self, client):
+        client.run(SRC, config="f64a-dsnn", k=8, args=[0.25])  # warm it
+        result = client.run(SRC, config="f64a-dsnn", k=8, args=[0.25],
+                            trace_id="prop-warm")
+        assert result["route"] == "inline"
+        spans = client.trace(trace_id="prop-warm")["spans"]
+        assert check_spans(spans) == []
+        names = span_index(spans)
+        assert "dispatch:inline" in names
+        assert "dispatch:pool" not in names
+        assert names["server:run"]["attrs"]["route"] == "inline"
+
+    def test_run_reply_carries_op_profile(self, client):
+        result = client.run(SRC, config="f64a-dsnn", k=8, args=[0.25],
+                            trace_id="prof-1")
+        profile = result["op_profile"]
+        assert profile["ops"]["mul"] == 1
+        assert profile["ops"]["add"] == 1
+        spans = client.trace(trace_id="prof-1")["spans"]
+        job = span_index(spans)["job:run"]
+        assert job["attrs"]["op_profile"]["ops"] == profile["ops"]
+
+    def test_pass_spans_agree_with_pipeline_report(self, client):
+        reply = client.raw_request(
+            {"id": 2, "op": "compile", "source": SRC2, "config": "f64a-dsnn",
+             "k": 8, "trace_id": "pipe-1"})
+        assert reply["ok"]
+        report = reply["result"]["pipeline"]["passes"]
+        spans = client.trace(trace_id="pipe-1")["spans"]
+        span_names = [s["name"][5:] for s in spans
+                      if s["name"].startswith("pass:")]
+        assert span_names == [p["name"] for p in report]
+        by_name = span_index(spans)
+        for entry in report:
+            # The report rounds to microseconds; the span keeps nanoseconds.
+            assert by_name[f"pass:{entry['name']}"]["wall_s"] == \
+                pytest.approx(entry["wall_s"], abs=1e-6)
+
+    def test_untraced_requests_record_nothing(self, client):
+        before = client.stats()["server"]["trace"]["total"]
+        client.run(SRC, config="f64a-dsnn", k=8, args=[0.5])
+        assert client.stats()["server"]["trace"]["total"] == before
+
+    def test_trace_id_validation(self, client):
+        reply = client.raw_request({"id": 3, "op": "health",
+                                    "trace_id": ""})
+        assert not reply["ok"]
+        assert reply["error"]["code"] == "bad_request"
+        reply = client.raw_request({"id": 4, "op": "health",
+                                    "trace_id": "x" * 129})
+        assert not reply["ok"]
+
+    def test_control_reply_echoes_trace_id(self, client):
+        reply = client.raw_request({"id": 5, "op": "health",
+                                    "trace_id": "ctl-1"})
+        assert reply["ok"] and reply["trace_id"] == "ctl-1"
+
+
+class TestTraceOp:
+    def test_limit_and_filter(self, client):
+        client.run(SRC, config="f64a-dsnn", k=8, args=[0.1],
+                   trace_id="lim-1")
+        out = client.trace(trace_id="lim-1", limit=2)
+        assert len(out["spans"]) == 2
+        assert out["total"] >= 2
+        full = client.trace(trace_id="lim-1")["spans"]
+        assert out["spans"] == full[-2:]
+
+    def test_bad_limit_rejected(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.request("trace", limit=-1)
+        assert exc_info.value.code == "bad_request"
+
+    def test_failed_request_still_traced(self, client):
+        reply = client.raw_request(
+            {"id": 6, "op": "compile", "source": "double f( {",
+             "trace_id": "fail-1"})
+        assert not reply["ok"]
+        assert reply["trace_id"] == "fail-1"
+        spans = client.trace(trace_id="fail-1")["spans"]
+        root = span_index(spans)["server:compile"]
+        assert root["attrs"]["error_code"] == "compile_error"
+
+
+class TestMetricsOp:
+    def test_metrics_text_is_valid_prometheus(self, client):
+        client.run(SRC, config="f64a-dsnn", k=8, args=[0.3])
+        result = client.request("metrics")
+        assert result["content_type"].startswith("text/plain")
+        text = result["text"]
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert 'repro_cache_lookups_total{outcome="hit"}' in text
+        assert 'le="+Inf"' in text
+        assert "repro_runtime_ops_total" in text
+        assert text.endswith("\n")
+
+    def test_metrics_counters_move(self, client):
+        def scrape_requests():
+            for line in client.metrics().splitlines():
+                if line.startswith("repro_server_requests_total"):
+                    return int(line.rsplit(" ", 1)[1])
+            raise AssertionError("requests_total missing")
+
+        first = scrape_requests()
+        client.health()
+        assert scrape_requests() > first
+
+
+class TestStatsAdditions:
+    def test_uptime_and_started_at(self, client):
+        server_stats = client.stats()["server"]
+        assert server_stats["uptime_s"] >= 0
+        assert server_stats["started_at"] > 1.6e9  # a plausible unix time
+        assert "trace" in server_stats
+        trace = server_stats["trace"]
+        assert set(trace) == {"total", "dropped", "capacity"}
+
+    def test_service_stats_accumulate_runtime_ops(self, client):
+        client.run(SRC, config="f64a-dsnn", k=8, args=[0.7])
+        ops = client.stats()["service"]["ops"]
+        assert ops.get("aa_mul", 0) >= 1
+
+
+class TestTraceBufferBound:
+    def test_ring_drops_oldest_and_reports(self):
+        config = ServerConfig(port=0, pool_workers=1, trace_buffer=5)
+        with ServerThread(config) as srv:
+            with ServerClient(port=srv.port) as c:
+                for i in range(3):
+                    c.run(SRC, config="f64a-dsnn", k=8, args=[0.1 * i],
+                          trace_id=f"ring-{i}")
+                out = c.trace()
+                assert len(out["spans"]) == 5
+                assert out["dropped"] == out["total"] - 5
+                assert out["dropped"] > 0

@@ -62,6 +62,39 @@ class TestParallelMatchesSerial:
             assert s.value["interval"] == p.value["interval"]
 
 
+class TestTracing:
+    def test_pool_worker_spans_merge_into_parent_trace(self):
+        from repro.obs import Tracer, check_spans, use_tracer
+
+        jobs = [RunJob(source=OK, config="f64a-dsnn", k=k,
+                       inputs={"x": 0.5}) for k in (4, 8)]
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("batch"):
+                results = BatchEngine(jobs=2).run(jobs)
+        assert all(r.ok for r in results)
+        spans = tracer.to_dicts()
+        assert check_spans(spans) == []
+        names = [s["name"] for s in spans]
+        assert names.count("job:run") == 2
+        assert names.count("exec:sq") == 2
+        batch_id = next(s["span_id"] for s in spans if s["name"] == "batch")
+        # Worker-side roots link under the batch span of this process.
+        for s in spans:
+            if s["name"] == "job:run":
+                assert s["parent_id"] == batch_id
+        assert {s["trace_id"] for s in spans} == {tracer.trace_id}
+
+    def test_untraced_pool_run_ships_no_spans(self):
+        jobs = [RunJob(source=OK, config="f64a-dsnn", k=4,
+                       inputs={"x": 0.5})]
+        engine = BatchEngine(jobs=2)
+        results = engine.run(jobs)
+        assert results[0].ok
+        # op_profile still rides on the result even without tracing.
+        assert results[0].value["op_profile"]["ops"]["mul"] == 1
+
+
 class TestFailures:
     def test_compile_error_is_a_failed_result(self):
         jobs = [RunJob(source=OK, config="f64a-dsnn", k=4,

@@ -1,9 +1,13 @@
 """Concurrency safety of ServiceStats + the latency histogram satellite."""
 
+import math
 import pickle
 import threading
 
+import pytest
+
 from repro.service import LatencyHistogram, ServiceStats
+from repro.service.stats import _log_spaced_bounds
 
 
 class TestConcurrentMutation:
@@ -146,3 +150,76 @@ class TestLatencyHistogram:
         summary = stats.latency_summary()
         assert "server:run" in summary
         assert "p99" in summary
+
+
+class TestLogSpacedBounds:
+    def test_bounds_derive_from_lo_and_hi(self):
+        # Regression: decades was hardcoded to 8 and lo/hi were ignored —
+        # custom ranges silently produced the default grid.
+        bounds = _log_spaced_bounds(1e-3, 1e1, per_decade=4)
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] == pytest.approx(1e1)
+        assert len(bounds) == 4 * 4 + 1  # 4 decades x 4 buckets + fencepost
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** 0.25) for r in ratios)
+
+    def test_default_grid_unchanged(self):
+        bounds = _log_spaced_bounds()
+        assert len(bounds) == 65  # 8 decades x 8 per decade + fencepost
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(1e2)
+        assert bounds == LatencyHistogram.BOUNDS
+
+    def test_fractional_decades_round_to_nearest(self):
+        bounds = _log_spaced_bounds(1.0, 950.0, per_decade=2)
+        assert len(bounds) == 3 * 2 + 1
+
+    def test_invalid_ranges_rejected(self):
+        for lo, hi in ((0.0, 1.0), (-1.0, 1.0), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ValueError):
+                _log_spaced_bounds(lo, hi)
+
+
+class TestDegenerateDeltas:
+    def degenerate(self) -> LatencyHistogram:
+        """count == 0 but total_s != 0: a minus() artifact that arises when
+        the same bucket drains on both sides but totals differ."""
+        before, after = LatencyHistogram(), LatencyHistogram()
+        before.observe(0.010)
+        after.observe(0.012)  # same bucket, different total
+        return after.minus(before)
+
+    def test_minus_can_go_degenerate(self):
+        delta = self.degenerate()
+        assert delta.count == 0
+        assert delta.total_s != 0.0
+        assert delta.quantile(0.5) is None
+
+    def test_to_dict_safe_on_degenerate(self):
+        d = self.degenerate().to_dict()
+        assert d["count"] == 0
+        assert d["total_s"] == pytest.approx(0.002)
+        # No NaN/inf-bearing derived figures sneak in.
+        for key in ("mean_s", "min_s", "p50_s", "p90_s", "p99_s"):
+            assert key not in d
+        assert all(not isinstance(v, float) or math.isfinite(v)
+                   for v in d.values())
+
+    def test_summary_safe_on_degenerate(self):
+        text = self.degenerate().summary()
+        assert text.startswith("n=0")
+        assert "total=" in text
+        assert "nan" not in text.lower()
+
+    def test_empty_histogram_to_dict(self):
+        d = LatencyHistogram().to_dict()
+        assert d == {"count": 0}
+        assert LatencyHistogram().summary() == "n=0"
+
+    def test_normal_histogram_unaffected(self):
+        hist = LatencyHistogram()
+        hist.observe(0.004)
+        d = hist.to_dict()
+        assert d["count"] == 1
+        assert d["mean_s"] == pytest.approx(0.004)
+        assert "p50_s" in d and "min_s" in d and "buckets" in d
