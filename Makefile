@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
-	serve-smoke obs-smoke examples clean
+	serve-smoke obs-smoke fuzz-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -68,6 +68,15 @@ obs-smoke:
 	  --out obs-trace.jsonl
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro trace check obs-trace.jsonl
 
+# Differential-soundness fuzz smoke: a fixed seed set through the full
+# config matrix (~1 minute).  Any lattice breach fails the target and
+# leaves a replayable bundle in fuzz-failure.json (CI uploads it).
+fuzz-smoke:
+	@rm -f fuzz-failure.json
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro fuzz \
+	  --iterations 48 --jobs 2 --seed 1 --timeout 120 \
+	  --no-save --artifact fuzz-failure.json
+
 # Timing microbenchmarks (pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -82,5 +91,6 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results \
-	  .repro-cache test_output.txt bench_output.txt obs-trace.jsonl
+	  .repro-cache test_output.txt bench_output.txt obs-trace.jsonl \
+	  fuzz-failure.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

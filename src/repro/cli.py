@@ -138,6 +138,45 @@ def _build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("-o", "--output", default=None, metavar="FILE",
                          help="write job results JSON here (default stdout)")
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential soundness fuzzing campaign")
+    p_fuzz.add_argument("--seconds", type=float, default=None, metavar="S",
+                        help="time budget (default: 100 iterations if "
+                             "neither --seconds nor --iterations is given)")
+    p_fuzz.add_argument("--iterations", type=int, default=None, metavar="N",
+                        help="exact number of seeds to run (fixed seed set; "
+                             "composable with --seconds, first limit wins)")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="fan seeds out over N worker processes")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first seed; the campaign runs seed, seed+1, "
+                             "... (reproducible)")
+    p_fuzz.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                        help="per-seed wall-clock timeout (pool mode); a "
+                             "hung compile cannot stall the campaign")
+    p_fuzz.add_argument("-k", type=int, default=8,
+                        help="bounded-form size for the aa matrix points")
+    p_fuzz.add_argument("--n-stmts", type=int, default=10,
+                        help="statements per generated program")
+    p_fuzz.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="compile cache shared by the fuzz workers")
+    p_fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="write shrunken reproducers here "
+                             "(default: tests/fuzz/corpus when it exists)")
+    p_fuzz.add_argument("--no-save", action="store_true",
+                        help="do not persist reproducers")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report raw counterexamples without "
+                             "delta-debugging them")
+    p_fuzz.add_argument("--stats", default=None, metavar="FILE",
+                        help="write ServiceStats JSON here")
+    p_fuzz.add_argument("--artifact", default=None, metavar="FILE",
+                        help="on failure, write the full failure bundle "
+                             "(programs + inputs + configs JSON) here — "
+                             "CI uploads it")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="machine-readable campaign report on stdout")
+
     p_serve = sub.add_parser(
         "serve", help="run the sound-computation server (asyncio daemon)")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -467,6 +506,55 @@ def cmd_batch(ns) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(ns) -> int:
+    import dataclasses
+    import os
+
+    from .fuzz import GeneratorOptions, default_matrix, run_campaign
+    from .fuzz.corpus import default_corpus_dir
+    from .service import ServiceStats
+
+    corpus_dir = None
+    if not ns.no_save:
+        corpus_dir = ns.corpus_dir or default_corpus_dir()
+        os.makedirs(corpus_dir, exist_ok=True)
+    options = dataclasses.replace(GeneratorOptions(), n_stmts=ns.n_stmts)
+    matrix = default_matrix(k=ns.k)
+    stats = ServiceStats()
+    log = (lambda msg: print(f"// {msg}", file=sys.stderr))
+    report = run_campaign(
+        seconds=ns.seconds, iterations=ns.iterations, jobs=ns.jobs,
+        seed=ns.seed, options=options, matrix=matrix, timeout_s=ns.timeout,
+        cache_dir=ns.cache_dir, corpus_dir=corpus_dir,
+        shrink=not ns.no_shrink, stats=stats, log=log)
+    if ns.stats:
+        stats.dump_json(ns.stats)
+    if ns.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        verdict = "OK" if report.ok else "FAIL"
+        print(f"fuzz: {verdict} — {report.seeds_run} seeds in "
+              f"{report.elapsed_s:.1f}s, {len(report.violations)} "
+              f"violation(s), {len(report.timed_out_seeds)} timeout(s)")
+        for v in report.violations:
+            print(f"  {v.kind} [{v.config_name}]: {v.detail}")
+            if v.source:
+                print("    " + "\n    ".join(v.source.splitlines()))
+        if report.reproducers:
+            print("reproducers:")
+            for path in report.reproducers:
+                print(f"  {path}")
+    if not report.ok and ns.artifact:
+        with open(ns.artifact, "w") as fh:
+            json.dump({"report": report.to_dict(),
+                       "matrix": [p.to_dict() for p in matrix],
+                       "options": options.to_dict(),
+                       "seed": ns.seed}, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"// failure artifact -> {ns.artifact}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_serve(ns) -> int:
     import asyncio
 
@@ -605,6 +693,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "bench": cmd_bench,
         "batch": cmd_batch,
+        "fuzz": cmd_fuzz,
         "serve": cmd_serve,
         "request": cmd_request,
         "stats": cmd_stats,

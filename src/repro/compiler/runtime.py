@@ -300,17 +300,26 @@ class Runtime:
 
     def fmin(self, a, b):
         if self.mode == "float":
-            return min(a, b)
-        if self.mode == "aa":
-            return a.min_with(b)
-        return a.min_with(b) if hasattr(a, "min_with") else min(a, b)
+            return self._float_minmax(a, b, min)
+        a, b = self._as_range(a), self._as_range(b)
+        return a.min_with(b)
 
     def fmax(self, a, b):
         if self.mode == "float":
-            return max(a, b)
-        if self.mode == "aa":
-            return a.max_with(b)
-        return a.max_with(b) if hasattr(a, "max_with") else max(a, b)
+            return self._float_minmax(a, b, max)
+        a, b = self._as_range(a), self._as_range(b)
+        return a.max_with(b)
+
+    @staticmethod
+    def _float_minmax(a, b, pick):
+        # C99 fmin/fmax: a NaN operand is treated as missing data — the
+        # other operand is returned (Python's min/max would propagate or
+        # drop the NaN depending on argument order).
+        if isinstance(a, float) and math.isnan(a):
+            return b
+        if isinstance(b, float) and math.isnan(b):
+            return a
+        return pick(a, b)
 
     # -- comparisons ---------------------------------------------------------------
 
@@ -345,7 +354,14 @@ class Runtime:
 
     def eq(self, a, b) -> bool:
         """Range equality: definite only for identical point ranges or
-        disjoint ranges; otherwise decided per policy on central values."""
+        disjoint ranges; otherwise decided per policy on central values.
+
+        Invalid (NaN-absorbing) operands take IEEE 754 semantics: ``==``
+        is definitely False (``!=`` definitely True), not an ambiguous
+        branch — the central-value fallback would compare NaN midpoints
+        and call identical arguments unequal while charging the
+        certificate, and STRICT would raise where IEEE gives an answer.
+        """
         if self.mode == "float":
             return a == b
         a, b = self._as_range(a), self._as_range(b)
@@ -353,7 +369,7 @@ class Runtime:
         ib = b.interval() if hasattr(b, "interval") else b
         definite: Optional[bool]
         if not (ia.is_valid() and ib.is_valid()):
-            definite = None
+            definite = False
         elif ia.is_point() and ib.is_point():
             definite = ia.lo == ib.lo
         elif ia.hi < ib.lo or ib.hi < ia.lo:

@@ -1,0 +1,62 @@
+"""Differential soundness fuzzer for the SafeGen pipeline.
+
+The compiler's entire value proposition is *soundness*: the rewritten
+program's range must contain the result the original program would produce
+in real arithmetic.  This package searches for counterexamples the way
+differential/test-stability work does (Titolo et al.; Darulova & Kuncak):
+
+* :mod:`generator` — seeded, grammar-driven random programs in the
+  supported C99 subset (straight-line code, loops, branches, arrays,
+  math calls), built over an index-based mini-AST so any subset of
+  statements is still a valid program (which is what makes shrinking
+  trivial and deterministic).
+* :mod:`lattice` — the *agreement lattice*: which relations between
+  configurations are theorems (checked, any breach is a bug) and which
+  are heuristics (recorded, never a failure).
+* :mod:`shrink` — delta-debugging on the statement list + per-statement
+  simplification, producing a minimal reproducer.
+* :mod:`campaign` — fan a fuzzing campaign out through the service batch
+  engine (process pool, per-program wall-clock timeout, ServiceStats
+  counters); powers ``python -m repro fuzz``.
+* :mod:`corpus` — persist reproducers under ``tests/fuzz/corpus/`` and
+  replay them (pytest replays every committed file forever after).
+"""
+
+from .generator import (
+    CSourceProgram,
+    FuzzProgram,
+    GeneratorOptions,
+    generate_program,
+    program_from_dict,
+)
+from .lattice import (
+    AgreementReport,
+    ConfigPoint,
+    Violation,
+    default_matrix,
+    check_program,
+)
+from .shrink import shrink_program
+from .campaign import CampaignReport, FuzzJob, run_campaign, run_one_seed
+from .corpus import load_corpus, replay_entry, save_reproducer
+
+__all__ = [
+    "AgreementReport",
+    "CSourceProgram",
+    "CampaignReport",
+    "ConfigPoint",
+    "FuzzJob",
+    "FuzzProgram",
+    "GeneratorOptions",
+    "Violation",
+    "check_program",
+    "default_matrix",
+    "generate_program",
+    "load_corpus",
+    "program_from_dict",
+    "replay_entry",
+    "run_campaign",
+    "run_one_seed",
+    "save_reproducer",
+    "shrink_program",
+]

@@ -1,0 +1,243 @@
+"""Fuzzing campaigns through the service batch engine.
+
+One *seed* is one unit of work: generate the program, compile it at every
+matrix point (through the worker's process-local
+:class:`repro.service.CompileService`, so the compile cache stays warm
+across seeds), run the agreement-lattice checks, and ship a JSON-safe
+verdict back.  Seeds fan out as ``FuzzJob``s over the existing
+:class:`repro.service.BatchEngine` — which is what buys the campaign a
+**per-program wall-clock timeout** (a hung compile kills its worker and the
+pool is replaced; the campaign keeps going) and ``--jobs N`` parallelism
+for free.
+
+Counterexamples are shrunk in the parent process (shrinking re-runs the
+checks dozens of times; doing it next to the warm parent cache is the cheap
+place) and persisted to the corpus directory, where pytest replays them
+forever after.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .generator import DEFAULT_OPTIONS, FuzzProgram, GeneratorOptions, \
+    generate_program
+from .lattice import ConfigPoint, Violation, check_program, default_matrix
+
+__all__ = ["FuzzJob", "CampaignReport", "run_one_seed", "run_campaign",
+           "execute_fuzz_payload"]
+
+
+@dataclass
+class FuzzJob:
+    """One seed's trip through the matrix (batch-engine job, kind='fuzz')."""
+
+    seed: int
+    options: GeneratorOptions = field(default=DEFAULT_OPTIONS)
+    matrix: Optional[Tuple[ConfigPoint, ...]] = None
+    oracle_prec: int = 60
+    tag: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "fuzz"
+
+    def to_payload(self) -> Dict[str, Any]:
+        matrix = self.matrix if self.matrix is not None else default_matrix()
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "options": self.options.to_dict(),
+            "matrix": [p.to_dict() for p in matrix],
+            "oracle_prec": self.oracle_prec,
+            "tag": dict(self.tag),
+        }
+
+
+def run_one_seed(seed: int, options: GeneratorOptions = DEFAULT_OPTIONS,
+                 matrix: Optional[Tuple[ConfigPoint, ...]] = None,
+                 service=None, oracle_prec: int = 60) -> Dict[str, Any]:
+    """Generate, check, and summarize one seed (JSON-safe)."""
+    program = generate_program(seed, options)
+    report = check_program(program, matrix=matrix, service=service,
+                           oracle_prec=oracle_prec)
+    return {
+        "seed": seed,
+        "ok": report.ok,
+        "violations": [v.to_dict() for v in report.violations],
+        "notes": list(report.notes),
+        "oracle_skipped": report.oracle_skipped,
+        "intervals": {k: list(v) for k, v in report.intervals.items()},
+    }
+
+
+def execute_fuzz_payload(payload: Dict[str, Any], service) -> Dict[str, Any]:
+    """Batch-engine entry point (see ``repro.service.jobs.execute_job``)."""
+    matrix = tuple(ConfigPoint.from_dict(p) for p in payload["matrix"])
+    options = GeneratorOptions.from_dict(payload["options"])
+    value = run_one_seed(payload["seed"], options=options, matrix=matrix,
+                         service=service,
+                         oracle_prec=payload.get("oracle_prec", 60))
+    value["tag"] = payload.get("tag", {})
+    service.stats.add("fuzz_seeds")
+    if not value["ok"]:
+        service.stats.add("fuzz_violations", len(value["violations"]))
+    return value
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one fuzzing campaign."""
+
+    seeds_run: int = 0
+    seeds_failed: int = 0      # engine-level failures (timeout, worker death)
+    violations: List[Violation] = field(default_factory=list)
+    reproducers: List[str] = field(default_factory=list)  # corpus paths
+    notes: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    timed_out_seeds: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.timed_out_seeds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seeds_run": self.seeds_run,
+            "seeds_failed": self.seeds_failed,
+            "violations": [v.to_dict() for v in self.violations],
+            "reproducers": list(self.reproducers),
+            "notes": list(self.notes),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "timed_out_seeds": list(self.timed_out_seeds),
+            "ok": self.ok,
+        }
+
+
+def run_campaign(seconds: Optional[float] = None,
+                 iterations: Optional[int] = None,
+                 jobs: int = 1,
+                 seed: int = 0,
+                 options: GeneratorOptions = DEFAULT_OPTIONS,
+                 matrix: Optional[Tuple[ConfigPoint, ...]] = None,
+                 timeout_s: Optional[float] = 60.0,
+                 cache_dir: Optional[str] = None,
+                 corpus_dir: Optional[str] = None,
+                 shrink: bool = True,
+                 shrink_steps: int = 120,
+                 stats=None,
+                 log=None) -> CampaignReport:
+    """Run a campaign until the time budget or iteration count is spent.
+
+    Seeds are ``seed, seed+1, ...`` — a campaign is reproducible from its
+    starting seed.  ``jobs > 1`` fans seeds out over the batch engine's
+    process pool with a per-seed wall-clock ``timeout_s``; serial campaigns
+    run in-process (no preemption, but also no pool startup cost — right
+    for pytest smoke).  Violations are shrunk and, when ``corpus_dir`` is
+    given, persisted as replayable reproducers.
+    """
+    from ..service import BatchEngine
+    from .corpus import save_reproducer
+
+    if seconds is None and iterations is None:
+        iterations = 100
+    if matrix is None:
+        matrix = default_matrix()
+    engine = BatchEngine(jobs=jobs, timeout_s=timeout_s,
+                         cache_dir=cache_dir, stats=stats)
+    report = CampaignReport()
+    t0 = time.monotonic()
+    next_seed = seed
+    # Keep every worker busy without building one huge up-front batch the
+    # deadline would then overshoot.
+    round_size = max(jobs, 1) * 4
+
+    def out(msg: str) -> None:
+        if log is not None:
+            log(msg)
+
+    while True:
+        if iterations is not None and report.seeds_run >= iterations:
+            break
+        if seconds is not None and time.monotonic() - t0 >= seconds:
+            break
+        n = round_size
+        if iterations is not None:
+            n = min(n, iterations - report.seeds_run)
+        batch = [FuzzJob(seed=s, options=options, matrix=matrix)
+                 for s in range(next_seed, next_seed + n)]
+        next_seed += n
+        for result in engine.run(batch):
+            report.seeds_run += 1
+            if not result.ok:
+                report.seeds_failed += 1
+                if result.timed_out:
+                    report.timed_out_seeds.append(batch[result.index].seed)
+                    out(f"seed {batch[result.index].seed}: TIMED OUT "
+                        f"({result.error})")
+                else:
+                    # A worker crash is a finding too — surface it as a
+                    # crash violation against the whole matrix.
+                    report.violations.append(Violation(
+                        kind="crash", config_name="<engine>",
+                        detail=str(result.error),
+                        program=generate_program(
+                            batch[result.index].seed, options).to_dict()))
+                    out(f"seed {batch[result.index].seed}: engine failure")
+                continue
+            value = result.value
+            report.notes.extend(value.get("notes", []))
+            if value["ok"]:
+                continue
+            for vdict in value["violations"]:
+                violation = Violation.from_dict(vdict)
+                out(f"seed {value['seed']}: {violation.kind} "
+                    f"[{violation.config_name}] {violation.detail}")
+                violation = _shrink_violation(
+                    violation, matrix, shrink=shrink,
+                    shrink_steps=shrink_steps, out=out)
+                report.violations.append(violation)
+                if corpus_dir is not None:
+                    path = save_reproducer(corpus_dir, violation, matrix)
+                    report.reproducers.append(path)
+                    out(f"  reproducer -> {path}")
+    report.elapsed_s = time.monotonic() - t0
+    if stats is not None:
+        # Serial campaigns already counted per-seed inside execute_job;
+        # fold parent-side summary counters in either way.
+        stats.add("fuzz_campaign_s", report.elapsed_s)
+    return report
+
+
+def _shrink_violation(violation: Violation,
+                      matrix: Sequence[ConfigPoint],
+                      shrink: bool, shrink_steps: int, out) -> Violation:
+    """Replace the violation's program with a minimal one showing the same
+    (kind, config) failure."""
+    from .shrink import shrink_program
+
+    if not shrink or not violation.program:
+        return violation
+    program = FuzzProgram.from_dict(violation.program)
+    point = next((p for p in matrix if p.name == violation.config_name), None)
+    check_matrix = tuple(matrix)
+
+    def still_fails(candidate: FuzzProgram) -> bool:
+        rep = check_program(candidate, matrix=check_matrix)
+        return any(v.kind == violation.kind
+                   and (point is None or v.config_name == violation.config_name)
+                   for v in rep.violations)
+
+    small = shrink_program(program, still_fails, max_steps=shrink_steps)
+    if len(small.stmts) < len(program.stmts) or small != program:
+        out(f"  shrunk {len(program.stmts)} -> {len(small.stmts)} statements")
+    rep = check_program(small, matrix=check_matrix)
+    match = next((v for v in rep.violations
+                  if v.kind == violation.kind), None)
+    if match is not None:
+        match.program = small.to_dict()
+        match.source = small.c_source()
+        return match
+    violation.program = small.to_dict()
+    violation.source = small.c_source()
+    return violation

@@ -1,0 +1,149 @@
+"""Reproducer corpus: every bug the fuzzer ever found, replayed forever.
+
+A corpus entry is one JSON file holding the (shrunken) program, the inputs,
+the configuration matrix it failed under, and a human-readable rendering of
+the C source.  ``tests/fuzz/test_corpus.py`` replays every committed entry
+on every test run, so a fixed bug stays fixed: the entry fails on the
+pre-fix code and passes afterwards.
+
+File names are content-addressed (``<kind>-<digest>.json``) so re-finding
+the same minimal program is idempotent rather than corpus spam.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .generator import program_from_dict
+from .lattice import AgreementReport, ConfigPoint, Violation, check_program
+
+__all__ = ["save_reproducer", "load_corpus", "replay_entry",
+           "default_corpus_dir"]
+
+SCHEMA = 1
+
+
+def default_corpus_dir() -> str:
+    """``tests/fuzz/corpus`` relative to the repository root, best effort:
+    walk up from this file looking for the tests directory."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for _ in range(6):
+        candidate = os.path.join(here, "tests", "fuzz", "corpus")
+        if os.path.isdir(os.path.dirname(candidate)) \
+                or os.path.isdir(candidate):
+            return candidate
+        here = os.path.dirname(here)
+    return os.path.join(os.getcwd(), "tests", "fuzz", "corpus")
+
+
+def save_reproducer(corpus_dir: str, violation: Violation,
+                    matrix: Sequence[ConfigPoint],
+                    description: Optional[str] = None) -> str:
+    """Write one corpus entry; returns its path (stable per content)."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    entry = {
+        "schema": SCHEMA,
+        "kind": violation.kind,
+        "config_name": violation.config_name,
+        "detail": violation.detail,
+        "description": description or violation.detail,
+        "program": violation.program,
+        "matrix": [p.to_dict() for p in matrix],
+        "source": violation.source
+        or program_from_dict(violation.program).c_source(),
+    }
+    blob = json.dumps({k: entry[k] for k in ("kind", "program", "matrix")},
+                      sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+    path = os.path.join(corpus_dir, f"{violation.kind}-{digest}.json")
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(corpus_dir: Optional[str] = None
+                ) -> List[Tuple[str, Dict[str, Any]]]:
+    """All (path, entry) pairs in the corpus, sorted by file name."""
+    corpus_dir = corpus_dir or default_corpus_dir()
+    if not os.path.isdir(corpus_dir):
+        return []
+    out = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path) as fh:
+            out.append((path, json.load(fh)))
+    return out
+
+
+def replay_entry(entry: Dict[str, Any], service=None) -> AgreementReport:
+    """Re-run one corpus entry through its checks.
+
+    The caller asserts ``report.ok`` — i.e. the bug this entry reproduced
+    stays fixed *and* (for program entries) the oracle-containment property
+    holds on it.  Two entry types:
+
+    * ``type: "program"`` (default) — full agreement-lattice check of a
+      generated or raw-C program under the entry's config matrix.
+    * ``type: "runtime-api"`` — direct :class:`repro.compiler.runtime.
+      Runtime` calls; catches bugs in the runtime surface that generated
+      code cannot reach (codegen wraps every scalar before the call).
+    """
+    if entry.get("type", "program") == "runtime-api":
+        return _replay_runtime_api(entry)
+    program = program_from_dict(entry["program"])
+    matrix = tuple(ConfigPoint.from_dict(p) for p in entry["matrix"])
+    return check_program(program, matrix=matrix, service=service)
+
+
+def _replay_runtime_api(entry: Dict[str, Any]) -> AgreementReport:
+    """Execute direct Runtime calls; any exception or a range result that
+    fails the entry's containment expectation is a violation."""
+    from ..aa import AffineContext
+    from ..compiler.runtime import Runtime
+    from ..common import DecisionPolicy
+
+    report = AgreementReport()
+    policy = DecisionPolicy(entry.get("decision_policy", "central"))
+    for mode in entry.get("modes", ["ia", "ia_dd", "aa"]):
+        # In aa mode the Runtime inherits the context's policy, so the
+        # entry's policy must be installed on the context itself.
+        ctx = AffineContext(decision_policy=policy) if mode == "aa" else None
+        rt = Runtime(mode=mode, ctx=ctx, decision_policy=policy)
+        for call in entry["calls"]:
+            args = [rt.input(a["input"]) if isinstance(a, dict) else a
+                    for a in call["args"]]
+            try:
+                result = rt.__getattribute__(call["op"])(*args)
+            except Exception as exc:
+                report.violations.append(Violation(
+                    kind="crash", config_name=mode,
+                    detail=f"{call['op']}{tuple(call['args'])!r}: "
+                           f"{type(exc).__name__}: {exc}"))
+                continue
+            if "expect" in call and result != call["expect"]:
+                report.violations.append(Violation(
+                    kind="wrong-result", config_name=mode,
+                    detail=f"{call['op']} returned {result!r}, expected "
+                           f"{call['expect']!r}"))
+            if "contains" in call:
+                iv = result.interval()
+                if not (iv.lo <= call["contains"] <= iv.hi):
+                    report.violations.append(Violation(
+                        kind="oracle-containment", config_name=mode,
+                        detail=f"{call['op']} enclosure [{iv.lo!r}, "
+                               f"{iv.hi!r}] misses {call['contains']!r}"))
+            expect_amb = call.get("expect_ambiguous")
+            if expect_amb is not None \
+                    and rt.stats.ambiguous_branches != expect_amb:
+                report.violations.append(Violation(
+                    kind="wrong-result", config_name=mode,
+                    detail=f"{call['op']} charged "
+                           f"{rt.stats.ambiguous_branches} ambiguous "
+                           f"branches, expected {expect_amb}"))
+    return report

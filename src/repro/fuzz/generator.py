@@ -1,0 +1,313 @@
+"""Seeded, grammar-driven random programs in the supported C99 subset.
+
+Design constraint: the shrinker must be able to drop or simplify *any*
+statement and still have a valid program.  Expressions therefore reference
+earlier values by **index**, and rendering resolves an index against the
+list of names still alive (``names[ref % len(names)]``) — removing a
+statement can change which value a later reference resolves to, but never
+produces an unbound name, an uninitialized read, or a type error.
+
+Numeric hygiene: inputs live in ``[0.5, 2.0]``; every division is guarded
+(``a / (1.5 + b*b)``), ``sqrt``/``log`` arguments are forced positive, and
+``exp`` arguments are damped — so the *float* execution of a generated
+program never traps, and oracle-undefined runs stay rare.  Soundness bugs
+hide in the plumbing (comparisons, fmin/fmax, folding, condensation), not
+in manufactured overflows.
+
+Expressions and statements are plain nested tuples (JSON-safe), so a
+reproducer round-trips through the corpus files unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["GeneratorOptions", "FuzzProgram", "CSourceProgram",
+           "generate_program", "program_from_dict", "render_c",
+           "DEFAULT_OPTIONS"]
+
+# Expression grammar (nested tuples):
+#   ("ref", i)                      value reference, resolved modulo scope
+#   ("const", 1.25)                 double literal
+#   ("bin", "+|-|*", e1, e2)        unguarded arithmetic
+#   ("gdiv", e1, e2)                e1 / (1.5 + e2*e2)   (guarded division)
+#   ("call1", "sqrt|fabs|exp|log", e)   guarded unary math call
+#   ("call2", "fmin|fmax", e1, e2)  binary math call
+#
+# Statement grammar (each statement defines exactly one new double):
+#   ("assign", expr)
+#   ("loop", trips, op, expr)       t = t0; repeat trips: t = t op expr
+#   ("branch", ref_a, ref_b, e_then, e_else)   t = (a < b) ? e_then : e_else
+#   ("array", (e0, e1, e2))         double a[3] = filled; t = a0+a1+a2
+
+BIN_OPS = ("+", "-", "*")
+UNARY_CALLS = ("sqrt", "fabs", "exp", "log")
+BINARY_CALLS = ("fmin", "fmax")
+
+
+@dataclass(frozen=True)
+class GeneratorOptions:
+    """Size/shape knobs for one generated program."""
+
+    n_inputs: int = 3
+    n_stmts: int = 10
+    max_expr_depth: int = 3
+    p_loop: float = 0.15
+    p_branch: float = 0.15
+    p_array: float = 0.10
+    allow_div: bool = True
+    allow_math: bool = True
+    max_trips: int = 4
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_inputs": self.n_inputs,
+            "n_stmts": self.n_stmts,
+            "max_expr_depth": self.max_expr_depth,
+            "p_loop": self.p_loop,
+            "p_branch": self.p_branch,
+            "p_array": self.p_array,
+            "allow_div": self.allow_div,
+            "allow_math": self.allow_math,
+            "max_trips": self.max_trips,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GeneratorOptions":
+        return cls(**data)
+
+
+DEFAULT_OPTIONS = GeneratorOptions()
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One generated program plus the concrete inputs it is fuzzed at."""
+
+    seed: int
+    n_inputs: int
+    stmts: Tuple[Any, ...]
+    inputs: Tuple[float, ...]
+    options: GeneratorOptions = field(default=DEFAULT_OPTIONS)
+
+    @property
+    def entry(self) -> str:
+        return "fuzz_target"
+
+    def c_source(self) -> str:
+        return render_c(self)
+
+    def with_stmts(self, stmts: Sequence[Any]) -> "FuzzProgram":
+        return replace(self, stmts=tuple(stmts))
+
+    # -- corpus serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "n_inputs": self.n_inputs,
+            "stmts": _to_jsonable(self.stmts),
+            "inputs": list(self.inputs),
+            "options": self.options.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzProgram":
+        return cls(
+            seed=int(data["seed"]),
+            n_inputs=int(data["n_inputs"]),
+            stmts=_from_jsonable(data["stmts"]),
+            inputs=tuple(float(x) for x in data["inputs"]),
+            options=GeneratorOptions.from_dict(data.get("options", {})),
+        )
+
+
+@dataclass(frozen=True)
+class CSourceProgram:
+    """A hand-written reproducer: raw C source instead of generated AST.
+
+    Shares the duck-typed surface :func:`repro.fuzz.lattice.check_program`
+    uses (``c_source()``, ``entry``, ``inputs``, ``to_dict()``), so corpus
+    entries can hold programs the grammar cannot express (e.g. ``==``
+    comparisons on NaN ranges).  Not shrinkable — these are committed
+    already minimal.
+    """
+
+    source: str
+    inputs: Tuple[float, ...]
+    entry: str = "fuzz_target"
+
+    def c_source(self) -> str:
+        return self.source
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"c_source": self.source, "inputs": list(self.inputs),
+                "entry": self.entry}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CSourceProgram":
+        return cls(source=data["c_source"],
+                   inputs=tuple(float(x) for x in data["inputs"]),
+                   entry=data.get("entry", "fuzz_target"))
+
+
+def program_from_dict(data: Dict[str, Any]):
+    """Corpus deserialization: raw-C entries carry ``c_source``, generated
+    entries carry the statement AST."""
+    if "c_source" in data:
+        return CSourceProgram.from_dict(data)
+    return FuzzProgram.from_dict(data)
+
+
+def _to_jsonable(node):
+    if isinstance(node, tuple):
+        return [_to_jsonable(x) for x in node]
+    return node
+
+
+def _from_jsonable(node):
+    if isinstance(node, list):
+        return tuple(_from_jsonable(x) for x in node)
+    return node
+
+
+# -- generation ------------------------------------------------------------------
+
+
+def generate_program(seed: int,
+                     options: GeneratorOptions = DEFAULT_OPTIONS
+                     ) -> FuzzProgram:
+    """Deterministically generate one program: same seed, same program."""
+    rng = random.Random(seed)
+    inputs = tuple(round(rng.uniform(0.5, 2.0), 6)
+                   for _ in range(options.n_inputs))
+    stmts: List[Any] = []
+    for _ in range(options.n_stmts):
+        stmts.append(_gen_stmt(rng, options))
+    return FuzzProgram(seed=seed, n_inputs=options.n_inputs,
+                       stmts=tuple(stmts), inputs=inputs, options=options)
+
+
+def _gen_stmt(rng: random.Random, opt: GeneratorOptions):
+    r = rng.random()
+    if r < opt.p_loop:
+        trips = rng.randint(1, opt.max_trips)
+        op = rng.choice(BIN_OPS)
+        return ("loop", trips, op, _gen_expr(rng, opt, depth=1))
+    r -= opt.p_loop
+    if r < opt.p_branch:
+        return ("branch", rng.randrange(64), rng.randrange(64),
+                _gen_expr(rng, opt, depth=1), _gen_expr(rng, opt, depth=1))
+    r -= opt.p_branch
+    if r < opt.p_array:
+        return ("array", tuple(_gen_expr(rng, opt, depth=1)
+                               for _ in range(3)))
+    return ("assign", _gen_expr(rng, opt, depth=0))
+
+
+def _gen_expr(rng: random.Random, opt: GeneratorOptions, depth: int):
+    if depth >= opt.max_expr_depth or rng.random() < 0.3:
+        if rng.random() < 0.25:
+            return ("const", round(rng.uniform(0.1, 2.5), 4))
+        return ("ref", rng.randrange(64))
+    choices = ["bin", "bin"]  # weight plain arithmetic highest
+    if opt.allow_div:
+        choices.append("gdiv")
+    if opt.allow_math:
+        choices += ["call1", "call2"]
+    kind = rng.choice(choices)
+    if kind == "bin":
+        return ("bin", rng.choice(BIN_OPS),
+                _gen_expr(rng, opt, depth + 1), _gen_expr(rng, opt, depth + 1))
+    if kind == "gdiv":
+        return ("gdiv", _gen_expr(rng, opt, depth + 1),
+                _gen_expr(rng, opt, depth + 1))
+    if kind == "call1":
+        return ("call1", rng.choice(UNARY_CALLS),
+                _gen_expr(rng, opt, depth + 1))
+    return ("call2", rng.choice(BINARY_CALLS),
+            _gen_expr(rng, opt, depth + 1), _gen_expr(rng, opt, depth + 1))
+
+
+# -- rendering -------------------------------------------------------------------
+
+
+def _fmt(c: float) -> str:
+    # repr keeps the value exact; C and Python parse it identically.
+    return repr(float(c))
+
+
+def _render_expr(expr, names: List[str]) -> str:
+    kind = expr[0]
+    if kind == "ref":
+        return names[expr[1] % len(names)]
+    if kind == "const":
+        return _fmt(expr[1])
+    if kind == "bin":
+        _, op, a, b = expr
+        return f"({_render_expr(a, names)} {op} {_render_expr(b, names)})"
+    if kind == "gdiv":
+        _, a, b = expr
+        rb = _render_expr(b, names)
+        return f"({_render_expr(a, names)} / (1.5 + {rb} * {rb}))"
+    if kind == "call1":
+        _, fn, a = expr
+        ra = _render_expr(a, names)
+        if fn == "sqrt":
+            return f"sqrt(fabs({ra}) + 0.125)"
+        if fn == "log":
+            return f"log(1.5 + fabs({ra}))"
+        if fn == "exp":
+            # Damp the argument so exp stays far from overflow even after
+            # a few compounding statements.
+            return f"exp({ra} * 0.0625)"
+        return f"fabs({ra})"
+    if kind == "call2":
+        _, fn, a, b = expr
+        return f"{fn}({_render_expr(a, names)}, {_render_expr(b, names)})"
+    raise ValueError(f"unknown expression node {expr!r}")
+
+
+def render_c(program: FuzzProgram) -> str:
+    """Render to C.  Always valid, whatever subset of statements remains."""
+    params = ", ".join(f"double x{i}" for i in range(program.n_inputs))
+    names = [f"x{i}" for i in range(program.n_inputs)]
+    lines = [f"double {program.entry}({params}) {{"]
+    for i, stmt in enumerate(program.stmts):
+        t = f"t{i}"
+        kind = stmt[0]
+        if kind == "assign":
+            lines.append(f"    double {t} = {_render_expr(stmt[1], names)};")
+        elif kind == "loop":
+            _, trips, op, expr = stmt
+            step = _render_expr(expr, names)
+            lines.append(f"    double {t} = {names[-1]};")
+            lines.append(f"    for (int i{i} = 0; i{i} < {trips}; i{i}++) {{")
+            lines.append(f"        {t} = ({t} {op} {step}) * 0.5;")
+            lines.append("    }")
+        elif kind == "branch":
+            _, ra, rb, then_e, else_e = stmt
+            a = names[ra % len(names)]
+            b = names[rb % len(names)]
+            lines.append(f"    double {t} = 0.0;")
+            lines.append(f"    if ({a} < {b}) {{")
+            lines.append(f"        {t} = {_render_expr(then_e, names)};")
+            lines.append("    } else {")
+            lines.append(f"        {t} = {_render_expr(else_e, names)};")
+            lines.append("    }")
+        elif kind == "array":
+            _, elems = stmt
+            arr = f"a{i}"
+            lines.append(f"    double {arr}[3];")
+            for j, e in enumerate(elems):
+                lines.append(f"    {arr}[{j}] = {_render_expr(e, names)};")
+            lines.append(
+                f"    double {t} = ({arr}[0] + {arr}[1] + {arr}[2]) * 0.25;")
+        else:
+            raise ValueError(f"unknown statement {stmt!r}")
+        names.append(t)
+    lines.append(f"    return {names[-1]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,280 @@
+"""The agreement lattice: what must agree with what, and how strongly.
+
+One generated program is compiled at several configurations and executed on
+the same concrete inputs.  The lattice classifies every cross-configuration
+relation as a **theorem** (a breach is a bug in this repo, full stop) or a
+**heuristic** (usually true, recorded for triage, never a failure):
+
+Theorems (checked → :class:`Violation`):
+
+* *oracle containment* — every sound configuration's enclosure contains the
+  high-precision oracle interval ``D`` (``D ⊆ R``, or ``R ⊆ D`` when the
+  produced range is tighter than the oracle's 60-digit slop — see
+  ``agrees``).  Gated on the run taking no ambiguous branch and the oracle
+  deciding every branch: once a branch is decided centrally the soundness
+  certificate is void by construction, and disagreement is expected.
+* *float containment* — the plain unsound double execution lies inside
+  every sound enclosure (same gating; the affine program tracks exactly the
+  float program's rounding).
+* *ia opt == unopt* — interval arithmetic is deterministic per operation
+  and the TAC optimizer only reorders/reuses bit-identical computations, so
+  the optimized pipeline must produce the **identical** enclosure.
+* *no crashes* — compilation and execution never raise (ambiguous-branch
+  errors under STRICT and oracle give-ups are expected outcomes, not
+  crashes).
+
+Heuristics (recorded in :class:`AgreementReport.notes`, never failures):
+
+* *bounded-k ⊆ full affine* — NOT a theorem: condensation order shifts with
+  symbol renumbering (PR 2's note), so a bounded form can poke outside the
+  full-affine enclosure without any bug.
+* *scalar == vectorized* — usually bit-identical, but the vectorized kernel
+  may place/condense symbols in a different order; both are still checked
+  against the oracle individually (that part *is* the theorem).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..compiler.config import CompilerConfig
+
+__all__ = ["ConfigPoint", "Violation", "AgreementReport", "default_matrix",
+           "check_program", "agrees"]
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One corner of the differential matrix."""
+
+    name: str
+    config: CompilerConfig
+    sound: bool  # does this configuration claim a soundness certificate?
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "config": self.config.to_dict(),
+                "sound": self.sound}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConfigPoint":
+        return cls(name=data["name"],
+                   config=CompilerConfig.from_dict(data["config"]),
+                   sound=bool(data["sound"]))
+
+
+def default_matrix(k: int = 8) -> Tuple[ConfigPoint, ...]:
+    """The standard differential matrix: float baseline, ia with and
+    without the optimizer, bounded-k affine, full affine, vectorized."""
+    return (
+        ConfigPoint("float", CompilerConfig(mode="float"), sound=False),
+        ConfigPoint("ia", CompilerConfig(mode="ia"), sound=True),
+        ConfigPoint("ia-noopt", CompilerConfig(mode="ia", opt=False),
+                    sound=True),
+        ConfigPoint("aa-bounded", CompilerConfig(mode="aa", k=k), sound=True),
+        ConfigPoint("aa-full", CompilerConfig(mode="aa", impl="full"),
+                    sound=True),
+        ConfigPoint("aa-vec", CompilerConfig(mode="aa", k=k, vectorize=True),
+                    sound=True),
+    )
+
+
+@dataclass
+class Violation:
+    """One lattice breach: a bug until proven otherwise."""
+
+    kind: str          # crash | oracle-containment | float-containment |
+                       # opt-divergence
+    config_name: str
+    detail: str
+    program: Dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "config_name": self.config_name,
+                "detail": self.detail, "program": self.program,
+                "source": self.source}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(kind=data["kind"], config_name=data["config_name"],
+                   detail=data["detail"], program=data.get("program", {}),
+                   source=data.get("source", ""))
+
+
+@dataclass
+class AgreementReport:
+    """Everything one program's trip through the matrix produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    intervals: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    float_value: Optional[float] = None
+    oracle_skipped: Optional[str] = None
+    ambiguous: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "violations": [v.to_dict() for v in self.violations],
+            "notes": list(self.notes),
+            "intervals": {k: list(v) for k, v in self.intervals.items()},
+            "float_value": self.float_value,
+            "oracle_skipped": self.oracle_skipped,
+            "ambiguous": dict(self.ambiguous),
+        }
+
+
+def agrees(range_value, dec) -> bool:
+    """Sound agreement between a produced range and the oracle interval.
+
+    The oracle interval ``D`` contains the real result; the produced range
+    ``R`` is sound iff it contains the real result.  We accept ``D ⊆ R``
+    (the usual case) or ``R ⊆ D`` (R tighter than the oracle's directed-
+    rounding slop, e.g. exact cancellation giving R = {0}); a meaningfully
+    unsound R cannot hide inside a 60-digit-wide D.
+    """
+    lo, hi = dec.to_fractions()
+    if range_value.contains(lo) and range_value.contains(hi):
+        return True
+    iv = range_value.interval()
+    if not (math.isfinite(iv.lo) and math.isfinite(iv.hi)):
+        return True  # unbounded or invalid range: vacuously sound
+    return lo <= Fraction(iv.lo) and Fraction(iv.hi) <= hi
+
+
+def _run_oracle(source: str, inputs, entry: str, prec: int = 60):
+    """(oracle interval, None) or (None, reason-it-was-skipped)."""
+    from ..bench.oracle import (ExactOracle, OracleAmbiguous,
+                                OracleUndefined)
+
+    try:
+        truth = ExactOracle(source, entry=entry, prec=prec).run(*inputs)
+        value = truth["value"]
+        if value is None:
+            return None, "oracle returned no value"
+        return value, None
+    except OracleAmbiguous as exc:
+        return None, f"oracle ambiguous: {exc}"
+    except OracleUndefined as exc:
+        return None, f"oracle undefined: {exc}"
+    except Exception as exc:
+        # A program every config already failed to compile reaches here too
+        # (the crash violations are recorded); an oracle-side give-up is a
+        # skip, never a propagated exception.
+        return None, f"oracle crashed: {type(exc).__name__}: {exc}"
+
+
+def check_program(program, matrix: Tuple[ConfigPoint, ...] = None,
+                  service=None, oracle_prec: int = 60) -> AgreementReport:
+    """Compile+run ``program`` at every matrix point and check the lattice.
+
+    ``program`` is a :class:`repro.fuzz.generator.FuzzProgram`;
+    ``service`` (optional) is a :class:`repro.service.CompileService` whose
+    cache the compilations go through — the campaign's pool workers pass
+    their process-local service in, so repeated shrink steps on related
+    programs stay warm.
+    """
+    from ..errors import ReproError
+    from .generator import FuzzProgram  # noqa: F401  (type documented above)
+
+    if matrix is None:
+        matrix = default_matrix()
+    source = program.c_source()
+    report = AgreementReport()
+    results: Dict[str, Any] = {}
+
+    for point in matrix:
+        try:
+            prog = _compile(source, point.config, program.entry, service)
+            res = prog(*program.inputs)
+        except ReproError as exc:
+            report.violations.append(Violation(
+                kind="crash", config_name=point.name,
+                detail=f"{type(exc).__name__}: {exc}",
+                program=program.to_dict(), source=source))
+            continue
+        except Exception as exc:  # non-Repro exceptions are bugs outright
+            report.violations.append(Violation(
+                kind="crash", config_name=point.name,
+                detail=f"{type(exc).__name__}: {exc}",
+                program=program.to_dict(), source=source))
+            continue
+        results[point.name] = res
+        if point.sound:
+            iv = res.value.interval() if hasattr(res.value, "interval") \
+                else res.value
+            report.intervals[point.name] = (iv.lo, iv.hi)
+            report.ambiguous[point.name] = res.stats.ambiguous_branches
+        else:
+            report.float_value = res.value
+
+    # -- theorem: the optimized ia pipeline is bit-identical ----------------------
+    if "ia" in report.intervals and "ia-noopt" in report.intervals:
+        if report.intervals["ia"] != report.intervals["ia-noopt"]:
+            report.violations.append(Violation(
+                kind="opt-divergence", config_name="ia",
+                detail=(f"opt {report.intervals['ia']} != "
+                        f"unopt {report.intervals['ia-noopt']}"),
+                program=program.to_dict(), source=source))
+
+    # -- theorem: float execution inside every sound enclosure --------------------
+    fv = report.float_value
+    if fv is not None and isinstance(fv, float) and math.isfinite(fv):
+        for name, (lo, hi) in report.intervals.items():
+            if report.ambiguous.get(name, 0):
+                continue  # certificate already void; disagreement expected
+            if math.isnan(lo):
+                continue  # invalid range absorbs everything
+            if not (lo <= fv <= hi):
+                report.violations.append(Violation(
+                    kind="float-containment", config_name=name,
+                    detail=f"float result {fv!r} outside [{lo!r}, {hi!r}]",
+                    program=program.to_dict(), source=source))
+
+    # -- theorem: oracle containment ----------------------------------------------
+    oracle, skipped = _run_oracle(source, program.inputs, program.entry,
+                                  prec=oracle_prec)
+    report.oracle_skipped = skipped
+    if oracle is not None:
+        for point in matrix:
+            if not point.sound or point.name not in results:
+                continue
+            if report.ambiguous.get(point.name, 0):
+                continue
+            value = results[point.name].value
+            if not agrees(value, oracle):
+                lo, hi = report.intervals[point.name]
+                report.violations.append(Violation(
+                    kind="oracle-containment", config_name=point.name,
+                    detail=(f"enclosure [{lo!r}, {hi!r}] does not contain "
+                            f"oracle [{oracle.lo}, {oracle.hi}]"),
+                    program=program.to_dict(), source=source))
+
+    # -- heuristics: recorded, never failures -------------------------------------
+    if "aa-bounded" in report.intervals and "aa-full" in report.intervals:
+        blo, bhi = report.intervals["aa-bounded"]
+        flo, fhi = report.intervals["aa-full"]
+        if not (math.isnan(blo) or math.isnan(flo)) \
+                and not (blo <= flo and fhi <= bhi):
+            report.notes.append(
+                "bounded-k enclosure does not contain full-affine "
+                "(expected occasionally: condensation order is not a theorem)")
+    if "aa-bounded" in report.intervals and "aa-vec" in report.intervals:
+        if report.intervals["aa-bounded"] != report.intervals["aa-vec"]:
+            report.notes.append("scalar and vectorized enclosures differ "
+                                "(each is checked against the oracle)")
+    return report
+
+
+def _compile(source: str, config: CompilerConfig, entry: str, service):
+    if service is not None:
+        return service.compile(source, config, entry=entry)
+    from ..compiler import compile_c
+
+    return compile_c(source, config, entry=entry)

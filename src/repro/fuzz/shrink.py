@@ -1,0 +1,131 @@
+"""Delta-debugging for fuzz counterexamples.
+
+Works on the generator's statement list, not on C text: because expression
+references resolve modulo the live scope (see :mod:`generator`), *every*
+subset of statements renders to a valid program, so shrinking is ordinary
+ddmin over the statement tuple followed by per-statement simplification —
+no re-parsing, no rename bookkeeping, and fully deterministic.
+
+``is_failing`` is any predicate over a :class:`FuzzProgram`; the campaign
+passes "re-run the lattice check and see the same violation kind".  Each
+candidate costs several compilations, so the step budget is bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from .generator import FuzzProgram
+
+__all__ = ["shrink_program"]
+
+
+def shrink_program(program: FuzzProgram,
+                   is_failing: Callable[[FuzzProgram], bool],
+                   max_steps: int = 200) -> FuzzProgram:
+    """Smallest program (statement count, then statement complexity) that
+    still satisfies ``is_failing``.  Returns ``program`` unchanged if the
+    predicate does not hold on it (nothing to shrink)."""
+    budget = [max_steps]
+
+    def check(candidate: FuzzProgram) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return bool(is_failing(candidate))
+        except Exception:
+            # A shrink candidate that breaks the harness itself is not a
+            # smaller reproducer of *this* bug.
+            return False
+
+    if not check(program):
+        return program
+    program = _ddmin_stmts(program, check)
+    program = _simplify_stmts(program, check)
+    # Simplification can unlock further removals (e.g. a branch collapsed
+    # to an assign may now be deletable); one more removal sweep is cheap.
+    program = _ddmin_stmts(program, check)
+    return program
+
+
+def _ddmin_stmts(program: FuzzProgram, check) -> FuzzProgram:
+    """Classic ddmin on the statement tuple."""
+    stmts = list(program.stmts)
+    chunk = max(1, len(stmts) // 2)
+    while len(stmts) > 1:
+        removed_any = False
+        i = 0
+        while i < len(stmts):
+            candidate = stmts[:i] + stmts[i + chunk:]
+            if candidate and check(program.with_stmts(candidate)):
+                stmts = candidate  # same i now names the next chunk
+                removed_any = True
+            else:
+                i += chunk
+        if removed_any:
+            chunk = min(chunk, max(1, len(stmts) // 2))
+        elif chunk == 1:
+            break
+        else:
+            chunk //= 2
+    return program.with_stmts(stmts)
+
+
+def _simplify_stmts(program: FuzzProgram, check) -> FuzzProgram:
+    """Try cheaper forms of each surviving statement, largest jumps first.
+
+    Iterates to a fixpoint: accepting ``bin(a, b) -> a`` exposes ``a``'s own
+    sub-expressions on the next sweep, so deep expressions shrink all the
+    way to a leaf (the check budget still bounds total work).
+    """
+    stmts = list(program.stmts)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(stmts)):
+            for candidate in _simpler_versions(stmts[i]):
+                trial = program.with_stmts(stmts[:i] + [candidate]
+                                           + stmts[i + 1:])
+                if check(trial):
+                    stmts[i] = candidate
+                    changed = True
+                    break
+    return program.with_stmts(stmts)
+
+
+def _simpler_versions(stmt) -> List[Any]:
+    """Simplification ladder for one statement (most aggressive first)."""
+    kind = stmt[0]
+    out: List[Any] = []
+    if kind == "loop":
+        _, trips, op, expr = stmt
+        out.append(("assign", expr))
+        if trips > 1:
+            out.append(("loop", 1, op, expr))
+    elif kind == "branch":
+        _, ra, rb, then_e, else_e = stmt
+        out.append(("assign", then_e))
+        out.append(("assign", else_e))
+    elif kind == "array":
+        _, elems = stmt
+        out.extend(("assign", e) for e in elems)
+    elif kind == "assign":
+        out.extend(("assign", e) for e in _simpler_exprs(stmt[1]))
+    return out
+
+
+def _simpler_exprs(expr) -> List[Any]:
+    """Replace an expression by its sub-expressions / a leaf."""
+    kind = expr[0]
+    if kind in ("ref", "const"):
+        return []
+    if kind == "bin":
+        return [expr[2], expr[3]]
+    if kind == "gdiv":
+        return [expr[1], expr[2]]
+    if kind == "call1":
+        return [expr[2]]
+    if kind == "call2":
+        return [expr[2], expr[3]]
+    return []

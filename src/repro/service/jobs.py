@@ -197,6 +197,12 @@ def jobs_from_json(path: str) -> List[CompileJob]:
 def execute_job(payload: Dict[str, Any], service) -> Dict[str, Any]:
     """Run one job payload against a :class:`CompileService`; returns the
     picklable result value."""
+    if payload["kind"] == "fuzz":
+        # One differential-fuzzing seed: generate, compile at every matrix
+        # point through this service's cache, check the agreement lattice.
+        from ..fuzz.campaign import execute_fuzz_payload
+
+        return execute_fuzz_payload(payload, service)
     cfg = CompilerConfig.from_dict(payload["config"])
     if payload["kind"] == "compile":
         return _execute_compile(payload, cfg, service)

@@ -192,6 +192,10 @@ class ServiceStats:
     jobs_failed: int = 0
     jobs_timed_out: int = 0
     jobs_retried: int = 0
+    # differential-fuzzer campaign counters (repro.fuzz)
+    fuzz_seeds: int = 0
+    fuzz_violations: int = 0
+    fuzz_campaign_s: float = 0.0
     pass_s: Dict[str, float] = field(default_factory=dict)
     ops: Dict[str, float] = field(default_factory=dict)
     latency: Dict[str, LatencyHistogram] = field(default_factory=dict)

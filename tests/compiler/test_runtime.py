@@ -98,6 +98,46 @@ class TestArithmeticDispatch:
         else:
             assert lo.contains(Fraction(1)) and hi.contains(Fraction(5))
 
+    # Mixed float/range operands are unreachable from generated code (the
+    # codegen wraps every scalar), but they are part of the Runtime API
+    # surface and used to crash: fmin/fmax skipped the _as_range coercion
+    # every comparison applies.  Both argument orders, all modes.
+    def test_fmin_mixed_operands(self, rt):
+        x = rt.input(1.0)
+        for got in (rt.fmin(2.0, x), rt.fmin(x, 2.0)):
+            if rt.mode == "float":
+                assert got == 1.0
+            else:
+                assert got.contains(Fraction(1))
+
+    def test_fmax_mixed_operands(self, rt):
+        x = rt.input(1.0)
+        for got in (rt.fmax(0.5, x), rt.fmax(x, 0.5)):
+            if rt.mode == "float":
+                assert got == 1.0
+            else:
+                assert got.contains(Fraction(1))
+
+    def test_fmin_fmax_mixed_scalar_wins(self, rt):
+        x = rt.input(1.0)
+        lo = rt.fmin(0.25, x)
+        hi = rt.fmax(2.0, x)
+        if rt.mode == "float":
+            assert (lo, hi) == (0.25, 2.0)
+        else:
+            assert lo.contains(Fraction(1, 4))
+            assert hi.contains(Fraction(2))
+
+    def test_float_fmin_fmax_nan_is_missing_data(self):
+        # C99 semantics: a NaN operand is ignored, the other one returned.
+        rt = Runtime(mode="float")
+        nan = float("nan")
+        assert rt.fmin(nan, 1.0) == 1.0
+        assert rt.fmin(1.0, nan) == 1.0
+        assert rt.fmax(nan, 1.0) == 1.0
+        assert rt.fmax(1.0, nan) == 1.0
+        assert math.isnan(rt.fmin(nan, nan))
+
 
 class TestComparisons:
     def test_definite(self, rt):
@@ -110,6 +150,61 @@ class TestComparisons:
     def test_eq_ne(self, rt):
         assert rt.eq(rt.exact(1.0), rt.exact(1.0))
         assert rt.ne(rt.exact(1.0), rt.exact(2.0))
+
+
+def _strict_runtime(mode):
+    from repro.common import DecisionPolicy
+
+    if mode == "aa":
+        # The aa Runtime inherits the context's policy; the argument is
+        # only honoured in the interval modes.
+        return Runtime(mode="aa",
+                       ctx=AffineContext(decision_policy=DecisionPolicy.STRICT))
+    return Runtime(mode=mode, decision_policy=DecisionPolicy.STRICT)
+
+
+class TestEqInvalidRanges:
+    """IEEE 754 semantics for invalid (NaN-absorbing) ranges: ``==`` is
+    definitely False and ``!=`` definitely True — no ambiguous-branch
+    charge, no STRICT raise.  The old central-value fallback compared NaN
+    midpoints and called identical arguments unequal while voiding the
+    certificate."""
+
+    @pytest.fixture(params=["ia", "ia_dd", "aa"])
+    def range_rt(self, request):
+        return Runtime(mode=request.param)
+
+    def _invalid(self, rt):
+        # sqrt of a definitely-negative range yields an invalid range in
+        # every sound mode (mirrors `sqrt(0.0 - x)` in generated code).
+        return rt.sqrt(rt.sub(rt.exact(0.0), rt.input(1.0)))
+
+    def test_eq_nan_is_definite_false(self, range_rt):
+        t = self._invalid(range_rt)
+        assert range_rt.eq(t, t) is False
+        assert range_rt.ne(t, t) is True
+
+    def test_eq_nan_charges_no_ambiguous_branch(self, range_rt):
+        t = self._invalid(range_rt)
+        range_rt.eq(t, t)
+        range_rt.ne(t, t)
+        assert range_rt.stats.ambiguous_branches == 0
+
+    @pytest.mark.parametrize("mode", ["ia", "ia_dd", "aa"])
+    def test_strict_does_not_raise_on_nan(self, mode):
+        rt = _strict_runtime(mode)
+        t = self._invalid(rt)
+        assert rt.eq(t, t) is False
+        assert rt.ne(t, t) is True
+
+    @pytest.mark.parametrize("mode", ["ia", "ia_dd", "aa"])
+    def test_strict_still_raises_on_genuine_overlap(self, mode):
+        from repro.errors import AmbiguousComparisonError
+
+        rt = _strict_runtime(mode)
+        a, b = rt.input(1.0), rt.input(1.0)
+        with pytest.raises(AmbiguousComparisonError):
+            rt.eq(a, b)
 
 
 class TestProtect:

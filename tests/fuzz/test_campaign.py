@@ -1,0 +1,79 @@
+"""Campaign orchestration: serial smoke, stats plumbing, reproducer
+persistence, and (behind the ``fuzz`` marker) a parallel soak."""
+
+import pytest
+
+from repro.fuzz import FuzzJob, run_campaign, run_one_seed
+from repro.fuzz.generator import GeneratorOptions
+from repro.fuzz.lattice import default_matrix
+from repro.service import CompileService, ServiceStats, execute_job
+
+
+class TestRunOneSeed:
+    def test_clean_seed(self):
+        value = run_one_seed(1)
+        assert value["seed"] == 1
+        assert value["ok"], value["violations"]
+        assert "ia" in value["intervals"]
+
+    def test_service_cache_reused(self):
+        service = CompileService()
+        run_one_seed(1, service=service)
+        misses = service.stats.to_dict()["misses"]
+        run_one_seed(1, service=service)
+        assert service.stats.to_dict()["misses"] == misses
+
+
+class TestJobPlumbing:
+    def test_payload_round_trips_through_execute_job(self):
+        job = FuzzJob(seed=2, options=GeneratorOptions(n_stmts=4),
+                      tag={"round": 0})
+        service = CompileService()
+        value = execute_job(job.to_payload(), service)
+        assert value["seed"] == 2
+        assert value["tag"] == {"round": 0}
+        assert service.stats.to_dict()["fuzz_seeds"] == 1
+
+    def test_violations_counted_in_stats(self):
+        service = CompileService()
+        value = execute_job(FuzzJob(seed=0).to_payload(), service)
+        snap = service.stats.to_dict()
+        assert snap["fuzz_violations"] == len(value["violations"])
+
+
+class TestCampaign:
+    def test_serial_smoke(self, tmp_path):
+        stats = ServiceStats()
+        report = run_campaign(iterations=3, jobs=1, seed=1,
+                              options=GeneratorOptions(n_stmts=5),
+                              cache_dir=str(tmp_path / "cache"),
+                              corpus_dir=str(tmp_path / "corpus"),
+                              stats=stats)
+        assert report.seeds_run == 3
+        assert report.ok, report.to_dict()
+        assert report.reproducers == []
+        snap = stats.to_dict()
+        assert snap["fuzz_seeds"] == 3
+        assert snap["fuzz_campaign_s"] > 0
+
+    def test_iteration_budget_respected(self):
+        report = run_campaign(iterations=2, jobs=1, seed=50,
+                              options=GeneratorOptions(n_stmts=3))
+        assert report.seeds_run == 2
+
+    def test_campaign_is_reproducible(self):
+        opts = GeneratorOptions(n_stmts=4)
+        a = run_campaign(iterations=2, jobs=1, seed=7, options=opts)
+        b = run_campaign(iterations=2, jobs=1, seed=7, options=opts)
+        assert a.ok == b.ok
+        assert a.seeds_run == b.seeds_run
+
+
+@pytest.mark.fuzz
+def test_parallel_soak():
+    """A short parallel campaign through the real process pool; run with
+    ``pytest -m fuzz`` (or ``make fuzz-smoke`` for the CLI equivalent)."""
+    report = run_campaign(iterations=16, jobs=2, seed=1000,
+                          matrix=default_matrix(k=8), timeout_s=120.0)
+    assert report.seeds_run == 16
+    assert report.ok, report.to_dict()

@@ -1,0 +1,85 @@
+"""Agreement-lattice checks: theorems hold on good programs, breaches are
+reported on deliberately broken inputs."""
+
+from fractions import Fraction
+
+from repro.compiler.config import CompilerConfig
+from repro.fuzz import (ConfigPoint, check_program, default_matrix,
+                        generate_program)
+from repro.fuzz.generator import CSourceProgram
+from repro.fuzz.lattice import agrees
+from repro.ia import Interval
+
+
+class TestDefaultMatrix:
+    def test_shape(self):
+        matrix = default_matrix(k=8)
+        names = [p.name for p in matrix]
+        assert names == ["float", "ia", "ia-noopt", "aa-bounded", "aa-full",
+                         "aa-vec"]
+        assert [p.sound for p in matrix] == [False] + [True] * 5
+
+    def test_round_trip(self):
+        for point in default_matrix():
+            again = ConfigPoint.from_dict(point.to_dict())
+            assert again.name == point.name
+            assert again.sound == point.sound
+            assert again.config.cache_key() == point.config.cache_key()
+
+
+class TestAgrees:
+    class _Dec:
+        def __init__(self, lo, hi):
+            self.lo, self.hi = lo, hi
+
+        def to_fractions(self):
+            return Fraction(self.lo), Fraction(self.hi)
+
+    def test_oracle_inside_range(self):
+        assert agrees(Interval(0.0, 2.0), self._Dec(1, 1))
+
+    def test_range_inside_oracle_slop(self):
+        assert agrees(Interval(1.0, 1.0), self._Dec(Fraction(999, 1000),
+                                                    Fraction(1001, 1000)))
+
+    def test_disjoint_is_disagreement(self):
+        assert not agrees(Interval(2.0, 3.0), self._Dec(0, 1))
+
+    def test_invalid_range_vacuously_sound(self):
+        assert agrees(Interval(float("nan"), float("nan")), self._Dec(0, 1))
+
+
+class TestCheckProgram:
+    def test_generated_program_ok(self):
+        report = check_program(generate_program(1))
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert set(report.intervals) == {"ia", "ia-noopt", "aa-bounded",
+                                         "aa-full", "aa-vec"}
+        assert isinstance(report.float_value, float)
+
+    def test_crash_is_reported_not_raised(self):
+        bad = CSourceProgram(source="double f(double x0) { return y; }",
+                             inputs=(1.0,), entry="f")
+        report = check_program(bad)
+        assert not report.ok
+        assert all(v.kind == "crash" for v in report.violations)
+
+    def test_ambiguity_gates_containment(self):
+        # x0 < x0 is ambiguous under every range mode: containment must be
+        # skipped (certificate void), not reported as a violation.
+        src = ("double f(double x0) {\n"
+               "    double t = 0.0;\n"
+               "    if (x0 < x0) { t = 1.0; } else { t = 2.0; }\n"
+               "    return t + x0;\n"
+               "}\n")
+        program = CSourceProgram(source=src, inputs=(1.0,), entry="f")
+        report = check_program(program)
+        assert report.ok
+        assert any(n > 0 for n in report.ambiguous.values())
+
+    def test_matrix_subset(self):
+        matrix = (ConfigPoint("ia", CompilerConfig(mode="ia"), sound=True),)
+        report = check_program(generate_program(2), matrix=matrix)
+        assert report.ok
+        assert set(report.intervals) == {"ia"}
+        assert report.float_value is None

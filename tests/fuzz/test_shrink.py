@@ -1,0 +1,68 @@
+"""Delta-debugging: shrinking preserves the failure and minimizes size."""
+
+from repro.fuzz import generate_program, shrink_program
+from repro.fuzz.generator import GeneratorOptions
+
+
+def test_non_failing_program_returned_unchanged():
+    p = generate_program(1)
+    assert shrink_program(p, lambda _: False) == p
+
+
+def test_shrinks_to_single_triggering_statement():
+    p = generate_program(5, GeneratorOptions(n_stmts=12))
+    # Failure := "some surviving statement is a loop".  The minimal
+    # reproducer is exactly one loop statement.
+    def has_loop(candidate):
+        return any(s[0] == "loop" for s in candidate.stmts)
+
+    if not has_loop(p):  # make sure the predicate holds on the start program
+        loop = ("loop", 2, "+", ("const", 1.0))
+        p = p.with_stmts(p.stmts + (loop,))
+    small = shrink_program(p, has_loop)
+    assert has_loop(small)
+    assert len(small.stmts) == 1
+
+
+def test_simplification_ladder_reaches_leaf():
+    deep = ("assign", ("bin", "+", ("bin", "*", ("const", 1.5), ("ref", 0)),
+                       ("const", 2.0)))
+    p = generate_program(0).with_stmts((deep,))
+    # Failure := "a const appears anywhere"; minimal form is a bare const.
+    def has_const(candidate):
+        def walk(node):
+            if isinstance(node, tuple):
+                return node[0] == "const" or any(walk(x) for x in node)
+            return False
+        return any(walk(s) for s in candidate.stmts)
+
+    small = shrink_program(p, has_const)
+    assert has_const(small)
+    assert small.stmts[0][0] == "assign"
+    assert small.stmts[0][1][0] == "const"
+
+
+def test_predicate_exceptions_count_as_not_failing():
+    p = generate_program(3, GeneratorOptions(n_stmts=6))
+    calls = []
+
+    def flaky(candidate):
+        calls.append(candidate)
+        if candidate != p:
+            raise RuntimeError("harness broke")
+        return True
+
+    assert shrink_program(p, flaky) == p
+    assert len(calls) > 1  # it did try candidates
+
+
+def test_budget_bounds_predicate_calls():
+    p = generate_program(4, GeneratorOptions(n_stmts=16))
+    calls = [0]
+
+    def count(candidate):
+        calls[0] += 1
+        return True
+
+    shrink_program(p, count, max_steps=10)
+    assert calls[0] <= 10
