@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
-	serve-smoke obs-smoke fuzz-smoke examples clean
+	serve-smoke obs-smoke fuzz-smoke batch-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -76,6 +76,14 @@ fuzz-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro fuzz \
 	  --iterations 48 --jobs 2 --seed 1 --timeout 120 \
 	  --no-save --artifact fuzz-failure.json
+
+# Batched-execution smoke: the four paper kernels over N=64 seeded input
+# boxes through run_batch must be bit-identical to the per-request scalar
+# loop and beat it on rows/sec (the full 5x acceptance bar runs at N=256
+# via benchmarks/bench_batch_throughput.py's defaults).
+batch-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) \
+	  benchmarks/bench_batch_throughput.py --rows 64 --min-speedup 1.0
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:

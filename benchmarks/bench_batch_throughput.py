@@ -1,0 +1,163 @@
+"""Batched execution throughput: one compiled program over N input boxes.
+
+Runs the paper's four kernels through ``CompiledProgram.run_batch`` and
+through the per-request scalar loop on the same seeded input boxes, and
+checks the two claims the batched runtime makes:
+
+(a) **soundness** — every batched row enclosure (return value and output
+    array parameters alike) is *bit-identical* to the scalar vectorized
+    run of the same box (the four kernels are branch-uniform, so no
+    cohort ever splits);
+(b) **throughput** — stacking the (N, k) coefficient matrices amortizes
+    the numpy dispatch overhead: at N=256 every kernel clears a 5x
+    rows/sec speedup over the per-request loop.
+
+Run under pytest (``pytest benchmarks/bench_batch_throughput.py -s``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+--rows 64 --min-speedup 1.0`` — the ``make batch-smoke`` configuration).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.batchrt import numpy_available
+from repro.batchrt.engine import _scalar_value
+from repro.bench import fgm, format_table, henon, luf, sor
+from repro.compiler import compile_c
+
+SEED = 1234
+CONFIG, K = "f64a-dsnv", 8
+DEFAULT_ROWS = 256
+MIN_SPEEDUP = 5.0  # acceptance bar at N=256
+
+KERNELS = ("henon", "sor", "luf", "fgm")
+
+
+def dd_matrix(n: int, rng: random.Random):
+    """Diagonally dominant matrix: luf/fgm stay well-conditioned."""
+    m = [[rng.uniform(-1.0, 1.0) for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        m[i][i] = n + rng.uniform(1.0, 2.0)
+    return m
+
+
+def build(name: str, n_rows: int, rng: random.Random):
+    """(compiled program, seeded input boxes) for one kernel."""
+    if name == "henon":
+        b = henon()
+        rows = [[rng.uniform(0.1, 0.4), rng.uniform(0.1, 0.3), 12]
+                for _ in range(n_rows)]
+    elif name == "sor":
+        b = sor(6, 3)
+        rows = [[[[rng.uniform(0.0, 1.0) for _ in range(6)]
+                  for _ in range(6)], 1.25, 3] for _ in range(n_rows)]
+    elif name == "luf":
+        b = luf(6)
+        rows = [[dd_matrix(6, rng)] for _ in range(n_rows)]
+    elif name == "fgm":
+        b = fgm(3, 5)
+        rows = [[dd_matrix(3, rng),
+                 [rng.uniform(-1.0, 1.0) for _ in range(3)],
+                 [0.0, 0.0, 0.0], 5] for _ in range(n_rows)]
+    else:
+        raise ValueError(name)
+    prog = compile_c(b.source, CONFIG, k=K, entry=b.entry)
+    return prog, rows
+
+
+def _mismatches(prog, batch, scalar_results) -> int:
+    """Rows whose batched enclosures are not bit-identical to the scalar
+    run (0.0 vs -0.0 and NaN payloads count as mismatches via repr)."""
+    func = prog.unit.func(prog.entry)
+    out_params = [p.name for p in func.params]
+    bad = 0
+    for row_res, res in zip(batch.rows, scalar_results):
+        want = _scalar_value(res.value)
+        got = row_res.interval if row_res.interval is not None \
+            else row_res.value
+        same = repr(got) == repr(want)
+        for name in out_params:
+            v = res.params.get(name)
+            if isinstance(v, list):
+                same = same and (repr(row_res.outputs.get(name))
+                                 == repr(_scalar_value(v)))
+        bad += 0 if same else 1
+    return bad
+
+
+def bench_kernel(name: str, n_rows: int) -> dict:
+    prog, rows = build(name, n_rows, random.Random(SEED))
+
+    t0 = time.perf_counter()
+    scalar_results = [prog(*row) for row in rows]
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batch = prog.run_batch(rows)
+    batch_s = time.perf_counter() - t0
+
+    assert all(r.ok for r in batch.rows), \
+        [r.error for r in batch.rows if not r.ok][:1]
+    return {
+        "kernel": name,
+        "rows": n_rows,
+        "scalar_s": round(scalar_s, 3),
+        "batch_s": round(batch_s, 3),
+        "scalar_rows_per_s": round(n_rows / scalar_s, 1),
+        "batch_rows_per_s": round(n_rows / batch_s, 1),
+        "speedup": round(scalar_s / batch_s, 2),
+        "cohorts": batch.stats.cohorts,
+        "splits": batch.stats.cohort_splits,
+        "fallbacks": batch.stats.scalar_fallbacks,
+        "mismatches": _mismatches(prog, batch, scalar_results),
+    }
+
+
+def build_report(n_rows: int = DEFAULT_ROWS,
+                 min_speedup: float = MIN_SPEEDUP) -> tuple:
+    rows = [bench_kernel(name, n_rows) for name in KERNELS]
+    text = format_table(
+        rows, title=f"Batched execution throughput (N={n_rows}, "
+                    f"{CONFIG}, k={K})")
+    for r in rows:
+        assert r["mismatches"] == 0, \
+            f"{r['kernel']}: {r['mismatches']} rows differ from scalar"
+        assert r["splits"] == 0 and r["fallbacks"] == 0, \
+            f"{r['kernel']}: unexpected cohort split on a uniform kernel"
+        assert r["speedup"] >= min_speedup, \
+            f"{r['kernel']}: {r['speedup']}x below the {min_speedup}x bar"
+    return text, rows
+
+
+class TestBatchThroughput:
+    def test_speedup_and_bit_identity(self, results_dir):
+        if not numpy_available():  # pragma: no cover - dev env has numpy
+            import pytest
+
+            pytest.skip("batched runtime requires numpy")
+        from conftest import emit
+
+        text, rows = build_report()
+        emit(results_dir, "batch_throughput", text, rows=rows)
+
+
+def main() -> None:
+    import argparse
+    import pathlib
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    ap.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
+    ns = ap.parse_args()
+
+    text, _rows = build_report(ns.rows, ns.min_speedup)
+    print(text)
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    (out / "batch_throughput.txt").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

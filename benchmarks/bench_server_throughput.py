@@ -9,7 +9,13 @@ the server makes:
 (b) hot-cache ``run`` requests never enter the process pool;
 (c) a full admission queue yields ``overloaded`` replies instead of
     unbounded buffering;
-(d) ``drain`` completes every accepted request — zero lost responses.
+(d) ``drain`` completes every accepted request — zero lost responses;
+(e) with a micro-batching window configured, hot single-shot ``run``
+    traffic coalesces into batched executions whose enclosures are still
+    bit-identical to the direct path.
+
+Client input boxes are drawn from a fixed seed (``SEED``) so every run of
+the harness measures the same workload.
 
 Run under pytest (``pytest benchmarks/bench_server_throughput.py -s``) or
 standalone (``PYTHONPATH=src python benchmarks/bench_server_throughput.py``).
@@ -17,6 +23,7 @@ standalone (``PYTHONPATH=src python benchmarks/bench_server_throughput.py``).
 
 from __future__ import annotations
 
+import random
 import statistics
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,6 +48,32 @@ double henon(double x, double y, int n) {
 """
 ARGS = [0.3, 0.2, 30]
 CONFIG, K = "f64a-dsnn", 8
+CONFIG_VEC = "f64a-dsnv"  # batchable: the micro-batcher only coalesces
+                          # vectorized-affine traffic
+SEED = 0xB10C
+
+
+def client_args(i: int, j: int) -> list:
+    """Request ``j`` of client ``i``'s input box — deterministic across
+    harness runs (one Random per request, derived from the fixed seed)."""
+    rng = random.Random(SEED + i * 977 + j)
+    return [round(rng.uniform(0.1, 0.4), 12),
+            round(rng.uniform(0.1, 0.3), 12), 30]
+
+
+class DirectOracle:
+    """Memoized direct ``compile_c`` + evaluate enclosures per input box."""
+
+    def __init__(self, config: str) -> None:
+        self._prog = compile_c(KERNEL, config, k=K)
+        self._cache: dict = {}
+
+    def interval(self, args) -> tuple:
+        key = tuple(args)
+        if key not in self._cache:
+            iv = self._prog(*args).value.interval()
+            self._cache[key] = (iv.lo, iv.hi)
+        return self._cache[key]
 
 
 def cold_variant(i: int) -> str:
@@ -103,9 +136,16 @@ def phase_row(name: str, phase: dict) -> dict:
 
 def measure_hot_and_cold() -> tuple:
     """Claims (a) and (b): identical results, hot requests bypass the pool."""
-    direct = compile_c(KERNEL, CONFIG, k=K)(*ARGS).value.interval()
+    oracle = DirectOracle(CONFIG)
     config = ServerConfig(port=0, pool_workers=2, max_queue=256,
                           cache_maxsize=512)
+
+    def hot_frame(c, i, j):
+        args = client_args(i, j)
+        reply = c.run(KERNEL, config=CONFIG, k=K, args=args)
+        reply["_args"] = args
+        return reply
+
     with ServerThread(config) as srv:
         with ServerClient(port=srv.port) as warmup:
             first = warmup.run(KERNEL, config=CONFIG, k=K, args=ARGS)
@@ -113,9 +153,8 @@ def measure_hot_and_cold() -> tuple:
             pool_submits_before = \
                 warmup.stats()["server"]["pool_submits"]
 
-        hot = run_phase(
-            srv.port, N_CLIENTS, HOT_REQUESTS_PER_CLIENT,
-            lambda c, i, j: c.run(KERNEL, config=CONFIG, k=K, args=ARGS))
+        hot = run_phase(srv.port, N_CLIENTS, HOT_REQUESTS_PER_CLIENT,
+                        hot_frame)
 
         with ServerClient(port=srv.port) as probe:
             stats = probe.stats()
@@ -124,9 +163,9 @@ def measure_hot_and_cold() -> tuple:
             "hot-cache run requests entered the process pool"
         for reply in hot["replies"]:
             assert reply["route"] == "inline"
-            # (a) bit-identical to the direct path.
-            assert tuple(reply["interval"]) == (direct.lo, direct.hi), \
-                "served enclosure differs from compile_c"
+            # (a) bit-identical to the direct path, box for box.
+            assert tuple(reply["interval"]) == oracle.interval(
+                reply["_args"]), "served enclosure differs from compile_c"
 
         cold = run_phase(
             srv.port, N_CLIENTS, 1,
@@ -138,6 +177,46 @@ def measure_hot_and_cold() -> tuple:
         with ServerClient(port=srv.port) as closer:
             closer.drain()
     return hot, cold, server_hist
+
+
+def measure_batched_hot() -> tuple:
+    """Claim (e): hot single-shot runs coalesce through the micro-batcher
+    with enclosures bit-identical to the direct path."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - dev env ships numpy
+        return None, None
+    oracle = DirectOracle(CONFIG_VEC)
+    config = ServerConfig(port=0, pool_workers=2, max_queue=256,
+                          cache_maxsize=512, batch_window_s=0.01,
+                          batch_max_rows=32)
+
+    def frame(c, i, j):
+        args = client_args(i, j)
+        reply = c.run(KERNEL, config=CONFIG_VEC, k=K, args=args)
+        reply["_args"] = args
+        return reply
+
+    with ServerThread(config) as srv:
+        with ServerClient(port=srv.port) as warmup:
+            warmup.compile(KERNEL, config=CONFIG_VEC, k=K)
+
+        phase = run_phase(srv.port, N_CLIENTS, HOT_REQUESTS_PER_CLIENT,
+                          frame)
+
+        with ServerClient(port=srv.port) as probe:
+            batch_stats = probe.stats()["server"]["batch"]
+            probe.drain()
+    coalesced = sum(1 for r in phase["replies"] if r.get("batched"))
+    assert coalesced > 0, "hot batchable traffic never coalesced"
+    for reply in phase["replies"]:
+        assert tuple(reply["interval"]) == oracle.interval(
+            reply["_args"]), "batched enclosure differs from compile_c"
+    info = {"coalesced_replies": coalesced,
+            "total_replies": len(phase["replies"]),
+            "flushes": batch_stats["flushes"],
+            "max_coalesced": batch_stats["max_coalesced"]}
+    return phase, info
 
 
 def measure_overload() -> dict:
@@ -194,12 +273,21 @@ def measure_drain() -> dict:
 
 def build_report() -> tuple:
     hot, cold, server_hist = measure_hot_and_cold()
+    batched, batch_info = measure_batched_hot()
     overload = measure_overload()
     drained = measure_drain()
     rows = [phase_row("hot-cache run", hot),
             phase_row("cold-cache compile", cold)]
+    if batched is not None:
+        rows.insert(1, phase_row("hot-batched run", batched))
     lines = [format_table(rows, title=f"Server throughput "
                           f"({N_CLIENTS} concurrent clients)")]
+    if batch_info is not None:
+        lines.append(
+            f"micro-batching: {batch_info['coalesced_replies']}/"
+            f"{batch_info['total_replies']} replies coalesced across "
+            f"{batch_info['flushes']} flushes "
+            f"(largest batch {batch_info['max_coalesced']} rows)")
     if server_hist:
         lines.append(
             f"server-side run latency: n={server_hist['count']} "

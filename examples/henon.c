@@ -1,0 +1,17 @@
+/* The Henon map, the smallest of the paper's four kernels — pairs with
+ * examples/batch_inputs.jsonl:
+ *
+ *   repro run examples/henon.c --config f64a-dsnv -k 8 \
+ *       --batch examples/batch_inputs.jsonl
+ */
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}

@@ -137,8 +137,9 @@ class AffineContext:
         if self.impl != "auto":
             raise ValueError(f"unknown affine implementation {self.impl!r}")
         if self.vectorized:
-            from .vectorized import VecAffine
+            from .vectorized import VecAffine, require_numpy
 
+            require_numpy()
             return VecAffine
         from .form import AffineForm
 

@@ -26,10 +26,13 @@ from __future__ import annotations
 import math
 from typing import AbstractSet, List, Optional, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on scalar-only installs
+    np = None
 
 from ..common import decide_comparison
-from ..errors import SoundnessError
+from ..errors import CompileError, SoundnessError
 from ..fp import EPS, ETA, add_ru, div_rd, div_ru, mul_ru, sub_rd, sub_ru
 from ..ia import Interval
 from .context import AffineContext, Precision
@@ -37,9 +40,24 @@ from .form import _prod_err, _sum_err
 from .linearize import linearize_exp, linearize_inv, linearize_log, linearize_sqrt
 from .policies import FusionPolicy
 
-__all__ = ["VecAffine"]
+__all__ = ["VecAffine", "require_numpy"]
 
 _EMPTY: frozenset = frozenset()
+
+
+def require_numpy() -> None:
+    """Fail with an actionable message on scalar-only installs.
+
+    The module itself imports cleanly without numpy (so configuration
+    parsing, the CLI, and the scalar kernels keep working); only actually
+    *using* the vectorized kernels requires the optional dependency.
+    """
+    if np is None:
+        raise CompileError(
+            "the vectorized affine kernels require numpy, which is not "
+            "installed; install the vector extra (pip install "
+            "'repro[vector]') or drop 'v' from the configuration string "
+            "to use the scalar kernels")
 
 
 def _protect_array(protect) -> np.ndarray:

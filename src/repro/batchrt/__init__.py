@@ -1,0 +1,48 @@
+"""Batched execution: one compiled program over N input boxes at once.
+
+The vectorized affine kernels (:mod:`repro.aa.vectorized`) parallelize
+*within* one evaluation — a single affine form's ``k`` coefficient slots
+become one numpy lane set.  This package stacks *across* evaluations as
+well: the per-value center scalars become ``(N,)`` vectors and the
+coefficient arrays ``(N, k)`` matrices (:class:`~repro.batchrt.form.
+BatchAffine`), so every affine operation over a batch of N input boxes is
+a fixed sequence of row-broadcast numpy kernels instead of N Python-level
+evaluations.
+
+Control flow is handled by *cohort splitting*: each comparison is decided
+per row; when rows disagree the batch is partitioned into same-decision
+cohorts that re-run vectorized, and only rows whose branch is genuinely
+undecidable under the STRICT policy fall back to the scalar
+:class:`~repro.compiler.runtime.Runtime`.
+
+The soundness contract (and the reason the kernels mirror the scalar
+vectorized path branch for branch): every batched row's enclosure is
+bit-identical to what the scalar vectorized path produces for that row —
+with or without cohort splits, because per-row computations are
+elementwise independent and branch decisions replay identically within a
+same-decision cohort.
+
+numpy is optional at import time; calling into the engine without it
+raises a :class:`~repro.errors.CompileError` naming the ``[vector]``
+extra.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    BatchRowResult,
+    BatchRunResult,
+    BatchRunStats,
+    batchable_config,
+    numpy_available,
+    run_batch,
+)
+
+__all__ = [
+    "BatchRowResult",
+    "BatchRunResult",
+    "BatchRunStats",
+    "batchable_config",
+    "numpy_available",
+    "run_batch",
+]

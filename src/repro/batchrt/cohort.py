@@ -1,0 +1,45 @@
+"""Cohort splitting: how batched control flow diverges.
+
+A batched comparison is decided per row.  When the rows agree the batch
+continues as one vectorized evaluation; when they disagree the operation
+raises :class:`CohortDivergence`, carrying the partition of this cohort's
+rows into same-decision sub-cohorts (each re-runs vectorized from the
+start — cheap, since decisions made before the divergence point were
+uniform and therefore replay identically) plus the rows that must fall
+back to the scalar runtime (STRICT-policy ambiguous branches, which the
+scalar path turns into the proper :class:`~repro.errors.
+AmbiguousComparisonError`).
+
+Structural divergences use the same machinery: a division whose domain is
+valid for some rows and invalid for others, or point for some rows and
+linearized for others, splits the cohort so every sub-cohort takes a
+single code path — which is what keeps each row's symbol bookkeeping
+bit-identical to its scalar replay.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["CohortDivergence"]
+
+
+class CohortDivergence(Exception):
+    """Raised by a batched op when rows take different paths.
+
+    ``partitions`` holds local row-index arrays (indices into the cohort
+    that raised, not the original batch); every partition is non-empty.
+    ``fallback`` holds local row indices to evaluate on the scalar
+    runtime.  At least two partitions, or one partition plus fallback
+    rows, are always present — so splitting strictly shrinks cohorts and
+    the engine's worklist terminates.
+    """
+
+    def __init__(self, partitions: List, fallback, what: str) -> None:
+        self.partitions = [p for p in partitions if len(p)]
+        self.fallback = fallback
+        self.what = what
+        sizes = [len(p) for p in self.partitions]
+        super().__init__(
+            f"cohort diverged on {what!r}: partitions {sizes}, "
+            f"{len(fallback)} scalar-fallback row(s)")

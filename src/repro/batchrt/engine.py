@@ -1,0 +1,308 @@
+"""The batched execution engine: cohort scheduling over one program.
+
+``run_batch(program, rows)`` evaluates a :class:`~repro.compiler.driver.
+CompiledProgram` over N input boxes.  Rows that share integer parameters
+start as one cohort and run through :class:`~repro.batchrt.runtime.
+BatchRuntime`; a :class:`~repro.batchrt.cohort.CohortDivergence` splits
+the cohort into same-decision sub-cohorts (re-run vectorized from the
+start — pre-divergence decisions were uniform, so they replay
+identically) and routes genuinely ambiguous rows to the scalar runtime.
+A worklist drains until every row has a result; each divergence strictly
+partitions its cohort or moves rows to fallback, so the loop terminates.
+
+This module imports neither numpy nor the batched kernels at module
+scope: scalar-substrate installs can import it freely, and the
+batchability gate falls back to a per-row scalar loop when numpy (the
+``repro[vector]`` extra) is unavailable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..obs.trace import current_tracer
+from .cohort import CohortDivergence
+
+__all__ = [
+    "BatchRowResult",
+    "BatchRunResult",
+    "BatchRunStats",
+    "batchable_config",
+    "numpy_available",
+    "run_batch",
+]
+
+
+def numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def batchable_config(config) -> bool:
+    """Can programs built with this configuration run on the batched
+    vectorized path?  Everything else loops over the scalar runtime.
+
+    RANDOM fusion is excluded because the context's single RNG stream
+    would couple rows (row i's victim choice would depend on how many
+    draws rows 0..i-1 consumed).
+    """
+    from ..aa.context import Precision
+    from ..aa.policies import FusionPolicy
+
+    return (config.mode == "aa"
+            and config.vectorize
+            and config.impl == "auto"
+            and config.precision is Precision.F64
+            and config.fusion is not FusionPolicy.RANDOM
+            and numpy_available())
+
+
+@dataclass
+class BatchRowResult:
+    """One input box's outcome.
+
+    ``interval`` is the returned enclosure as ``[lo, hi]`` (NaN endpoints
+    for an invalid result), ``value`` a plain int/float return, and
+    ``outputs`` maps array parameter names to nested per-row ``[lo, hi]``
+    enclosures.  ``fallback`` marks rows evaluated on the scalar runtime.
+    """
+
+    index: int
+    ok: bool
+    interval: Optional[List[float]] = None
+    value: Any = None
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    fallback: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"index": self.index, "ok": self.ok}
+        if self.interval is not None:
+            out["interval"] = self.interval
+        if self.value is not None:
+            out["value"] = self.value
+        if self.outputs:
+            out["outputs"] = self.outputs
+        if self.error is not None:
+            out["error"] = self.error
+        if self.fallback:
+            out["fallback"] = True
+        return out
+
+
+@dataclass
+class BatchRunStats:
+    rows: int = 0
+    cohorts: int = 0
+    cohort_splits: int = 0
+    scalar_fallbacks: int = 0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rows": self.rows, "cohorts": self.cohorts,
+                "cohort_splits": self.cohort_splits,
+                "scalar_fallbacks": self.scalar_fallbacks,
+                "elapsed_s": self.elapsed_s}
+
+
+@dataclass
+class BatchRunResult:
+    rows: List[BatchRowResult]
+    stats: BatchRunStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rows": [r.to_dict() for r in self.rows],
+                "stats": self.stats.to_dict()}
+
+
+class _Unbatchable(Exception):
+    """An argument shape the vectorized path cannot stack (ragged arrays,
+    pre-built affine forms, …) — the affected rows run scalar."""
+
+
+def run_batch(program, rows: Sequence[Sequence[Any]],
+              uncertainty_ulps: float = 1.0) -> BatchRunResult:
+    """Evaluate ``program`` over ``rows`` (one positional argument list
+    per input box) and return per-row enclosures."""
+    t0 = time.perf_counter()
+    rows = [list(r) for r in rows]
+    stats = BatchRunStats(rows=len(rows))
+    results: List[Optional[BatchRowResult]] = [None] * len(rows)
+    if not rows:
+        return BatchRunResult(rows=[], stats=stats)
+
+    fallback: List[int] = []
+    if batchable_config(program.config):
+        int_positions = _int_param_positions(program)
+        groups: Dict[tuple, List[int]] = {}
+        bad_key: List[int] = []
+        for i, row in enumerate(rows):
+            try:
+                key = tuple(int(row[p]) for p in int_positions)
+            except (IndexError, TypeError, ValueError):
+                bad_key.append(i)
+                continue
+            groups.setdefault(key, []).append(i)
+        fallback.extend(bad_key)
+
+        worklist = deque(groups.values())
+        while worklist:
+            idx = worklist.popleft()
+            try:
+                _eval_cohort(program, idx, rows, uncertainty_ulps, results)
+                stats.cohorts += 1
+            except CohortDivergence as d:
+                stats.cohort_splits += 1
+                for part in d.partitions:
+                    worklist.append([idx[j] for j in part.tolist()])
+                fallback.extend(idx[j] for j in d.fallback.tolist())
+            except _Unbatchable:
+                fallback.extend(idx)
+            except ReproError:
+                # A row-dependent error (domain linearization, symbol
+                # budget, …): each row reproduces its own outcome on the
+                # scalar runtime, where errors attach to single rows.
+                fallback.extend(idx)
+    else:
+        fallback.extend(range(len(rows)))
+
+    for gi in sorted(fallback):
+        stats.scalar_fallbacks += 1
+        results[gi] = _run_scalar_row(program, gi, rows[gi], uncertainty_ulps)
+
+    stats.elapsed_s = time.perf_counter() - t0
+    return BatchRunResult(rows=[r for r in results if r is not None],
+                          stats=stats)
+
+
+def _int_param_positions(program) -> List[int]:
+    from ..compiler import cast as A
+
+    func = program.unit.func(program.entry)
+    return [i for i, p in enumerate(func.params)
+            if isinstance(p.type, A.CType) and p.type.is_integer()]
+
+
+def _eval_cohort(program, idx: List[int], rows, uncertainty_ulps: float,
+                 results) -> None:
+    """Run one same-path cohort vectorized and fill its rows' results.
+
+    Raises :class:`CohortDivergence` (partition and retry), ``_Unbatchable``
+    (shape prevents stacking) or a ``ReproError`` (whole cohort to scalar);
+    in every raising case ``results`` is left untouched for these rows and
+    the fresh context (including its statistics) is discarded.
+    """
+    from .form import BatchContext
+    from .runtime import BatchRuntime
+
+    cfg = program.config
+    n = len(idx)
+    ctx = BatchContext(n, cfg.k, fusion=cfg.fusion,
+                       decision_policy=cfg.decision_policy)
+    rt = BatchRuntime(ctx)
+
+    from ..compiler import cast as A
+
+    func = program.unit.func(program.entry)
+    if any(len(rows[gi]) != len(func.params) for gi in idx):
+        raise _Unbatchable("row arity mismatch")
+    coerced: List[Any] = []
+    array_params: List[str] = []
+    for pos, p in enumerate(func.params):
+        col = [rows[gi][pos] for gi in idx]
+        if isinstance(p.type, A.CType) and p.type.is_integer():
+            coerced.append(int(col[0]))  # uniform within the cohort
+        else:
+            v = _stack_inputs(rt, col, uncertainty_ulps)
+            if isinstance(v, list):
+                array_params.append(p.name)
+            coerced.append(v)
+
+    with current_tracer().span("batch:cohort") as sp:
+        value = program._fn(rt, *coerced)
+    if sp.recording:
+        sp.set(rows=n, entry=program.entry,
+               aa_ops=ctx.stats.total_ops(),
+               ambiguous_branches=ctx.stats.ambiguous_branches)
+
+    by_name = dict(zip((p.name for p in func.params), coerced))
+    for j, gi in enumerate(idx):
+        outputs = {name: _row_value(by_name[name], j)
+                   for name in array_params}
+        rv = _row_value(value, j)
+        results[gi] = BatchRowResult(
+            index=gi, ok=True,
+            interval=rv if isinstance(rv, list) and len(rv) == 2
+            and not isinstance(rv[0], list) else None,
+            value=rv if isinstance(rv, (int, float, bool)) else None,
+            outputs=outputs)
+
+
+def _stack_inputs(rt, col: List[Any], uncertainty_ulps: float):
+    """Stack one argument position across the cohort, mirroring the scalar
+    ``Runtime.coerce_input`` traversal order so symbol ids line up."""
+    first = col[0]
+    if isinstance(first, (list, tuple)):
+        length = len(first)
+        if any(not isinstance(v, (list, tuple)) or len(v) != length
+               for v in col):
+            raise _Unbatchable("ragged array argument")
+        return [_stack_inputs(rt, [v[i] for v in col], uncertainty_ulps)
+                for i in range(length)]
+    if all(isinstance(v, (int, float)) for v in col):
+        return rt.input_rows([float(v) for v in col], uncertainty_ulps)
+    raise _Unbatchable(
+        f"cannot stack argument of type {type(first).__name__}")
+
+
+def _row_value(value, j: int):
+    """Extract row ``j``'s view of a batched value: affine forms become
+    ``[lo, hi]``, nested lists recurse, plain scalars pass through."""
+    from .form import BatchAffine
+
+    if isinstance(value, BatchAffine):
+        lo, hi, _valid = value.interval_rows()
+        return [float(lo[j]), float(hi[j])]
+    if isinstance(value, (list, tuple)):
+        return [_row_value(v, j) for v in value]
+    return value
+
+
+def _scalar_value(value):
+    """The scalar-path analogue of :func:`_row_value`."""
+    if hasattr(value, "interval"):
+        iv = value.interval()
+        return [float(iv.lo), float(iv.hi)]
+    if isinstance(value, (list, tuple)):
+        return [_scalar_value(v) for v in value]
+    return value
+
+
+def _run_scalar_row(program, index: int, row: List[Any],
+                    uncertainty_ulps: float) -> BatchRowResult:
+    try:
+        res = program(*row, uncertainty_ulps=uncertainty_ulps)
+    except ReproError as exc:
+        return BatchRowResult(index=index, ok=False,
+                              error=f"{type(exc).__name__}: {exc}",
+                              fallback=True)
+    func = program.unit.func(program.entry)
+    outputs = {}
+    for p in func.params:
+        v = res.params.get(p.name)
+        if isinstance(v, list):
+            outputs[p.name] = _scalar_value(v)
+    rv = _scalar_value(res.value)
+    return BatchRowResult(
+        index=index, ok=True,
+        interval=rv if isinstance(rv, list) and len(rv) == 2
+        and not isinstance(rv[0], list) else None,
+        value=rv if isinstance(rv, (int, float, bool)) else None,
+        outputs=outputs, fallback=True)

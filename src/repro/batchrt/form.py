@@ -1,0 +1,725 @@
+"""Batched bounded affine forms: ``(N, k)`` matrices of coefficient slots.
+
+:class:`BatchAffine` is :class:`repro.aa.vectorized.VecAffine` lifted one
+axis: the central value becomes an ``(N,)`` vector, the direct-mapped
+id/coefficient arrays ``(N, k)`` matrices, and every kernel a
+row-broadcast numpy operation.  Each row evolves exactly as its scalar
+``VecAffine`` counterpart would — same victim slots, same fusion
+round-off, same a-priori lane bounds — because rows are elementwise
+independent and the per-row symbol counters (:class:`BatchContext.
+next_sid`) replicate :class:`~repro.aa.symbols.SymbolFactory` per row.
+That independence is the whole soundness argument: a batched row's
+enclosure is *bit-identical* to the scalar vectorized path's, so sound
+because that path is.
+
+Operations whose scalar code takes value-dependent paths (division
+domain/point tests, sqrt/exp/log domains, comparisons) either blend
+per-row when every path is expressible as a masked lane operation
+(``abs_``, ``min_with``, ``max_with``, invalid results) or raise
+:class:`~repro.batchrt.cohort.CohortDivergence` so the engine re-runs
+uniform sub-cohorts.
+
+The RANDOM fusion policy is excluded (the shared numpy RNG's consumption
+order would couple rows); the engine's batchability gate routes such
+configurations to the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - covered via engine availability gate
+    np = None
+
+from ..aa.context import AAStats
+from ..aa.linearize import (
+    linearize_exp,
+    linearize_log,
+    linearize_sqrt,
+)
+from ..aa.policies import FusionPolicy
+from ..common import DecisionPolicy
+from ..errors import SoundnessError
+from ..fp import EPS, ETA, sub_ru, ulp
+from .cohort import CohortDivergence
+from .linearize_v import linearize_inv_rows
+from .npops import (
+    add_ru_v,
+    div_rd_v,
+    div_ru_v,
+    mul_ru_v,
+    prod_err_v,
+    sub_rd_v,
+    sub_ru_v,
+    sum_bound_ru_rows,
+    sum_err_v,
+    ulp_v,
+)
+
+__all__ = ["BatchAffine", "BatchContext", "BatchProtect"]
+
+_INF = math.inf
+
+
+def _no_rows():
+    return np.zeros(0, dtype=np.int64)
+
+
+class BatchContext:
+    """Per-batch state: dimensions, policies, per-row symbol counters,
+    aggregate statistics.
+
+    ``next_sid`` replicates :class:`~repro.aa.symbols.SymbolFactory`
+    independently per row (ids start at 1; direct-mapped placement keeps
+    ``sid % k == slot``).  Rows advance at different rates — a zero
+    round-off coefficient skips placement entirely, exactly as the scalar
+    path does.
+    """
+
+    def __init__(self, n: int, k: int,
+                 fusion: FusionPolicy = FusionPolicy.SMALLEST,
+                 decision_policy: DecisionPolicy = DecisionPolicy.CENTRAL
+                 ) -> None:
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if fusion is FusionPolicy.RANDOM:
+            raise SoundnessError(
+                "batched execution does not support the RANDOM fusion "
+                "policy (the shared RNG would couple rows)")
+        self.n = n
+        self.k = k
+        self.fusion = fusion
+        self.decision_policy = decision_policy
+        self.stats = AAStats()
+        self.next_sid = np.ones(n, dtype=np.int64)
+
+    # -- per-row symbol factory -------------------------------------------------
+
+    def fresh_at_rows(self, slots, mask):
+        """Per-row ``SymbolFactory.fresh_at``: the next id congruent to
+        ``slot`` mod k; only rows in ``mask`` consume it."""
+        sid = self.next_sid + ((slots - self.next_sid) % self.k)
+        self.next_sid = np.where(mask, sid + 1, self.next_sid)
+        return sid
+
+    # -- value constructors -----------------------------------------------------
+
+    def exact(self, value: float) -> "BatchAffine":
+        return BatchAffine.from_exact(self, float(value))
+
+    def constant(self, value: float,
+                 exact: Optional[bool] = None) -> "BatchAffine":
+        if exact is None:
+            exact = bool(math.isfinite(value) and value == int(value))
+        if exact:
+            return self.exact(value)
+        return BatchAffine.from_center_and_symbol(
+            self, float(value), ulp(value), "constant")
+
+    def from_interval(self, lo: float, hi: float) -> "BatchAffine":
+        if hi < lo:
+            raise ValueError("interval endpoints out of order")
+        mid = lo + (hi - lo) / 2.0
+        if not math.isfinite(mid):
+            mid = lo / 2.0 + hi / 2.0
+        rad = max(sub_ru(mid, lo), sub_ru(hi, mid))
+        return BatchAffine.from_center_and_symbol(self, mid, rad, None)
+
+    def input_rows(self, values, uncertainty_ulps: float = 1.0
+                   ) -> "BatchAffine":
+        """One input variable over the whole batch: row i gets central
+        ``values[i]`` and one fresh symbol of ``uncertainty_ulps`` ulps."""
+        values = np.asarray(values, dtype=np.float64)
+        mag = uncertainty_ulps * ulp_v(values)
+        return BatchAffine.from_center_and_symbol(self, values, mag, None)
+
+
+class BatchProtect:
+    """Per-row protected-symbol sets (the prioritization pragma support).
+
+    Falsy when every row's set is empty, mirroring how the scalar kernels
+    gate their protect handling on truthiness.
+    """
+
+    __slots__ = ("sets", "_arr")
+
+    def __init__(self, sets: List[frozenset]) -> None:
+        self.sets = sets
+        self._arr = None
+
+    def __bool__(self) -> bool:
+        return any(self.sets)
+
+    def _array(self):
+        if self._arr is None:
+            width = max((len(s) for s in self.sets), default=0)
+            arr = np.zeros((len(self.sets), width), dtype=np.int64)
+            for i, s in enumerate(self.sets):
+                if s:
+                    arr[i, : len(s)] = sorted(s)
+            self._arr = arr
+        return self._arr
+
+    def member_rows(self, ids):
+        """(N, k) bool: is ``ids[i, j]`` in row i's protected set?"""
+        arr = self._array()
+        if arr.shape[1] == 0:
+            return np.zeros(ids.shape, dtype=bool)
+        hit = (ids[:, :, None] == arr[:, None, :]).any(axis=2)
+        # The padding sentinel is 0; empty slots (id 0) are never members.
+        return hit & (ids != 0)
+
+
+def _midpoint_rows(lo, hi):
+    """Per-row ``Interval.midpoint`` (NaN endpoints yield NaN)."""
+    with np.errstate(all="ignore"):
+        m = lo + (hi - lo) / 2.0
+        m = np.where(np.isfinite(m), m, lo / 2.0 + hi / 2.0)
+        m = np.where((lo == -_INF) & (hi == _INF), 0.0, m)
+    return m
+
+
+def _radius_ru_rows(m, lo, hi):
+    """Per-row ``Interval.radius_ru`` given the midpoint."""
+    r1 = sub_ru_v(m, lo)
+    r2 = sub_ru_v(hi, m)
+    return np.where(r2 > r1, r2, r1)  # Python max(r1, r2)
+
+
+def _linearize_rows(fn, lo, hi, clamp_lo_nonneg: bool = False):
+    """Row-wise min-range linearization with a dedup memo: batches where
+    many rows share the same operand range (common for constants and
+    converged iterations) pay for one scalar linearization."""
+    n = lo.size
+    alpha = np.empty(n, dtype=np.float64)
+    zeta = np.empty(n, dtype=np.float64)
+    delta = np.empty(n, dtype=np.float64)
+    memo = {}
+    for i in range(n):
+        a, b = float(lo[i]), float(hi[i])
+        got = memo.get((a, b))
+        if got is None:
+            got = memo[(a, b)] = fn(max(a, 0.0) if clamp_lo_nonneg else a, b)
+        alpha[i], zeta[i], delta[i] = got
+    return alpha, zeta, delta
+
+
+class BatchAffine:
+    """Bounded affine forms over a batch: ``central (N,)``, ``ids (N, k)``
+    int64, ``coeffs (N, k)`` float64.
+
+    Mirrors the :class:`~repro.aa.vectorized.VecAffine` interface; row i
+    is the affine form of input box i.
+    """
+
+    __slots__ = ("ctx", "central", "ids", "coeffs", "_icache",
+                 "_pcache", "_gcache")
+
+    def __init__(self, ctx: BatchContext, central, ids, coeffs) -> None:
+        self.ctx = ctx
+        self.central = central
+        self.ids = ids
+        self.coeffs = coeffs
+        self._icache = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_exact(cls, ctx: BatchContext, value) -> "BatchAffine":
+        if np.ndim(value) == 0:
+            central = np.full(ctx.n, float(value), dtype=np.float64)
+        else:
+            central = np.asarray(value, dtype=np.float64).copy()
+        return cls(ctx, central,
+                   np.zeros((ctx.n, ctx.k), dtype=np.int64),
+                   np.zeros((ctx.n, ctx.k), dtype=np.float64))
+
+    @classmethod
+    def from_center_and_symbol(cls, ctx: BatchContext, value, magnitude,
+                               provenance: Optional[str] = None
+                               ) -> "BatchAffine":
+        out = cls.from_exact(ctx, value)
+        mag = np.asarray(magnitude, dtype=np.float64)
+        if mag.ndim == 0:
+            mag = np.full(ctx.n, float(mag), dtype=np.float64)
+        out._place_fresh_symbol(np.abs(mag), provenance, None)
+        return out
+
+    # -- views ------------------------------------------------------------------
+
+    def n_symbols_rows(self):
+        return np.count_nonzero(self.ids, axis=1)
+
+    def valid_rows(self):
+        return ~(np.isnan(self.central) | np.isnan(self.coeffs).any(axis=1))
+
+    def interval_rows(self):
+        """Per-row ``VecAffine.interval()`` as ``(lo, hi, valid)`` arrays;
+        invalid rows carry NaN endpoints."""
+        if self._icache is not None:
+            return self._icache
+        with np.errstate(all="ignore"):
+            r = sum_bound_ru_rows(np.abs(self.coeffs), self.ctx.k)
+            lo = sub_rd_v(self.central, r)
+            hi = add_ru_v(self.central, r)
+            valid = self.valid_rows() & ~np.isnan(lo) & ~np.isnan(hi)
+            lo = np.where(valid, lo, np.nan)
+            hi = np.where(valid, hi, np.nan)
+        self._icache = (lo, hi, valid)
+        return self._icache
+
+    def __repr__(self) -> str:
+        return (f"BatchAffine(n={self.ctx.n}, k={self.ctx.k}, "
+                f"symbols per row <= {int(self.n_symbols_rows().max())})")
+
+    # -- fresh symbol placement -------------------------------------------------
+
+    def _place_fresh_symbol(self, coeff, provenance: Optional[str],
+                            protect, where=None) -> None:
+        m = coeff != 0.0
+        if where is not None:
+            m = m & where
+        if not m.any():
+            return
+        ctx = self.ctx
+        slots = self._pick_victim_slots(protect)
+        sid = ctx.fresh_at_rows(slots, m)
+        rows = np.flatnonzero(m)
+        sl = slots[rows]
+        occupied = self.ids[rows, sl] != 0
+        new_coeff = np.where(
+            occupied,
+            add_ru_v(coeff[rows], np.abs(self.coeffs[rows, sl])),
+            coeff[rows])
+        ctx.stats.n_fused_symbols += int(np.count_nonzero(occupied))
+        self.ids[rows, sl] = sid[rows]
+        self.coeffs[rows, sl] = new_coeff
+        self._icache = None
+
+    def _pick_victim_slots(self, protect):
+        """Per-row ``VecAffine._pick_victim_slot``; returns an ``(N,)``
+        slot index array (rows that end up masked out are harmless)."""
+        ctx = self.ctx
+        ids, coeffs = self.ids, self.coeffs
+        k = ctx.k
+        empty = ids == 0
+        has_empty = empty.any(axis=1)
+        lanes = np.arange(k, dtype=np.int64)
+        # Cyclic preference: first empty slot at or after peek_next % k,
+        # else the first empty slot.  Encoded as an argmin over the cyclic
+        # distance from the start slot (k for occupied slots).
+        start = ctx.next_sid % k
+        rank = (lanes[None, :] - start[:, None]) % k
+        empty_slot = np.argmin(np.where(empty, rank, k), axis=1)
+        if has_empty.all():
+            return empty_slot
+        if protect:
+            allowed = ~protect.member_rows(ids)
+            none_allowed = ~allowed.any(axis=1)
+            if none_allowed.any():
+                allowed = allowed | none_allowed[:, None]
+        else:
+            allowed = np.ones_like(empty)
+        if ctx.fusion is FusionPolicy.OLDEST:
+            key = np.where(allowed, ids, np.iinfo(np.int64).max)
+            full_slot = np.argmin(key, axis=1)
+        else:  # SMALLEST / MEAN: evict the smallest-magnitude coefficient
+            key = np.where(allowed, np.abs(coeffs), _INF)
+            full_slot = np.argmin(key, axis=1)
+            # argmin over an all-inf allowed row can land on a disallowed
+            # (also inf) slot; the scalar path returns the first allowed.
+            picked_allowed = np.take_along_axis(
+                allowed, full_slot[:, None], axis=1)[:, 0]
+            if not picked_allowed.all():
+                first_allowed = np.argmax(allowed, axis=1)
+                full_slot = np.where(picked_allowed, full_slot, first_allowed)
+        return np.where(has_empty, empty_slot, full_slot)
+
+    # -- conflict resolution ----------------------------------------------------
+
+    def _conflict_winner_mask(self, ids_a, va, ids_b, vb, conflict, protect):
+        fusion = self.ctx.fusion
+        if fusion is FusionPolicy.OLDEST:
+            a_wins = ids_a > ids_b
+        else:  # SMALLEST / MEAN: larger magnitude survives
+            a_wins = np.abs(va) > np.abs(vb)
+            ties = np.abs(va) == np.abs(vb)
+            a_wins = np.where(ties, ids_a > ids_b, a_wins)
+        if protect:
+            pa = protect.member_rows(ids_a)
+            pb = protect.member_rows(ids_b)
+            a_wins = np.where(pa & ~pb, True, a_wins)
+            a_wins = np.where(pb & ~pa, False, a_wins)
+        return a_wins & conflict
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _linear_combine(self, other: "BatchAffine", negate_other: bool,
+                        protect, provenance: Optional[str]) -> "BatchAffine":
+        ctx = self.ctx
+        central, cerr = sum_err_v(
+            self.central, -other.central if negate_other else other.central)
+        x = cerr
+
+        ca = self.coeffs
+        cb = -other.coeffs if negate_other else other.coeffs
+        ids_a, ids_b = self.ids, other.ids
+
+        with np.errstate(all="ignore"):
+            eq = ids_a == ids_b
+            both = eq & (ids_a != 0)
+            conflict = ~eq & (ids_a != 0) & (ids_b != 0)
+
+            summed = ca + cb
+            out_ids = np.maximum(ids_a, ids_b)
+            out_coeffs = summed
+            x = add_ru_v(x, mul_ru_v(
+                EPS, sum_bound_ru_rows(np.abs(summed * both), ctx.k)))
+
+            n_conf = int(np.count_nonzero(conflict))
+            if n_conf:
+                ctx.stats.n_conflicts += n_conf
+                ctx.stats.n_fused_symbols += n_conf
+                a_wins = self._conflict_winner_mask(ids_a, ca, ids_b, cb,
+                                                    conflict, protect)
+                b_wins = conflict & ~a_wins
+                out_ids = np.where(a_wins, ids_a,
+                                   np.where(b_wins, ids_b, out_ids))
+                out_coeffs = np.where(a_wins, ca,
+                                      np.where(b_wins, cb, out_coeffs))
+                # Conflict-free rows lose nothing: their lost-sum is an
+                # exact 0.0 and add_ru(x, 0.0) == x for the nonnegative
+                # accumulator, so applying the blend batch-wide is still
+                # bit-identical per row.
+                lost = np.where(a_wins, np.abs(cb),
+                                np.where(b_wins, np.abs(ca), 0.0))
+                x = add_ru_v(x, sum_bound_ru_rows(lost, ctx.k))
+
+        out = BatchAffine(ctx, central, out_ids, out_coeffs)
+        out._place_fresh_symbol(x, provenance, protect)
+        ctx.stats.n_add += ctx.n
+        m_shared = int(np.count_nonzero(both))
+        ctx.stats.flops += (3 * ctx.k + 3) * ctx.n + 2 * m_shared
+        return out
+
+    def add(self, other, protect=None,
+            provenance: Optional[str] = None) -> "BatchAffine":
+        return self._linear_combine(self._coerce(other), False, protect,
+                                    provenance)
+
+    def sub(self, other, protect=None,
+            provenance: Optional[str] = None) -> "BatchAffine":
+        return self._linear_combine(self._coerce(other), True, protect,
+                                    provenance)
+
+    def mul(self, other, protect=None,
+            provenance: Optional[str] = None) -> "BatchAffine":
+        other = self._coerce(other)
+        ctx = self.ctx
+        a0, b0 = self.central, other.central
+        central, cerr = prod_err_v(a0, b0)
+        x = cerr
+
+        ca, cb = self.coeffs, other.coeffs
+        ids_a, ids_b = self.ids, other.ids
+
+        with np.errstate(all="ignore"):
+            ra = sum_bound_ru_rows(np.abs(ca), ctx.k)
+            rb = sum_bound_ru_rows(np.abs(cb), ctx.k)
+            # The scalar kernel skips the ra*rb term when either radius is
+            # exactly zero; mask per row (mul_ru(0, inf) would be NaN).
+            nz = (ra != 0.0) & (rb != 0.0)
+            x = np.where(nz, add_ru_v(x, mul_ru_v(ra, rb)), x)
+
+            conflict = (ids_a != ids_b) & (ids_a != 0) & (ids_b != 0)
+
+            pa = b0[:, None] * ca
+            pb = a0[:, None] * cb
+            combined = pa + pb
+            out_ids = np.maximum(ids_a, ids_b)
+            out_coeffs = combined
+            mag = sum_bound_ru_rows(
+                np.abs(pa) + np.abs(pb) + np.abs(combined), ctx.k)
+            x = add_ru_v(x, add_ru_v(mul_ru_v(EPS, mag), 2.0 * ETA * ctx.k))
+
+            n_conf = int(np.count_nonzero(conflict))
+            if n_conf:
+                ctx.stats.n_conflicts += n_conf
+                ctx.stats.n_fused_symbols += n_conf
+                a_wins = self._conflict_winner_mask(ids_a, pa, ids_b, pb,
+                                                    conflict, protect)
+                b_wins = conflict & ~a_wins
+                out_ids = np.where(a_wins, ids_a,
+                                   np.where(b_wins, ids_b, out_ids))
+                out_coeffs = np.where(a_wins, pa,
+                                      np.where(b_wins, pb, out_coeffs))
+                lost = np.where(a_wins, np.abs(pb),
+                                np.where(b_wins, np.abs(pa), 0.0))
+                x = add_ru_v(x, sum_bound_ru_rows(lost, ctx.k))
+
+        out = BatchAffine(ctx, central, out_ids, out_coeffs)
+        out._place_fresh_symbol(x, provenance, protect)
+        ctx.stats.n_mul += ctx.n
+        m_shared = int(np.count_nonzero((ids_a == ids_b) & (ids_a != 0)))
+        ctx.stats.flops += (13 * ctx.k + 3) * ctx.n + 2 * m_shared
+        return out
+
+    def _unary_linear(self, alpha, zeta, delta, protect,
+                      provenance: Optional[str]) -> "BatchAffine":
+        ctx = self.ctx
+        x = np.abs(delta)
+        scaled, e = prod_err_v(alpha, self.central)
+        x = add_ru_v(x, e)
+        central, e2 = sum_err_v(scaled, zeta)
+        x = add_ru_v(x, e2)
+        with np.errstate(all="ignore"):
+            coeffs = alpha[:, None] * self.coeffs
+            active = self.ids != 0
+            lane_err = np.where(active, EPS * np.abs(coeffs) + ETA, 0.0)
+            x = add_ru_v(x, sum_bound_ru_rows(lane_err, ctx.k))
+        out = BatchAffine(ctx, central, self.ids.copy(), coeffs)
+        out._place_fresh_symbol(x, provenance, protect)
+        return out
+
+    def _domain_gate(self, bad, what: str):
+        """All rows bad: whole result invalid.  Mixed: split the cohort so
+        each side takes its single scalar-equivalent path.  Returns True
+        when the caller should produce the invalid result."""
+        if not bad.any():
+            return False
+        if bad.all():
+            return True
+        raise CohortDivergence(
+            [np.flatnonzero(~bad), np.flatnonzero(bad)], _no_rows(), what)
+
+    def div(self, other, protect=None,
+            provenance: Optional[str] = None) -> "BatchAffine":
+        other = self._coerce(other)
+        ctx = self.ctx
+        ctx.stats.n_div += ctx.n
+        lo, hi, valid = other.interval_rows()
+        bad = ~valid | ((lo <= 0.0) & (0.0 <= hi))
+        if self._domain_gate(bad, "div-domain"):
+            return self._invalid_result()
+        point = (lo == hi) & (other.n_symbols_rows() == 0)
+        if point.all():
+            b = lo
+            x = sub_ru_v(div_ru_v(self.central, b),
+                         div_rd_v(self.central, b))
+            with np.errstate(all="ignore"):
+                central = self.central / b
+                coeffs = self.coeffs / b[:, None]
+                active = self.ids != 0
+                lane_err = np.where(active, EPS * np.abs(coeffs) + ETA, 0.0)
+                x = add_ru_v(x, sum_bound_ru_rows(lane_err, ctx.k))
+            out = BatchAffine(ctx, central, self.ids.copy(), coeffs)
+            out._place_fresh_symbol(x, provenance, protect)
+            return out
+        if point.any():
+            raise CohortDivergence(
+                [np.flatnonzero(point), np.flatnonzero(~point)], _no_rows(),
+                "div-point")
+        alpha, zeta, delta = linearize_inv_rows(lo, hi)
+        inv = other._unary_linear(alpha, zeta, delta, protect,
+                                  provenance and provenance + ":inv")
+        return self.mul(inv, protect, provenance)
+
+    def sqrt(self, protect=None,
+             provenance: Optional[str] = None) -> "BatchAffine":
+        ctx = self.ctx
+        ctx.stats.n_sqrt += ctx.n
+        lo, hi, valid = self.interval_rows()
+        bad = ~valid | (hi < 0.0)
+        if self._domain_gate(bad, "sqrt-domain"):
+            return self._invalid_result()
+        alpha, zeta, delta = _linearize_rows(linearize_sqrt, lo, hi,
+                                             clamp_lo_nonneg=True)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def exp(self, protect=None,
+            provenance: Optional[str] = None) -> "BatchAffine":
+        lo, hi, valid = self.interval_rows()
+        bad = ~valid | (hi > 709.0)
+        if self._domain_gate(bad, "exp-domain"):
+            return self._invalid_result()
+        alpha, zeta, delta = _linearize_rows(linearize_exp, lo, hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def log(self, protect=None,
+            provenance: Optional[str] = None) -> "BatchAffine":
+        lo, hi, valid = self.interval_rows()
+        bad = ~valid | (lo <= 0.0)
+        if self._domain_gate(bad, "log-domain"):
+            return self._invalid_result()
+        alpha, zeta, delta = _linearize_rows(linearize_log, lo, hi)
+        return self._unary_linear(alpha, zeta, delta, protect, provenance)
+
+    def neg(self) -> "BatchAffine":
+        return BatchAffine(self.ctx, -self.central, self.ids.copy(),
+                           -self.coeffs)
+
+    def abs_(self, protect=None) -> "BatchAffine":
+        ctx = self.ctx
+        lo, hi, valid = self.interval_rows()
+        with np.errstate(all="ignore"):
+            take_self = valid & (lo >= 0.0)
+            take_neg = valid & ~take_self & (hi <= 0.0)
+            mix = valid & ~take_self & ~take_neg
+            h = np.where(hi > -lo, hi, -lo)  # Python max(-lo, hi)
+            central = np.where(take_self, self.central,
+                               np.where(take_neg, -self.central,
+                                        np.where(mix, h / 2.0, np.nan)))
+            ids = np.where((take_self | take_neg)[:, None], self.ids, 0)
+            coeffs = np.where(take_self[:, None], self.coeffs,
+                              np.where(take_neg[:, None], -self.coeffs, 0.0))
+            mag = np.abs(add_ru_v(h / 2.0, ulp_v(h)))
+        out = BatchAffine(ctx, central, ids, coeffs)
+        out._place_fresh_symbol(np.where(mix, mag, 0.0), "abs", None)
+        return out
+
+    def _min_max_with(self, other, is_min: bool) -> "BatchAffine":
+        other = self._coerce(other)
+        ctx = self.ctx
+        alo, ahi, avalid = self.interval_rows()
+        blo, bhi, bvalid = other.interval_rows()
+        with np.errstate(all="ignore"):
+            valid = avalid & bvalid
+            if is_min:
+                take_a = valid & (ahi <= blo)
+                take_b = valid & ~take_a & (bhi <= alo)
+                mlo = np.where(blo < alo, blo, alo)  # Python min(alo, blo)
+                mhi = np.where(bhi < ahi, bhi, ahi)
+            else:
+                take_a = valid & (alo >= bhi)
+                take_b = valid & ~take_a & (blo >= ahi)
+                mlo = np.where(blo > alo, blo, alo)  # Python max(alo, blo)
+                mhi = np.where(bhi > ahi, bhi, ahi)
+            mix = valid & ~take_a & ~take_b
+            mid = _midpoint_rows(mlo, mhi)
+            rad = _radius_ru_rows(mid, mlo, mhi)
+            mag = np.abs(add_ru_v(rad, ulp_v(mid)))
+            central = np.where(take_a, self.central,
+                               np.where(take_b, other.central,
+                                        np.where(mix, mid, np.nan)))
+            ids = np.where(take_a[:, None], self.ids,
+                           np.where(take_b[:, None], other.ids, 0))
+            coeffs = np.where(take_a[:, None], self.coeffs,
+                              np.where(take_b[:, None], other.coeffs, 0.0))
+        out = BatchAffine(ctx, central, ids, coeffs)
+        out._place_fresh_symbol(np.where(mix, mag, 0.0),
+                                "min" if is_min else "max", None)
+        return out
+
+    def min_with(self, other) -> "BatchAffine":
+        return self._min_max_with(other, True)
+
+    def max_with(self, other) -> "BatchAffine":
+        return self._min_max_with(other, False)
+
+    def _invalid_result(self) -> "BatchAffine":
+        ctx = self.ctx
+        return BatchAffine(ctx, np.full(ctx.n, np.nan),
+                           np.zeros((ctx.n, ctx.k), dtype=np.int64),
+                           np.zeros((ctx.n, ctx.k), dtype=np.float64))
+
+    # -- comparisons ------------------------------------------------------------
+
+    def _decide_rows(self, dt, df, central_answer, what: str) -> bool:
+        """Per-row ``decide_comparison``: uniform decisions return a bool,
+        mixed ones raise :class:`CohortDivergence`.  Under STRICT,
+        ambiguous rows go to scalar fallback (where the proper
+        :class:`AmbiguousComparisonError` is raised per row)."""
+        ctx = self.ctx
+        amb = ~(dt | df)
+        if ctx.decision_policy is DecisionPolicy.STRICT:
+            if amb.any():
+                raise CohortDivergence(
+                    [np.flatnonzero(dt), np.flatnonzero(df)],
+                    np.flatnonzero(amb), what)
+            decision = dt
+        else:
+            n_amb = int(np.count_nonzero(amb))
+            if n_amb:
+                ctx.stats.ambiguous_branches += n_amb
+            decision = np.where(amb, central_answer, dt)
+        if decision.all():
+            return True
+        if not decision.any():
+            return False
+        raise CohortDivergence(
+            [np.flatnonzero(decision), np.flatnonzero(~decision)],
+            _no_rows(), what)
+
+    def compare_lt(self, other) -> bool:
+        other = self._coerce(other)
+        alo, ahi, avalid = self.interval_rows()
+        blo, bhi, bvalid = other.interval_rows()
+        valid = avalid & bvalid
+        dt = valid & (ahi < blo)
+        df = valid & (alo >= bhi)
+        return self._decide_rows(dt, df, self.central < other.central, "<")
+
+    def compare_le(self, other) -> bool:
+        other = self._coerce(other)
+        alo, ahi, avalid = self.interval_rows()
+        blo, bhi, bvalid = other.interval_rows()
+        valid = avalid & bvalid
+        dt = valid & (ahi <= blo)
+        df = valid & (alo > bhi)
+        return self._decide_rows(dt, df, self.central <= other.central, "<=")
+
+    # -- sugar ------------------------------------------------------------------
+
+    def _coerce(self, x) -> "BatchAffine":
+        if isinstance(x, BatchAffine):
+            if x.ctx is not self.ctx:
+                raise SoundnessError(
+                    "mixing BatchAffine from different contexts")
+            return x
+        if isinstance(x, (int, float)):
+            return BatchAffine.from_exact(self.ctx, float(x))
+        raise TypeError(f"cannot coerce {type(x).__name__} to BatchAffine")
+
+    def __add__(self, other):
+        return self.add(other)
+
+    def __radd__(self, other):
+        return self._coerce(other).add(self)
+
+    def __sub__(self, other):
+        return self.sub(other)
+
+    def __rsub__(self, other):
+        return self._coerce(other).sub(self)
+
+    def __mul__(self, other):
+        return self.mul(other)
+
+    def __rmul__(self, other):
+        return self._coerce(other).mul(self)
+
+    def __truediv__(self, other):
+        return self.div(other)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).div(self)
+
+    def __neg__(self):
+        return self.neg()
+
+    def __lt__(self, other):
+        return self.compare_lt(other)
+
+    def __le__(self, other):
+        return self.compare_le(other)
+
+    def __gt__(self, other):
+        return self._coerce(other).compare_lt(self)
+
+    def __ge__(self, other):
+        return self._coerce(other).compare_le(self)

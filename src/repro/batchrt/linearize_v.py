@@ -1,0 +1,109 @@
+"""Row-vectorized min-range linearization of ``1/x``.
+
+Division dominates the batched runtime of the paper kernels (``luf``'s
+elimination loop is nothing but divisions), and each division linearizes
+its divisor — so this is the one linearization worth lifting off the
+per-row scalar loop.  The code replays :func:`repro.aa.linearize.
+linearize_inv` operation for operation: the same reflection for negative
+domains, the same round-to-nearest slope, the same interval evaluations
+of the deviation ``d(x) = 1/x − αx`` at both endpoints and at the clipped
+critical-point enclosure, the same midpoint/half-width split — so every
+lane is bit-identical to the scalar result.
+
+The interval steps simplify because the (reflected) domain is strictly
+positive and ``α < 0``: every quantity that feeds a min/max is strictly
+positive (``d > 0``) or strictly nonpositive (``αx``), so numpy's
+``minimum``/``maximum`` cannot disagree with Python's ``min``/``max`` on
+NaN or signed-zero ties.  Rows where that argument breaks — a non-finite
+or flushed-to-zero slope, or a NaN deviation hull — are patched through
+the scalar function, which also reproduces its ``SoundnessError`` exactly.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - covered via engine availability gate
+    np = None
+
+from ..aa.linearize import linearize_inv
+from .npops import (
+    div_rd_v,
+    div_ru_v,
+    mul_rd_v,
+    mul_ru_v,
+    sqrt_rd_v,
+    sqrt_ru_v,
+    sub_rd_v,
+    sub_ru_v,
+)
+
+__all__ = ["linearize_inv_rows"]
+
+
+def _d_point(alpha, v):
+    """``Interval.point(1.0)/point(v) - Interval.point(alpha)*point(v)``
+    per row: all four directed-product candidates coincide for points."""
+    r_lo = div_rd_v(1.0, v)
+    r_hi = div_ru_v(1.0, v)
+    m_lo = mul_rd_v(alpha, v)
+    m_hi = mul_ru_v(alpha, v)
+    return sub_rd_v(r_lo, m_hi), sub_ru_v(r_hi, m_lo)
+
+
+def _d_interval(alpha, x1, x2):
+    """The same deviation over the interval ``[x1, x2]`` (0 < x1 <= x2)."""
+    r_lo = np.minimum(div_rd_v(1.0, x1), div_rd_v(1.0, x2))
+    r_hi = np.maximum(div_ru_v(1.0, x1), div_ru_v(1.0, x2))
+    m_lo = np.minimum(mul_rd_v(alpha, x1), mul_rd_v(alpha, x2))
+    m_hi = np.maximum(mul_ru_v(alpha, x1), mul_ru_v(alpha, x2))
+    return sub_rd_v(r_lo, m_hi), sub_ru_v(r_hi, m_lo)
+
+
+def linearize_inv_rows(lo, hi):
+    """Per-row ``linearize_inv(lo[i], hi[i])`` as three ``(N,)`` arrays.
+
+    Callers guarantee no row's range contains zero (the batched ``div``
+    splits domain-invalid rows off first).
+    """
+    neg = hi < 0.0
+    with np.errstate(all="ignore"):
+        # 1/x is odd: reflect negative domains onto the positive case and
+        # negate zeta at the end, exactly as the scalar helper recurses.
+        a = np.where(neg, -hi, lo)
+        b = np.where(neg, -lo, hi)
+        alpha = -1.0 / (b * b)
+        bad = ~np.isfinite(alpha) | (alpha == 0.0)
+
+        # Critical point x* = 1/sqrt(-alpha), as a sound enclosure.
+        q_lo = div_rd_v(1.0, -alpha)
+        q_hi = div_ru_v(1.0, -alpha)
+        crit_lo = np.where(q_lo > 0.0, sqrt_rd_v(q_lo), 0.0)
+        crit_hi = sqrt_ru_v(q_hi)
+
+        da_lo, da_hi = _d_point(alpha, a)
+        db_lo, db_hi = _d_point(alpha, b)
+        dev_lo = np.minimum(da_lo, db_lo)
+        dev_hi = np.maximum(da_hi, db_hi)
+
+        c1 = np.maximum(crit_lo, a)
+        c2 = np.minimum(crit_hi, b)
+        has_crit = c2 >= c1
+        dc_lo, dc_hi = _d_interval(alpha, c1, c2)
+        dev_lo = np.where(has_crit, np.minimum(dev_lo, dc_lo), dev_lo)
+        dev_hi = np.where(has_crit, np.maximum(dev_hi, dc_hi), dev_hi)
+        bad |= np.isnan(dev_lo) | np.isnan(dev_hi)
+
+        zeta = dev_lo + (dev_hi - dev_lo) / 2.0
+        zeta = np.where(np.isfinite(zeta), zeta, dev_lo / 2.0 + dev_hi / 2.0)
+        d1 = sub_ru_v(dev_hi, zeta)
+        d2 = sub_ru_v(zeta, dev_lo)
+        delta = np.where(d2 > d1, d2, d1)  # Python max(d1, d2)
+        zeta = np.where(neg, -zeta, zeta)
+
+    for i in np.flatnonzero(bad):
+        # Degenerate slopes and invalid hulls take the scalar fallback
+        # formulas (or raise the scalar SoundnessError) verbatim.
+        alpha[i], zeta[i], delta[i] = linearize_inv(float(lo[i]),
+                                                    float(hi[i]))
+    return alpha, zeta, delta

@@ -1,0 +1,310 @@
+"""Row-vectorized directed rounding on IEEE-754 binary64.
+
+Elementwise mirrors of :mod:`repro.fp.rounding` and the error helpers of
+:mod:`repro.aa.form`, branch for branch: every scalar conditional becomes
+a mask + blend, so each lane of an output is bit-identical to the scalar
+function applied to that lane.  The batched runtime's soundness gate
+(batched enclosures equal the scalar vectorized path's bit for bit) rests
+on exactly this property — changes here must preserve lane-exactness, not
+merely soundness.
+
+Everything runs under ``numpy.errstate(all="ignore")``: the scalar code
+relies on IEEE overflow-to-inf / invalid-to-NaN semantics and handles the
+specials explicitly, and the masked-out lanes of a blend routinely hold
+garbage (e.g. a Dekker split of a huge operand) that must not warn.
+"""
+
+from __future__ import annotations
+
+import math
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - covered via engine availability gate
+    np = None
+
+from ..fp.expansion import _SPLITTER, SPLIT_SAFE_BOUND
+from ..fp.rounding import (
+    EPS,
+    ETA,
+    MAX_FLOAT,
+    _PROD_HI_SAFE,
+    _PROD_LO_SAFE,
+)
+
+__all__ = [
+    "add_rd_v",
+    "add_ru_v",
+    "div_rd_v",
+    "div_ru_v",
+    "mul_rd_v",
+    "mul_ru_v",
+    "prod_err_v",
+    "sqrt_rd_v",
+    "sqrt_ru_v",
+    "sub_rd_v",
+    "sub_ru_v",
+    "sum_bound_ru_rows",
+    "sum_err_v",
+    "two_prod_v",
+    "two_sum_v",
+    "ulp_v",
+]
+
+_INF = math.inf
+_ULP_MAX = math.ulp(MAX_FLOAT)
+
+
+def two_sum_v(a, b):
+    """Elementwise Knuth TwoSum (bit-identical to ``fp.expansion.two_sum``)."""
+    s = a + b
+    bb = s - a
+    e = (a - (s - bb)) + (b - bb)
+    return s, e
+
+
+def _split_v(a):
+    c = _SPLITTER * a
+    hi = c - (c - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_prod_v(a, b):
+    """Elementwise Dekker TwoProd (bit-identical to ``two_prod`` where the
+    split is safe; callers mask the unsafe lanes)."""
+    p = a * b
+    a_hi, a_lo = _split_v(a)
+    b_hi, b_lo = _split_v(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def _add_dir_v(a, b, up: bool):
+    """Elementwise ``fp.rounding._add_dir``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        s, e = two_sum_v(a, b)
+        stepped = np.nextafter(s, _INF if up else -_INF)
+        # NaN/inf lanes: e is NaN there, so both comparisons are False and
+        # the lane keeps s — exactly the scalar pass-through.
+        bump = (e > 0.0) if up else (e < 0.0)
+        out = np.where(bump, stepped, s)
+        ovf = np.isinf(s) & ~(np.isinf(a) | np.isinf(b))
+        if ovf.any():
+            if up:
+                fix = np.where(s > 0.0, _INF, -MAX_FLOAT)
+            else:
+                fix = np.where(s > 0.0, MAX_FLOAT, -_INF)
+            out = np.where(ovf, fix, out)
+    return out
+
+
+def add_ru_v(a, b):
+    return _add_dir_v(a, b, True)
+
+
+def add_rd_v(a, b):
+    return _add_dir_v(a, b, False)
+
+
+def sub_ru_v(a, b):
+    return _add_dir_v(a, np.negative(b), True)
+
+
+def sub_rd_v(a, b):
+    return _add_dir_v(a, np.negative(b), False)
+
+
+def _mul_dir_v(a, b, up: bool):
+    """Elementwise ``fp.rounding._mul_dir``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        p = a * b
+        live = ~(np.isnan(p) | np.isinf(p))
+        ap = np.abs(a)
+        bb = np.abs(b)
+        absp = np.abs(p)
+        unsafe = (
+            (ap > SPLIT_SAFE_BOUND)
+            | (bb > SPLIT_SAFE_BOUND)
+            | ~((_PROD_LO_SAFE < absp) & (absp < _PROD_HI_SAFE))
+        )
+        _, e = two_prod_v(a, b)
+        stepped = np.nextafter(p, _INF if up else -_INF)
+        bump = ((e > 0.0) if up else (e < 0.0)) & live & ~unsafe
+        out = np.where(bump, stepped, p)
+        uz_nonzero = live & unsafe & (p != 0.0)
+        out = np.where(uz_nonzero, stepped, out)
+        uz = live & unsafe & (p == 0.0) & ~((a == 0.0) | (b == 0.0))
+        if uz.any():
+            positive = (a > 0.0) == (b > 0.0)
+            if up:
+                uval = np.where(positive, ETA, -0.0)
+            else:
+                uval = np.where(positive, 0.0, -ETA)
+            out = np.where(uz, uval, out)
+        ovf = np.isinf(p) & ~(np.isinf(a) | np.isinf(b))
+        if ovf.any():
+            if up:
+                fix = np.where(p > 0.0, _INF, -MAX_FLOAT)
+            else:
+                fix = np.where(p > 0.0, MAX_FLOAT, -_INF)
+            out = np.where(ovf, fix, out)
+    return out
+
+
+def mul_ru_v(a, b):
+    return _mul_dir_v(a, b, True)
+
+
+def mul_rd_v(a, b):
+    return _mul_dir_v(a, b, False)
+
+
+def sum_bound_ru_rows(values, k: int):
+    """Per-row ``aa.vectorized._sum_bound_ru`` over an ``(N, k)`` matrix.
+
+    ``np.sum(values, axis=1)`` on a C-contiguous matrix uses the same
+    pairwise summation order per row as ``np.sum`` over that row alone, so
+    each lane matches the scalar helper bit for bit.
+    """
+    with np.errstate(all="ignore"):
+        s = np.sum(values, axis=1)
+        out = mul_ru_v(s, 1.0 + 4.0 * (k + 2) * EPS)
+        out = np.where(np.isfinite(s), out, _INF)
+        out = np.where(s == 0.0, 0.0, out)
+    return out
+
+
+def sum_err_v(a, b):
+    """Elementwise ``aa.form._sum_err``."""
+    with np.errstate(all="ignore"):
+        s, e = two_sum_v(a, b)
+        err = np.where(np.isinf(s), _INF, np.abs(e))
+    return s, err
+
+
+def prod_err_v(a, b):
+    """Elementwise ``aa.form._prod_err``."""
+    with np.errstate(all="ignore"):
+        p = a * b
+        absp = np.abs(p)
+        window = (_PROD_LO_SAFE < absp) & (absp < _PROD_HI_SAFE)
+        _, e = two_prod_v(a, b)
+        cons = add_ru_v(mul_ru_v(EPS, absp), ETA)
+        err = np.where(window, np.abs(e), cons)
+        err = np.where(np.isinf(p), _INF, err)
+    return p, err
+
+
+def ulp_v(x):
+    """Elementwise ``fp.rounding.ulp`` (NaN passes through as NaN)."""
+    with np.errstate(all="ignore"):
+        out = np.spacing(np.abs(x))
+        # np.spacing(MAX_FLOAT) is inf (the gap to the *next* float);
+        # math.ulp returns the last-bit value instead.
+        out = np.where(np.abs(x) == MAX_FLOAT, _ULP_MAX, out)
+        out = np.where(np.isinf(x), _INF, out)
+    return out
+
+
+def _expansion_lead3(q0, x, y):
+    """Sign-carrying leading component of ``grow_expansion([x, y], q0)``.
+
+    For a nonoverlapping increasing-magnitude input expansion ``[x, y]``
+    (Shewchuk's precondition, satisfied by the TwoSum pairs the rounding
+    residuals produce) the grown expansion is again nonoverlapping with
+    increasing magnitude, so the exact sum's sign is the sign of the
+    largest-magnitude nonzero component — no ``math.fsum`` needed.
+    """
+    q1, h1 = two_sum_v(q0, x)
+    q2, h2 = two_sum_v(q1, y)
+    return np.where(q2 != 0.0, q2, np.where(h2 != 0.0, h2, h1))
+
+
+def _div_dir_v(a, b, up: bool):
+    """Elementwise ``fp.rounding._div_dir``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        q = a / b
+        # The scalar special-case ladder (NaN operands, division by zero,
+        # infinite operands) re-derives exactly what IEEE division already
+        # returns, so numpy's quotient stands for all of those lanes.
+        live = ~(np.isnan(q) | (b == 0.0) | np.isinf(b) | np.isinf(a))
+        out = q
+        ovf = live & np.isinf(q)
+        if ovf.any():
+            if up:
+                fix = np.where(q > 0.0, _INF, -MAX_FLOAT)
+            else:
+                fix = np.where(q > 0.0, MAX_FLOAT, -_INF)
+            out = np.where(ovf, fix, out)
+        uz = live & (q == 0.0) & (a != 0.0)
+        if uz.any():
+            positive = (a > 0.0) == (b > 0.0)
+            if up:
+                uval = np.where(positive, ETA, -0.0)
+            else:
+                uval = np.where(positive, 0.0, -ETA)
+            out = np.where(uz, uval, out)
+        fin = live & ~ovf & (q != 0.0)
+        absq = np.abs(q)
+        absqb = np.abs(q * b)
+        unsafe = ((absq > SPLIT_SAFE_BOUND)
+                  | (np.abs(b) > SPLIT_SAFE_BOUND)
+                  | ~((_PROD_LO_SAFE < absqb) & (absqb < _PROD_HI_SAFE)))
+        stepped = np.nextafter(q, _INF if up else -_INF)
+        out = np.where(fin & unsafe, stepped, out)
+        exact = fin & ~unsafe
+        if exact.any():
+            p, pe = two_prod_v(q, b)
+            s1, e1 = two_sum_v(a, -p)
+            lead = _expansion_lead3(-pe, e1, s1)
+            # sign(a/b - q) = sign(a - q*b) * sign(b)
+            pos = (lead > 0.0) == (b > 0.0)
+            bump = exact & (lead != 0.0) & (pos if up else ~pos)
+            out = np.where(bump, stepped, out)
+    return out
+
+
+def div_ru_v(a, b):
+    return _div_dir_v(a, b, True)
+
+
+def div_rd_v(a, b):
+    return _div_dir_v(a, b, False)
+
+
+def _sqrt_dir_v(a, up: bool):
+    """Elementwise ``fp.rounding._sqrt_dir``."""
+    a = np.asarray(a, dtype=np.float64)
+    with np.errstate(all="ignore"):
+        s = np.sqrt(a)  # NaN for a < 0; ±0 and +inf pass through exactly
+        live = ~np.isnan(s) & (a != 0.0) & ~np.isinf(a)
+        unsafe = ((s > SPLIT_SAFE_BOUND)
+                  | ~((_PROD_LO_SAFE < a) & (a < _PROD_HI_SAFE)))
+        stepped = np.nextafter(s, _INF if up else -_INF)
+        out = np.where(live & unsafe, stepped, s)
+        exact = live & ~unsafe
+        if exact.any():
+            p, pe = two_prod_v(s, s)
+            s1, e1 = two_sum_v(a, -p)
+            ordered = np.abs(e1) <= np.abs(s1)
+            x = np.where(ordered, e1, s1)
+            y = np.where(ordered, s1, e1)
+            lead = _expansion_lead3(-pe, x, y)
+            bump = exact & ((lead > 0.0) if up else (lead < 0.0))
+            out = np.where(bump, stepped, out)
+    return out
+
+
+def sqrt_ru_v(a):
+    return _sqrt_dir_v(a, True)
+
+
+def sqrt_rd_v(a):
+    return _sqrt_dir_v(a, False)

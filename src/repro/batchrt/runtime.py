@@ -1,0 +1,242 @@
+"""Batched runtime handed to generated code in place of ``Runtime``.
+
+Generated functions only ever see the ``_rt`` protocol (constants, array
+allocation, protect gathering, arithmetic dispatch, comparisons), so one
+compiled program body runs unchanged over a whole cohort: every value
+flowing through it is a :class:`~repro.batchrt.form.BatchAffine` instead
+of a scalar affine form, and comparisons either return one Python bool
+(all rows agree) or raise :class:`~repro.batchrt.cohort.CohortDivergence`
+for the engine to split on.
+
+Only AA mode with f64 vectorized kernels is supported here; the engine's
+batchability gate routes everything else to the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .form import BatchAffine, BatchContext, BatchProtect, _midpoint_rows
+
+__all__ = ["BatchRuntime"]
+
+
+class BatchRuntime:
+    """Execution context for one same-path cohort of N input boxes."""
+
+    mode = "aa"
+
+    def __init__(self, ctx: BatchContext) -> None:
+        self.ctx = ctx
+        self.decision_policy = ctx.decision_policy
+        self.stats = ctx.stats
+
+    # -- value construction ---------------------------------------------------
+
+    def const(self, value: float, exact: Optional[bool] = None) -> BatchAffine:
+        return self.ctx.constant(value, exact=exact)
+
+    def interval_const(self, lo: float, hi: float) -> BatchAffine:
+        return self.ctx.from_interval(lo, hi)
+
+    def exact(self, value: float) -> BatchAffine:
+        return self.ctx.exact(float(value))
+
+    def input_rows(self, values, uncertainty_ulps: float = 1.0) -> BatchAffine:
+        return self.ctx.input_rows(values, uncertainty_ulps)
+
+    def alloc_array(self, dims: Sequence[int]):
+        if len(dims) == 1:
+            return [self.exact(0.0) for _ in range(dims[0])]
+        return [self.alloc_array(dims[1:]) for _ in range(dims[0])]
+
+    def alloc_int_array(self, dims: Sequence[int]):
+        if len(dims) == 1:
+            return [0] * dims[0]
+        return [self.alloc_int_array(dims[1:]) for _ in range(dims[0])]
+
+    # -- priorities -------------------------------------------------------------
+
+    def protect(self, *forms) -> BatchProtect:
+        """Per-row symbol-id sets of the given batched variables.
+
+        Mirrors ``Runtime.protect`` row by row — same per-form fragment
+        caching, same largest-|coeff| insertion order, same ``k - 1`` cap —
+        so each row's protected set equals the scalar gather's.
+        """
+        single = len(forms) == 1 and not isinstance(forms[0], (list, tuple))
+        if single:
+            cached = getattr(forms[0], "_pcache", None)
+            if cached is not None:
+                return cached
+        else:
+            key = self._protect_key(forms)
+            memo = self._protect_memo
+            if key in memo:
+                return memo[key]
+
+        n = self.ctx.n
+        best = [dict() for _ in range(n)]
+
+        def fragment(v):
+            """Per-form list of {symbol id: |coeff|}, one dict per row."""
+            frag = getattr(v, "_gcache", None)
+            if frag is not None:
+                return frag
+            if not isinstance(v, BatchAffine):
+                return None
+            ids = v.ids
+            mags = np.abs(v.coeffs)
+            frag = []
+            for i in range(n):
+                mask = ids[i] != 0
+                frag.append(dict(zip(ids[i][mask].tolist(),
+                                     mags[i][mask].tolist())))
+            try:
+                object.__setattr__(v, "_gcache", frag)
+            except (AttributeError, TypeError):
+                pass
+            return frag
+
+        def gather(v) -> None:
+            if isinstance(v, (list, tuple)):
+                for item in v:
+                    gather(item)
+                return
+            frag = fragment(v)
+            if frag is None:
+                return
+            for i in range(n):
+                b = best[i]
+                for sid, mag in frag[i].items():
+                    if mag > b.get(sid, -1.0):
+                        b[sid] = mag
+
+        for f in forms:
+            gather(f)
+
+        cap = max(1, self.ctx.k - 1)
+        sets = []
+        for b in best:
+            if len(b) > cap:
+                sets.append(frozenset(sorted(b, key=lambda s: -b[s])[:cap]))
+            else:
+                sets.append(frozenset(b))
+        out = BatchProtect(sets)
+        if single:
+            try:
+                object.__setattr__(forms[0], "_pcache", out)
+            except (AttributeError, TypeError):
+                pass
+        else:
+            memo = self._protect_memo
+            memo[key] = out
+            while len(memo) > 4:
+                memo.pop(next(iter(memo)))
+        return out
+
+    @property
+    def _protect_memo(self) -> dict:
+        memo = getattr(self, "_protect_memo_store", None)
+        if memo is None:
+            memo = {}
+            self._protect_memo_store = memo
+        return memo
+
+    @staticmethod
+    def _protect_key(forms) -> tuple:
+        flat = []
+
+        def rec(v):
+            if isinstance(v, (list, tuple)):
+                for item in v:
+                    rec(item)
+            else:
+                flat.append(v)
+
+        for f in forms:
+            rec(f)
+        return tuple(flat)
+
+    # -- arithmetic dispatch ----------------------------------------------------
+
+    def add(self, a, b, protect=None):
+        return a.add(b, protect=protect)
+
+    def sub(self, a, b, protect=None):
+        return a.sub(b, protect=protect)
+
+    def mul(self, a, b, protect=None):
+        return a.mul(b, protect=protect)
+
+    def div(self, a, b, protect=None):
+        return a.div(b, protect=protect)
+
+    def neg(self, a):
+        return a.neg()
+
+    def sqrt(self, a, protect=None):
+        return a.sqrt(protect=protect)
+
+    def exp(self, a, protect=None):
+        return a.exp(protect=protect)
+
+    def log(self, a, protect=None):
+        return a.log(protect=protect)
+
+    def fabs(self, a):
+        return a.abs_()
+
+    def fmin(self, a, b):
+        a, b = self._as_range(a), self._as_range(b)
+        return a.min_with(b)
+
+    def fmax(self, a, b):
+        a, b = self._as_range(a), self._as_range(b)
+        return a.max_with(b)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def _as_range(self, x):
+        if isinstance(x, (int, float)):
+            return self.exact(float(x))
+        return x
+
+    def lt(self, a, b) -> bool:
+        a, b = self._as_range(a), self._as_range(b)
+        return a.compare_lt(b)
+
+    def le(self, a, b) -> bool:
+        a, b = self._as_range(a), self._as_range(b)
+        return a.compare_le(b)
+
+    def gt(self, a, b) -> bool:
+        return self.lt(b, a)
+
+    def ge(self, a, b) -> bool:
+        return self.le(b, a)
+
+    def eq(self, a, b) -> bool:
+        """Per-row ``Runtime.eq``: definite for identical point ranges,
+        disjoint ranges and invalid operands; central-midpoint fallback
+        otherwise (policy-dependent, per row)."""
+        a, b = self._as_range(a), self._as_range(b)
+        alo, ahi, avalid = a.interval_rows()
+        blo, bhi, bvalid = b.interval_rows()
+        with np.errstate(all="ignore"):
+            valid = avalid & bvalid
+            both_point = (alo == ahi) & (blo == bhi)
+            disjoint = (ahi < blo) | (bhi < alo)
+            dt = valid & both_point & (alo == blo)
+            df = (~valid
+                  | (valid & both_point & (alo != blo))
+                  | (valid & ~both_point & disjoint))
+            central = _midpoint_rows(alo, ahi) == _midpoint_rows(blo, bhi)
+        return a._decide_rows(dt, df, central, "==")
+
+    def ne(self, a, b) -> bool:
+        # A CohortDivergence raised inside eq propagates through the `not`
+        # unchanged; the re-run cohorts decide eq uniformly.
+        return not self.eq(a, b)

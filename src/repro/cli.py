@@ -99,6 +99,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("args", nargs="*",
                        help="arguments: numbers, or @file.json for arrays")
     p_run.add_argument("--uncertainty-ulps", type=float, default=1.0)
+    p_run.add_argument("--batch", default=None, metavar="FILE.jsonl",
+                       help="run one compiled program over many input "
+                            "boxes: each line of FILE.jsonl is a JSON "
+                            "array of positional arguments ('-' reads "
+                            "stdin); positional args must be omitted")
     p_run.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -363,7 +368,71 @@ def cmd_compile(ns) -> int:
     return 0
 
 
+def _read_batch_rows(path: str) -> List[list]:
+    """Input boxes from a JSONL file: one JSON array of positional
+    arguments per line (blank lines skipped); ``-`` reads stdin."""
+    fh = sys.stdin if path == "-" else open(path)
+    rows: List[list] = []
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON: {exc}")
+            if not isinstance(row, list):
+                raise SystemExit(
+                    f"{path}:{lineno}: each line must be a JSON array of "
+                    f"positional arguments, got {type(row).__name__}")
+            rows.append(row)
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
+    if not rows:
+        raise SystemExit(f"{path}: no input boxes")
+    return rows
+
+
+def _cmd_run_batch(ns) -> int:
+    with _trace_to(ns.trace, "cli:run-batch"):
+        prog = _compile_one(ns, _read_source(ns.file), path=ns.file)
+        rows = _read_batch_rows(ns.batch)
+        try:
+            res = prog.run_batch(rows, uncertainty_ulps=ns.uncertainty_ulps)
+        except ReproError as exc:
+            raise SystemExit(format_cli_error(exc, ns.file))
+    if ns.json:
+        payload = {"config": prog.config.name, "entry": prog.entry,
+                   **res.to_dict()}
+        print(json.dumps(payload))
+        return 0
+    st = res.stats
+    print(f"entry      : {prog.entry} [{prog.config.name}]")
+    print(f"rows       : {st.rows} in {st.cohorts} cohort(s), "
+          f"{st.cohort_splits} split(s), "
+          f"{st.scalar_fallbacks} scalar fallback(s)")
+    for row in res.rows:
+        tag = " (scalar)" if row.fallback else ""
+        if not row.ok:
+            print(f"  [{row.index}] error: {row.error}{tag}")
+        elif row.interval is not None:
+            print(f"  [{row.index}] [{row.interval[0]!r}, "
+                  f"{row.interval[1]!r}]{tag}")
+        else:
+            print(f"  [{row.index}] value: {row.value!r}{tag}")
+    print(f"runtime    : {st.elapsed_s * 1e3:.3f} ms")
+    return 0
+
+
 def cmd_run(ns) -> int:
+    if ns.batch is not None:
+        if ns.args:
+            raise SystemExit(
+                "run --batch reads arguments from the JSONL file; "
+                "positional args must be omitted")
+        return _cmd_run_batch(ns)
     with _trace_to(ns.trace, "cli:run"):
         prog = _compile_one(ns, _read_source(ns.file), path=ns.file)
         args = [_parse_arg(a) for a in ns.args]

@@ -143,6 +143,19 @@ class CompiledProgram:
         return ProgramResult(value=value, params=coerced, runtime=rt,
                              elapsed_s=sp.wall_s)
 
+    def run_batch(self, rows, uncertainty_ulps: float = 1.0):
+        """Evaluate this program over many input boxes at once.
+
+        ``rows`` is a sequence of positional-argument lists, one per input
+        box.  Batchable configurations (AA mode, f64, vectorized kernels,
+        non-RANDOM fusion, numpy present) run on the row-vectorized batched
+        runtime with cohort splitting; anything else loops over the scalar
+        runtime.  Returns a :class:`repro.batchrt.BatchRunResult`.
+        """
+        from ..batchrt import run_batch as _run_batch
+
+        return _run_batch(self, rows, uncertainty_ulps=uncertainty_ulps)
+
 
 class SafeGen:
     """The SafeGen source-to-source compiler (Sound Affine Generator)."""

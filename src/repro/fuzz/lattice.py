@@ -188,10 +188,12 @@ def check_program(program, matrix: Tuple[ConfigPoint, ...] = None,
     source = program.c_source()
     report = AgreementReport()
     results: Dict[str, Any] = {}
+    programs: Dict[str, Any] = {}
 
     for point in matrix:
         try:
             prog = _compile(source, point.config, program.entry, service)
+            programs[point.name] = prog
             res = prog(*program.inputs)
         except ReproError as exc:
             report.violations.append(Violation(
@@ -269,7 +271,111 @@ def check_program(program, matrix: Tuple[ConfigPoint, ...] = None,
         if report.intervals["aa-bounded"] != report.intervals["aa-vec"]:
             report.notes.append("scalar and vectorized enclosures differ "
                                 "(each is checked against the oracle)")
+
+    # -- theorem: the batched runtime agrees with the vectorized scalar path ------
+    if "aa-vec" in results:
+        _check_batched(program, source, programs["aa-vec"],
+                       results["aa-vec"], report)
     return report
+
+
+def _batch_replicas(inputs) -> int:
+    return 3
+
+
+def _check_batched(program, source, vec_prog, scalar_res, report) -> None:
+    """The batched-execution corner of the lattice (a theorem):
+    ``run_batch`` over N replicas of the same input box must reproduce the
+    scalar vectorized enclosure **bit-for-bit** on every row when no cohort
+    split occurred, and **contain** it otherwise (a split or scalar
+    fallback re-runs rows with fresh symbol numbering, so only containment
+    survives).  Skipped silently when numpy is absent or the configuration
+    is not batchable (the scalar paths were already checked)."""
+    from ..errors import ReproError
+
+    try:
+        from ..batchrt import batchable_config, numpy_available, run_batch
+    except Exception:  # pragma: no cover - batchrt always importable
+        return
+    if not numpy_available() or not batchable_config(vec_prog.config):
+        return
+
+    n = _batch_replicas(program.inputs)
+    try:
+        batch = run_batch(vec_prog, [list(program.inputs)] * n)
+    except ReproError as exc:
+        # The scalar vectorized run succeeded, so the batched path must not
+        # raise on the same box.
+        report.violations.append(Violation(
+            kind="batch-divergence", config_name="aa-vec-batch",
+            detail=f"run_batch raised where scalar ran: "
+                   f"{type(exc).__name__}: {exc}",
+            program=program.to_dict(), source=source))
+        return
+    except Exception as exc:
+        report.violations.append(Violation(
+            kind="crash", config_name="aa-vec-batch",
+            detail=f"{type(exc).__name__}: {exc}",
+            program=program.to_dict(), source=source))
+        return
+
+    value = scalar_res.value
+    if not hasattr(value, "interval"):
+        return  # plain int/float return: nothing enclosure-shaped to check
+    iv = value.interval()
+    exact = batch.stats.cohort_splits == 0 \
+        and batch.stats.scalar_fallbacks == 0
+    for row in batch.rows:
+        if not row.ok:
+            report.violations.append(Violation(
+                kind="batch-divergence", config_name="aa-vec-batch",
+                detail=f"row {row.index} failed ({row.error}) where the "
+                       f"scalar run produced [{iv.lo!r}, {iv.hi!r}]",
+                program=program.to_dict(), source=source))
+            continue
+        if row.interval is None:
+            report.violations.append(Violation(
+                kind="batch-divergence", config_name="aa-vec-batch",
+                detail=f"row {row.index} returned {row.value!r} where the "
+                       f"scalar run produced an enclosure",
+                program=program.to_dict(), source=source))
+            continue
+        rlo, rhi = row.interval
+        if math.isnan(iv.lo) or math.isnan(iv.hi):
+            # Invalid scalar range: the batched row must be invalid too.
+            if not (math.isnan(rlo) and math.isnan(rhi)):
+                report.violations.append(Violation(
+                    kind="batch-divergence", config_name="aa-vec-batch",
+                    detail=f"row {row.index} [{rlo!r}, {rhi!r}] is valid "
+                           f"where the scalar range is invalid (NaN)",
+                    program=program.to_dict(), source=source))
+            continue
+        if exact:
+            same = (_bits(rlo) == _bits(iv.lo)
+                    and _bits(rhi) == _bits(iv.hi))
+            if not same:
+                report.violations.append(Violation(
+                    kind="batch-divergence", config_name="aa-vec-batch",
+                    detail=f"row {row.index} [{rlo!r}, {rhi!r}] not "
+                           f"bit-identical to scalar [{iv.lo!r}, {iv.hi!r}] "
+                           f"with no cohort split",
+                    program=program.to_dict(), source=source))
+        else:
+            if math.isnan(rlo) or not (rlo <= iv.lo and iv.hi <= rhi):
+                report.violations.append(Violation(
+                    kind="batch-divergence", config_name="aa-vec-batch",
+                    detail=f"row {row.index} [{rlo!r}, {rhi!r}] does not "
+                           f"contain scalar [{iv.lo!r}, {iv.hi!r}] after "
+                           f"{batch.stats.cohort_splits} split(s)",
+                    program=program.to_dict(), source=source))
+    if batch.rows and batch.rows[0].ok and batch.rows[0].interval:
+        report.intervals["aa-vec-batch"] = tuple(batch.rows[0].interval)
+
+
+def _bits(x: float) -> int:
+    import struct
+
+    return struct.unpack("<q", struct.pack("<d", x))[0]
 
 
 def _compile(source: str, config: CompilerConfig, entry: str, service):

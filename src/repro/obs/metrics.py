@@ -124,6 +124,15 @@ def render_prometheus(stats, server: Optional[Dict[str, Any]] = None) -> str:
               ({"outcome": "failed"}, snap.jobs_failed),
               ({"outcome": "timed_out"}, snap.jobs_timed_out),
               ({"outcome": "retried"}, snap.jobs_retried)])
+    w.metric("batch_rows_total", "counter",
+             "Input boxes evaluated through the batched runtime.",
+             [(None, snap.batch_rows)])
+    w.metric("batch_cohort_splits_total", "counter",
+             "Cohort divergences during batched execution.",
+             [(None, snap.batch_cohort_splits)])
+    w.metric("batch_scalar_fallbacks_total", "counter",
+             "Batched rows that fell back to the scalar runtime.",
+             [(None, snap.batch_scalar_fallbacks)])
     if snap.pass_s:
         w.metric("pass_seconds_total", "counter",
                  "Wall seconds spent per compiler pass.",
@@ -162,10 +171,16 @@ def render_prometheus(stats, server: Optional[Dict[str, Any]] = None) -> str:
                        if key.startswith("err:")]
         w.metric("server_errors_total", "counter",
                  "Error replies by structured code.", err_samples)
+        batch = server.get("batch", {})
         w.metric("server_route_total", "counter",
                  "Work requests by execution route.",
                  [({"route": "inline"}, server.get("inline_served", 0)),
-                  ({"route": "pool"}, server.get("pool_submits", 0))])
+                  ({"route": "pool"}, server.get("pool_submits", 0)),
+                  ({"route": "batch"}, batch.get("coalesced_rows", 0))])
+        if batch:
+            w.metric("server_batch_flushes_total", "counter",
+                     "Micro-batch flushes (one batched execution each).",
+                     [(None, batch.get("flushes", 0))])
         w.metric("server_pool_abandoned_total", "counter",
                  "Pool futures abandoned past their deadline.",
                  [(None, server.get("pool_abandoned", 0))])

@@ -150,6 +150,26 @@ class ServerClient:
             k=k, entry=entry, args=list(args), inputs=dict(inputs or {}),
             uncertainty_ulps=uncertainty_ulps, repeats=repeats, **params)
 
+    def run_batch(self, source: str, rows: Iterable[Iterable[Any]],
+                  config: Any = None, k: int = 16,
+                  entry: Optional[str] = None,
+                  uncertainty_ulps: float = 1.0,
+                  deadline_s: Optional[float] = None,
+                  trace_id: Optional[str] = None,
+                  **params: Any) -> Dict[str, Any]:
+        """Run one program over many input boxes in a single request.
+
+        ``rows`` is one positional-argument list per input box; the reply
+        carries per-row enclosures plus batch statistics.
+        """
+        if config is not None:
+            params["config"] = config
+        return self.request(
+            "run_batch", deadline_s=deadline_s, trace_id=trace_id,
+            source=source, k=k, entry=entry,
+            rows=[list(r) for r in rows],
+            uncertainty_ulps=uncertainty_ulps, **params)
+
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
 

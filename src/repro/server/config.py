@@ -52,6 +52,12 @@ class ServerConfig:
     trace_log: Optional[str] = None
     #: capacity of the in-memory span ring buffer (the ``trace`` op).
     trace_buffer: int = 4096
+    #: micro-batching window for hot-path ``run`` requests: single-shot
+    #: runs against a warm, batchable key are held up to this long and
+    #: coalesced into one batched execution.  ``0`` disables coalescing.
+    batch_window_s: float = 0.0
+    #: flush a micro-batch as soon as it holds this many rows.
+    batch_max_rows: int = 64
 
     def __post_init__(self) -> None:
         if self.trace_buffer < 1:
@@ -66,3 +72,7 @@ class ServerConfig:
             self.pool_limit = self.pool_workers
         if self.pool_limit < 1:
             raise ValueError("pool_limit must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.batch_max_rows < 1:
+            raise ValueError("batch_max_rows must be >= 1")

@@ -79,7 +79,10 @@ class SoundServer:
         self.admission = AdmissionController(
             self.config.max_queue,
             {"inline": self.config.inline_limit,
-             "pool": self.config.pool_limit},
+             "pool": self.config.pool_limit,
+             # Coalescable requests wait concurrently for a window, so
+             # their class must admit a full micro-batch at once.
+             "batch": self.config.batch_max_rows},
         )
         self.counters: Counter = Counter()
         self.trace_buffer = TraceBuffer(self.config.trace_buffer)
@@ -345,6 +348,12 @@ class SoundServer:
                 "inline_served": self.dispatcher.inline_served,
                 "pool_submits": self.dispatcher.pool_submits,
                 "pool_abandoned": self.dispatcher.pool_abandoned,
+                "batch": {
+                    "flushes": self.dispatcher.batcher.flushes,
+                    "coalesced_rows": self.dispatcher.batcher.coalesced_rows,
+                    "max_coalesced": self.dispatcher.batcher.max_coalesced,
+                    "window_s": self.config.batch_window_s,
+                },
                 "draining": self._draining,
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "started_at": round(self._started_wall, 3),

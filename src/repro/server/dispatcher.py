@@ -52,6 +52,111 @@ from .protocol import (
 __all__ = ["Dispatcher", "PreparedRequest"]
 
 
+class _Bucket:
+    """One pending micro-batch: rows and their waiting futures."""
+
+    __slots__ = ("payload", "rows", "waiters", "timer")
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.payload = payload       # the first request's run payload
+        self.rows: list = []
+        self.waiters: list = []
+        self.timer = None
+
+
+class _MicroBatcher:
+    """Coalesces hot-path ``run`` requests into batched executions.
+
+    Single-shot runs against the same warm (key, uncertainty) bucket that
+    arrive within ``batch_window_s`` of each other are held and executed
+    as one ``run_batch`` job on the event loop; each waiter gets back a
+    run-style reply for its own row.  Soundness is untouched: the batched
+    runtime's per-row enclosures are bit-identical to the scalar path.
+    """
+
+    def __init__(self, service: CompileService, config: ServerConfig) -> None:
+        self.service = service
+        self.config = config
+        self._buckets: Dict[Tuple[str, float], _Bucket] = {}
+        self.flushes = 0
+        self.coalesced_rows = 0
+        self.max_coalesced = 0
+
+    async def submit(self, prepared: "PreparedRequest") -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        key = (prepared.key,
+               float(prepared.payload.get("uncertainty_ulps", 1.0)))
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(prepared.payload)
+            bucket.timer = loop.call_later(self.config.batch_window_s,
+                                           self._flush, key)
+        fut = loop.create_future()
+        bucket.rows.append(list(prepared.payload.get("args", [])))
+        bucket.waiters.append(fut)
+        if len(bucket.rows) >= self.config.batch_max_rows:
+            self._flush(key)
+        return await fut
+
+    def stop(self) -> None:
+        """Flush every pending bucket (no admitted row is ever dropped)."""
+        for key in list(self._buckets):
+            self._flush(key)
+
+    def _flush(self, key: Tuple[str, float]) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        template = bucket.payload
+        payload = {
+            "kind": "run_batch",
+            "source": template["source"],
+            "config": template["config"],
+            "entry": template["entry"],
+            "rows": bucket.rows,
+            "uncertainty_ulps": key[1],
+            "tag": {},
+        }
+        n = len(bucket.rows)
+        self.flushes += 1
+        self.coalesced_rows += n
+        self.max_coalesced = max(self.max_coalesced, n)
+        try:
+            value = execute_job(payload, self.service)
+        except ReproError as exc:
+            err = ProtocolError(E_COMPILE, str(exc))
+            for fut in bucket.waiters:
+                if not fut.done():
+                    fut.set_exception(err)
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            for fut in bucket.waiters:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for row, fut in zip(value["rows"], bucket.waiters):
+            if fut.done():
+                continue  # waiter already timed out
+            if not row.get("ok"):
+                fut.set_exception(ProtocolError(
+                    E_COMPILE, row.get("error") or "row failed"))
+                continue
+            out: Dict[str, Any] = {
+                "entry": value["entry"],
+                "config": value["config"],
+                "k": value["k"],
+                "compile_s": value["compile_s"],
+                "batched": True,
+                "coalesced_rows": n,
+            }
+            for field in ("interval", "value", "outputs"):
+                if field in row:
+                    out[field] = row[field]
+            fut.set_result(out)
+
+
 def _server_pool_execute(payload: dict
                          ) -> Tuple[dict, float, ServiceStats, Any, list]:
     """Worker-side execution: the engine's job runner plus the cache entry
@@ -98,6 +203,7 @@ class Dispatcher:
         self.service = service
         self.config = config
         self._pool: Optional[ProcessPoolExecutor] = None
+        self.batcher = _MicroBatcher(service, config)
         self.pool_submits = 0
         self.inline_served = 0
         self.pool_abandoned = 0
@@ -112,6 +218,7 @@ class Dispatcher:
         )
 
     def stop(self) -> None:
+        self.batcher.stop()
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
@@ -143,6 +250,15 @@ class Dispatcher:
         except (ReproError, TypeError, ValueError, KeyError) as exc:
             raise ProtocolError(E_BAD_REQUEST, f"invalid request: {exc}")
         route = "inline" if key in self.service.cache else "pool"
+        if (route == "inline"
+                and request.op == "run"
+                and self.config.batch_window_s > 0
+                and payload.get("repeats", 1) == 1
+                and not payload.get("inputs")):
+            from ..batchrt import batchable_config
+
+            if batchable_config(cfg):
+                route = "batch"
         return PreparedRequest(request=request, payload=payload, key=key,
                                route=route)
 
@@ -159,6 +275,8 @@ class Dispatcher:
             raise ProtocolError(E_DEADLINE, "deadline passed while queued")
         if prepared.route == "inline":
             return self._execute_inline(prepared)
+        if prepared.route == "batch":
+            return await self._execute_batch(prepared, timeout_s)
         return await self._execute_pool(prepared, timeout_s)
 
     def _execute_inline(self, prepared: PreparedRequest) -> Dict[str, Any]:
@@ -171,6 +289,18 @@ class Dispatcher:
             raise ProtocolError(E_COMPILE, str(exc))
         sp.set(key=prepared.key[:16])
         return self._shape(prepared, value)
+
+    async def _execute_batch(self, prepared: PreparedRequest,
+                             timeout_s: Optional[float]) -> Dict[str, Any]:
+        fut = asyncio.ensure_future(self.batcher.submit(prepared))
+        try:
+            out = await asyncio.wait_for(fut, timeout=timeout_s)
+        except asyncio.TimeoutError:
+            raise ProtocolError(E_DEADLINE,
+                                f"not completed within {timeout_s:.3f}s")
+        out["route"] = prepared.route
+        out["cached"] = True
+        return out
 
     async def _execute_pool(self, prepared: PreparedRequest,
                             timeout_s: Optional[float]) -> Dict[str, Any]:

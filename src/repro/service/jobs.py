@@ -25,8 +25,8 @@ from ..compiler.config import CompilerConfig
 from ..obs.profile import OpProfile, count_rounding
 from ..obs.trace import current_tracer
 
-__all__ = ["CompileJob", "RunJob", "JobResult", "job_from_dict",
-           "jobs_from_json", "execute_job"]
+__all__ = ["CompileJob", "RunJob", "RunBatchJob", "JobResult",
+           "job_from_dict", "jobs_from_json", "execute_job"]
 
 
 def normalize_config(config: Union[None, str, Dict[str, Any], CompilerConfig],
@@ -102,6 +102,25 @@ class RunJob(CompileJob):
 
 
 @dataclass
+class RunBatchJob(CompileJob):
+    """Compile once and execute over many input boxes (one positional
+    argument list per row) on the batched vectorized runtime."""
+
+    rows: List[List[Any]] = field(default_factory=list)
+    uncertainty_ulps: float = 1.0
+
+    kind = "run_batch"
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = super().to_payload()
+        payload.update(
+            rows=[list(r) for r in self.rows],
+            uncertainty_ulps=self.uncertainty_ulps,
+        )
+        return payload
+
+
+@dataclass
 class JobResult:
     """Outcome of one job, in submission order (``index`` is the position in
     the submitted batch)."""
@@ -156,7 +175,8 @@ def job_from_dict(data: Dict[str, Any], base_dir: str = ".") -> CompileJob:
             data["source"] = fh.read()
     if "source" not in data:
         raise ValueError("job needs either 'source' or 'file'")
-    cls = {"compile": CompileJob, "run": RunJob}.get(kind)
+    cls = {"compile": CompileJob, "run": RunJob,
+           "run_batch": RunBatchJob}.get(kind)
     if cls is None:
         raise ValueError(f"unknown job kind {kind!r}")
     allowed = {f for f in cls.__dataclass_fields__}
@@ -208,6 +228,8 @@ def execute_job(payload: Dict[str, Any], service) -> Dict[str, Any]:
         return _execute_compile(payload, cfg, service)
     if payload["kind"] == "run":
         return _execute_run(payload, cfg, service)
+    if payload["kind"] == "run_batch":
+        return _execute_run_batch(payload, cfg, service)
     raise ValueError(f"unknown job kind {payload['kind']!r}")
 
 
@@ -289,6 +311,34 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     elif isinstance(res.value, (int, float)):
         value["value"] = res.value
     return value
+
+
+def _execute_run_batch(payload, cfg: CompilerConfig, service
+                       ) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    prog = service.compile(payload["source"], cfg, entry=payload["entry"])
+    compile_s = time.perf_counter() - t0
+
+    rows = payload.get("rows", [])
+    ulps = payload.get("uncertainty_ulps", 1.0)
+    with current_tracer().span("job:run_batch",
+                               entry=payload["entry"] or prog.entry,
+                               config=cfg.name, rows=len(rows)):
+        res = prog.run_batch(rows, uncertainty_ulps=ulps)
+    st = res.stats
+    service.stats.add("batch_rows", st.rows)
+    service.stats.add("batch_cohort_splits", st.cohort_splits)
+    service.stats.add("batch_scalar_fallbacks", st.scalar_fallbacks)
+    service.stats.observe_latency("job:run_batch", st.elapsed_s)
+    return {
+        "entry": prog.entry,
+        "config": cfg.name,
+        "k": cfg.k,
+        "compile_s": compile_s,
+        "rows": [r.to_dict() for r in res.rows],
+        "batch_stats": st.to_dict(),
+        "tag": payload.get("tag", {}),
+    }
 
 
 def _attach_explain(sp, value, top_k: int) -> None:

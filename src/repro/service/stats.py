@@ -196,6 +196,10 @@ class ServiceStats:
     fuzz_seeds: int = 0
     fuzz_violations: int = 0
     fuzz_campaign_s: float = 0.0
+    # batched-execution counters (repro.batchrt)
+    batch_rows: int = 0
+    batch_cohort_splits: int = 0
+    batch_scalar_fallbacks: int = 0
     pass_s: Dict[str, float] = field(default_factory=dict)
     ops: Dict[str, float] = field(default_factory=dict)
     latency: Dict[str, LatencyHistogram] = field(default_factory=dict)

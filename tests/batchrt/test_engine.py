@@ -1,0 +1,240 @@
+"""The batched execution engine against its scalar oracle.
+
+The soundness contract (DESIGN.md, "Batched execution"): every batched row
+is **bit-identical** to the scalar vectorized run of the same input box
+when no cohort split occurred, and **contains** the scalar enclosure
+otherwise.  These tests drive both sides of the contract — split-free
+kernels row-for-row, a branch-heavy program through the cohort machinery,
+and the committed fuzz corpus as a regression net.
+"""
+
+import json
+import math
+import os
+import struct
+
+import pytest
+
+from repro.batchrt import numpy_available, run_batch
+from repro.batchrt.engine import _scalar_value
+from repro.bench import fgm, henon, luf, sor
+from repro.compiler import compile_c
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="batched runtime requires numpy")
+
+CONFIG = "f64a-dsnv"
+K = 8
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "fuzz", "corpus")
+
+
+def bits(x: float) -> int:
+    return struct.unpack("<q", struct.pack("<d", float(x)))[0]
+
+
+def assert_bit_identical(batched, scalar, where=""):
+    """Nested [lo, hi] / scalar structures must match to the bit (NaN
+    payloads and signed zeros included)."""
+    if isinstance(scalar, list):
+        assert isinstance(batched, list) and len(batched) == len(scalar), \
+            f"{where}: shape {batched!r} != {scalar!r}"
+        for i, (b, s) in enumerate(zip(batched, scalar)):
+            assert_bit_identical(b, s, where=f"{where}[{i}]")
+    elif isinstance(scalar, float):
+        assert bits(batched) == bits(scalar), \
+            f"{where}: {batched!r} != {scalar!r}"
+    else:
+        assert batched == scalar, f"{where}: {batched!r} != {scalar!r}"
+
+
+def scalar_row(prog, row):
+    """The scalar path's view of one input box: (return value, outputs)."""
+    res = prog(*row)
+    func = prog.unit.func(prog.entry)
+    outputs = {p.name: _scalar_value(res.params[p.name])
+               for p in func.params if isinstance(res.params.get(p.name), list)}
+    return _scalar_value(res.value), outputs
+
+
+def check_rows_bit_identical(prog, rows):
+    res = run_batch(prog, rows)
+    assert res.stats.rows == len(rows)
+    for row_res, row in zip(res.rows, rows):
+        assert row_res.ok, row_res.error
+        value, outputs = scalar_row(prog, row)
+        got = row_res.interval if row_res.interval is not None \
+            else row_res.value
+        assert_bit_identical(got, value, where=f"row {row_res.index}")
+        assert set(row_res.outputs) == set(outputs)
+        for name in outputs:
+            assert_bit_identical(row_res.outputs[name], outputs[name],
+                                 where=f"row {row_res.index} {name}")
+    return res
+
+
+def dd_matrix(n, rng):
+    """A diagonally dominant matrix (luf/fgm stay well-conditioned)."""
+    m = [[rng.uniform(-1.0, 1.0) for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        m[i][i] = n + rng.uniform(1.0, 2.0)
+    return m
+
+
+class TestPaperKernels:
+    """Split-free kernels: bit-identity row for row, including output
+    array parameters."""
+
+    def _rows(self, name, n_rows):
+        import random
+
+        rng = random.Random(1234)
+        if name == "henon":
+            b = henon()
+            rows = [[rng.uniform(0.1, 0.4), rng.uniform(0.1, 0.3), 12]
+                    for _ in range(n_rows)]
+        elif name == "sor":
+            b = sor(6, 3)
+            rows = [[[[rng.uniform(0.0, 1.0) for _ in range(6)]
+                      for _ in range(6)], 1.25, 3] for _ in range(n_rows)]
+        elif name == "luf":
+            b = luf(5)
+            rows = [[dd_matrix(5, rng)] for _ in range(n_rows)]
+        else:
+            b = fgm(3, 4)
+            rows = [[dd_matrix(3, rng),
+                     [rng.uniform(-1.0, 1.0) for _ in range(3)],
+                     [0.0, 0.0, 0.0], 4] for _ in range(n_rows)]
+        prog = compile_c(b.source, CONFIG, k=K, entry=b.entry)
+        return prog, rows
+
+    @pytest.mark.parametrize("name", ["henon", "sor", "luf", "fgm"])
+    def test_bit_identity(self, name):
+        prog, rows = self._rows(name, 8)
+        res = check_rows_bit_identical(prog, rows)
+        assert res.stats.cohort_splits == 0
+        assert res.stats.scalar_fallbacks == 0
+        assert res.stats.cohorts >= 1
+
+    def test_single_row_uses_the_vector_path(self):
+        """N=1 is the same batched code, not a scalar special case."""
+        prog, rows = self._rows("henon", 1)
+        res = check_rows_bit_identical(prog, rows)
+        assert res.stats.rows == 1
+        assert res.stats.cohorts == 1
+        assert res.stats.scalar_fallbacks == 0
+        assert not res.rows[0].fallback
+
+
+BRANCHY = """
+double branchy(double x, double y) {
+    double r = 0.0;
+    if (x < 0.5) {
+        r = x * x + y;
+    } else {
+        r = x - y * y;
+    }
+    if (y < 0.25) {
+        r = r + 1.0;
+    } else {
+        r = sqrt(r * r + 1.0);
+    }
+    return r;
+}
+"""
+
+
+class TestCohortSplits:
+    def test_branch_heavy_rows_split_and_stay_contained(self):
+        prog = compile_c(BRANCHY, CONFIG, k=K, entry="branchy")
+        rows = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9],
+                [0.2, 0.3], [0.7, 0.05], [0.45, 0.6], [0.55, 0.2]]
+        res = run_batch(prog, rows)
+        assert res.stats.cohort_splits > 0
+        assert res.stats.cohorts > 1
+        for row_res, row in zip(res.rows, rows):
+            assert row_res.ok, row_res.error
+            value, _ = scalar_row(prog, row)
+            lo, hi = row_res.interval
+            # Containment is the post-split gate; each cohort replays each
+            # row's own decisions, so in practice this is still equality.
+            assert lo <= value[0] and value[1] <= hi
+            assert_bit_identical(row_res.interval, value,
+                                 where=f"row {row_res.index}")
+
+    def test_uniform_rows_do_not_split(self):
+        prog = compile_c(BRANCHY, CONFIG, k=K, entry="branchy")
+        rows = [[0.1, 0.05], [0.2, 0.1], [0.3, 0.12], [0.15, 0.2]]
+        res = check_rows_bit_identical(prog, rows)
+        assert res.stats.cohort_splits == 0
+        assert res.stats.cohorts == 1
+
+
+class TestCorpusPrograms:
+    """Every committed fuzz reproducer program: batched == scalar."""
+
+    def _programs(self):
+        out = []
+        for fname in sorted(os.listdir(CORPUS_DIR)):
+            if not fname.endswith(".json"):
+                continue
+            with open(os.path.join(CORPUS_DIR, fname)) as fh:
+                entry = json.load(fh)
+            if entry.get("type") != "program":
+                continue
+            out.append((fname, entry["program"]))
+        return out
+
+    def test_corpus_has_programs(self):
+        assert self._programs(), "committed corpus must hold programs"
+
+    def test_batched_matches_scalar_on_every_program(self):
+        for fname, program in self._programs():
+            prog = compile_c(program["c_source"], CONFIG, k=K,
+                             entry=program["entry"])
+            rows = [list(program["inputs"])] * 4
+            res = run_batch(prog, rows)
+            for row_res, row in zip(res.rows, rows):
+                assert row_res.ok, f"{fname}: {row_res.error}"
+                value, _ = scalar_row(prog, row)
+                got = row_res.interval if row_res.interval is not None \
+                    else row_res.value
+                if res.stats.cohort_splits == 0 \
+                        and res.stats.scalar_fallbacks == 0:
+                    assert_bit_identical(got, value, where=fname)
+                elif isinstance(value, list) and not math.isnan(value[0]):
+                    lo, hi = got
+                    assert lo <= value[0] and value[1] <= hi, fname
+
+
+class TestEdges:
+    def test_empty_batch(self):
+        b = henon()
+        prog = compile_c(b.source, CONFIG, k=K, entry=b.entry)
+        res = run_batch(prog, [])
+        assert res.rows == [] and res.stats.rows == 0
+
+    def test_facade_delegates(self):
+        b = henon()
+        prog = compile_c(b.source, CONFIG, k=K, entry=b.entry)
+        res = prog.run_batch([[0.3, 0.2, 5], [0.31, 0.2, 5]])
+        assert len(res.rows) == 2
+        value, _ = scalar_row(prog, [0.3, 0.2, 5])
+        assert_bit_identical(res.rows[0].interval, value)
+
+    def test_mixed_int_params_group_into_cohorts(self):
+        b = henon()
+        prog = compile_c(b.source, CONFIG, k=K, entry=b.entry)
+        rows = [[0.3, 0.2, 5], [0.3, 0.2, 9], [0.31, 0.2, 5]]
+        res = check_rows_bit_identical(prog, rows)
+        assert res.stats.cohorts >= 2
+
+    def test_to_dict_roundtrips(self):
+        b = henon()
+        prog = compile_c(b.source, CONFIG, k=K, entry=b.entry)
+        res = prog.run_batch([[0.3, 0.2, 3]])
+        d = res.to_dict()
+        assert d["stats"]["rows"] == 1
+        assert d["rows"][0]["ok"] is True
+        assert len(d["rows"][0]["interval"]) == 2

@@ -1,0 +1,204 @@
+"""Batched execution wired through the stack: service jobs, stats
+counters, Prometheus exposition, the CLI ``run --batch`` flag, the fuzz
+lattice's batched corner, and the numpy-less degradation path."""
+
+import json
+
+import pytest
+
+from repro.batchrt import batchable_config, numpy_available
+from repro.cli import main
+from repro.compiler import CompilerConfig
+from repro.common import DecisionPolicy
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}
+"""
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="batched runtime requires numpy")
+
+
+class TestBatchableConfig:
+    def test_vectorized_f64_is_batchable(self):
+        cfg = CompilerConfig.from_string("f64a-dsnv", k=8)
+        assert batchable_config(cfg) == numpy_available()
+
+    def test_scalar_and_interval_modes_are_not(self):
+        assert not batchable_config(CompilerConfig.from_string("f64a-dsnn"))
+        assert not batchable_config(CompilerConfig.from_string("ia-f64"))
+
+    def test_random_fusion_is_not_batchable(self):
+        cfg = CompilerConfig.from_string("f64a-drnv", k=8)
+        assert not batchable_config(cfg)
+
+
+@needs_numpy
+class TestRunBatchJob:
+    def test_job_roundtrip_and_execute(self, tmp_path):
+        from repro.service import CompileService
+        from repro.service.jobs import RunBatchJob, execute_job, job_from_dict
+
+        cfg = CompilerConfig.from_string("f64a-dsnv", k=8)
+        job = RunBatchJob(source=HENON, config=cfg, k=8,
+                          rows=[[0.3, 0.2, 5], [0.31, 0.2, 5]])
+        clone = job_from_dict(job.to_payload())
+        assert isinstance(clone, RunBatchJob)
+        assert clone.rows == job.rows
+
+        service = CompileService(cache_dir=str(tmp_path))
+        value = execute_job(job.to_payload(), service=service)
+        assert value["entry"] == "henon"
+        assert len(value["rows"]) == 2
+        assert all(r["ok"] for r in value["rows"])
+        assert value["batch_stats"]["rows"] == 2
+
+        # The service counters absorbed the batch.
+        snap = service.stats.snapshot()
+        assert snap.batch_rows == 2
+        assert snap.batch_scalar_fallbacks == 0
+
+    def test_stats_merge_and_prometheus(self):
+        from repro.obs.metrics import render_prometheus
+        from repro.service.stats import ServiceStats
+
+        a = ServiceStats()
+        a.add("batch_rows", 5)
+        a.add("batch_cohort_splits", 1)
+        a.add("batch_scalar_fallbacks", 2)
+        b = ServiceStats()
+        b.merge(a)
+        assert b.batch_rows == 5
+        assert b.batch_cohort_splits == 1
+        text = render_prometheus(b)
+        assert "repro_batch_rows_total 5" in text
+        assert "repro_batch_cohort_splits_total 1" in text
+        assert "repro_batch_scalar_fallbacks_total 2" in text
+
+
+@needs_numpy
+class TestCliBatch:
+    @pytest.fixture
+    def henon_file(self, tmp_path):
+        path = tmp_path / "henon.c"
+        path.write_text(HENON)
+        return str(path)
+
+    @pytest.fixture
+    def rows_file(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('[0.3, 0.2, 5]\n\n[0.31, 0.2, 5]\n')
+        return str(path)
+
+    def test_batch_text_output(self, henon_file, rows_file, capsys):
+        assert main(["run", henon_file, "--config", "f64a-dsnv", "-k", "8",
+                     "--batch", rows_file]) == 0
+        out = capsys.readouterr().out
+        assert "rows       : 2 in 1 cohort(s)" in out
+        assert "[0] [" in out and "[1] [" in out
+
+    def test_batch_json_output(self, henon_file, rows_file, capsys):
+        assert main(["run", henon_file, "--config", "f64a-dsnv", "-k", "8",
+                     "--batch", rows_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"] == "f64a-dsnv"
+        assert payload["stats"]["rows"] == 2
+        assert all(r["ok"] for r in payload["rows"])
+
+    def test_batch_rejects_positional_args(self, henon_file, rows_file):
+        with pytest.raises(SystemExit, match="positional args"):
+            main(["run", henon_file, "0.3", "--batch", rows_file])
+
+    def test_batch_rejects_non_array_line(self, henon_file, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"x": 1}\n')
+        with pytest.raises(SystemExit, match="JSON array"):
+            main(["run", henon_file, "--config", "f64a-dsnv",
+                  "--batch", str(bad)])
+
+    def test_example_inputs_parse(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                            "examples", "batch_inputs.jsonl")
+        with open(path) as fh:
+            rows = [json.loads(line) for line in fh if line.strip()]
+        assert rows and all(isinstance(r, list) and len(r) == 3
+                            for r in rows)
+
+
+@needs_numpy
+class TestLatticeBatchedCorner:
+    def test_check_program_exercises_the_batched_path(self):
+        from repro.fuzz.generator import generate_program
+        from repro.fuzz.lattice import check_program
+
+        program = generate_program(1)
+        report = check_program(program)
+        assert report.ok, [v.detail for v in report.violations]
+        assert "aa-vec-batch" in report.intervals
+        assert report.intervals["aa-vec-batch"] == \
+            report.intervals["aa-vec"]
+
+
+class TestWithoutNumpy:
+    """The lazy-import degradation: scalar substrate untouched, vectorized
+    and batched entry points fail with one actionable message."""
+
+    def _hide_numpy(self, monkeypatch):
+        import builtins
+        import sys
+
+        for mod in [m for m in sys.modules if m.split(".")[0] == "numpy"
+                    or m in ("repro.aa.vectorized", "repro.batchrt",
+                             "repro.batchrt.engine", "repro.batchrt.npops",
+                             "repro.batchrt.form", "repro.batchrt.runtime",
+                             "repro.batchrt.cohort",
+                             "repro.batchrt.linearize_v")]:
+            monkeypatch.delitem(sys.modules, mod, raising=False)
+        real_import = builtins.__import__
+
+        def fake_import(name, *args, **kwargs):
+            if name.split(".")[0] == "numpy":
+                raise ImportError("No module named 'numpy'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", fake_import)
+
+    def test_vectorized_config_raises_compile_error(self, monkeypatch):
+        self._hide_numpy(monkeypatch)
+        from repro.aa import AffineContext
+        from repro.errors import CompileError
+
+        ctx = AffineContext(k=8, vectorized=True)
+        with pytest.raises(CompileError, match=r"repro\[vector\]"):
+            ctx._impl()
+
+    def test_batchrt_imports_and_reports_unavailable(self, monkeypatch):
+        self._hide_numpy(monkeypatch)
+        import importlib
+
+        batchrt = importlib.import_module("repro.batchrt")
+        batchrt = importlib.reload(batchrt)
+        assert batchrt.numpy_available() is False
+        cfg = CompilerConfig.from_string("f64a-dsnv", k=8)
+        assert batchrt.batchable_config(cfg) is False
+
+    def test_scalar_configs_unaffected(self, monkeypatch):
+        self._hide_numpy(monkeypatch)
+        from repro.aa import AffineContext
+
+        ctx = AffineContext(k=8, decision_policy=DecisionPolicy.CENTRAL)
+        x = ctx.input(0.5)
+        iv = (x * x).interval()
+        assert iv.lo <= 0.25 <= iv.hi

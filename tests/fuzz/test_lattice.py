@@ -51,10 +51,15 @@ class TestAgrees:
 
 class TestCheckProgram:
     def test_generated_program_ok(self):
+        from repro.batchrt import numpy_available
+
         report = check_program(generate_program(1))
         assert report.ok, [v.to_dict() for v in report.violations]
-        assert set(report.intervals) == {"ia", "ia-noopt", "aa-bounded",
-                                         "aa-full", "aa-vec"}
+        expected = {"ia", "ia-noopt", "aa-bounded", "aa-full", "aa-vec"}
+        if numpy_available():
+            # The batched corner replays aa-vec through run_batch.
+            expected.add("aa-vec-batch")
+        assert set(report.intervals) == expected
         assert isinstance(report.float_value, float)
 
     def test_crash_is_reported_not_raised(self):

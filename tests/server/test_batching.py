@@ -1,0 +1,105 @@
+"""The server's batched surface: the explicit ``run_batch`` op and the
+dispatcher's micro-batching of hot single-shot ``run`` traffic."""
+
+import threading
+
+import pytest
+
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - dev env ships numpy
+    HAVE_NUMPY = False
+
+SRC = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}
+"""
+CONFIG, K = "f64a-dsnv", 8
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="batched runtime requires numpy")
+
+
+@pytest.fixture(scope="module")
+def server():
+    cfg = ServerConfig(port=0, pool_workers=1, batch_window_s=0.2,
+                       batch_max_rows=8)
+    with ServerThread(cfg) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestRunBatchOp:
+    def test_rows_match_individual_runs(self, client):
+        rows = [[0.3, 0.2, 6], [0.31, 0.2, 6], [0.29, 0.21, 6]]
+        res = client.run_batch(SRC, rows, config=CONFIG, k=K)
+        assert res["entry"] == "henon"
+        assert res["batch_stats"]["rows"] == 3
+        for row, row_res in zip(rows, res["rows"]):
+            assert row_res["ok"]
+            single = client.run(SRC, config=CONFIG, k=K, args=row)
+            assert row_res["interval"] == single["interval"]
+
+    def test_scalar_config_falls_back_row_by_row(self, client):
+        res = client.run_batch(SRC, [[0.3, 0.2, 4]], config="f64a-dsnn",
+                               k=K)
+        assert res["rows"][0]["ok"]
+        assert res["batch_stats"]["scalar_fallbacks"] == 1
+
+    def test_batch_counters_reach_stats(self, client):
+        before = client.stats()["service"]["batch_rows"]
+        client.run_batch(SRC, [[0.3, 0.2, 5]] * 4, config=CONFIG, k=K)
+        assert client.stats()["service"]["batch_rows"] >= before + 4
+
+
+class TestMicroBatching:
+    def test_hot_runs_coalesce(self, client, server):
+        # Warm the compile cache so single-shot runs take the batch route.
+        client.compile(SRC, config=CONFIG, k=K)
+        rows = [[0.1 + 0.01 * i, 0.2, 5] for i in range(5)]
+        replies = [None] * len(rows)
+
+        def one(i):
+            with ServerClient(port=server.port) as c:
+                replies[i] = c.run(SRC, config=CONFIG, k=K, args=rows[i])
+
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(len(rows))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(r is not None for r in replies)
+        assert any(r.get("batched") for r in replies)
+        for reply, row in zip(replies, rows):
+            single = client.run_batch(SRC, [row], config=CONFIG, k=K)
+            assert reply["interval"] == single["rows"][0]["interval"]
+
+        batch = client.stats()["server"]["batch"]
+        assert batch["flushes"] >= 1
+        assert batch["coalesced_rows"] >= 2
+        assert batch["window_s"] == 0.2
+
+    def test_metrics_expose_batch_route(self, client):
+        text = client.metrics()
+        assert "repro_batch_rows_total" in text
+        assert 'repro_server_route_total{route="batch"}' in text
+        assert "repro_server_batch_flushes_total" in text
