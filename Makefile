@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
-	serve-smoke obs-smoke fuzz-smoke batch-smoke examples clean
+	serve-smoke obs-smoke fuzz-smoke batch-smoke fleet-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -84,6 +84,13 @@ fuzz-smoke:
 batch-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) \
 	  benchmarks/bench_batch_throughput.py --rows 64 --min-speedup 1.0
+
+# Fleet smoke: consistent-hash router over 2 spawned shard daemons under
+# mixed traffic, with one shard drained out from under the router mid-run.
+# Fails unless every accepted request is answered bit-identically (ring
+# failover + client retry) and the supervisor respawns the drained shard.
+fleet-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/fleet_smoke.py
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:

@@ -1,0 +1,277 @@
+"""Load generator for the sharded fleet behind the consistent-hash router.
+
+Drives many concurrent blocking clients — a deterministic mix of hot
+(warm-key ``run``), batch (``run_batch``) and cold (fresh ``compile``)
+traffic — against a 1-shard and an ``N``-shard fleet, both behind the
+same router, and reports throughput plus p50/p99 latency SLOs per
+traffic class and fleet size.
+
+Claims pinned by the harness:
+
+(a) every hot reply served through the fleet is *bit-identical* to the
+    direct ``compile_c`` + evaluate path, at every fleet size;
+(b) cache affinity holds under load: the repeated-key hot hit rate
+    (from the fleet stats rollup) stays >= 90%;
+(c) hot-path throughput scales with shards: >= ``MIN_SPEEDUP`` (2.5x
+    by default) going 1 -> N shards.  The speedup assertion is enforced
+    only when the host has at least ``N`` CPUs — shard processes cannot
+    scale past the physical cores — but is measured and reported always
+    (override the floor via ``REPRO_BENCH_FLEET_MIN_SPEEDUP``).
+
+Client count and request volume scale with ``REPRO_BENCH_SCALE``
+(``quick`` default; ``paper`` runs ~1000 concurrent clients).
+
+Run under pytest (``pytest benchmarks/bench_fleet_throughput.py -s``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_fleet_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import format_table
+from repro.compiler import compile_c
+from repro.router import RouterConfig, RouterThread
+from repro.server import ServerClient
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+#: concurrent clients / hot requests per client / batch rows.
+SIZES = {"quick": (32, 6, 8), "paper": (1000, 8, 16)}
+N_CLIENTS, HOT_PER_CLIENT, BATCH_ROWS = SIZES.get(SCALE, SIZES["quick"])
+
+FLEET_SIZES = (1, 4)
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_FLEET_MIN_SPEEDUP", "2.5"))
+N_KERNELS = 16       # distinct hot programs, so the ring spreads load
+CONFIG, K = "f64a-dsnn", 8
+SEED = 0xF1EE7
+
+
+def kernel(i: int) -> str:
+    return (f"double fleet{i}(double x, double y) "
+            f"{{ return (x + y) * (x - {1.0 + i * 0.0625!r}) "
+            f"+ x * {0.5 + i * 0.03125!r}; }}")
+
+
+def cold_variant(i: int) -> str:
+    return (f"double cold{i}(double x) "
+            f"{{ return x * {2.0 + i * 0.001!r} + 1.0; }}")
+
+
+def client_args(i: int, j: int) -> list:
+    rng = random.Random(SEED + i * 977 + j)
+    return [round(rng.uniform(0.1, 0.4), 12),
+            round(rng.uniform(0.1, 0.3), 12)]
+
+
+class DirectOracle:
+    """Memoized direct ``compile_c`` enclosures, per kernel and box."""
+
+    def __init__(self) -> None:
+        self._progs = {}
+        self._cache = {}
+
+    def interval(self, kernel_i: int, args) -> tuple:
+        key = (kernel_i, tuple(args))
+        if key not in self._cache:
+            prog = self._progs.get(kernel_i)
+            if prog is None:
+                prog = self._progs[kernel_i] = compile_c(
+                    kernel(kernel_i), CONFIG, k=K)
+            iv = prog(*args).value.interval()
+            self._cache[key] = (iv.lo, iv.hi)
+        return self._cache[key]
+
+
+def percentile_ms(samples, q) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, int(q * len(ordered)) - 1))
+    return ordered[idx] * 1e3
+
+
+def run_mixed_phase(port: int, cold_base: int) -> dict:
+    """Fan ``N_CLIENTS`` clients at the router; each issues a mixed
+    sequence of hot runs, one batch, and one cold compile."""
+    latencies = {"hot": [], "batch": [], "cold": []}
+    hot_replies, errors = [], []
+
+    def one_client(idx: int) -> None:
+        try:
+            with ServerClient(port=port, timeout=300.0, retries=6,
+                              backoff_s=0.05) as c:
+                for j in range(HOT_PER_CLIENT):
+                    kernel_i = (idx * HOT_PER_CLIENT + j) % N_KERNELS
+                    args = client_args(idx, j)
+                    t0 = time.perf_counter()
+                    reply = c.run(kernel(kernel_i), config=CONFIG, k=K,
+                                  args=args)
+                    latencies["hot"].append(time.perf_counter() - t0)
+                    reply["_kernel"], reply["_args"] = kernel_i, args
+                    hot_replies.append(reply)
+                rows = [client_args(idx, 100 + r)
+                        for r in range(BATCH_ROWS)]
+                t0 = time.perf_counter()
+                c.run_batch(kernel(idx % N_KERNELS), rows,
+                            config=CONFIG, k=K)
+                latencies["batch"].append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                c.compile(cold_variant(cold_base + idx), config=CONFIG,
+                          k=K)
+                latencies["cold"].append(time.perf_counter() - t0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((idx, repr(exc)))
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+        list(pool.map(one_client, range(N_CLIENTS)))
+    wall = time.perf_counter() - t0
+    assert not errors, f"client failures: {errors[:3]}"
+    return {"latencies": latencies, "hot_replies": hot_replies,
+            "wall_s": wall}
+
+
+def run_hot_phase(port: int) -> dict:
+    """Hot-only phase: the throughput-scaling measurement."""
+    latencies, errors = [], []
+
+    def one_client(idx: int) -> None:
+        try:
+            with ServerClient(port=port, timeout=300.0, retries=6,
+                              backoff_s=0.05) as c:
+                for j in range(HOT_PER_CLIENT):
+                    kernel_i = (idx + j) % N_KERNELS
+                    t0 = time.perf_counter()
+                    c.run(kernel(kernel_i), config=CONFIG, k=K,
+                          args=client_args(idx, j))
+                    latencies.append(time.perf_counter() - t0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((idx, repr(exc)))
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+        list(pool.map(one_client, range(N_CLIENTS)))
+    wall = time.perf_counter() - t0
+    assert not errors, f"client failures: {errors[:3]}"
+    return {"latencies": latencies, "wall_s": wall}
+
+
+def bench_fleet(n_shards: int, oracle: DirectOracle,
+                cold_base: int) -> dict:
+    cfg = RouterConfig(port=0, n_shards=n_shards, shard_workers=1,
+                       health_interval_s=0.5, forward_retries=2,
+                       max_queue=max(256, 4 * N_CLIENTS),
+                       forward_limit=max(128, 2 * N_CLIENTS))
+    with RouterThread(cfg) as fleet:
+        with ServerClient(port=fleet.port, timeout=300.0,
+                          retries=4) as warm:
+            for i in range(N_KERNELS):
+                warm.compile(kernel(i), config=CONFIG, k=K)
+
+        mixed = run_mixed_phase(fleet.port, cold_base)
+        # (a) bit-identical at fleet scale, reply by reply.
+        for reply in mixed["hot_replies"]:
+            assert tuple(reply["interval"]) == oracle.interval(
+                reply["_kernel"], reply["_args"]), \
+                "fleet-served enclosure differs from compile_c"
+
+        with ServerClient(port=fleet.port, timeout=300.0) as probe:
+            before = probe.stats()["fleet"]["service"]
+        hot = run_hot_phase(fleet.port)
+        with ServerClient(port=fleet.port, timeout=300.0) as probe:
+            stats = probe.stats()
+        after = stats["fleet"]["service"]
+
+        # (b) affinity: repeated keys stay hot across the whole fleet.
+        lookups = (after["hits"] - before["hits"]) \
+            + (after["misses"] - before["misses"])
+        hit_rate = (after["hits"] - before["hits"]) / max(1, lookups)
+        assert hit_rate >= 0.9, \
+            f"fleet hot hit rate {hit_rate:.1%} below 90% " \
+            f"({n_shards} shard(s))"
+
+        shard_loads = {
+            sid: s["server"]["counters"].get("op:run", 0)
+            for sid, s in stats["shards"].items()}
+        with ServerClient(port=fleet.port) as closer:
+            closer.drain()
+    return {"mixed": mixed, "hot": hot, "hit_rate": hit_rate,
+            "shard_loads": shard_loads}
+
+
+def phase_rows(n_shards: int, result: dict) -> list:
+    rows = []
+    for phase, lat in [("hot", result["hot"]["latencies"]),
+                       ("mixed:hot", result["mixed"]["latencies"]["hot"]),
+                       ("mixed:batch",
+                        result["mixed"]["latencies"]["batch"]),
+                       ("mixed:cold",
+                        result["mixed"]["latencies"]["cold"])]:
+        wall = result["hot" if phase == "hot" else "mixed"]["wall_s"]
+        rows.append({
+            "shards": n_shards,
+            "phase": phase,
+            "requests": len(lat),
+            "throughput_rps": round(len(lat) / wall, 1),
+            "p50_ms": round(percentile_ms(lat, 0.50), 3),
+            "p99_ms": round(percentile_ms(lat, 0.99), 3),
+            "max_ms": round(max(lat) * 1e3, 3),
+        })
+    return rows
+
+
+def build_report() -> tuple:
+    oracle = DirectOracle()
+    results, rows = {}, []
+    for idx, n in enumerate(FLEET_SIZES):
+        results[n] = bench_fleet(n, oracle, cold_base=1000 * idx)
+        rows.extend(phase_rows(n, results[n]))
+
+    one, many = FLEET_SIZES[0], FLEET_SIZES[-1]
+    rps = {n: len(r["hot"]["latencies"]) / r["hot"]["wall_s"]
+           for n, r in results.items()}
+    speedup = rps[many] / rps[one]
+    cores = os.cpu_count() or 1
+
+    lines = [format_table(
+        rows, title=f"Fleet throughput ({N_CLIENTS} concurrent clients, "
+        f"{N_KERNELS} hot kernels, SLO = p50/p99)")]
+    for n, r in results.items():
+        lines.append(
+            f"{n} shard(s): hot hit rate {r['hit_rate']:.1%}, "
+            f"per-shard run load {r['shard_loads']}")
+    lines.append(
+        f"hot-path speedup {one} -> {many} shards: {speedup:.2f}x "
+        f"(floor {MIN_SPEEDUP}x, host has {cores} CPU(s))")
+    if cores >= many:
+        assert speedup >= MIN_SPEEDUP, \
+            f"hot-path speedup {speedup:.2f}x below the " \
+            f"{MIN_SPEEDUP}x floor at {many} shards"
+    else:
+        lines.append(
+            f"speedup floor not enforced: {many} shard processes "
+            f"cannot scale on {cores} CPU(s)")
+    return "\n".join(lines), rows
+
+
+class TestFleetThroughput:
+    def test_throughput_and_fleet_claims(self, results_dir):
+        from conftest import emit
+
+        text, rows = build_report()
+        emit(results_dir, "fleet_throughput", text, rows=rows)
+
+
+def main() -> None:  # standalone: PYTHONPATH=src python benchmarks/...
+    import pathlib
+
+    text, _rows = build_report()
+    print(text)
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    (out / "fleet_throughput.txt").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Talking to a sharded fleet through the consistent-hash router.
+
+The router speaks the exact same wire protocol as a single daemon, so
+this is ``serve_client.py`` with a fleet behind it: requests are placed
+on shards by their compile cache key (all traffic for one program lands
+where its cache is warm), ``stats`` aggregates the whole fleet, and
+``drain`` takes every shard down with the router.
+
+Run against a live router:   python examples/fleet_client.py --port 8437
+Run self-contained:          python examples/fleet_client.py
+(the latter boots an in-process router that spawns two shard daemons).
+"""
+
+import argparse
+
+from repro.router import RouterConfig, RouterThread
+from repro.server import ServerClient
+
+
+def kernel(i: int) -> str:
+    return (f"double k{i}(double x, double y) "
+            f"{{ return (x + y) * (x - {1.0 + 0.25 * i!r}); }}")
+
+
+def demo(port: int, drain: bool) -> None:
+    with ServerClient(port=port, retries=4) as client:
+        health = client.health()
+        print(f"router up: status={health['status']} "
+              f"shards={health['healthy_shards']}")
+
+        # Distinct programs hash to (usually) distinct shards; repeats
+        # of one program always revisit the same shard, cache-hot.
+        for i in range(4):
+            first = client.run(kernel(i), config="f64a-dsnn", k=8,
+                               args=[0.3, 0.2])
+            again = client.run(kernel(i), config="f64a-dsnn", k=8,
+                               args=[0.3, 0.2])
+            assert again["shard"] == first["shard"], "affinity broken"
+            assert again["interval"] == first["interval"]
+            print(f"kernel {i}: shard {first['shard']} "
+                  f"(cold route={first['route']}, "
+                  f"hot route={again['route']}), enclosure "
+                  f"[{first['interval'][0]!r}, {first['interval'][1]!r}]")
+
+        stats = client.stats()
+        rollup = stats["fleet"]["service"]
+        print(f"fleet rollup: {rollup['hits']} hits / "
+              f"{rollup['misses']} misses across "
+              f"{len(stats['shards'])} shard(s)")
+        for sid, shard in sorted(stats["shards"].items()):
+            counters = shard["server"]["counters"]
+            print(f"  shard {sid}: {counters.get('op:run', 0)} runs, "
+                  f"{shard['service']['hits']} cache hits")
+
+        if drain:
+            reply = client.drain()
+            print(f"fleet drained: router completed "
+                  f"{reply['completed_ok']} request(s); "
+                  f"{len(reply['shards'])} shard(s) drained")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=None,
+                        help="router port (default: boot an in-process "
+                             "fleet of 2 shards)")
+    args = parser.parse_args()
+    if args.port is not None:
+        demo(args.port, drain=False)
+        return
+    with RouterThread(RouterConfig(port=0, n_shards=2,
+                                   shard_workers=1)) as fleet:
+        print(f"booted 2-shard fleet on port {fleet.port}")
+        demo(fleet.port, drain=True)
+
+
+if __name__ == "__main__":
+    main()

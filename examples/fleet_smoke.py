@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Fleet smoke: router + 2 shards, mixed traffic, a mid-run drain of one
+shard, and an assertion that zero accepted requests lose their reply.
+
+This is the CI gate behind ``make fleet-smoke``.  It boots an in-process
+router that spawns two shard daemons, fans mixed hot/cold/batch traffic
+at it from threaded clients, sends ``drain`` *directly to one shard's
+own port* halfway through — simulating an operator taking a shard out
+from under the router — and requires that every client request is still
+answered correctly: ring failover on the router plus bounded retry in
+the client absorb the loss window, and the supervisor respawns the
+drained shard.  Exits nonzero on any lost or wrong reply.
+"""
+
+import sys
+import threading
+import time
+
+from repro.compiler import compile_c
+from repro.router import RouterConfig, RouterThread
+from repro.server import ServerClient
+
+CONFIG, K = "f64a-dsnn", 8
+N_CLIENTS = 6
+ROUNDS = 24
+N_KERNELS = 8
+#: pacing between rounds, so the traffic genuinely spans the mid-run
+#: drain (warm-cache requests alone finish in well under a second).
+ROUND_PACE_S = 0.05
+
+
+def kernel(i: int) -> str:
+    return (f"double smoke{i}(double x, double y) "
+            f"{{ return (x + y) * (x - {1.0 + i * 0.125!r}); }}")
+
+
+def direct_interval(i: int, cache={}) -> tuple:
+    if i not in cache:
+        iv = compile_c(kernel(i), CONFIG, k=K)(0.2, 0.3).value.interval()
+        cache[i] = (iv.lo, iv.hi)
+    return cache[i]
+
+
+def traffic(port: int, idx: int, failures: list) -> None:
+    try:
+        with ServerClient(port=port, timeout=120.0, retries=8,
+                          backoff_s=0.05) as c:
+            for r in range(ROUNDS):
+                i = (idx + r) % N_KERNELS
+                reply = c.run(kernel(i), config=CONFIG, k=K,
+                              args=[0.2, 0.3])
+                if tuple(reply["interval"]) != direct_interval(i):
+                    failures.append(
+                        (idx, r, "wrong enclosure", reply["interval"]))
+                rows = [[0.2 + 0.01 * j, 0.3] for j in range(4)]
+                batch = c.run_batch(kernel(i), rows, config=CONFIG, k=K)
+                if not all(row["ok"] for row in batch["rows"]):
+                    failures.append((idx, r, "batch row failed", batch))
+                time.sleep(ROUND_PACE_S)
+    except Exception as exc:
+        failures.append((idx, "client error", repr(exc)))
+
+
+def main() -> int:
+    cfg = RouterConfig(port=0, n_shards=2, shard_workers=1,
+                       health_interval_s=0.2, forward_retries=2)
+    with RouterThread(cfg) as rt:
+        fleet = rt.server.fleet
+        print(f"fleet up: router :{rt.port}, shards "
+              f"{[s.port for s in fleet.shards.values()]}")
+
+        # Warm every kernel so traffic exercises the hot path too.
+        with ServerClient(port=rt.port, retries=4) as warm:
+            for i in range(N_KERNELS):
+                warm.compile(kernel(i), config=CONFIG, k=K)
+
+        failures: list = []
+        threads = [threading.Thread(target=traffic,
+                                    args=(rt.port, i, failures))
+                   for i in range(N_CLIENTS)]
+        for t in threads:
+            t.start()
+
+        # Mid-run, drain one shard out from under the router via its own
+        # port — the router's prober must mark it out and fail over.
+        time.sleep(0.3)
+        victim = fleet.shards["0"]
+        print(f"draining shard 0 (:{victim.port}) mid-run")
+        with ServerClient(port=victim.port, timeout=120.0) as direct:
+            report = direct.drain()
+        print(f"shard 0 drained: completed_ok={report['completed_ok']}")
+
+        for t in threads:
+            t.join()
+
+        if failures:
+            print(f"FAIL: {len(failures)} lost or wrong replies:")
+            for f in failures[:10]:
+                print(f"  {f}")
+            return 1
+        total = N_CLIENTS * ROUNDS
+        print(f"zero lost replies: {total} runs + {total} batches all "
+              f"answered bit-identically through the failover window")
+
+        # The supervisor must notice the drained process exiting, mark
+        # the shard out, and bring a replacement back into the ring
+        # (same shard id, so the keys come home).
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            snap = fleet.snapshot()
+            if snap["healthy_shards"] == 2 \
+                    and snap["respawns_total"] >= 1:
+                break
+            time.sleep(0.1)
+        snap = fleet.snapshot()
+        print(f"fleet healed: healthy={snap['healthy_shards']}/2, "
+              f"respawns={snap['respawns_total']}, "
+              f"marked_out={snap['marked_out_total']}")
+        if snap["healthy_shards"] != 2 or snap["respawns_total"] < 1:
+            print("FAIL: drained shard was not respawned")
+            return 1
+
+        with ServerClient(port=rt.port, timeout=120.0) as closer:
+            drain = closer.drain()
+        print(f"fleet drained: {len(drain['shards'])} shard reports, "
+              f"router completed_ok={drain['completed_ok']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

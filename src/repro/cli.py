@@ -211,6 +211,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-buffer", type=int, default=4096,
                          help="in-memory span ring capacity (the 'trace' "
                               "op serves it)")
+    p_serve.add_argument("--fleet", type=int, default=0, metavar="N",
+                         help="serve a fleet instead: spawn N shard "
+                              "daemons and run the consistent-hash "
+                              "router in front of them")
+    p_serve.add_argument("--shard", action="append", default=[],
+                         metavar="HOST:PORT", dest="shards",
+                         help="route to this already-running shard "
+                              "(repeatable; implies fleet mode, no "
+                              "spawning)")
+    p_serve.add_argument("--forward-retries", type=int, default=2,
+                         help="ring successors tried when a shard fails "
+                              "mid-forward (fleet mode)")
+    p_serve.add_argument("--health-interval", type=float, default=0.5,
+                         metavar="S",
+                         help="seconds between shard health sweeps "
+                              "(fleet mode)")
 
     p_request = sub.add_parser(
         "request", help="send one request to a running server")
@@ -629,6 +645,8 @@ def cmd_serve(ns) -> int:
 
     from .server import ServerConfig, SoundServer
 
+    if ns.fleet or ns.shards:
+        return _serve_fleet(ns)
     config = ServerConfig(
         host=ns.host, port=ns.port, cache_dir=ns.cache_dir,
         cache_maxsize=ns.maxsize, pool_workers=ns.workers,
@@ -654,6 +672,47 @@ def cmd_serve(ns) -> int:
             if latency:
                 for line in latency.splitlines():
                     print(f"// {line}", file=sys.stderr)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("// interrupted", file=sys.stderr)
+    return 0
+
+
+def _serve_fleet(ns) -> int:
+    """``repro serve --fleet N`` / ``--shard host:port``: the router."""
+    import asyncio
+
+    from .router import RouterConfig, RouterServer
+
+    config = RouterConfig(
+        host=ns.host, port=ns.port, shards=ns.shards,
+        n_shards=ns.fleet or 2, forward_retries=ns.forward_retries,
+        health_interval_s=ns.health_interval,
+        default_deadline_s=ns.deadline, cache_dir=ns.cache_dir,
+        shard_workers=ns.workers, shard_max_queue=ns.max_queue,
+        shard_inline_limit=ns.inline_limit,
+        shard_cache_maxsize=ns.maxsize,
+        trace_log=ns.trace_log, trace_buffer=ns.trace_buffer)
+
+    async def _main() -> None:
+        router = RouterServer(config)
+        await router.start()
+        mode = (f"{len(config.shards)} attached shard(s)" if config.shards
+                else f"{config.n_shards} spawned shard(s)")
+        print(f"// routing on {config.host}:{router.port} over {mode}",
+              file=sys.stderr)
+        if ns.port_file:
+            with open(ns.port_file, "w") as fh:
+                fh.write(f"{router.port}\n")
+        try:
+            await router.serve_forever()
+        finally:
+            await router.stop()
+            print(f"// fleet down; router served "
+                  f"{router.counters['forwards_ok']} forward(s)",
+                  file=sys.stderr)
 
     try:
         asyncio.run(_main())

@@ -8,8 +8,18 @@ conservative about conventions so standard scrapers ingest it unchanged:
 * counters end in ``_total``; time counters in ``_seconds_total``,
 * the latency histograms follow the ``_bucket{le=...}`` / ``_sum`` /
   ``_count`` cumulative-bucket contract with a closing ``+Inf`` bucket,
-* every metric gets exactly one ``# HELP`` / ``# TYPE`` block, and the
-  label set per metric name is stable across renders (scrape continuity).
+* every metric family gets exactly one ``# HELP`` / ``# TYPE`` block —
+  even when many snapshots are merged into one exposition (the writer
+  groups samples by family, so a fleet render never repeats headers),
+* the label set per metric name is stable across renders (scrape
+  continuity).
+
+:func:`render_prometheus_fleet` is the multi-process form: given one
+``stats`` snapshot per shard (as fetched from each shard's ``stats`` op)
+it emits every family once with a ``shard`` label per sample, plus the
+router's own counters under ``shard="router"`` and fleet-level gauges.
+Summing a family over the ``shard`` label is the fleet rollup; the JSON
+``stats`` op additionally serves a pre-merged rollup.
 
 The renderer reads an atomic ``ServiceStats.snapshot()`` — callers may
 pass a live object; it is snapshotted here.
@@ -20,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["render_prometheus"]
+__all__ = ["render_prometheus", "render_prometheus_fleet"]
 
 _PREFIX = "repro"
 
@@ -52,32 +62,50 @@ def _fmt_labels(labels: Optional[Dict[str, Any]]) -> str:
 
 
 class _Writer:
-    def __init__(self) -> None:
-        self.lines: List[str] = []
+    """Accumulates samples grouped by metric family.
+
+    Families keep their first-seen order; calling :meth:`metric` again for
+    the same family (a second shard's snapshot) appends samples without
+    repeating the ``# HELP`` / ``# TYPE`` header — the dedupe that makes
+    multi-snapshot aggregation valid exposition.  ``base_labels`` (e.g.
+    ``{"shard": "0"}``) are stamped onto every sample.
+    """
+
+    def __init__(self, base_labels: Optional[Dict[str, str]] = None) -> None:
+        self.base_labels = dict(base_labels or {})
+        #: family name -> (mtype, help, [(suffix, labels, value), ...])
+        self._families: Dict[str, Tuple[str, str, List[Tuple]]] = {}
 
     def metric(self, name: str, mtype: str, help_text: str,
-               samples: List[Tuple[Optional[Dict[str, Any]], float]],
+               samples: List[Tuple],
                suffix_samples: bool = False) -> None:
-        """One HELP/TYPE block plus its samples.  ``suffix_samples`` means
-        the sample tuples are ``(suffix, labels, value)`` (histograms)."""
+        """Add samples to one family.  ``suffix_samples`` means the sample
+        tuples are ``(suffix, labels, value)`` (histograms)."""
         if not samples:
             return
-        full = f"{_PREFIX}_{name}"
-        self.lines.append(f"# HELP {full} {help_text}")
-        self.lines.append(f"# TYPE {full} {mtype}")
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = (mtype, help_text, [])
+        rows = family[2]
         for sample in samples:
             if suffix_samples:
                 suffix, labels, value = sample
-                self.lines.append(
-                    f"{full}{suffix}{_fmt_labels(labels)} "
-                    f"{_fmt_value(value)}")
             else:
-                labels, value = sample
-                self.lines.append(
-                    f"{full}{_fmt_labels(labels)} {_fmt_value(value)}")
+                suffix, (labels, value) = "", sample
+            if self.base_labels:
+                labels = {**self.base_labels, **(labels or {})}
+            rows.append((suffix, labels, value))
 
     def render(self) -> str:
-        return "\n".join(self.lines) + "\n"
+        lines: List[str] = []
+        for name, (mtype, help_text, rows) in self._families.items():
+            full = f"{_PREFIX}_{name}"
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {mtype}")
+            for suffix, labels, value in rows:
+                lines.append(f"{full}{suffix}{_fmt_labels(labels)} "
+                             f"{_fmt_value(value)}")
+        return "\n".join(lines) + "\n"
 
 
 def _histogram_samples(name_labels: Dict[str, str], hist) -> List[Tuple]:
@@ -97,124 +125,199 @@ def _histogram_samples(name_labels: Dict[str, str], hist) -> List[Tuple]:
     return out
 
 
-def render_prometheus(stats, server: Optional[Dict[str, Any]] = None) -> str:
-    """Render ``stats`` (a ServiceStats) and an optional server snapshot
-    (the dict the daemon's ``stats`` op returns under ``"server"``) as
-    Prometheus text exposition."""
-    snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
-    w = _Writer()
+def _render_service(w: _Writer, snap,
+                    labels: Optional[Dict[str, str]] = None) -> None:
+    """Emit one ServiceStats snapshot into ``w`` (labels per sample)."""
+    base = dict(labels or {})
+
+    def lbl(extra: Optional[Dict[str, Any]] = None):
+        merged = {**base, **(extra or {})}
+        return merged or None
 
     w.metric("cache_lookups_total", "counter",
              "Compile-cache lookups by outcome.",
-             [({"outcome": "hit"}, snap.hits),
-              ({"outcome": "miss"}, snap.misses)])
+             [(lbl({"outcome": "hit"}), snap.hits),
+              (lbl({"outcome": "miss"}), snap.misses)])
     w.metric("cache_disk_hits_total", "counter",
              "Cache hits satisfied by the on-disk store.",
-             [(None, snap.disk_hits)])
+             [(lbl(), snap.disk_hits)])
     w.metric("cache_evictions_total", "counter",
-             "In-memory LRU evictions.", [(None, snap.evictions)])
+             "In-memory LRU evictions.", [(lbl(), snap.evictions)])
     w.metric("cache_errors_total", "counter",
              "Corrupt/unreadable cache entries demoted to misses.",
-             [(None, snap.cache_errors)])
+             [(lbl(), snap.cache_errors)])
     w.metric("compile_seconds_saved_total", "counter",
              "Original compile seconds avoided by cache hits.",
-             [(None, snap.compile_s_saved)])
+             [(lbl(), snap.compile_s_saved)])
     w.metric("jobs_total", "counter", "Batch/server job outcomes.",
-             [({"outcome": "run"}, snap.jobs_run),
-              ({"outcome": "failed"}, snap.jobs_failed),
-              ({"outcome": "timed_out"}, snap.jobs_timed_out),
-              ({"outcome": "retried"}, snap.jobs_retried)])
+             [(lbl({"outcome": "run"}), snap.jobs_run),
+              (lbl({"outcome": "failed"}), snap.jobs_failed),
+              (lbl({"outcome": "timed_out"}), snap.jobs_timed_out),
+              (lbl({"outcome": "retried"}), snap.jobs_retried)])
     w.metric("batch_rows_total", "counter",
              "Input boxes evaluated through the batched runtime.",
-             [(None, snap.batch_rows)])
+             [(lbl(), snap.batch_rows)])
     w.metric("batch_cohort_splits_total", "counter",
              "Cohort divergences during batched execution.",
-             [(None, snap.batch_cohort_splits)])
+             [(lbl(), snap.batch_cohort_splits)])
     w.metric("batch_scalar_fallbacks_total", "counter",
              "Batched rows that fell back to the scalar runtime.",
-             [(None, snap.batch_scalar_fallbacks)])
+             [(lbl(), snap.batch_scalar_fallbacks)])
     if snap.pass_s:
         w.metric("pass_seconds_total", "counter",
                  "Wall seconds spent per compiler pass.",
-                 [({"pass": name}, seconds)
+                 [(lbl({"pass": name}), seconds)
                   for name, seconds in sorted(snap.pass_s.items())])
     ops = getattr(snap, "ops", None)
     if ops:
         w.metric("runtime_ops_total", "counter",
                  "Runtime operation counts (affine ops, symbol placements, "
                  "fusions, condensations, rounding emulations).",
-                 [({"op": name}, count)
+                 [(lbl({"op": name}), count)
                   for name, count in sorted(ops.items())])
     if snap.latency:
         samples: List[Tuple] = []
         for probe, hist in sorted(snap.latency.items()):
-            samples.extend(_histogram_samples({"probe": probe}, hist))
+            samples.extend(_histogram_samples(lbl({"probe": probe}) or {},
+                                              hist))
         w.metric("latency_seconds", "histogram",
                  "Per-request wall-clock latency by probe.",
                  samples, suffix_samples=True)
 
-    if server:
-        counters = server.get("counters", {})
-        w.metric("server_requests_total", "counter",
-                 "Frames received by the server.",
-                 [(None, counters.get("requests_total", 0))])
-        w.metric("server_replies_ok_total", "counter",
-                 "Successful replies sent.",
-                 [(None, counters.get("replies_ok", 0))])
-        op_samples = [({"op": key[3:]}, value)
-                      for key, value in sorted(counters.items())
-                      if key.startswith("op:")]
-        w.metric("server_op_requests_total", "counter",
-                 "Requests by op.", op_samples)
-        err_samples = [({"code": key[4:]}, value)
-                       for key, value in sorted(counters.items())
-                       if key.startswith("err:")]
-        w.metric("server_errors_total", "counter",
-                 "Error replies by structured code.", err_samples)
-        batch = server.get("batch", {})
-        w.metric("server_route_total", "counter",
-                 "Work requests by execution route.",
-                 [({"route": "inline"}, server.get("inline_served", 0)),
-                  ({"route": "pool"}, server.get("pool_submits", 0)),
-                  ({"route": "batch"}, batch.get("coalesced_rows", 0))])
-        if batch:
-            w.metric("server_batch_flushes_total", "counter",
-                     "Micro-batch flushes (one batched execution each).",
-                     [(None, batch.get("flushes", 0))])
+
+def _render_server(w: _Writer, server: Dict[str, Any],
+                   labels: Optional[Dict[str, str]] = None) -> None:
+    """Emit one server/router counter snapshot into ``w``."""
+    base = dict(labels or {})
+
+    def lbl(extra: Optional[Dict[str, Any]] = None):
+        merged = {**base, **(extra or {})}
+        return merged or None
+
+    counters = server.get("counters", {})
+    w.metric("server_requests_total", "counter",
+             "Frames received by the server.",
+             [(lbl(), counters.get("requests_total", 0))])
+    w.metric("server_replies_ok_total", "counter",
+             "Successful replies sent.",
+             [(lbl(), counters.get("replies_ok", 0))])
+    op_samples = [(lbl({"op": key[3:]}), value)
+                  for key, value in sorted(counters.items())
+                  if key.startswith("op:")]
+    w.metric("server_op_requests_total", "counter",
+             "Requests by op.", op_samples)
+    err_samples = [(lbl({"code": key[4:]}), value)
+                   for key, value in sorted(counters.items())
+                   if key.startswith("err:")]
+    w.metric("server_errors_total", "counter",
+             "Error replies by structured code.", err_samples)
+    batch = server.get("batch", {})
+    route_samples = []
+    if "inline_served" in server or "pool_submits" in server or batch:
+        route_samples = [
+            (lbl({"route": "inline"}), server.get("inline_served", 0)),
+            (lbl({"route": "pool"}), server.get("pool_submits", 0)),
+            (lbl({"route": "batch"}), batch.get("coalesced_rows", 0))]
+    w.metric("server_route_total", "counter",
+             "Work requests by execution route.", route_samples)
+    if batch:
+        w.metric("server_batch_flushes_total", "counter",
+                 "Micro-batch flushes (one batched execution each).",
+                 [(lbl(), batch.get("flushes", 0))])
+    if "pool_abandoned" in server:
         w.metric("server_pool_abandoned_total", "counter",
                  "Pool futures abandoned past their deadline.",
-                 [(None, server.get("pool_abandoned", 0))])
-        admission = server.get("admission", {})
-        if admission:
-            w.metric("server_admitted_requests", "gauge",
-                     "Admitted (queued + running) work requests.",
-                     [(None, admission.get("admitted", 0))])
-            w.metric("server_queued_requests", "gauge",
-                     "Admitted requests waiting for a class slot.",
-                     [(None, admission.get("queued", 0))])
-            w.metric("server_admission_total", "counter",
-                     "Admission decisions.",
-                     [({"decision": "admitted"},
-                       admission.get("admitted_total", 0)),
-                      ({"decision": "rejected"},
-                       admission.get("rejected_total", 0))])
-        w.metric("server_draining", "gauge",
-                 "1 while the server is draining.",
-                 [(None, 1 if server.get("draining") else 0)])
-        if "uptime_s" in server:
-            w.metric("server_uptime_seconds", "gauge",
-                     "Seconds since the server started.",
-                     [(None, server["uptime_s"])])
-        if "started_at" in server:
-            w.metric("server_start_time_seconds", "gauge",
-                     "Unix time the server started.",
-                     [(None, server["started_at"])])
-        trace = server.get("trace", {})
-        if trace:
-            w.metric("trace_spans_total", "counter",
-                     "Spans recorded into the trace ring buffer.",
-                     [(None, trace.get("total", 0))])
-            w.metric("trace_spans_dropped_total", "counter",
-                     "Spans evicted from the trace ring buffer.",
-                     [(None, trace.get("dropped", 0))])
+                 [(lbl(), server.get("pool_abandoned", 0))])
+    admission = server.get("admission", {})
+    if admission:
+        w.metric("server_admitted_requests", "gauge",
+                 "Admitted (queued + running) work requests.",
+                 [(lbl(), admission.get("admitted", 0))])
+        w.metric("server_queued_requests", "gauge",
+                 "Admitted requests waiting for a class slot.",
+                 [(lbl(), admission.get("queued", 0))])
+        w.metric("server_admission_total", "counter",
+                 "Admission decisions.",
+                 [(lbl({"decision": "admitted"}),
+                   admission.get("admitted_total", 0)),
+                  (lbl({"decision": "rejected"}),
+                   admission.get("rejected_total", 0))])
+    w.metric("server_draining", "gauge",
+             "1 while the server is draining.",
+             [(lbl(), 1 if server.get("draining") else 0)])
+    if "uptime_s" in server:
+        w.metric("server_uptime_seconds", "gauge",
+                 "Seconds since the server started.",
+                 [(lbl(), server["uptime_s"])])
+    if "started_at" in server:
+        w.metric("server_start_time_seconds", "gauge",
+                 "Unix time the server started.",
+                 [(lbl(), server["started_at"])])
+    trace = server.get("trace", {})
+    if trace:
+        w.metric("trace_spans_total", "counter",
+                 "Spans recorded into the trace ring buffer.",
+                 [(lbl(), trace.get("total", 0))])
+        w.metric("trace_spans_dropped_total", "counter",
+                 "Spans evicted from the trace ring buffer.",
+                 [(lbl(), trace.get("dropped", 0))])
+
+
+def render_prometheus(stats, server: Optional[Dict[str, Any]] = None,
+                      shard: Optional[str] = None) -> str:
+    """Render ``stats`` (a ServiceStats) and an optional server snapshot
+    (the dict the daemon's ``stats`` op returns under ``"server"``) as
+    Prometheus text exposition.  ``shard`` stamps a ``shard`` label onto
+    every sample (the per-process form of the fleet exposition)."""
+    snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
+    labels = {"shard": shard} if shard is not None else None
+    w = _Writer()
+    _render_service(w, snap, labels)
+    if server:
+        _render_server(w, server, labels)
+    return w.render()
+
+
+def render_prometheus_fleet(
+        shards: Dict[str, Tuple[Any, Optional[Dict[str, Any]]]],
+        router: Optional[Tuple[Any, Optional[Dict[str, Any]]]] = None,
+        fleet: Optional[Dict[str, Any]] = None) -> str:
+    """One valid exposition over many processes.
+
+    ``shards`` maps a shard id to ``(service_stats, server_section)`` —
+    the two halves of that shard's ``stats`` op reply (``service_stats``
+    may be a live/snapshotted ServiceStats or its ``to_dict`` form).
+    ``router`` is the same pair for the router itself (labeled
+    ``shard="router"``).  Every metric family is emitted exactly once,
+    with a ``shard`` label per sample; ``fleet`` adds membership gauges
+    (``healthy_shards`` / ``total_shards`` / ``ring_nodes``).
+    """
+    from ..service.stats import ServiceStats
+
+    w = _Writer()
+    for shard_id, (stats, server) in sorted(shards.items()):
+        if isinstance(stats, dict):
+            stats = ServiceStats.from_dict(stats)
+        snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
+        labels = {"shard": str(shard_id)}
+        _render_service(w, snap, labels)
+        if server:
+            _render_server(w, server, labels)
+    if router is not None:
+        stats, server = router
+        if isinstance(stats, dict):
+            stats = ServiceStats.from_dict(stats)
+        snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
+        labels = {"shard": "router"}
+        _render_service(w, snap, labels)
+        if server:
+            _render_server(w, server, labels)
+    if fleet:
+        w.metric("fleet_shards", "gauge",
+                 "Fleet membership by health state.",
+                 [({"state": "healthy"}, fleet.get("healthy_shards", 0)),
+                  ({"state": "out"}, fleet.get("out_shards", 0))])
+        w.metric("fleet_ring_nodes", "gauge",
+                 "Shards currently owning ring slices.",
+                 [(None, fleet.get("ring_nodes", 0))])
     return w.render()

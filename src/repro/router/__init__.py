@@ -1,0 +1,37 @@
+"""Fleet serving: a consistent-hash router over sharded sound-compute daemons.
+
+One :class:`RouterServer` (an :class:`~repro.server.OpCore`, speaking the
+same wire protocol as the daemons) places every work request on a shard
+by its compile cache key, so each program's traffic sticks to the shard
+whose cache is warm with it; control ops aggregate fleet-wide.  See the
+README "Fleet serving" section and DESIGN.md for the architecture.
+
+Layers (each its own module):
+
+* :mod:`.ring`   — :class:`HashRing`: consistent hashing w/ virtual nodes
+* :mod:`.config` — :class:`RouterConfig` tuning knobs
+* :mod:`.link`   — :class:`ShardLink`: one multiplexed connection/shard
+* :mod:`.fleet`  — :class:`FleetManager`: spawn/attach, health, respawn
+* :mod:`.router` — :class:`RouterServer` + :class:`RouterThread`
+
+Entry points: ``python -m repro serve --fleet N``, ``python -m repro
+route``, ``examples/fleet_client.py``,
+``benchmarks/bench_fleet_throughput.py``.
+"""
+
+from .config import RouterConfig
+from .fleet import FleetManager, Shard
+from .link import ShardLink
+from .ring import HashRing
+from .router import PreparedForward, RouterServer, RouterThread
+
+__all__ = [
+    "FleetManager",
+    "HashRing",
+    "PreparedForward",
+    "RouterConfig",
+    "RouterServer",
+    "RouterThread",
+    "Shard",
+    "ShardLink",
+]

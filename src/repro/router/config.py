@@ -1,0 +1,98 @@
+"""Router tuning knobs, all in one picklable dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..server.protocol import MAX_FRAME_BYTES
+
+__all__ = ["RouterConfig"]
+
+
+def _parse_shard(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"shard spec must be 'host:port', got {spec!r}")
+    return host, int(port)
+
+
+@dataclass
+class RouterConfig:
+    """Configuration of one :class:`repro.router.RouterServer`.
+
+    Two fleet modes:
+
+    * **attached** — ``shards`` lists ``host:port`` of daemons some other
+      supervisor owns; the router health-checks and routes to them but
+      never starts or stops their processes (``drain`` still fans out).
+    * **spawned** — ``shards`` is empty and the router launches
+      ``n_shards`` daemons itself (``python -m repro serve --port 0``),
+      supervises them, and respawns any that die (``respawn``).
+
+    Health: a shard is marked out of the ring after ``unhealthy_after``
+    consecutive failed/timed-out ``health`` probes (or instantly when a
+    forward hits a connection error) and re-admitted after one healthy
+    probe.  Keys remap to ring successors while it is out and remap back
+    on re-admission — cache affinity survives the blip.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: attached-mode shard addresses ("host:port" strings or tuples).
+    shards: List[Union[str, Tuple[str, int]]] = field(default_factory=list)
+    #: spawned-mode fleet size (used only when ``shards`` is empty).
+    n_shards: int = 2
+    #: virtual nodes per shard on the consistent-hash ring.
+    replicas: int = 64
+    #: bound on admitted (queued + in-flight) forwards.
+    max_queue: int = 256
+    #: concurrent in-flight forwards (the "forward" admission class).
+    forward_limit: int = 128
+    #: extra ring successors tried when a shard fails mid-forward.
+    forward_retries: int = 2
+    connect_timeout_s: float = 5.0
+    #: seconds between fleet health sweeps (0 disables the prober —
+    #: forwards still mark shards out on connection errors).
+    health_interval_s: float = 0.5
+    health_timeout_s: float = 2.0
+    #: consecutive failed probes before a shard is marked out.
+    unhealthy_after: int = 2
+    #: restart spawned shards whose process died.
+    respawn: bool = True
+    #: how long a spawned shard may take to report its port.
+    spawn_grace_s: float = 30.0
+    #: default per-request deadline when the client sends none.
+    default_deadline_s: Optional[float] = None
+    drain_grace_s: float = 60.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    trace_log: Optional[str] = None
+    trace_buffer: int = 4096
+    # -- spawned-shard settings (ignored in attached mode) ----------------------------
+    #: compile cache directory shared by every spawned shard (None keeps
+    #: caches per-shard; affinity makes per-shard caches effective).
+    cache_dir: Optional[str] = None
+    shard_workers: int = 2
+    shard_max_queue: int = 64
+    shard_inline_limit: int = 1
+    shard_cache_maxsize: int = 256
+
+    def __post_init__(self) -> None:
+        self.shards = [_parse_shard(s) for s in self.shards]
+        if not self.shards and self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.forward_limit < 1:
+            raise ValueError("forward_limit must be >= 1")
+        if self.forward_retries < 0:
+            raise ValueError("forward_retries must be >= 0")
+        if self.unhealthy_after < 1:
+            raise ValueError("unhealthy_after must be >= 1")
+        if self.health_interval_s < 0:
+            raise ValueError("health_interval_s must be >= 0")

@@ -1,0 +1,301 @@
+"""Fleet membership: shard lifecycle, health probing, ring admission.
+
+A :class:`FleetManager` owns the set of :class:`Shard` records behind one
+router and is the only thing that mutates the consistent-hash ring:
+
+* **attached** shards are pre-existing daemons (``host:port``); the
+  manager probes and routes to them but never touches their processes.
+* **spawned** shards are launched by the manager itself (``python -m
+  repro serve --port 0 --port-file ...``), supervised, and — when
+  ``respawn`` is on — restarted with a fresh process if they die.  The
+  replacement keeps the shard id, so the ring placement (and therefore
+  every key's affinity) is exactly what it was before the crash.
+
+Health model: the prober sends each shard a ``health`` op every
+``health_interval_s``.  ``unhealthy_after`` consecutive failures (or a
+single forward-time connection error, via :meth:`note_failure` — a
+stronger signal than a missed probe) takes the shard out of the ring;
+one healthy probe puts it back.  A shard reporting ``draining`` is
+treated as out — its keys remap while it finishes, which is what makes
+draining one shard mid-load lose nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from .config import RouterConfig
+from .link import ShardLink
+from .ring import HashRing
+
+__all__ = ["FleetManager", "Shard"]
+
+
+class Shard:
+    """One backend daemon as the router sees it."""
+
+    def __init__(self, shard_id: str, host: str, port: int,
+                 link: ShardLink, spawned: bool = False,
+                 proc: Optional[subprocess.Popen] = None) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.link = link
+        self.spawned = spawned
+        self.proc = proc
+        self.healthy = True
+        self.fail_streak = 0
+        self.marked_out_at: Optional[float] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "address": self.address,
+            "healthy": self.healthy,
+            "fail_streak": self.fail_streak,
+            "spawned": self.spawned,
+        }
+        if self.proc is not None:
+            out["pid"] = self.proc.pid
+        return out
+
+
+class FleetManager:
+    """See the module docstring.  Runs on the router's event loop."""
+
+    def __init__(self, config: RouterConfig, ring: HashRing) -> None:
+        self.config = config
+        self.ring = ring
+        self.shards: Dict[str, Shard] = {}
+        self._dir: Optional[str] = None
+        self._probe_task: Optional[asyncio.Task] = None
+        self.marked_out_total = 0
+        self.readmitted_total = 0
+        self.respawns_total = 0
+
+    @property
+    def healthy_shards(self) -> List[Shard]:
+        return [s for s in self.shards.values() if s.healthy]
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    async def start(self) -> None:
+        cfg = self.config
+        if cfg.shards:
+            for i, (host, port) in enumerate(cfg.shards):
+                self._adopt(Shard(str(i), host, port,
+                                  self._link(host, port)))
+        else:
+            self._dir = tempfile.mkdtemp(prefix="repro-fleet-")
+            for i in range(cfg.n_shards):
+                await self._spawn(str(i))
+        if cfg.health_interval_s > 0:
+            self._probe_task = asyncio.ensure_future(self._probe_loop())
+
+    async def stop(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._probe_task = None
+        for shard in self.shards.values():
+            await shard.link.close()
+            if shard.spawned and shard.proc is not None \
+                    and shard.proc.poll() is None:
+                shard.proc.terminate()
+        for shard in self.shards.values():
+            if shard.spawned and shard.proc is not None:
+                try:
+                    shard.proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    shard.proc.kill()
+                    shard.proc.wait(timeout=5.0)
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+
+    def _link(self, host: str, port: int) -> ShardLink:
+        return ShardLink(host, port,
+                         connect_timeout_s=self.config.connect_timeout_s,
+                         max_frame_bytes=self.config.max_frame_bytes)
+
+    def _adopt(self, shard: Shard) -> None:
+        self.shards[shard.shard_id] = shard
+        self.ring.add(shard.shard_id)
+
+    # -- spawned shards --------------------------------------------------------------
+
+    def _shard_cmd(self, port_file: str) -> List[str]:
+        cfg = self.config
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--host", "127.0.0.1", "--port", "0",
+               "--port-file", port_file,
+               "--workers", str(cfg.shard_workers),
+               "--max-queue", str(cfg.shard_max_queue),
+               "--inline-limit", str(cfg.shard_inline_limit),
+               "--maxsize", str(cfg.shard_cache_maxsize)]
+        if cfg.cache_dir:
+            cmd += ["--cache-dir", cfg.cache_dir]
+        return cmd
+
+    async def _spawn(self, shard_id: str,
+                     replacing: Optional[Shard] = None) -> Shard:
+        assert self._dir is not None
+        port_file = os.path.join(self._dir, f"shard-{shard_id}.port")
+        try:
+            os.unlink(port_file)
+        except FileNotFoundError:
+            pass
+        log = open(os.path.join(self._dir, f"shard-{shard_id}.log"), "ab")
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        try:
+            proc = subprocess.Popen(self._shard_cmd(port_file),
+                                    stdout=log, stderr=log, env=env)
+        finally:
+            log.close()
+        port = await self._await_port(port_file, proc)
+        shard = Shard(shard_id, "127.0.0.1", port,
+                      self._link("127.0.0.1", port),
+                      spawned=True, proc=proc)
+        if replacing is not None:
+            await replacing.link.close()
+        self._adopt(shard)
+        return shard
+
+    async def _await_port(self, port_file: str,
+                          proc: subprocess.Popen) -> int:
+        deadline = time.monotonic() + self.config.spawn_grace_s
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"spawned shard exited with {proc.returncode} before "
+                    f"reporting its port (see {self._dir})")
+            try:
+                with open(port_file) as fh:
+                    text = fh.read().strip()
+                if text:
+                    return int(text)
+            except (FileNotFoundError, ValueError):
+                pass
+            await asyncio.sleep(0.02)
+        proc.terminate()
+        raise RuntimeError(
+            f"spawned shard did not report a port within "
+            f"{self.config.spawn_grace_s}s")
+
+    # -- health ----------------------------------------------------------------------
+
+    def note_failure(self, shard_id: str) -> None:
+        """A forward hit a connection error on this shard: take it out of
+        the ring immediately (the prober re-admits it when it recovers)."""
+        shard = self.shards.get(shard_id)
+        if shard is not None:
+            shard.fail_streak = max(shard.fail_streak,
+                                    self.config.unhealthy_after)
+            self._mark_out(shard)
+
+    def _mark_out(self, shard: Shard) -> None:
+        if not shard.healthy:
+            return
+        shard.healthy = False
+        shard.marked_out_at = time.monotonic()
+        self.marked_out_total += 1
+        self.ring.remove(shard.shard_id)
+
+    def _readmit(self, shard: Shard) -> None:
+        if shard.healthy:
+            return
+        shard.healthy = True
+        shard.fail_streak = 0
+        shard.marked_out_at = None
+        self.readmitted_total += 1
+        self.ring.add(shard.shard_id)
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            await self.probe_once()
+
+    async def probe_once(self) -> None:
+        """One health sweep over every shard (concurrently)."""
+        await asyncio.gather(
+            *(self._probe(s) for s in list(self.shards.values())),
+            return_exceptions=True)
+
+    async def _probe(self, shard: Shard) -> None:
+        cfg = self.config
+        try:
+            reply = await shard.link.request(
+                "health", timeout_s=cfg.health_timeout_s)
+            ok = bool(reply.get("ok")) \
+                and reply["result"].get("status") == "ok"
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            ok = False
+        if ok:
+            shard.fail_streak = 0
+            if not shard.healthy:
+                self._readmit(shard)
+            return
+        shard.fail_streak += 1
+        if shard.healthy and shard.fail_streak >= cfg.unhealthy_after:
+            self._mark_out(shard)
+        if (not shard.healthy and shard.spawned and cfg.respawn
+                and shard.proc is not None
+                and shard.proc.poll() is not None):
+            # The process is gone (not merely slow or draining):
+            # replace it.  Same shard id -> same ring placement.
+            self.respawns_total += 1
+            try:
+                await self._spawn(shard.shard_id, replacing=shard)
+            except RuntimeError:
+                pass  # next sweep retries
+
+    # -- fleet ops -------------------------------------------------------------------
+
+    async def drain_all(self) -> Dict[str, Any]:
+        """Drain every shard (spawned ones then exit); per-shard reports."""
+        out: Dict[str, Any] = {}
+
+        async def _drain(shard: Shard) -> None:
+            try:
+                reply = await shard.link.request(
+                    "drain", timeout_s=self.config.drain_grace_s)
+                out[shard.shard_id] = reply.get("result") \
+                    if reply.get("ok") else {"error": reply.get("error")}
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                out[shard.shard_id] = {"error": str(exc)}
+            self._mark_out(shard)
+
+        await asyncio.gather(*(_drain(s) for s in self.shards.values()
+                               if s.healthy),
+                             return_exceptions=True)
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        healthy = sum(1 for s in self.shards.values() if s.healthy)
+        return {
+            "shards": {sid: s.snapshot()
+                       for sid, s in sorted(self.shards.items())},
+            "healthy_shards": healthy,
+            "out_shards": len(self.shards) - healthy,
+            "ring_nodes": len(self.ring),
+            "marked_out_total": self.marked_out_total,
+            "readmitted_total": self.readmitted_total,
+            "respawns_total": self.respawns_total,
+        }

@@ -1,0 +1,155 @@
+"""One multiplexed async connection from the router to one shard.
+
+The daemon handles requests on a connection concurrently and replies in
+completion order, matched by id — so the router needs exactly one TCP
+connection per shard, not one per in-flight request.  A :class:`ShardLink`
+keeps that connection, assigns frame ids, and parks each sender on a
+future that the single background read loop resolves when the matching
+reply arrives.  A dropped connection fails every parked future with
+:class:`ConnectionError`; the next request reconnects lazily, so a shard
+restart needs no link management from the caller.
+
+All methods must run on the router's event loop (no internal locking
+beyond connection setup).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from ..server.protocol import MAX_FRAME_BYTES, encode_frame
+
+__all__ = ["ShardLink"]
+
+
+class ShardLink:
+    """See the module docstring."""
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout_s: float = 5.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._read_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._conn_lock = asyncio.Lock()
+        self._closed = False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    # -- connection ------------------------------------------------------------------
+
+    async def connect(self) -> None:
+        async with self._conn_lock:
+            if self._writer is not None or self._closed:
+                return
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port,
+                                            limit=self.max_frame_bytes),
+                    timeout=self.connect_timeout_s)
+            except (asyncio.TimeoutError, OSError) as exc:
+                raise ConnectionError(
+                    f"cannot connect to shard {self.host}:{self.port}: "
+                    f"{exc}") from exc
+            self._reader, self._writer = reader, writer
+            self._read_task = asyncio.ensure_future(self._read_loop())
+
+    async def close(self) -> None:
+        self._closed = True
+        self._teardown(ConnectionError("link closed"))
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._read_task = None
+
+    def _teardown(self, exc: Exception) -> None:
+        """Drop the connection and fail everything parked on it."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(
+                    ConnectionError(f"shard {self.host}:{self.port} "
+                                    f"connection lost"))
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    reply = json.loads(line)
+                except ValueError:
+                    continue  # a garbled frame cannot be matched; skip
+                fut = self._pending.pop(reply.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(reply)
+        except (ConnectionError, OSError, ValueError,
+                asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            if self._reader is reader:  # not already torn down/reconnected
+                self._teardown(ConnectionError("connection lost"))
+
+    # -- requests --------------------------------------------------------------------
+
+    async def request(self, op: str,
+                      params: Optional[Dict[str, Any]] = None, *,
+                      deadline_s: Optional[float] = None,
+                      trace_id: Optional[str] = None,
+                      parent_span: Optional[str] = None,
+                      timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Send one op frame; return the **raw reply dict** (the caller
+        interprets ``ok``/``error`` — the router must see error codes, not
+        exceptions).  Raises :class:`ConnectionError` when the shard is
+        unreachable or drops mid-request, :class:`asyncio.TimeoutError`
+        when ``timeout_s`` lapses (the reply, if it ever comes, is
+        discarded by the read loop)."""
+        await self.connect()
+        self._next_id += 1
+        rid = self._next_id
+        frame: Dict[str, Any] = {"id": rid, "op": op, **(params or {})}
+        if deadline_s is not None:
+            frame["deadline_s"] = deadline_s
+        if trace_id is not None:
+            frame["trace_id"] = trace_id
+        if parent_span is not None:
+            frame["parent_span"] = parent_span
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        try:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+        except (ConnectionError, OSError, AttributeError) as exc:
+            # AttributeError: writer torn down between connect and write.
+            self._pending.pop(rid, None)
+            self._teardown(ConnectionError("write failed"))
+            raise ConnectionError(
+                f"shard {self.host}:{self.port} write failed: "
+                f"{exc}") from exc
+        try:
+            return await asyncio.wait_for(fut, timeout=timeout_s)
+        finally:
+            self._pending.pop(rid, None)

@@ -1,0 +1,124 @@
+"""Consistent hashing: stable key -> shard placement with minimal churn.
+
+The router places every work request on a shard by its **compile cache
+key** (the content address of source + config + entry), so all traffic
+for one program lands on the shard whose in-memory cache is already warm
+with it — cache affinity is what makes a fleet of per-process LRU caches
+behave like one big cache.
+
+A :class:`HashRing` hashes each shard onto the unit ring at ``replicas``
+pseudo-random points (virtual nodes) and routes a key to the first shard
+point at or clockwise of the key's own hash.  Properties that matter
+here:
+
+* **stability** — the mapping depends only on the member set, never on
+  join order or lookup history; every router replica computes the same
+  placement.
+* **minimal churn** — removing a shard reassigns *only* the keys it
+  owned (to their next-clockwise shard); unrelated keys keep their warm
+  shard.  Adding it back restores the exact prior placement, so a shard
+  that blips out and returns finds its cache still relevant.
+* **spread** — virtual nodes keep the per-shard key share near 1/N even
+  for small fleets (64 points per shard holds the imbalance to a few
+  percent).
+
+:meth:`HashRing.nodes_for` yields the failover order: distinct shards in
+clockwise succession.  The router walks it when the primary is out — the
+first healthy successor is exactly where the key remaps after the ring
+drops the dead shard, so retry-and-remap agree.
+
+Hashing is SHA-256 (first 8 bytes, big-endian): already imported for the
+cache's content addressing, uniform, and platform-independent — ring
+placement must not depend on the host's ``hash()`` seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """See the module docstring.
+
+    Not thread-safe; the router mutates it only from its event loop.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        #: sorted (point, node) pairs — the ring itself.
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[Tuple[int, str]]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ------------------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add ``node`` (idempotent)."""
+        if node in self._nodes:
+            return
+        pairs = [(_point(f"{node}#{i}"), node)
+                 for i in range(self.replicas)]
+        self._nodes[node] = pairs
+        for pair in pairs:
+            insort(self._points, pair)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` (idempotent); its keys remap to successors."""
+        pairs = self._nodes.pop(node, None)
+        if pairs is None:
+            return
+        dead = set(pairs)
+        self._points = [p for p in self._points if p not in dead]
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- placement -------------------------------------------------------------------
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The shard owning ``key`` (None on an empty ring)."""
+        if not self._points:
+            return None
+        i = bisect_right(self._points, (_point(key), ""))
+        if i == len(self._points):
+            i = 0  # wrap: the ring is circular
+        return self._points[i][1]
+
+    def nodes_for(self, key: str, n: int) -> List[str]:
+        """Up to ``n`` distinct shards in clockwise (failover) order.
+
+        The first element is :meth:`node_for`; each further element is
+        where the key would land if every earlier one left the ring —
+        the retry order that agrees with post-failure remapping.
+        """
+        if not self._points or n < 1:
+            return []
+        out: List[str] = []
+        start = bisect_right(self._points, (_point(key), ""))
+        for off in range(len(self._points)):
+            node = self._points[(start + off) % len(self._points)][1]
+            if node not in out:
+                out.append(node)
+                if len(out) >= n:
+                    break
+        return out

@@ -1,0 +1,295 @@
+"""The fleet router: consistent-hash request placement over shard daemons.
+
+A :class:`RouterServer` is an :class:`~repro.server.core.OpCore` — it
+speaks the exact same newline-delimited JSON op protocol as the daemons
+behind it, so every existing client (:class:`~repro.server.client.
+ServerClient`, the CLI, the benchmarks) points at a fleet by changing a
+port number and nothing else.
+
+Work ops (``compile`` / ``run`` / ``run_batch``) are **forwarded**: the
+router computes the request's compile cache key (the same content
+address the daemons and the CLI use), hashes it onto the consistent-hash
+ring, and relays the frame to the owning shard over that shard's
+multiplexed link — so all traffic for one program lands where its cache
+is warm.  A shard that fails mid-forward (connection refused, dropped
+link, ``draining`` reply) is marked out of the ring and the request
+retries on the next ring successor — exactly where the key remaps to —
+which is why killing or draining a shard mid-load loses no accepted
+replies.
+
+Control ops aggregate instead of forwarding:
+
+* ``stats``   — per-shard snapshots keyed by shard id, a fleet rollup
+  (:meth:`ServiceStats.merged` over the shard snapshots), and the
+  router's own service/server sections.
+* ``metrics`` — one valid Prometheus exposition with a ``shard`` label
+  per sample (:func:`render_prometheus_fleet`).
+* ``trace``   — spans for a trace id gathered from the router's own ring
+  buffer *and* every shard's, so a client sees the full
+  router -> shard -> pool-worker waterfall.  The hop is grafted via the
+  frame-level ``parent_span`` field: the router's forwarding span id
+  becomes the parent of the shard's root span.
+* ``drain``   — drains the router (every accepted forward gets its
+  reply), then fans the drain out to every shard.
+* ``health``  — fleet membership plus the usual liveness fields.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..obs.metrics import render_prometheus_fleet
+from ..obs.trace import current_tracer
+from ..server.core import CoreThread, OpCore
+from ..server.protocol import (
+    E_BAD_REQUEST,
+    E_DEADLINE,
+    E_DRAINING,
+    E_UNAVAILABLE,
+    ProtocolError,
+    Request,
+)
+from ..service.jobs import job_from_dict
+from ..service.stats import ServiceStats
+from .config import RouterConfig
+from .fleet import FleetManager
+from .ring import HashRing
+
+__all__ = ["PreparedForward", "RouterServer", "RouterThread"]
+
+#: grace added to the shard-side deadline before the router gives up on a
+#: forward itself — lets the shard reply ``deadline_exceeded`` with its
+#: own diagnostics instead of racing the router's timer.
+_FORWARD_GRACE_S = 2.0
+
+
+@dataclass
+class PreparedForward:
+    """A validated work request, placed on the ring and ready to relay."""
+
+    request: Request
+    params: Dict[str, Any]
+    key: str
+    route: str = "forward"
+
+
+class RouterServer(OpCore):
+    """See the module docstring.  Typical use::
+
+        router = RouterServer(RouterConfig(port=0, n_shards=4))
+        await router.start()        # spawns + admits the fleet
+        print(router.port)
+        await router.serve_forever()
+    """
+
+    span_prefix = "router"
+
+    def __init__(self, config: Optional[RouterConfig] = None) -> None:
+        self.config = config if config is not None else RouterConfig()
+        super().__init__(
+            host=self.config.host,
+            port=self.config.port,
+            max_queue=self.config.max_queue,
+            class_limits={"forward": self.config.forward_limit},
+            default_deadline_s=self.config.default_deadline_s,
+            drain_grace_s=self.config.drain_grace_s,
+            max_frame_bytes=self.config.max_frame_bytes,
+            trace_buffer=self.config.trace_buffer,
+            trace_log=self.config.trace_log,
+            stats=ServiceStats())
+        self.ring = HashRing(replicas=self.config.replicas)
+        self.fleet = FleetManager(self.config, self.ring)
+        self.register_work("compile", "run", "run_batch")
+
+    # -- op-core hooks ---------------------------------------------------------------
+
+    async def on_start(self) -> None:
+        await self.fleet.start()
+
+    async def on_stop(self) -> None:
+        await self.fleet.stop()
+
+    async def on_drained(self) -> Optional[Dict[str, Any]]:
+        return {"shards": await self.fleet.drain_all()}
+
+    def prepare_work(self, request: Request) -> PreparedForward:
+        """Validate enough to place the request: the compile cache key is
+        the ring key, computed exactly as the shard will compute it."""
+        params = dict(request.params)
+        if "file" in params:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "server requests must inline 'source'; "
+                                "'file' is client-side only")
+        try:
+            job = job_from_dict({**params, "kind": request.op})
+            key = job.resolved_config().cache_key(job.source,
+                                                  entry=job.entry)
+        except ProtocolError:
+            raise
+        except (ReproError, TypeError, ValueError, KeyError) as exc:
+            raise ProtocolError(E_BAD_REQUEST, f"invalid request: {exc}")
+        return PreparedForward(request=request, params=params, key=key)
+
+    async def execute_work(self, prepared: PreparedForward,
+                           remaining_s: Optional[float]) -> Dict[str, Any]:
+        """Relay to the key's shard; fail over along the ring successor
+        order when the shard is gone or draining."""
+        cfg = self.config
+        candidates = self.ring.nodes_for(prepared.key,
+                                         1 + cfg.forward_retries)
+        tracer = current_tracer()
+        fwd_trace = tracer.trace_id if tracer.enabled else None
+        last_failure = "no healthy shard in the ring"
+        for attempt, shard_id in enumerate(candidates):
+            shard = self.fleet.shards.get(shard_id)
+            if shard is None or not shard.healthy:
+                continue
+            if attempt > 0:
+                self.counters["forward_failovers"] += 1
+            timeout_s = None if remaining_s is None \
+                else remaining_s + _FORWARD_GRACE_S
+            with tracer.span(f"forward:{shard_id}", shard=shard_id,
+                             address=shard.address,
+                             key=prepared.key[:16]) as sp:
+                try:
+                    reply = await shard.link.request(
+                        prepared.request.op, prepared.params,
+                        deadline_s=remaining_s, trace_id=fwd_trace,
+                        parent_span=sp.span_id, timeout_s=timeout_s)
+                except (ConnectionError, OSError) as exc:
+                    self.counters["forward_conn_errors"] += 1
+                    self.fleet.note_failure(shard_id)
+                    last_failure = f"shard {shard_id}: {exc}"
+                    sp.set(failed="connection")
+                    continue
+                except asyncio.TimeoutError:
+                    raise ProtocolError(
+                        E_DEADLINE,
+                        f"shard {shard_id} did not reply within "
+                        f"{timeout_s:.3f}s")
+            if reply.get("ok"):
+                self.counters["forwards_ok"] += 1
+                result = dict(reply["result"])
+                result["shard"] = shard_id
+                return result
+            error = reply.get("error") or {}
+            code = error.get("code", "internal")
+            if code in (E_DRAINING, E_UNAVAILABLE):
+                # The shard is on its way out; its keys are remapping to
+                # the ring successor we will try next.
+                self.counters["forward_failovers"] += 1
+                last_failure = f"shard {shard_id}: {code}"
+                continue
+            # Real answer from the owning shard (bad_request,
+            # compile_error, deadline_exceeded, overloaded, internal):
+            # surface it — retrying elsewhere cannot change it, except
+            # overloaded, which the *client's* backoff handles.
+            raise ProtocolError(code,
+                                error.get("message", "shard error"))
+        raise ProtocolError(E_UNAVAILABLE,
+                            f"no shard could serve the request "
+                            f"({last_failure}); "
+                            f"{len(self.ring)} shard(s) in the ring")
+
+    # -- aggregating control ops -----------------------------------------------------
+
+    def server_section(self) -> Dict[str, Any]:
+        out = super().server_section()
+        out["fleet"] = self.fleet.snapshot()
+        return out
+
+    async def _gather_shards(self, op: str,
+                             params: Optional[Dict[str, Any]] = None
+                             ) -> Dict[str, Dict[str, Any]]:
+        """One ``op`` request to every healthy shard, concurrently;
+        returns shard id -> result for the shards that answered ok."""
+        shards = self.fleet.healthy_shards
+
+        async def _one(shard) -> Tuple[str, Optional[Dict[str, Any]]]:
+            try:
+                reply = await shard.link.request(
+                    op, params,
+                    timeout_s=self.config.health_timeout_s)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                return shard.shard_id, None
+            if not reply.get("ok"):
+                return shard.shard_id, None
+            return shard.shard_id, reply["result"]
+
+        out: Dict[str, Dict[str, Any]] = {}
+        for shard_id, result in await asyncio.gather(
+                *(_one(s) for s in shards)):
+            if result is not None:
+                out[shard_id] = result
+        return out
+
+    async def op_stats(self, request: Request) -> Dict[str, Any]:
+        """Fleet stats: per-shard snapshots, the rollup, the router."""
+        shards = await self._gather_shards("stats")
+        rollup = ServiceStats.merged(
+            [r["service"] for r in shards.values() if "service" in r])
+        return {
+            "router": {"service": self.stats.to_dict(),
+                       "server": self.server_section()},
+            "fleet": {**self.fleet.snapshot(),
+                      "service": rollup.to_dict()},
+            "shards": shards,
+        }
+
+    async def op_metrics(self, request: Request) -> Dict[str, Any]:
+        """One Prometheus exposition over the whole fleet: every family
+        once, a ``shard`` label per sample, fleet membership gauges."""
+        shards = await self._gather_shards("stats")
+        text = render_prometheus_fleet(
+            {sid: (r.get("service", {}), r.get("server"))
+             for sid, r in shards.items()},
+            router=(self.stats, self.server_section()),
+            fleet=self.fleet.snapshot())
+        return {"text": text,
+                "content_type": "text/plain; version=0.0.4"}
+
+    async def op_trace(self, request: Request) -> Dict[str, Any]:
+        """Spans from the router's buffer plus every shard's — the whole
+        router -> shard -> pool-worker tree for a trace id."""
+        local = OpCore.op_trace(self, request)
+        params: Dict[str, Any] = {}
+        trace_id = request.params.get("filter_trace_id") or request.trace_id
+        if trace_id is not None:
+            params["filter_trace_id"] = trace_id
+        if request.params.get("limit") is not None:
+            params["limit"] = request.params["limit"]
+        spans: List[Dict[str, Any]] = list(local["spans"])
+        total, dropped = local["total"], local["dropped"]
+        for result in (await self._gather_shards("trace",
+                                                 params)).values():
+            spans.extend(result.get("spans", []))
+            total += result.get("total", 0)
+            dropped += result.get("dropped", 0)
+        return {"spans": spans, "total": total, "dropped": dropped}
+
+    def op_health(self, request: Request) -> Dict[str, Any]:
+        out = OpCore.op_health(self, request)
+        snap = self.fleet.snapshot()
+        out["role"] = "router"
+        out["healthy_shards"] = snap["healthy_shards"]
+        out["out_shards"] = snap["out_shards"]
+        if snap["healthy_shards"] == 0 and not self._draining:
+            out["status"] = "unavailable"
+        return out
+
+
+class RouterThread(CoreThread):
+    """A :class:`RouterServer` on a daemon thread — the blocking-world
+    embedding (tests, benchmarks, examples), mirroring
+    :class:`~repro.server.daemon.ServerThread`::
+
+        with RouterThread(RouterConfig(n_shards=2)) as fleet:
+            client = ServerClient(port=fleet.port)
+            ...
+    """
+
+    def __init__(self, config: Optional[RouterConfig] = None) -> None:
+        super().__init__(RouterServer(config))

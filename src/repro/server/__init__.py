@@ -12,19 +12,25 @@ Layers (each its own module):
 * :mod:`.protocol`   — framing, request parsing, structured error codes
 * :mod:`.config`     — :class:`ServerConfig` tuning knobs
 * :mod:`.admission`  — bounded queue + per-class concurrency limits
+* :mod:`.core`       — the reusable op core (:class:`OpCore`): transport,
+  op registry, admission, deadlines, tracing, drain — the building block
+  the daemon *and* the fleet router (:mod:`repro.router`) are made of
 * :mod:`.dispatcher` — inline (cache-hit) vs process-pool routing,
   per-request deadlines
 * :mod:`.daemon`     — the server itself + :class:`ServerThread` embedding
-* :mod:`.client`     — blocking :class:`ServerClient` library
+* :mod:`.client`     — blocking :class:`ServerClient` library with bounded
+  retry/backoff
 
 Entry points: ``python -m repro serve`` / ``python -m repro request``,
 ``examples/serve_client.py``, ``benchmarks/bench_server_throughput.py``.
-See README "Serving" and the DESIGN.md addendum for the architecture.
+See README "Serving"/"Fleet serving" and the DESIGN.md addenda for the
+architecture.
 """
 
 from .admission import AdmissionController, Ticket
 from .client import ServerClient, ServerError
 from .config import ServerConfig
+from .core import CoreThread, OpCore
 from .daemon import ServerThread, SoundServer
 from .dispatcher import Dispatcher, PreparedRequest
 from .protocol import (
@@ -41,10 +47,12 @@ from .protocol import (
 
 __all__ = [
     "AdmissionController",
+    "CoreThread",
     "Dispatcher",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "OPS",
+    "OpCore",
     "PreparedRequest",
     "ProtocolError",
     "Request",

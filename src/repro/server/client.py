@@ -14,18 +14,30 @@ thread — to load the server concurrently, which is exactly what
 
 Error replies raise :class:`ServerError` carrying the structured code
 (``overloaded``, ``deadline_exceeded``, ``compile_error``, ...), so callers
-can implement retry policies without string matching.
+can implement retry policies without string matching — or let the client
+do it: ``retries=N`` turns on bounded retry with exponential backoff and
+full jitter for exactly the transient failures (``overloaded`` /
+``unavailable`` replies, connection refused/lost — the connection is
+re-established transparently).  Definitive answers (``bad_request``,
+``compile_error``, ``deadline_exceeded``) never retry, and neither does
+``drain`` (a lost drain reply must surface, not re-drain a new process).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, Iterable, Optional
 
 from .protocol import encode_frame
 
 __all__ = ["ServerClient", "ServerError"]
+
+#: error codes worth retrying: the request never ran (admission rejected
+#: it) or no backend could take it — a later attempt can succeed.
+RETRYABLE_CODES = frozenset({"overloaded", "unavailable"})
 
 
 class ServerError(Exception):
@@ -43,10 +55,18 @@ class ServerClient:
     """See the module docstring."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8437,
-                 timeout: Optional[float] = 60.0) -> None:
+                 timeout: Optional[float] = 60.0, retries: int = 0,
+                 backoff_s: float = 0.05,
+                 backoff_max_s: float = 2.0) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.retried_total = 0
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
@@ -106,7 +126,40 @@ class ServerClient:
     def request(self, op: str, deadline_s: Optional[float] = None,
                 trace_id: Optional[str] = None,
                 **params: Any) -> Dict[str, Any]:
-        """Send one request; return ``result`` or raise :class:`ServerError`."""
+        """Send one request; return ``result`` or raise :class:`ServerError`.
+
+        With ``retries > 0``, transient failures (see
+        :data:`RETRYABLE_CODES` and connection errors) are retried up to
+        ``retries`` more times with exponential backoff and full jitter;
+        a dropped connection is re-opened before the next attempt.
+        """
+        attempts = 1 if op == "drain" else self.retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(op, deadline_s, trace_id, params)
+            except ServerError as exc:
+                if exc.code not in RETRYABLE_CODES \
+                        or attempt + 1 >= attempts:
+                    raise
+            except (ConnectionError, OSError):
+                # The request may be half-written on the dead socket;
+                # drop it so the next attempt starts a clean connection.
+                self.close()
+                if attempt + 1 >= attempts:
+                    raise
+            self.retried_total += 1
+            self._backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff(self, attempt: int) -> None:
+        cap = min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
+        # Full jitter: desynchronizes the retry herd that a shard
+        # failover or an overload burst creates across many clients.
+        time.sleep(random.uniform(0.0, cap))
+
+    def _request_once(self, op: str, deadline_s: Optional[float],
+                      trace_id: Optional[str],
+                      params: Dict[str, Any]) -> Dict[str, Any]:
         self._next_id += 1
         frame: Dict[str, Any] = {"id": self._next_id, "op": op, **params}
         if deadline_s is not None:

@@ -1,0 +1,534 @@
+"""The op core: a reusable "process that speaks newline-delimited JSON ops".
+
+This module is the transport/dispatch machinery that used to be private to
+the sound-computation daemon, extracted so that *any* service in the fleet
+— the daemon itself, the consistent-hash router in :mod:`repro.router`,
+test doubles — is one subclass away from a fully operable server with:
+
+* newline-delimited JSON framing over asyncio TCP (one frame = one op),
+* an **op registry** splitting *control* ops (always served, even while
+  draining: ``health``/``stats``/``trace``/``metrics``/``drain``) from
+  *work* ops (subject to admission control and deadlines),
+* admission control: a global bounded queue plus per-class concurrency
+  limits (reject-don't-buffer under flood),
+* per-request deadlines anchored at frame arrival,
+* per-request span tracing with cross-process/cross-hop grafting (the
+  ``trace_id`` + ``parent_span`` frame fields), a bounded span ring
+  buffer, and an optional JSONL trace log,
+* graceful drain: accepted work always gets its reply, then the process
+  exits cleanly.
+
+Subclasses implement two hooks for work ops —
+
+    def prepare_work(self, request) -> prepared   # .route names the class
+    async def execute_work(self, prepared, remaining_s) -> result dict
+
+— and may register extra control ops with :meth:`OpCore.register_control`
+or override the built-in ``op_*`` handlers (the router, for example,
+overrides ``op_stats`` to aggregate fleet-wide).  :class:`CoreThread`
+embeds any core on a daemon thread with its own event loop, which is how
+the blocking-client world (tests, benchmarks, examples) boots servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import traceback
+from collections import Counter
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple, Union
+
+from ..obs.export import TraceBuffer, TraceLog
+from ..obs.metrics import render_prometheus
+from ..obs.trace import Tracer, use_tracer
+from ..service.stats import ServiceStats
+from .admission import AdmissionController
+from .protocol import (
+    MAX_FRAME_BYTES,
+    E_BAD_REQUEST,
+    E_DRAINING,
+    E_INTERNAL,
+    E_MALFORMED,
+    E_OVERLOADED,
+    ProtocolError,
+    Request,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+
+__all__ = ["CoreThread", "OpCore"]
+
+#: A control handler: sync or async, Request -> JSON-safe result dict.
+ControlHandler = Callable[[Request],
+                          Union[Dict[str, Any], Awaitable[Dict[str, Any]]]]
+
+
+class OpCore:
+    """See the module docstring.  Typical use::
+
+        core = MyCore(...)          # an OpCore subclass
+        await core.start()
+        print(core.port)
+        await core.serve_forever()  # returns after a drain
+    """
+
+    #: prefix of work-op root spans and latency probes ("server:run",
+    #: "router:run", ...) — override per role.
+    span_prefix = "server"
+
+    def __init__(self, *,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 max_queue: int = 64,
+                 class_limits: Optional[Dict[str, int]] = None,
+                 default_deadline_s: Optional[float] = None,
+                 drain_grace_s: float = 60.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 trace_buffer: int = 4096,
+                 trace_log: Optional[str] = None,
+                 stats: Optional[ServiceStats] = None) -> None:
+        self.host = host
+        self.requested_port = port
+        self.default_deadline_s = default_deadline_s
+        self.drain_grace_s = drain_grace_s
+        self.max_frame_bytes = max_frame_bytes
+        self.stats = stats if stats is not None else ServiceStats()
+        self.admission = AdmissionController(
+            max_queue, class_limits if class_limits else {"work": 8})
+        self.counters: Counter = Counter()
+        self.trace_buffer = TraceBuffer(trace_buffer)
+        self._trace_log_path = trace_log
+        self._trace_log: Optional[TraceLog] = None
+        self._control: Dict[str, ControlHandler] = {}
+        self._work_ops: set = set()
+        self._draining = False
+        self._drained: Optional[asyncio.Event] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+        self._started_at = 0.0
+        self._started_wall = 0.0
+        self.register_control("health", self.op_health)
+        self.register_control("stats", self.op_stats)
+        self.register_control("trace", self.op_trace)
+        self.register_control("metrics", self.op_metrics)
+        self.register_control("drain", self.op_drain)
+
+    # -- op registry -----------------------------------------------------------------
+
+    def register_control(self, name: str, handler: ControlHandler) -> None:
+        """Register/override a control op (served even while draining)."""
+        self._control[name] = handler
+
+    def register_work(self, *names: str) -> None:
+        """Register work ops (admission-controlled; the :meth:`prepare_work`
+        / :meth:`execute_work` hooks run them)."""
+        self._work_ops.update(names)
+
+    @property
+    def op_names(self) -> Tuple[str, ...]:
+        """Every op this core serves — the frame-level validation set."""
+        return tuple(sorted(self._work_ops)) + tuple(sorted(self._control))
+
+    # -- subclass hooks --------------------------------------------------------------
+
+    def prepare_work(self, request: Request) -> Any:
+        """Validate a work request; return a prepared object whose ``route``
+        attribute names its admission class.  Raise :class:`ProtocolError`
+        (``bad_request``) on invalid parameters."""
+        raise NotImplementedError
+
+    async def execute_work(self, prepared: Any,
+                           remaining_s: Optional[float]) -> Dict[str, Any]:
+        """Run one prepared work request; return the JSON-safe result."""
+        raise NotImplementedError
+
+    async def on_start(self) -> None:
+        """Called from :meth:`start` before the listener binds."""
+
+    async def on_stop(self) -> None:
+        """Called from :meth:`stop` after connections are gone."""
+
+    async def on_drained(self) -> Optional[Dict[str, Any]]:
+        """Called once local in-flight work has finished during a drain,
+        before the drain reply; the returned dict merges into it (a router
+        drains its shards here)."""
+        return None
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        self._drained = asyncio.Event()
+        self._stop_requested = asyncio.Event()
+        if self._trace_log_path is not None:
+            self._trace_log = TraceLog(self._trace_log_path)
+        await self.on_start()
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.host,
+            port=self.requested_port, limit=self.max_frame_bytes)
+        self._started_at = time.monotonic()
+        self._started_wall = time.time()
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``drain`` completes (or :meth:`request_stop`)."""
+        assert self._server is not None, "server not started"
+        await self._stop_requested.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to return (thread-unsafe form)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    async def stop(self) -> None:
+        """Immediate shutdown: close the listener and every connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # Closing a writer EOFs its reader; let handlers unwind on their own
+        # rather than be cancelled mid-read when the loop shuts down.
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+        await self.on_stop()
+        if self._trace_log is not None:
+            self._trace_log.close()
+
+    # -- connection handling ---------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        self._conn_tasks.add(asyncio.current_task())
+        lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Frame exceeded the stream limit: we cannot resync a
+                    # line protocol mid-frame, so reply and hang up.
+                    self.counters["err:" + E_MALFORMED] += 1
+                    await self._send(writer, lock, error_reply(
+                        None, E_MALFORMED, "frame too large"))
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break  # client closed its write side
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_frame(line, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            # Half-close support: finish outstanding requests and flush
+            # their replies before dropping the connection.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            self._writers.discard(writer)
+            self._conn_tasks.discard(asyncio.current_task())
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                    obj: Dict[str, Any]) -> None:
+        async with lock:
+            try:
+                writer.write(encode_frame(obj))
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass  # client went away; its reply has nowhere to go
+
+    # -- request handling ------------------------------------------------------------
+
+    async def _handle_frame(self, line: bytes, writer: asyncio.StreamWriter,
+                            lock: asyncio.Lock) -> None:
+        t0 = time.monotonic()
+        self.counters["requests_total"] += 1
+        try:
+            request = parse_request(line, ops=self.op_names)
+        except ProtocolError as exc:
+            self.counters["err:" + exc.code] += 1
+            await self._send(writer, lock,
+                             error_reply(None, exc.code, exc.message))
+            return
+        self.counters[f"op:{request.op}"] += 1
+        if request.op in self._control:
+            await self._handle_control(request, writer, lock)
+            return
+        reply = await self._handle_work(request, t0)
+        self.stats.observe_latency(f"{self.span_prefix}:{request.op}",
+                                   time.monotonic() - t0)
+        if reply.get("ok"):
+            self.counters["replies_ok"] += 1
+        else:
+            self.counters["err:" + reply["error"]["code"]] += 1
+        await self._send(writer, lock, reply)
+
+    async def _handle_work(self, request: Request,
+                           t0: float) -> Dict[str, Any]:
+        tracer = self._tracer_for(request)
+        if tracer is None:
+            return await self._execute_work(request, t0)
+        # contextvars flow into everything this task awaits, so the
+        # dispatcher, service, passes and runtime all see this tracer;
+        # concurrent requests each get their own.
+        with use_tracer(tracer):
+            with tracer.span(f"{self.span_prefix}:{request.op}",
+                             op=request.op) as root:
+                reply = await self._execute_work(request, t0)
+            ok = bool(reply.get("ok"))
+            root.set(ok=ok)
+            if ok:
+                root.set(route=reply["result"].get("route"))
+            else:
+                root.set(error_code=reply["error"]["code"])
+        self._export_spans(tracer)
+        reply["trace_id"] = tracer.trace_id
+        return reply
+
+    def _tracer_for(self, request: Request) -> Optional[Tracer]:
+        """A per-request tracer when the client asked for one (trace_id on
+        the frame) or the server logs every request; None otherwise —
+        the untraced hot path never touches the tracing machinery.
+        ``parent_span`` (set by a forwarding router) grafts this process's
+        spans under the caller's span."""
+        if request.trace_id is None and self._trace_log is None:
+            return None
+        return Tracer(trace_id=request.trace_id,
+                      root_parent=request.parent_span)
+
+    def _export_spans(self, tracer: Tracer) -> None:
+        spans = tracer.to_dicts()
+        if not spans:
+            return
+        self.trace_buffer.extend(spans)
+        if self._trace_log is not None:
+            self._trace_log.write(spans)
+
+    async def _execute_work(self, request: Request,
+                            t0: float) -> Dict[str, Any]:
+        if self._draining:
+            return error_reply(request.id, E_DRAINING,
+                               "server is draining; not accepting work")
+        try:
+            prepared = self.prepare_work(request)
+        except ProtocolError as exc:
+            return error_reply(request.id, exc.code, exc.message)
+        ticket = self.admission.try_admit(prepared.route)
+        if ticket is None:
+            return error_reply(
+                request.id, E_OVERLOADED,
+                f"queue full ({self.admission.max_queue} admitted); "
+                f"retry later")
+        deadline_s = request.deadline_s \
+            if request.deadline_s is not None \
+            else self.default_deadline_s
+        try:
+            await ticket.acquire()
+            remaining = None
+            if deadline_s is not None:
+                remaining = deadline_s - (time.monotonic() - t0)
+            result = await self.execute_work(prepared, remaining)
+            return ok_reply(request.id, result)
+        except ProtocolError as exc:
+            return error_reply(request.id, exc.code, exc.message)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            return error_reply(request.id, E_INTERNAL,
+                               traceback.format_exc(limit=4))
+        finally:
+            ticket.release()
+            if self._draining and self.admission.admitted == 0:
+                self._drained.set()
+
+    # -- control ops -----------------------------------------------------------------
+
+    async def _handle_control(self, request: Request,
+                              writer: asyncio.StreamWriter,
+                              lock: asyncio.Lock) -> None:
+        try:
+            value = self._control[request.op](request)
+            if asyncio.iscoroutine(value):
+                value = await value
+            reply = ok_reply(request.id, value)
+            if request.trace_id is not None:
+                reply["trace_id"] = request.trace_id
+            self.counters["replies_ok"] += 1
+        except ProtocolError as exc:
+            self.counters["err:" + exc.code] += 1
+            reply = error_reply(request.id, exc.code, exc.message)
+        except Exception:
+            self.counters["err:" + E_INTERNAL] += 1
+            reply = error_reply(request.id, E_INTERNAL,
+                                traceback.format_exc(limit=4))
+        await self._send(writer, lock, reply)
+        if request.op == "drain" and reply.get("ok"):
+            # The drain reply is flushed; now let serve_forever return.
+            self._stop_requested.set()
+
+    def op_health(self, request: Request) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "admitted": self.admission.admitted,
+            "queued": self.admission.queued,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def server_section(self) -> Dict[str, Any]:
+        """The process-level half of the ``stats`` payload; subclasses
+        extend it with their own counters."""
+        return {
+            "counters": dict(self.counters),
+            "admission": self.admission.snapshot(),
+            "draining": self._draining,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "started_at": round(self._started_wall, 3),
+            "trace": {
+                "total": self.trace_buffer.total,
+                "dropped": self.trace_buffer.dropped,
+                "capacity": self.trace_buffer.capacity,
+            },
+        }
+
+    def op_stats(self, request: Request) -> Dict[str, Any]:
+        return {"service": self.stats.to_dict(),
+                "server": self.server_section()}
+
+    def op_trace(self, request: Request) -> Dict[str, Any]:
+        """The ``trace`` op: spans from the in-memory ring buffer,
+        optionally filtered by ``trace_id`` and truncated to the newest
+        ``limit``."""
+        params = request.params
+        trace_id = params.get("filter_trace_id") or request.trace_id
+        limit = params.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ProtocolError(E_BAD_REQUEST,
+                                "limit must be a non-negative integer")
+        spans = self.trace_buffer.spans(trace_id=trace_id, limit=limit)
+        return {
+            "spans": spans,
+            "total": self.trace_buffer.total,
+            "dropped": self.trace_buffer.dropped,
+        }
+
+    def op_metrics(self, request: Request) -> Dict[str, Any]:
+        """The ``metrics`` op: Prometheus text exposition of the service
+        and server counters (the client serves/prints ``text`` as-is)."""
+        return {"text": render_prometheus(self.stats,
+                                          server=self.server_section()),
+                "content_type": "text/plain; version=0.0.4"}
+
+    async def op_drain(self, request: Request) -> Dict[str, Any]:
+        """Reject new work, finish everything admitted, report, shut down."""
+        self._draining = True
+        if self.admission.admitted == 0:
+            self._drained.set()
+        try:
+            await asyncio.wait_for(self._drained.wait(),
+                                   timeout=self.drain_grace_s)
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                E_INTERNAL,
+                f"drain grace period ({self.drain_grace_s}s) "
+                f"expired with {self.admission.admitted} request(s) "
+                f"in flight")
+        extra = await self.on_drained()
+        return {
+            "drained": True,
+            "completed_ok": self.counters["replies_ok"],
+            "requests_total": self.counters["requests_total"],
+            "outstanding": self.admission.admitted,
+            **(extra or {}),
+        }
+
+
+class CoreThread:
+    """An :class:`OpCore` on a daemon thread with its own event loop.
+
+    This is the embedding used by the blocking client world — tests, the
+    throughput benchmarks, and the examples — where the caller is
+    synchronous code::
+
+        with CoreThread(core) as srv:
+            client = ServerClient(port=srv.port)
+            ...
+
+    ``stop()`` (also on context exit) requests shutdown and joins the
+    thread; a client-initiated ``drain`` ends the loop the same way.
+    """
+
+    def __init__(self, core: OpCore) -> None:
+        self.server = core
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"repro-{core.span_prefix}-core")
+
+    def start(self) -> "CoreThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server thread failed to start in 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self.server.serve_forever()
+        finally:
+            await self.server.stop()
+
+    def __enter__(self) -> "CoreThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -6,6 +6,13 @@ serves newline-delimited JSON requests over TCP — so the cache and the
 workers stay warm across every connection instead of being rebuilt per
 process the way the CLI and bench harness do.
 
+The transport, op registry, admission control, deadlines, tracing and
+drain machinery all live in the reusable :class:`~repro.server.core.
+OpCore`; this module contributes only what is daemon-specific — the
+compile/run/run_batch work ops routed through the :class:`.dispatcher.
+Dispatcher` (inline cache hits vs. the process pool vs. the micro-batcher)
+and the dispatcher's slice of the ``stats`` payload.
+
 Request lifecycle::
 
     frame -> parse -> [control op: serve immediately]
@@ -28,38 +35,18 @@ dropped.
 
 from __future__ import annotations
 
-import asyncio
-import threading
-import time
-import traceback
-from collections import Counter
 from typing import Any, Dict, Optional
 
-from ..obs.export import TraceBuffer, TraceLog
-from ..obs.metrics import render_prometheus
-from ..obs.trace import Tracer, use_tracer
 from ..service.service import CompileService
-from .admission import AdmissionController
 from .config import ServerConfig
-from .dispatcher import Dispatcher
-from .protocol import (
-    CONTROL_OPS,
-    E_DRAINING,
-    E_INTERNAL,
-    E_MALFORMED,
-    E_OVERLOADED,
-    ProtocolError,
-    Request,
-    encode_frame,
-    error_reply,
-    ok_reply,
-    parse_request,
-)
+from .core import CoreThread, OpCore
+from .dispatcher import Dispatcher, PreparedRequest
+from .protocol import Request
 
 __all__ = ["ServerThread", "SoundServer"]
 
 
-class SoundServer:
+class SoundServer(OpCore):
     """See the module docstring.  Typical use::
 
         server = SoundServer(ServerConfig(port=0, cache_dir=".repro-cache"))
@@ -68,352 +55,66 @@ class SoundServer:
         await server.serve_forever()   # returns after a drain
     """
 
+    span_prefix = "server"
+
     def __init__(self, config: Optional[ServerConfig] = None,
                  service: Optional[CompileService] = None) -> None:
         self.config = config if config is not None else ServerConfig()
         self.service = service if service is not None else CompileService(
             cache_dir=self.config.cache_dir,
             maxsize=self.config.cache_maxsize)
-        self.stats = self.service.stats
-        self.dispatcher = Dispatcher(self.service, self.config)
-        self.admission = AdmissionController(
-            self.config.max_queue,
-            {"inline": self.config.inline_limit,
-             "pool": self.config.pool_limit,
-             # Coalescable requests wait concurrently for a window, so
-             # their class must admit a full micro-batch at once.
-             "batch": self.config.batch_max_rows},
-        )
-        self.counters: Counter = Counter()
-        self.trace_buffer = TraceBuffer(self.config.trace_buffer)
-        self._trace_log: Optional[TraceLog] = None
-        self._draining = False
-        self._drained: Optional[asyncio.Event] = None
-        self._stop_requested: Optional[asyncio.Event] = None
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._writers: set = set()
-        self._conn_tasks: set = set()
-        self._started_at = 0.0
-        self._started_wall = 0.0
-
-    # -- lifecycle -------------------------------------------------------------------
-
-    @property
-    def port(self) -> int:
-        """The actually-bound port (useful with ``port=0``)."""
-        assert self._server is not None, "server not started"
-        return self._server.sockets[0].getsockname()[1]
-
-    @property
-    def draining(self) -> bool:
-        return self._draining
-
-    async def start(self) -> None:
-        self._drained = asyncio.Event()
-        self._stop_requested = asyncio.Event()
-        if self.config.trace_log is not None:
-            self._trace_log = TraceLog(self.config.trace_log)
-        self.dispatcher.start()
-        self._server = await asyncio.start_server(
-            self._on_connection, host=self.config.host,
-            port=self.config.port, limit=self.config.max_frame_bytes)
-        self._started_at = time.monotonic()
-        self._started_wall = time.time()
-
-    async def serve_forever(self) -> None:
-        """Serve until a ``drain`` completes (or :meth:`request_stop`)."""
-        assert self._server is not None, "server not started"
-        await self._stop_requested.wait()
-        await self.stop()
-
-    def request_stop(self) -> None:
-        """Ask :meth:`serve_forever` to return (thread-unsafe form)."""
-        if self._stop_requested is not None:
-            self._stop_requested.set()
-
-    async def stop(self) -> None:
-        """Immediate shutdown: close the listener and every connection."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        for writer in list(self._writers):
-            try:
-                writer.close()
-            except Exception:
-                pass
-        # Closing a writer EOFs its reader; let handlers unwind on their own
-        # rather than be cancelled mid-read when the loop shuts down.
-        if self._conn_tasks:
-            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
-        self.dispatcher.stop()
-        if self._trace_log is not None:
-            self._trace_log.close()
-
-    # -- connection handling ---------------------------------------------------------
-
-    async def _on_connection(self, reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
-        self._writers.add(writer)
-        self._conn_tasks.add(asyncio.current_task())
-        lock = asyncio.Lock()
-        tasks: set = set()
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
-                    # Frame exceeded the stream limit: we cannot resync a
-                    # line protocol mid-frame, so reply and hang up.
-                    self.counters["err:" + E_MALFORMED] += 1
-                    await self._send(writer, lock, error_reply(
-                        None, E_MALFORMED, "frame too large"))
-                    break
-                except (ConnectionError, OSError):
-                    break
-                if not line:
-                    break  # client closed its write side
-                if not line.strip():
-                    continue
-                task = asyncio.ensure_future(
-                    self._handle_frame(line, writer, lock))
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
-            # Half-close support: finish outstanding requests and flush
-            # their replies before dropping the connection.
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-        finally:
-            self._writers.discard(writer)
-            self._conn_tasks.discard(asyncio.current_task())
-            try:
-                writer.close()
-            except Exception:
-                pass
-
-    async def _send(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
-                    obj: Dict[str, Any]) -> None:
-        async with lock:
-            try:
-                writer.write(encode_frame(obj))
-                await writer.drain()
-            except (ConnectionError, RuntimeError, OSError):
-                pass  # client went away; its reply has nowhere to go
-
-    # -- request handling ------------------------------------------------------------
-
-    async def _handle_frame(self, line: bytes, writer: asyncio.StreamWriter,
-                            lock: asyncio.Lock) -> None:
-        t0 = time.monotonic()
-        self.counters["requests_total"] += 1
-        try:
-            request = parse_request(line)
-        except ProtocolError as exc:
-            self.counters["err:" + exc.code] += 1
-            await self._send(writer, lock,
-                             error_reply(None, exc.code, exc.message))
-            return
-        self.counters[f"op:{request.op}"] += 1
-        if request.op in CONTROL_OPS:
-            await self._handle_control(request, writer, lock)
-            return
-        reply = await self._handle_work(request, t0)
-        self.stats.observe_latency(f"server:{request.op}",
-                                   time.monotonic() - t0)
-        if reply.get("ok"):
-            self.counters["replies_ok"] += 1
-        else:
-            self.counters["err:" + reply["error"]["code"]] += 1
-        await self._send(writer, lock, reply)
-
-    async def _handle_work(self, request: Request,
-                           t0: float) -> Dict[str, Any]:
-        tracer = self._tracer_for(request)
-        if tracer is None:
-            return await self._execute_work(request, t0)
-        # contextvars flow into everything this task awaits, so the
-        # dispatcher, service, passes and runtime all see this tracer;
-        # concurrent requests each get their own.
-        with use_tracer(tracer):
-            with tracer.span(f"server:{request.op}",
-                             op=request.op) as root:
-                reply = await self._execute_work(request, t0)
-            ok = bool(reply.get("ok"))
-            root.set(ok=ok)
-            if ok:
-                root.set(route=reply["result"].get("route"))
-            else:
-                root.set(error_code=reply["error"]["code"])
-        self._export_spans(tracer)
-        reply["trace_id"] = tracer.trace_id
-        return reply
-
-    def _tracer_for(self, request: Request) -> Optional[Tracer]:
-        """A per-request tracer when the client asked for one (trace_id on
-        the frame) or the server logs every request; None otherwise —
-        the untraced hot path never touches the tracing machinery."""
-        if request.trace_id is None and self._trace_log is None:
-            return None
-        return Tracer(trace_id=request.trace_id)
-
-    def _export_spans(self, tracer: Tracer) -> None:
-        spans = tracer.to_dicts()
-        if not spans:
-            return
-        self.trace_buffer.extend(spans)
-        if self._trace_log is not None:
-            self._trace_log.write(spans)
-
-    async def _execute_work(self, request: Request,
-                            t0: float) -> Dict[str, Any]:
-        if self._draining:
-            return error_reply(request.id, E_DRAINING,
-                               "server is draining; not accepting work")
-        try:
-            prepared = self.dispatcher.prepare(request)
-        except ProtocolError as exc:
-            return error_reply(request.id, exc.code, exc.message)
-        ticket = self.admission.try_admit(prepared.route)
-        if ticket is None:
-            return error_reply(
-                request.id, E_OVERLOADED,
-                f"queue full ({self.admission.max_queue} admitted); "
-                f"retry later")
-        deadline_s = request.deadline_s \
-            if request.deadline_s is not None \
-            else self.config.default_deadline_s
-        try:
-            await ticket.acquire()
-            remaining = None
-            if deadline_s is not None:
-                remaining = deadline_s - (time.monotonic() - t0)
-            result = await self.dispatcher.execute(prepared, remaining)
-            return ok_reply(request.id, result)
-        except ProtocolError as exc:
-            return error_reply(request.id, exc.code, exc.message)
-        except asyncio.CancelledError:
-            raise
-        except Exception:
-            return error_reply(request.id, E_INTERNAL,
-                               traceback.format_exc(limit=4))
-        finally:
-            ticket.release()
-            if self._draining and self.admission.admitted == 0:
-                self._drained.set()
-
-    # -- control ops -----------------------------------------------------------------
-
-    async def _handle_control(self, request: Request,
-                              writer: asyncio.StreamWriter,
-                              lock: asyncio.Lock) -> None:
-        try:
-            if request.op == "health":
-                reply = ok_reply(request.id, self._health())
-            elif request.op == "stats":
-                reply = ok_reply(request.id, self._stats())
-            elif request.op == "trace":
-                reply = ok_reply(request.id, self._trace(request))
-            elif request.op == "metrics":
-                reply = ok_reply(request.id, self._metrics())
-            else:
-                reply = ok_reply(request.id, await self._drain())
-            if request.trace_id is not None:
-                reply["trace_id"] = request.trace_id
-            self.counters["replies_ok"] += 1
-        except ProtocolError as exc:
-            self.counters["err:" + exc.code] += 1
-            reply = error_reply(request.id, exc.code, exc.message)
-        except Exception:
-            self.counters["err:" + E_INTERNAL] += 1
-            reply = error_reply(request.id, E_INTERNAL,
-                                traceback.format_exc(limit=4))
-        await self._send(writer, lock, reply)
-        if request.op == "drain" and reply.get("ok"):
-            # The drain reply is flushed; now let serve_forever return.
-            self._stop_requested.set()
-
-    def _health(self) -> Dict[str, Any]:
-        return {
-            "status": "draining" if self._draining else "ok",
-            "admitted": self.admission.admitted,
-            "queued": self.admission.queued,
-            "uptime_s": round(time.monotonic() - self._started_at, 3),
-        }
-
-    def _stats(self) -> Dict[str, Any]:
-        return {
-            "service": self.stats.to_dict(),
-            "server": {
-                "counters": dict(self.counters),
-                "admission": self.admission.snapshot(),
-                "inline_served": self.dispatcher.inline_served,
-                "pool_submits": self.dispatcher.pool_submits,
-                "pool_abandoned": self.dispatcher.pool_abandoned,
-                "batch": {
-                    "flushes": self.dispatcher.batcher.flushes,
-                    "coalesced_rows": self.dispatcher.batcher.coalesced_rows,
-                    "max_coalesced": self.dispatcher.batcher.max_coalesced,
-                    "window_s": self.config.batch_window_s,
-                },
-                "draining": self._draining,
-                "uptime_s": round(time.monotonic() - self._started_at, 3),
-                "started_at": round(self._started_wall, 3),
-                "trace": {
-                    "total": self.trace_buffer.total,
-                    "dropped": self.trace_buffer.dropped,
-                    "capacity": self.trace_buffer.capacity,
-                },
+        super().__init__(
+            host=self.config.host,
+            port=self.config.port,
+            max_queue=self.config.max_queue,
+            class_limits={
+                "inline": self.config.inline_limit,
+                "pool": self.config.pool_limit,
+                # Coalescable requests wait concurrently for a window, so
+                # their class must admit a full micro-batch at once.
+                "batch": self.config.batch_max_rows,
             },
-        }
+            default_deadline_s=self.config.default_deadline_s,
+            drain_grace_s=self.config.drain_grace_s,
+            max_frame_bytes=self.config.max_frame_bytes,
+            trace_buffer=self.config.trace_buffer,
+            trace_log=self.config.trace_log,
+            stats=self.service.stats)
+        self.dispatcher = Dispatcher(self.service, self.config)
+        self.register_work("compile", "run", "run_batch")
 
-    def _trace(self, request: Request) -> Dict[str, Any]:
-        """The ``trace`` op: spans from the in-memory ring buffer,
-        optionally filtered by ``trace_id`` and truncated to the newest
-        ``limit``."""
-        params = request.params
-        trace_id = params.get("filter_trace_id") or request.trace_id
-        limit = params.get("limit")
-        if limit is not None and (not isinstance(limit, int) or limit < 0):
-            from .protocol import E_BAD_REQUEST
+    # -- op-core hooks ---------------------------------------------------------------
 
-            raise ProtocolError(E_BAD_REQUEST,
-                                "limit must be a non-negative integer")
-        spans = self.trace_buffer.spans(trace_id=trace_id, limit=limit)
-        return {
-            "spans": spans,
-            "total": self.trace_buffer.total,
-            "dropped": self.trace_buffer.dropped,
-        }
+    async def on_start(self) -> None:
+        self.dispatcher.start()
 
-    def _metrics(self) -> Dict[str, Any]:
-        """The ``metrics`` op: Prometheus text exposition of the service
-        and server counters (the client serves/prints ``text`` as-is)."""
-        server = self._stats()["server"]
-        return {"text": render_prometheus(self.stats, server=server),
-                "content_type": "text/plain; version=0.0.4"}
+    async def on_stop(self) -> None:
+        self.dispatcher.stop()
 
-    async def _drain(self) -> Dict[str, Any]:
-        """Reject new work, finish everything admitted, report, shut down."""
-        self._draining = True
-        if self.admission.admitted == 0:
-            self._drained.set()
-        try:
-            await asyncio.wait_for(self._drained.wait(),
-                                   timeout=self.config.drain_grace_s)
-        except asyncio.TimeoutError:
-            raise ProtocolError(
-                E_INTERNAL,
-                f"drain grace period ({self.config.drain_grace_s}s) "
-                f"expired with {self.admission.admitted} request(s) "
-                f"in flight")
-        return {
-            "drained": True,
-            "completed_ok": self.counters["replies_ok"],
-            "requests_total": self.counters["requests_total"],
-            "outstanding": self.admission.admitted,
-        }
+    def prepare_work(self, request: Request) -> PreparedRequest:
+        return self.dispatcher.prepare(request)
+
+    async def execute_work(self, prepared: PreparedRequest,
+                           remaining_s: Optional[float]) -> Dict[str, Any]:
+        return await self.dispatcher.execute(prepared, remaining_s)
+
+    def server_section(self) -> Dict[str, Any]:
+        out = super().server_section()
+        out.update(
+            inline_served=self.dispatcher.inline_served,
+            pool_submits=self.dispatcher.pool_submits,
+            pool_abandoned=self.dispatcher.pool_abandoned,
+            batch={
+                "flushes": self.dispatcher.batcher.flushes,
+                "coalesced_rows": self.dispatcher.batcher.coalesced_rows,
+                "max_coalesced": self.dispatcher.batcher.max_coalesced,
+                "window_s": self.config.batch_window_s,
+            },
+        )
+        return out
 
 
-class ServerThread:
+class ServerThread(CoreThread):
     """A :class:`SoundServer` on a daemon thread with its own event loop.
 
     This is the embedding used by the blocking client world — tests, the
@@ -430,51 +131,4 @@ class ServerThread:
 
     def __init__(self, config: Optional[ServerConfig] = None,
                  service: Optional[CompileService] = None) -> None:
-        self.server = SoundServer(config, service=service)
-        self._ready = threading.Event()
-        self._startup_error: Optional[BaseException] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="repro-sound-server")
-
-    def start(self) -> "ServerThread":
-        self._thread.start()
-        if not self._ready.wait(timeout=30.0):
-            raise RuntimeError("server thread failed to start in 30s")
-        if self._startup_error is not None:
-            raise RuntimeError("server failed to start") \
-                from self._startup_error
-        return self
-
-    @property
-    def port(self) -> int:
-        return self.server.port
-
-    def stop(self, timeout: float = 30.0) -> None:
-        loop = self._loop
-        if loop is not None and loop.is_running():
-            loop.call_soon_threadsafe(self.server.request_stop)
-        self._thread.join(timeout=timeout)
-
-    def _run(self) -> None:
-        asyncio.run(self._main())
-
-    async def _main(self) -> None:
-        self._loop = asyncio.get_running_loop()
-        try:
-            await self.server.start()
-        except BaseException as exc:
-            self._startup_error = exc
-            self._ready.set()
-            return
-        self._ready.set()
-        try:
-            await self.server.serve_forever()
-        finally:
-            await self.server.stop()
-
-    def __enter__(self) -> "ServerThread":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
+        super().__init__(SoundServer(config, service=service))

@@ -61,6 +61,7 @@ __all__ = [
     "E_INTERNAL",
     "E_MALFORMED",
     "E_OVERLOADED",
+    "E_UNAVAILABLE",
     "MAX_FRAME_BYTES",
     "OPS",
     "ProtocolError",
@@ -85,10 +86,11 @@ E_OVERLOADED = "overloaded"          # admission queue full; retry later
 E_DRAINING = "draining"              # server is draining; no new work
 E_DEADLINE = "deadline_exceeded"     # request deadline passed
 E_COMPILE = "compile_error"          # the C program failed to compile
+E_UNAVAILABLE = "unavailable"        # no healthy backend can take the work
 E_INTERNAL = "internal"              # unexpected server-side failure
 
 ERROR_CODES = (E_MALFORMED, E_BAD_REQUEST, E_OVERLOADED, E_DRAINING,
-               E_DEADLINE, E_COMPILE, E_INTERNAL)
+               E_DEADLINE, E_COMPILE, E_UNAVAILABLE, E_INTERNAL)
 
 
 class ProtocolError(Exception):
@@ -112,6 +114,10 @@ class Request:
     #: caller-chosen trace id; the server records the request's span tree
     #: under it and echoes it on the reply.
     trace_id: Optional[str] = None
+    #: span id of the caller's span this request is a child of — a router
+    #: forwarding a traced request sets it so the shard's spans graft
+    #: under the router's forwarding span (one more hop in the waterfall).
+    parent_span: Optional[str] = None
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:
@@ -135,9 +141,11 @@ def error_reply(req_id: Any, code: str, message: str) -> Dict[str, Any]:
             "error": {"code": code, "message": message}}
 
 
-def parse_request(line: bytes) -> Request:
+def parse_request(line: bytes, ops: tuple = OPS) -> Request:
     """Parse one frame into a :class:`Request`.
 
+    ``ops`` is the set of op names this process serves (a router and a
+    shard built on the same op core may expose different registries).
     Raises :class:`ProtocolError` with ``malformed`` (not a JSON object,
     bad encoding) or ``bad_request`` (unknown op, bad deadline).
     """
@@ -153,9 +161,9 @@ def parse_request(line: bytes) -> Request:
                             f"frame must be a JSON object, got "
                             f"{type(data).__name__}")
     op = data.pop("op", None)
-    if op not in OPS:
+    if op not in ops:
         raise ProtocolError(E_BAD_REQUEST,
-                            f"unknown op {op!r}; expected one of {OPS}")
+                            f"unknown op {op!r}; expected one of {ops}")
     req_id = data.pop("id", None)
     deadline = data.pop("deadline_s", None)
     if deadline is not None:
@@ -171,5 +179,12 @@ def parse_request(line: bytes) -> Request:
             raise ProtocolError(E_BAD_REQUEST,
                                 "trace_id must be a non-empty string "
                                 "(at most 128 chars)")
+    parent_span = data.pop("parent_span", None)
+    if parent_span is not None:
+        if not isinstance(parent_span, str) or not parent_span \
+                or len(parent_span) > 128:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "parent_span must be a non-empty string "
+                                "(at most 128 chars)")
     return Request(id=req_id, op=op, params=data, deadline_s=deadline,
-                   trace_id=trace_id)
+                   trace_id=trace_id, parent_span=parent_span)

@@ -129,6 +129,35 @@ class LatencyHistogram:
             ]
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from its :meth:`to_dict` form — the inverse
+        direction fleet aggregation needs: a router merges the ``stats``
+        snapshots its shards serve as JSON.
+
+        Bucket bounds arrive rounded, so each one is snapped to the nearest
+        canonical bound (the log-spaced grid is ~33% apart — far coarser
+        than the rounding error); ``None`` is the overflow bucket.
+        """
+        out = cls()
+        out.count = int(data.get("count", 0))
+        out.total_s = float(data.get("total_s", 0.0))
+        if "min_s" in data:
+            out.min_s = float(data["min_s"])
+        if "max_s" in data:
+            out.max_s = float(data["max_s"])
+        for bound, count in data.get("buckets", []):
+            if bound is None:
+                out.counts[-1] += int(count)
+                continue
+            i = min(bisect_left(cls.BOUNDS, float(bound)),
+                    len(cls.BOUNDS) - 1)
+            if i > 0 and abs(cls.BOUNDS[i - 1] - bound) \
+                    < abs(cls.BOUNDS[i] - bound):
+                i -= 1
+            out.counts[i] += int(count)
+        return out
+
     def summary(self) -> str:
         if not self.count:
             if self.total_s:
@@ -286,6 +315,37 @@ class ServiceStats:
                             mine[k] = mine.get(k, 0.0) + v
                 else:
                     setattr(self, f.name, mine + theirs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceStats":
+        """Rebuild stats from a :meth:`to_dict` snapshot (e.g. one fetched
+        over the wire from a shard's ``stats`` op), so snapshots from many
+        processes can be :meth:`merge`-d into a fleet rollup.
+
+        Unknown/derived keys (``hit_rate``, future fields) are ignored, so
+        rollups stay possible across minor version skew in a fleet.
+        """
+        out = cls()
+        for f in fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            if f.name == "latency":
+                out.latency = {k: LatencyHistogram.from_dict(v)
+                               for k, v in value.items()}
+            elif isinstance(getattr(out, f.name), dict):
+                setattr(out, f.name, dict(value))
+            else:
+                setattr(out, f.name, value)
+        return out
+
+    @classmethod
+    def merged(cls, snapshots: "List[Dict[str, Any]]") -> "ServiceStats":
+        """Fold many :meth:`to_dict` snapshots into one rollup object."""
+        out = cls()
+        for snap in snapshots:
+            out.merge(cls.from_dict(snap))
+        return out
 
     @classmethod
     def delta(cls, before: "ServiceStats",

@@ -160,3 +160,62 @@ class TestServerSection:
     def test_without_server_snapshot_no_server_metrics(self):
         text = render_prometheus(populated_stats())
         assert "repro_server_" not in text
+
+
+class TestShardLabel:
+    def test_shard_label_on_every_sample(self):
+        text = render_prometheus(populated_stats(), shard="3")
+        samples, _ = parse_exposition(text)
+        for line in samples:
+            assert 'shard="3"' in line, line
+
+    def test_no_shard_label_by_default(self):
+        assert 'shard=' not in render_prometheus(populated_stats())
+
+
+class TestFleetExposition:
+    def fleet_text(self):
+        from repro.obs.metrics import render_prometheus_fleet
+
+        shard_a = populated_stats()
+        shard_b = populated_stats()
+        shard_b.add("hits", 10)
+        server = dict(TestServerSection.SERVER)
+        return render_prometheus_fleet(
+            {"0": (shard_a, server), "1": (shard_b.to_dict(), server)},
+            router=(ServiceStats(), {"counters": {"requests_total": 44,
+                                                  "replies_ok": 44}}),
+            fleet={"healthy_shards": 2, "out_shards": 0, "ring_nodes": 2})
+
+    def test_valid_exposition_one_header_per_family(self):
+        # parse_exposition asserts HELP/TYPE appear at most once per
+        # family — the satellite-2 dedupe contract, across 3 snapshots.
+        samples, types = parse_exposition(self.fleet_text())
+        assert samples and types
+
+    def test_per_shard_samples_present(self):
+        text = self.fleet_text()
+        assert ('repro_cache_lookups_total{outcome="hit",shard="0"} 3'
+                in text)
+        assert ('repro_cache_lookups_total{outcome="hit",shard="1"} 13'
+                in text)
+        assert 'repro_server_requests_total{shard="router"} 44' in text
+
+    def test_fleet_gauges(self):
+        text = self.fleet_text()
+        assert 'repro_fleet_shards{state="healthy"} 2' in text
+        assert "repro_fleet_ring_nodes 2" in text
+
+    def test_families_grouped_not_interleaved(self):
+        # All samples of one family must sit under its single header:
+        # family names never reappear after a different family starts.
+        seen, current = [], None
+        for line in self.fleet_text().splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            name = re.sub(r"_(bucket|sum|count)$", "", name)
+            if name != current:
+                assert name not in seen, f"family {name} interleaved"
+                seen.append(name)
+                current = name

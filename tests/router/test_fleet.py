@@ -1,0 +1,237 @@
+"""Fleet e2e: a real router over real spawned shard daemons.
+
+The acceptance claims of the fleet layer, each against live processes:
+
+(a) enclosures served through the router are bit-identical to the
+    direct in-process ``compile_c`` + evaluate path;
+(b) cache affinity — all traffic for one program lands on one shard,
+    and the repeated-key hot hit rate stays >= 90%;
+(c) fleet ``stats`` aggregates per-shard snapshots plus a rollup, and
+    fleet ``metrics`` is one valid exposition with ``shard`` labels;
+(d) the ``trace`` op returns the full router -> shard -> pool-worker
+    span waterfall, well-formed under ``check_spans``;
+(e) killing a shard mid-load loses zero accepted replies (ring
+    failover + client retry), and the supervisor respawns it;
+(f) fleet ``drain`` finishes everything and stops every shard.
+"""
+
+import time
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.obs import new_trace_id
+from repro.obs.export import check_spans
+from repro.router import RouterConfig, RouterThread
+from repro.server import ServerClient
+
+CONFIG, K = "f64a-dsnn", 8
+
+
+def kernel(i: int) -> str:
+    return (f"double f{i}(double x, double y) "
+            f"{{ return (x + y) * (x - {1.0 + i * 0.125!r}); }}")
+
+
+def direct_interval(source: str, args) -> tuple:
+    iv = compile_c(source, CONFIG, k=K)(*args).value.interval()
+    return (iv.lo, iv.hi)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    cfg = RouterConfig(port=0, n_shards=2, shard_workers=1,
+                       health_interval_s=0.2, forward_retries=2)
+    with RouterThread(cfg) as rt:
+        yield rt
+
+
+@pytest.fixture()
+def client(fleet):
+    with ServerClient(port=fleet.port, timeout=120.0, retries=4) as c:
+        yield c
+
+
+class TestForwarding:
+    def test_bit_identical_to_direct_compilation(self, client):
+        src = kernel(0)
+        args = [0.3, 0.2]
+        reply = client.run(src, config=CONFIG, k=K, args=args)
+        assert tuple(reply["interval"]) == direct_interval(src, args), \
+            "fleet-served enclosure differs from in-process compile_c"
+
+    def test_reply_names_the_serving_shard(self, client, fleet):
+        reply = client.run(kernel(1), config=CONFIG, k=K, args=[0.1, 0.9])
+        assert reply["shard"] in fleet.server.fleet.shards
+
+    def test_bad_requests_surface_not_retry(self, client):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as err:
+            client.run("double f(double x) { return x; }",
+                       config="no-such-config", k=K, args=[1.0])
+        assert err.value.code == "bad_request"
+
+    def test_compile_errors_come_from_the_shard(self, client):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as err:
+            client.compile("double f(double x) { return g(x); }",
+                           config=CONFIG, k=K)
+        assert err.value.code == "compile_error"
+
+
+class TestAffinity:
+    N_KERNELS = 6
+    HOT_ROUNDS = 9
+
+    def test_keys_stick_to_one_shard_and_stay_hot(self, client):
+        shard_of = {}
+        for i in range(self.N_KERNELS):
+            first = client.run(kernel(10 + i), config=CONFIG, k=K,
+                               args=[0.2, 0.3])
+            shard_of[i] = first["shard"]
+        before = client.stats()["fleet"]["service"]
+        hot_hits = 0
+        for _ in range(self.HOT_ROUNDS):
+            for i in range(self.N_KERNELS):
+                reply = client.run(kernel(10 + i), config=CONFIG, k=K,
+                                   args=[0.2, 0.3])
+                assert reply["shard"] == shard_of[i], \
+                    "a repeated key moved shards"
+                if reply["route"] == "inline":
+                    hot_hits += 1
+        after = client.stats()["fleet"]["service"]
+        total = self.N_KERNELS * self.HOT_ROUNDS
+        assert hot_hits / total >= 0.9, \
+            f"hot-hit rate {hot_hits}/{total} below 90%"
+        assert after["hits"] - before["hits"] >= 0.9 * total
+
+    def test_both_shards_carry_load(self, client, fleet):
+        # 16 distinct programs should not all hash onto one shard.
+        shards = {client.run(kernel(30 + i), config=CONFIG, k=K,
+                             args=[0.1, 0.1])["shard"]
+                  for i in range(16)}
+        assert len(shards) == 2
+
+
+class TestFleetStats:
+    def test_stats_has_shards_rollup_and_router(self, client):
+        client.run(kernel(2), config=CONFIG, k=K, args=[0.4, 0.1])
+        stats = client.stats()
+        assert set(stats) == {"router", "fleet", "shards"}
+        assert len(stats["shards"]) == 2
+        rollup = stats["fleet"]["service"]
+        per_shard = [s["service"] for s in stats["shards"].values()]
+        assert rollup["hits"] == sum(s["hits"] for s in per_shard)
+        assert rollup["misses"] == sum(s["misses"] for s in per_shard)
+        assert stats["fleet"]["healthy_shards"] == 2
+        assert "router:run" in stats["router"]["service"]["latency"]
+
+    def test_fleet_metrics_exposition(self, client):
+        client.run(kernel(2), config=CONFIG, k=K, args=[0.4, 0.1])
+        text = client.metrics()
+        from tests.obs.test_metrics import parse_exposition
+
+        samples, _ = parse_exposition(text)  # asserts HELP/TYPE dedupe
+        assert any('shard="0"' in s for s in samples)
+        assert any('shard="1"' in s for s in samples)
+        assert any('shard="router"' in s for s in samples)
+        assert 'repro_fleet_shards{state="healthy"} 2' in text
+
+    def test_health_reports_fleet_membership(self, client):
+        health = client.health()
+        assert health["role"] == "router"
+        assert health["healthy_shards"] == 2
+
+
+class TestTraceWaterfall:
+    def test_spans_cover_router_shard_and_worker(self, client):
+        trace_id = new_trace_id()
+        # A cold key: the shard routes it to a pool worker, so the trace
+        # must stitch three processes (router -> shard -> worker).
+        client.run(kernel(77), config=CONFIG, k=K, args=[0.3, 0.3],
+                   trace_id=trace_id)
+        spans = client.trace(trace_id=trace_id)["spans"]
+        assert check_spans(spans) == []
+        names = {s["name"] for s in spans}
+        assert "router:run" in names
+        assert any(n.startswith("forward:") for n in names)
+        assert "server:run" in names
+        assert "dispatch:pool" in names
+
+        by_name = {s["name"]: s for s in spans}
+        root = by_name["router:run"]
+        forward = next(s for s in spans
+                       if s["name"].startswith("forward:"))
+        shard_root = by_name["server:run"]
+        assert root["parent_id"] is None
+        assert forward["parent_id"] == root["span_id"]
+        # The cross-hop graft: the shard's root hangs off the router's
+        # forwarding span via the frame-level parent_span field.
+        assert shard_root["parent_id"] == forward["span_id"]
+        assert by_name["dispatch:pool"]["parent_id"] \
+            == shard_root["span_id"]
+
+
+class TestFailover:
+    def test_shard_kill_loses_nothing_and_respawns(self):
+        cfg = RouterConfig(port=0, n_shards=2, shard_workers=1,
+                           health_interval_s=0.1, forward_retries=2)
+        with RouterThread(cfg) as rt:
+            fleet = rt.server.fleet
+            with ServerClient(port=rt.port, timeout=120.0,
+                              retries=8, backoff_s=0.05) as c:
+                # Warm one kernel per shard so load spans both.
+                sources = [kernel(50 + i) for i in range(8)]
+                for src in sources:
+                    c.run(src, config=CONFIG, k=K, args=[0.2, 0.2])
+
+                victim = fleet.shards["0"]
+                victim.proc.kill()
+
+                # Every request after the kill must still be answered:
+                # ring failover (router side) + bounded retry (client
+                # side) absorb the loss window.
+                replies = []
+                for round_ in range(6):
+                    for src in sources:
+                        replies.append(
+                            c.run(src, config=CONFIG, k=K,
+                                  args=[0.2, 0.2]))
+                assert len(replies) == 48, "a request went unanswered"
+                for reply, src in zip(replies, sources * 6):
+                    assert tuple(reply["interval"]) \
+                        == direct_interval(src, [0.2, 0.2])
+
+                # The supervisor replaces the dead process and the ring
+                # re-admits the shard id.
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    snap = fleet.snapshot()
+                    if snap["healthy_shards"] == 2 \
+                            and snap["respawns_total"] >= 1:
+                        break
+                    time.sleep(0.1)
+                snap = fleet.snapshot()
+                assert snap["respawns_total"] >= 1
+                assert snap["healthy_shards"] == 2
+                assert snap["marked_out_total"] >= 1
+
+                # And the revived shard serves its keys again.
+                served = {c.run(src, config=CONFIG, k=K,
+                                args=[0.2, 0.2])["shard"]
+                          for src in sources}
+                assert "0" in served or len(served) >= 1
+
+                # (f) fleet drain: everything accepted completes, every
+                # shard drains, the router exits.
+                drain = c.drain()
+                assert drain["drained"]
+                assert set(drain["shards"]) == {"0", "1"}
+                for report in drain["shards"].values():
+                    assert report.get("drained"), report
+            rt._thread.join(timeout=30)
+            for shard in fleet.shards.values():
+                assert shard.proc.poll() is not None, \
+                    "a spawned shard outlived the drained fleet"

@@ -1,0 +1,116 @@
+"""ShardLink: one multiplexed connection, id-matched out-of-order replies."""
+
+import asyncio
+
+import pytest
+
+from repro.router import ShardLink
+from repro.server import CoreThread
+
+from tests.server.test_core import EchoCore
+
+
+@pytest.fixture(scope="module")
+def echo():
+    with CoreThread(EchoCore(port=0, class_limits={"work": 8})) as srv:
+        yield srv
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMultiplexing:
+    def test_concurrent_requests_one_connection(self, echo):
+        async def main():
+            link = ShardLink("127.0.0.1", echo.port)
+            try:
+                replies = await asyncio.gather(
+                    *(link.request("echo", {"n": i}) for i in range(8)))
+            finally:
+                await link.close()
+            return replies
+
+        replies = run(main())
+        assert all(r["ok"] for r in replies)
+        assert sorted(r["result"]["echo"]["n"] for r in replies) \
+            == list(range(8))
+
+    def test_out_of_order_replies_match_by_id(self, echo):
+        # The slow request is sent first but must resolve last — and to
+        # the right future.
+        async def main():
+            link = ShardLink("127.0.0.1", echo.port)
+            try:
+                slow = asyncio.ensure_future(
+                    link.request("echo", {"sleep_s": 0.3, "tag": "slow"}))
+                await asyncio.sleep(0.02)
+                fast = await link.request("echo", {"tag": "fast"})
+                assert not slow.done(), "slow reply arrived first?"
+                return fast, await slow
+            finally:
+                await link.close()
+
+        fast, slow = run(main())
+        assert fast["result"]["echo"]["tag"] == "fast"
+        assert slow["result"]["echo"]["tag"] == "slow"
+
+    def test_error_replies_come_back_raw(self, echo):
+        async def main():
+            link = ShardLink("127.0.0.1", echo.port)
+            try:
+                return await link.request("echo", {"bad": True})
+            finally:
+                await link.close()
+
+        reply = run(main())
+        assert not reply["ok"]
+        assert reply["error"]["code"] == "bad_request"
+
+
+class TestFailure:
+    def test_connection_refused_raises_connection_error(self):
+        async def main():
+            link = ShardLink("127.0.0.1", 1, connect_timeout_s=1.0)
+            with pytest.raises(ConnectionError):
+                await link.request("echo", {})
+
+        run(main())
+
+    def test_server_death_fails_pending_and_reconnects(self):
+        async def main():
+            srv = CoreThread(EchoCore(port=0, class_limits={"work": 8}))
+            srv.start()
+            port = srv.port
+            link = ShardLink("127.0.0.1", port)
+            pending = asyncio.ensure_future(
+                link.request("echo", {"sleep_s": 30}))
+            await asyncio.sleep(0.05)
+            srv.stop()  # hard stop: connection drops mid-request
+            with pytest.raises(ConnectionError):
+                await pending
+            # A replacement server on the same port: the link reconnects
+            # lazily on the next request.
+            core = EchoCore(port=port, class_limits={"work": 8})
+            with CoreThread(core):
+                reply = await link.request("echo", {"back": 1})
+            assert reply["ok"]
+            await link.close()
+
+        run(main())
+
+    def test_timeout_discards_late_reply(self, echo):
+        async def main():
+            link = ShardLink("127.0.0.1", echo.port)
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await link.request("echo", {"sleep_s": 0.5},
+                                       timeout_s=0.05)
+                # The link survives; the late reply is dropped, not
+                # mismatched onto the next request.
+                reply = await link.request("echo", {"next": True})
+                assert reply["result"]["echo"] == {"next": True}
+            finally:
+                await link.close()
+
+        run(main())

@@ -1,0 +1,114 @@
+"""Consistent-hash ring: stability, spread, minimal churn, failover order."""
+
+from collections import Counter
+
+import pytest
+
+from repro.router import HashRing
+
+KEYS = [f"cachekey-{i:04d}" for i in range(4000)]
+
+
+class TestPlacement:
+    def test_empty_ring_places_nowhere(self):
+        ring = HashRing()
+        assert ring.node_for("k") is None
+        assert ring.nodes_for("k", 3) == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:100])
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(["0", "1", "2"])
+        b = HashRing(["2", "0", "1"])  # join order must not matter
+        assert [a.node_for(k) for k in KEYS] == \
+            [b.node_for(k) for k in KEYS]
+
+    def test_spread_is_balanced(self):
+        ring = HashRing(["0", "1", "2", "3"])
+        counts = Counter(ring.node_for(k) for k in KEYS)
+        assert set(counts) == {"0", "1", "2", "3"}
+        # 64 vnodes holds the imbalance well under 2x.
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ["a", "b"]
+
+
+class TestChurn:
+    def test_removal_moves_only_the_removed_nodes_keys(self):
+        full = HashRing(["0", "1", "2", "3"])
+        reduced = HashRing(["0", "2", "3"])
+        for k in KEYS:
+            owner = full.node_for(k)
+            if owner != "1":
+                assert reduced.node_for(k) == owner, \
+                    "a key not owned by the removed shard moved"
+
+    def test_removed_keys_go_to_their_ring_successor(self):
+        full = HashRing(["0", "1", "2", "3"])
+        reduced = HashRing(["0", "1", "2", "3"])
+        reduced.remove("3")
+        for k in KEYS[:500]:
+            if full.node_for(k) == "3":
+                successors = full.nodes_for(k, 2)
+                assert reduced.node_for(k) == successors[1]
+
+    def test_add_back_restores_placement(self):
+        ring = HashRing(["0", "1", "2"])
+        before = [ring.node_for(k) for k in KEYS]
+        ring.remove("1")
+        ring.add("1")
+        assert [ring.node_for(k) for k in KEYS] == before
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["0"])
+        ring.add("0")
+        assert len(ring) == 1
+        ring.remove("missing")
+        ring.remove("0")
+        ring.remove("0")
+        assert len(ring) == 0
+
+
+class TestFailover:
+    def test_nodes_for_distinct_and_bounded(self):
+        ring = HashRing(["0", "1", "2", "3"])
+        for k in KEYS[:100]:
+            order = ring.nodes_for(k, 3)
+            assert len(order) == 3
+            assert len(set(order)) == 3
+            assert order[0] == ring.node_for(k)
+        assert len(ring.nodes_for("k", 99)) == 4  # capped at fleet size
+
+    def test_failover_order_agrees_with_remap(self):
+        # The retry order must be exactly where keys remap as shards
+        # leave — otherwise retries and rebalancing fight each other.
+        ring = HashRing(["0", "1", "2", "3"])
+        for k in KEYS[:200]:
+            order = ring.nodes_for(k, 4)
+            shrinking = HashRing(["0", "1", "2", "3"])
+            for expected in order:
+                assert shrinking.node_for(k) == expected
+                shrinking.remove(expected)
+
+
+class TestValidation:
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_more_replicas_spread_better(self):
+        coarse = HashRing(["0", "1", "2", "3"], replicas=1)
+        fine = HashRing(["0", "1", "2", "3"], replicas=128)
+
+        def imbalance(ring):
+            counts = Counter(ring.node_for(k) for k in KEYS)
+            top = max(counts.values())
+            return top / (len(KEYS) / 4)
+
+        assert imbalance(fine) < imbalance(coarse)

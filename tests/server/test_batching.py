@@ -103,3 +103,82 @@ class TestMicroBatching:
         assert "repro_batch_rows_total" in text
         assert 'repro_server_route_total{route="batch"}' in text
         assert "repro_server_batch_flushes_total" in text
+
+
+class TestMicroBatchEdges:
+    """Corner cases of the coalescing window: lone waiters, overflow
+    splitting, and waiters whose deadline lapses while queued."""
+
+    def test_window_expiry_with_single_waiter(self, client):
+        # A lone request must not wait for company forever: the window
+        # timer flushes a batch of one.
+        client.compile(SRC, config=CONFIG, k=K)
+        t0 = __import__("time").perf_counter()
+        reply = client.run(SRC, config=CONFIG, k=K, args=[0.37, 0.21, 5])
+        elapsed = __import__("time").perf_counter() - t0
+        assert reply["batched"] and reply["coalesced_rows"] == 1
+        # It paid roughly the window (0.2s), not a multiple of it.
+        assert elapsed < 2.0
+        single = client.run_batch(SRC, [[0.37, 0.21, 5]],
+                                  config=CONFIG, k=K)
+        assert reply["interval"] == single["rows"][0]["interval"]
+
+    def test_max_rows_overflow_splits_the_batch(self):
+        # 5 concurrent waiters against batch_max_rows=2 must split into
+        # row-capped flushes, each reply still row-correct.
+        cfg = ServerConfig(port=0, pool_workers=1, batch_window_s=0.5,
+                           batch_max_rows=2)
+        rows = [[0.1 + 0.02 * i, 0.2, 4] for i in range(5)]
+        with ServerThread(cfg) as srv:
+            with ServerClient(port=srv.port) as c:
+                c.compile(SRC, config=CONFIG, k=K)
+                replies = [None] * len(rows)
+
+                def one(i):
+                    with ServerClient(port=srv.port) as cc:
+                        replies[i] = cc.run(SRC, config=CONFIG, k=K,
+                                            args=rows[i])
+
+                threads = [threading.Thread(target=one, args=(i,))
+                           for i in range(len(rows))]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                batch = c.stats()["server"]["batch"]
+                oracle = c.run_batch(SRC, rows, config=CONFIG, k=K)
+                c.drain()
+        assert all(r is not None for r in replies)
+        assert batch["max_coalesced"] <= 2, \
+            "--batch-max-rows bound violated"
+        assert batch["flushes"] >= 3  # ceil(5 / 2)
+        for reply, row_res in zip(replies, oracle["rows"]):
+            assert reply["interval"] == row_res["interval"]
+
+    def test_waiter_deadline_lapses_while_queued(self):
+        # A waiter whose deadline expires inside the window gets a
+        # deadline_exceeded reply; the eventual flush must skip its dead
+        # future without disturbing the surviving waiter.
+        cfg = ServerConfig(port=0, pool_workers=1, batch_window_s=0.6,
+                           batch_max_rows=8)
+        with ServerThread(cfg) as srv:
+            with ServerClient(port=srv.port) as c:
+                c.compile(SRC, config=CONFIG, k=K)
+                doomed = ServerClient(port=srv.port).connect()
+                doomed.send_raw({"id": 1, "op": "run", "source": SRC,
+                                 "config": CONFIG, "k": K,
+                                 "args": [0.3, 0.2, 4],
+                                 "deadline_s": 0.1})
+                survivor = c.run(SRC, config=CONFIG, k=K,
+                                 args=[0.31, 0.2, 4])
+                reply = doomed.read_reply()
+                doomed.close()
+                assert not reply["ok"]
+                assert reply["error"]["code"] == "deadline_exceeded"
+                assert survivor["batched"]
+                oracle = c.run_batch(SRC, [[0.31, 0.2, 4]],
+                                     config=CONFIG, k=K)
+                assert survivor["interval"] \
+                    == oracle["rows"][0]["interval"]
+                # The server is unharmed: the next request round-trips.
+                assert c.health()["status"] == "ok"

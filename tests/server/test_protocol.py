@@ -108,4 +108,5 @@ class TestFrames:
     def test_error_codes_closed_set(self):
         assert set(ERROR_CODES) == {
             "malformed", "bad_request", "overloaded", "draining",
-            "deadline_exceeded", "compile_error", "internal"}
+            "deadline_exceeded", "compile_error", "unavailable",
+            "internal"}

@@ -1,0 +1,136 @@
+"""Wire round-trips: rebuilding stats from ``to_dict`` snapshots.
+
+The fleet router merges per-shard ``stats`` op replies into one rollup,
+so ``from_dict`` must invert ``to_dict`` exactly for counters and
+conservatively for histograms (rounded bucket bounds snap back onto the
+canonical log-spaced grid).
+"""
+
+from repro.service import ServiceStats
+from repro.service.stats import LatencyHistogram
+
+
+def populated() -> ServiceStats:
+    stats = ServiceStats()
+    stats.add("hits", 7)
+    stats.add("misses", 2)
+    stats.add("disk_hits", 1)
+    stats.add("compile_s_saved", 1.25)
+    stats.add("jobs_run", 9)
+    stats.add("jobs_failed", 1)
+    stats.add("batch_rows", 64)
+    stats.pass_s["cse"] = 0.5
+    stats.record_ops({"aa_add": 100, "condensations": 3})
+    for v in (1e-5, 3e-4, 0.002, 0.002, 0.7, 250.0):
+        stats.observe_latency("server:run", v)
+    stats.observe_latency("server:compile", 1.5)
+    return stats
+
+
+class TestHistogramFromDict:
+    def test_round_trip_preserves_count_sum_and_buckets(self):
+        h = LatencyHistogram()
+        for v in (1e-5, 3e-4, 0.002, 0.7, 250.0):
+            h.observe(v)
+        back = LatencyHistogram.from_dict(h.to_dict())
+        assert back.count == h.count
+        assert back.total_s == h.total_s
+        assert back.min_s == h.min_s
+        assert back.max_s == h.max_s
+        assert back.counts == h.counts
+
+    def test_overflow_bucket_round_trips(self):
+        h = LatencyHistogram()
+        h.observe(1e6)  # beyond the 100 s upper bound
+        back = LatencyHistogram.from_dict(h.to_dict())
+        assert back.counts[-1] == 1
+        assert back.count == 1
+
+    def test_empty_round_trips(self):
+        back = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert back.count == 0
+        assert sum(back.counts) == 0
+
+    def test_rebuilt_quantiles_stay_conservative(self):
+        h = LatencyHistogram()
+        samples = [2e-4, 5e-4, 0.001, 0.004, 0.02]
+        for v in samples:
+            h.observe(v)
+        back = LatencyHistogram.from_dict(h.to_dict())
+        # The conservative contract survives the wire: quantile upper
+        # bounds still dominate the true samples.
+        assert back.quantile(0.5) >= sorted(samples)[2]
+        assert back.quantile(0.99) >= max(samples) * 0.99
+
+    def test_merge_of_rebuilt_equals_rebuild_of_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (1e-4, 0.01):
+            a.observe(v)
+        b.observe(3.0)
+        direct = LatencyHistogram()
+        direct.merge(a)
+        direct.merge(b)
+        rebuilt = LatencyHistogram.from_dict(a.to_dict())
+        rebuilt.merge(LatencyHistogram.from_dict(b.to_dict()))
+        assert rebuilt.counts == direct.counts
+        assert rebuilt.count == direct.count
+
+
+class TestServiceStatsFromDict:
+    def test_counters_round_trip(self):
+        stats = populated()
+        back = ServiceStats.from_dict(stats.to_dict())
+        assert back.hits == 7
+        assert back.misses == 2
+        assert back.disk_hits == 1
+        assert back.compile_s_saved == 1.25
+        assert back.jobs_run == 9
+        assert back.jobs_failed == 1
+        assert back.batch_rows == 64
+        assert back.pass_s == {"cse": 0.5}
+        assert back.ops == {"aa_add": 100, "condensations": 3}
+
+    def test_latency_round_trips(self):
+        back = ServiceStats.from_dict(populated().to_dict())
+        assert set(back.latency) == {"server:run", "server:compile"}
+        assert back.latency["server:run"].count == 6
+        assert back.latency["server:compile"].count == 1
+
+    def test_unknown_and_derived_keys_ignored(self):
+        data = populated().to_dict()
+        data["hit_rate"] = 0.99           # derived — must not crash
+        data["from_the_future"] = {"x": 1}  # version skew
+        back = ServiceStats.from_dict(data)
+        assert back.hits == 7
+
+    def test_missing_keys_default(self):
+        back = ServiceStats.from_dict({"hits": 3})
+        assert back.hits == 3
+        assert back.misses == 0
+        assert back.latency == {}
+
+
+class TestMerged:
+    def test_merged_folds_counters_and_histograms(self):
+        a, b = populated(), populated()
+        b.add("hits", 10)
+        rollup = ServiceStats.merged([a.to_dict(), b.to_dict()])
+        assert rollup.hits == 7 + 17
+        assert rollup.misses == 4
+        assert rollup.pass_s == {"cse": 1.0}
+        assert rollup.ops["aa_add"] == 200
+        assert rollup.latency["server:run"].count == 12
+
+    def test_merged_empty_list(self):
+        rollup = ServiceStats.merged([])
+        assert rollup.hits == 0
+
+    def test_merged_matches_direct_merge(self):
+        a, b = populated(), ServiceStats()
+        b.add("jobs_run", 5)
+        b.observe_latency("server:run", 0.1)
+        direct = ServiceStats()
+        direct.merge(a)
+        direct.merge(b)
+        rollup = ServiceStats.merged([a.to_dict(), b.to_dict()])
+        assert rollup.to_dict() == direct.to_dict()
