@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
-	serve-smoke obs-smoke fuzz-smoke batch-smoke fleet-smoke examples clean
+	serve-smoke obs-smoke fuzz-smoke batch-smoke fleet-smoke \
+	analyze-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -91,6 +92,13 @@ batch-smoke:
 # failover + client retry) and the supervisor respawns the drained shard.
 fleet-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/fleet_smoke.py
+
+# Domain-analysis smoke: max_error and safe_box on examples/henon.c,
+# in-process (bound brackets a sampled grid, gap shrinks with budget,
+# safe box re-verifies independently) and through a spawned daemon
+# (bit-identical results, exactly one compile per query).
+analyze-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/analyze_smoke.py
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:

@@ -1,0 +1,103 @@
+"""Domain-analysis throughput and convergence: subboxes/sec and
+gap-vs-budget for the branch-and-bound driver.
+
+Runs ``max_error`` on the Henon kernel over a 2-D input box at a ladder
+of subdivision budgets and reports, per budget point:
+
+* the sound upper/lower bounds and their gap;
+* subbox evaluations per second (the driver's work rate — dominated by
+  ``run_batch`` waves, so ``wave_size`` controls the amortization);
+* refinement waves and undecided leaves.
+
+The gap column must be non-increasing down the ladder (budget
+monotonicity is part of the engine's determinism contract); the run
+fails otherwise.  A second table sweeps ``wave_size`` at a fixed budget
+to show the batching amortization.
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_analyze.py``
+(``--budgets 8,32,128`` and ``--waves 2,8,32`` override the ladders).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+
+from repro.batchrt import numpy_available
+from repro.bench import format_table, henon
+from repro.domain import RefinementBudget, compile_for_analysis, max_error
+
+CONFIG, K = "f64a-dsnv", 16
+BOX = {"x": [0.2, 0.4], "y": [0.1, 0.3]}
+FIXED = {"n": 5}
+
+
+def fmt(x: float) -> str:
+    if math.isinf(x):
+        return "inf"
+    return f"{x:.3e}"
+
+
+def budget_ladder(prog, budgets, wave_size):
+    rows = []
+    gaps = []
+    for max_boxes in budgets:
+        t0 = time.perf_counter()
+        r = max_error(prog, BOX, fixed=FIXED,
+                      budget=RefinementBudget(max_boxes=max_boxes,
+                                              wave_size=wave_size))
+        elapsed = time.perf_counter() - t0
+        rate = r.stats.boxes / elapsed if elapsed > 0 else float("inf")
+        gaps.append(r.gap)
+        rows.append({"budget": max_boxes, "ub": fmt(r.upper_bound),
+                     "lb": fmt(r.lower_bound), "gap": fmt(r.gap),
+                     "boxes": r.stats.boxes, "waves": r.stats.waves,
+                     "undecided": r.stats.undecided,
+                     "boxes/s": f"{rate:,.0f}"})
+    print(format_table(rows))
+    for a, b in zip(gaps, gaps[1:]):
+        assert b <= a, f"gap grew with budget: {a} -> {b}"
+    print("gap monotone: ok")
+
+
+def wave_sweep(prog, waves, max_boxes):
+    rows = []
+    for wave_size in waves:
+        t0 = time.perf_counter()
+        r = max_error(prog, BOX, fixed=FIXED,
+                      budget=RefinementBudget(max_boxes=max_boxes,
+                                              wave_size=wave_size))
+        elapsed = time.perf_counter() - t0
+        rate = r.stats.boxes / elapsed if elapsed > 0 else float("inf")
+        rows.append({"wave": wave_size, "ub": fmt(r.upper_bound),
+                     "boxes": r.stats.boxes, "waves": r.stats.waves,
+                     "ms": f"{elapsed * 1e3:.1f}",
+                     "boxes/s": f"{rate:,.0f}"})
+    print(format_table(rows))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budgets", default="8,32,128,512")
+    parser.add_argument("--waves", default="2,8,32")
+    parser.add_argument("--wave-budget", type=int, default=256,
+                        help="budget for the wave_size sweep")
+    ns = parser.parse_args()
+    if not numpy_available():
+        raise SystemExit("bench_analyze needs numpy")
+
+    bench = henon()
+    prog = compile_for_analysis(bench.source, CONFIG, k=K)
+    budgets = [int(b) for b in ns.budgets.split(",")]
+    waves = [int(w) for w in ns.waves.split(",")]
+
+    print(f"max_error on henon over {BOX} (fixed {FIXED}), "
+          f"config {CONFIG} k={K}\n")
+    budget_ladder(prog, budgets, wave_size=8)
+    print()
+    wave_sweep(prog, waves, ns.wave_budget)
+
+
+if __name__ == "__main__":
+    main()

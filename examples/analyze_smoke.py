@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Domain-analysis smoke test: the same query in-process and through a
+spawned daemon must agree bit for bit.
+
+Phase 1 runs ``max_error`` and ``safe_box`` on examples/henon.c with the
+in-process engine and checks the soundness acceptance bar directly:
+
+* the upper bound dominates a sampled grid of pointwise widths, and the
+  ub-lb gap shrinks monotonically as the budget grows;
+* the safe box re-verifies independently (one fresh whole-box
+  evaluation, decided, width < eps) and sits inside the root box.
+
+Phase 2 boots ``repro serve`` as a real subprocess on an ephemeral port,
+issues the same two queries over the wire, and requires bit-identical
+results plus exactly one compile per query in the daemon's cache stats.
+Exits non-zero on any mismatch — this is the CI ``make analyze-smoke``
+target.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "src"))
+
+from repro.domain import (  # noqa: E402
+    RefinementBudget,
+    box_for_program,
+    compile_for_analysis,
+    evaluate_boxes,
+    max_error,
+    safe_box,
+    sample_points,
+)
+from repro.server import ServerClient  # noqa: E402
+
+HENON = os.path.join(HERE, "henon.c")
+BOX = {"x": [0.2, 0.4], "y": [0.1, 0.3]}
+FIXED = {"n": 5}
+CONFIG, K = "f64a-dsnv", 16
+EPS = 1e-6
+BUDGET = {"max_boxes": 64, "wave_size": 8}
+
+
+def check(ok: bool, what: str) -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {what}")
+    if not ok:
+        sys.exit(f"analyze smoke failed: {what}")
+
+
+def in_process(source: str):
+    prog = compile_for_analysis(source, CONFIG, k=K)
+
+    print("max_error: gap vs budget")
+    ubs, gaps = [], []
+    for max_boxes in (8, 32, 128):
+        r = max_error(prog, BOX, fixed=FIXED,
+                      budget=RefinementBudget(max_boxes=max_boxes,
+                                              wave_size=8))
+        print(f"  budget {max_boxes:4d}: ub={r.upper_bound:.6e} "
+              f"lb={r.lower_bound:.6e} gap={r.gap:.3e} "
+              f"boxes={r.stats.boxes}")
+        check(r.stats.boxes <= max_boxes, f"budget {max_boxes} respected")
+        ubs.append(r.upper_bound)
+        gaps.append(r.gap)
+    check(ubs[0] >= ubs[1] >= ubs[2], "upper bound monotone in budget")
+    check(gaps[0] >= gaps[1] >= gaps[2], "gap monotone in budget")
+
+    grid = [{"x": 0.2 + 0.05 * i, "y": 0.1 + 0.05 * j}
+            for i in range(5) for j in range(5)]
+    widths = sample_points(prog, grid, fixed=FIXED)
+    check(all(w is not None for w in widths), "grid samples evaluate")
+    check(ubs[-1] >= max(widths),
+          "upper bound dominates the sampled grid")
+
+    print(f"safe_box: eps={EPS:g}")
+    sb = safe_box(prog, BOX, EPS, fixed=FIXED,
+                  budget=RefinementBudget.from_dict(BUDGET))
+    check(sb.found, "a safe box exists")
+    print(f"  scale={sb.scale:.3e} width={sb.width:.3e} "
+          f"box={sb.box.to_dict()}")
+    root = box_for_program(prog, BOX)
+    check(root.contains(sb.box), "safe box inside the root box")
+    out, = evaluate_boxes(prog, [sb.box], fixed=FIXED)
+    check(out.decided and not out.fallback and out.width < EPS,
+          "safe box re-verifies independently under eps")
+    me = max_error(prog, BOX, fixed=FIXED,
+                   budget=RefinementBudget.from_dict(BUDGET))
+    return me, sb
+
+
+def against_daemon(source_text: str, me, sb) -> None:
+    port_file = tempfile.NamedTemporaryFile(suffix=".port", delete=False)
+    port_file.close()
+    os.unlink(port_file.name)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(HERE, "..", "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--port-file", port_file.name, "--workers", "1"], env=env)
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if os.path.exists(port_file.name) \
+                    and os.path.getsize(port_file.name):
+                break
+            if proc.poll() is not None:
+                sys.exit("daemon exited before binding a port")
+            time.sleep(0.1)
+        else:
+            sys.exit("daemon never wrote its port file")
+        port = int(open(port_file.name).read().strip())
+        print(f"daemon: pid={proc.pid} port={port}")
+
+        with ServerClient(port=port, timeout=120.0) as c:
+            r_me = c.analyze(source_text, "max_error", BOX, fixed=FIXED,
+                             budget=BUDGET, config=CONFIG, k=K)
+            r_sb = c.analyze(source_text, "safe_box", BOX, eps=EPS,
+                             fixed=FIXED, budget=BUDGET,
+                             config=CONFIG, k=K)
+            check(r_me["result"]["upper_bound"] == me.upper_bound
+                  and r_me["result"]["lower_bound"] == me.lower_bound,
+                  "daemon max_error bit-identical to in-process")
+            check(r_sb["result"]["box"] == sb.box.to_dict()
+                  and r_sb["result"]["width"] == sb.width,
+                  "daemon safe_box bit-identical to in-process")
+            stats = c.stats()["service"]
+            check(stats["misses"] == 1,
+                  "exactly one compile for both queries (shared key)")
+            check(stats["analyze_queries"] == 2, "two queries accounted")
+            drained = c.drain()
+            check(bool(drained.get("drained")), "daemon drained cleanly")
+        status = proc.wait(timeout=30)
+        check(status == 0, f"daemon exit status {status}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        if os.path.exists(port_file.name):
+            os.unlink(port_file.name)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--in-process-only", action="store_true",
+                        help="skip the spawned-daemon phase")
+    ns = parser.parse_args()
+
+    source_text = open(HENON).read()
+    print("== in-process ==")
+    me, sb = in_process(source_text)
+    if not ns.in_process_only:
+        print("== spawned daemon ==")
+        against_daemon(source_text, me, sb)
+    print("analyze smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..common import ValueRange
 from ..errors import ReproError
 from ..obs.trace import current_tracer
 from .cohort import CohortDivergence
@@ -258,6 +259,8 @@ def _stack_inputs(rt, col: List[Any], uncertainty_ulps: float):
                 for i in range(length)]
     if all(isinstance(v, (int, float)) for v in col):
         return rt.input_rows([float(v) for v in col], uncertainty_ulps)
+    if all(isinstance(v, ValueRange) for v in col):
+        return rt.input_box_rows([v.lo for v in col], [v.hi for v in col])
     raise _Unbatchable(
         f"cannot stack argument of type {type(first).__name__}")
 

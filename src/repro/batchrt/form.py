@@ -138,6 +138,19 @@ class BatchContext:
         mag = uncertainty_ulps * ulp_v(values)
         return BatchAffine.from_center_and_symbol(self, values, mag, None)
 
+    def input_box_rows(self, los, his) -> "BatchAffine":
+        """One range-valued input over the whole batch: row i covers the
+        interval ``[los[i], his[i]]`` with one fresh symbol spanning the
+        half-width — the per-row analogue of :meth:`from_interval`, used by
+        the domain analysis engine to evaluate N subboxes per batch."""
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        if np.any(his < los):
+            raise ValueError("interval endpoints out of order")
+        mid = _midpoint_rows(los, his)
+        rad = _radius_ru_rows(mid, los, his)
+        return BatchAffine.from_center_and_symbol(self, mid, rad, None)
+
 
 class BatchProtect:
     """Per-row protected-symbol sets (the prioritization pragma support).

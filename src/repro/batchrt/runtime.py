@@ -47,6 +47,9 @@ class BatchRuntime:
     def input_rows(self, values, uncertainty_ulps: float = 1.0) -> BatchAffine:
         return self.ctx.input_rows(values, uncertainty_ulps)
 
+    def input_box_rows(self, los, his) -> BatchAffine:
+        return self.ctx.input_box_rows(los, his)
+
     def alloc_array(self, dims: Sequence[int]):
         if len(dims) == 1:
             return [self.exact(0.0) for _ in range(dims[0])]

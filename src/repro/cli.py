@@ -108,9 +108,43 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="machine-readable output")
 
     p_analyze = sub.add_parser(
-        "analyze", help="run the max-reuse analysis and show the pragmas")
+        "analyze",
+        help="max-reuse analysis (default) or a domain query (--query)")
     common(p_analyze)
     p_analyze.add_argument("file")
+    p_analyze.add_argument("--query", default=None,
+                           choices=["max-error", "safe-box",
+                                    "unsafe-regions"],
+                           help="domain analysis over an input box instead "
+                                "of the max-reuse report")
+    p_analyze.add_argument("--box", action="append", default=[],
+                           metavar="NAME=LO:HI",
+                           help="ranged input parameter (repeatable); "
+                                "every double parameter needs a --box or "
+                                "a --fix")
+    p_analyze.add_argument("--fix", action="append", default=[],
+                           metavar="NAME=VALUE",
+                           help="concrete value for a non-ranged parameter")
+    p_analyze.add_argument("--eps", type=float, default=None,
+                           help="error threshold for safe-box / "
+                                "unsafe-regions")
+    p_analyze.add_argument("--budget", type=int, default=512,
+                           metavar="N", help="max subbox evaluations")
+    p_analyze.add_argument("--deadline", type=float, default=None,
+                           metavar="S", help="wall-clock refinement limit")
+    p_analyze.add_argument("--gap", type=float, default=None,
+                           help="stop max-error once ub - lb <= GAP")
+    p_analyze.add_argument("--wave", type=int, default=32,
+                           help="subboxes per refinement wave")
+    p_analyze.add_argument("--seed-point", action="append", default=[],
+                           metavar="NAME=VALUE",
+                           help="safe-box growth seed (default: box "
+                                "midpoint)")
+    p_analyze.add_argument("--pad-ulps", type=float, default=1.0,
+                           help="outward box padding in ulps before each "
+                                "evaluation")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable output")
 
     p_bench = sub.add_parser("bench", help="run a paper benchmark")
     common(p_bench)
@@ -497,16 +531,126 @@ def _summary(arr) -> str:
     return f"{len(flat)} sound values, worst certificate {worst:.1f} bits"
 
 
+def _parse_kv(items, what, parse=float):
+    out = {}
+    for item in items:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"{what} expects NAME=VALUE, got {item!r}")
+        try:
+            out[name] = parse(value)
+        except ValueError:
+            raise SystemExit(f"invalid {what} value {item!r}")
+    return out
+
+
+def _parse_box(items):
+    def rng(text):
+        lo, sep, hi = text.partition(":")
+        if not sep:
+            raise ValueError(text)
+        return [float(lo), float(hi)]
+
+    box = _parse_kv(items, "--box", parse=rng)
+    if not box:
+        raise SystemExit("--query needs at least one --box NAME=LO:HI")
+    return box
+
+
+def _cmd_analyze_query(ns, source: str) -> int:
+    from .domain import (BnBDriver, RefinementBudget, analysis_config,
+                         box_for_program)
+
+    cfg = _config(ns)
+    box = _parse_box(ns.box)
+    fixed = _parse_kv(ns.fix, "--fix")
+    fixed.update(_int_params(ns.int_param) or {})
+    seed = _parse_kv(ns.seed_point, "--seed-point") or None
+    query = ns.query.replace("-", "_")
+    if query in ("safe_box", "unsafe_regions") and ns.eps is None:
+        raise SystemExit(f"--query {ns.query} requires --eps")
+    try:
+        acfg = analysis_config(cfg)
+        with _trace_to(ns.trace, "cli:analyze"):
+            if ns.cache_dir:
+                from .service import CompileService
+
+                prog = CompileService(cache_dir=ns.cache_dir).compile(
+                    source, acfg, entry=ns.entry)
+            else:
+                prog = SafeGen(acfg).compile(source, entry=ns.entry)
+            driver = BnBDriver(
+                prog, box_for_program(prog, box), fixed=fixed,
+                budget=RefinementBudget(max_boxes=ns.budget,
+                                        deadline_s=ns.deadline,
+                                        target_gap=ns.gap,
+                                        wave_size=ns.wave),
+                pad_ulps=ns.pad_ulps)
+            if query == "max_error":
+                result = driver.max_error()
+            elif query == "safe_box":
+                result = driver.safe_box(ns.eps, seed=seed)
+            else:
+                result = driver.unsafe_regions(ns.eps)
+    except ReproError as exc:
+        raise SystemExit(format_cli_error(exc, ns.file))
+    if ns.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    _print_analyze_result(result)
+    return 0
+
+
+def _fmt_box(box) -> str:
+    return "  ".join(f"{name} in [{lo:.17g}, {hi:.17g}]"
+                     for name, lo, hi in box.dims)
+
+
+def _print_analyze_result(result) -> None:
+    st = result.stats
+    d = result.to_dict()
+    if d["query"] == "max_error":
+        print(f"max error (sound upper bound) : {d['upper_bound']}")
+        print(f"sampled lower bound           : {d['lower_bound']}")
+        print(f"gap                           : {d['gap']}"
+              + ("" if result.complete else "  (budget exhausted)"))
+    elif d["query"] == "safe_box":
+        if result.found:
+            print(f"verified safe box (error < {result.eps:g}):")
+            print(f"  {_fmt_box(result.box)}")
+            print(f"  certified width {result.width:.6g}, "
+                  f"scale {result.scale:.6g} of the requested box")
+        else:
+            print(f"no safe box found with error < {result.eps:g}")
+    else:
+        print(f"regions with bound >= {result.eps:g}: {result.n_unsafe} "
+              f"(verified safe: {result.n_safe}, "
+              f"undecided: {result.n_undecided})")
+        print(f"verified-safe volume fraction : {result.safe_fraction:.4f}")
+        for box, width in result.unsafe[:10]:
+            print(f"  width {width:.6g}  {_fmt_box(box)}")
+    if getattr(result, "undecided", 0):
+        print(f"undecided subboxes            : {result.undecided} "
+              "(ambiguous control flow; never counted safe)")
+    print(f"[{st.boxes} subboxes, {st.waves} waves, {st.samples} samples, "
+          f"{st.elapsed_s * 1e3:.1f} ms]")
+
+
 def cmd_analyze(ns) -> int:
+    source = _read_source(ns.file)
+    if ns.query:
+        return _cmd_analyze_query(ns, source)
     cfg = _config(ns)
     if cfg.mode != "aa":
         raise SystemExit("analyze requires an affine configuration")
     from dataclasses import replace
 
     compiler = SafeGen(replace(cfg, prioritize=True))
-    source = _read_source(ns.file)
-    with _trace_to(ns.trace, "cli:analyze"):
-        prog = compiler.compile(source, entry=ns.entry)
+    try:
+        with _trace_to(ns.trace, "cli:analyze"):
+            prog = compiler.compile(source, entry=ns.entry)
+    except ReproError as exc:
+        raise SystemExit(format_cli_error(exc, ns.file))
     print(prog.analysis_report)
     if prog.priority_map:
         print("prioritized operations (stmt -> variable):")

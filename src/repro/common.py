@@ -3,10 +3,46 @@
 from __future__ import annotations
 
 import enum
+import math
+from dataclasses import dataclass
 
 from .errors import AmbiguousComparisonError
 
-__all__ = ["DecisionPolicy", "decide_comparison"]
+__all__ = ["DecisionPolicy", "ValueRange", "decide_comparison"]
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """A range-valued program input: "this argument lies in ``[lo, hi]``".
+
+    Plain floats passed to a compiled program mean *a point input with ulp
+    uncertainty*; a :class:`ValueRange` means *the whole interval* — the
+    runtime turns it into one input symbol covering the half-width
+    (``AffineContext.from_interval``) and the batch engine stacks columns
+    of them into per-row box inputs.  This is the argument type the domain
+    analysis engine (:mod:`repro.domain`) feeds through
+    ``CompiledProgram.run_batch`` to evaluate subdomains.
+
+    ``name`` (optional) labels the input for symbol provenance, so
+    ``aa.explain`` can attribute error mass back to this parameter.
+    """
+
+    lo: float
+    hi: float
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lo), float(self.hi)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        if math.isnan(lo) or math.isnan(hi) or hi < lo:
+            raise ValueError(f"invalid range [{lo!r}, {hi!r}]")
+
+    def midpoint(self) -> float:
+        mid = self.lo + (self.hi - self.lo) / 2.0
+        if not math.isfinite(mid):
+            mid = self.lo / 2.0 + self.hi / 2.0
+        return mid
 
 
 class DecisionPolicy(enum.Enum):

@@ -23,7 +23,7 @@ import math
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..aa import AffineContext
-from ..common import DecisionPolicy, decide_comparison
+from ..common import DecisionPolicy, ValueRange, decide_comparison
 from ..errors import CompileError
 from ..fp import ulp
 from ..ia import Interval, IntervalDD
@@ -103,11 +103,28 @@ class Runtime:
         base = IntervalDD.point(value)
         return base + IntervalDD.from_interval(-rad, rad)
 
+    def input_range(self, vr: ValueRange):
+        """A range-valued input covering all of ``[vr.lo, vr.hi]``.
+
+        In AA mode this is one fresh symbol spanning the half-width (named
+        after the range so ``aa.explain`` can attribute error back to it);
+        in interval modes the plain interval; in float mode the midpoint.
+        """
+        if self.mode == "float":
+            return vr.midpoint()
+        if self.mode == "aa":
+            return self.ctx.from_interval(vr.lo, vr.hi, name=vr.name)
+        if self.mode == "ia":
+            return Interval(vr.lo, vr.hi)
+        return IntervalDD.from_interval(vr.lo, vr.hi)
+
     def coerce_input(self, value, uncertainty_ulps: float = 1.0):
         """Turn a plain float / nested list of floats into sound inputs;
         pass already-sound values through."""
         if isinstance(value, (int, float)):
             return self.input(float(value), uncertainty_ulps)
+        if isinstance(value, ValueRange):
+            return self.input_range(value)
         if self.mode == "float" and hasattr(value, "central_float"):
             return value.central_float()
         if isinstance(value, (list, tuple)):

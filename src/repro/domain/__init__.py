@@ -1,0 +1,51 @@
+"""Domain analysis: branch-and-bound input-space queries.
+
+The inverse of the usual workload — instead of "how wrong is this
+input", this subsystem answers "which inputs are safe": it subdivides an
+input :class:`Box`, evaluates cohorts of subboxes through the batched
+execution engine (one compile per query via the compile cache), and
+maintains sound bounds under a configurable refinement budget.
+
+Entry points: :func:`max_error`, :func:`safe_box`,
+:func:`unsafe_regions` (or :class:`BnBDriver` directly); the same
+queries are served as the ``analyze`` op by the daemon, the router
+fleet, and ``repro analyze`` on the CLI.
+"""
+
+from .box import Box
+from .driver import (
+    BnBDriver,
+    MaxErrorResult,
+    RefinementBudget,
+    SafeBoxResult,
+    UnsafeRegionsResult,
+)
+from .evaluate import BoxOutcome, evaluate_boxes, sample_points
+from .queries import (
+    analysis_config,
+    box_for_program,
+    compile_for_analysis,
+    max_error,
+    safe_box,
+    unsafe_regions,
+)
+from .sensitivity import rank_dimensions
+
+__all__ = [
+    "BnBDriver",
+    "Box",
+    "BoxOutcome",
+    "MaxErrorResult",
+    "RefinementBudget",
+    "SafeBoxResult",
+    "UnsafeRegionsResult",
+    "analysis_config",
+    "box_for_program",
+    "compile_for_analysis",
+    "evaluate_boxes",
+    "max_error",
+    "rank_dimensions",
+    "safe_box",
+    "sample_points",
+    "unsafe_regions",
+]

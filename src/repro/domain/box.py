@@ -1,0 +1,154 @@
+"""Axis-aligned input boxes: the unit of work for domain analysis.
+
+A :class:`Box` names every range-valued dimension of a query domain, in a
+fixed order (the compiled program's double-parameter order), so splitting,
+padding and serialization are all deterministic.  Endpoint arithmetic uses
+the directed-rounding helpers from :mod:`repro.fp` wherever an outward
+error could otherwise creep in: widths round up, padding rounds outward.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..common import ValueRange
+from ..errors import DomainError
+from ..fp import add_ru, sub_rd, sub_ru, ulp
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box: an ordered tuple of ``(name, lo, hi)`` dims."""
+
+    dims: Tuple[Tuple[str, float, float], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, lo, hi in self.dims:
+            if math.isnan(lo) or math.isnan(hi) or hi < lo:
+                raise DomainError(f"invalid range for {name!r}: [{lo}, {hi}]")
+            if not (math.isfinite(lo) and math.isfinite(hi)):
+                raise DomainError(f"non-finite range for {name!r}")
+            if name in seen:
+                raise DomainError(f"duplicate dimension {name!r}")
+            seen.add(name)
+        if not self.dims:
+            raise DomainError("box has no dimensions")
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, float, float]]) -> "Box":
+        return cls(tuple((str(n), float(lo), float(hi)) for n, lo, hi in pairs))
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Sequence[float]],
+                  order: Sequence[str] | None = None) -> "Box":
+        """Build from ``{"x": [lo, hi], ...}``; ``order`` (e.g. the program's
+        parameter order) fixes the dimension order, else insertion order."""
+        names = list(order) if order is not None else list(mapping)
+        pairs = []
+        for name in names:
+            if name not in mapping:
+                raise DomainError(f"box is missing dimension {name!r}")
+            rng = mapping[name]
+            if isinstance(rng, (int, float)):
+                rng = (rng, rng)
+            if len(rng) != 2:
+                raise DomainError(f"range for {name!r} must be [lo, hi]")
+            pairs.append((name, float(rng[0]), float(rng[1])))
+        extra = set(mapping) - set(names)
+        if extra:
+            raise DomainError(f"unknown box dimensions: {sorted(extra)}")
+        return cls.from_pairs(pairs)
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        return {name: [lo, hi] for name, lo, hi in self.dims}
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _, _ in self.dims)
+
+    def range_of(self, name: str) -> Tuple[float, float]:
+        for n, lo, hi in self.dims:
+            if n == name:
+                return lo, hi
+        raise DomainError(f"no dimension {name!r}")
+
+    def widths(self) -> Dict[str, float]:
+        """Per-dimension width, rounded up (sound over-approximation)."""
+        return {name: sub_ru(hi, lo) for name, lo, hi in self.dims}
+
+    def midpoint(self) -> Dict[str, float]:
+        out = {}
+        for name, lo, hi in self.dims:
+            mid = lo + (hi - lo) / 2.0
+            if not math.isfinite(mid):
+                mid = lo / 2.0 + hi / 2.0
+            out[name] = mid
+        return out
+
+    def contains(self, other: "Box") -> bool:
+        if other.names != self.names:
+            return False
+        return all(lo <= olo and ohi <= hi
+                   for (_, lo, hi), (_, olo, ohi)
+                   in zip(self.dims, other.dims))
+
+    def volume_fraction(self, root: "Box") -> float:
+        """This box's share of ``root``'s volume (point dims contribute a
+        factor of 1; an ordinary float product — reporting only)."""
+        frac = 1.0
+        for (name, lo, hi), (rname, rlo, rhi) in zip(self.dims, root.dims):
+            rw = rhi - rlo
+            if rw > 0.0:
+                frac *= (hi - lo) / rw
+        return frac
+
+    # -- refinement -------------------------------------------------------------
+
+    def splittable_dims(self) -> List[str]:
+        """Dimensions that can still be bisected: the midpoint must be
+        strictly interior, so one-ulp-wide ranges are unsplittable."""
+        out = []
+        for name, lo, hi in self.dims:
+            mid = self.midpoint()[name]
+            if lo < mid < hi:
+                out.append(name)
+        return out
+
+    def can_split(self) -> bool:
+        return bool(self.splittable_dims())
+
+    def split(self, name: str) -> Tuple["Box", "Box"]:
+        """Bisect along ``name`` at the midpoint.  The two halves share the
+        midpoint endpoint, so their union covers the parent exactly."""
+        lo, hi = self.range_of(name)
+        mid = self.midpoint()[name]
+        if not (lo < mid < hi):
+            raise DomainError(f"dimension {name!r} cannot be split further")
+        left = tuple((n, l, mid if n == name else h)
+                     for n, l, h in self.dims)
+        right = tuple((n, mid if n == name else l, h)
+                      for n, l, h in self.dims)
+        return Box(left), Box(right)
+
+    def padded(self, ulps: float) -> "Box":
+        """Endpoints pushed outward by ``ulps`` units in the last place
+        (matching the paper's per-input ulp uncertainty): the evaluated box
+        encloses every point input the runtime would model inside it."""
+        if ulps <= 0.0:
+            return self
+        pairs = []
+        for name, lo, hi in self.dims:
+            pad = ulps * max(ulp(lo), ulp(hi))
+            pairs.append((name, sub_rd(lo, pad), add_ru(hi, pad)))
+        return Box(tuple(pairs))
+
+    def as_ranges(self) -> Dict[str, ValueRange]:
+        return {name: ValueRange(lo, hi, name=name)
+                for name, lo, hi in self.dims}

@@ -1,0 +1,541 @@
+"""Branch-and-bound refinement driver over input boxes.
+
+One compiled program, one root box, three queries:
+
+* :meth:`BnBDriver.max_error` — a sound upper bound on the worst-case
+  enclosure width over the domain, tightened by best-first subdivision,
+  bracketed from below by sampled point evaluations.
+* :meth:`BnBDriver.safe_box` — the largest verified sub-box (grown from a
+  seed point by bisection on a scale ladder) whose whole-box evaluation
+  certifies error < ε.
+* :meth:`BnBDriver.unsafe_regions` — the sub-boxes whose bound exceeds ε,
+  with undecided regions reported separately.
+
+Every wave of subboxes goes through ``CompiledProgram.run_batch`` — one
+compile per query (the compile cache's job), N subboxes per batch.  The
+soundness split is strict: upper bounds come only from *decided*
+whole-box evaluations (:mod:`repro.domain.evaluate`); sampled point
+widths only ever feed the lower bound / witnesses; the sensitivity probe
+(:mod:`repro.domain.sensitivity`) only picks split dimensions.
+
+Upper bounds are inherited: a child leaf's bound is
+``min(own decided width, parent bound)`` — sound because the parent's
+certificate covers every subregion — which makes the global bound
+monotone non-increasing along any split sequence, and therefore the
+gap monotone non-increasing in the refinement budget (pops are
+deterministic best-first, so a smaller budget's split set is a prefix
+of a larger one's).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import DomainError
+from ..obs.trace import current_tracer
+from .box import Box
+from .evaluate import BoxOutcome, check_analysis_program, evaluate_boxes, \
+    sample_points
+from .sensitivity import rank_dimensions, split_scores
+
+__all__ = ["BnBDriver", "MaxErrorResult", "RefinementBudget",
+           "SafeBoxResult", "UnsafeRegionsResult"]
+
+
+@dataclass(frozen=True)
+class RefinementBudget:
+    """How much refinement a query may spend.
+
+    ``max_boxes`` bounds the number of subbox evaluations (the unit the
+    server admits and bills), ``deadline_s`` the wall clock, ``target_gap``
+    stops ``max_error`` early once ub − lb is small enough, ``wave_size``
+    is the batch width per refinement wave, and ``max_regions`` caps the
+    region lists in results (counts are always exact).
+    """
+
+    max_boxes: int = 512
+    deadline_s: Optional[float] = None
+    target_gap: Optional[float] = None
+    wave_size: int = 32
+    max_regions: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_boxes < 1:
+            raise DomainError("max_boxes must be at least 1")
+        if self.wave_size < 2:
+            raise DomainError("wave_size must be at least 2")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise DomainError("deadline_s must be positive")
+        if self.target_gap is not None and self.target_gap < 0:
+            raise DomainError("target_gap must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"max_boxes": self.max_boxes,
+                               "wave_size": self.wave_size,
+                               "max_regions": self.max_regions}
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.target_gap is not None:
+            out["target_gap"] = self.target_gap
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RefinementBudget":
+        known = {f.name for f in fields(cls)}
+        extra = set(d) - known
+        if extra:
+            raise DomainError(f"unknown budget fields: {sorted(extra)}")
+        return cls(**d)
+
+
+@dataclass
+class QueryStats:
+    """Refinement accounting, merged into ``analyze_*`` service counters."""
+
+    boxes: int = 0
+    waves: int = 0
+    splits: int = 0
+    undecided: int = 0
+    samples: int = 0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"boxes": self.boxes, "waves": self.waves,
+                "splits": self.splits, "undecided": self.undecided,
+                "samples": self.samples, "elapsed_s": self.elapsed_s}
+
+
+def _num(x: float):
+    """JSON-safe float: infinities become strings (json.dumps emits bare
+    ``Infinity`` otherwise, which is not valid JSON for other parsers)."""
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    if math.isnan(x):
+        return "nan"
+    return x
+
+
+@dataclass
+class MaxErrorResult:
+    upper_bound: float
+    lower_bound: float
+    complete: bool
+    undecided: int
+    undecided_regions: List[Box]
+    stats: QueryStats
+
+    @property
+    def gap(self) -> float:
+        if math.isinf(self.upper_bound) or math.isinf(self.lower_bound):
+            return math.inf
+        return self.upper_bound - self.lower_bound
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"query": "max_error",
+                "upper_bound": _num(self.upper_bound),
+                "lower_bound": _num(self.lower_bound),
+                "gap": _num(self.gap),
+                "complete": self.complete,
+                "undecided": self.undecided,
+                "undecided_regions": [b.to_dict()
+                                      for b in self.undecided_regions],
+                "stats": self.stats.to_dict()}
+
+
+@dataclass
+class SafeBoxResult:
+    found: bool
+    eps: float
+    box: Optional[Box]
+    scale: float
+    width: float
+    undecided: int
+    stats: QueryStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"query": "safe_box", "found": self.found, "eps": self.eps,
+                "box": self.box.to_dict() if self.box is not None else None,
+                "scale": self.scale, "width": _num(self.width),
+                "undecided": self.undecided,
+                "stats": self.stats.to_dict()}
+
+
+@dataclass
+class UnsafeRegionsResult:
+    eps: float
+    unsafe: List[Tuple[Box, float]]
+    undecided_regions: List[Box]
+    n_safe: int
+    n_unsafe: int
+    n_undecided: int
+    safe_fraction: float
+    witnessed: int
+    stats: QueryStats
+
+    @property
+    def undecided(self) -> int:
+        return self.n_undecided
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"query": "unsafe_regions", "eps": self.eps,
+                "unsafe": [{"box": b.to_dict(), "width": _num(w)}
+                           for b, w in self.unsafe],
+                "undecided_regions": [b.to_dict()
+                                      for b in self.undecided_regions],
+                "n_safe": self.n_safe, "n_unsafe": self.n_unsafe,
+                "n_undecided": self.n_undecided, "undecided": self.n_undecided,
+                "safe_fraction": self.safe_fraction,
+                "witnessed": self.witnessed,
+                "stats": self.stats.to_dict()}
+
+
+@dataclass
+class _Leaf:
+    box: Box
+    ub: float       # inherited-min sound upper bound (inf when undecided
+    decided: bool   # and no decided ancestor exists)
+    width: float    # own decided width (inf when undecided)
+
+
+class BnBDriver:
+    """Work-queue subdivision driver for one (program, root box) query."""
+
+    def __init__(self, program, box: Box, *,
+                 fixed: Optional[Dict[str, Any]] = None,
+                 budget: Optional[RefinementBudget] = None,
+                 pad_ulps: float = 1.0) -> None:
+        check_analysis_program(program)
+        self.program = program
+        self.root = box
+        self.fixed = dict(fixed or {})
+        self.budget = budget or RefinementBudget()
+        self.pad_ulps = float(pad_ulps)
+        self._sensitivity = None
+        self._sensitivity_done = False
+
+    # -- shared plumbing --------------------------------------------------------
+
+    def _deadline(self) -> Optional[float]:
+        if self.budget.deadline_s is None:
+            return None
+        return time.monotonic() + self.budget.deadline_s
+
+    @staticmethod
+    def _expired(deadline: Optional[float]) -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    def _sense(self) -> Optional[Dict[str, float]]:
+        """Sensitivity ranking over the root box, computed once per query
+        driver (advisory: never feeds a bound)."""
+        if not self._sensitivity_done:
+            self._sensitivity = rank_dimensions(
+                self.program, self.root, fixed=self.fixed)
+            self._sensitivity_done = True
+        return self._sensitivity
+
+    def _split_dim(self, box: Box) -> Optional[str]:
+        scored = split_scores(box, self._sense(), self.root)
+        return scored[0][1] if scored else None
+
+    def _evaluate(self, boxes: List[Box], stats: QueryStats
+                  ) -> List[BoxOutcome]:
+        outcomes = evaluate_boxes(self.program, boxes, fixed=self.fixed,
+                                  pad_ulps=self.pad_ulps)
+        stats.boxes += len(boxes)
+        stats.undecided += sum(1 for o in outcomes if not o.decided)
+        return outcomes
+
+    def _sample(self, points: List[Dict[str, float]], stats: QueryStats
+                ) -> List[Optional[float]]:
+        widths = sample_points(self.program, points, fixed=self.fixed)
+        stats.samples += len(points)
+        return widths
+
+    # -- max_error --------------------------------------------------------------
+
+    def max_error(self) -> MaxErrorResult:
+        """Sound upper bound on worst-case enclosure width over the root
+        box, refined best-first until the budget or target gap is hit."""
+        t0 = time.perf_counter()
+        stats = QueryStats()
+        deadline = self._deadline()
+        bud = self.budget
+
+        [root_out] = self._evaluate([self.root], stats)
+        root_leaf = _Leaf(box=self.root,
+                          ub=root_out.width if root_out.decided else math.inf,
+                          decided=root_out.decided, width=root_out.width)
+        lower = -math.inf
+        for w in self._sample([self.root.midpoint()], stats):
+            if w is not None:
+                lower = max(lower, w)
+
+        heap: List[Tuple[float, int, _Leaf]] = []
+        seq = 0
+        final: List[_Leaf] = []
+
+        def push(leaf: _Leaf) -> None:
+            nonlocal seq
+            if leaf.box.can_split():
+                heapq.heappush(heap, (-leaf.ub, seq, leaf))
+                seq += 1
+            else:
+                final.append(leaf)
+
+        push(root_leaf)
+
+        def global_ub() -> float:
+            best = max((l.ub for l in final), default=-math.inf)
+            if heap:
+                best = max(best, -heap[0][0])
+            return best if best > -math.inf else root_leaf.ub
+
+        def gap_met() -> bool:
+            if bud.target_gap is None:
+                return False
+            ub, lb = global_ub(), lower
+            return (math.isfinite(ub) and math.isfinite(lb)
+                    and ub - lb <= bud.target_gap)
+
+        wave = 0
+        while (heap and stats.boxes + 2 <= bud.max_boxes
+               and not self._expired(deadline) and not gap_met()):
+            n_parents = min(bud.wave_size // 2, len(heap),
+                            (bud.max_boxes - stats.boxes) // 2)
+            parents = [heapq.heappop(heap)[2] for _ in range(n_parents)]
+            children: List[Tuple[Box, _Leaf]] = []
+            for parent in parents:
+                dim = self._split_dim(parent.box)
+                if dim is None:
+                    final.append(parent)
+                    continue
+                stats.splits += 1
+                for half in parent.box.split(dim):
+                    children.append((half, parent))
+            if not children:
+                break
+            boxes = [b for b, _ in children]
+            wave += 1
+            stats.waves += 1
+            with current_tracer().span("domain:wave") as sp:
+                outcomes = self._evaluate(boxes, stats)
+                samples = self._sample([b.midpoint() for b in boxes], stats)
+                for (box, parent), out, sw in zip(children, outcomes,
+                                                  samples):
+                    ub = min(out.width if out.decided else math.inf,
+                             parent.ub)
+                    push(_Leaf(box=box, ub=ub, decided=out.decided,
+                               width=out.width))
+                    if sw is not None:
+                        lower = max(lower, sw)
+                if sp.recording:
+                    sp.set(wave=wave, boxes=len(boxes), ub=global_ub(),
+                           lb=lower if math.isfinite(lower) else None)
+
+        leaves = final + [entry[2] for entry in heap]
+        undecided_boxes = [l.box for l in leaves if not l.decided]
+        stats.elapsed_s = time.perf_counter() - t0
+        return MaxErrorResult(
+            upper_bound=global_ub(),
+            lower_bound=lower,
+            complete=not heap or gap_met(),
+            undecided=len(undecided_boxes),
+            undecided_regions=undecided_boxes[:bud.max_regions],
+            stats=stats)
+
+    # -- safe_box ---------------------------------------------------------------
+
+    def _scaled_box(self, seed: Dict[str, float], t: float) -> Box:
+        """The root box shrunk toward ``seed`` by factor ``t`` per dim."""
+        if t >= 1.0:
+            return self.root
+        if t <= 0.0:
+            return Box(tuple((name, seed[name], seed[name])
+                             for name in self.root.names))
+        pairs = []
+        for name, lo, hi in self.root.dims:
+            s = seed[name]
+            plo = s + t * (lo - s)
+            phi = s + t * (hi - s)
+            if plo > phi:  # directed-rounding asymmetry at tiny t
+                plo = phi = s
+            pairs.append((name, max(lo, plo), min(hi, phi)))
+        return Box(tuple(pairs))
+
+    def safe_box(self, eps: float,
+                 seed: Optional[Dict[str, float]] = None) -> SafeBoxResult:
+        """Largest verified sub-box with error < ``eps``, grown from
+        ``seed`` (default: root midpoint) by bisection on the scale
+        factor.  The returned box's certificate is one dedicated
+        whole-box evaluation — independent of the search that found it.
+        """
+        if not (eps > 0.0 and math.isfinite(eps)):
+            raise DomainError("eps must be positive and finite")
+        t0 = time.perf_counter()
+        stats = QueryStats()
+        deadline = self._deadline()
+        bud = self.budget
+        seed = dict(seed) if seed is not None else self.root.midpoint()
+        missing = set(self.root.names) - set(seed)
+        if missing:
+            raise DomainError(f"seed is missing dimensions {sorted(missing)}")
+        for name in self.root.names:
+            lo, hi = self.root.range_of(name)
+            if not (lo <= seed[name] <= hi):
+                raise DomainError(f"seed is outside the box on {name!r}")
+
+        def safe(out: BoxOutcome) -> bool:
+            return out.decided and out.width < eps
+
+        # First wave: the whole box (t=1) and the seed point (t=0).  If the
+        # whole box verifies we are done; if even the seed point does not,
+        # there is nothing to grow.
+        [whole, point] = self._evaluate(
+            [self._scaled_box(seed, 1.0), self._scaled_box(seed, 0.0)],
+            stats)
+        stats.waves += 1
+        best_t = None
+        if safe(whole):
+            best_t = 1.0
+        elif safe(point):
+            best_t = 0.0
+            t_lo, t_hi = 0.0, 1.0
+            # Grow by bisection on the scale factor with batched ladders.
+            # While no safe positive scale is known, probe geometrically
+            # down from t_hi (a chaotic kernel's safe scale can be many
+            # orders of magnitude below the box); once a bracket exists,
+            # refine it with evenly spaced scales.  Every ladder is one
+            # run_batch wave.
+            while (stats.boxes + 2 <= bud.max_boxes
+                   and not self._expired(deadline)
+                   and (t_lo == 0.0 or t_hi - t_lo > 0.02 * t_hi)):
+                n = max(2, min(bud.wave_size,
+                               bud.max_boxes - stats.boxes - 1))
+                if t_lo == 0.0:
+                    ts = [t_hi * 0.5 ** (i + 1) for i in range(n)]
+                else:
+                    ts = [t_lo + (t_hi - t_lo) * (i + 1) / (n + 1)
+                          for i in range(n)]
+                outs = self._evaluate([self._scaled_box(seed, t)
+                                       for t in ts], stats)
+                stats.waves += 1
+                new_lo, new_hi = t_lo, t_hi
+                for t, out in zip(ts, outs):
+                    if safe(out):
+                        if t > new_lo:
+                            new_lo = best_t = t
+                    elif t < new_hi:
+                        new_hi = t
+                if new_lo == t_lo and new_hi == t_hi:
+                    break  # no scale in the ladder changed the bracket
+                t_lo, t_hi = new_lo, min(new_hi, t_hi)
+
+        if best_t is None:
+            stats.elapsed_s = time.perf_counter() - t0
+            return SafeBoxResult(found=False, eps=eps, box=None, scale=0.0,
+                                 width=math.inf, undecided=stats.undecided,
+                                 stats=stats)
+
+        # Independent verification: one dedicated evaluation of exactly the
+        # candidate box.  This is the certificate the result stands on.
+        candidate = self._scaled_box(seed, best_t)
+        [verify] = self._evaluate([candidate], stats)
+        stats.elapsed_s = time.perf_counter() - t0
+        if not safe(verify):  # pragma: no cover - defense in depth
+            return SafeBoxResult(found=False, eps=eps, box=None, scale=0.0,
+                                 width=math.inf, undecided=stats.undecided,
+                                 stats=stats)
+        return SafeBoxResult(found=True, eps=eps, box=candidate,
+                             scale=best_t, width=verify.width,
+                             undecided=stats.undecided, stats=stats)
+
+    # -- unsafe_regions ---------------------------------------------------------
+
+    def unsafe_regions(self, eps: float) -> UnsafeRegionsResult:
+        """Partition the root box into verified-safe, bound-exceeds-ε and
+        undecided leaves, refining the non-safe ones first."""
+        if not (eps > 0.0 and math.isfinite(eps)):
+            raise DomainError("eps must be positive and finite")
+        t0 = time.perf_counter()
+        stats = QueryStats()
+        deadline = self._deadline()
+        bud = self.budget
+
+        heap: List[Tuple[float, int, _Leaf]] = []
+        seq = 0
+        settled: List[_Leaf] = []
+
+        def push(leaf: _Leaf) -> None:
+            nonlocal seq
+            needs_work = not leaf.decided or leaf.width >= eps
+            if needs_work and leaf.box.can_split():
+                heapq.heappush(heap, (-leaf.ub, seq, leaf))
+                seq += 1
+            else:
+                settled.append(leaf)
+
+        [root_out] = self._evaluate([self.root], stats)
+        push(_Leaf(box=self.root,
+                   ub=root_out.width if root_out.decided else math.inf,
+                   decided=root_out.decided, width=root_out.width))
+
+        while (heap and stats.boxes + 2 <= bud.max_boxes
+               and not self._expired(deadline)):
+            n_parents = min(bud.wave_size // 2, len(heap),
+                            (bud.max_boxes - stats.boxes) // 2)
+            parents = [heapq.heappop(heap)[2] for _ in range(n_parents)]
+            children: List[Tuple[Box, _Leaf]] = []
+            for parent in parents:
+                dim = self._split_dim(parent.box)
+                if dim is None:
+                    settled.append(parent)
+                    continue
+                stats.splits += 1
+                for half in parent.box.split(dim):
+                    children.append((half, parent))
+            if not children:
+                break
+            stats.waves += 1
+            with current_tracer().span("domain:wave") as sp:
+                outcomes = self._evaluate([b for b, _ in children], stats)
+                for (box, parent), out in zip(children, outcomes):
+                    ub = min(out.width if out.decided else math.inf,
+                             parent.ub)
+                    push(_Leaf(box=box, ub=ub, decided=out.decided,
+                               width=out.width))
+                if sp.recording:
+                    sp.set(wave=stats.waves, boxes=len(children),
+                           pending=len(heap))
+
+        leaves = settled + [entry[2] for entry in heap]
+        safe_leaves = [l for l in leaves if l.decided and l.width < eps]
+        unsafe_leaves = [l for l in leaves if l.decided and l.width >= eps]
+        undecided_leaves = [l for l in leaves if not l.decided]
+        unsafe_leaves.sort(key=lambda l: -l.width)
+
+        # Witness sampling: an unsafe region whose midpoint *point*
+        # evaluation already exceeds eps is genuinely bad, not just
+        # over-approximated.
+        witnessed = 0
+        if unsafe_leaves:
+            probe = unsafe_leaves[:bud.max_regions]
+            widths = self._sample([l.box.midpoint() for l in probe], stats)
+            witnessed = sum(1 for w in widths if w is not None and w > eps)
+
+        safe_fraction = sum(l.box.volume_fraction(self.root)
+                            for l in safe_leaves)
+        stats.elapsed_s = time.perf_counter() - t0
+        return UnsafeRegionsResult(
+            eps=eps,
+            unsafe=[(l.box, l.width)
+                    for l in unsafe_leaves[:bud.max_regions]],
+            undecided_regions=[l.box for l in
+                               undecided_leaves[:bud.max_regions]],
+            n_safe=len(safe_leaves), n_unsafe=len(unsafe_leaves),
+            n_undecided=len(undecided_leaves),
+            safe_fraction=min(safe_fraction, 1.0),
+            witnessed=witnessed, stats=stats)

@@ -1,0 +1,189 @@
+"""Sound cohort evaluation of subboxes through the batch engine.
+
+The bridge between :class:`~repro.domain.box.Box` and
+``CompiledProgram.run_batch``: N subboxes become N rows of
+:class:`~repro.common.ValueRange` arguments, one batched evaluation
+returns N enclosures, and each row is classified *decided* or
+*undecided*.
+
+Soundness contract (the satellite-1 fix lives here): a row counts as
+decided **only** when the batch engine evaluated it on the vectorized
+path (``ok`` and not ``fallback``).  Scalar-fallback rows come from
+ambiguous cohort divergence — the control flow could not be certified
+over the whole subbox — so even when the scalar run produced an
+enclosure it does not cover every point of the box; treating it as
+verified-safe would be unsound.  The engine therefore requires the
+STRICT decision policy: under CENTRAL, ambiguous rows are silently
+decided on central values with no per-row attribution, which would make
+every row look decided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..common import DecisionPolicy
+from ..errors import DomainError
+from ..fp import sub_ru
+from .box import Box
+
+__all__ = ["BoxOutcome", "check_analysis_program", "evaluate_boxes",
+           "sample_points"]
+
+
+@dataclass(frozen=True)
+class BoxOutcome:
+    """One subbox's sound verdict.
+
+    ``decided`` means the vectorized engine certified the enclosure over
+    the whole (padded) box; only then are ``lo``/``hi``/``width``
+    meaningful as sound bounds.  ``fallback`` rows and failed rows are
+    undecided — ``width`` is ``inf`` so they can never verify as safe.
+    """
+
+    box: Box
+    lo: float
+    hi: float
+    width: float
+    decided: bool
+    fallback: bool = False
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"box": self.box.to_dict(),
+                               "decided": self.decided}
+        if self.decided:
+            out.update(lo=self.lo, hi=self.hi, width=self.width)
+        if self.fallback:
+            out["fallback"] = True
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def _program_params(program):
+    from ..compiler import cast as A
+
+    func = program.unit.func(program.entry)
+    ints, doubles = [], []
+    for p in func.params:
+        if isinstance(p.type, A.CType) and p.type.is_integer():
+            ints.append(p.name)
+        else:
+            doubles.append(p.name)
+    return func.params, ints, doubles
+
+
+def check_analysis_program(program) -> None:
+    """Reject programs whose configuration cannot yield per-row sound
+    verdicts (see module docstring)."""
+    from ..batchrt import batchable_config
+
+    cfg = program.config
+    if cfg.decision_policy is not DecisionPolicy.STRICT:
+        raise DomainError(
+            "domain analysis requires decision_policy=STRICT: under "
+            "CENTRAL, ambiguous branches are decided unsoundly with no "
+            "per-row record")
+    if not batchable_config(cfg):
+        raise DomainError(
+            "domain analysis requires a batchable configuration "
+            "(mode=aa, vectorize, impl=auto, f64, non-random fusion, "
+            "numpy available)")
+
+
+def build_row(program, box: Box, fixed: Dict[str, Any]) -> List[Any]:
+    """One ``run_batch`` row for ``box``: ranges for box dimensions,
+    ``fixed`` values elsewhere, in program parameter order."""
+    params, ints, _doubles = _program_params(program)
+    ranges = box.as_ranges()
+    row: List[Any] = []
+    for p in params:
+        if p.name in ranges:
+            if p.name in ints:
+                raise DomainError(
+                    f"integer parameter {p.name!r} cannot be a box dimension")
+            row.append(ranges[p.name])
+        elif p.name in fixed:
+            v = fixed[p.name]
+            row.append(int(v) if p.name in ints else v)
+        else:
+            raise DomainError(
+                f"parameter {p.name!r} is neither a box dimension nor fixed")
+    return row
+
+
+def evaluate_boxes(program, boxes: Sequence[Box], *,
+                   fixed: Optional[Dict[str, Any]] = None,
+                   pad_ulps: float = 1.0) -> List[BoxOutcome]:
+    """Evaluate every box in one batched run and classify each row.
+
+    Boxes are padded outward by ``pad_ulps`` before evaluation so the
+    certificate also covers point inputs carrying the runtime's default
+    ulp uncertainty at the box boundary.
+    """
+    check_analysis_program(program)
+    fixed = fixed or {}
+    padded = [b.padded(pad_ulps) for b in boxes]
+    rows = [build_row(program, b, fixed) for b in padded]
+    result = program.run_batch(rows)
+    by_index = {r.index: r for r in result.rows}
+    outcomes: List[BoxOutcome] = []
+    for i, box in enumerate(boxes):
+        r = by_index.get(i)
+        if r is None or not r.ok or r.fallback:
+            outcomes.append(BoxOutcome(
+                box=box, lo=math.nan, hi=math.nan, width=math.inf,
+                decided=False, fallback=bool(r is not None and r.fallback),
+                error=None if r is None else r.error))
+            continue
+        if r.interval is None:
+            raise DomainError(
+                "program does not return a float enclosure; domain "
+                "queries need a scalar double result")
+        lo, hi = r.interval
+        if math.isnan(lo) or math.isnan(hi):
+            # A decided but invalid enclosure (domain violation absorbed
+            # into NaN): sound, but infinitely wide — never safe.
+            outcomes.append(BoxOutcome(box=box, lo=lo, hi=hi,
+                                       width=math.inf, decided=True))
+        else:
+            outcomes.append(BoxOutcome(box=box, lo=lo, hi=hi,
+                                       width=sub_ru(hi, lo), decided=True))
+    return outcomes
+
+
+def sample_points(program, points: Sequence[Dict[str, float]], *,
+                  fixed: Optional[Dict[str, Any]] = None,
+                  uncertainty_ulps: float = 1.0) -> List[Optional[float]]:
+    """Enclosure widths of point evaluations (the lower-bound witnesses).
+
+    Each point is an ordinary ulp-uncertain input run; any point the true
+    semantics can evaluate gives a width that every sound bound over a
+    containing box must dominate.  Failed points yield ``None``.
+    """
+    fixed = fixed or {}
+    params, ints, _doubles = _program_params(program)
+    rows = []
+    for pt in points:
+        row: List[Any] = []
+        for p in params:
+            if p.name in pt:
+                row.append(float(pt[p.name]))
+            elif p.name in fixed:
+                v = fixed[p.name]
+                row.append(int(v) if p.name in ints else v)
+            else:
+                raise DomainError(
+                    f"parameter {p.name!r} missing from sample point")
+        rows.append(row)
+    result = program.run_batch(rows, uncertainty_ulps=uncertainty_ulps)
+    widths: List[Optional[float]] = [None] * len(rows)
+    for r in result.rows:
+        if r.ok and r.interval is not None:
+            lo, hi = r.interval
+            if not (math.isnan(lo) or math.isnan(hi)):
+                widths[r.index] = sub_ru(hi, lo)
+    return widths

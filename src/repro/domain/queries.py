@@ -1,0 +1,129 @@
+"""Public entry points for domain analysis queries.
+
+``analysis_config`` normalizes a compiler configuration into the *analysis
+profile* — STRICT decisions, vectorized AA — rejecting configurations
+that cannot yield per-row sound verdicts.  The normalization happens
+before the cache key is computed everywhere a query is issued (direct
+calls here, ``AnalyzeJob.resolved_config`` in the service, and hence the
+dispatcher and router), so one query compiles exactly once and the
+router's ring gives it the same shard affinity as the program's other
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from ..common import DecisionPolicy
+from ..errors import DomainError
+from .box import Box
+from .driver import BnBDriver, MaxErrorResult, RefinementBudget, \
+    SafeBoxResult, UnsafeRegionsResult
+
+__all__ = ["analysis_config", "box_for_program", "compile_for_analysis",
+           "max_error", "safe_box", "unsafe_regions"]
+
+
+def analysis_config(config):
+    """The analysis profile of ``config``: STRICT + vectorized, same
+    numerics otherwise.  Raises :class:`DomainError` for configurations
+    the batched engine cannot certify row by row."""
+    from ..aa.context import Precision
+    from ..aa.policies import FusionPolicy
+    from ..batchrt import numpy_available
+
+    if config.mode != "aa":
+        raise DomainError(
+            f"domain analysis requires mode='aa', got {config.mode!r}")
+    if config.impl != "auto":
+        raise DomainError(
+            f"domain analysis requires impl='auto', got {config.impl!r}")
+    if config.precision is not Precision.F64:
+        raise DomainError("domain analysis requires f64 precision")
+    if config.fusion is FusionPolicy.RANDOM:
+        raise DomainError(
+            "domain analysis excludes the RANDOM fusion policy (rows "
+            "would couple through the shared RNG)")
+    if not numpy_available():
+        raise DomainError(
+            "domain analysis needs numpy (the repro[vector] extra)")
+    return replace(config, decision_policy=DecisionPolicy.STRICT,
+                   vectorize=True)
+
+
+def compile_for_analysis(source: str, config=None, k: int = 16, *,
+                         entry=None, service=None):
+    """Compile ``source`` under the analysis profile — through ``service``
+    (and its cache) when given, directly otherwise.  ``config`` may be a
+    paper-style string or a :class:`CompilerConfig`, as in ``compile_c``."""
+    from ..compiler.config import CompilerConfig
+
+    if config is None:
+        config = CompilerConfig(k=k)
+    elif isinstance(config, str):
+        config = CompilerConfig.from_string(config, k=k)
+    cfg = analysis_config(config)
+    if service is not None:
+        return service.compile(source, cfg, entry=entry)
+    from ..compiler.driver import compile_c
+
+    return compile_c(source, config=cfg, entry=entry)
+
+
+def box_for_program(program, mapping: Dict[str, Any]) -> Box:
+    """A :class:`Box` over ``mapping``'s ranged dimensions, ordered by the
+    program's double parameters (so rows and splits are deterministic)."""
+    from ..compiler import cast as A
+
+    func = program.unit.func(program.entry)
+    doubles = [p.name for p in func.params
+               if not (isinstance(p.type, A.CType) and p.type.is_integer())]
+    ranged = {n: v for n, v in mapping.items() if n in doubles}
+    unknown = set(mapping) - {p.name for p in func.params}
+    if unknown:
+        raise DomainError(f"unknown parameters in box: {sorted(unknown)}")
+    ints = sorted(set(mapping) - set(doubles) - unknown)
+    if ints:
+        raise DomainError(
+            f"integer parameters cannot be ranged over: {ints}; "
+            f"pin them with 'fixed'")
+    if not ranged:
+        raise DomainError("box has no ranged double parameter")
+    order = [n for n in doubles if n in ranged]
+    return Box.from_dict(ranged, order=order)
+
+
+def _driver(program, box, fixed, budget, pad_ulps) -> BnBDriver:
+    if isinstance(box, dict):
+        box = box_for_program(program, box)
+    if isinstance(budget, dict):
+        budget = RefinementBudget.from_dict(budget)
+    return BnBDriver(program, box, fixed=fixed, budget=budget,
+                     pad_ulps=pad_ulps)
+
+
+def max_error(program, box, *, fixed: Optional[Dict[str, Any]] = None,
+              budget: Optional[RefinementBudget] = None,
+              pad_ulps: float = 1.0) -> MaxErrorResult:
+    """Sound upper bound on worst-case enclosure width over ``box``."""
+    return _driver(program, box, fixed, budget, pad_ulps).max_error()
+
+
+def safe_box(program, box, eps: float, *,
+             seed: Optional[Dict[str, float]] = None,
+             fixed: Optional[Dict[str, Any]] = None,
+             budget: Optional[RefinementBudget] = None,
+             pad_ulps: float = 1.0) -> SafeBoxResult:
+    """Largest verified sub-box of ``box`` with error < ``eps``."""
+    return _driver(program, box, fixed, budget, pad_ulps).safe_box(
+        eps, seed=seed)
+
+
+def unsafe_regions(program, box, eps: float, *,
+                   fixed: Optional[Dict[str, Any]] = None,
+                   budget: Optional[RefinementBudget] = None,
+                   pad_ulps: float = 1.0) -> UnsafeRegionsResult:
+    """Sub-boxes of ``box`` whose bound exceeds ``eps`` (undecided
+    regions reported separately)."""
+    return _driver(program, box, fixed, budget, pad_ulps).unsafe_regions(eps)

@@ -1,0 +1,82 @@
+"""Per-dimension sensitivity ranking for split selection.
+
+One scalar probe evaluation of the program over the whole box, with
+symbol provenance tracking on, attributes error-symbol mass back to the
+named input parameters via :func:`repro.aa.explain` — the "symbolic over
+named inputs" idea from rospoly/paf, realized on the existing substrate.
+The probe is *advisory only*: it runs under the CENTRAL policy (so a
+branchy program still yields a ranking instead of raising) and its
+result never feeds a bound; the driver falls back to widest-relative-
+dimension when the probe fails or attributes nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..aa import AffineContext
+from ..aa.explain import explain
+from ..common import DecisionPolicy
+from ..errors import ReproError
+from .box import Box
+from .evaluate import build_row
+
+__all__ = ["rank_dimensions", "split_scores"]
+
+
+def rank_dimensions(program, box: Box, *,
+                    fixed: Optional[Dict[str, Any]] = None
+                    ) -> Optional[Dict[str, float]]:
+    """Normalized |coefficient| mass per box dimension, or ``None`` when
+    the probe fails or no input symbol survives to the result."""
+    cfg = program.config
+    try:
+        from ..compiler.runtime import Runtime
+
+        ctx = AffineContext(
+            k=cfg.k, placement=cfg.placement, fusion=cfg.fusion,
+            precision=cfg.precision, vectorized=False,
+            decision_policy=DecisionPolicy.CENTRAL, seed=cfg.seed,
+            impl=cfg.impl, track_provenance=True)
+        rt = Runtime(mode="aa", ctx=ctx)
+        row = build_row(program, box, fixed or {})
+        res = program(*row, runtime=rt)
+        value = res.value
+        if not hasattr(value, "coefficients"):
+            return None
+        shares = explain(value).shares
+    except ReproError:
+        return None
+    mass: Dict[str, float] = {}
+    for share in shares:
+        prov = share.provenance or ""
+        if prov.startswith("input:"):
+            name = prov[len("input:"):]
+            if name in box.names:
+                mass[name] = mass.get(name, 0.0) + abs(share.coefficient)
+    total = sum(mass.values())
+    if total <= 0.0:
+        return None
+    return {name: mass.get(name, 0.0) / total for name in box.names}
+
+
+def split_scores(box: Box, sensitivity: Optional[Dict[str, float]],
+                 root: Box) -> List[Tuple[float, str]]:
+    """Splittable dimensions scored high-to-low.
+
+    Score = relative width (vs the root box, so early splits don't starve
+    naturally narrow dimensions) times sensitivity mass when available.
+    Ties break on name order — the driver must stay deterministic.
+    """
+    widths = box.widths()
+    root_widths = root.widths()
+    scored = []
+    for name in box.splittable_dims():
+        rw = root_widths.get(name, 0.0)
+        rel = widths[name] / rw if rw > 0.0 else 0.0
+        score = rel
+        if sensitivity is not None:
+            score *= max(sensitivity.get(name, 0.0), 1e-12)
+        scored.append((score, name))
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    return scored

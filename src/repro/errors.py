@@ -11,6 +11,7 @@ __all__ = [
     "SoundnessError",
     "UnsupportedFeatureError",
     "AmbiguousComparisonError",
+    "DomainError",
     "format_cli_error",
 ]
 
@@ -61,6 +62,14 @@ class SoundnessError(ReproError):
 class AmbiguousComparisonError(ReproError):
     """A comparison between overlapping ranges could not be decided and the
     active policy forbids guessing."""
+
+
+class DomainError(ReproError):
+    """Raised by the domain analysis engine (:mod:`repro.domain`) when a
+    query is ill-posed: a degenerate or unsplittable input box, a program
+    whose configuration cannot produce sound per-row verdicts (non-AA mode,
+    central decision policy, unbatchable config), or a query parameter out
+    of range."""
 
 
 def format_cli_error(exc: ReproError, path: str) -> str:

@@ -276,6 +276,7 @@ def check_program(program, matrix: Tuple[ConfigPoint, ...] = None,
     if "aa-vec" in results:
         _check_batched(program, source, programs["aa-vec"],
                        results["aa-vec"], report)
+        _check_refinement(program, source, report, service)
     return report
 
 
@@ -370,6 +371,64 @@ def _check_batched(program, source, vec_prog, scalar_res, report) -> None:
                     program=program.to_dict(), source=source))
     if batch.rows and batch.rows[0].ok and batch.rows[0].interval:
         report.intervals["aa-vec-batch"] = tuple(batch.rows[0].interval)
+
+
+def _check_refinement(program, source, report, service) -> None:
+    """Refinement monotonicity (a *heuristic*, not a theorem): splitting a
+    box should give children whose enclosure union is contained in the
+    parent's enclosure.  Like bounded-k containment, this is condensation-
+    sensitive — symbol renumbering across differently-sized boxes can
+    reorder fusion — so a miss is a triage note, never a violation.
+
+    Runs on a STRICT recompile of the aa-vec point (the domain engine's
+    analysis profile; the matrix point itself is CENTRAL) and skips
+    silently on ambiguous control flow or any undecided subbox.
+    """
+    from ..common import DecisionPolicy
+    from ..errors import ReproError
+
+    try:
+        from ..batchrt import batchable_config, numpy_available
+        from ..domain import Box, evaluate_boxes
+    except Exception:  # pragma: no cover - domain always importable
+        return
+    if not program.inputs or not numpy_available():
+        return
+    from dataclasses import replace
+
+    config = replace(
+        next(p.config for p in default_matrix() if p.name == "aa-vec"),
+        decision_policy=DecisionPolicy.STRICT)
+    if not batchable_config(config):  # pragma: no cover - aa-vec always is
+        return
+    try:
+        prog = _compile(source, config, program.entry, service)
+        from ..compiler import cast as A
+
+        params = prog.unit.func(prog.entry).params
+        if any(isinstance(p.type, A.CType) and p.type.is_integer()
+               for p in params):
+            return
+        parent = Box.from_pairs(
+            (p.name, x - (abs(x) + 1.0) * 1e-6, x + (abs(x) + 1.0) * 1e-6)
+            for p, x in zip(params, program.inputs))
+        dims = parent.splittable_dims()
+        if not dims:
+            return
+        left, right = parent.split(dims[0])
+        outs = evaluate_boxes(prog, [parent, left, right], pad_ulps=0.0)
+    except ReproError:
+        return  # STRICT ambiguity or an analysis limit: nothing to relate
+    if not all(o.decided and math.isfinite(o.width) for o in outs):
+        return
+    po, lo_, hi_ = outs
+    union_lo = min(lo_.lo, hi_.lo)
+    union_hi = max(lo_.hi, hi_.hi)
+    if not (po.lo <= union_lo and union_hi <= po.hi):
+        report.notes.append(
+            "child-box enclosure union not contained in parent-box "
+            "enclosure (expected occasionally: condensation order is "
+            "not a theorem)")
 
 
 def _bits(x: float) -> int:

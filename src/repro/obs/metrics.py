@@ -163,6 +163,18 @@ def _render_service(w: _Writer, snap,
     w.metric("batch_scalar_fallbacks_total", "counter",
              "Batched rows that fell back to the scalar runtime.",
              [(lbl(), snap.batch_scalar_fallbacks)])
+    w.metric("analyze_queries_total", "counter",
+             "Domain analysis queries executed.",
+             [(lbl(), snap.analyze_queries)])
+    w.metric("analyze_boxes_total", "counter",
+             "Subboxes evaluated by domain analysis refinement.",
+             [(lbl(), snap.analyze_boxes)])
+    w.metric("analyze_waves_total", "counter",
+             "Domain analysis refinement waves (one batch per wave).",
+             [(lbl(), snap.analyze_waves)])
+    w.metric("analyze_undecided_total", "counter",
+             "Subboxes left undecided (ambiguous control flow).",
+             [(lbl(), snap.analyze_undecided)])
     if snap.pass_s:
         w.metric("pass_seconds_total", "counter",
                  "Wall seconds spent per compiler pass.",

@@ -102,7 +102,7 @@ class RouterServer(OpCore):
             stats=ServiceStats())
         self.ring = HashRing(replicas=self.config.replicas)
         self.fleet = FleetManager(self.config, self.ring)
-        self.register_work("compile", "run", "run_batch")
+        self.register_work("compile", "run", "run_batch", "analyze")
 
     # -- op-core hooks ---------------------------------------------------------------
 

@@ -223,6 +223,38 @@ class ServerClient:
             rows=[list(r) for r in rows],
             uncertainty_ulps=uncertainty_ulps, **params)
 
+    def analyze(self, source: str, query: str, box: Dict[str, Any],
+                eps: Optional[float] = None,
+                fixed: Optional[Dict[str, Any]] = None,
+                budget: Optional[Dict[str, Any]] = None,
+                seed_point: Optional[Dict[str, float]] = None,
+                config: Any = None, k: int = 16,
+                entry: Optional[str] = None,
+                pad_ulps: float = 1.0,
+                deadline_s: Optional[float] = None,
+                trace_id: Optional[str] = None,
+                **params: Any) -> Dict[str, Any]:
+        """One domain analysis query (``max_error`` / ``safe_box`` /
+        ``unsafe_regions``) over an input box.
+
+        ``box`` maps ranged parameters to ``[lo, hi]``, ``fixed`` pins
+        the rest, ``budget`` is a :class:`repro.domain.RefinementBudget`
+        dict.  The request deadline is folded into the budget server-side,
+        so a slow query returns partial bounds instead of timing out.
+        """
+        if config is not None:
+            params["config"] = config
+        if eps is not None:
+            params["eps"] = eps
+        if seed_point is not None:
+            params["seed_point"] = dict(seed_point)
+        return self.request(
+            "analyze", deadline_s=deadline_s, trace_id=trace_id,
+            source=source, k=k, entry=entry, query=query,
+            box={n: list(r) for n, r in box.items()},
+            fixed=dict(fixed or {}), budget=dict(budget or {}),
+            pad_ulps=pad_ulps, **params)
+
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
 

@@ -58,6 +58,10 @@ class ServerConfig:
     batch_window_s: float = 0.0
     #: flush a micro-batch as soon as it holds this many rows.
     batch_max_rows: int = 64
+    #: concurrent domain analysis queries (the ``analyze`` op).  Each query
+    #: occupies one pool worker for many refinement waves, so the default
+    #: keeps search traffic from monopolizing the pool.
+    analyze_limit: int = 2
 
     def __post_init__(self) -> None:
         if self.trace_buffer < 1:
@@ -74,5 +78,7 @@ class ServerConfig:
             raise ValueError("pool_limit must be >= 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if self.analyze_limit < 1:
+            raise ValueError("analyze_limit must be >= 1")
         if self.batch_max_rows < 1:
             raise ValueError("batch_max_rows must be >= 1")

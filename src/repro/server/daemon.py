@@ -73,6 +73,11 @@ class SoundServer(OpCore):
                 # Coalescable requests wait concurrently for a window, so
                 # their class must admit a full micro-batch at once.
                 "batch": self.config.batch_max_rows,
+                # Domain analysis queries: always cold-class (a query runs
+                # many refinement waves even when the compile is cached),
+                # with their own small slot pool so a burst of searches
+                # cannot starve compile/run traffic out of the pool.
+                "analyze": self.config.analyze_limit,
             },
             default_deadline_s=self.config.default_deadline_s,
             drain_grace_s=self.config.drain_grace_s,
@@ -81,7 +86,7 @@ class SoundServer(OpCore):
             trace_log=self.config.trace_log,
             stats=self.service.stats)
         self.dispatcher = Dispatcher(self.service, self.config)
-        self.register_work("compile", "run", "run_batch")
+        self.register_work("compile", "run", "run_batch", "analyze")
 
     # -- op-core hooks ---------------------------------------------------------------
 

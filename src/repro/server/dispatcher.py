@@ -29,12 +29,13 @@ future while the client already holds a ``deadline_exceeded`` reply.  The
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from ..errors import ReproError
+from ..errors import DomainError, ReproError
 from ..obs.trace import current_tracer, use_tracer
 from ..service import engine as _engine
 from ..service.jobs import execute_job, job_from_dict
@@ -211,8 +212,15 @@ class Dispatcher:
     # -- lifecycle -------------------------------------------------------------------
 
     def start(self) -> None:
+        # The workers must use the *spawn* context: a forked worker
+        # inherits every open fd, including the daemon's listening
+        # socket once it is bound — an orphaned worker would then keep
+        # the dead daemon's port accepting connections forever, hanging
+        # routers and clients that should see connection-refused.
+        # (Forking a threaded asyncio process is also unsafe per se.)
         self._pool = ProcessPoolExecutor(
             max_workers=self.config.pool_workers,
+            mp_context=multiprocessing.get_context("spawn"),
             initializer=_engine._pool_init,
             initargs=(self.config.cache_dir, self.config.cache_maxsize),
         )
@@ -250,6 +258,11 @@ class Dispatcher:
         except (ReproError, TypeError, ValueError, KeyError) as exc:
             raise ProtocolError(E_BAD_REQUEST, f"invalid request: {exc}")
         route = "inline" if key in self.service.cache else "pool"
+        if request.op == "analyze":
+            # Always cold-class: a query runs many refinement waves even
+            # when its compile is cached, far too long for the event loop.
+            # The "analyze" admission class caps concurrent searches.
+            route = "analyze"
         if (route == "inline"
                 and request.op == "run"
                 and self.config.batch_window_s > 0
@@ -277,6 +290,15 @@ class Dispatcher:
             return self._execute_inline(prepared)
         if prepared.route == "batch":
             return await self._execute_batch(prepared, timeout_s)
+        if prepared.route == "analyze" and timeout_s is not None:
+            # Fold the request deadline into the refinement budget (with
+            # headroom for compile + result shipping) so the driver returns
+            # its partial bounds instead of being killed by wait_for.
+            budget = dict(prepared.payload.get("budget") or {})
+            slack = timeout_s * 0.9
+            budget["deadline_s"] = min(budget.get("deadline_s") or slack,
+                                       slack)
+            prepared.payload["budget"] = budget
         return await self._execute_pool(prepared, timeout_s)
 
     def _execute_inline(self, prepared: PreparedRequest) -> Dict[str, Any]:
@@ -285,6 +307,8 @@ class Dispatcher:
         try:
             with tracer.span("dispatch:inline") as sp:
                 value = execute_job(prepared.payload, self.service)
+        except DomainError as exc:
+            raise ProtocolError(E_BAD_REQUEST, str(exc))
         except ReproError as exc:
             raise ProtocolError(E_COMPILE, str(exc))
         sp.set(key=prepared.key[:16])
@@ -322,6 +346,8 @@ class Dispatcher:
                 raise ProtocolError(
                     E_DEADLINE,
                     f"not completed within {timeout_s:.3f}s")
+            except DomainError as exc:
+                raise ProtocolError(E_BAD_REQUEST, str(exc))
             except ReproError as exc:
                 raise ProtocolError(E_COMPILE, str(exc))
             self.service.stats.merge(delta)

@@ -18,6 +18,7 @@ model.
 from .cache import CacheEntry, CompileCache
 from .engine import BatchEngine
 from .jobs import (
+    AnalyzeJob,
     CompileJob,
     JobResult,
     RunJob,
@@ -29,6 +30,7 @@ from .service import CompileService
 from .stats import LatencyHistogram, ServiceStats
 
 __all__ = [
+    "AnalyzeJob",
     "BatchEngine",
     "CacheEntry",
     "CompileCache",

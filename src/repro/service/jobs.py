@@ -25,7 +25,7 @@ from ..compiler.config import CompilerConfig
 from ..obs.profile import OpProfile, count_rounding
 from ..obs.trace import current_tracer
 
-__all__ = ["CompileJob", "RunJob", "RunBatchJob", "JobResult",
+__all__ = ["AnalyzeJob", "CompileJob", "RunJob", "RunBatchJob", "JobResult",
            "job_from_dict", "jobs_from_json", "execute_job"]
 
 
@@ -121,6 +121,50 @@ class RunBatchJob(CompileJob):
 
 
 @dataclass
+class AnalyzeJob(CompileJob):
+    """Compile once and answer a domain analysis query over an input box.
+
+    ``box`` maps ranged double parameters to ``[lo, hi]``; ``fixed``
+    pins the remaining parameters.  ``resolved_config`` applies the
+    analysis profile (STRICT + vectorized, see
+    :func:`repro.domain.analysis_config`) *before* the cache key is
+    computed, so every layer — in-process, dispatcher, router — keys the
+    query to the same compiled artifact: one compile per query, and
+    shard affinity with the program's other traffic.
+    """
+
+    query: str = "max_error"
+    box: Dict[str, Any] = field(default_factory=dict)
+    eps: Optional[float] = None
+    fixed: Dict[str, Any] = field(default_factory=dict)
+    budget: Dict[str, Any] = field(default_factory=dict)
+    seed_point: Optional[Dict[str, float]] = None
+    pad_ulps: float = 1.0
+
+    kind = "analyze"
+
+    def resolved_config(self) -> CompilerConfig:
+        from ..domain import analysis_config
+
+        return analysis_config(super().resolved_config())
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = super().to_payload()
+        payload.update(
+            query=self.query,
+            box={k: list(v) if isinstance(v, (list, tuple)) else v
+                 for k, v in self.box.items()},
+            eps=self.eps,
+            fixed=dict(self.fixed),
+            budget=dict(self.budget),
+            seed_point=dict(self.seed_point)
+            if self.seed_point is not None else None,
+            pad_ulps=self.pad_ulps,
+        )
+        return payload
+
+
+@dataclass
 class JobResult:
     """Outcome of one job, in submission order (``index`` is the position in
     the submitted batch)."""
@@ -176,7 +220,7 @@ def job_from_dict(data: Dict[str, Any], base_dir: str = ".") -> CompileJob:
     if "source" not in data:
         raise ValueError("job needs either 'source' or 'file'")
     cls = {"compile": CompileJob, "run": RunJob,
-           "run_batch": RunBatchJob}.get(kind)
+           "run_batch": RunBatchJob, "analyze": AnalyzeJob}.get(kind)
     if cls is None:
         raise ValueError(f"unknown job kind {kind!r}")
     allowed = {f for f in cls.__dataclass_fields__}
@@ -230,6 +274,8 @@ def execute_job(payload: Dict[str, Any], service) -> Dict[str, Any]:
         return _execute_run(payload, cfg, service)
     if payload["kind"] == "run_batch":
         return _execute_run_batch(payload, cfg, service)
+    if payload["kind"] == "analyze":
+        return _execute_analyze(payload, cfg, service)
     raise ValueError(f"unknown job kind {payload['kind']!r}")
 
 
@@ -337,6 +383,60 @@ def _execute_run_batch(payload, cfg: CompilerConfig, service
         "compile_s": compile_s,
         "rows": [r.to_dict() for r in res.rows],
         "batch_stats": st.to_dict(),
+        "tag": payload.get("tag", {}),
+    }
+
+
+def _execute_analyze(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
+    """One domain analysis query: compile once (through the cache), build
+    the BnB driver, run the requested query."""
+    from ..domain import BnBDriver, RefinementBudget, box_for_program
+    from ..errors import DomainError
+
+    t0 = time.perf_counter()
+    prog = service.compile(payload["source"], cfg, entry=payload["entry"])
+    compile_s = time.perf_counter() - t0
+
+    query = payload.get("query", "max_error")
+    box = box_for_program(prog, payload.get("box", {}))
+    budget = RefinementBudget.from_dict(payload.get("budget", {}))
+    driver = BnBDriver(prog, box,
+                       fixed=payload.get("fixed") or {},
+                       budget=budget,
+                       pad_ulps=payload.get("pad_ulps", 1.0))
+    eps = payload.get("eps")
+    with current_tracer().span("job:analyze",
+                               entry=payload["entry"] or prog.entry,
+                               config=cfg.name, query=query) as sp:
+        if query == "max_error":
+            result = driver.max_error()
+        elif query == "safe_box":
+            if eps is None:
+                raise DomainError("safe_box requires eps")
+            result = driver.safe_box(eps, seed=payload.get("seed_point"))
+        elif query == "unsafe_regions":
+            if eps is None:
+                raise DomainError("unsafe_regions requires eps")
+            result = driver.unsafe_regions(eps)
+        else:
+            raise DomainError(f"unknown analyze query {query!r}")
+        if sp.recording:
+            st = result.stats
+            sp.set(boxes=st.boxes, waves=st.waves, undecided=st.undecided)
+    st = result.stats
+    service.stats.add("analyze_queries", 1)
+    service.stats.add("analyze_boxes", st.boxes)
+    service.stats.add("analyze_waves", st.waves)
+    service.stats.add("analyze_samples", st.samples)
+    service.stats.add("analyze_undecided", st.undecided)
+    service.stats.observe_latency("job:analyze", st.elapsed_s)
+    return {
+        "entry": prog.entry,
+        "config": cfg.name,
+        "k": cfg.k,
+        "compile_s": compile_s,
+        "query": query,
+        "result": result.to_dict(),
         "tag": payload.get("tag", {}),
     }
 

@@ -229,6 +229,12 @@ class ServiceStats:
     batch_rows: int = 0
     batch_cohort_splits: int = 0
     batch_scalar_fallbacks: int = 0
+    # domain-analysis counters (repro.domain)
+    analyze_queries: int = 0
+    analyze_boxes: int = 0
+    analyze_waves: int = 0
+    analyze_samples: int = 0
+    analyze_undecided: int = 0
     pass_s: Dict[str, float] = field(default_factory=dict)
     ops: Dict[str, float] = field(default_factory=dict)
     latency: Dict[str, LatencyHistogram] = field(default_factory=dict)

@@ -1,0 +1,114 @@
+"""Geometry of the analysis unit of work: Box construction, splitting,
+outward padding, containment."""
+
+import math
+
+import pytest
+
+from repro.common import ValueRange
+from repro.domain import Box
+from repro.errors import DomainError
+
+
+class TestConstruction:
+    def test_from_pairs_keeps_order(self):
+        box = Box.from_pairs([("y", 0.0, 1.0), ("x", -1.0, 2.0)])
+        assert box.names == ("y", "x")
+        assert box.range_of("x") == (-1.0, 2.0)
+
+    def test_from_dict_honors_program_order(self):
+        box = Box.from_dict({"y": [0.0, 1.0], "x": [2.0, 3.0]},
+                            order=["x", "y"])
+        assert box.names == ("x", "y")
+        assert box.to_dict() == {"x": [2.0, 3.0], "y": [0.0, 1.0]}
+
+    def test_from_dict_scalar_becomes_point_range(self):
+        box = Box.from_dict({"x": 0.5})
+        assert box.range_of("x") == (0.5, 0.5)
+
+    def test_rejects_reversed_nan_nonfinite_duplicate_empty(self):
+        with pytest.raises(DomainError):
+            Box.from_pairs([("x", 1.0, 0.0)])
+        with pytest.raises(DomainError):
+            Box.from_pairs([("x", 0.0, math.nan)])
+        with pytest.raises(DomainError):
+            Box.from_pairs([("x", 0.0, math.inf)])
+        with pytest.raises(DomainError):
+            Box.from_pairs([("x", 0.0, 1.0), ("x", 0.0, 1.0)])
+        with pytest.raises(DomainError):
+            Box(())
+
+    def test_from_dict_rejects_unknown_and_missing(self):
+        with pytest.raises(DomainError):
+            Box.from_dict({"x": [0, 1], "z": [0, 1]}, order=["x"])
+        with pytest.raises(DomainError):
+            Box.from_dict({"x": [0, 1]}, order=["x", "y"])
+
+
+class TestGeometry:
+    def test_widths_and_midpoint(self):
+        box = Box.from_pairs([("x", 0.0, 1.0), ("y", -2.0, 2.0)])
+        assert box.widths() == {"x": 1.0, "y": 4.0}
+        assert box.midpoint() == {"x": 0.5, "y": 0.0}
+
+    def test_midpoint_of_huge_range_is_finite(self):
+        big = 1.6e308
+        box = Box.from_pairs([("x", -big, big)])
+        assert math.isfinite(box.midpoint()["x"])
+
+    def test_contains(self):
+        outer = Box.from_pairs([("x", 0.0, 1.0)])
+        assert outer.contains(Box.from_pairs([("x", 0.25, 0.75)]))
+        assert outer.contains(outer)
+        assert not outer.contains(Box.from_pairs([("x", 0.5, 1.5)]))
+        assert not outer.contains(Box.from_pairs([("y", 0.25, 0.75)]))
+
+    def test_volume_fraction(self):
+        root = Box.from_pairs([("x", 0.0, 2.0), ("y", 0.0, 2.0)])
+        quarter = Box.from_pairs([("x", 0.0, 1.0), ("y", 0.0, 1.0)])
+        assert quarter.volume_fraction(root) == pytest.approx(0.25)
+        # Point dims contribute a factor of 1, not 0.
+        point = Box.from_pairs([("x", 0.5, 0.5), ("y", 0.0, 2.0)])
+        root2 = Box.from_pairs([("x", 0.5, 0.5), ("y", 0.0, 2.0)])
+        assert point.volume_fraction(root2) == pytest.approx(1.0)
+
+
+class TestSplit:
+    def test_halves_share_the_midpoint_and_cover_the_parent(self):
+        box = Box.from_pairs([("x", 0.0, 1.0), ("y", 5.0, 7.0)])
+        left, right = box.split("x")
+        assert left.range_of("x") == (0.0, 0.5)
+        assert right.range_of("x") == (0.5, 1.0)
+        assert left.range_of("y") == right.range_of("y") == (5.0, 7.0)
+        assert box.contains(left) and box.contains(right)
+
+    def test_point_dim_is_not_splittable(self):
+        box = Box.from_pairs([("x", 0.5, 0.5), ("y", 0.0, 1.0)])
+        assert box.splittable_dims() == ["y"]
+        assert box.can_split()
+        with pytest.raises(DomainError):
+            box.split("x")
+
+    def test_one_ulp_range_is_not_splittable(self):
+        lo = 1.0
+        hi = math.nextafter(lo, math.inf)
+        box = Box.from_pairs([("x", lo, hi)])
+        assert not box.can_split()
+
+
+class TestPadding:
+    def test_padded_grows_outward(self):
+        box = Box.from_pairs([("x", 0.25, 0.75)])
+        padded = box.padded(1.0)
+        (_, lo, hi), = padded.dims
+        assert lo < 0.25 and hi > 0.75
+        assert padded.contains(box)
+
+    def test_zero_padding_is_identity(self):
+        box = Box.from_pairs([("x", 0.25, 0.75)])
+        assert box.padded(0.0) is box
+
+    def test_as_ranges(self):
+        box = Box.from_pairs([("x", 0.0, 1.0)])
+        ranges = box.as_ranges()
+        assert ranges == {"x": ValueRange(0.0, 1.0, name="x")}

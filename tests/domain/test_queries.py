@@ -1,0 +1,199 @@
+"""Acceptance tests for the three domain queries on the Henon kernel.
+
+These are the ISSUE's acceptance criteria, verified against the only
+oracle a sound analysis admits: the whole-box/pointwise evaluations the
+engine itself certifies.
+
+* ``max_error``'s upper bound must dominate a sampled grid of pointwise
+  widths (the upper bound bounds the true worst case, so it bounds any
+  sample), and the ub-lb gap must shrink monotonically as the
+  subdivision budget grows.
+* ``safe_box``'s returned box must re-verify independently: one fresh
+  whole-box evaluation of the reported box must come back decided with
+  width strictly below eps.
+"""
+
+import math
+
+import pytest
+
+from repro.batchrt import numpy_available
+from repro.domain import (
+    BnBDriver,
+    Box,
+    RefinementBudget,
+    box_for_program,
+    compile_for_analysis,
+    evaluate_boxes,
+    max_error,
+    rank_dimensions,
+    safe_box,
+    sample_points,
+    unsafe_regions,
+)
+from repro.errors import DomainError
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="domain analysis needs numpy")
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}
+"""
+
+BOX = {"x": [0.2, 0.4], "y": [0.1, 0.3]}
+FIXED = {"n": 5}
+
+
+@pytest.fixture(scope="module")
+def henon():
+    return compile_for_analysis(HENON, "f64a-dsnv", k=16)
+
+
+class TestMaxError:
+    def test_upper_bound_dominates_sampled_grid(self, henon):
+        result = max_error(henon, BOX, fixed=FIXED,
+                           budget=RefinementBudget(max_boxes=64,
+                                                   wave_size=8))
+        grid = [{"x": 0.2 + 0.05 * i, "y": 0.1 + 0.05 * j}
+                for i in range(5) for j in range(5)]
+        widths = sample_points(henon, grid, fixed=FIXED)
+        assert all(w is not None for w in widths)
+        assert result.upper_bound >= max(widths), \
+            "sound upper bound fell below a sampled pointwise width"
+        assert result.lower_bound <= result.upper_bound
+
+    def test_gap_shrinks_monotonically_with_budget(self, henon):
+        gaps, ubs = [], []
+        for max_boxes in (8, 32, 128):
+            r = max_error(henon, BOX, fixed=FIXED,
+                          budget=RefinementBudget(max_boxes=max_boxes,
+                                                  wave_size=8))
+            assert r.stats.boxes <= max_boxes, "budget overrun"
+            gaps.append(r.gap)
+            ubs.append(r.upper_bound)
+        assert gaps[0] >= gaps[1] >= gaps[2], gaps
+        assert ubs[0] >= ubs[1] >= ubs[2], ubs
+        assert math.isfinite(gaps[2]) and gaps[2] > 0.0
+
+    def test_target_gap_stops_early(self, henon):
+        loose = max_error(henon, BOX, fixed=FIXED,
+                          budget=RefinementBudget(max_boxes=512,
+                                                  wave_size=8,
+                                                  target_gap=10.0))
+        assert loose.complete
+        assert loose.gap <= 10.0
+        exhaustive = max_error(henon, BOX, fixed=FIXED,
+                               budget=RefinementBudget(max_boxes=512,
+                                                       wave_size=8))
+        assert exhaustive.stats.boxes >= loose.stats.boxes
+
+
+class TestSafeBox:
+    def test_returned_box_reverifies_independently(self, henon):
+        eps = 1e-6
+        result = safe_box(henon, BOX, eps, fixed=FIXED,
+                          budget=RefinementBudget(max_boxes=128,
+                                                  wave_size=8))
+        assert result.found, "henon admits a tiny safe box around any seed"
+        root = box_for_program(henon, BOX)
+        assert root.contains(result.box)
+        assert 0.0 < result.scale <= 1.0
+        # The independent check: one fresh whole-box evaluation, nothing
+        # reused from the query's own search.
+        out, = evaluate_boxes(henon, [result.box], fixed=FIXED)
+        assert out.decided and not out.fallback
+        assert out.width < eps
+        assert result.width < eps
+
+    def test_respects_budget_and_seed(self, henon):
+        result = safe_box(henon, BOX, 1e-6, fixed=FIXED,
+                          seed={"x": 0.25, "y": 0.15},
+                          budget=RefinementBudget(max_boxes=64,
+                                                  wave_size=8))
+        assert result.stats.boxes <= 64
+        if result.found:
+            assert result.box.contains(
+                Box.from_dict({"x": 0.25, "y": 0.15}))
+
+    def test_rejects_bad_eps_and_outside_seed(self, henon):
+        with pytest.raises(DomainError):
+            safe_box(henon, BOX, 0.0, fixed=FIXED)
+        with pytest.raises(DomainError):
+            safe_box(henon, BOX, 1e-6, fixed=FIXED, seed={"x": 9.0, "y": 0.2})
+
+
+class TestUnsafeRegions:
+    def test_partition_accounts_for_every_leaf(self, henon):
+        result = unsafe_regions(henon, BOX, 1e-3, fixed=FIXED,
+                                budget=RefinementBudget(max_boxes=64,
+                                                        wave_size=8))
+        assert result.n_unsafe == len(result.unsafe)
+        assert result.n_safe + result.n_unsafe + result.n_undecided > 0
+        assert 0.0 <= result.safe_fraction <= 1.0
+        root = box_for_program(henon, BOX)
+        for box, width in result.unsafe:
+            assert root.contains(box)
+            assert width > 1e-3 or math.isinf(width)
+
+    def test_huge_eps_makes_everything_safe(self, henon):
+        result = unsafe_regions(henon, BOX, 1e12, fixed=FIXED,
+                                budget=RefinementBudget(max_boxes=16,
+                                                        wave_size=8))
+        assert result.n_unsafe == 0
+        assert result.safe_fraction == pytest.approx(1.0)
+
+
+class TestSensitivity:
+    def test_rank_dimensions_normalized(self, henon):
+        root = box_for_program(henon, BOX)
+        sens = rank_dimensions(henon, root, fixed=FIXED)
+        assert sens is not None
+        assert set(sens) == {"x", "y"}
+        assert sum(sens.values()) == pytest.approx(1.0)
+        assert all(v >= 0.0 for v in sens.values())
+
+
+class TestValidation:
+    def test_box_for_program_rejects_unknown_and_int_dims(self, henon):
+        with pytest.raises(DomainError):
+            box_for_program(henon, {"x": [0, 1], "y": [0, 1],
+                                    "z": [0, 1]})
+        with pytest.raises(DomainError):
+            box_for_program(henon, {"x": [0, 1], "y": [0, 1],
+                                    "n": [1, 5]})
+
+    def test_missing_fixed_param_is_a_domain_error(self, henon):
+        with pytest.raises(DomainError):
+            max_error(henon, BOX, fixed={},
+                      budget=RefinementBudget(max_boxes=8))
+
+    def test_non_aa_config_rejected(self):
+        with pytest.raises(DomainError):
+            compile_for_analysis(HENON, "ia-f64", k=16)
+
+    def test_budget_round_trip_and_validation(self):
+        b = RefinementBudget(max_boxes=32, wave_size=4, target_gap=0.5)
+        assert RefinementBudget.from_dict(b.to_dict()) == b
+        with pytest.raises(DomainError):
+            RefinementBudget.from_dict({"max_boxes": 0})
+        with pytest.raises(DomainError):
+            RefinementBudget.from_dict({"no_such_knob": 1})
+
+    def test_deterministic_across_runs(self, henon):
+        a = max_error(henon, BOX, fixed=FIXED,
+                      budget=RefinementBudget(max_boxes=32, wave_size=8))
+        b = max_error(henon, BOX, fixed=FIXED,
+                      budget=RefinementBudget(max_boxes=32, wave_size=8))
+        assert a.upper_bound == b.upper_bound
+        assert a.lower_bound == b.lower_bound
+        assert a.stats.boxes == b.stats.boxes

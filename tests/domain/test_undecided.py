@@ -1,0 +1,123 @@
+"""Satellite-1 regression: scalar-fallback rows are *undecided*, never
+verified-safe.
+
+A box straddling a data-dependent branch cannot be certified by the
+vectorized cohort path — the batch engine falls back to scalar
+evaluation for that row.  The scalar enclosure only covers the central
+trace's branch arm, not every point of the box, so the domain engine
+must report the box as undecided (width = inf for bounding purposes)
+and ``safe_box`` must never return one.
+"""
+
+import math
+
+import pytest
+
+from repro.batchrt import numpy_available
+from repro.common import DecisionPolicy
+from repro.domain import (
+    Box,
+    RefinementBudget,
+    compile_for_analysis,
+    evaluate_boxes,
+    max_error,
+    safe_box,
+    unsafe_regions,
+)
+from repro.domain.evaluate import check_analysis_program
+from repro.errors import DomainError
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="domain analysis needs numpy")
+
+# A branch at x = 1 with very different arms: any box straddling 1.0 is
+# ambiguous over the whole cohort.
+BRANCHY = """
+double step(double x) {
+    if (x < 1.0) {
+        return x * 0.5;
+    }
+    return x * 100.0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def branchy():
+    return compile_for_analysis(BRANCHY, "f64a-dsnv", k=8)
+
+
+class TestUndecidedRows:
+    def test_straddling_box_is_undecided_not_safe(self, branchy):
+        straddle = Box.from_pairs([("x", 0.5, 1.5)])
+        inside = Box.from_pairs([("x", 0.25, 0.75)])
+        outs = evaluate_boxes(branchy, [straddle, inside])
+        assert not outs[0].decided, \
+            "a box straddling the branch must not be certified"
+        assert math.isinf(outs[0].width)
+        assert outs[1].decided and not outs[1].fallback
+        assert math.isfinite(outs[1].width)
+
+    def test_max_error_counts_undecided_regions(self, branchy):
+        result = max_error(branchy, {"x": [0.5, 1.5]},
+                           budget=RefinementBudget(max_boxes=32,
+                                                   wave_size=8))
+        # The branch point is inside the box: some leaf around x = 1
+        # always stays ambiguous, so the query must say so rather than
+        # claim a finite sound bound.
+        assert result.undecided > 0
+        assert result.undecided_regions
+        assert any(lo <= 1.0 <= hi
+                   for b in result.undecided_regions
+                   for _, lo, hi in b.dims)
+        assert math.isinf(result.upper_bound)
+        assert not result.complete
+        assert result.stats.undecided > 0
+
+    def test_decided_side_yields_finite_bound(self, branchy):
+        result = max_error(branchy, {"x": [0.25, 0.75]},
+                           budget=RefinementBudget(max_boxes=8,
+                                                   wave_size=4))
+        assert result.undecided == 0
+        assert math.isfinite(result.upper_bound)
+
+    def test_safe_box_never_returns_an_undecided_box(self, branchy):
+        result = safe_box(branchy, {"x": [0.5, 1.5]}, 1e-9,
+                          seed={"x": 0.6},
+                          budget=RefinementBudget(max_boxes=64,
+                                                  wave_size=8))
+        assert result.found
+        # Independent re-verification: decided, certified, under eps.
+        out, = evaluate_boxes(branchy, [result.box])
+        assert out.decided and not out.fallback
+        assert out.width < 1e-9
+        # And the certified box stays on the seed's side of the branch.
+        (_, lo, hi), = result.box.dims
+        assert hi < 1.0
+
+    def test_unsafe_regions_reports_undecided_separately(self, branchy):
+        result = unsafe_regions(branchy, {"x": [0.5, 1.5]}, 1e-9,
+                                budget=RefinementBudget(max_boxes=32,
+                                                        wave_size=8))
+        assert result.n_undecided > 0
+        assert result.undecided_regions
+        # Undecided is a third verdict: not safe, not witnessed-unsafe.
+        assert all(not b.contains(u)
+                   for b, _ in result.unsafe
+                   for u in result.undecided_regions)
+
+
+class TestStrictPolicyGate:
+    def test_central_policy_program_is_rejected(self):
+        from repro.compiler import compile_c
+        from repro.compiler.config import CompilerConfig
+
+        prog = compile_c(BRANCHY, CompilerConfig(
+            mode="aa", k=8, vectorize=True,
+            decision_policy=DecisionPolicy.CENTRAL))
+        with pytest.raises(DomainError):
+            check_analysis_program(prog)
+
+    def test_analysis_profile_is_strict(self, branchy):
+        assert branchy.config.decision_policy is DecisionPolicy.STRICT
+        check_analysis_program(branchy)

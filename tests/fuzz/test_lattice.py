@@ -88,3 +88,46 @@ class TestCheckProgram:
         assert report.ok
         assert set(report.intervals) == {"ia"}
         assert report.float_value is None
+
+
+class TestRefinementHeuristic:
+    def test_straight_line_program_is_silent(self):
+        # Refinement monotonicity holds on a condensation-free program;
+        # the heuristic must neither note nor violate.
+        import pytest
+
+        from repro.batchrt import numpy_available
+
+        if not numpy_available():
+            pytest.skip("needs numpy")
+        prog = CSourceProgram(
+            source="double f(double x0) { return x0 + 1.0; }",
+            inputs=(0.5,), entry="f")
+        report = check_program(prog)
+        assert report.ok
+        assert not report.notes
+
+    def test_misses_are_notes_never_violations(self):
+        # Over a seed sweep the heuristic may fire (condensation order is
+        # not a theorem) but must only ever append notes.
+        from repro.batchrt import numpy_available
+
+        for seed in range(6):
+            report = check_program(generate_program(seed))
+            assert report.ok, [v.to_dict() for v in report.violations]
+            for note in report.notes:
+                if "child-box" in note:
+                    assert numpy_available()
+                    assert "not a theorem" in note
+
+    def test_ambiguous_branch_skips_silently(self):
+        # STRICT recompile of a branchy program raises on the probe box;
+        # the heuristic must skip, not crash or misreport.
+        src = ("double f(double x0) {\n"
+               "    if (x0 < 1.0) { return x0 * 0.5; }\n"
+               "    return x0 * 2.0;\n"
+               "}\n")
+        prog = CSourceProgram(source=src, inputs=(1.0,), entry="f")
+        report = check_program(prog)
+        assert report.ok
+        assert not any("child-box" in n for n in report.notes)

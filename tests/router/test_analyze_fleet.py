@@ -1,0 +1,106 @@
+"""Analyze through the fleet: key-affine routing over shard daemons,
+bit-identity with the in-process engine, and the satellite-3 failure
+story — killing the serving shard mid-query surfaces a clean retryable
+error, and a retry succeeds on the ring successor.
+"""
+
+import pytest
+
+from repro.batchrt import numpy_available
+from repro.domain import RefinementBudget, compile_for_analysis, max_error, \
+    safe_box
+from repro.router import RouterConfig, RouterThread
+from repro.server import ServerClient, ServerError
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="domain analysis needs numpy")
+
+HENON = open("examples/henon.c").read()
+
+BOX = {"x": [0.2, 0.4], "y": [0.1, 0.3]}
+FIXED = {"n": 5}
+BUDGET = {"max_boxes": 32, "wave_size": 8}
+CONFIG, K = "f64a-dsnv", 16
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    cfg = RouterConfig(port=0, n_shards=2, shard_workers=1,
+                       health_interval_s=0.2, forward_retries=2)
+    with RouterThread(cfg) as rt:
+        yield rt
+
+
+@pytest.fixture()
+def client(fleet):
+    with ServerClient(port=fleet.port, timeout=120.0, retries=4) as c:
+        yield c
+
+
+class TestFleetAnalyze:
+    def test_bit_identical_and_key_affine(self, client, fleet):
+        me = client.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                            budget=BUDGET, config=CONFIG, k=K)
+        sb = client.analyze(HENON, "safe_box", BOX, eps=1e-6, fixed=FIXED,
+                            budget=BUDGET, config=CONFIG, k=K)
+        assert me["shard"] in fleet.server.fleet.shards
+        # Both queries on one program share the compile cache key, so
+        # they land on the same shard — the one whose cache is warm.
+        assert me["shard"] == sb["shard"]
+
+        prog = compile_for_analysis(HENON, CONFIG, k=K)
+        budget = RefinementBudget.from_dict(BUDGET)
+        local_me = max_error(prog, BOX, fixed=FIXED, budget=budget)
+        local_sb = safe_box(prog, BOX, 1e-6, fixed=FIXED, budget=budget)
+        assert me["result"]["upper_bound"] == local_me.upper_bound
+        assert me["result"]["lower_bound"] == local_me.lower_bound
+        assert sb["result"]["box"] == local_sb.box.to_dict()
+        assert sb["result"]["width"] == local_sb.width
+
+    def test_second_query_hits_the_warm_shard_cache(self, client):
+        src = HENON.replace("henon", "henon_warm")
+        client.analyze(src, "max_error", BOX, fixed=FIXED,
+                       budget=BUDGET, config=CONFIG, k=K)
+        before = client.stats()["fleet"]["service"]
+        client.analyze(src, "max_error", BOX, fixed=FIXED,
+                       budget=BUDGET, config=CONFIG, k=K)
+        after = client.stats()["fleet"]["service"]
+        assert after["misses"] == before["misses"], \
+            "a repeated query must not compile again anywhere in the fleet"
+        assert after["hits"] - before["hits"] >= 1
+
+
+class TestShardKill:
+    def test_kill_mid_query_is_a_clean_retryable_error(self):
+        # No prober, no respawn, no router-side failover: the failure
+        # must surface to the client as one structured retryable error,
+        # and the *client's* retry must then succeed via the ring remap.
+        cfg = RouterConfig(port=0, n_shards=2, shard_workers=1,
+                           health_interval_s=0, forward_retries=0,
+                           respawn=False)
+        with RouterThread(cfg) as rt:
+            with ServerClient(port=rt.port, timeout=120.0) as c:
+                first = c.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                                  budget=BUDGET, config=CONFIG, k=K)
+                victim = rt.server.fleet.shards[first["shard"]]
+                victim.proc.kill()
+                victim.proc.wait(timeout=10)
+
+                with pytest.raises(ServerError) as err:
+                    c.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                              budget=BUDGET, config=CONFIG, k=K)
+                assert err.value.code == "unavailable", \
+                    "a killed shard must yield a structured retryable " \
+                    "error, not a hang or a protocol failure"
+
+            # A fresh retry reaches the surviving shard (the dead one is
+            # out of the ring now) and answers bit-identically.
+            with ServerClient(port=rt.port, timeout=120.0,
+                              retries=4) as c2:
+                again = c2.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                                   budget=BUDGET, config=CONFIG, k=K)
+                assert again["shard"] != first["shard"]
+                assert again["result"]["upper_bound"] \
+                    == first["result"]["upper_bound"]
+                assert again["result"]["lower_bound"] \
+                    == first["result"]["lower_bound"]

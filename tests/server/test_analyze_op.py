@@ -1,0 +1,113 @@
+"""The ``analyze`` server op: cold-class admission, one compile per
+query, deadline folding, bit-identity with the in-process engine."""
+
+import pytest
+
+from repro.batchrt import numpy_available
+from repro.domain import RefinementBudget, compile_for_analysis, max_error, \
+    safe_box
+from repro.server import ServerClient, ServerConfig, ServerError, ServerThread
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="domain analysis needs numpy")
+
+HENON = open("examples/henon.c").read()
+
+BOX = {"x": [0.2, 0.4], "y": [0.1, 0.3]}
+FIXED = {"n": 5}
+BUDGET = {"max_boxes": 32, "wave_size": 8}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, pool_workers=1)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port, timeout=120.0) as c:
+        yield c
+
+
+def in_process(query, **kw):
+    prog = compile_for_analysis(HENON, "f64a-dsnv", k=16)
+    budget = RefinementBudget.from_dict(BUDGET)
+    if query == "max_error":
+        return max_error(prog, BOX, fixed=FIXED, budget=budget)
+    return safe_box(prog, BOX, kw["eps"], fixed=FIXED, budget=budget)
+
+
+class TestAnalyzeOp:
+    def test_max_error_bit_identical_to_in_process(self, client):
+        reply = client.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                               budget=BUDGET, config="f64a-dsnv", k=16)
+        local = in_process("max_error")
+        assert reply["result"]["upper_bound"] == local.upper_bound
+        assert reply["result"]["lower_bound"] == local.lower_bound
+        assert reply["result"]["stats"]["boxes"] == local.stats.boxes
+
+    def test_safe_box_bit_identical_to_in_process(self, client):
+        reply = client.analyze(HENON, "safe_box", BOX, eps=1e-6,
+                               fixed=FIXED, budget=BUDGET,
+                               config="f64a-dsnv", k=16)
+        local = in_process("safe_box", eps=1e-6)
+        assert reply["result"]["found"] is True
+        assert reply["result"]["box"] == local.box.to_dict()
+        assert reply["result"]["width"] == local.width
+
+    def test_analyze_is_a_cold_class_with_one_compile(self, client):
+        src = HENON.replace("henon", "henon_cold")
+        before = client.stats()["service"]
+        reply = client.analyze(src, "max_error", BOX, fixed=FIXED,
+                               budget=BUDGET, config="f64a-dsnv", k=16)
+        after = client.stats()["service"]
+        assert reply["route"] == "analyze"
+        assert after["misses"] - before["misses"] == 1, \
+            "an analyze query must compile exactly once"
+        # Repeat: the compiled artifact is reused from the cache.
+        before = after
+        client.analyze(src, "max_error", BOX, fixed=FIXED,
+                       budget=BUDGET, config="f64a-dsnv", k=16)
+        after = client.stats()["service"]
+        assert after["misses"] == before["misses"]
+        assert after["hits"] - before["hits"] >= 1
+        assert after["analyze_queries"] >= 2
+        assert after["analyze_boxes"] > 0
+
+    def test_request_deadline_folds_into_budget(self, client):
+        # A short deadline must yield partial-but-sound bounds, not a
+        # deadline_exceeded error: the dispatcher clamps the driver's
+        # wall-clock budget under the request deadline.
+        reply = client.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                               budget={"max_boxes": 100000,
+                                       "wave_size": 8},
+                               config="f64a-dsnv", k=16, deadline_s=3.0)
+        result = reply["result"]
+        assert result["upper_bound"] >= result["lower_bound"]
+        assert result["stats"]["elapsed_s"] < 3.0
+
+    def test_bad_query_is_bad_request(self, client):
+        with pytest.raises(ServerError) as err:
+            client.analyze(HENON, "no_such_query", BOX, fixed=FIXED,
+                           config="f64a-dsnv", k=16)
+        assert err.value.code == "bad_request"
+
+    def test_safe_box_without_eps_is_bad_request(self, client):
+        with pytest.raises(ServerError) as err:
+            client.analyze(HENON, "safe_box", BOX, fixed=FIXED,
+                           config="f64a-dsnv", k=16)
+        assert err.value.code == "bad_request"
+
+    def test_compile_error_is_structured(self, client):
+        with pytest.raises(ServerError) as err:
+            client.analyze("double f(double x) { return g(x); }",
+                           "max_error", {"x": [0.0, 1.0]})
+        assert err.value.code == "compile_error"
+
+    def test_metrics_expose_analyze_counters(self, client):
+        client.analyze(HENON, "max_error", BOX, fixed=FIXED,
+                       budget=BUDGET, config="f64a-dsnv", k=16)
+        text = client.metrics()
+        assert "repro_analyze_queries_total" in text
+        assert "repro_analyze_boxes_total" in text

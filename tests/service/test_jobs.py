@@ -92,3 +92,42 @@ class TestManifest:
         jobs = jobs_from_json(str(example))
         assert len(jobs) == 4
         assert {j.kind for j in jobs} == {"compile", "run"}
+
+
+class TestAnalyzeJob:
+    def test_payload_round_trips(self):
+        from repro.service import AnalyzeJob
+
+        job = AnalyzeJob(source=SRC, config="f64a-dsnv", k=8,
+                         query="safe_box", box={"x": [0.0, 1.0]},
+                         eps=1e-9, fixed={}, budget={"max_boxes": 32},
+                         seed_point={"x": 0.5})
+        payload = job.to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["kind"] == "analyze"
+        back = job_from_dict(payload)
+        assert isinstance(back, AnalyzeJob)
+        assert back.query == "safe_box"
+        assert back.box == {"x": [0.0, 1.0]}
+        assert back.eps == 1e-9
+        assert back.seed_point == {"x": 0.5}
+        assert back.budget == {"max_boxes": 32}
+
+    def test_resolved_config_applies_analysis_profile(self):
+        from repro.common import DecisionPolicy
+        from repro.service import AnalyzeJob
+
+        job = AnalyzeJob(source=SRC, config="f64a-dsnn", k=8,
+                         box={"x": [0.0, 1.0]})
+        cfg = job.resolved_config()
+        assert cfg.decision_policy is DecisionPolicy.STRICT
+        assert cfg.vectorize is True
+        # The profile is part of the cache key, so the analyze key equals
+        # the key of an explicitly-STRICT vectorized compile of the same
+        # source: one compile per query at every layer.
+        explicit = CompileJob(
+            source=SRC,
+            config=cfg)
+        assert job.resolved_config().cache_key(job.source, entry=job.entry) \
+            == explicit.resolved_config().cache_key(explicit.source,
+                                                    entry=explicit.entry)

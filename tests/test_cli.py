@@ -256,3 +256,53 @@ class TestPipelineFlags:
                   "codegen-py,codegen-c")
         assert main(["compile", henon_file, "--passes", passes]) == 0
         assert "henon(" in capsys.readouterr().out
+
+
+class TestAnalyzeQueries:
+    def test_max_error_query(self, henon_file, capsys):
+        assert main(["analyze", henon_file, "--query", "max-error",
+                     "--config", "f64a-dsnv", "-k", "8",
+                     "--box", "x=0.2:0.4", "--box", "y=0.1:0.3",
+                     "--fix", "n=5", "--budget", "32", "--wave", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "upper bound" in out
+
+    def test_safe_box_query_json(self, henon_file, capsys):
+        assert main(["analyze", henon_file, "--query", "safe-box",
+                     "--config", "f64a-dsnv", "-k", "8",
+                     "--box", "x=0.2:0.4", "--box", "y=0.1:0.3",
+                     "--fix", "n=5", "--eps", "1e-6",
+                     "--budget", "64", "--wave", "8", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["query"] == "safe_box"
+        assert data["found"] is True
+        assert data["width"] < 1e-6
+
+    def test_safe_box_needs_eps(self, henon_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", henon_file, "--query", "safe-box",
+                  "--box", "x=0.2:0.4", "--box", "y=0.1:0.3",
+                  "--fix", "n=5"])
+
+    def test_malformed_box_spec(self, henon_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", henon_file, "--query", "max-error",
+                  "--box", "x=oops", "--fix", "n=5"])
+
+    def test_compile_error_exits_with_diagnostic(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("double f(double x) { return g(x); }")
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", str(bad), "--query", "max-error",
+                  "--box", "x=0:1"])
+        assert exc.value.code not in (0, None)
+        err = str(exc.value.code)
+        assert "bad.c" in err and "line" in err and "col" in err
+
+    def test_compile_error_on_legacy_path_too(self, tmp_path):
+        bad = tmp_path / "bad2.c"
+        bad.write_text("double f(double x) { return x + ; }")
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", str(bad)])
+        assert exc.value.code not in (0, None)
+        assert "bad2.c" in str(exc.value.code)
