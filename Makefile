@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
 	serve-smoke obs-smoke fuzz-smoke batch-smoke fleet-smoke \
-	analyze-smoke examples clean
+	analyze-smoke diag-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -99,6 +99,14 @@ fleet-smoke:
 # (bit-identical results, exactly one compile per query).
 analyze-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/analyze_smoke.py
+
+# Width-diagnostics smoke: the attribution report on a paper kernel must
+# locate >=90% of the enclosure width at concrete henon.c source
+# positions and name henon.c as the dominant origin.
+diag-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro diag \
+	  examples/henon.c 0.3 0.2 10 \
+	  --min-located 0.9 --assert-top-origin henon.c
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:

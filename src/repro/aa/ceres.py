@@ -105,14 +105,15 @@ class CeresAffine:
         if mass != 0.0:
             self.terms[self.ctx.symbols.fresh("ceres:compact")] = mass
 
-    def _fresh(self, x: float) -> None:
+    def _fresh(self, x: float, provenance: Optional[str] = None) -> None:
         if x != 0.0:
-            self.terms[self.ctx.symbols.fresh("ceres:round")] = x
+            self.terms[self.ctx.symbols.fresh(provenance or "ceres:round")] = x
         self._compact()
 
     # -- arithmetic ------------------------------------------------------------
 
-    def add(self, other, protect=frozenset()) -> "CeresAffine":
+    def add(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "CeresAffine":
         other = self._coerce(other)
         x = 0.0
         central, e = _sum_err(self.central, other.central)
@@ -130,14 +131,16 @@ class CeresAffine:
                 else:
                     del terms[sid]
         out = CeresAffine(self.ctx, central, terms)
-        out._fresh(x)
+        out._fresh(x, provenance)
         self.ctx.stats.n_add += 1
         return out
 
-    def sub(self, other, protect=frozenset()) -> "CeresAffine":
-        return self.add(self._coerce(other).neg())
+    def sub(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "CeresAffine":
+        return self.add(self._coerce(other).neg(), protect, provenance)
 
-    def mul(self, other, protect=frozenset()) -> "CeresAffine":
+    def mul(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "CeresAffine":
         other = self._coerce(other)
         x = 0.0
         a0, b0 = self.central, other.central
@@ -168,11 +171,12 @@ class CeresAffine:
                 if p != 0.0:
                     terms[sid] = p
         out = CeresAffine(self.ctx, central, terms)
-        out._fresh(x)
+        out._fresh(x, provenance)
         self.ctx.stats.n_mul += 1
         return out
 
-    def _unary_linear(self, alpha: float, zeta: float, delta: float) -> "CeresAffine":
+    def _unary_linear(self, alpha: float, zeta: float, delta: float,
+                      provenance: Optional[str] = None) -> "CeresAffine":
         x = abs(delta)
         scaled, e = _prod_err(alpha, self.central)
         x = add_ru(x, e)
@@ -185,25 +189,29 @@ class CeresAffine:
             if p != 0.0:
                 terms[sid] = p
         out = CeresAffine(self.ctx, central, terms)
-        out._fresh(x)
+        out._fresh(x, provenance)
         return out
 
-    def div(self, other, protect=frozenset()) -> "CeresAffine":
+    def div(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "CeresAffine":
         other = self._coerce(other)
         self.ctx.stats.n_div += 1
         iv = other.interval()
         if not iv.is_valid() or (iv.lo <= 0.0 <= iv.hi):
             return CeresAffine(self.ctx, math.nan, {})
         alpha, zeta, delta = linearize_inv(iv.lo, iv.hi)
-        return self.mul(other._unary_linear(alpha, zeta, delta))
+        return self.mul(other._unary_linear(
+            alpha, zeta, delta, provenance and provenance + ":inv"),
+            protect, provenance)
 
-    def sqrt(self, protect=frozenset()) -> "CeresAffine":
+    def sqrt(self, protect=frozenset(),
+             provenance: Optional[str] = None) -> "CeresAffine":
         self.ctx.stats.n_sqrt += 1
         iv = self.interval()
         if not iv.is_valid() or iv.hi < 0.0:
             return CeresAffine(self.ctx, math.nan, {})
         alpha, zeta, delta = linearize_sqrt(max(iv.lo, 0.0), iv.hi)
-        return self._unary_linear(alpha, zeta, delta)
+        return self._unary_linear(alpha, zeta, delta, provenance)
 
     def neg(self) -> "CeresAffine":
         return CeresAffine(self.ctx, -self.central,

@@ -157,13 +157,19 @@ class AffineContext:
         return ulp(value)
 
     def input(self, value: float, uncertainty_ulps: float = 1.0,
-              name: str | None = None):
+              name: str | None = None, provenance: str | None = None):
         """An input variable: central ``value`` with one fresh symbol of
         magnitude ``uncertainty_ulps * ulp(value)`` — ulp at the context's
-        central precision (the experimental setup of Section VII)."""
+        central precision (the experimental setup of Section VII).
+
+        ``provenance`` overrides the default ``input:<name>`` origin string
+        (the compiled runtime passes structured ``file:line:col`` origins).
+        """
         mag = uncertainty_ulps * self._ulp(value)
+        if provenance is None:
+            provenance = name and f"input:{name}"
         return self._impl().from_center_and_symbol(
-            self, value, mag, provenance=name and f"input:{name}"
+            self, value, mag, provenance=provenance
         )
 
     def exact(self, value: float):
@@ -178,7 +184,8 @@ class AffineContext:
                                                        provenance="exact")
         return self._impl().from_exact(self, value)
 
-    def constant(self, value: float, exact: bool | None = None):
+    def constant(self, value: float, exact: bool | None = None,
+                 provenance: str | None = None):
         """A source-program constant (Section IV-B): if possibly inexact it
         gets a fresh symbol of one ulp; integral values are taken exact."""
         if exact is None:
@@ -186,10 +193,12 @@ class AffineContext:
         if exact:
             return self.exact(value)
         return self._impl().from_center_and_symbol(
-            self, value, self._ulp(value), provenance="constant"
+            self, value, self._ulp(value),
+            provenance="constant" if provenance is None else provenance
         )
 
-    def from_interval(self, lo: float, hi: float, name: str | None = None):
+    def from_interval(self, lo: float, hi: float, name: str | None = None,
+                      provenance: str | None = None):
         """An input known to lie in ``[lo, hi]``: central midpoint plus one
         fresh symbol covering the half-width (soundly rounded)."""
         if hi < lo:
@@ -199,8 +208,10 @@ class AffineContext:
             mid = lo / 2.0 + hi / 2.0
         # The radius must cover both sides, rounded up.
         rad = max(sub_ru(mid, lo), sub_ru(hi, mid))
+        if provenance is None:
+            provenance = name and f"input:{name}"
         return self._impl().from_center_and_symbol(
-            self, mid, rad, provenance=name and f"input:{name}"
+            self, mid, rad, provenance=provenance
         )
 
     # -- priorities ------------------------------------------------------------

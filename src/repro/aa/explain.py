@@ -10,11 +10,11 @@ conditioned operation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from ..fp import add_ru
 
-__all__ = ["SymbolShare", "Explanation", "explain"]
+__all__ = ["SymbolShare", "Explanation", "explain", "merged"]
 
 
 @dataclass(frozen=True)
@@ -44,17 +44,22 @@ class Explanation:
     def top(self, n: int = 5) -> List[SymbolShare]:
         return self.shares[:n]
 
-    def __str__(self) -> str:
+    def format(self, n: int = 5) -> str:
+        """Human-readable report showing the ``n`` largest shares; the
+        remainder is folded into a single "... m more" line."""
         lines = [
             f"central {self.central!r}, radius {self.radius:.6g}, "
             f"{self.n_symbols} symbols",
         ]
-        for s in self.top():
+        for s in self.top(n):
             lines.append("  " + str(s))
-        if self.n_symbols > 5:
-            rest = sum(s.share for s in self.shares[5:])
-            lines.append(f"  ... {self.n_symbols - 5} more ({rest:.1%})")
+        if len(self.shares) > n:
+            rest = sum(s.share for s in self.shares[n:])
+            lines.append(f"  ... {len(self.shares) - n} more ({rest:.1%})")
         return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
 
 
 def explain(form) -> Explanation:
@@ -91,6 +96,51 @@ def explain(form) -> Explanation:
     return Explanation(
         central=form.central_float(),
         radius=radius,
+        n_symbols=len(shares),
+        shares=shares,
+    )
+
+
+def merged(explanations: Iterable[Explanation]) -> Explanation:
+    """Merge per-row explanations (e.g. the rows of a batch result) into
+    one radius decomposition, summing contributions across rows.
+
+    Shares are grouped by provenance when available (so the same source
+    operation's symbols from different rows — whose ids diverge — land in
+    one bucket) and by symbol id otherwise.  The merged ``share`` of each
+    group is its summed |coefficient| over the summed radius, so shares
+    still sum to ~1 and the grouping is order-insensitive.
+    """
+    explanations = list(explanations)
+    if not explanations:
+        return Explanation(central=0.0, radius=0.0, n_symbols=0, shares=[])
+
+    total_radius = 0.0
+    central_sum = 0.0
+    groups: dict = {}  # key -> [representative_sid, summed |coeff|, prov]
+    for ex in explanations:
+        total_radius = add_ru(total_radius, ex.radius)
+        central_sum += ex.central
+        for s in ex.shares:
+            key = s.provenance if s.provenance is not None else (
+                "ε", s.symbol_id)
+            g = groups.get(key)
+            if g is None:
+                groups[key] = [s.symbol_id, abs(s.coefficient), s.provenance]
+            else:
+                g[1] = add_ru(g[1], abs(s.coefficient))
+
+    shares = [
+        SymbolShare(
+            symbol_id=sid, coefficient=coeff,
+            share=coeff / total_radius if total_radius > 0 else 0.0,
+            provenance=prov)
+        for sid, coeff, prov in groups.values()
+    ]
+    shares.sort(key=lambda s: -abs(s.coefficient))
+    return Explanation(
+        central=central_sum / len(explanations),
+        radius=total_radius,
         n_symbols=len(shares),
         shares=shares,
     )

@@ -93,7 +93,10 @@ class FixedAffine:
 
     # -- arithmetic ------------------------------------------------------------
 
-    def add(self, other, protect=frozenset()) -> "FixedAffine":
+    def add(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "FixedAffine":
+        # AF1 never creates fresh symbols per op, so provenance is accepted
+        # for interface compatibility and has nothing to attach to.
         other = self._coerce(other)
         x = add_ru(self.slack, other.slack)  # independent buckets: add magnitudes
         central, e = _sum_err(self.central, other.central)
@@ -113,10 +116,12 @@ class FixedAffine:
         self.ctx.stats.n_add += 1
         return FixedAffine(self.ctx, central, terms, x)
 
-    def sub(self, other, protect=frozenset()) -> "FixedAffine":
+    def sub(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "FixedAffine":
         return self.add(self._coerce(other).neg())
 
-    def mul(self, other, protect=frozenset()) -> "FixedAffine":
+    def mul(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "FixedAffine":
         other = self._coerce(other)
         a0, b0 = self.central, other.central
         central, e = _prod_err(a0, b0)
@@ -166,7 +171,8 @@ class FixedAffine:
                 terms[sid] = p
         return FixedAffine(self.ctx, central, terms, x)
 
-    def div(self, other, protect=frozenset()) -> "FixedAffine":
+    def div(self, other, protect=frozenset(),
+            provenance: Optional[str] = None) -> "FixedAffine":
         other = self._coerce(other)
         self.ctx.stats.n_div += 1
         iv = other.interval()
@@ -176,7 +182,8 @@ class FixedAffine:
         inv = other._unary_linear(alpha, zeta, delta)
         return self.mul(inv)
 
-    def sqrt(self, protect=frozenset()) -> "FixedAffine":
+    def sqrt(self, protect=frozenset(),
+             provenance: Optional[str] = None) -> "FixedAffine":
         self.ctx.stats.n_sqrt += 1
         iv = self.interval()
         if not iv.is_valid() or iv.hi < 0.0:

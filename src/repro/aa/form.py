@@ -214,6 +214,8 @@ class AffineForm:
                                          stats=self.ctx.stats))
             x = 0.0
             for i in victims:
+                self.ctx.symbols.record_absorption(out.ids[i], out.coeffs[i],
+                                                   "shrink")
                 x = add_ru(x, abs(out.coeffs[i]))
             self.ctx.stats.n_fused_symbols += len(victims)
             out.ids = [out.ids[i] for i in range(n) if i not in victims]
@@ -353,6 +355,8 @@ class AffineForm:
         slot = _pick_victim_slot(self.ids, self.coeffs, ctx, protect)
         sid = ctx.symbols.fresh_at(slot, ctx.k, provenance)
         if self.ids[slot] != 0:
+            ctx.symbols.record_absorption(self.ids[slot],
+                                          self.coeffs[slot], provenance)
             coeff = add_ru(coeff, abs(self.coeffs[slot]))
             ctx.stats.n_fused_symbols += 1
         self.ids[slot] = sid
@@ -360,7 +364,7 @@ class AffineForm:
 
     def _enforce_capacity_sorted(
         self, ids: List[int], coeffs: List[float], x: float,
-        protect: AbstractSet[int],
+        protect: AbstractSet[int], site: Optional[str] = None,
     ) -> Tuple[List[int], List[float], float]:
         """Fuse symbols into the fresh-symbol accumulator ``x`` until the
         sorted storage fits ``k`` (reserving a slot for the fresh symbol
@@ -380,6 +384,7 @@ class AffineForm:
         )
         vic = set(victims)
         for i in victims:
+            ctx.symbols.record_absorption(ids[i], coeffs[i], site)
             x = add_ru(x, abs(coeffs[i]))
         ctx.stats.n_fused_symbols += len(victims)
         new_ids = [ids[i] for i in range(len(ids)) if i not in vic]
@@ -431,7 +436,8 @@ class AffineForm:
                     j += 1
             cap = self._merge_cap(self, other)
             tmp = AffineForm(ctx, central, ids, coeffs, cap)
-            ids, coeffs, x = tmp._enforce_capacity_sorted(ids, coeffs, x, protect)
+            ids, coeffs, x = tmp._enforce_capacity_sorted(
+                ids, coeffs, x, protect, provenance)
             out = AffineForm(ctx, central, ids, coeffs, cap)
             out._place_fresh_symbol(x, provenance, protect)
         else:
@@ -461,9 +467,11 @@ class AffineForm:
                     ctx.stats.n_conflicts += 1
                     if resolve_conflict(ia, ca, ib, cb, ctx.fusion, ctx.rng, protect):
                         ids[slot], coeffs[slot] = ia, ca
+                        ctx.symbols.record_absorption(ib, cb, provenance)
                         x = add_ru(x, abs(cb))
                     else:
                         ids[slot], coeffs[slot] = ib, cb
+                        ctx.symbols.record_absorption(ia, ca, provenance)
                         x = add_ru(x, abs(ca))
                     ctx.stats.n_fused_symbols += 1
             out = AffineForm(ctx, central, ids, coeffs)
@@ -563,7 +571,8 @@ class AffineForm:
                     j += 1
             cap = self._merge_cap(self, other)
             tmp = AffineForm(ctx, central, ids, coeffs, cap)
-            ids, coeffs, x = tmp._enforce_capacity_sorted(ids, coeffs, x, protect)
+            ids, coeffs, x = tmp._enforce_capacity_sorted(
+                ids, coeffs, x, protect, provenance)
             out = AffineForm(ctx, central, ids, coeffs, cap)
             out._place_fresh_symbol(x, provenance, protect)
         else:
@@ -598,10 +607,12 @@ class AffineForm:
                     if resolve_conflict(ia, va, ib, vb, ctx.fusion, ctx.rng, protect):
                         if va != 0.0:
                             ids[slot], coeffs[slot] = ia, va
+                        ctx.symbols.record_absorption(ib, vb, provenance)
                         x = add_ru(x, abs(vb))
                     else:
                         if vb != 0.0:
                             ids[slot], coeffs[slot] = ib, vb
+                        ctx.symbols.record_absorption(ia, va, provenance)
                         x = add_ru(x, abs(va))
                     ctx.stats.n_fused_symbols += 1
             out = AffineForm(ctx, central, ids, coeffs)
@@ -636,7 +647,8 @@ class AffineForm:
             x = add_ru(x, e)
             coeffs.append(p)
         if ctx.placement is PlacementPolicy.SORTED:
-            ids, coeffs, x = self._enforce_capacity_sorted(ids, coeffs, x, protect)
+            ids, coeffs, x = self._enforce_capacity_sorted(
+                ids, coeffs, x, protect, provenance)
         out = AffineForm(ctx, central, ids, coeffs, self.capacity)
         out._place_fresh_symbol(x, provenance, protect)
         return out
@@ -683,7 +695,7 @@ class AffineForm:
                          self.capacity)
         if self.ctx.placement is PlacementPolicy.SORTED:
             out.ids, out.coeffs, x = out._enforce_capacity_sorted(
-                out.ids, out.coeffs, x, protect
+                out.ids, out.coeffs, x, protect, provenance
             )
         out._place_fresh_symbol(x, provenance, protect)
         return out

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..fp import add_ru
+
 __all__ = ["SymbolFactory"]
 
 
@@ -22,14 +24,28 @@ class SymbolFactory:
 
     Ids start at 1; id 0 is reserved (never allocated) so implementations can
     use 0/-1 as sentinels.
+
+    When ``track_provenance`` is on the factory also keeps condensation-loss
+    books: every time a symbol is fused away (direct-mapped eviction, sorted
+    capacity overflow, or a slot conflict) the kernels call
+    :meth:`record_absorption` with the victim's id and the radius magnitude
+    that moved into the absorbing round-off symbol.  The totals — keyed by
+    the *victim's origin* and by the *absorbing site* — are what the width
+    diagnostics report as "radius lost to condensation, per source line".
     """
 
-    __slots__ = ("_next", "_provenance", "track_provenance")
+    __slots__ = ("_next", "_provenance", "track_provenance",
+                 "absorbed", "absorbed_at", "n_absorptions")
 
     def __init__(self, track_provenance: bool = False) -> None:
         self._next = 1
         self._provenance: Dict[int, str] = {}
         self.track_provenance = track_provenance
+        # victim origin -> total |coeff| absorbed (upward-rounded sum)
+        self.absorbed: Dict[str, float] = {}
+        # absorbing site origin -> total |coeff| it swallowed
+        self.absorbed_at: Dict[str, float] = {}
+        self.n_absorptions = 0
 
     def fresh(self, provenance: Optional[str] = None) -> int:
         """Allocate a new symbol id (monotonically increasing)."""
@@ -59,6 +75,25 @@ class SymbolFactory:
     def provenance_of(self, sid: int) -> Optional[str]:
         return self._provenance.get(sid)
 
+    def record_absorption(self, victim_sid: int, amount: float,
+                          site: Optional[str] = None) -> None:
+        """Account one condensation event: the symbol ``victim_sid`` was
+        fused away and ``amount`` (its |coefficient|) moved into the
+        round-off accumulator of the operation at ``site``.
+
+        No-op unless provenance tracking is on.  Totals use upward-rounded
+        addition so the books themselves are sound over-estimates.
+        """
+        if not self.track_provenance or amount == 0.0:
+            return
+        self.n_absorptions += 1
+        origin = self._provenance.get(victim_sid, "<unknown>")
+        self.absorbed[origin] = add_ru(self.absorbed.get(origin, 0.0),
+                                       abs(amount))
+        if site is not None:
+            self.absorbed_at[site] = add_ru(self.absorbed_at.get(site, 0.0),
+                                            abs(amount))
+
     @property
     def count(self) -> int:
         """Number of symbols allocated so far."""
@@ -72,3 +107,6 @@ class SymbolFactory:
     def reset(self) -> None:
         self._next = 1
         self._provenance.clear()
+        self.absorbed.clear()
+        self.absorbed_at.clear()
+        self.n_absorptions = 0

@@ -168,6 +168,8 @@ class VecAffine:
         slot = self._pick_victim_slot(protect)
         sid = ctx.symbols.fresh_at(slot, ctx.k, provenance)
         if self.ids[slot] != 0:
+            ctx.symbols.record_absorption(int(self.ids[slot]),
+                                          float(self.coeffs[slot]), provenance)
             coeff = add_ru(coeff, abs(float(self.coeffs[slot])))
             ctx.stats.n_fused_symbols += 1
         self.ids[slot] = sid
@@ -260,6 +262,11 @@ class VecAffine:
             out_ids = np.where(a_wins, ids_a, np.where(b_wins, ids_b, out_ids))
             out_coeffs = np.where(a_wins, ca, np.where(b_wins, cb, out_coeffs))
             lost = np.where(a_wins, np.abs(cb), np.where(b_wins, np.abs(ca), 0.0))
+            if ctx.symbols.track_provenance:
+                for i in np.flatnonzero(conflict):
+                    loser = ids_b[i] if a_wins[i] else ids_a[i]
+                    ctx.symbols.record_absorption(int(loser), float(lost[i]),
+                                                  provenance)
             x = add_ru(x, _sum_bound_ru(lost))
 
         np.seterr(**_old_err)
@@ -322,6 +329,11 @@ class VecAffine:
             out_ids = np.where(a_wins, ids_a, np.where(b_wins, ids_b, out_ids))
             out_coeffs = np.where(a_wins, pa, np.where(b_wins, pb, out_coeffs))
             lost = np.where(a_wins, np.abs(pb), np.where(b_wins, np.abs(pa), 0.0))
+            if ctx.symbols.track_provenance:
+                for i in np.flatnonzero(conflict):
+                    loser = ids_b[i] if a_wins[i] else ids_a[i]
+                    ctx.symbols.record_absorption(int(loser), float(lost[i]),
+                                                  provenance)
             x = add_ru(x, _sum_bound_ru(lost))
 
         np.seterr(**_old_err)

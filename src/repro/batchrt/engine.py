@@ -82,6 +82,10 @@ class BatchRowResult:
     outputs: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
     fallback: bool = False
+    # Origin -> share-of-radius attribution of the returned enclosure,
+    # present only when the run tracked provenance.
+    width_shares: Optional[Dict[str, float]] = None
+    width_radius: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"index": self.index, "ok": self.ok}
@@ -95,6 +99,9 @@ class BatchRowResult:
             out["error"] = self.error
         if self.fallback:
             out["fallback"] = True
+        if self.width_shares is not None:
+            out["width_shares"] = self.width_shares
+            out["width_radius"] = self.width_radius
         return out
 
 
@@ -129,9 +136,17 @@ class _Unbatchable(Exception):
 
 
 def run_batch(program, rows: Sequence[Sequence[Any]],
-              uncertainty_ulps: float = 1.0) -> BatchRunResult:
+              uncertainty_ulps: float = 1.0,
+              track_provenance: bool = False) -> BatchRunResult:
     """Evaluate ``program`` over ``rows`` (one positional argument list
-    per input box) and return per-row enclosures."""
+    per input box) and return per-row enclosures.
+
+    ``track_provenance=True`` runs every cohort (and scalar fallback) with
+    width attribution on: each successful row carries ``width_shares``, an
+    origin -> share-of-radius dict for its returned enclosure.  The
+    arithmetic is bit-identical either way; tracking only records origins
+    on the side.
+    """
     t0 = time.perf_counter()
     rows = [list(r) for r in rows]
     stats = BatchRunStats(rows=len(rows))
@@ -157,7 +172,8 @@ def run_batch(program, rows: Sequence[Sequence[Any]],
         while worklist:
             idx = worklist.popleft()
             try:
-                _eval_cohort(program, idx, rows, uncertainty_ulps, results)
+                _eval_cohort(program, idx, rows, uncertainty_ulps, results,
+                             track_provenance=track_provenance)
                 stats.cohorts += 1
             except CohortDivergence as d:
                 stats.cohort_splits += 1
@@ -176,7 +192,8 @@ def run_batch(program, rows: Sequence[Sequence[Any]],
 
     for gi in sorted(fallback):
         stats.scalar_fallbacks += 1
-        results[gi] = _run_scalar_row(program, gi, rows[gi], uncertainty_ulps)
+        results[gi] = _run_scalar_row(program, gi, rows[gi], uncertainty_ulps,
+                                      track_provenance=track_provenance)
 
     stats.elapsed_s = time.perf_counter() - t0
     return BatchRunResult(rows=[r for r in results if r is not None],
@@ -192,7 +209,7 @@ def _int_param_positions(program) -> List[int]:
 
 
 def _eval_cohort(program, idx: List[int], rows, uncertainty_ulps: float,
-                 results) -> None:
+                 results, track_provenance: bool = False) -> None:
     """Run one same-path cohort vectorized and fill its rows' results.
 
     Raises :class:`CohortDivergence` (partition and retry), ``_Unbatchable``
@@ -200,13 +217,14 @@ def _eval_cohort(program, idx: List[int], rows, uncertainty_ulps: float,
     in every raising case ``results`` is left untouched for these rows and
     the fresh context (including its statistics) is discarded.
     """
-    from .form import BatchContext
+    from .form import BatchAffine, BatchContext
     from .runtime import BatchRuntime
 
     cfg = program.config
     n = len(idx)
     ctx = BatchContext(n, cfg.k, fusion=cfg.fusion,
-                       decision_policy=cfg.decision_policy)
+                       decision_policy=cfg.decision_policy,
+                       track_provenance=track_provenance)
     rt = BatchRuntime(ctx)
 
     from ..compiler import cast as A
@@ -221,7 +239,9 @@ def _eval_cohort(program, idx: List[int], rows, uncertainty_ulps: float,
         if isinstance(p.type, A.CType) and p.type.is_integer():
             coerced.append(int(col[0]))  # uniform within the cohort
         else:
-            v = _stack_inputs(rt, col, uncertainty_ulps)
+            origin = program.input_origin(p.name) if track_provenance \
+                else None
+            v = _stack_inputs(rt, col, uncertainty_ulps, origin)
             if isinstance(v, list):
                 array_params.append(p.name)
             coerced.append(v)
@@ -238,15 +258,23 @@ def _eval_cohort(program, idx: List[int], rows, uncertainty_ulps: float,
         outputs = {name: _row_value(by_name[name], j)
                    for name in array_params}
         rv = _row_value(value, j)
-        results[gi] = BatchRowResult(
+        result = BatchRowResult(
             index=gi, ok=True,
             interval=rv if isinstance(rv, list) and len(rv) == 2
             and not isinstance(rv[0], list) else None,
             value=rv if isinstance(rv, (int, float, bool)) else None,
             outputs=outputs)
+        if track_provenance and isinstance(value, BatchAffine):
+            from ..obs.diag import explain_batch_row, shares_by_origin
+
+            ex = explain_batch_row(value, j)
+            result.width_shares = shares_by_origin(ex)
+            result.width_radius = ex.radius
+        results[gi] = result
 
 
-def _stack_inputs(rt, col: List[Any], uncertainty_ulps: float):
+def _stack_inputs(rt, col: List[Any], uncertainty_ulps: float,
+                  origin: Optional[str] = None):
     """Stack one argument position across the cohort, mirroring the scalar
     ``Runtime.coerce_input`` traversal order so symbol ids line up."""
     first = col[0]
@@ -255,12 +283,15 @@ def _stack_inputs(rt, col: List[Any], uncertainty_ulps: float):
         if any(not isinstance(v, (list, tuple)) or len(v) != length
                for v in col):
             raise _Unbatchable("ragged array argument")
-        return [_stack_inputs(rt, [v[i] for v in col], uncertainty_ulps)
+        return [_stack_inputs(rt, [v[i] for v in col], uncertainty_ulps,
+                              origin)
                 for i in range(length)]
     if all(isinstance(v, (int, float)) for v in col):
-        return rt.input_rows([float(v) for v in col], uncertainty_ulps)
+        return rt.input_rows([float(v) for v in col], uncertainty_ulps,
+                             origin=origin)
     if all(isinstance(v, ValueRange) for v in col):
-        return rt.input_box_rows([v.lo for v in col], [v.hi for v in col])
+        return rt.input_box_rows([v.lo for v in col], [v.hi for v in col],
+                                 origin=origin)
     raise _Unbatchable(
         f"cannot stack argument of type {type(first).__name__}")
 
@@ -289,9 +320,11 @@ def _scalar_value(value):
 
 
 def _run_scalar_row(program, index: int, row: List[Any],
-                    uncertainty_ulps: float) -> BatchRowResult:
+                    uncertainty_ulps: float,
+                    track_provenance: bool = False) -> BatchRowResult:
     try:
-        res = program(*row, uncertainty_ulps=uncertainty_ulps)
+        res = program(*row, uncertainty_ulps=uncertainty_ulps,
+                      track_provenance=track_provenance)
     except ReproError as exc:
         return BatchRowResult(index=index, ok=False,
                               error=f"{type(exc).__name__}: {exc}",
@@ -303,9 +336,18 @@ def _run_scalar_row(program, index: int, row: List[Any],
         if isinstance(v, list):
             outputs[p.name] = _scalar_value(v)
     rv = _scalar_value(res.value)
-    return BatchRowResult(
+    result = BatchRowResult(
         index=index, ok=True,
         interval=rv if isinstance(rv, list) and len(rv) == 2
         and not isinstance(rv[0], list) else None,
         value=rv if isinstance(rv, (int, float, bool)) else None,
         outputs=outputs, fallback=True)
+    if track_provenance and hasattr(res.value, "coefficients"):
+        from ..aa.explain import explain
+        from ..obs.diag import shares_by_origin
+
+        ex = explain(res.value)
+        result.width_shares = shares_by_origin(ex)
+        result.width_radius = ex.radius
+    return result
+

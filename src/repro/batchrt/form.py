@@ -43,7 +43,7 @@ from ..aa.linearize import (
 from ..aa.policies import FusionPolicy
 from ..common import DecisionPolicy
 from ..errors import SoundnessError
-from ..fp import EPS, ETA, sub_ru, ulp
+from ..fp import EPS, ETA, add_ru, sub_ru, ulp
 from .cohort import CohortDivergence
 from .linearize_v import linearize_inv_rows
 from .npops import (
@@ -81,7 +81,8 @@ class BatchContext:
 
     def __init__(self, n: int, k: int,
                  fusion: FusionPolicy = FusionPolicy.SMALLEST,
-                 decision_policy: DecisionPolicy = DecisionPolicy.CENTRAL
+                 decision_policy: DecisionPolicy = DecisionPolicy.CENTRAL,
+                 track_provenance: bool = False
                  ) -> None:
         if n < 1:
             raise ValueError("batch size must be >= 1")
@@ -97,6 +98,16 @@ class BatchContext:
         self.decision_policy = decision_policy
         self.stats = AAStats()
         self.next_sid = np.ones(n, dtype=np.int64)
+        # Width provenance (off the hot path unless enabled): per-row
+        # sid -> origin maps (sids diverge across rows because zero
+        # round-offs skip placement per row), plus batch-wide condensation
+        # books mirroring SymbolFactory's.
+        self.track_provenance = track_provenance
+        self.provenance: Optional[List[dict]] = (
+            [dict() for _ in range(n)] if track_provenance else None)
+        self.absorbed: dict = {}
+        self.absorbed_at: dict = {}
+        self.n_absorptions = 0
 
     # -- per-row symbol factory -------------------------------------------------
 
@@ -107,38 +118,61 @@ class BatchContext:
         self.next_sid = np.where(mask, sid + 1, self.next_sid)
         return sid
 
+    def provenance_of_row(self, row: int, sid: int) -> Optional[str]:
+        if self.provenance is None:
+            return None
+        return self.provenance[row].get(int(sid))
+
+    def record_absorption(self, row: int, victim_sid: int, amount: float,
+                          site: Optional[str] = None) -> None:
+        """Per-row analogue of ``SymbolFactory.record_absorption`` — keys
+        by the victim's origin in that row's provenance map."""
+        if not self.track_provenance or amount == 0.0:
+            return
+        self.n_absorptions += 1
+        origin = self.provenance[row].get(int(victim_sid), "<unknown>")
+        self.absorbed[origin] = add_ru(self.absorbed.get(origin, 0.0),
+                                       abs(amount))
+        if site is not None:
+            self.absorbed_at[site] = add_ru(self.absorbed_at.get(site, 0.0),
+                                            abs(amount))
+
     # -- value constructors -----------------------------------------------------
 
     def exact(self, value: float) -> "BatchAffine":
         return BatchAffine.from_exact(self, float(value))
 
-    def constant(self, value: float,
-                 exact: Optional[bool] = None) -> "BatchAffine":
+    def constant(self, value: float, exact: Optional[bool] = None,
+                 provenance: Optional[str] = None) -> "BatchAffine":
         if exact is None:
             exact = bool(math.isfinite(value) and value == int(value))
         if exact:
             return self.exact(value)
         return BatchAffine.from_center_and_symbol(
-            self, float(value), ulp(value), "constant")
+            self, float(value), ulp(value),
+            "constant" if provenance is None else provenance)
 
-    def from_interval(self, lo: float, hi: float) -> "BatchAffine":
+    def from_interval(self, lo: float, hi: float,
+                      provenance: Optional[str] = None) -> "BatchAffine":
         if hi < lo:
             raise ValueError("interval endpoints out of order")
         mid = lo + (hi - lo) / 2.0
         if not math.isfinite(mid):
             mid = lo / 2.0 + hi / 2.0
         rad = max(sub_ru(mid, lo), sub_ru(hi, mid))
-        return BatchAffine.from_center_and_symbol(self, mid, rad, None)
+        return BatchAffine.from_center_and_symbol(self, mid, rad, provenance)
 
-    def input_rows(self, values, uncertainty_ulps: float = 1.0
-                   ) -> "BatchAffine":
+    def input_rows(self, values, uncertainty_ulps: float = 1.0,
+                   provenance: Optional[str] = None) -> "BatchAffine":
         """One input variable over the whole batch: row i gets central
         ``values[i]`` and one fresh symbol of ``uncertainty_ulps`` ulps."""
         values = np.asarray(values, dtype=np.float64)
         mag = uncertainty_ulps * ulp_v(values)
-        return BatchAffine.from_center_and_symbol(self, values, mag, None)
+        return BatchAffine.from_center_and_symbol(self, values, mag,
+                                                  provenance)
 
-    def input_box_rows(self, los, his) -> "BatchAffine":
+    def input_box_rows(self, los, his,
+                       provenance: Optional[str] = None) -> "BatchAffine":
         """One range-valued input over the whole batch: row i covers the
         interval ``[los[i], his[i]]`` with one fresh symbol spanning the
         half-width — the per-row analogue of :meth:`from_interval`, used by
@@ -149,7 +183,7 @@ class BatchContext:
             raise ValueError("interval endpoints out of order")
         mid = _midpoint_rows(los, his)
         rad = _radius_ru_rows(mid, los, his)
-        return BatchAffine.from_center_and_symbol(self, mid, rad, None)
+        return BatchAffine.from_center_and_symbol(self, mid, rad, provenance)
 
 
 class BatchProtect:
@@ -310,6 +344,15 @@ class BatchAffine:
             add_ru_v(coeff[rows], np.abs(self.coeffs[rows, sl])),
             coeff[rows])
         ctx.stats.n_fused_symbols += int(np.count_nonzero(occupied))
+        if ctx.track_provenance:
+            victims = self.ids[rows, sl]
+            amounts = self.coeffs[rows, sl]
+            for j, row in enumerate(rows):
+                if occupied[j]:
+                    ctx.record_absorption(int(row), int(victims[j]),
+                                          float(amounts[j]), provenance)
+                if provenance is not None:
+                    ctx.provenance[int(row)][int(sid[row])] = provenance
         self.ids[rows, sl] = sid[rows]
         self.coeffs[rows, sl] = new_coeff
         self._icache = None
@@ -411,6 +454,11 @@ class BatchAffine:
                 # bit-identical per row.
                 lost = np.where(a_wins, np.abs(cb),
                                 np.where(b_wins, np.abs(ca), 0.0))
+                if ctx.track_provenance:
+                    for r, c in np.argwhere(conflict):
+                        loser = ids_b[r, c] if a_wins[r, c] else ids_a[r, c]
+                        ctx.record_absorption(int(r), int(loser),
+                                              float(lost[r, c]), provenance)
                 x = add_ru_v(x, sum_bound_ru_rows(lost, ctx.k))
 
         out = BatchAffine(ctx, central, out_ids, out_coeffs)
@@ -473,6 +521,11 @@ class BatchAffine:
                                       np.where(b_wins, pb, out_coeffs))
                 lost = np.where(a_wins, np.abs(pb),
                                 np.where(b_wins, np.abs(pa), 0.0))
+                if ctx.track_provenance:
+                    for r, c in np.argwhere(conflict):
+                        loser = ids_b[r, c] if a_wins[r, c] else ids_a[r, c]
+                        ctx.record_absorption(int(r), int(loser),
+                                              float(lost[r, c]), provenance)
                 x = add_ru_v(x, sum_bound_ru_rows(lost, ctx.k))
 
         out = BatchAffine(ctx, central, out_ids, out_coeffs)

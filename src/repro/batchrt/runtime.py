@@ -35,20 +35,25 @@ class BatchRuntime:
 
     # -- value construction ---------------------------------------------------
 
-    def const(self, value: float, exact: Optional[bool] = None) -> BatchAffine:
-        return self.ctx.constant(value, exact=exact)
+    def const(self, value: float, exact: Optional[bool] = None,
+              origin: Optional[str] = None) -> BatchAffine:
+        return self.ctx.constant(value, exact=exact, provenance=origin)
 
-    def interval_const(self, lo: float, hi: float) -> BatchAffine:
-        return self.ctx.from_interval(lo, hi)
+    def interval_const(self, lo: float, hi: float,
+                       origin: Optional[str] = None) -> BatchAffine:
+        return self.ctx.from_interval(lo, hi, provenance=origin)
 
     def exact(self, value: float) -> BatchAffine:
         return self.ctx.exact(float(value))
 
-    def input_rows(self, values, uncertainty_ulps: float = 1.0) -> BatchAffine:
-        return self.ctx.input_rows(values, uncertainty_ulps)
+    def input_rows(self, values, uncertainty_ulps: float = 1.0,
+                   origin: Optional[str] = None) -> BatchAffine:
+        return self.ctx.input_rows(values, uncertainty_ulps,
+                                   provenance=origin)
 
-    def input_box_rows(self, los, his) -> BatchAffine:
-        return self.ctx.input_box_rows(los, his)
+    def input_box_rows(self, los, his,
+                       origin: Optional[str] = None) -> BatchAffine:
+        return self.ctx.input_box_rows(los, his, provenance=origin)
 
     def alloc_array(self, dims: Sequence[int]):
         if len(dims) == 1:
@@ -165,29 +170,29 @@ class BatchRuntime:
 
     # -- arithmetic dispatch ----------------------------------------------------
 
-    def add(self, a, b, protect=None):
-        return a.add(b, protect=protect)
+    def add(self, a, b, protect=None, origin=None):
+        return a.add(b, protect=protect, provenance=origin)
 
-    def sub(self, a, b, protect=None):
-        return a.sub(b, protect=protect)
+    def sub(self, a, b, protect=None, origin=None):
+        return a.sub(b, protect=protect, provenance=origin)
 
-    def mul(self, a, b, protect=None):
-        return a.mul(b, protect=protect)
+    def mul(self, a, b, protect=None, origin=None):
+        return a.mul(b, protect=protect, provenance=origin)
 
-    def div(self, a, b, protect=None):
-        return a.div(b, protect=protect)
+    def div(self, a, b, protect=None, origin=None):
+        return a.div(b, protect=protect, provenance=origin)
 
     def neg(self, a):
         return a.neg()
 
-    def sqrt(self, a, protect=None):
-        return a.sqrt(protect=protect)
+    def sqrt(self, a, protect=None, origin=None):
+        return a.sqrt(protect=protect, provenance=origin)
 
-    def exp(self, a, protect=None):
-        return a.exp(protect=protect)
+    def exp(self, a, protect=None, origin=None):
+        return a.exp(protect=protect, provenance=origin)
 
-    def log(self, a, protect=None):
-        return a.log(protect=protect)
+    def log(self, a, protect=None, origin=None):
+        return a.log(protect=protect, provenance=origin)
 
     def fabs(self, a):
         return a.abs_()

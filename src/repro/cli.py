@@ -6,6 +6,7 @@ conveniences this reproduction can offer because the output is runnable:
     python -m repro compile prog.c --config f64a-dspv -k 16
     python -m repro run prog.c --config f64a-dsnn -k 8 -- 0.3 0.4 100
     python -m repro analyze prog.c -k 8
+    python -m repro diag prog.c 0.3 0.4 100 --min-located 0.9
     python -m repro bench henon --config f64a-dspv -k 16
 
 Service-layer additions: every subcommand accepts ``--cache-dir DIR`` to
@@ -146,6 +147,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--json", action="store_true",
                            help="machine-readable output")
 
+    p_diag = sub.add_parser(
+        "diag", help="width-provenance diagnosis: compile, run with "
+                     "attribution tracking, report error origins")
+    common(p_diag)
+    p_diag.add_argument("file")
+    p_diag.add_argument("args", nargs="*",
+                        help="arguments: numbers, or @file.json for arrays")
+    p_diag.add_argument("--uncertainty-ulps", type=float, default=1.0)
+    p_diag.add_argument("--runs", type=int, default=1,
+                        help="sampled executions to aggregate")
+    p_diag.add_argument("--top", type=int, default=10,
+                        help="origins shown in the report")
+    p_diag.add_argument("--min-located", type=float, default=None,
+                        metavar="FRAC",
+                        help="exit nonzero unless at least FRAC of the "
+                             "attributed radius maps to concrete source "
+                             "positions (CI gate)")
+    p_diag.add_argument("--assert-top-origin", default=None, metavar="SUBSTR",
+                        help="exit nonzero unless the heaviest origin "
+                             "contains SUBSTR (CI gate)")
+    p_diag.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
     p_bench = sub.add_parser("bench", help="run a paper benchmark")
     common(p_bench)
     p_bench.add_argument("name", choices=["henon", "sor", "luf", "fgm"])
@@ -242,6 +266,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-log", default=None, metavar="FILE",
                          help="append every traced request's spans to this "
                               "JSONL file (traces all requests)")
+    p_serve.add_argument("--trace-log-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="rotate the trace log past N bytes (old file "
+                              "moves to FILE.1; default: never)")
+    p_serve.add_argument("--diag-sample", type=int, default=16, metavar="N",
+                         help="execute every N-th run request with width-"
+                              "provenance tracking (the 'diag' op serves "
+                              "the profile; 0 disables sampling)")
     p_serve.add_argument("--trace-buffer", type=int, default=4096,
                          help="in-memory span ring capacity (the 'trace' "
                               "op serves it)")
@@ -266,7 +298,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "request", help="send one request to a running server")
     p_request.add_argument("op",
                            choices=["compile", "run", "stats", "health",
-                                    "drain", "trace", "metrics"])
+                                    "drain", "trace", "metrics", "diag"])
     p_request.add_argument("file", nargs="?", default=None,
                            help="C file for compile/run ('-' for stdin)")
     p_request.add_argument("args", nargs="*",
@@ -662,6 +694,76 @@ def cmd_analyze(ns) -> int:
     return 0
 
 
+def cmd_diag(ns) -> int:
+    import os
+    from dataclasses import replace
+
+    from .obs.diag import WidthProfile, render_diag_report
+
+    source = _read_source(ns.file)
+    cfg = _config(ns)
+    if ns.file != "-":
+        # The basename becomes the <file> half of every origin string the
+        # generated code embeds (it is part of the cache key).
+        cfg = replace(cfg, source_name=os.path.basename(ns.file))
+    profile = WidthProfile()
+    stats = None
+    try:
+        with _trace_to(ns.trace, "cli:diag"):
+            if ns.cache_dir:
+                from .service import CompileService
+
+                service = CompileService(cache_dir=ns.cache_dir)
+                prog = service.compile(source, cfg, entry=ns.entry)
+                stats = service.stats.to_dict()
+            else:
+                prog = SafeGen(cfg).compile(source, entry=ns.entry)
+            args = [_parse_arg(a) for a in ns.args]
+            for _ in range(max(ns.runs, 1)):
+                res = prog(*args, uncertainty_ulps=ns.uncertainty_ulps,
+                           track_provenance=True)
+                value = res.value
+                if value is not None and (hasattr(value, "coefficients")
+                                          or hasattr(value, "terms")):
+                    from .aa.explain import explain
+
+                    profile.record_explanation(explain(value))
+                else:
+                    profile.skip()
+                factory = getattr(getattr(res.runtime, "ctx", None),
+                                  "symbols", None)
+                if factory is not None and factory.n_absorptions:
+                    profile.record_absorbed(factory.absorbed,
+                                            factory.absorbed_at,
+                                            factory.n_absorptions)
+    except ReproError as exc:
+        raise SystemExit(format_cli_error(exc, ns.file))
+    pipeline = prog.pipeline_report.to_dict() \
+        if prog.pipeline_report is not None else None
+    if ns.json:
+        print(json.dumps({"entry": prog.entry, "config": prog.config.name,
+                          "width": profile.to_dict(), "pipeline": pipeline},
+                         indent=2, default=str))
+    else:
+        print(f"entry      : {prog.entry} [{prog.config.name}]")
+        print(render_diag_report(profile.to_dict(), pipeline=pipeline,
+                                 stats=stats, n=ns.top))
+    failures = []
+    located = profile.located_fraction()
+    if ns.min_located is not None and located < ns.min_located:
+        failures.append(f"located fraction {located:.3f} is below the "
+                        f"required {ns.min_located}")
+    if ns.assert_top_origin:
+        top = profile.top(1)
+        top_origin = top[0][0] if top else ""
+        if ns.assert_top_origin not in top_origin:
+            failures.append(f"top origin {top_origin!r} does not contain "
+                            f"{ns.assert_top_origin!r}")
+    for failure in failures:
+        print(f"// diag gate FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_bench(ns) -> int:
     from .bench import (
         float_baseline_time,
@@ -796,7 +898,10 @@ def cmd_serve(ns) -> int:
         cache_maxsize=ns.maxsize, pool_workers=ns.workers,
         max_queue=ns.max_queue, inline_limit=ns.inline_limit,
         pool_limit=ns.pool_limit, default_deadline_s=ns.deadline,
-        trace_log=ns.trace_log, trace_buffer=ns.trace_buffer)
+        trace_log=ns.trace_log,
+        trace_log_max_bytes=ns.trace_log_max_bytes,
+        diag_sample_every=ns.diag_sample,
+        trace_buffer=ns.trace_buffer)
 
     async def _main() -> None:
         server = SoundServer(config)
@@ -838,6 +943,7 @@ def _serve_fleet(ns) -> int:
         shard_workers=ns.workers, shard_max_queue=ns.max_queue,
         shard_inline_limit=ns.inline_limit,
         shard_cache_maxsize=ns.maxsize,
+        shard_diag_sample_every=ns.diag_sample,
         trace_log=ns.trace_log, trace_buffer=ns.trace_buffer)
 
     async def _main() -> None:
@@ -880,14 +986,24 @@ def cmd_request(ns) -> int:
                 if ns.file is None:
                     raise SystemExit(f"request {ns.op} needs a C file")
                 source = _read_source(ns.file)
+                config = ns.config
+                if ns.file != "-":
+                    # Ship the basename in the config so the origins the
+                    # server embeds (and its diag profile reports) name
+                    # the real file instead of "<src>".
+                    import os
+
+                    config = {**CompilerConfig.from_string(
+                                  ns.config, k=ns.k).to_dict(),
+                              "source_name": os.path.basename(ns.file)}
                 if ns.op == "compile":
                     result = client.compile(
-                        source, config=ns.config, k=ns.k, entry=ns.entry,
+                        source, config=config, k=ns.k, entry=ns.entry,
                         deadline_s=ns.deadline, trace_id=trace_id)
                 else:
                     result = client.run(
                         source, args=[_parse_arg(a) for a in ns.args],
-                        config=ns.config, k=ns.k, entry=ns.entry,
+                        config=config, k=ns.k, entry=ns.entry,
                         uncertainty_ulps=ns.uncertainty_ulps,
                         repeats=ns.repeats, deadline_s=ns.deadline,
                         trace_id=trace_id)
@@ -963,6 +1079,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compile": cmd_compile,
         "run": cmd_run,
         "analyze": cmd_analyze,
+        "diag": cmd_diag,
         "bench": cmd_bench,
         "batch": cmd_batch,
         "fuzz": cmd_fuzz,

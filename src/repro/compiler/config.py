@@ -66,6 +66,11 @@ class CompilerConfig:
     # Explicit pass pipeline (tuple of registered pass names); None means
     # the default pipeline for this config.  Part of the cache key.
     passes: Optional[Tuple[str, ...]] = None
+    # Display name of the source file, embedded in the generated code's
+    # origin strings ("<source_name>:<line>:<col> <op>") for the width
+    # diagnostics.  Part of the cache key: the generated program text
+    # differs per name.  None keeps the neutral "<src>" placeholder.
+    source_name: Optional[str] = None
 
     def __post_init__(self):
         if self.passes is not None and not isinstance(self.passes, tuple):
@@ -177,6 +182,7 @@ class CompilerConfig:
                            for k, v in sorted(self.int_params.items())},
             "opt": self.opt,
             "passes": list(self.passes) if self.passes is not None else None,
+            "source_name": self.source_name,
         }
 
     @classmethod
@@ -227,7 +233,11 @@ class CompilerConfig:
     def runtime_mode(self) -> str:
         return self.mode
 
-    def make_context(self) -> Optional[AffineContext]:
+    def make_context(self, track_provenance: bool = False
+                     ) -> Optional[AffineContext]:
+        """Build the affine context for one run.  ``track_provenance`` is a
+        per-run diagnostic toggle (width attribution) — deliberately NOT a
+        config field, so it never perturbs cache keys or generated code."""
         if self.mode != "aa":
             return None
         return AffineContext(
@@ -238,5 +248,6 @@ class CompilerConfig:
             vectorized=self.vectorize,
             decision_policy=self.decision_policy,
             seed=self.seed,
+            track_provenance=track_provenance,
             impl=self.impl,
         )

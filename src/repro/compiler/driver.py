@@ -97,16 +97,29 @@ class CompiledProgram:
         self._fn = namespace[entry]
         self._params = [p.name for p in unit.func(entry).params]
 
-    def make_runtime(self) -> Runtime:
+    def make_runtime(self, track_provenance: bool = False) -> Runtime:
         return Runtime(
             mode=self.config.runtime_mode(),
-            ctx=self.config.make_context(),
+            ctx=self.config.make_context(track_provenance=track_provenance),
             decision_policy=self.config.decision_policy,
         )
 
+    def input_origin(self, param_name: str) -> str:
+        """The provenance string attached to one input's error symbol.
+
+        Parameters carry no own source location, so inputs anchor at the
+        function definition: ``"<src>:<line>:<col> input <name>"``.
+        """
+        func = self.unit.func(self.entry)
+        line, col = getattr(func, "loc", (0, 0)) or (0, 0)
+        src = self.config.source_name or "<src>"
+        return f"{src}:{line}:{col} input {param_name}"
+
     def __call__(self, *args, uncertainty_ulps: float = 1.0,
-                 runtime: Optional[Runtime] = None, **kwargs) -> ProgramResult:
-        rt = runtime if runtime is not None else self.make_runtime()
+                 runtime: Optional[Runtime] = None,
+                 track_provenance: bool = False, **kwargs) -> ProgramResult:
+        rt = runtime if runtime is not None \
+            else self.make_runtime(track_provenance=track_provenance)
         bound: Dict[str, Any] = {}
         if len(args) > len(self._params):
             raise TypeError(
@@ -131,7 +144,8 @@ class CompiledProgram:
             if isinstance(p.type, A.CType) and p.type.is_integer():
                 coerced[p.name] = int(v)
             else:
-                coerced[p.name] = rt.coerce_input(v, uncertainty_ulps)
+                coerced[p.name] = rt.coerce_input(
+                    v, uncertainty_ulps, origin=self.input_origin(p.name))
         with current_tracer().span(f"exec:{self.entry}") as sp:
             value = self._fn(rt, *(coerced[p] for p in self._params))
         if sp.recording:
@@ -143,7 +157,8 @@ class CompiledProgram:
         return ProgramResult(value=value, params=coerced, runtime=rt,
                              elapsed_s=sp.wall_s)
 
-    def run_batch(self, rows, uncertainty_ulps: float = 1.0):
+    def run_batch(self, rows, uncertainty_ulps: float = 1.0,
+                  track_provenance: bool = False):
         """Evaluate this program over many input boxes at once.
 
         ``rows`` is a sequence of positional-argument lists, one per input
@@ -154,7 +169,8 @@ class CompiledProgram:
         """
         from ..batchrt import run_batch as _run_batch
 
-        return _run_batch(self, rows, uncertainty_ulps=uncertainty_ulps)
+        return _run_batch(self, rows, uncertainty_ulps=uncertainty_ulps,
+                          track_provenance=track_provenance)
 
 
 class SafeGen:

@@ -72,6 +72,12 @@ class CompilationState:
     c_source: Optional[str] = None
     diagnostics: List[str] = field(default_factory=list)
     dumps: Dict[str, str] = field(default_factory=dict)
+    # Provenance bookkeeping for the width diagnostics: CSE appends
+    # (kept_origin, merged_origin) pairs when it folds a duplicate
+    # expression into an earlier one; DTE appends the origins of the
+    # declarations it strips.  Origins are "<line>:<col>" source positions.
+    origin_merges: List[Tuple[str, str]] = field(default_factory=list)
+    origins_dropped: List[str] = field(default_factory=list)
 
     def note(self, message: str) -> None:
         self.diagnostics.append(message)
@@ -152,6 +158,10 @@ class PipelineReport:
     """The per-pass instrumentation of one full compilation."""
 
     passes: List[PassReport] = field(default_factory=list)
+    # Where optimization passes rewrote provenance: CSE merge pairs
+    # (kept_origin, merged_origin) and the origins DTE dropped outright.
+    origin_merges: List[Tuple[str, str]] = field(default_factory=list)
+    origins_dropped: List[str] = field(default_factory=list)
 
     @property
     def total_s(self) -> float:
@@ -189,6 +199,8 @@ class PipelineReport:
         return {
             "total_s": round(self.total_s, 6),
             "passes": [p.to_dict() for p in self.passes],
+            "origin_merges": [list(pair) for pair in self.origin_merges],
+            "origins_dropped": list(self.origins_dropped),
         }
 
     def __str__(self) -> str:

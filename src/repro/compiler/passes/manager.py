@@ -129,6 +129,8 @@ class PassManager:
             ))
             if p.name in self.emit_after:
                 state.dumps[p.name] = self._dump(state)
+        report.origin_merges = list(state.origin_merges)
+        report.origins_dropped = list(state.origins_dropped)
         return state, report
 
     @staticmethod

@@ -103,8 +103,15 @@ def _has_impure_call(node) -> bool:
 # common-subexpression elimination
 # ---------------------------------------------------------------------------
 
-# An availability entry: expression key -> (holder variable, operand names).
-_Env = Dict[tuple, Tuple[str, Set[str]]]
+# An availability entry: expression key -> (holder variable, operand names,
+# source location of the defining expression).
+_Env = Dict[tuple, Tuple[str, Set[str], tuple]]
+
+
+def _loc_str(loc) -> str:
+    """A ``"<line>:<col>"`` rendering of an AST location tuple."""
+    line, col = loc or (0, 0)
+    return f"{line}:{col}"
 
 
 def _operand_key(e: A.Expr) -> Optional[tuple]:
@@ -153,7 +160,7 @@ def _expr_key(e: A.Expr) -> Optional[Tuple[tuple, Set[str]]]:
 def _kill(env: _Env, names: Set[str]) -> None:
     if not names:
         return
-    for key in [k for k, (holder, used) in env.items()
+    for key in [k for k, (holder, used, _loc) in env.items()
                 if holder in names or (used & names)]:
         del env[key]
 
@@ -164,6 +171,10 @@ class _Cse:
 
     def __init__(self) -> None:
         self.replaced = 0
+        # (kept_origin, merged_origin) "<line>:<col>" pairs, one per reuse —
+        # the width diagnostics use these to explain why a source position
+        # never appears in the noise-symbol provenance.
+        self.merges: List[Tuple[str, str]] = []
 
     def block(self, stmts: List[A.Stmt], env: _Env) -> None:
         for s in stmts:
@@ -206,13 +217,14 @@ class _Cse:
         key, operand_names = keyed
         hit = env.get(key)
         if hit is not None:
+            self.merges.append((_loc_str(hit[2]), _loc_str(s.init.loc)))
             ident = A.Ident(loc=s.init.loc, name=hit[0])
             ident.ty = s.init.ty
             s.init = ident
             s.stmt_id = None
             self.replaced += 1
         elif isinstance(s.type, A.CType) and s.type.is_float():
-            env[key] = (s.name, operand_names)
+            env[key] = (s.name, operand_names, s.init.loc)
 
     def _expr_stmt(self, s: A.ExprStmt, env: _Env) -> None:
         e = s.expr
@@ -229,6 +241,8 @@ class _Cse:
                 key, operand_names = keyed
                 hit = env.get(key)
                 if hit is not None and hit[0] != target_name:
+                    self.merges.append(
+                        (_loc_str(hit[2]), _loc_str(e.value.loc)))
                     ident = A.Ident(loc=e.value.loc, name=hit[0])
                     ident.ty = e.value.ty
                     e.value = ident
@@ -241,7 +255,7 @@ class _Cse:
                         target_name not in operand_names and \
                         isinstance(e.target.ty, A.CType) and \
                         e.target.ty.is_float():
-                    env[key] = (target_name, operand_names)
+                    env[key] = (target_name, operand_names, e.value.loc)
                 return
         _kill(env, assigned_names(s))
 
@@ -258,6 +272,7 @@ class CsePass(Pass):
             walker = _Cse()
             walker.block(f.body.stmts, {})
             total += walker.replaced
+            state.origin_merges.extend(walker.merges)
         if total:
             state.note(f"cse: reused {total} redundant float op(s)")
 
@@ -303,11 +318,11 @@ def _init_is_removable(e: Optional[A.Expr]) -> bool:
     return False
 
 
-def _dead_decls(func: A.FuncDef) -> Set[int]:
-    """ids() of Decl statements that are provably dead this round."""
+def _dead_decls(func: A.FuncDef) -> Dict[int, tuple]:
+    """id() -> source loc of Decl statements provably dead this round."""
     uses: Dict[str, int] = {}
     _count_ident_uses(func, uses)
-    dead: Set[int] = set()
+    dead: Dict[int, tuple] = {}
 
     def visit(node) -> None:
         for f in getattr(node, "__dataclass_fields__", {}):
@@ -322,7 +337,7 @@ def _dead_decls(func: A.FuncDef) -> Set[int]:
                         and item.prioritize is None \
                         and uses.get(item.name, 0) == 0 \
                         and _init_is_removable(item.init):
-                    dead.add(id(item))
+                    dead[id(item)] = getattr(item, "loc", (0, 0))
                 if isinstance(item, A.Node):
                     visit(item)
 
@@ -330,7 +345,7 @@ def _dead_decls(func: A.FuncDef) -> Set[int]:
     return dead
 
 
-def _strip_decls(node, dead: Set[int]) -> None:
+def _strip_decls(node, dead: Dict[int, tuple]) -> None:
     """Remove dead Decl statements from every statement list in place."""
     for f in getattr(node, "__dataclass_fields__", {}):
         v = getattr(node, f)
@@ -359,6 +374,8 @@ class DeadTempPass(Pass):
                 if not dead:
                     break
                 _strip_decls(f.body, dead)
+                state.origins_dropped.extend(
+                    _loc_str(loc) for loc in dead.values())
                 total += len(dead)
         if total:
             state.note(f"dte: removed {total} dead declaration(s)")

@@ -183,7 +183,8 @@ class CodegenPyPass(Pass):
     generated C against the affine library)."""
 
     def run(self, state: CompilationState) -> None:
-        state.python_source = generate_python(state.unit)
+        state.python_source = generate_python(
+            state.unit, source_name=state.config.source_name)
 
 
 @register_pass("codegen-c")

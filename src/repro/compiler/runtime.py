@@ -58,24 +58,31 @@ class Runtime:
 
     # -- value construction ---------------------------------------------------
 
-    def const(self, value: float, exact: Optional[bool] = None):
-        """A source constant; inexact constants get a one-ulp enclosure."""
+    def const(self, value: float, exact: Optional[bool] = None,
+              origin: Optional[str] = None):
+        """A source constant; inexact constants get a one-ulp enclosure.
+
+        ``origin`` is the generated code's structured provenance string
+        (``file:line:col const``); it only matters when the affine context
+        tracks provenance and is ignored in the interval/float modes.
+        """
         if self.mode == "float":
             return value
         if self.mode == "aa":
-            return self.ctx.constant(value, exact=exact)
+            return self.ctx.constant(value, exact=exact, provenance=origin)
         if exact is None:
             exact = bool(math.isfinite(value) and value == int(value))
         if self.mode == "ia":
             return Interval.from_constant(value, exact=exact)
         return IntervalDD.from_constant(value, exact=exact)
 
-    def interval_const(self, lo: float, hi: float):
+    def interval_const(self, lo: float, hi: float,
+                       origin: Optional[str] = None):
         """A folded constant range (from sound constant folding)."""
         if self.mode == "float":
             return lo + (hi - lo) / 2.0
         if self.mode == "aa":
-            return self.ctx.from_interval(lo, hi)
+            return self.ctx.from_interval(lo, hi, provenance=origin)
         if self.mode == "ia":
             return Interval(lo, hi)
         return IntervalDD.from_interval(lo, hi)
@@ -90,20 +97,21 @@ class Runtime:
             return Interval.point(float(value))
         return IntervalDD.point(float(value))
 
-    def input(self, value: float, uncertainty_ulps: float = 1.0):
+    def input(self, value: float, uncertainty_ulps: float = 1.0,
+              origin: Optional[str] = None):
         """An input value carrying one symbol of ``uncertainty_ulps`` ulps
         (the paper's experimental setup)."""
         if self.mode == "float":
             return float(value)
         if self.mode == "aa":
-            return self.ctx.input(value, uncertainty_ulps)
+            return self.ctx.input(value, uncertainty_ulps, provenance=origin)
         rad = uncertainty_ulps * ulp(value)
         if self.mode == "ia":
             return Interval.with_radius(value, rad)
         base = IntervalDD.point(value)
         return base + IntervalDD.from_interval(-rad, rad)
 
-    def input_range(self, vr: ValueRange):
+    def input_range(self, vr: ValueRange, origin: Optional[str] = None):
         """A range-valued input covering all of ``[vr.lo, vr.hi]``.
 
         In AA mode this is one fresh symbol spanning the half-width (named
@@ -113,27 +121,31 @@ class Runtime:
         if self.mode == "float":
             return vr.midpoint()
         if self.mode == "aa":
-            return self.ctx.from_interval(vr.lo, vr.hi, name=vr.name)
+            return self.ctx.from_interval(vr.lo, vr.hi, name=vr.name,
+                                          provenance=origin)
         if self.mode == "ia":
             return Interval(vr.lo, vr.hi)
         return IntervalDD.from_interval(vr.lo, vr.hi)
 
-    def coerce_input(self, value, uncertainty_ulps: float = 1.0):
+    def coerce_input(self, value, uncertainty_ulps: float = 1.0,
+                     origin: Optional[str] = None):
         """Turn a plain float / nested list of floats into sound inputs;
         pass already-sound values through."""
         if isinstance(value, (int, float)):
-            return self.input(float(value), uncertainty_ulps)
+            return self.input(float(value), uncertainty_ulps, origin=origin)
         if isinstance(value, ValueRange):
-            return self.input_range(value)
+            return self.input_range(value, origin=origin)
         if self.mode == "float" and hasattr(value, "central_float"):
             return value.central_float()
         if isinstance(value, (list, tuple)):
-            return [self.coerce_input(v, uncertainty_ulps) for v in value]
+            return [self.coerce_input(v, uncertainty_ulps, origin=origin)
+                    for v in value]
         try:  # numpy arrays
             import numpy as np
 
             if isinstance(value, np.ndarray):
-                return self.coerce_input(value.tolist(), uncertainty_ulps)
+                return self.coerce_input(value.tolist(), uncertainty_ulps,
+                                         origin=origin)
         except ImportError:  # pragma: no cover
             pass
         return value
@@ -258,32 +270,32 @@ class Runtime:
 
     # -- arithmetic dispatch (interval modes lack the method/protect API) --------
 
-    def add(self, a, b, protect=frozenset()):
+    def add(self, a, b, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.add(b, protect=protect)
+            return a.add(b, protect=protect, provenance=origin)
         return a + b
 
-    def sub(self, a, b, protect=frozenset()):
+    def sub(self, a, b, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.sub(b, protect=protect)
+            return a.sub(b, protect=protect, provenance=origin)
         return a - b
 
-    def mul(self, a, b, protect=frozenset()):
+    def mul(self, a, b, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.mul(b, protect=protect)
+            return a.mul(b, protect=protect, provenance=origin)
         return a * b
 
-    def div(self, a, b, protect=frozenset()):
+    def div(self, a, b, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.div(b, protect=protect)
+            return a.div(b, protect=protect, provenance=origin)
         return a / b
 
     def neg(self, a):
         return -a if self.mode != "aa" else a.neg()
 
-    def sqrt(self, a, protect=frozenset()):
+    def sqrt(self, a, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.sqrt(protect=protect)
+            return a.sqrt(protect=protect, provenance=origin)
         if self.mode == "float":
             return math.sqrt(a)
         return a.sqrt()
@@ -293,9 +305,9 @@ class Runtime:
             return a.abs_()
         return abs(a)
 
-    def exp(self, a, protect=frozenset()):
+    def exp(self, a, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.exp(protect=protect)
+            return a.exp(protect=protect, provenance=origin)
         if self.mode == "float":
             return math.exp(a)
         if self.mode == "ia":
@@ -304,9 +316,9 @@ class Runtime:
             return iexp(a)
         raise CompileError("exp is not supported in double-double intervals")
 
-    def log(self, a, protect=frozenset()):
+    def log(self, a, protect=frozenset(), origin=None):
         if self.mode == "aa":
-            return a.log(protect=protect)
+            return a.log(protect=protect, provenance=origin)
         if self.mode == "float":
             return math.log(a)
         if self.mode == "ia":

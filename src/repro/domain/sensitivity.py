@@ -24,6 +24,25 @@ from .evaluate import build_row
 __all__ = ["rank_dimensions", "split_scores"]
 
 
+def _input_name(provenance: Optional[str]) -> Optional[str]:
+    """The input parameter a symbol's origin names, if any.
+
+    Accepts both the bare-context convention (``"input:<name>"``, what
+    ``AffineContext.input`` defaults to) and the compiler's source-anchored
+    origins (``"<src>:<line>:<col> input <name>"``).
+    """
+    if not provenance:
+        return None
+    if provenance.startswith("input:"):
+        return provenance[len("input:"):]
+    from ..obs.diag import parse_origin
+
+    parsed = parse_origin(provenance)
+    if parsed is not None and parsed[3].startswith("input "):
+        return parsed[3][len("input "):]
+    return None
+
+
 def rank_dimensions(program, box: Box, *,
                     fixed: Optional[Dict[str, Any]] = None
                     ) -> Optional[Dict[str, float]]:
@@ -49,11 +68,9 @@ def rank_dimensions(program, box: Box, *,
         return None
     mass: Dict[str, float] = {}
     for share in shares:
-        prov = share.provenance or ""
-        if prov.startswith("input:"):
-            name = prov[len("input:"):]
-            if name in box.names:
-                mass[name] = mass.get(name, 0.0) + abs(share.coefficient)
+        name = _input_name(share.provenance)
+        if name is not None and name in box.names:
+            mass[name] = mass.get(name, 0.0) + abs(share.coefficient)
     total = sum(mass.values())
     if total <= 0.0:
         return None

@@ -7,6 +7,14 @@ rendering (:mod:`.waterfall`).  See DESIGN.md § Observability for the
 span model and the per-layer record inventory.
 """
 
+from .diag import (
+    WidthProfile,
+    explain_batch_row,
+    located_fraction,
+    parse_origin,
+    render_diag_report,
+    shares_by_origin,
+)
 from .export import TraceBuffer, TraceLog, check_spans, load_trace
 from .metrics import render_prometheus
 from .profile import OpProfile, count_rounding
@@ -29,12 +37,18 @@ __all__ = [
     "TraceBuffer",
     "TraceLog",
     "Tracer",
+    "WidthProfile",
     "check_spans",
     "count_rounding",
     "current_tracer",
+    "explain_batch_row",
     "load_trace",
+    "located_fraction",
     "new_trace_id",
+    "parse_origin",
+    "render_diag_report",
     "render_prometheus",
     "render_waterfall",
+    "shares_by_origin",
     "use_tracer",
 ]

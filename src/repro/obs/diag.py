@@ -1,0 +1,400 @@
+"""Width-provenance diagnostics: source-level error attribution.
+
+The compiler embeds an origin string — ``"<file>:<line>:<col> <op>"`` — in
+every runtime call it generates; when a run tracks provenance, each noise
+symbol created by the scalar or batched runtime carries the origin of the
+operation that created it, and condensation records the radius it absorbed
+per origin.  This module turns those raw records into answers:
+
+* :func:`parse_origin` / :func:`located_fraction` — the origin grammar.
+* :func:`explain_batch_row` — per-row radius decomposition of a
+  :class:`~repro.batchrt.form.BatchAffine` (the batched analogue of
+  :func:`repro.aa.explain.explain`).
+* :class:`WidthProfile` — a mergeable, wire-serializable aggregator of
+  per-request attributions (the shape :class:`repro.service.ServiceStats`
+  uses), sampled off the hot path, served by the daemon's ``diag`` op and
+  fleet-merged on the router.
+* :func:`render_diag_report` — the ``repro diag`` terminal report joining
+  the width profile with pipeline timings and service stats.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..fp import add_ru
+
+__all__ = [
+    "ORIGIN_RE",
+    "WidthProfile",
+    "explain_batch_row",
+    "located_fraction",
+    "parse_origin",
+    "render_diag_report",
+    "shares_by_origin",
+]
+
+#: ``"<file>:<line>:<col> <op>"`` — what the code generator emits.  The op
+#: tail is free-form ("mul", "input x", "const", ...).
+ORIGIN_RE = re.compile(r"^(.*):(\d+):(\d+)\s+(\S.*)$")
+
+
+def parse_origin(origin: Optional[str]
+                 ) -> Optional[Tuple[str, int, int, str]]:
+    """``(file, line, col, op)`` for a well-formed origin string, else
+    ``None`` (runtime-internal origins like ``"constant"`` or
+    ``"ceres:round"`` don't parse — by design: they are not source
+    positions)."""
+    if not origin:
+        return None
+    m = ORIGIN_RE.match(origin)
+    if m is None:
+        return None
+    return m.group(1), int(m.group(2)), int(m.group(3)), m.group(4)
+
+
+def located_fraction(shares: Dict[str, float]) -> float:
+    """The fraction of attribution mass carried by origins that parse as
+    concrete source positions.  ``repro diag --min-located`` gates on this."""
+    total = 0.0
+    located = 0.0
+    for origin, share in shares.items():
+        total += share
+        if parse_origin(origin) is not None:
+            located += share
+    return located / total if total > 0 else 0.0
+
+
+def shares_by_origin(explanation) -> Dict[str, float]:
+    """Collapse an :class:`~repro.aa.explain.Explanation` to an
+    origin -> summed-share dict; anonymous symbols key as ``"ε<id>"``."""
+    out: Dict[str, float] = {}
+    for s in explanation.shares:
+        key = s.provenance or f"ε{s.symbol_id}"
+        out[key] = out.get(key, 0.0) + s.share
+    return out
+
+
+def explain_batch_row(form, row: int):
+    """Radius decomposition of one row of a :class:`BatchAffine`.
+
+    The batched context keeps per-row sid -> origin maps (row sids diverge
+    because zero coefficients skip placement per row), so this is the exact
+    analogue of ``explain(vec_affine)`` for that row.
+    """
+    from ..aa.explain import Explanation, SymbolShare
+
+    ids = form.ids[row]
+    coeffs = form.coeffs[row]
+    radius = 0.0
+    pairs = []
+    for slot in range(len(ids)):
+        sid = int(ids[slot])
+        if sid == 0:
+            continue
+        c = float(coeffs[slot])
+        radius = add_ru(radius, abs(c))
+        pairs.append((sid, c))
+    shares = [
+        SymbolShare(
+            symbol_id=sid, coefficient=c,
+            share=abs(c) / radius if radius > 0 else 0.0,
+            provenance=form.ctx.provenance_of_row(row, sid))
+        for sid, c in pairs
+    ]
+    shares.sort(key=lambda s: -abs(s.coefficient))
+    return Explanation(central=float(form.central[row]), radius=radius,
+                       n_symbols=len(shares), shares=shares)
+
+
+class WidthProfile:
+    """Mergeable aggregate of per-request width attributions.
+
+    Follows the :class:`~repro.service.ServiceStats` conventions: every
+    mutation goes through a re-entrant lock, :meth:`to_dict` /
+    :meth:`from_dict` round-trip the wire form a shard serves from its
+    ``diag`` op, :meth:`merge` / :meth:`merged` fold shard snapshots into
+    a fleet rollup, and pickling drops the lock.
+
+    Per origin it keeps the summed share, summed absolute radius
+    contribution, request count and maximum single-request share; a small
+    seeded reservoir of whole per-request attributions rides along for
+    drill-down.  Sampling policy lives with the caller (the service records
+    every N-th request) — the profile only counts what it is given:
+    :meth:`skip` for an unsampled request, :meth:`record` for a sampled one.
+    """
+
+    DEFAULT_RESERVOIR = 32
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        self._lock = threading.RLock()
+        self.reservoir = int(reservoir)
+        self.n_requests = 0
+        self.n_sampled = 0
+        # origin -> {"share_sum", "radius_sum", "count", "max_share"}
+        self.origins: Dict[str, Dict[str, float]] = {}
+        # condensation-loss books (victim origin / absorbing site)
+        self.absorbed: Dict[str, float] = {}
+        self.absorbed_at: Dict[str, float] = {}
+        self.n_absorptions = 0
+        self.samples: List[Dict[str, Any]] = []
+        self._rng = random.Random(0x5AFE)
+
+    # -- recording -------------------------------------------------------------
+
+    def skip(self) -> None:
+        """Count a request that ran without attribution (not sampled)."""
+        with self._lock:
+            self.n_requests += 1
+
+    def record(self, shares: Dict[str, float], radius: float,
+               label: Optional[str] = None) -> None:
+        """Fold one sampled request's origin -> share dict in."""
+        with self._lock:
+            self.n_requests += 1
+            self.n_sampled += 1
+            for origin, share in shares.items():
+                st = self.origins.get(origin)
+                if st is None:
+                    st = self.origins[origin] = {
+                        "share_sum": 0.0, "radius_sum": 0.0,
+                        "count": 0, "max_share": 0.0}
+                st["share_sum"] += share
+                st["radius_sum"] = add_ru(st["radius_sum"],
+                                          abs(share * radius))
+                st["count"] += 1
+                if share > st["max_share"]:
+                    st["max_share"] = share
+            self._reservoir_add({"shares": dict(shares),
+                                 "radius": float(radius),
+                                 **({"label": label} if label else {})})
+
+    def record_absorbed(self, absorbed: Dict[str, float],
+                        absorbed_at: Dict[str, float],
+                        n_absorptions: int = 0) -> None:
+        """Fold one context's condensation-loss books in (the
+        ``absorbed`` / ``absorbed_at`` dicts of a ``SymbolFactory`` or
+        ``BatchContext``)."""
+        with self._lock:
+            for origin, amount in absorbed.items():
+                self.absorbed[origin] = add_ru(
+                    self.absorbed.get(origin, 0.0), amount)
+            for site, amount in absorbed_at.items():
+                self.absorbed_at[site] = add_ru(
+                    self.absorbed_at.get(site, 0.0), amount)
+            self.n_absorptions += int(n_absorptions)
+
+    def record_explanation(self, explanation, label: Optional[str] = None
+                           ) -> None:
+        """Convenience: :meth:`record` an ``Explanation`` directly."""
+        self.record(shares_by_origin(explanation), explanation.radius,
+                    label=label)
+
+    def _reservoir_add(self, sample: Dict[str, Any]) -> None:
+        if len(self.samples) < self.reservoir:
+            self.samples.append(sample)
+            return
+        j = self._rng.randrange(self.n_sampled)
+        if j < self.reservoir:
+            self.samples[j] = sample
+
+    # -- views -----------------------------------------------------------------
+
+    def top(self, n: int = 5) -> List[Tuple[str, float]]:
+        """The ``n`` heaviest origins as ``(origin, mean share)`` over the
+        sampled requests, heaviest first."""
+        with self._lock:
+            if not self.n_sampled:
+                return []
+            ranked = sorted(self.origins.items(),
+                            key=lambda kv: (-kv[1]["share_sum"], kv[0]))
+            return [(origin, st["share_sum"] / self.n_sampled)
+                    for origin, st in ranked[:n]]
+
+    def located_fraction(self) -> float:
+        """Share mass attributed to concrete source positions, over all
+        sampled requests."""
+        with self._lock:
+            return located_fraction({o: st["share_sum"]
+                                     for o, st in self.origins.items()})
+
+    # -- wire form ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "n_requests": self.n_requests,
+                "n_sampled": self.n_sampled,
+                "reservoir": self.reservoir,
+                "origins": {o: dict(st)
+                            for o, st in sorted(self.origins.items())},
+                "absorbed": dict(sorted(self.absorbed.items())),
+                "absorbed_at": dict(sorted(self.absorbed_at.items())),
+                "n_absorptions": self.n_absorptions,
+                "samples": [dict(s) for s in self.samples],
+                "located_fraction": round(self.located_fraction(), 6),
+                "top": [[o, round(share, 6)] for o, share in self.top(10)],
+            }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WidthProfile":
+        """Inverse of :meth:`to_dict`; derived keys (``top``,
+        ``located_fraction``) are ignored."""
+        out = cls(reservoir=int(data.get("reservoir",
+                                         cls.DEFAULT_RESERVOIR)))
+        out.n_requests = int(data.get("n_requests", 0))
+        out.n_sampled = int(data.get("n_sampled", 0))
+        for origin, st in data.get("origins", {}).items():
+            out.origins[origin] = {
+                "share_sum": float(st.get("share_sum", 0.0)),
+                "radius_sum": float(st.get("radius_sum", 0.0)),
+                "count": int(st.get("count", 0)),
+                "max_share": float(st.get("max_share", 0.0)),
+            }
+        out.absorbed = {k: float(v)
+                        for k, v in data.get("absorbed", {}).items()}
+        out.absorbed_at = {k: float(v)
+                           for k, v in data.get("absorbed_at", {}).items()}
+        out.n_absorptions = int(data.get("n_absorptions", 0))
+        out.samples = [dict(s) for s in data.get("samples", [])]
+        return out
+
+    def merge(self, other: "WidthProfile") -> None:
+        """Fold another profile (e.g. a shard snapshot) into this one."""
+        with self._lock:
+            self.n_requests += other.n_requests
+            self.n_sampled += other.n_sampled
+            for origin, st in other.origins.items():
+                mine = self.origins.get(origin)
+                if mine is None:
+                    self.origins[origin] = dict(st)
+                else:
+                    mine["share_sum"] += st["share_sum"]
+                    mine["radius_sum"] = add_ru(mine["radius_sum"],
+                                                st["radius_sum"])
+                    mine["count"] += st["count"]
+                    if st["max_share"] > mine["max_share"]:
+                        mine["max_share"] = st["max_share"]
+            self.record_absorbed(other.absorbed, other.absorbed_at,
+                                 other.n_absorptions)
+            # Samples interleave so both sides keep representation within
+            # the bounded reservoir.
+            combined: List[Dict[str, Any]] = []
+            for i in range(max(len(self.samples), len(other.samples))):
+                if i < len(self.samples):
+                    combined.append(self.samples[i])
+                if i < len(other.samples):
+                    combined.append(other.samples[i])
+            self.samples = combined[:self.reservoir]
+
+    @classmethod
+    def merged(cls, snapshots: Iterable[Dict[str, Any]]) -> "WidthProfile":
+        """Fold many :meth:`to_dict` snapshots into one rollup (what the
+        router's fleet ``diag`` op returns)."""
+        out = cls()
+        for snap in snapshots:
+            out.merge(cls.from_dict(snap))
+        return out
+
+    # -- pickling (the lock stays process-local) ---------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state.pop("_rng", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._rng = random.Random(0x5AFE)
+
+    def __str__(self) -> str:
+        top = ", ".join(f"{o} ({share:.1%})" for o, share in self.top(3))
+        return (f"width profile: {self.n_sampled}/{self.n_requests} "
+                f"requests sampled; top: {top or '(none)'}")
+
+
+def render_diag_report(profile: Dict[str, Any],
+                       pipeline: Optional[Dict[str, Any]] = None,
+                       stats: Optional[Dict[str, Any]] = None,
+                       n: int = 10) -> str:
+    """The ``repro diag`` terminal report.
+
+    ``profile`` is a :meth:`WidthProfile.to_dict` snapshot; ``pipeline``
+    an optional :meth:`PipelineReport.to_dict` (compile timings + origin
+    rewrites); ``stats`` an optional :meth:`ServiceStats.to_dict` (cache /
+    pool counters).  All three arrive as plain dicts so the same renderer
+    serves local compiles, daemon snapshots and fleet rollups.
+    """
+    lines: List[str] = []
+    n_req = profile.get("n_requests", 0)
+    n_samp = profile.get("n_sampled", 0)
+    lines.append(f"width attribution ({n_samp}/{n_req} requests sampled)")
+    origins = profile.get("origins", {})
+    ranked = sorted(origins.items(),
+                    key=lambda kv: (-kv[1].get("share_sum", 0.0), kv[0]))
+    if not ranked:
+        lines.append("  (no sampled requests)")
+    for origin, st in ranked[:n]:
+        mean = st.get("share_sum", 0.0) / n_samp if n_samp else 0.0
+        where = parse_origin(origin)
+        tag = "" if where is not None else "  [runtime]"
+        lines.append(
+            f"  {mean:7.2%}  {origin}"
+            f"  (peak {st.get('max_share', 0.0):.1%}, "
+            f"n={int(st.get('count', 0))}){tag}")
+    if len(ranked) > n:
+        rest = sum(st.get("share_sum", 0.0)
+                   for _, st in ranked[n:]) / max(n_samp, 1)
+        lines.append(f"  ... {len(ranked) - n} more ({rest:.2%})")
+    loc = profile.get("located_fraction")
+    if loc is None:
+        loc = located_fraction({o: st.get("share_sum", 0.0)
+                                for o, st in origins.items()})
+    lines.append(f"  located at source positions: {loc:.1%}")
+
+    absorbed = profile.get("absorbed", {})
+    if absorbed:
+        lines.append("condensation losses (radius absorbed, by victim "
+                     "origin)")
+        for origin, amount in sorted(absorbed.items(),
+                                     key=lambda kv: -kv[1])[:n]:
+            lines.append(f"  {amount:12.6g}  {origin}")
+        sites = profile.get("absorbed_at", {})
+        if sites:
+            lines.append("  absorbed at (top sites): " + ", ".join(
+                f"{site} ({amount:.3g})"
+                for site, amount in sorted(sites.items(),
+                                           key=lambda kv: -kv[1])[:3]))
+
+    if pipeline:
+        lines.append("compile pipeline")
+        for p in pipeline.get("passes", []):
+            lines.append(f"  {p.get('name', '?'):<12} "
+                         f"{p.get('wall_s', 0.0) * 1e3:9.3f} ms  "
+                         f"fops {p.get('float_ops_after', 0)}")
+        merges = pipeline.get("origin_merges", [])
+        dropped = pipeline.get("origins_dropped", [])
+        if merges:
+            lines.append(
+                "  cse merged origins: " + ", ".join(
+                    f"{kept} <- {merged_}" for kept, merged_ in merges[:8])
+                + (" ..." if len(merges) > 8 else ""))
+        if dropped:
+            lines.append(
+                "  dte dropped origins: " + ", ".join(dropped[:8])
+                + (" ..." if len(dropped) > 8 else ""))
+
+    if stats:
+        hits = stats.get("hits", 0)
+        misses = stats.get("misses", 0)
+        lookups = hits + misses
+        lines.append(
+            f"service: cache {hits}/{lookups} hits, "
+            f"{stats.get('jobs_run', 0)} jobs run, "
+            f"{stats.get('jobs_failed', 0)} failed")
+    return "\n".join(lines)

@@ -54,23 +54,49 @@ class TraceBuffer:
 
 
 class TraceLog:
-    """Append-only JSONL span sink.
+    """Append-only JSONL span sink with optional size-capped rotation.
 
     The file handle stays open (the server writes per request); ``close``
     is idempotent and writes after close are dropped silently so a drain
     race cannot take the server down.
+
+    ``max_bytes`` caps the live file: when an append pushes it past the
+    cap, the file rotates to ``<path>.1`` (replacing any previous
+    rotation) and a fresh live file starts, so a long-lived daemon keeps
+    at most ~2x ``max_bytes`` of spans on disk.  Rotation happens on the
+    write boundary — individual spans are never split across files.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         self.path = path
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._fh = open(path, "a")
+        self._size = self._fh.tell()
 
     def write(self, span_dicts: Iterable[Dict[str, Any]]) -> None:
         if self._fh is None:
             return
         for span in span_dicts:
-            self._fh.write(json.dumps(span, separators=(",", ":")) + "\n")
+            line = json.dumps(span, separators=(",", ":")) + "\n"
+            nbytes = len(line.encode("utf-8"))
+            if self.max_bytes is not None and self._size > 0 \
+                    and self._size + nbytes > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._size += nbytes
         self._fh.flush()
+
+    def _rotate(self) -> None:
+        import os
+
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "a")
+        self._size = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._fh is not None:

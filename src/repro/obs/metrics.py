@@ -275,18 +275,61 @@ def _render_server(w: _Writer, server: Dict[str, Any],
                  [(lbl(), trace.get("dropped", 0))])
 
 
+def _render_width(w: _Writer, width: Dict[str, Any],
+                  labels: Optional[Dict[str, str]] = None,
+                  top_n: int = 10) -> None:
+    """Emit one WidthProfile snapshot: per-origin mean-share gauges for the
+    heaviest origins plus the sampling and condensation-loss counters."""
+    base = dict(labels or {})
+
+    def lbl(extra: Optional[Dict[str, Any]] = None):
+        merged = {**base, **(extra or {})}
+        return merged or None
+
+    n_sampled = width.get("n_sampled", 0)
+    w.metric("width_requests_total", "counter",
+             "Run requests seen by the width-provenance sampler.",
+             [(lbl({"sampled": "yes"}), n_sampled),
+              (lbl({"sampled": "no"}),
+               width.get("n_requests", 0) - n_sampled)])
+    if not n_sampled:
+        return
+    ranked = sorted(width.get("origins", {}).items(),
+                    key=lambda kv: (-kv[1].get("share_sum", 0.0), kv[0]))
+    w.metric("width_share", "gauge",
+             "Mean share of enclosure radius attributed to a source origin "
+             "over sampled runs (top origins only).",
+             [(lbl({"origin": origin}),
+               st.get("share_sum", 0.0) / n_sampled)
+              for origin, st in ranked[:top_n]])
+    loc = width.get("located_fraction")
+    if loc is not None:
+        w.metric("width_located_fraction", "gauge",
+                 "Fraction of attributed radius carried by origins that "
+                 "parse as concrete source positions.",
+                 [(lbl(), loc)])
+    w.metric("width_absorptions_total", "counter",
+             "Condensation events recorded during sampled runs.",
+             [(lbl(), width.get("n_absorptions", 0))])
+
+
 def render_prometheus(stats, server: Optional[Dict[str, Any]] = None,
-                      shard: Optional[str] = None) -> str:
+                      shard: Optional[str] = None,
+                      width: Optional[Dict[str, Any]] = None) -> str:
     """Render ``stats`` (a ServiceStats) and an optional server snapshot
     (the dict the daemon's ``stats`` op returns under ``"server"``) as
     Prometheus text exposition.  ``shard`` stamps a ``shard`` label onto
-    every sample (the per-process form of the fleet exposition)."""
+    every sample (the per-process form of the fleet exposition); ``width``
+    is an optional :meth:`repro.obs.diag.WidthProfile.to_dict` snapshot
+    rendered as ``repro_width_share{origin=...}`` gauges."""
     snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
     labels = {"shard": shard} if shard is not None else None
     w = _Writer()
     _render_service(w, snap, labels)
     if server:
         _render_server(w, server, labels)
+    if width:
+        _render_width(w, width, labels)
     return w.render()
 
 

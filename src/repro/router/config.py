@@ -79,6 +79,9 @@ class RouterConfig:
     shard_max_queue: int = 64
     shard_inline_limit: int = 1
     shard_cache_maxsize: int = 256
+    #: width-provenance sampling stride passed to every spawned shard
+    #: (see :attr:`repro.server.ServerConfig.diag_sample_every`).
+    shard_diag_sample_every: int = 16
 
     def __post_init__(self) -> None:
         self.shards = [_parse_shard(s) for s in self.shards]
@@ -96,3 +99,5 @@ class RouterConfig:
             raise ValueError("unhealthy_after must be >= 1")
         if self.health_interval_s < 0:
             raise ValueError("health_interval_s must be >= 0")
+        if self.shard_diag_sample_every < 0:
+            raise ValueError("shard_diag_sample_every must be >= 0")

@@ -145,7 +145,8 @@ class FleetManager:
                "--workers", str(cfg.shard_workers),
                "--max-queue", str(cfg.shard_max_queue),
                "--inline-limit", str(cfg.shard_inline_limit),
-               "--maxsize", str(cfg.shard_cache_maxsize)]
+               "--maxsize", str(cfg.shard_cache_maxsize),
+               "--diag-sample", str(cfg.shard_diag_sample_every)]
         if cfg.cache_dir:
             cmd += ["--cache-dir", cfg.cache_dir]
         return cmd

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.diag import WidthProfile
 from ..obs.metrics import render_prometheus_fleet
 from ..obs.trace import current_tracer
 from ..server.core import CoreThread, OpCore
@@ -103,6 +104,7 @@ class RouterServer(OpCore):
         self.ring = HashRing(replicas=self.config.replicas)
         self.fleet = FleetManager(self.config, self.ring)
         self.register_work("compile", "run", "run_batch", "analyze")
+        self.register_control("diag", self.op_diag)
 
     # -- op-core hooks ---------------------------------------------------------------
 
@@ -238,6 +240,15 @@ class RouterServer(OpCore):
                       "service": rollup.to_dict()},
             "shards": shards,
         }
+
+    async def op_diag(self, request: Request) -> Dict[str, Any]:
+        """Fleet width diagnostics: every shard's ``diag`` snapshot plus
+        the :meth:`WidthProfile.merged` rollup — the same wire form a
+        single daemon serves, so clients and the CLI need no fleet case."""
+        shards = await self._gather_shards("diag")
+        rollup = WidthProfile.merged(
+            [r["width"] for r in shards.values() if "width" in r])
+        return {"width": rollup.to_dict(), "shards": shards}
 
     async def op_metrics(self, request: Request) -> Dict[str, Any]:
         """One Prometheus exposition over the whole fleet: every family

@@ -282,3 +282,12 @@ class ServerClient:
     def metrics(self) -> str:
         """Fetch the Prometheus text exposition of the server's stats."""
         return self.request("metrics")["text"]
+
+    def diag(self) -> Dict[str, Any]:
+        """Fetch the width-provenance diagnostics profile.
+
+        Against a daemon: that process's sampled attribution profile.
+        Against a router: the fleet rollup under the same ``"width"`` key,
+        plus per-shard snapshots under ``"shards"``.
+        """
+        return self.request("diag")

@@ -50,6 +50,14 @@ class ServerConfig:
     #: keeps traces in memory only).  Requests without a ``trace_id`` are
     #: traced too when a log is configured.
     trace_log: Optional[str] = None
+    #: rotate the trace log when it would exceed this many bytes (the old
+    #: file moves to ``<trace_log>.1``).  ``None`` never rotates.
+    trace_log_max_bytes: Optional[int] = None
+    #: width-attribution sampling stride for the ``diag`` op: every N-th
+    #: ``run`` request re-runs nothing — it *is* the request, executed with
+    #: provenance tracking on (bit-identical results, small bookkeeping
+    #: cost).  ``0`` disables sampling entirely.
+    diag_sample_every: int = 16
     #: capacity of the in-memory span ring buffer (the ``trace`` op).
     trace_buffer: int = 4096
     #: micro-batching window for hot-path ``run`` requests: single-shot
@@ -82,3 +90,8 @@ class ServerConfig:
             raise ValueError("analyze_limit must be >= 1")
         if self.batch_max_rows < 1:
             raise ValueError("batch_max_rows must be >= 1")
+        if self.trace_log_max_bytes is not None \
+                and self.trace_log_max_bytes < 1:
+            raise ValueError("trace_log_max_bytes must be >= 1")
+        if self.diag_sample_every < 0:
+            raise ValueError("diag_sample_every must be >= 0")

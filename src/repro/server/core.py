@@ -89,6 +89,7 @@ class OpCore:
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  trace_buffer: int = 4096,
                  trace_log: Optional[str] = None,
+                 trace_log_max_bytes: Optional[int] = None,
                  stats: Optional[ServiceStats] = None) -> None:
         self.host = host
         self.requested_port = port
@@ -101,6 +102,7 @@ class OpCore:
         self.counters: Counter = Counter()
         self.trace_buffer = TraceBuffer(trace_buffer)
         self._trace_log_path = trace_log
+        self._trace_log_max_bytes = trace_log_max_bytes
         self._trace_log: Optional[TraceLog] = None
         self._control: Dict[str, ControlHandler] = {}
         self._work_ops: set = set()
@@ -175,7 +177,8 @@ class OpCore:
         self._drained = asyncio.Event()
         self._stop_requested = asyncio.Event()
         if self._trace_log_path is not None:
-            self._trace_log = TraceLog(self._trace_log_path)
+            self._trace_log = TraceLog(self._trace_log_path,
+                                       max_bytes=self._trace_log_max_bytes)
         await self.on_start()
         self._server = await asyncio.start_server(
             self._on_connection, host=self.host,

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..obs.diag import WidthProfile
+from ..obs.metrics import render_prometheus
 from ..service.service import CompileService
 from .config import ServerConfig
 from .core import CoreThread, OpCore
@@ -84,9 +86,13 @@ class SoundServer(OpCore):
             max_frame_bytes=self.config.max_frame_bytes,
             trace_buffer=self.config.trace_buffer,
             trace_log=self.config.trace_log,
+            trace_log_max_bytes=self.config.trace_log_max_bytes,
             stats=self.service.stats)
         self.dispatcher = Dispatcher(self.service, self.config)
+        self.width_profile = WidthProfile()
+        self._diag_seq = 0
         self.register_work("compile", "run", "run_batch", "analyze")
+        self.register_control("diag", self.op_diag)
 
     # -- op-core hooks ---------------------------------------------------------------
 
@@ -97,11 +103,59 @@ class SoundServer(OpCore):
         self.dispatcher.stop()
 
     def prepare_work(self, request: Request) -> PreparedRequest:
-        return self.dispatcher.prepare(request)
+        prepared = self.dispatcher.prepare(request)
+        # Width-provenance sampling: every N-th run-family request *is*
+        # executed with provenance tracking on (bit-identical results; the
+        # recording happens beside the arithmetic, never in it).  The
+        # micro-batch route is excluded — coalesced rows share one payload.
+        every = self.config.diag_sample_every
+        if every > 0 and request.op in ("run", "run_batch") \
+                and prepared.route != "batch":
+            self._diag_seq += 1
+            if self._diag_seq % every == 0:
+                prepared.payload["diag"] = True
+        return prepared
 
     async def execute_work(self, prepared: PreparedRequest,
                            remaining_s: Optional[float]) -> Dict[str, Any]:
-        return await self.dispatcher.execute(prepared, remaining_s)
+        result = await self.dispatcher.execute(prepared, remaining_s)
+        if prepared.request.op in ("run", "run_batch"):
+            self._record_diag(result.pop("width", None))
+        return result
+
+    def _record_diag(self, width: Optional[Dict[str, Any]]) -> None:
+        """Fold one run's ``width`` section (if it was sampled) into the
+        server-lifetime profile; unsampled requests only bump the count."""
+        profile = self.width_profile
+        if not width:
+            profile.skip()
+            return
+        if "rows" in width:
+            for row in width["rows"]:
+                profile.record(row.get("shares") or {},
+                               row.get("radius") or 0.0)
+            if not width["rows"]:
+                profile.skip()
+        elif width.get("shares"):
+            profile.record(width["shares"], width.get("radius") or 0.0)
+        else:
+            profile.skip()
+        if width.get("n_absorptions"):
+            profile.record_absorbed(width.get("absorbed") or {},
+                                    width.get("absorbed_at") or {},
+                                    width.get("n_absorptions", 0))
+
+    def op_diag(self, request: Request) -> Dict[str, Any]:
+        """The ``diag`` control op: the width-attribution profile this
+        daemon accumulated from sampled runs (fleet-merged by the router)."""
+        return {"width": self.width_profile.to_dict(),
+                "sample_every": self.config.diag_sample_every}
+
+    def op_metrics(self, request: Request) -> Dict[str, Any]:
+        return {"text": render_prometheus(self.stats,
+                                          server=self.server_section(),
+                                          width=self.width_profile.to_dict()),
+                "content_type": "text/plain; version=0.0.4"}
 
     def server_section(self) -> Dict[str, Any]:
         out = super().server_section()

@@ -314,18 +314,23 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     inputs = payload.get("inputs", {})
     ulps = payload.get("uncertainty_ulps", 1.0)
     repeats = max(int(payload.get("repeats", 1)), 1)
+    diag = bool(payload.get("diag"))
     tracer = current_tracer()
     # The first execution is the profiled one (it also provides the
     # accuracy sample); directed-rounding counting is only switched on
     # for traced runs — it is the one profiling hook with per-op cost.
+    # A diag-sampled request tracks provenance on that same execution:
+    # the arithmetic is bit-identical, only origins are recorded aside.
     with tracer.span("job:run", entry=payload["entry"] or prog.entry,
                      config=cfg.name) as sp:
         if tracer.enabled:
             with count_rounding() as rounding:
-                res = prog(*args, uncertainty_ulps=ulps, **inputs)
+                res = prog(*args, uncertainty_ulps=ulps,
+                           track_provenance=diag, **inputs)
         else:
             rounding = None
-            res = prog(*args, uncertainty_ulps=ulps, **inputs)
+            res = prog(*args, uncertainty_ulps=ulps,
+                       track_provenance=diag, **inputs)
     profile = OpProfile.capture(res.runtime, rounding=rounding)
     service.stats.record_ops(profile)
     if sp.recording:
@@ -356,7 +361,38 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
         value["interval"] = [iv.lo, iv.hi]
     elif isinstance(res.value, (int, float)):
         value["value"] = res.value
+    if diag:
+        width = _width_section(res)
+        if width is not None:
+            value["width"] = width
     return value
+
+
+def _width_section(res) -> Optional[Dict[str, Any]]:
+    """The ``width`` block of a diag-sampled run result: origin -> share
+    attribution of the returned enclosure, plus the run's condensation-loss
+    books.  ``None`` when the result carries no affine form (float/interval
+    modes, integer returns)."""
+    out: Dict[str, Any] = {}
+    value = res.value
+    if value is not None and (hasattr(value, "coefficients")
+                              or hasattr(value, "terms")):
+        from ..aa.explain import explain
+        from ..obs.diag import shares_by_origin
+
+        try:
+            ex = explain(value)
+        except (TypeError, AttributeError):
+            ex = None
+        if ex is not None:
+            out["shares"] = shares_by_origin(ex)
+            out["radius"] = ex.radius
+    factory = getattr(getattr(res.runtime, "ctx", None), "symbols", None)
+    if factory is not None and getattr(factory, "n_absorptions", 0):
+        out["absorbed"] = dict(factory.absorbed)
+        out["absorbed_at"] = dict(factory.absorbed_at)
+        out["n_absorptions"] = factory.n_absorptions
+    return out or None
 
 
 def _execute_run_batch(payload, cfg: CompilerConfig, service
@@ -367,16 +403,18 @@ def _execute_run_batch(payload, cfg: CompilerConfig, service
 
     rows = payload.get("rows", [])
     ulps = payload.get("uncertainty_ulps", 1.0)
+    diag = bool(payload.get("diag"))
     with current_tracer().span("job:run_batch",
                                entry=payload["entry"] or prog.entry,
                                config=cfg.name, rows=len(rows)):
-        res = prog.run_batch(rows, uncertainty_ulps=ulps)
+        res = prog.run_batch(rows, uncertainty_ulps=ulps,
+                             track_provenance=diag)
     st = res.stats
     service.stats.add("batch_rows", st.rows)
     service.stats.add("batch_cohort_splits", st.cohort_splits)
     service.stats.add("batch_scalar_fallbacks", st.scalar_fallbacks)
     service.stats.observe_latency("job:run_batch", st.elapsed_s)
-    return {
+    value = {
         "entry": prog.entry,
         "config": cfg.name,
         "k": cfg.k,
@@ -385,6 +423,18 @@ def _execute_run_batch(payload, cfg: CompilerConfig, service
         "batch_stats": st.to_dict(),
         "tag": payload.get("tag", {}),
     }
+    if diag:
+        # The attribution travels in a side section the daemon folds into
+        # its profile and pops — row dicts stay wire-identical to an
+        # unsampled reply.
+        for row in value["rows"]:
+            row.pop("width_shares", None)
+            row.pop("width_radius", None)
+        samples = [{"shares": r.width_shares, "radius": r.width_radius}
+                   for r in res.rows if r.width_shares]
+        if samples:
+            value["width"] = {"rows": samples}
+    return value
 
 
 def _execute_analyze(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:

@@ -10,6 +10,7 @@ from repro.aa import (
     PlacementPolicy,
     explain,
 )
+from repro.aa.explain import merged
 
 
 class TestExplain:
@@ -83,3 +84,47 @@ class TestExplain:
         e = explain(acc)
         assert len(e.top(3)) == 3
         assert "more" in str(e)
+
+
+def wide_explanation(n_inputs=10):
+    ctx = AffineContext(k=16, placement=PlacementPolicy.SORTED)
+    acc = ctx.input(1.0)
+    for i in range(n_inputs):
+        acc = acc + ctx.input(1.0 + i * 0.1)
+    return explain(acc)
+
+
+class TestExplanationViews:
+    def test_format_honors_n(self):
+        e = wide_explanation()
+        short = e.format(2)
+        assert short.count("ε") == 2
+        assert f"{len(e.shares) - 2} more" in short
+        full = e.format(len(e.shares))
+        assert full.count("ε") == len(e.shares)
+        assert "more" not in full
+
+    def test_str_is_default_format(self):
+        e = wide_explanation()
+        assert str(e) == e.format()
+
+    def test_merged_groups_by_provenance_across_rows(self):
+        rows = []
+        for _ in range(3):
+            ctx = AffineContext(k=8, track_provenance=True)
+            x = ctx.input(1.0, name="x")
+            rows.append(explain(x.mul(x, provenance="f.c:1:1 mul")))
+        m = merged(rows)
+        by_prov = {s.provenance for s in m.shares}
+        # symbol ids diverge per row; provenance buckets unify them
+        assert "f.c:1:1 mul" in by_prov
+        assert "input:x" in by_prov
+        assert sum(s.share for s in m.shares) \
+            == pytest.approx(1.0, abs=1e-9)
+        assert m.radius == pytest.approx(sum(r.radius for r in rows),
+                                         rel=1e-12)
+
+    def test_merged_empty(self):
+        m = merged([])
+        assert m.radius == 0.0
+        assert m.shares == []

@@ -1,0 +1,150 @@
+"""End-to-end width provenance: origins, invariance, attribution.
+
+The contract under test: provenance recording is *pure observation* —
+turning it on changes no computed bit of any enclosure — and with it on,
+every noise symbol the runtime creates can be traced to a concrete
+``file:line:col op`` source position, surviving CSE, DTE and
+condensation.
+"""
+
+import struct
+
+import pytest
+
+from repro.aa import explain
+from repro.compiler import CompilerConfig, SafeGen
+from repro.obs import located_fraction, parse_origin, shares_by_origin
+
+HENON = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    double b = 0.3;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        double yn = b * x;
+        x = xn;
+        y = yn;
+    }
+    return x;
+}
+"""
+
+#: x*x appears twice so CSE merges, and the dead product makes DTE drop.
+REDUNDANT = """
+double f(double x) {
+    double dead = x * 9.0;
+    double a = x * x + 1.0;
+    double b = x * x + 2.0;
+    return a + b;
+}
+"""
+
+
+def compiled(source=HENON, config="f64a-dsnn", k=8, name="henon.c",
+             **overrides):
+    cfg = CompilerConfig.from_string(config, k=k)
+    from dataclasses import replace
+    cfg = replace(cfg, source_name=name, **overrides)
+    return SafeGen(cfg).compile(source)
+
+
+def bits(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+class TestBitIdentity:
+    """Tracking on/off must yield bit-identical enclosures."""
+
+    @pytest.mark.parametrize("config", ["f64a-dsnn", "f64a-srnn",
+                                        "dda-dsnn"])
+    def test_scalar_run(self, config):
+        prog = compiled(config=config)
+        off = prog(0.3, 0.2, 12, track_provenance=False).interval()
+        on = prog(0.3, 0.2, 12, track_provenance=True).interval()
+        assert bits(off.lo) == bits(on.lo)
+        assert bits(off.hi) == bits(on.hi)
+
+    def test_batch_run(self):
+        pytest.importorskip("numpy")
+        prog = compiled(config="f64a-dsnv")
+        rows = [[0.1 * i, 0.05 * i, 10] for i in range(6)]
+        off = prog.run_batch(rows, track_provenance=False)
+        on = prog.run_batch(rows, track_provenance=True)
+        for a, b in zip(off.rows, on.rows):
+            assert a.ok and b.ok
+            assert bits(a.interval[0]) == bits(b.interval[0])
+            assert bits(a.interval[1]) == bits(b.interval[1])
+        # and the attribution rode along only on the tracked run
+        assert all(r.width_shares is None for r in off.rows)
+        assert all(r.width_shares for r in on.rows)
+
+
+class TestAttribution:
+    def test_shares_sum_to_one_after_optimization(self):
+        # CSE + DTE + condensation all fire on this configuration and
+        # shares must still form a partition of the radius.
+        prog = compiled(source=REDUNDANT, config="f64a-dsnn", k=4,
+                        name="r.c")
+        res = prog(0.7, track_provenance=True)
+        shares = shares_by_origin(explain(res.value))
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_henon_width_is_located_at_source(self):
+        prog = compiled()
+        res = prog(0.3, 0.2, 12, track_provenance=True)
+        shares = shares_by_origin(explain(res.value))
+        # the ISSUE's acceptance bar: >=90% of the width names source
+        assert located_fraction(shares) >= 0.90
+        top = max(shares, key=shares.get)
+        where = parse_origin(top)
+        assert where is not None
+        assert where[0] == "henon.c"
+
+    def test_input_origin_names_the_parameter(self):
+        prog = compiled()
+        origin = prog.input_origin("x")
+        parsed = parse_origin(origin)
+        assert parsed is not None
+        assert parsed[0] == "henon.c"
+        assert parsed[3] == "input x"
+        # the symbol an input creates really carries that origin
+        res = prog(0.3, 0.2, 0, track_provenance=True)
+        shares = shares_by_origin(explain(res.value))
+        assert origin in shares
+
+    def test_tracking_off_records_nothing(self):
+        prog = compiled()
+        res = prog(0.3, 0.2, 5)
+        factory = res.runtime.ctx.symbols
+        assert not factory._provenance
+        assert factory.n_absorptions == 0
+
+
+class TestPipelineOriginBooks:
+    def test_cse_merges_and_dte_drops_are_reported(self):
+        import re
+
+        prog = compiled(source=REDUNDANT, name="r.c")
+        report = prog.pipeline_report.to_dict()
+        merges = report["origin_merges"]
+        assert merges, "x*x duplication should CSE-merge"
+        # pass-level books speak AST locations ("line:col"); the file name
+        # is a codegen concern and the op survives in the kept origin
+        loc = re.compile(r"^\d+:\d+$")
+        for kept, merged_away in merges:
+            assert loc.match(kept) and loc.match(merged_away)
+            assert kept != merged_away
+        dropped = report["origins_dropped"]
+        assert dropped, "the dead x*9.0 product should be DTE-dropped"
+        assert all(loc.match(o) for o in dropped)
+
+    def test_condensation_losses_name_victims_and_sites(self):
+        # k=4 forces condensation in the henon loop
+        prog = compiled(k=4)
+        res = prog(0.3, 0.2, 12, track_provenance=True)
+        factory = res.runtime.ctx.symbols
+        assert factory.n_absorptions > 0
+        assert factory.absorbed
+        assert all(amount > 0.0 for amount in factory.absorbed.values())
+        assert any(parse_origin(site) is not None
+                   for site in factory.absorbed_at)

@@ -1,0 +1,149 @@
+"""Width-provenance diagnostics: origin grammar, profile, report."""
+
+import pickle
+
+import pytest
+
+from repro.aa import AffineContext, explain
+from repro.obs import (
+    WidthProfile,
+    located_fraction,
+    parse_origin,
+    render_diag_report,
+    shares_by_origin,
+)
+
+
+class TestOriginGrammar:
+    def test_parses_source_positions(self):
+        assert parse_origin("henon.c:11:26 mul") \
+            == ("henon.c", 11, 26, "mul")
+        assert parse_origin("a/b.c:3:1 input x") \
+            == ("a/b.c", 3, 1, "input x")
+        # files containing colons (the "<src>" placeholder) still parse
+        assert parse_origin("<src>:7:1 add") == ("<src>", 7, 1, "add")
+
+    def test_runtime_internal_origins_do_not_parse(self):
+        for origin in ("constant", "ceres:round", "input:x",
+                       "slack accumulator", "exact", None, ""):
+            assert parse_origin(origin) is None
+
+    def test_located_fraction(self):
+        shares = {"f.c:1:2 add": 0.5, "constant": 0.25, "f.c:3:4 mul": 0.25}
+        assert located_fraction(shares) == pytest.approx(0.75)
+        assert located_fraction({}) == 0.0
+
+
+class TestSharesByOrigin:
+    def test_groups_duplicate_origins(self):
+        ctx = AffineContext(k=8, track_provenance=True)
+        x = ctx.input(1.0, name="x")
+        y = x.mul(x, provenance="f.c:1:1 mul") \
+             .add(x.mul(x, provenance="f.c:1:1 mul"),
+                  provenance="f.c:2:2 add")
+        shares = shares_by_origin(explain(y))
+        assert "f.c:1:1 mul" in shares
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_anonymous_symbols_get_epsilon_keys(self):
+        ctx = AffineContext(k=8)  # no tracking -> no provenance strings
+        shares = shares_by_origin(explain(ctx.input(1.0) * 2.0))
+        assert all(k.startswith("ε") for k in shares)
+
+
+def profile_with(shares, radius=1.0, skips=0):
+    p = WidthProfile()
+    for _ in range(skips):
+        p.skip()
+    p.record(shares, radius)
+    return p
+
+
+class TestWidthProfile:
+    def test_skip_and_record_counts(self):
+        p = profile_with({"f.c:1:1 add": 1.0}, skips=3)
+        assert p.n_requests == 4
+        assert p.n_sampled == 1
+
+    def test_top_ranks_by_share_sum(self):
+        p = WidthProfile()
+        p.record({"a.c:1:1 add": 0.7, "b.c:2:2 mul": 0.3}, 1.0)
+        p.record({"b.c:2:2 mul": 0.9, "constant": 0.1}, 2.0)
+        top = p.top(2)
+        assert top[0][0] == "b.c:2:2 mul"
+        assert top[0][1] == pytest.approx(0.6)  # (0.3 + 0.9) / 2 sampled
+        assert top[1][0] == "a.c:1:1 add"
+
+    def test_wire_roundtrip(self):
+        p = profile_with({"f.c:1:1 add": 0.6, "constant": 0.4}, radius=2.0,
+                         skips=2)
+        p.record_absorbed({"f.c:1:1 add": 1e-9}, {"f.c:9:9 mul": 1e-9}, 5)
+        d = p.to_dict()
+        assert d["top"][0][0] == "f.c:1:1 add"
+        assert d["located_fraction"] == pytest.approx(0.6)
+        q = WidthProfile.from_dict(d)
+        assert q.to_dict() == d
+
+    def test_merge_sums_counts_and_losses(self):
+        a = profile_with({"f.c:1:1 add": 1.0}, skips=1)
+        b = profile_with({"f.c:1:1 add": 0.5, "g.c:2:2 mul": 0.5})
+        a.record_absorbed({"f.c:1:1 add": 1.0}, {}, 1)
+        b.record_absorbed({"f.c:1:1 add": 2.0}, {}, 2)
+        a.merge(b)
+        assert a.n_requests == 3
+        assert a.n_sampled == 2
+        assert a.origins["f.c:1:1 add"]["count"] == 2
+        assert a.absorbed["f.c:1:1 add"] == pytest.approx(3.0)
+        assert a.n_absorptions == 3
+
+    def test_merged_equals_pairwise_merge(self):
+        snaps = [profile_with({"f.c:1:1 add": 1.0}).to_dict(),
+                 profile_with({"g.c:2:2 mul": 1.0}, skips=4).to_dict()]
+        rollup = WidthProfile.merged(snaps)
+        assert rollup.n_requests == 6
+        assert rollup.n_sampled == 2
+        assert set(rollup.origins) == {"f.c:1:1 add", "g.c:2:2 mul"}
+
+    def test_pickle_drops_lock_and_survives(self):
+        p = profile_with({"f.c:1:1 add": 1.0})
+        q = pickle.loads(pickle.dumps(p))
+        q.record({"f.c:1:1 add": 1.0}, 1.0)  # lock was re-created
+        assert q.n_sampled == 2
+
+    def test_reservoir_is_bounded(self):
+        p = WidthProfile(reservoir=4)
+        for i in range(50):
+            p.record({f"f.c:{i}:1 add": 1.0}, 1.0)
+        assert len(p.samples) == 4
+        assert p.n_sampled == 50
+
+    def test_str_mentions_sampling_and_top(self):
+        p = profile_with({"f.c:1:1 add": 1.0}, skips=1)
+        text = str(p)
+        assert "1/2" in text
+        assert "f.c:1:1 add" in text
+
+
+class TestRenderDiagReport:
+    def test_report_sections(self):
+        p = profile_with({"f.c:1:1 add": 0.8, "constant": 0.2})
+        p.record_absorbed({"f.c:1:1 add": 1e-12}, {"f.c:2:2 mul": 1e-12}, 3)
+        pipeline = {"passes": [{"name": "cse", "wall_s": 0.001,
+                                "float_ops_after": 7}],
+                    "origin_merges": [["f.c:1:1 add", "f.c:3:3 add"]],
+                    "origins_dropped": ["f.c:4:4 sub"]}
+        stats = {"hits": 3, "misses": 1, "jobs_run": 4, "jobs_failed": 0}
+        text = render_diag_report(p.to_dict(), pipeline=pipeline,
+                                  stats=stats)
+        assert "width attribution (1/1 requests sampled)" in text
+        assert "f.c:1:1 add" in text
+        assert "[runtime]" in text  # "constant" is not a source position
+        assert "located at source positions: 80.0%" in text
+        assert "condensation losses" in text
+        assert "cse merged origins: f.c:1:1 add <- f.c:3:3 add" in text
+        assert "dte dropped origins: f.c:4:4 sub" in text
+        assert "cache 3/4 hits" in text
+
+    def test_empty_profile_renders(self):
+        text = render_diag_report(WidthProfile().to_dict())
+        assert "(no sampled requests)" in text

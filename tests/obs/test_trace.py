@@ -146,6 +146,31 @@ class TestExport:
         with open(path) as fh:
             assert len(fh.readlines()) == 1
 
+    def test_trace_log_rotates_at_size_cap(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        one_line = len('{"n":0}\n'.encode())
+        with TraceLog(path, max_bytes=3 * one_line) as log:
+            for i in range(7):
+                log.write([{"n": i}])
+            assert log.rotations == 2
+        live = load_trace(path)
+        rotated = load_trace(path + ".1")
+        # no span was lost or split; newest spans live in the live file
+        assert [s["n"] for s in live] == [6]
+        assert [s["n"] for s in rotated] == [3, 4, 5]
+
+    def test_trace_log_keeps_single_rotation_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceLog(path, max_bytes=16) as log:
+            for i in range(20):
+                log.write([{"n": i}])
+        assert sorted(p.name for p in tmp_path.iterdir()) \
+            == ["t.jsonl", "t.jsonl.1"]
+
+    def test_trace_log_rejects_bad_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceLog(str(tmp_path / "t.jsonl"), max_bytes=0)
+
     def test_load_trace_names_bad_line(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"ok": 1}\nnot json\n')

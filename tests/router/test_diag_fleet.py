@@ -1,0 +1,64 @@
+"""Fleet-merged width diagnostics: the router's ``diag`` rollup must
+tell the same attribution story a single daemon tells."""
+
+import pytest
+
+from repro.router import RouterConfig, RouterThread
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+HENON = open("examples/henon.c").read()
+
+CONFIG, K = "f64a-dsnn", 8
+ARGS = [0.3, 0.2, 10]
+N_RUNS = 4
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    cfg = RouterConfig(port=0, n_shards=2, shard_workers=1,
+                       health_interval_s=0.2,
+                       shard_diag_sample_every=1)
+    with RouterThread(cfg) as rt:
+        yield rt
+
+
+@pytest.fixture(scope="module")
+def fleet_diag(fleet):
+    with ServerClient(port=fleet.port, timeout=120.0, retries=4) as c:
+        for _ in range(N_RUNS):
+            c.run(HENON, config=CONFIG, k=K, args=ARGS)
+        return c.diag()
+
+
+def single_daemon_diag():
+    cfg = ServerConfig(port=0, pool_workers=1, diag_sample_every=1)
+    with ServerThread(cfg) as srv:
+        with ServerClient(port=srv.port, timeout=120.0) as c:
+            for _ in range(N_RUNS):
+                c.run(HENON, config=CONFIG, k=K, args=ARGS)
+            return c.diag()
+
+
+class TestFleetDiag:
+    def test_rollup_covers_every_sampled_run(self, fleet_diag):
+        w = fleet_diag["width"]
+        assert w["n_requests"] == N_RUNS
+        assert w["n_sampled"] == N_RUNS
+        # and the rollup really is the sum of the shard snapshots
+        shard_sampled = sum(r["width"]["n_sampled"]
+                            for r in fleet_diag["shards"].values())
+        assert shard_sampled == N_RUNS
+
+    def test_same_top3_origins_as_single_daemon(self, fleet_diag):
+        fleet_top = [o for o, _ in fleet_diag["width"]["top"][:3]]
+        single_top = [o for o, _ in single_daemon_diag()["width"]["top"][:3]]
+        assert fleet_top == single_top
+
+    def test_wire_form_matches_a_daemon(self, fleet_diag):
+        # same top-level "width" key and snapshot schema, so clients need
+        # no fleet special case
+        w = fleet_diag["width"]
+        for key in ("n_requests", "n_sampled", "origins", "top",
+                    "located_fraction", "absorbed", "samples"):
+            assert key in w
+        assert w["located_fraction"] >= 0.90

@@ -1,0 +1,97 @@
+"""The daemon's ``diag`` op: sampling stride, wire shape, metrics."""
+
+import pytest
+
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+SRC = """
+double henon(double x, double y, int n) {
+    double a = 1.05;
+    for (int i = 0; i < n; i++) {
+        double xn = 1.0 - a * (x * x) + y;
+        y = 0.3 * x;
+        x = xn;
+    }
+    return x;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    cfg = ServerConfig(port=0, pool_workers=1, diag_sample_every=1)
+    with ServerThread(cfg) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestDiagOp:
+    def test_every_run_sampled_at_stride_one(self, client, server):
+        before = client.diag()["width"]
+        for _ in range(3):
+            r = client.run(SRC, config="f64a-dsnn", k=8,
+                           args=[0.3, 0.2, 10])
+            # attribution is folded server-side, never leaked to replies
+            assert "width" not in r
+        after = client.diag()
+        assert after["sample_every"] == 1
+        w = after["width"]
+        assert w["n_sampled"] - before["n_sampled"] == 3
+        assert w["n_requests"] - before["n_requests"] == 3
+        assert w["origins"], "sampled runs must attribute to origins"
+        assert w["located_fraction"] >= 0.90
+
+    def test_run_batch_rows_are_sampled(self, client):
+        before = client.diag()["width"]
+        r = client.run_batch(SRC, rows=[[0.1, 0.1, 5], [0.2, 0.1, 5]],
+                             config="f64a-dsnn", k=8)
+        assert all("width_shares" not in row for row in r["rows"])
+        after = client.diag()["width"]
+        assert after["n_sampled"] > before["n_sampled"]
+
+    def test_bit_identity_with_sampling(self, client, server):
+        """A sampled run must return the same enclosure as an unsampled
+        one — provenance is observation only, even across the pool."""
+        with ServerThread(ServerConfig(port=0, pool_workers=1,
+                                       diag_sample_every=0)) as plain:
+            with ServerClient(port=plain.port) as pc:
+                want = pc.run(SRC, config="f64a-dsnn", k=8,
+                              args=[0.3, 0.2, 10])["interval"]
+        got = client.run(SRC, config="f64a-dsnn", k=8,
+                         args=[0.3, 0.2, 10])["interval"]
+        assert got == want
+
+    def test_metrics_exposition_includes_width(self, client):
+        client.run(SRC, config="f64a-dsnn", k=8, args=[0.3, 0.2, 10])
+        text = client.metrics()
+        assert "repro_width_requests_total" in text
+        assert 'repro_width_share{origin="' in text
+        assert "repro_width_located_fraction" in text
+
+
+class TestSamplingStride:
+    def test_stride_skips_between_samples(self):
+        cfg = ServerConfig(port=0, pool_workers=1, diag_sample_every=4)
+        with ServerThread(cfg) as srv:
+            with ServerClient(port=srv.port) as c:
+                for _ in range(8):
+                    c.run(SRC, config="f64a-dsnn", k=8,
+                          args=[0.3, 0.2, 5])
+                w = c.diag()["width"]
+        assert w["n_requests"] == 8
+        assert w["n_sampled"] == 2
+
+    def test_stride_zero_disables_sampling(self):
+        cfg = ServerConfig(port=0, pool_workers=1, diag_sample_every=0)
+        with ServerThread(cfg) as srv:
+            with ServerClient(port=srv.port) as c:
+                c.run(SRC, config="f64a-dsnn", k=8, args=[0.3, 0.2, 5])
+                d = c.diag()
+        assert d["sample_every"] == 0
+        assert d["width"]["n_sampled"] == 0
+        assert d["width"]["n_requests"] == 1

@@ -306,3 +306,44 @@ class TestAnalyzeQueries:
             main(["analyze", str(bad)])
         assert exc.value.code not in (0, None)
         assert "bad2.c" in str(exc.value.code)
+
+
+class TestDiag:
+    def test_report_names_source_origins(self, henon_file, capsys):
+        assert main(["diag", henon_file, "0.3", "0.2", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "width attribution (1/1 requests sampled)" in out
+        assert "henon.c:" in out
+        assert "located at source positions:" in out
+        assert "compile pipeline" in out
+
+    def test_json_output(self, henon_file, capsys):
+        assert main(["diag", henon_file, "0.3", "0.2", "10",
+                     "--runs", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entry"] == "henon"
+        assert data["width"]["n_sampled"] == 3
+        assert data["width"]["located_fraction"] >= 0.90
+        assert data["pipeline"] is not None
+
+    def test_gates_pass_on_henon(self, henon_file):
+        assert main(["diag", henon_file, "0.3", "0.2", "10",
+                     "--min-located", "0.9",
+                     "--assert-top-origin", "henon.c"]) == 0
+
+    def test_located_gate_failure_exits_nonzero(self, henon_file, capsys):
+        assert main(["diag", henon_file, "0.3", "0.2", "10",
+                     "--min-located", "1.01"]) == 1
+        assert "diag gate FAILED" in capsys.readouterr().err
+
+    def test_top_origin_gate_failure_exits_nonzero(self, henon_file,
+                                                   capsys):
+        assert main(["diag", henon_file, "0.3", "0.2", "10",
+                     "--assert-top-origin", "nonexistent.c"]) == 1
+        assert "diag gate FAILED" in capsys.readouterr().err
+
+    def test_condensation_losses_reported_at_small_k(self, henon_file,
+                                                     capsys):
+        assert main(["diag", henon_file, "0.3", "0.2", "12",
+                     "-k", "4"]) == 0
+        assert "condensation losses" in capsys.readouterr().out
