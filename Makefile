@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test verify lint test-slow bench bench-accuracy bench-smoke \
 	serve-smoke obs-smoke fuzz-smoke batch-smoke fleet-smoke \
-	analyze-smoke diag-smoke examples clean
+	analyze-smoke diag-smoke tune-smoke examples clean
 
 install:
 	pip install -e . || ( \
@@ -107,6 +107,13 @@ diag-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro diag \
 	  examples/henon.c 0.3 0.2 10 \
 	  --min-located 0.9 --assert-top-origin henon.c
+
+# Autotuning smoke: sweep two paper kernels under a tiny budget; the
+# winner must be Pareto-no-worse than the baseline, persist into the
+# cache dir, re-serve transparently (bit-identical to an in-process
+# compile at the winner config), and reproduce under the same seed.
+tune-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) examples/tune_smoke.py
 
 # Timing microbenchmarks (pytest-benchmark).
 bench:

@@ -1,0 +1,139 @@
+"""Autotuning smoke test: sweep -> diagnose -> persist -> serve.
+
+Tunes two paper kernels (the scalar Henon map and the array-valued
+SciMark SOR) under a tiny candidate budget and then checks the whole
+feedback loop end to end:
+
+1. the winner is Pareto-no-worse than the baseline configuration on
+   (enclosure width, runtime float ops);
+2. the winner is persisted in the cache directory's TunedConfigStore;
+3. a *fresh* CompileService over the same cache directory transparently
+   resolves a base-config compile to the winner, and the served program's
+   enclosure is bit-identical to an in-process SafeGen compile at the
+   winner configuration;
+4. the report renders and names the winner;
+5. a same-seed re-tune reproduces the same winner (determinism).
+
+Run me:  PYTHONPATH=src python examples/tune_smoke.py
+"""
+
+import math
+import os
+import sys
+import tempfile
+
+from repro import SafeGen
+from repro.bench import make_workload
+from repro.compiler.config import CompilerConfig
+from repro.service import CompileService
+from repro.tune import (
+    TuneBudget,
+    TunedConfigStore,
+    Tuner,
+    render_tune_report,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BUDGET = TuneBudget(max_candidates=8)
+SEED = 7
+
+
+def check(ok, message):
+    status = "ok  " if ok else "FAIL"
+    print(f"  [{status}] {message}")
+    if not ok:
+        sys.exit(1)
+
+
+def no_worse(winner, baseline):
+    """Winner Pareto-no-worse than baseline on the measured objectives."""
+    for key in ("width", "ops"):
+        w, b = winner[key], baseline[key]
+        if w is None or b is None:
+            continue
+        if w > b:
+            return False
+    return True
+
+
+def tune_kernel(cache_dir, name, source, entry, config, args=(),
+                inputs=None):
+    print(f"== tune {name} [{config.name}, k={config.k}] ==")
+    service = CompileService(cache_dir=cache_dir)
+    result = Tuner(service).tune(
+        source, config, entry=entry, args=list(args),
+        inputs=dict(inputs or {}), budget=BUDGET, seed=SEED)
+    r = result.to_dict()
+    print(f"  winner {r['winner']['name']} [{r['winner']['config_name']}] "
+          f"over {r['n_measured']}/{r['n_enumerated']} candidates "
+          f"in {r['sweep_s']:.2f}s")
+    check(r["baseline"]["ok"], "baseline candidate measured")
+    check(no_worse(r["winner"], r["baseline"]),
+          "winner Pareto-no-worse than the baseline (width, ops)")
+    check(r["persisted"], "winner persisted in the TunedConfigStore")
+
+    # Determinism: the same seed must reproduce the same winner.
+    again = Tuner(CompileService(cache_dir=cache_dir)).tune(
+        source, config, entry=entry, args=list(args),
+        inputs=dict(inputs or {}), budget=BUDGET, seed=SEED)
+    check(again.winner.name == result.winner.name,
+          f"same-seed re-tune picks the same winner "
+          f"({again.winner.name})")
+
+    # The report must render and name the winner.
+    report = render_tune_report(r, n=5, stats=service.stats.to_dict())
+    check(result.winner.name in report, "report renders and names the winner")
+    return result
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-tune-smoke-") as cache:
+        # -- kernel 1: Henon (scalar return, examples/henon.c) -------------
+        with open(os.path.join(HERE, "henon.c")) as fh:
+            henon_src = fh.read()
+        henon_cfg = CompilerConfig.from_string("f64a-dsnn", k=8)
+        result = tune_kernel(cache, "henon", henon_src, "henon",
+                             henon_cfg, args=[0.3, 0.2, 10])
+
+        # -- kernel 2: SciMark SOR (array outputs, no scalar return) -------
+        sor = make_workload("sor", seed=3, sor_n=6, sor_iters=2)
+        tune_kernel(cache, "sor", sor.program.source, sor.program.entry,
+                    CompilerConfig.from_string("f64a-dsnn", k=8),
+                    inputs=sor.inputs)
+
+        # -- transparent serving of the persisted Henon winner -------------
+        print("== serve the tuned henon ==")
+        store = TunedConfigStore(os.path.join(cache, "tuned"))
+        record = store.get(CompilerConfig.source_key(henon_src,
+                                                     entry="henon"))
+        check(record is not None, "tuned record on disk for henon")
+
+        fresh = CompileService(cache_dir=cache)
+        prog = fresh.compile(henon_src, henon_cfg, entry="henon")
+        check(prog.config.to_dict() == record.config,
+              f"fresh service resolves the base config to the winner "
+              f"[{prog.config.name}, k={prog.config.k}]")
+        check(fresh.stats.tune_resolved == 1,
+              "resolution counted in ServiceStats.tune_resolved")
+
+        served = prog(0.3, 0.2, 10).value.interval()
+        winner_cfg = CompilerConfig.from_dict(record.config)
+        direct = SafeGen(winner_cfg).compile(henon_src, entry="henon")
+        expect = direct(0.3, 0.2, 10).value.interval()
+        check(served.lo == expect.lo and served.hi == expect.hi
+              and math.isfinite(served.lo),
+              f"served enclosure bit-identical to an in-process compile "
+              f"at the winner config [{served.lo!r}, {served.hi!r}]")
+
+        # An explicitly different config must NOT be rewritten.
+        other = CompilerConfig.from_string("f64a-dmnn", k=8)
+        pinned = fresh.compile(henon_src, other, entry="henon")
+        check(pinned.config.fusion == other.fusion,
+              "explicit non-base config is honored, not rewritten")
+
+    print("tune smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

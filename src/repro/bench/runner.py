@@ -204,15 +204,36 @@ def run_sweep(workload: Workload,
     return results
 
 
-def pareto_front(results: List[BenchResult]) -> List[BenchResult]:
-    """The accuracy/runtime Pareto-optimal subset (higher acc, lower time)."""
+def pareto_front(results: List[BenchResult],
+                 objectives=None) -> List[BenchResult]:
+    """The Pareto-optimal subset under a list of minimized ``objectives``.
+
+    Each objective is a callable ``BenchResult -> float``; the default pair
+    ``(-acc_bits, runtime_s)`` reproduces the original accuracy/runtime
+    front (higher acc, lower time).  The tuner scores candidates over the
+    triple (enclosure width, float-op count, wall time) with the same
+    function.
+
+    Rows with a NaN in any objective (e.g. ``acc_bits`` from ia modes with
+    no oracle) are *excluded* from the front: NaN compares false against
+    everything, so such rows could never be dominated and would pollute the
+    front no matter how bad they are.
+    """
+    if objectives is None:
+        objectives = [lambda r: -r.acc_bits, lambda r: r.runtime_s]
+
+    points = [(r, tuple(f(r) for f in objectives)) for r in results]
+    comparable = [(r, p) for r, p in points
+                  if not any(math.isnan(v) for v in p)]
     front = []
-    for r in results:
+    for r, p in comparable:
         dominated = any(
-            (o.acc_bits >= r.acc_bits and o.runtime_s < r.runtime_s)
-            or (o.acc_bits > r.acc_bits and o.runtime_s <= r.runtime_s)
-            for o in results
+            all(ov <= rv for ov, rv in zip(op, p))
+            and any(ov < rv for ov, rv in zip(op, p))
+            for _, op in comparable
         )
         if not dominated:
-            front.append(r)
-    return sorted(front, key=lambda r: r.runtime_s)
+            front.append((r, p))
+    # Sorted by the last objective first (runtime in the default pair),
+    # matching the harness's historical "cheapest first" ordering.
+    return [r for r, _ in sorted(front, key=lambda rp: rp[1][::-1])]

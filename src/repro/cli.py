@@ -170,6 +170,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("--json", action="store_true",
                         help="machine-readable output")
 
+    p_tune = sub.add_parser(
+        "tune", help="autotune: sweep a seeded configuration space, score "
+                     "by (width, float ops, wall), report diagnostics and "
+                     "persist the winner into --cache-dir")
+    common(p_tune)
+    p_tune.add_argument("file")
+    p_tune.add_argument("args", nargs="*",
+                        help="arguments: numbers, or @file.json for arrays")
+    p_tune.add_argument("--uncertainty-ulps", type=float, default=1.0)
+    p_tune.add_argument("--candidates", type=int, default=24,
+                        help="max candidate configurations to enumerate")
+    p_tune.add_argument("--seconds", type=float, default=None, metavar="S",
+                        help="soft wall-clock sweep budget (checked "
+                             "between waves; the baseline always runs)")
+    p_tune.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per candidate")
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="sweep seed: same seed, same candidates, "
+                             "same winner")
+    p_tune.add_argument("--jobs", type=int, default=1,
+                        help="measure candidates in parallel on N processes")
+    p_tune.add_argument("--top", type=int, default=10,
+                        help="rows shown per report section")
+    p_tune.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
     p_bench = sub.add_parser("bench", help="run a paper benchmark")
     common(p_bench)
     p_bench.add_argument("name", choices=["henon", "sor", "luf", "fgm"])
@@ -297,8 +323,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_request = sub.add_parser(
         "request", help="send one request to a running server")
     p_request.add_argument("op",
-                           choices=["compile", "run", "stats", "health",
-                                    "drain", "trace", "metrics", "diag"])
+                           choices=["compile", "run", "tune", "stats",
+                                    "health", "drain", "trace", "metrics",
+                                    "diag"])
     p_request.add_argument("file", nargs="?", default=None,
                            help="C file for compile/run ('-' for stdin)")
     p_request.add_argument("args", nargs="*",
@@ -313,6 +340,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="S")
     p_request.add_argument("--uncertainty-ulps", type=float, default=1.0)
     p_request.add_argument("--repeats", type=int, default=1)
+    p_request.add_argument("--candidates", type=int, default=24,
+                           help="tune: max candidate configurations")
+    p_request.add_argument("--seconds", type=float, default=None,
+                           metavar="S", help="tune: soft sweep budget")
+    p_request.add_argument("--seed", type=int, default=0,
+                           help="tune: sweep seed")
     p_request.add_argument("--trace", default=None, metavar="FILE",
                            help="trace this compile/run on the server and "
                                 "append its spans to this JSONL file")
@@ -764,6 +797,41 @@ def cmd_diag(ns) -> int:
     return 1 if failures else 0
 
 
+def cmd_tune(ns) -> int:
+    import os
+    from dataclasses import replace
+
+    from .service import CompileService
+    from .tune import TuneBudget, Tuner, render_tune_report
+
+    source = _read_source(ns.file)
+    cfg = _config(ns)
+    if ns.file != "-":
+        # Part of the cache key, and of every origin string in the report.
+        cfg = replace(cfg, source_name=os.path.basename(ns.file))
+    service = CompileService(cache_dir=ns.cache_dir)
+    budget = TuneBudget(max_candidates=ns.candidates, seconds=ns.seconds,
+                        repeats=ns.repeats, jobs=ns.jobs)
+    try:
+        with _trace_to(ns.trace, "cli:tune"):
+            result = Tuner(service).tune(
+                source, cfg, entry=ns.entry,
+                args=[_parse_arg(a) for a in ns.args],
+                uncertainty_ulps=ns.uncertainty_ulps,
+                budget=budget, seed=ns.seed)
+    except ReproError as exc:
+        raise SystemExit(format_cli_error(exc, ns.file))
+    if ns.json:
+        print(json.dumps(result.to_dict(), indent=2, default=str))
+    else:
+        print(render_tune_report(result.to_dict(), n=ns.top,
+                                 stats=service.stats.to_dict()))
+    if not ns.cache_dir:
+        print("// note: no --cache-dir given — the winner was not "
+              "persisted; later compiles will not see it", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(ns) -> int:
     from .bench import (
         float_baseline_time,
@@ -975,14 +1043,14 @@ def cmd_request(ns) -> int:
     from .server import ServerClient, ServerError
 
     trace_id = None
-    if ns.trace and ns.op in ("compile", "run"):
+    if ns.trace and ns.op in ("compile", "run", "tune"):
         from .obs import new_trace_id
 
         trace_id = new_trace_id()
     client = ServerClient(host=ns.host, port=ns.port)
     try:
         with client:
-            if ns.op in ("compile", "run"):
+            if ns.op in ("compile", "run", "tune"):
                 if ns.file is None:
                     raise SystemExit(f"request {ns.op} needs a C file")
                 source = _read_source(ns.file)
@@ -999,6 +1067,16 @@ def cmd_request(ns) -> int:
                 if ns.op == "compile":
                     result = client.compile(
                         source, config=config, k=ns.k, entry=ns.entry,
+                        deadline_s=ns.deadline, trace_id=trace_id)
+                elif ns.op == "tune":
+                    result = client.tune(
+                        source, args=[_parse_arg(a) for a in ns.args],
+                        budget={"max_candidates": ns.candidates,
+                                "seconds": ns.seconds,
+                                "repeats": ns.repeats},
+                        seed=ns.seed, config=config, k=ns.k,
+                        entry=ns.entry,
+                        uncertainty_ulps=ns.uncertainty_ulps,
                         deadline_s=ns.deadline, trace_id=trace_id)
                 else:
                     result = client.run(
@@ -1080,6 +1158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "analyze": cmd_analyze,
         "diag": cmd_diag,
+        "tune": cmd_tune,
         "bench": cmd_bench,
         "batch": cmd_batch,
         "fuzz": cmd_fuzz,

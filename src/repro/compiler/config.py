@@ -228,6 +228,24 @@ class CompilerConfig:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def source_key(source: str, entry: Optional[str] = None,
+                   version: Optional[str] = None) -> str:
+        """Config-independent key for a *program*: SHA-256 over the canonical
+        JSON of (source, entry, version) only.
+
+        This is what the autotuner's :class:`repro.tune.TunedConfigStore`
+        indexes by — a tuned winner applies to the program regardless of
+        which configuration a client happens to request, so the key must
+        not involve the config.  The version stays in: a new release may
+        change codegen enough to invalidate old tuning decisions.
+        """
+        if version is None:
+            from .. import __version__ as version
+        payload = {"source": source, "entry": entry, "version": version}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     # -- runtime construction --------------------------------------------------------
 
     def runtime_mode(self) -> str:

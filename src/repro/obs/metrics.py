@@ -175,6 +175,20 @@ def _render_service(w: _Writer, snap,
     w.metric("analyze_undecided_total", "counter",
              "Subboxes left undecided (ambiguous control flow).",
              [(lbl(), snap.analyze_undecided)])
+    w.metric("tune_runs_total", "counter",
+             "Autotuning sweeps executed.", [(lbl(), snap.tune_runs)])
+    w.metric("tune_candidates_total", "counter",
+             "Candidate configurations measured by autotuning sweeps.",
+             [(lbl(), snap.tune_candidates)])
+    w.metric("tune_persisted_total", "counter",
+             "Tuned winners persisted to the TunedConfigStore.",
+             [(lbl(), snap.tune_persisted)])
+    w.metric("tune_resolved_total", "counter",
+             "Compiles transparently substituted with a tuned winner.",
+             [(lbl(), snap.tune_resolved)])
+    w.metric("tune_sweep_seconds_total", "counter",
+             "Wall seconds spent sweeping candidate configurations.",
+             [(lbl(), snap.tune_sweep_s)])
     if snap.pass_s:
         w.metric("pass_seconds_total", "counter",
                  "Wall seconds spent per compiler pass.",

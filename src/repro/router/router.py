@@ -103,7 +103,7 @@ class RouterServer(OpCore):
             stats=ServiceStats())
         self.ring = HashRing(replicas=self.config.replicas)
         self.fleet = FleetManager(self.config, self.ring)
-        self.register_work("compile", "run", "run_batch", "analyze")
+        self.register_work("compile", "run", "run_batch", "analyze", "tune")
         self.register_control("diag", self.op_diag)
 
     # -- op-core hooks ---------------------------------------------------------------

@@ -29,7 +29,7 @@ import json
 import random
 import socket
 import time
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from .protocol import encode_frame
 
@@ -221,6 +221,33 @@ class ServerClient:
             "run_batch", deadline_s=deadline_s, trace_id=trace_id,
             source=source, k=k, entry=entry,
             rows=[list(r) for r in rows],
+            uncertainty_ulps=uncertainty_ulps, **params)
+
+    def tune(self, source: str, args: Optional[List[Any]] = None,
+             inputs: Optional[Dict[str, Any]] = None,
+             budget: Optional[Dict[str, Any]] = None,
+             seed: int = 0,
+             config: Any = None, k: int = 16,
+             entry: Optional[str] = None,
+             uncertainty_ulps: float = 1.0,
+             deadline_s: Optional[float] = None,
+             trace_id: Optional[str] = None,
+             **params: Any) -> Dict[str, Any]:
+        """One autotuning sweep: candidate space around ``config``, scored
+        by (width, float ops, wall), winner persisted server-side so later
+        compiles of the same program transparently serve it.
+
+        ``budget`` is a :class:`repro.tune.TuneBudget` dict; the request
+        deadline is folded into its ``seconds`` server-side, so a slow
+        sweep reports what it measured instead of timing out.
+        """
+        if config is not None:
+            params["config"] = config
+        return self.request(
+            "tune", deadline_s=deadline_s, trace_id=trace_id,
+            source=source, k=k, entry=entry,
+            args=list(args or []), inputs=dict(inputs or {}),
+            budget=dict(budget or {}), seed=seed,
             uncertainty_ulps=uncertainty_ulps, **params)
 
     def analyze(self, source: str, query: str, box: Dict[str, Any],

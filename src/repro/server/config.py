@@ -70,6 +70,11 @@ class ServerConfig:
     #: occupies one pool worker for many refinement waves, so the default
     #: keeps search traffic from monopolizing the pool.
     analyze_limit: int = 2
+    #: concurrent autotuning sweeps (the ``tune`` op).  A sweep compiles
+    #: and runs dozens of candidate configurations on one pool worker, so
+    #: the default serializes tunes — they are rare, heavy, and their
+    #: winners persist anyway.
+    tune_limit: int = 1
 
     def __post_init__(self) -> None:
         if self.trace_buffer < 1:
@@ -88,6 +93,8 @@ class ServerConfig:
             raise ValueError("batch_window_s must be >= 0")
         if self.analyze_limit < 1:
             raise ValueError("analyze_limit must be >= 1")
+        if self.tune_limit < 1:
+            raise ValueError("tune_limit must be >= 1")
         if self.batch_max_rows < 1:
             raise ValueError("batch_max_rows must be >= 1")
         if self.trace_log_max_bytes is not None \

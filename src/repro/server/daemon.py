@@ -80,6 +80,10 @@ class SoundServer(OpCore):
                 # with their own small slot pool so a burst of searches
                 # cannot starve compile/run traffic out of the pool.
                 "analyze": self.config.analyze_limit,
+                # Autotuning sweeps: heaviest op of all (a whole candidate
+                # space compiled and measured per request), serialized by
+                # default.
+                "tune": self.config.tune_limit,
             },
             default_deadline_s=self.config.default_deadline_s,
             drain_grace_s=self.config.drain_grace_s,
@@ -91,7 +95,7 @@ class SoundServer(OpCore):
         self.dispatcher = Dispatcher(self.service, self.config)
         self.width_profile = WidthProfile()
         self._diag_seq = 0
-        self.register_work("compile", "run", "run_batch", "analyze")
+        self.register_work("compile", "run", "run_batch", "analyze", "tune")
         self.register_control("diag", self.op_diag)
 
     # -- op-core hooks ---------------------------------------------------------------

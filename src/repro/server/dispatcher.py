@@ -257,12 +257,29 @@ class Dispatcher:
             raise
         except (ReproError, TypeError, ValueError, KeyError) as exc:
             raise ProtocolError(E_BAD_REQUEST, f"invalid request: {exc}")
+        if request.op in ("compile", "run", "run_batch") \
+                and payload.get("resolve_tuned", True):
+            # Tuned-config resolution happens here, once, at the routing
+            # layer: the key must name the artifact that will actually be
+            # served, or inline routing and worker cache adoption would
+            # disagree with what compile_entry resolves to.
+            resolved = self.service.resolve_config(job.source, cfg,
+                                                   entry=job.entry)
+            if resolved is not cfg:
+                cfg = resolved
+                payload["config"] = cfg.to_dict()
+                payload["resolve_tuned"] = False
+                key = cfg.cache_key(job.source, entry=job.entry)
         route = "inline" if key in self.service.cache else "pool"
         if request.op == "analyze":
             # Always cold-class: a query runs many refinement waves even
             # when its compile is cached, far too long for the event loop.
             # The "analyze" admission class caps concurrent searches.
             route = "analyze"
+        if request.op == "tune":
+            # A sweep compiles+runs a whole candidate space: always the
+            # pool, in its own small admission class.
+            route = "tune"
         if (route == "inline"
                 and request.op == "run"
                 and self.config.batch_window_s > 0
@@ -298,6 +315,13 @@ class Dispatcher:
             slack = timeout_s * 0.9
             budget["deadline_s"] = min(budget.get("deadline_s") or slack,
                                        slack)
+            prepared.payload["budget"] = budget
+        if prepared.route == "tune" and timeout_s is not None:
+            # Same folding for a sweep: its wave loop checks the seconds
+            # budget, so it reports a (smaller) sweep instead of dying.
+            budget = dict(prepared.payload.get("budget") or {})
+            slack = timeout_s * 0.9
+            budget["seconds"] = min(budget.get("seconds") or slack, slack)
             prepared.payload["budget"] = budget
         return await self._execute_pool(prepared, timeout_s)
 

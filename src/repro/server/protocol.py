@@ -76,8 +76,8 @@ __all__ = [
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: Work ops go through admission control; control ops are always served.
-OPS = ("compile", "run", "run_batch", "analyze", "stats", "health", "drain",
-       "trace", "metrics")
+OPS = ("compile", "run", "run_batch", "analyze", "tune", "stats", "health",
+       "drain", "trace", "metrics")
 CONTROL_OPS = ("stats", "health", "drain", "trace", "metrics")
 
 E_MALFORMED = "malformed"            # frame is not a JSON object / too big

@@ -22,6 +22,8 @@ from .jobs import (
     CompileJob,
     JobResult,
     RunJob,
+    RunBatchJob,
+    TuneJob,
     execute_job,
     job_from_dict,
     jobs_from_json,
@@ -38,8 +40,10 @@ __all__ = [
     "CompileService",
     "JobResult",
     "LatencyHistogram",
+    "RunBatchJob",
     "RunJob",
     "ServiceStats",
+    "TuneJob",
     "execute_job",
     "job_from_dict",
     "jobs_from_json",

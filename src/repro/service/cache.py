@@ -74,7 +74,19 @@ class CompileCache:
         return len(self._mem)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._mem or self._disk_path_if_exists(key) is not None
+        """True iff :meth:`get` would return an entry — a bare disk file is
+        not enough, it must actually load (a corrupt shard is a miss).
+        Hit/miss counters are untouched; a corrupt file found here still
+        counts ``cache_errors`` and is unlinked, exactly as ``get`` would.
+        The loaded entry is promoted into the memory LRU so the ``get``
+        that typically follows does not re-read the disk."""
+        if key in self._mem:
+            return True
+        entry = self._disk_get(key)
+        if entry is None:
+            return False
+        self._mem_put(key, entry)
+        return True
 
     # -- lookup ----------------------------------------------------------------------
 

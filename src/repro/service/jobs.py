@@ -25,8 +25,8 @@ from ..compiler.config import CompilerConfig
 from ..obs.profile import OpProfile, count_rounding
 from ..obs.trace import current_tracer
 
-__all__ = ["AnalyzeJob", "CompileJob", "RunJob", "RunBatchJob", "JobResult",
-           "job_from_dict", "jobs_from_json", "execute_job"]
+__all__ = ["AnalyzeJob", "CompileJob", "RunJob", "RunBatchJob", "TuneJob",
+           "JobResult", "job_from_dict", "jobs_from_json", "execute_job"]
 
 
 def normalize_config(config: Union[None, str, Dict[str, Any], CompilerConfig],
@@ -87,6 +87,10 @@ class RunJob(CompileJob):
     inputs: Dict[str, Any] = field(default_factory=dict)
     uncertainty_ulps: float = 1.0
     repeats: int = 1
+    # Whether the compile may be substituted by a persisted tuned winner.
+    # The tuner's own sweep jobs turn this off: a candidate measurement
+    # must run the exact configuration it names.
+    resolve_tuned: bool = True
 
     kind = "run"
 
@@ -97,6 +101,7 @@ class RunJob(CompileJob):
             inputs=dict(self.inputs),
             uncertainty_ulps=self.uncertainty_ulps,
             repeats=self.repeats,
+            resolve_tuned=self.resolve_tuned,
         )
         return payload
 
@@ -165,6 +170,40 @@ class AnalyzeJob(CompileJob):
 
 
 @dataclass
+class TuneJob(CompileJob):
+    """Autotune one program: sweep a seeded candidate space, score by
+    Pareto dominance over (width, float-ops, wall time), persist the
+    winner in the service's :class:`repro.tune.TunedConfigStore`.
+
+    ``config`` is the *base* configuration the sweep radiates from (also
+    the one whose future compiles get transparently resolved to the
+    winner).  ``resolved_config`` keeps the base config, so the fleet
+    router keys a tune request exactly like the program's compile/run
+    traffic — the tune lands on the shard whose cache (and tuned store)
+    already serves that program.
+    """
+
+    args: List[Any] = field(default_factory=list)
+    inputs: Dict[str, Any] = field(default_factory=dict)
+    uncertainty_ulps: float = 1.0
+    budget: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    kind = "tune"
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = super().to_payload()
+        payload.update(
+            args=list(self.args),
+            inputs=dict(self.inputs),
+            uncertainty_ulps=self.uncertainty_ulps,
+            budget=dict(self.budget),
+            seed=self.seed,
+        )
+        return payload
+
+
+@dataclass
 class JobResult:
     """Outcome of one job, in submission order (``index`` is the position in
     the submitted batch)."""
@@ -220,7 +259,8 @@ def job_from_dict(data: Dict[str, Any], base_dir: str = ".") -> CompileJob:
     if "source" not in data:
         raise ValueError("job needs either 'source' or 'file'")
     cls = {"compile": CompileJob, "run": RunJob,
-           "run_batch": RunBatchJob, "analyze": AnalyzeJob}.get(kind)
+           "run_batch": RunBatchJob, "analyze": AnalyzeJob,
+           "tune": TuneJob}.get(kind)
     if cls is None:
         raise ValueError(f"unknown job kind {kind!r}")
     allowed = {f for f in cls.__dataclass_fields__}
@@ -276,6 +316,8 @@ def execute_job(payload: Dict[str, Any], service) -> Dict[str, Any]:
         return _execute_run_batch(payload, cfg, service)
     if payload["kind"] == "analyze":
         return _execute_analyze(payload, cfg, service)
+    if payload["kind"] == "tune":
+        return _execute_tune(payload, cfg, service)
     raise ValueError(f"unknown job kind {payload['kind']!r}")
 
 
@@ -284,6 +326,7 @@ def _execute_compile(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     prog, entry = service.compile_entry(payload["source"], cfg,
                                         entry=payload["entry"])
     compile_s = time.perf_counter() - t0
+    cfg = prog.config  # the tuned winner, when resolution substituted one
     return {
         "entry": entry.entry,
         "config": cfg.name,
@@ -307,8 +350,10 @@ def _execute_run(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     from ..bench.runner import result_accuracy  # lazy: bench imports service
 
     t0 = time.perf_counter()
-    prog = service.compile(payload["source"], cfg, entry=payload["entry"])
+    prog = service.compile(payload["source"], cfg, entry=payload["entry"],
+                           resolve_tuned=payload.get("resolve_tuned", True))
     compile_s = time.perf_counter() - t0
+    cfg = prog.config  # the tuned winner, when resolution substituted one
 
     args = payload.get("args", [])
     inputs = payload.get("inputs", {})
@@ -400,6 +445,7 @@ def _execute_run_batch(payload, cfg: CompilerConfig, service
     t0 = time.perf_counter()
     prog = service.compile(payload["source"], cfg, entry=payload["entry"])
     compile_s = time.perf_counter() - t0
+    cfg = prog.config  # the tuned winner, when resolution substituted one
 
     rows = payload.get("rows", [])
     ulps = payload.get("uncertainty_ulps", 1.0)
@@ -444,7 +490,10 @@ def _execute_analyze(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
     from ..errors import DomainError
 
     t0 = time.perf_counter()
-    prog = service.compile(payload["source"], cfg, entry=payload["entry"])
+    # No tuned-config substitution here: the analysis profile pins the
+    # exact configuration every layer keyed this query by.
+    prog = service.compile(payload["source"], cfg, entry=payload["entry"],
+                           resolve_tuned=False)
     compile_s = time.perf_counter() - t0
 
     query = payload.get("query", "max_error")
@@ -486,6 +535,33 @@ def _execute_analyze(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
         "k": cfg.k,
         "compile_s": compile_s,
         "query": query,
+        "result": result.to_dict(),
+        "tag": payload.get("tag", {}),
+    }
+
+
+def _execute_tune(payload, cfg: CompilerConfig, service) -> Dict[str, Any]:
+    """One autotuning request: sweep → diagnose → persist, against this
+    service's cache and tuned store."""
+    from ..tune import TuneBudget, Tuner
+
+    budget = TuneBudget.from_dict(payload.get("budget", {}))
+    tuner = Tuner(service)
+    t0 = time.perf_counter()
+    result = tuner.tune(
+        payload["source"], cfg,
+        entry=payload["entry"],
+        args=payload.get("args", []),
+        inputs=payload.get("inputs", {}),
+        uncertainty_ulps=payload.get("uncertainty_ulps", 1.0),
+        budget=budget,
+        seed=int(payload.get("seed", 0)),
+    )
+    service.stats.observe_latency("job:tune", time.perf_counter() - t0)
+    return {
+        "entry": payload["entry"] or result.entry,
+        "config": cfg.name,
+        "k": cfg.k,
         "result": result.to_dict(),
         "tag": payload.get("tag", {}),
     }

@@ -35,10 +35,50 @@ class CompileService:
     def __init__(self, cache_dir: Optional[str] = None,
                  maxsize: int = 128,
                  cache: Optional[CompileCache] = None,
-                 stats: Optional[ServiceStats] = None) -> None:
+                 stats: Optional[ServiceStats] = None,
+                 tuned: Optional[Any] = None) -> None:
         self.stats = stats if stats is not None else ServiceStats()
         self.cache = cache if cache is not None else CompileCache(
             maxsize=maxsize, cache_dir=cache_dir, stats=self.stats)
+        if tuned is None and cache_dir is not None:
+            # The tuned-config store rides in the cache directory, so every
+            # process sharing the compile cache (pool workers, shard
+            # daemons) transparently serves the same tuned winners.
+            import os
+
+            from ..tune.store import TunedConfigStore  # lazy: tune imports us
+
+            tuned = TunedConfigStore(os.path.join(cache_dir, "tuned"))
+        self.tuned = tuned
+
+    # -- tuned-config resolution -------------------------------------------------------
+
+    def resolve_config(self, source: str, cfg: CompilerConfig,
+                       entry: Optional[str] = None) -> CompilerConfig:
+        """Substitute the tuned winner for ``cfg`` when one is on record.
+
+        A winner only applies when the *requested* config matches the base
+        config the tuner swept from (ignoring ``source_name``, which names
+        the file, not the configuration) — an explicit non-default request
+        is always honored as asked.  Returns ``cfg`` unchanged otherwise.
+        """
+        if self.tuned is None:
+            return cfg
+        record = self.tuned.get(CompilerConfig.source_key(source, entry=entry))
+        if record is None:
+            return cfg
+        asked = cfg.to_dict()
+        base = dict(record.base_config)
+        asked.pop("source_name", None)
+        base.pop("source_name", None)
+        if asked != base or record.config == record.base_config:
+            return cfg
+        from dataclasses import replace
+
+        winner = CompilerConfig.from_dict(record.config)
+        resolved = replace(winner, source_name=cfg.source_name)
+        self.stats.add("tune_resolved")
+        return resolved
 
     # -- single compilations ---------------------------------------------------------
 
@@ -46,10 +86,12 @@ class CompileService:
                 config: Union[None, str, Dict[str, Any], CompilerConfig] = None,
                 k: int = 16, entry: Optional[str] = None,
                 emit_after: Optional[Tuple[str, ...]] = None,
+                resolve_tuned: bool = True,
                 **overrides) -> CompiledProgram:
         """Cached equivalent of :func:`repro.compiler.compile_c`."""
         prog, _ = self.compile_entry(source, config, k=k, entry=entry,
-                                     emit_after=emit_after, **overrides)
+                                     emit_after=emit_after,
+                                     resolve_tuned=resolve_tuned, **overrides)
         return prog
 
     def compile_entry(self, source: str,
@@ -57,18 +99,26 @@ class CompileService:
                                     CompilerConfig] = None,
                       k: int = 16, entry: Optional[str] = None,
                       emit_after: Optional[Tuple[str, ...]] = None,
+                      resolve_tuned: bool = True,
                       **overrides) -> Tuple[CompiledProgram, CacheEntry]:
         """Compile (or fetch) and also return the underlying cache entry.
 
         ``emit_after`` requests intermediate dumps; a cached entry missing a
         requested dump is recompiled and the entry updated in place, so the
         dumps round-trip through the cache on later lookups.
+
+        ``resolve_tuned=True`` (the default) first consults the
+        :class:`repro.tune.TunedConfigStore` and silently serves the tuned
+        winner when the requested config is the one the tuner swept from;
+        the tuner itself passes ``False`` so sweeps measure what they ask.
         """
         cfg = normalize_config(config, k=k)
         if overrides:
             from dataclasses import replace
 
             cfg = replace(cfg, **overrides)
+        if resolve_tuned:
+            cfg = self.resolve_config(source, cfg, entry=entry)
         wanted = tuple(emit_after) if emit_after else ()
         key = cfg.cache_key(source, entry=entry)
         tracer = current_tracer()

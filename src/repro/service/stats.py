@@ -235,6 +235,12 @@ class ServiceStats:
     analyze_waves: int = 0
     analyze_samples: int = 0
     analyze_undecided: int = 0
+    # autotuning counters (repro.tune)
+    tune_runs: int = 0
+    tune_candidates: int = 0
+    tune_persisted: int = 0
+    tune_resolved: int = 0
+    tune_sweep_s: float = 0.0
     pass_s: Dict[str, float] = field(default_factory=dict)
     ops: Dict[str, float] = field(default_factory=dict)
     latency: Dict[str, LatencyHistogram] = field(default_factory=dict)

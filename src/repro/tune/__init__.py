@@ -1,0 +1,30 @@
+"""Feedback-directed autotuning (`repro tune`).
+
+Sweep a seeded candidate space around a base configuration through the
+batch engine, score it by Pareto dominance over (enclosure width, runtime
+float ops, compile+run wall time), diagnose the winner (width origins +
+pass timings), and persist the winning :class:`repro.compiler
+.CompilerConfig` per *program* (source+entry+version key) so the compile
+service — and every daemon/fleet layer above it — transparently serves
+the tuned artifact with no client change.
+"""
+
+from .report import render_tune_report
+from .space import BASELINE_NAME, Candidate, CandidateSpace
+from .store import TunedConfigStore, TunedRecord
+from .tuner import (CandidateOutcome, TuneBudget, TuneResult, Tuner,
+                    tune_objectives)
+
+__all__ = [
+    "BASELINE_NAME",
+    "Candidate",
+    "CandidateOutcome",
+    "CandidateSpace",
+    "TuneBudget",
+    "TuneResult",
+    "TunedConfigStore",
+    "TunedRecord",
+    "Tuner",
+    "render_tune_report",
+    "tune_objectives",
+]

@@ -1,0 +1,101 @@
+"""Terminal report for one tuning run.
+
+Joins three views the rest of the system already produces: the sweep's
+candidate table (scored by the minimized objective triple), the winner's
+width attribution (``WidthProfile`` — top origins by share), and the
+winner's compile pipeline timings (``PipelineReport``) — the
+``diag_output``-style workflow of sweep → diagnose → act, rendered by
+delegating the diagnostics half to :func:`repro.obs.diag.render_diag_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..obs.diag import render_diag_report
+
+__all__ = ["render_tune_report"]
+
+
+def _fmt(value: Optional[float], spec: str = "12.6g") -> str:
+    if value is None:
+        return f"{'-':>12}"
+    return format(value, spec)
+
+
+def _delta(winner: Optional[float], base: Optional[float]) -> str:
+    if winner is None or base is None or base == 0:
+        return ""
+    change = (winner - base) / abs(base)
+    if change == 0:
+        return "  (=)"
+    return f"  ({change:+.1%})"
+
+
+def render_tune_report(result: Dict[str, Any], n: int = 10,
+                       stats: Optional[Dict[str, Any]] = None) -> str:
+    """Render a :meth:`repro.tune.TuneResult.to_dict` as the ``repro tune``
+    terminal report."""
+    lines: List[str] = []
+    winner = result.get("winner", {})
+    baseline = result.get("baseline", {})
+    w_obj = {"width": winner.get("width"), "ops": winner.get("ops"),
+             "wall": winner.get("wall")}
+    b_obj = {"width": baseline.get("width"), "ops": baseline.get("ops"),
+             "wall": baseline.get("wall")}
+
+    lines.append(
+        f"tune: {result.get('n_measured', 0)}/{result.get('n_enumerated', 0)}"
+        f" candidates measured in {result.get('sweep_s', 0.0):.2f}s"
+        f" (seed {result.get('seed', 0)})")
+    verdict = "improves on" if result.get("improved") else "keeps"
+    lines.append(
+        f"winner: {winner.get('name', '?')} [{winner.get('config_name', '?')}"
+        f", k={winner.get('k', '?')}] {verdict} baseline"
+        f" [{baseline.get('config_name', '?')}, k={baseline.get('k', '?')}]"
+        + ("  (persisted)" if result.get("persisted") else ""))
+    for label, key in (("enclosure width", "width"),
+                       ("runtime float ops", "ops"),
+                       ("compile+run wall s", "wall")):
+        lines.append(f"  {label:<20} {_fmt(w_obj[key])}  vs "
+                     f"{_fmt(b_obj[key])}{_delta(w_obj[key], b_obj[key])}")
+
+    front = result.get("front", [])
+    if front:
+        lines.append("pareto front (width, ops, wall): " + ", ".join(front))
+
+    candidates = result.get("candidates", [])
+    if candidates:
+        lines.append("candidates (best width first)")
+        lines.append(f"  {'name':<12} {'config':<14} {'width':>12} "
+                     f"{'ops':>8} {'wall_s':>9}")
+
+        def sort_key(c):
+            width = c.get("width")
+            return (width is None, width if width is not None else 0.0,
+                    c.get("name", ""))
+
+        shown = sorted([c for c in candidates], key=sort_key)[:n]
+        for c in shown:
+            if not c.get("ok"):
+                lines.append(f"  {c.get('name', '?'):<12} "
+                             f"{c.get('config_name', '?'):<14} "
+                             f"failed: {str(c.get('error'))[:40]}")
+                continue
+            ops = c.get("ops")
+            wall = c.get("wall")
+            lines.append(
+                f"  {c.get('name', '?'):<12} {c.get('config_name', '?'):<14}"
+                f" {_fmt(c.get('width'))} "
+                f"{int(ops) if ops is not None else '-':>8}"
+                f" {wall if wall is not None else float('nan'):>9.4f}")
+        if len(candidates) > n:
+            lines.append(f"  ... {len(candidates) - n} more")
+
+    width = result.get("width")
+    if width:
+        lines.append("")
+        lines.append(f"winner diagnostics ({winner.get('name', '?')})")
+        lines.append(render_diag_report(width, pipeline=result.get("pipeline"),
+                                        stats=stats, n=n))
+    return "\n".join(lines)

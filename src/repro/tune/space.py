@@ -1,0 +1,171 @@
+"""Seeded candidate enumeration for the autotuner.
+
+The space radiates from a *base* configuration (usually the paper default
+``f64a-dsnn`` at some k) along the axes Section VII-A hand-sweeps:
+
+* ``k`` — the bounded-form symbol budget, a ladder around the base k
+  (condensation pressure is the main width/cost lever);
+* placement — SORTED vs DIRECT_MAPPED symbol slots;
+* fusion — which victim a full form condenses (smallest/mean/oldest/random);
+* prioritization — protect the max-reuse winners from condensation;
+* ``opt`` — the sound TAC optimization passes (cse/dte) on or off, plus a
+  pass-ordering variant (dte before cse) when they are on.
+
+Everything is deterministic in (base config, seed): candidates are
+enumerated in a fixed order, down-sampling to ``max_candidates`` uses
+``random.Random(seed)``, and each RANDOM-fusion candidate derives its
+runtime ``config.seed`` from the sweep seed and its own name — two sweeps
+with the same seed measure byte-identical configurations (satellite: the
+property test in ``tests/tune/test_space.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import replace
+from typing import List, Optional
+
+from ..aa import FusionPolicy, PlacementPolicy, Precision
+from ..compiler.config import CompilerConfig
+
+__all__ = ["Candidate", "CandidateSpace", "BASELINE_NAME"]
+
+BASELINE_NAME = "baseline"
+
+
+class Candidate:
+    """One configuration to measure, with a stable human-readable name."""
+
+    __slots__ = ("name", "config")
+
+    def __init__(self, name: str, config: CompilerConfig) -> None:
+        self.name = name
+        self.config = config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Candidate({self.name}: {self.config.name})"
+
+
+def _derived_seed(sweep_seed: int, name: str) -> int:
+    """A per-candidate RNG seed that depends only on (sweep seed, name)."""
+    blob = f"{sweep_seed}:{name}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+def _k_ladder(base_k: int) -> List[int]:
+    """k values around the base: halving/doubling plus the paper's floor."""
+    ks = {base_k, max(4, base_k // 2), base_k * 2}
+    if base_k >= 16:
+        ks.add(base_k // 4 * 3)  # one intermediate rung
+    return sorted(k for k in ks if k >= 1)
+
+
+class CandidateSpace:
+    """Deterministic enumeration of tuning candidates around a base config.
+
+    ``enumerate()`` returns the baseline first, then every variant, in a
+    fixed order; when the full grid exceeds ``max_candidates`` a seeded
+    sample of the non-baseline tail is kept (original order preserved).
+    """
+
+    def __init__(self, base: CompilerConfig, seed: int = 0) -> None:
+        self.base = base
+        self.seed = seed
+
+    def enumerate(self, max_candidates: Optional[int] = None
+                  ) -> List[Candidate]:
+        base = self.base
+        out: List[Candidate] = [Candidate(BASELINE_NAME, base)]
+        seen = {self._identity(base)}
+
+        if base.mode != "aa" or base.impl != "auto":
+            # Interval / library-baseline modes have no symbol-budget or
+            # policy axes; only the pipeline knobs apply.
+            variants = self._pipeline_variants(base)
+        else:
+            variants = self._aa_variants(base)
+        for cand in variants:
+            ident = self._identity(cand.config)
+            if ident in seen:
+                continue
+            seen.add(ident)
+            out.append(cand)
+
+        if max_candidates is not None and len(out) > max_candidates:
+            rng = random.Random(self.seed)
+            tail = out[1:]
+            keep = set(rng.sample(range(len(tail)),
+                                  max(0, max_candidates - 1)))
+            out = [out[0]] + [c for i, c in enumerate(tail) if i in keep]
+        return out
+
+    # -- axes --------------------------------------------------------------------------
+
+    def _aa_variants(self, base: CompilerConfig) -> List[Candidate]:
+        out: List[Candidate] = []
+        # k ladder at the base policies.
+        for k in _k_ladder(base.k):
+            out.append(self._make(f"k{k}", base, k=k))
+        # Placement x fusion grid at the base k.  Vectorized output
+        # requires direct-mapped placement, so a SORTED candidate from a
+        # vectorized base drops vectorization.
+        for placement in (PlacementPolicy.DIRECT_MAPPED,
+                          PlacementPolicy.SORTED):
+            for fusion in (FusionPolicy.SMALLEST, FusionPolicy.MEAN,
+                           FusionPolicy.OLDEST, FusionPolicy.RANDOM):
+                name = f"{placement.code}{fusion.code}"
+                out.append(self._make(name, base, placement=placement,
+                                      fusion=fusion))
+        # Prioritization flip (protects max-reuse winners).
+        out.append(self._make(
+            "prio" if not base.prioritize else "noprio",
+            base, prioritize=not base.prioritize))
+        # Condensation pressure x fusion: the half-k rung again but with
+        # each non-base fusion policy — where the victim choice matters
+        # most is when condensation actually fires.
+        half_k = max(4, base.k // 2)
+        if half_k != base.k:
+            for fusion in (FusionPolicy.MEAN, FusionPolicy.OLDEST,
+                           FusionPolicy.RANDOM):
+                out.append(self._make(f"k{half_k}-{fusion.code}", base,
+                                      k=half_k, fusion=fusion))
+        out.extend(self._pipeline_variants(base))
+        return out
+
+    def _pipeline_variants(self, base: CompilerConfig) -> List[Candidate]:
+        out = [self._make("noopt" if base.opt else "opt", base,
+                          opt=not base.opt, passes=None)]
+        if base.opt and base.passes is None:
+            # Reordered optimization pipeline: dead-temp elimination before
+            # CSE (kills temps first, shrinking CSE's table).
+            from ..compiler.passes.manager import default_pipeline
+
+            names = default_pipeline(base)
+            if "cse" in names and "dte" in names:
+                i, j = names.index("cse"), names.index("dte")
+                names[i], names[j] = names[j], names[i]
+                out.append(self._make("dte-first", base,
+                                      passes=tuple(names)))
+        return out
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _make(self, name: str, base: CompilerConfig,
+              **overrides) -> Candidate:
+        placement = overrides.get("placement", base.placement)
+        precision = overrides.get("precision", base.precision)
+        if base.vectorize and (
+                placement is not PlacementPolicy.DIRECT_MAPPED
+                or precision is not Precision.F64):
+            overrides.setdefault("vectorize", False)
+        cfg = replace(base, **overrides)
+        if cfg.fusion is FusionPolicy.RANDOM:
+            cfg = replace(cfg, seed=_derived_seed(self.seed, name))
+        return Candidate(name, cfg)
+
+    @staticmethod
+    def _identity(cfg: CompilerConfig) -> str:
+        import json
+
+        return json.dumps(cfg.to_dict(), sort_keys=True)

@@ -1,0 +1,146 @@
+"""Persistence for tuned configurations.
+
+A :class:`TunedConfigStore` maps a *source key* — SHA-256 over (source,
+entry, version), deliberately config-independent, see
+:meth:`repro.compiler.CompilerConfig.source_key` — to a :class:`TunedRecord`
+describing the winning configuration an autotuning sweep picked for that
+program and the evidence it won on.
+
+On-disk format mirrors the compile cache: ``<dir>/<key[:2]>/<key>.json``,
+written atomically (temp file + ``os.replace``) so concurrent processes
+sharing one cache directory need no locks; the files are human-readable
+JSON so a tuned decision can be inspected (or deleted) with ordinary
+tools.  A corrupt or unreadable file is treated as missing and unlinked —
+the store is advice, not a source of truth: losing a record only means a
+program is served at its requested config until someone re-tunes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["TunedRecord", "TunedConfigStore"]
+
+
+@dataclass
+class TunedRecord:
+    """One persisted tuning decision."""
+
+    source_key: str
+    entry: Optional[str]
+    # CompilerConfig.to_dict() of the winner and of the base config the
+    # sweep radiated from (resolution only fires when a client asks for
+    # the base config).
+    config: Dict[str, Any]
+    base_config: Dict[str, Any]
+    # Objective triple (enclosure width, float ops, wall seconds) of the
+    # winner and of the baseline it beat (or tied).
+    objectives: Dict[str, Any] = field(default_factory=dict)
+    baseline: Dict[str, Any] = field(default_factory=dict)
+    winner_name: str = ""
+    baseline_name: str = ""
+    seed: int = 0
+    n_candidates: int = 0
+    version: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source_key": self.source_key,
+            "entry": self.entry,
+            "config": dict(self.config),
+            "base_config": dict(self.base_config),
+            "objectives": dict(self.objectives),
+            "baseline": dict(self.baseline),
+            "winner_name": self.winner_name,
+            "baseline_name": self.baseline_name,
+            "seed": self.seed,
+            "n_candidates": self.n_candidates,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TunedRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class TunedConfigStore:
+    """Sharded JSON store of :class:`TunedRecord`, with a small in-memory
+    overlay so repeated resolutions of a hot program do not re-read disk.
+
+    ``directory=None`` keeps the store purely in memory (useful for an
+    in-process service without a cache dir)."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._mem: Dict[str, TunedRecord] = {}
+
+    def _path(self, source_key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, source_key[:2],
+                            source_key + ".json")
+
+    def get(self, source_key: str) -> Optional[TunedRecord]:
+        record = self._mem.get(source_key)
+        if record is not None:
+            return record
+        # A miss always re-stats the disk (no negative caching): another
+        # process — a pool worker running a tune job — may persist a
+        # winner at any time, and a stale "absent" answer here would make
+        # the parent daemon keep serving the untuned config.
+        path = self._path(source_key)
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    data = json.load(fh)
+                record = TunedRecord.from_dict(data)
+                if record.source_key != source_key:
+                    raise ValueError("tuned record does not match its key")
+                self._mem[source_key] = record
+                return record
+            except Exception:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        return None
+
+    def put(self, record: TunedRecord) -> None:
+        self._mem[record.source_key] = record
+        path = self._path(record.source_key)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(record.to_dict(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            pass  # like the compile cache: a failed write is not an error
+
+    def invalidate(self, source_key: str) -> None:
+        self._mem.pop(source_key, None)
+        path = self._path(source_key)
+        if path is not None and os.path.exists(path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def __contains__(self, source_key: str) -> bool:
+        return self.get(source_key) is not None

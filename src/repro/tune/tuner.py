@@ -1,0 +1,435 @@
+"""Feedback-directed autotuning: sweep → diagnose → persist.
+
+The :class:`Tuner` closes the loop the paper leaves open (Section VII-A
+hand-sweeps configurations per benchmark): it enumerates a seeded candidate
+space around a base configuration, measures every candidate through the
+batch engine (each point compiles through the service's content-addressed
+cache, so re-tuning is nearly free), scores the sweep by Pareto dominance
+over the triple
+
+    (enclosure width, runtime float-op count, compile+run wall seconds)
+
+reusing :func:`repro.bench.pareto_front`, picks a deterministic winner,
+runs one provenance-tracked execution of it to produce the diagnostics
+report (top width origins + top-time passes), and persists the winner in
+the service's :class:`TunedConfigStore` so future compiles of the same
+program transparently serve it.
+
+Winner rule — deliberately *not* "anything on the front": wall time is
+noisy run to run, so front membership is not reproducible.  Instead, among
+candidates with finite (width, ops) whose width does not exceed the
+baseline's, the winner is the lexicographic minimum of
+``(width, ops, is-not-baseline, name)``.  Width is the soundness objective
+and dominates; float-ops break ties; the baseline wins any exact tie, so a
+tuned record never makes a served program worse on (width, ops) — and the
+whole rule is a pure function of measured enclosures and op counts, which
+are bit-reproducible, so two same-seed sweeps pick the same winner.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..bench.runner import BenchResult, pareto_front
+from ..compiler.config import CompilerConfig
+from ..obs.diag import WidthProfile
+from ..obs.trace import current_tracer
+from ..service.jobs import RunJob, normalize_config
+from ..service.service import CompileService
+from .space import BASELINE_NAME, Candidate, CandidateSpace
+from .store import TunedRecord
+
+__all__ = ["TuneBudget", "TuneResult", "Tuner", "tune_objectives"]
+
+
+#: The minimized objective triple the sweep is scored by, in the shape
+#: ``pareto_front(results, objectives=tune_objectives())`` expects.  The
+#: measurements live in ``BenchResult.extra``.
+def tune_objectives():
+    return [lambda r: r.extra.get("width", float("nan")),
+            lambda r: r.extra.get("ops", float("nan")),
+            lambda r: r.extra.get("wall", float("nan"))]
+
+
+@dataclass
+class TuneBudget:
+    """How much sweeping a tune request may do.
+
+    ``max_candidates`` caps the enumerated space (seeded down-sample);
+    ``seconds`` is a soft wall-clock budget checked between waves (the
+    baseline wave always runs); ``repeats`` is per-candidate timing
+    repeats; ``jobs``/``timeout_s`` feed the batch engine.
+    """
+
+    max_candidates: int = 24
+    seconds: Optional[float] = None
+    repeats: int = 1
+    jobs: int = 1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_candidates": self.max_candidates,
+            "seconds": self.seconds,
+            "repeats": self.repeats,
+            "jobs": self.jobs,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneBudget":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown tune budget fields: {sorted(unknown)}")
+        return cls(**{k: v for k, v in data.items() if v is not None})
+
+
+@dataclass
+class CandidateOutcome:
+    """One measured (or failed) candidate of a sweep."""
+
+    name: str
+    config_name: str
+    config: Dict[str, Any]
+    k: int
+    ok: bool = False
+    width: float = float("nan")
+    ops: float = float("nan")
+    wall: float = float("nan")
+    acc_bits: Optional[float] = None
+    runtime_s: float = 0.0
+    compile_s: float = 0.0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        def _num(x):
+            if x is None:
+                return None
+            return None if isinstance(x, float) and math.isnan(x) else x
+
+        return {
+            "name": self.name,
+            "config_name": self.config_name,
+            "config": dict(self.config),
+            "k": self.k,
+            "ok": self.ok,
+            "width": _num(self.width),
+            "ops": _num(self.ops),
+            "wall": _num(self.wall),
+            "acc_bits": _num(self.acc_bits),
+            "runtime_s": self.runtime_s,
+            "compile_s": self.compile_s,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CandidateOutcome":
+        known = {f for f in cls.__dataclass_fields__}
+        out = cls(**{k: v for k, v in data.items() if k in known})
+        if out.width is None:
+            out.width = float("nan")
+        if out.ops is None:
+            out.ops = float("nan")
+        if out.wall is None:
+            out.wall = float("nan")
+        return out
+
+    def objectives_dict(self) -> Dict[str, Any]:
+        return {"width": None if math.isnan(self.width) else self.width,
+                "ops": None if math.isnan(self.ops) else self.ops,
+                "wall": None if math.isnan(self.wall) else self.wall}
+
+
+@dataclass
+class TuneResult:
+    """Everything one tune produced, in wire-safe form via :meth:`to_dict`."""
+
+    entry: Optional[str]
+    source_key: str
+    seed: int
+    winner: CandidateOutcome
+    baseline: CandidateOutcome
+    candidates: List[CandidateOutcome] = field(default_factory=list)
+    front: List[str] = field(default_factory=list)
+    persisted: bool = False
+    improved: bool = False
+    n_enumerated: int = 0
+    n_measured: int = 0
+    sweep_s: float = 0.0
+    width: Optional[Dict[str, Any]] = None     # WidthProfile.to_dict()
+    pipeline: Optional[Dict[str, Any]] = None  # PipelineReport.to_dict()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entry": self.entry,
+            "source_key": self.source_key,
+            "seed": self.seed,
+            "winner": self.winner.to_dict(),
+            "baseline": self.baseline.to_dict(),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "front": list(self.front),
+            "persisted": self.persisted,
+            "improved": self.improved,
+            "n_enumerated": self.n_enumerated,
+            "n_measured": self.n_measured,
+            "sweep_s": round(self.sweep_s, 6),
+            "width": self.width,
+            "pipeline": self.pipeline,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneResult":
+        return cls(
+            entry=data.get("entry"),
+            source_key=data.get("source_key", ""),
+            seed=int(data.get("seed", 0)),
+            winner=CandidateOutcome.from_dict(data.get("winner", {})),
+            baseline=CandidateOutcome.from_dict(data.get("baseline", {})),
+            candidates=[CandidateOutcome.from_dict(c)
+                        for c in data.get("candidates", [])],
+            front=list(data.get("front", [])),
+            persisted=bool(data.get("persisted", False)),
+            improved=bool(data.get("improved", False)),
+            n_enumerated=int(data.get("n_enumerated", 0)),
+            n_measured=int(data.get("n_measured", 0)),
+            sweep_s=float(data.get("sweep_s", 0.0)),
+            width=data.get("width"),
+            pipeline=data.get("pipeline"),
+        )
+
+
+class Tuner:
+    """Sweep, diagnose and persist for one program; see module docstring."""
+
+    def __init__(self, service: Optional[CompileService] = None,
+                 cache_dir: Optional[str] = None,
+                 maxsize: int = 128) -> None:
+        self.service = service if service is not None \
+            else CompileService(cache_dir=cache_dir, maxsize=maxsize)
+
+    def tune(self, source: str,
+             config: Union[None, str, Dict[str, Any], CompilerConfig] = None,
+             k: int = 16,
+             entry: Optional[str] = None,
+             args: Optional[List[Any]] = None,
+             inputs: Optional[Dict[str, Any]] = None,
+             uncertainty_ulps: float = 1.0,
+             budget: Optional[TuneBudget] = None,
+             seed: int = 0,
+             space: Optional[CandidateSpace] = None) -> TuneResult:
+        base = normalize_config(config, k=k)
+        budget = budget if budget is not None else TuneBudget()
+        args = list(args or [])
+        inputs = dict(inputs or {})
+        if space is None:
+            space = CandidateSpace(base, seed=seed)
+        candidates = space.enumerate(budget.max_candidates)
+        tracer = current_tracer()
+
+        t_sweep = time.perf_counter()
+        with tracer.span("tune:sweep", config=base.name,
+                         candidates=len(candidates)) as sp:
+            outcomes = self._sweep(source, entry, args, inputs,
+                                   uncertainty_ulps, candidates, budget)
+            sp.set(measured=sum(1 for o in outcomes if o.ok))
+        sweep_s = time.perf_counter() - t_sweep
+
+        baseline = outcomes[0]
+        winner = self._pick_winner(outcomes)
+        front = self._front(outcomes)
+        improved = winner.name != BASELINE_NAME
+
+        with tracer.span("tune:diagnose", winner=winner.name):
+            width, pipeline = self._diagnose(
+                source, entry, args, inputs, uncertainty_ulps, winner)
+
+        source_key = CompilerConfig.source_key(source, entry=entry)
+        persisted = False
+        with tracer.span("tune:persist", winner=winner.name) as sp:
+            if self.service.tuned is not None and baseline.ok:
+                from .. import __version__
+
+                self.service.tuned.put(TunedRecord(
+                    source_key=source_key,
+                    entry=entry,
+                    config=dict(winner.config),
+                    base_config=base.to_dict(),
+                    objectives=winner.objectives_dict(),
+                    baseline=baseline.objectives_dict(),
+                    winner_name=winner.name,
+                    baseline_name=baseline.config_name,
+                    seed=seed,
+                    n_candidates=len(outcomes),
+                    version=__version__,
+                ))
+                persisted = True
+            sp.set(persisted=persisted)
+
+        stats = self.service.stats
+        stats.add("tune_runs")
+        stats.add("tune_candidates", sum(1 for o in outcomes if o.ok))
+        if persisted:
+            stats.add("tune_persisted")
+        stats.add("tune_sweep_s", sweep_s)
+
+        return TuneResult(
+            entry=entry,
+            source_key=source_key,
+            seed=seed,
+            winner=winner,
+            baseline=baseline,
+            candidates=outcomes,
+            front=front,
+            persisted=persisted,
+            improved=improved,
+            n_enumerated=len(candidates),
+            n_measured=sum(1 for o in outcomes if o.ok),
+            sweep_s=sweep_s,
+            width=width,
+            pipeline=pipeline,
+        )
+
+    # -- sweep -------------------------------------------------------------------------
+
+    def _sweep(self, source: str, entry: Optional[str], args, inputs,
+               ulps: float, candidates: List[Candidate],
+               budget: TuneBudget) -> List[CandidateOutcome]:
+        from ..service.engine import BatchEngine
+
+        engine = BatchEngine(jobs=budget.jobs, timeout_s=budget.timeout_s,
+                             retries=0, service=self.service)
+        wave_size = max(budget.jobs, 1) * 4
+        outcomes: List[CandidateOutcome] = []
+        deadline = (time.perf_counter() + budget.seconds
+                    if budget.seconds is not None else None)
+        for start in range(0, len(candidates), wave_size):
+            if start > 0 and deadline is not None \
+                    and time.perf_counter() >= deadline:
+                break  # budget spent; the baseline wave already ran
+            wave = candidates[start:start + wave_size]
+            jobs = [RunJob(
+                source=source,
+                config=cand.config,
+                k=cand.config.k,
+                entry=entry,
+                args=list(args),
+                inputs=dict(inputs),
+                uncertainty_ulps=ulps,
+                repeats=budget.repeats,
+                resolve_tuned=False,  # measure exactly what the name says
+                tag={"candidate": cand.name},
+            ) for cand in wave]
+            for cand, res in zip(wave, engine.run(jobs)):
+                outcomes.append(self._outcome(cand, res))
+        return outcomes
+
+    @staticmethod
+    def _outcome(cand: Candidate, res) -> CandidateOutcome:
+        out = CandidateOutcome(
+            name=cand.name,
+            config_name=cand.config.name,
+            config=cand.config.to_dict(),
+            k=cand.config.k,
+        )
+        if not res.ok:
+            out.error = res.error or "failed"
+            return out
+        v = res.value
+        out.ok = True
+        out.runtime_s = float(v.get("runtime_s", 0.0))
+        out.compile_s = float(v.get("compile_s", 0.0))
+        out.wall = out.runtime_s + out.compile_s
+        out.acc_bits = v.get("acc_bits")
+        interval = v.get("interval")
+        if interval is not None:
+            out.width = float(interval[1]) - float(interval[0])
+        elif out.acc_bits is not None and math.isfinite(out.acc_bits):
+            # Array-returning kernels (sor/luf/fgm) carry no scalar
+            # enclosure; the worst-case accuracy over their output arrays
+            # is the same soundness measure on a log scale, so 2^-acc is
+            # a monotone stand-in width — enough for Pareto ordering.
+            out.width = 2.0 ** (-float(out.acc_bits))
+        profile = v.get("op_profile") or {}
+        ops = (profile.get("ops") or {}).get("total")
+        if ops is not None:
+            out.ops = float(ops)
+        return out
+
+    # -- scoring -----------------------------------------------------------------------
+
+    @staticmethod
+    def _bench(outcomes: List[CandidateOutcome]) -> List[BenchResult]:
+        return [BenchResult(
+            benchmark="tune", config=o.config_name, k=o.k,
+            acc_bits=o.acc_bits if o.acc_bits is not None else float("nan"),
+            runtime_s=o.runtime_s, compile_s=o.compile_s,
+            extra={"candidate": o.name, "width": o.width,
+                   "ops": o.ops, "wall": o.wall},
+        ) for o in outcomes if o.ok]
+
+    def _front(self, outcomes: List[CandidateOutcome]) -> List[str]:
+        front = pareto_front(self._bench(outcomes),
+                             objectives=tune_objectives())
+        return [r.extra["candidate"] for r in front]
+
+    @staticmethod
+    def _pick_winner(outcomes: List[CandidateOutcome]) -> CandidateOutcome:
+        baseline = outcomes[0]
+        eligible = [
+            o for o in outcomes
+            if o.ok and math.isfinite(o.width) and math.isfinite(o.ops)
+        ]
+        if not baseline.ok or not math.isfinite(baseline.width):
+            # No sound baseline measurement (float mode, failure): nothing
+            # to beat, keep what was asked.
+            return baseline
+        eligible = [o for o in eligible if o.width <= baseline.width]
+        if not eligible:
+            return baseline
+        return min(eligible, key=lambda o: (o.width, o.ops,
+                                            o.name != BASELINE_NAME, o.name))
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def _diagnose(self, source: str, entry: Optional[str], args, inputs,
+                  ulps: float, winner: CandidateOutcome):
+        """One provenance-tracked run of the winner: the width/pass join of
+        the report.  Best-effort — a diagnostics failure never voids the
+        sweep."""
+        try:
+            cfg = CompilerConfig.from_dict(winner.config)
+            prog, centry = self.service.compile_entry(
+                source, cfg, entry=entry, resolve_tuned=False)
+            res = prog(*args, uncertainty_ulps=ulps,
+                       track_provenance=True, **inputs)
+            profile = WidthProfile()
+            value = res.value
+            if value is not None and (hasattr(value, "coefficients")
+                                      or hasattr(value, "terms")):
+                from ..aa.explain import explain
+
+                profile.record_explanation(explain(value),
+                                           label=winner.name)
+            else:
+                profile.skip()
+            factory = getattr(getattr(res.runtime, "ctx", None),
+                              "symbols", None)
+            if factory is not None and getattr(factory, "n_absorptions", 0):
+                profile.record_absorbed(dict(factory.absorbed),
+                                        dict(factory.absorbed_at),
+                                        factory.n_absorptions)
+            pipeline = getattr(centry, "pipeline", None)
+            return (profile.to_dict(),
+                    pipeline.to_dict() if pipeline is not None else None)
+        except Exception:
+            return None, None

@@ -142,6 +142,30 @@ class TestPareto:
         front = pareto_front(rs)
         assert [r.runtime_s for r in front] == [1.0, 2.0, 3.0]
 
+    def test_nan_rows_are_excluded(self):
+        """Regression: NaN never orders under <=, so a NaN row used to be
+        incomparable with everything and survive onto the front."""
+        rs = [self.make(10, 1.0), self.make(float("nan"), 0.1),
+              self.make(20, 0.5)]
+        front = pareto_front(rs)
+        assert [r.acc_bits for r in front] == [20]
+
+    def test_all_nan_gives_empty_front(self):
+        rs = [self.make(float("nan"), 1.0), self.make(float("nan"), 2.0)]
+        assert pareto_front(rs) == []
+
+    def test_custom_objectives(self):
+        """Generalized minimized objectives (what the autotuner scores by)."""
+        rs = [BenchResult(benchmark="b", config=c, k=1, acc_bits=0.0,
+                          runtime_s=0.0,
+                          extra={"width": w, "ops": o})
+              for c, w, o in [("a", 1.0, 10), ("b", 2.0, 10),
+                              ("c", 1.0, 5), ("d", float("nan"), 1)]]
+        front = pareto_front(
+            rs, objectives=[lambda r: r.extra["width"],
+                            lambda r: r.extra["ops"]])
+        assert [r.config for r in front] == ["c"]
+
 
 class TestReport:
     def test_format_table(self):

@@ -1,0 +1,84 @@
+"""The ``tune`` server op: sweep through the daemon, stats accounting,
+and transparent tuned serving on the follow-up compile."""
+
+import pytest
+
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+HENON = open("examples/henon.c").read()
+BUDGET = {"max_candidates": 6}
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("tune-op-cache"))
+
+
+@pytest.fixture(scope="module")
+def server(cache_dir):
+    with ServerThread(ServerConfig(port=0, pool_workers=1,
+                                   cache_dir=cache_dir)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port, timeout=180.0) as c:
+        yield c
+
+
+class TestTuneOp:
+    def test_tune_reports_a_winner_and_persists(self, client):
+        reply = client.tune(HENON, args=[0.3, 0.2, 10],
+                            config="f64a-dsnn", k=8, entry="henon",
+                            budget=BUDGET, seed=7)
+        assert reply["route"] == "tune"
+        result = reply["result"]
+        assert result["baseline"]["ok"]
+        assert result["winner"]["width"] <= result["baseline"]["width"]
+        assert result["persisted"] is True
+        assert result["n_measured"] >= 1
+
+    def test_follow_up_compile_serves_the_tuned_winner(self, client):
+        tuned = client.tune(HENON, args=[0.3, 0.2, 10],
+                            config="f64a-dsnn", k=8, entry="henon",
+                            budget=BUDGET, seed=7)["result"]
+        reply = client.compile(HENON, config="f64a-dsnn", k=8,
+                               entry="henon")
+        assert reply["config"] == tuned["winner"]["config_name"]
+        assert reply["k"] == tuned["winner"]["k"]
+        stats = client.stats()["service"]
+        assert stats["tune_resolved"] >= 1
+
+    def test_tune_counters_in_stats(self, client):
+        before = client.stats()["service"]
+        client.tune(HENON, args=[0.3, 0.2, 10], config="f64a-dsnn", k=8,
+                    entry="henon", budget=BUDGET, seed=8)
+        after = client.stats()["service"]
+        assert after["tune_runs"] - before["tune_runs"] == 1
+        assert after["tune_candidates"] > before["tune_candidates"]
+        assert after["tune_sweep_s"] > before["tune_sweep_s"]
+
+    def test_tune_metrics_exposed(self, client):
+        text = client.metrics()
+        assert "repro_tune_runs_total" in text
+        assert "repro_tune_resolved_total" in text
+        assert "repro_tune_sweep_seconds_total" in text
+
+    def test_deadline_folds_into_sweep_budget(self, client):
+        # A short deadline must come back with partial measurements, not
+        # a deadline_exceeded error: the dispatcher folds the remaining
+        # time into the sweep's soft seconds budget.
+        reply = client.tune(HENON, args=[0.3, 0.2, 10],
+                            config="f64a-dsnn", k=8, entry="henon",
+                            budget={"max_candidates": 12}, seed=9,
+                            deadline_s=30.0)
+        assert reply["result"]["baseline"]["ok"]
+
+    def test_bad_budget_is_a_bad_request(self, client):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as err:
+            client.tune(HENON, args=[0.3, 0.2, 10], config="f64a-dsnn",
+                        k=8, entry="henon", budget={"bogus_knob": 1})
+        assert err.value.code in ("bad_request", "internal")

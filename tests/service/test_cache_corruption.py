@@ -49,6 +49,40 @@ class TestDiskCorruption:
         assert cache.get(key) is None
         assert cache.stats.cache_errors == 1
 
+    def test_contains_agrees_with_get_on_corrupt_shard(self, tmp_path):
+        """Regression: ``in`` used to answer True for any file on disk,
+        so ``key in cache`` + ``cache.get(key)`` could disagree."""
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "ee" + "0" * 62
+        write_shard(cache, key, b"garbage")
+        assert key not in cache
+        assert cache.stats.cache_errors == 1
+        assert cache.get(key) is None
+
+    def test_contains_does_not_touch_hit_miss_counters(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "ff" + "0" * 62
+        entry = CacheEntry(key=key, entry="f", config={}, unit_blob=b"",
+                           python_source="", c_source="")
+        cache.put(key, entry)
+        assert key in cache
+        assert "00" + "1" * 62 not in cache
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_contains_promotes_disk_entry_into_memory(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        key = "11" + "0" * 62
+        entry = CacheEntry(key=key, entry="f", config={}, unit_blob=b"",
+                           python_source="", c_source="")
+        cache.put(key, entry)
+        fresh = CompileCache(cache_dir=str(tmp_path))
+        assert key in fresh          # loads from disk, promotes to memory
+        assert len(fresh) == 1
+        got = fresh.get(key)         # a memory hit, not a disk re-read
+        assert got is not None and got.key == key
+        assert fresh.stats.disk_hits == 0
+
     def test_invalidate_drops_both_levels(self, tmp_path):
         cache = CompileCache(cache_dir=str(tmp_path))
         key = "dd" + "0" * 62

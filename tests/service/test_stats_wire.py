@@ -134,3 +134,105 @@ class TestMerged:
         direct.merge(b)
         rollup = ServiceStats.merged([a.to_dict(), b.to_dict()])
         assert rollup.to_dict() == direct.to_dict()
+
+
+def tuned_stats() -> ServiceStats:
+    stats = ServiceStats()
+    stats.add("tune_runs")
+    stats.add("tune_candidates", 8)
+    stats.add("tune_persisted")
+    stats.add("tune_resolved", 3)
+    stats.add("tune_sweep_s", 0.25)
+    return stats
+
+
+class TestTuneCountersWire:
+    """Satellite 4: the new tune_* counters must survive every wire path
+    the fleet uses — snapshot, delta, merge-after-from_dict, rollup."""
+
+    def test_empty_snapshot_carries_zeroed_tune_counters(self):
+        snap = ServiceStats().to_dict()
+        for key in ("tune_runs", "tune_candidates", "tune_persisted",
+                    "tune_resolved", "tune_sweep_s"):
+            assert snap[key] == 0
+
+    def test_snapshot_round_trip(self):
+        back = ServiceStats.from_dict(tuned_stats().to_dict())
+        assert back.tune_runs == 1
+        assert back.tune_candidates == 8
+        assert back.tune_persisted == 1
+        assert back.tune_resolved == 3
+        assert back.tune_sweep_s == 0.25
+
+    def test_delta_subtracts_tune_counters(self):
+        before = tuned_stats().snapshot()
+        after = tuned_stats()
+        after.add("tune_runs")
+        after.add("tune_candidates", 4)
+        after.add("tune_sweep_s", 0.5)
+        d = ServiceStats.delta(before, after)
+        assert d.tune_runs == 1
+        assert d.tune_candidates == 4
+        assert d.tune_persisted == 0
+        assert d.tune_sweep_s == 0.5
+
+    def test_delta_then_merge_reconstructs_totals(self):
+        """The pool-worker accounting loop: ship a delta, merge it."""
+        before = tuned_stats().snapshot()
+        after = tuned_stats()
+        after.add("tune_runs", 2)
+        parent = tuned_stats()
+        parent.merge(ServiceStats.delta(before, after))
+        assert parent.tune_runs == 3
+        assert parent.tune_candidates == 8
+
+    def test_merge_after_from_dict(self):
+        a = ServiceStats.from_dict(tuned_stats().to_dict())
+        b = ServiceStats.from_dict(tuned_stats().to_dict())
+        a.merge(b)
+        assert a.tune_runs == 2
+        assert a.tune_candidates == 16
+        assert a.tune_sweep_s == 0.5
+
+    def test_fleet_rollup_sums_tune_counters(self):
+        """What the router's stats op does over shard snapshots."""
+        shards = [tuned_stats().to_dict() for _ in range(3)]
+        rollup = ServiceStats.merged(shards)
+        assert rollup.tune_runs == 3
+        assert rollup.tune_candidates == 24
+        assert rollup.tune_persisted == 3
+        assert rollup.tune_resolved == 9
+        assert rollup.tune_sweep_s == 0.75
+
+
+class TestHistogramEdgeCases:
+    def test_negative_sample_clamped_to_zero(self):
+        h = LatencyHistogram()
+        h.observe(-1.0)
+        assert h.count == 1
+        assert h.min_s == 0.0
+        assert h.total_s == 0.0
+
+    def test_drained_delta_keeps_total_without_count(self):
+        # A worker can report time in total_s with its counts already
+        # folded elsewhere: to_dict must not divide by zero or drop it.
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.5)
+        b.observe(0.5)
+        b.total_s += 0.25
+        d = b.minus(a)
+        assert d.count == 0
+        assert d.to_dict() == {"count": 0, "total_s": 0.25}
+        assert d.quantile(0.5) is None
+        assert "n=0 total=" in d.summary()
+
+    def test_delta_round_trips_over_the_wire(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (1e-4, 0.01):
+            a.observe(v)
+        b.merge(a)
+        b.observe(3.0)
+        d = b.minus(a)
+        back = LatencyHistogram.from_dict(d.to_dict())
+        assert back.count == 1
+        assert back.counts == d.counts

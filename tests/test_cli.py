@@ -347,3 +347,38 @@ class TestDiag:
         assert main(["diag", henon_file, "0.3", "0.2", "12",
                      "-k", "4"]) == 0
         assert "condensation losses" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_report_names_winner_and_front(self, henon_file, capsys):
+        assert main(["tune", henon_file, "0.3", "0.2", "10",
+                     "--config", "f64a-dsnn", "-k", "8",
+                     "--candidates", "6", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "pareto front (width, ops, wall):" in out
+        assert "candidates (best width first)" in out
+        assert "winner diagnostics" in out
+
+    def test_json_output(self, henon_file, capsys):
+        assert main(["tune", henon_file, "0.3", "0.2", "10",
+                     "--candidates", "4", "--seed", "7", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["baseline"]["ok"] is True
+        assert data["winner"]["width"] <= data["baseline"]["width"]
+        assert data["n_measured"] >= 1
+
+    def test_cache_dir_persists_and_reserves(self, henon_file, tmp_path,
+                                             capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["tune", henon_file, "0.3", "0.2", "10",
+                     "--cache-dir", cache, "--candidates", "6",
+                     "--seed", "7", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["persisted"] is True
+        assert (tmp_path / "cache" / "tuned").is_dir()
+
+    def test_no_cache_dir_notes_no_persistence(self, henon_file, capsys):
+        assert main(["tune", henon_file, "0.3", "0.2", "10",
+                     "--candidates", "2", "--seed", "7"]) == 0
+        assert "not persisted" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""The candidate space is a pure function of (base config, seed)."""
+
+import json
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI always has hypothesis
+    HAVE_HYPOTHESIS = False
+
+from repro.aa import FusionPolicy, PlacementPolicy
+from repro.compiler.config import CompilerConfig
+from repro.tune import BASELINE_NAME, CandidateSpace
+from repro.tune.space import _derived_seed
+
+
+def base(k=8, **kw):
+    return CompilerConfig.from_string("f64a-dsnn", k=k, **kw)
+
+
+def identities(candidates):
+    return [json.dumps(c.config.to_dict(), sort_keys=True)
+            for c in candidates]
+
+
+class TestEnumeration:
+    def test_baseline_is_first_and_is_the_base_config(self):
+        cands = CandidateSpace(base(), seed=0).enumerate()
+        assert cands[0].name == BASELINE_NAME
+        assert cands[0].config == base()
+
+    def test_no_duplicate_configurations(self):
+        ids = identities(CandidateSpace(base(), seed=0).enumerate())
+        assert len(ids) == len(set(ids))
+
+    def test_same_seed_enumerates_byte_identical_configs(self):
+        a = CandidateSpace(base(), seed=11).enumerate(max_candidates=9)
+        b = CandidateSpace(base(), seed=11).enumerate(max_candidates=9)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert identities(a) == identities(b)
+
+    def test_down_sample_respects_cap_and_keeps_baseline(self):
+        cands = CandidateSpace(base(), seed=3).enumerate(max_candidates=5)
+        assert len(cands) == 5
+        assert cands[0].name == BASELINE_NAME
+
+    def test_down_sample_preserves_enumeration_order(self):
+        full = [c.name for c in CandidateSpace(base(), seed=3).enumerate()]
+        sampled = [c.name for c in
+                   CandidateSpace(base(), seed=3).enumerate(6)]
+        positions = [full.index(n) for n in sampled]
+        assert positions == sorted(positions)
+
+    def test_covers_the_paper_axes(self):
+        cands = CandidateSpace(base(), seed=0).enumerate()
+        names = {c.name for c in cands}
+        assert "k4" in names and "k16" in names       # k ladder
+        assert "sm" in names and "do" in names        # placement x fusion
+        assert "prio" in names                        # prioritization flip
+        assert "noopt" in names                       # pipeline knob
+        assert "dte-first" in names                   # pass reorder
+
+    def test_non_aa_base_only_gets_pipeline_variants(self):
+        ia = CompilerConfig.from_string("ia-f64", k=8)
+        names = [c.name for c in CandidateSpace(ia, seed=0).enumerate()]
+        assert names[0] == BASELINE_NAME
+        assert "k4" not in names and "sm" not in names
+        assert "noopt" in names
+
+
+class TestRandomFusionSeeds:
+    def random_candidates(self, seed):
+        cands = CandidateSpace(base(), seed=seed).enumerate()
+        return {c.name: c for c in cands
+                if c.config.fusion is FusionPolicy.RANDOM}
+
+    def test_derived_seed_is_stable(self):
+        assert _derived_seed(7, "dr") == _derived_seed(7, "dr")
+        assert _derived_seed(7, "dr") != _derived_seed(8, "dr")
+        assert _derived_seed(7, "dr") != _derived_seed(7, "sr")
+
+    def test_random_candidates_get_sweep_derived_seeds(self):
+        by_name = self.random_candidates(seed=5)
+        assert by_name  # the grid always includes RANDOM fusion
+        for name, cand in by_name.items():
+            assert cand.config.seed == _derived_seed(5, name)
+
+    def test_different_sweep_seeds_change_random_configs_only(self):
+        a = CandidateSpace(base(), seed=1).enumerate()
+        b = CandidateSpace(base(), seed=2).enumerate()
+        for ca, cb in zip(a, b):
+            assert ca.name == cb.name
+            if ca.config.fusion is FusionPolicy.RANDOM:
+                assert ca.config.seed != cb.config.seed
+            else:
+                assert ca.config == cb.config
+
+    def test_non_random_candidates_keep_the_base_seed(self):
+        cands = CandidateSpace(base(), seed=9).enumerate()
+        for c in cands:
+            if c.config.fusion is not FusionPolicy.RANDOM:
+                assert c.config.seed == base().seed
+
+
+class TestVectorizeValidity:
+    def test_sorted_variant_of_vectorized_base_drops_vectorize(self):
+        vec = CompilerConfig.from_string("f64a-dspv", k=8)
+        cands = CandidateSpace(vec, seed=0).enumerate()
+        for c in cands:
+            if c.config.placement is PlacementPolicy.SORTED:
+                assert not c.config.vectorize, c.name
+        # Direct-mapped variants keep it.
+        assert any(c.config.vectorize for c in cands)
+
+    def test_every_candidate_config_validates(self):
+        vec = CompilerConfig.from_string("f64a-dspv", k=8)
+        for c in CandidateSpace(vec, seed=0).enumerate():
+            # __post_init__ re-runs on from_dict: would raise on an
+            # invalid (vectorize, placement, precision) combination.
+            CompilerConfig.from_dict(c.config.to_dict())
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           k=st.sampled_from([4, 8, 16, 32]),
+           cap=st.integers(min_value=1, max_value=24))
+    def test_property_enumeration_is_deterministic(seed, k, cap):
+        """Satellite 3: one seed pins the whole sweep, including the
+        per-candidate RANDOM-fusion seeds and the down-sample."""
+        a = CandidateSpace(base(k=k), seed=seed).enumerate(cap)
+        b = CandidateSpace(base(k=k), seed=seed).enumerate(cap)
+        assert identities(a) == identities(b)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert len(a) <= cap
+        assert a[0].name == BASELINE_NAME
+else:  # pragma: no cover
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_property_enumeration_is_deterministic():
+        pass

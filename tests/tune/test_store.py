@@ -1,0 +1,98 @@
+"""TunedConfigStore: atomic sharded JSON, corruption demoted to misses,
+cross-process visibility (no negative caching)."""
+
+import json
+import os
+
+from repro.compiler.config import CompilerConfig
+from repro.tune import TunedConfigStore, TunedRecord
+
+KEY = CompilerConfig.source_key("double f(double x){return x;}", entry="f")
+
+
+def record(key=KEY, **kw):
+    base = CompilerConfig.from_string("f64a-dsnn", k=8).to_dict()
+    winner = CompilerConfig.from_string("f64a-dsnn", k=16).to_dict()
+    fields = dict(source_key=key, entry="f", config=winner,
+                  base_config=base, winner_name="k16",
+                  baseline_name="f64a-dsnn", seed=7, n_candidates=8,
+                  version="1.4.0")
+    fields.update(kw)
+    return TunedRecord(**fields)
+
+
+class TestRecord:
+    def test_round_trips_through_dict(self):
+        r = record(objectives={"width": 1e-15, "ops": 50, "wall": 0.01})
+        back = TunedRecord.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert back == r
+
+    def test_unknown_keys_ignored(self):
+        data = record().to_dict()
+        data["future_field"] = "whatever"
+        assert TunedRecord.from_dict(data) == record()
+
+
+class TestStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = TunedConfigStore(str(tmp_path))
+        store.put(record())
+        assert store.get(KEY) == record()
+        assert KEY in store
+
+    def test_persists_across_instances(self, tmp_path):
+        TunedConfigStore(str(tmp_path)).put(record())
+        fresh = TunedConfigStore(str(tmp_path))
+        assert fresh.get(KEY) == record()
+
+    def test_on_disk_format_is_sharded_readable_json(self, tmp_path):
+        store = TunedConfigStore(str(tmp_path))
+        store.put(record())
+        path = tmp_path / KEY[:2] / (KEY + ".json")
+        assert path.exists()
+        assert json.loads(path.read_text())["winner_name"] == "k16"
+
+    def test_no_negative_caching(self, tmp_path):
+        """A miss must re-stat the disk: another process (a pool worker
+        running a tune job) may persist a winner at any time."""
+        reader = TunedConfigStore(str(tmp_path))
+        assert reader.get(KEY) is None
+        TunedConfigStore(str(tmp_path)).put(record())  # "another process"
+        assert reader.get(KEY) == record()
+
+    def test_corrupt_file_is_a_miss_and_unlinked(self, tmp_path):
+        store = TunedConfigStore(str(tmp_path))
+        path = tmp_path / KEY[:2] / (KEY + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert store.get(KEY) is None
+        assert not path.exists()
+
+    def test_wrong_key_record_is_rejected(self, tmp_path):
+        store = TunedConfigStore(str(tmp_path))
+        other = "ab" * 32
+        path = tmp_path / other[:2] / (other + ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(record().to_dict()))  # source_key=KEY
+        assert store.get(other) is None
+        assert not path.exists()
+
+    def test_invalidate_drops_both_levels(self, tmp_path):
+        store = TunedConfigStore(str(tmp_path))
+        store.put(record())
+        store.invalidate(KEY)
+        assert store.get(KEY) is None
+        assert KEY not in TunedConfigStore(str(tmp_path))
+
+    def test_memory_only_store(self):
+        store = TunedConfigStore(None)
+        assert store.get(KEY) is None
+        store.put(record())
+        assert store.get(KEY) == record()
+
+    def test_unwritable_directory_is_not_an_error(self, tmp_path):
+        blocker = tmp_path / "tuned"
+        blocker.write_text("a file where the store wants a directory")
+        store = TunedConfigStore(str(blocker))
+        store.put(record())              # swallowed, like the compile cache
+        assert store.get(KEY) == record()  # still served from memory

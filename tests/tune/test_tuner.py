@@ -1,0 +1,184 @@
+"""The autotuning loop end to end: sweep -> winner -> persist -> serve.
+
+Acceptance (ISSUE): on paper kernels the winner is Pareto-no-worse than
+the default config on (width, ops); the tuned artifact served through
+the CompileService is bit-identical to an in-process compile at the same
+config; a same-seed re-tune reproduces the same winner.
+"""
+
+import math
+
+import pytest
+
+from repro import SafeGen
+from repro.bench import make_workload
+from repro.compiler.config import CompilerConfig
+from repro.service import CompileService
+from repro.tune import (
+    BASELINE_NAME,
+    TuneBudget,
+    TuneResult,
+    Tuner,
+    render_tune_report,
+)
+
+HENON = open("examples/henon.c").read()
+HENON_ARGS = [0.3, 0.2, 10]
+BUDGET = TuneBudget(max_candidates=8)
+
+
+@pytest.fixture(scope="module")
+def henon_result():
+    service = CompileService()
+    result = Tuner(service).tune(HENON, "f64a-dsnn", k=8, entry="henon",
+                                 args=HENON_ARGS, budget=BUDGET, seed=7)
+    return service, result
+
+
+class TestSweep:
+    def test_baseline_measured_first(self, henon_result):
+        _, result = henon_result
+        assert result.baseline.name == BASELINE_NAME
+        assert result.baseline.ok
+        assert math.isfinite(result.baseline.width)
+
+    def test_winner_pareto_no_worse_on_width_and_ops(self, henon_result):
+        _, result = henon_result
+        assert result.winner.width <= result.baseline.width
+        assert result.winner.ops <= result.baseline.ops or \
+            result.winner.width < result.baseline.width
+
+    def test_front_members_are_measured_candidates(self, henon_result):
+        _, result = henon_result
+        measured = {c.name for c in result.candidates if c.ok}
+        assert result.front
+        assert set(result.front) <= measured
+
+    def test_same_seed_reproduces_the_winner(self, henon_result):
+        _, result = henon_result
+        again = Tuner(CompileService()).tune(
+            HENON, "f64a-dsnn", k=8, entry="henon",
+            args=HENON_ARGS, budget=BUDGET, seed=7)
+        assert again.winner.name == result.winner.name
+        assert again.winner.config == result.winner.config
+        assert [c.name for c in again.candidates] \
+            == [c.name for c in result.candidates]
+
+    def test_counters(self, henon_result):
+        service, result = henon_result
+        assert service.stats.tune_runs >= 1
+        assert service.stats.tune_candidates >= result.n_measured
+        assert service.stats.tune_sweep_s > 0.0
+
+    def test_diagnostics_join_width_and_pipeline(self, henon_result):
+        _, result = henon_result
+        assert result.width is not None
+        assert result.width["n_requests"] >= 1
+        assert result.pipeline is not None
+
+    def test_report_renders(self, henon_result):
+        service, result = henon_result
+        report = render_tune_report(result.to_dict(), n=5,
+                                    stats=service.stats.to_dict())
+        assert result.winner.name in report
+        assert "pareto front" in report
+
+    def test_result_round_trips_through_dict(self, henon_result):
+        _, result = henon_result
+        back = TuneResult.from_dict(result.to_dict())
+        assert back.winner.name == result.winner.name
+        assert back.winner.config == result.winner.config
+        assert back.front == result.front
+        assert back.n_measured == result.n_measured
+
+
+class TestArrayKernel:
+    def test_sor_tunes_on_accuracy_derived_width(self):
+        """Second paper kernel: SOR returns arrays, so the width objective
+        falls back to 2^-acc_bits over the outputs."""
+        w = make_workload("sor", seed=3, sor_n=6, sor_iters=2)
+        result = Tuner(CompileService()).tune(
+            w.program.source, "f64a-dsnn", k=8, entry=w.program.entry,
+            inputs=w.inputs, budget=BUDGET, seed=7)
+        assert result.baseline.ok
+        assert math.isfinite(result.baseline.width)
+        assert result.winner.width <= result.baseline.width
+
+
+class TestPersistAndServe:
+    def test_winner_persisted_and_transparently_served(self, tmp_path):
+        cache = str(tmp_path)
+        base = CompilerConfig.from_string("f64a-dsnn", k=8)
+        result = Tuner(CompileService(cache_dir=cache)).tune(
+            HENON, base, entry="henon", args=HENON_ARGS,
+            budget=BUDGET, seed=7)
+        assert result.persisted
+
+        fresh = CompileService(cache_dir=cache)
+        prog = fresh.compile(HENON, base, entry="henon")
+        assert prog.config.to_dict() == result.winner.config
+        assert fresh.stats.tune_resolved == 1
+
+        # Bit-identical to an in-process compile at the winner config.
+        direct = SafeGen(CompilerConfig.from_dict(
+            result.winner.config)).compile(HENON, entry="henon")
+        served = prog(*HENON_ARGS).value.interval()
+        expect = direct(*HENON_ARGS).value.interval()
+        assert (served.lo, served.hi) == (expect.lo, expect.hi)
+
+    def test_explicitly_different_config_is_not_rewritten(self, tmp_path):
+        cache = str(tmp_path)
+        Tuner(CompileService(cache_dir=cache)).tune(
+            HENON, "f64a-dsnn", k=8, entry="henon", args=HENON_ARGS,
+            budget=BUDGET, seed=7)
+        fresh = CompileService(cache_dir=cache)
+        other = CompilerConfig.from_string("f64a-dmnn", k=8)
+        prog = fresh.compile(HENON, other, entry="henon")
+        assert prog.config.fusion == other.fusion
+        assert fresh.stats.tune_resolved == 0
+
+    def test_resolution_can_be_opted_out(self, tmp_path):
+        cache = str(tmp_path)
+        base = CompilerConfig.from_string("f64a-dsnn", k=8)
+        Tuner(CompileService(cache_dir=cache)).tune(
+            HENON, base, entry="henon", args=HENON_ARGS,
+            budget=BUDGET, seed=7)
+        fresh = CompileService(cache_dir=cache)
+        prog = fresh.compile(HENON, base, entry="henon",
+                             resolve_tuned=False)
+        assert prog.config.k == 8
+        assert fresh.stats.tune_resolved == 0
+
+    def test_no_store_means_no_persistence(self):
+        service = CompileService()  # no cache dir -> no tuned store
+        result = Tuner(service).tune(
+            HENON, "f64a-dsnn", k=8, entry="henon", args=HENON_ARGS,
+            budget=TuneBudget(max_candidates=2), seed=7)
+        assert service.tuned is None
+        assert not result.persisted
+
+
+class TestBudget:
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown tune budget"):
+            TuneBudget.from_dict({"max_candidates": 4, "walltime": 1})
+
+    def test_none_values_fall_back_to_defaults(self):
+        b = TuneBudget.from_dict({"max_candidates": None, "seconds": None})
+        assert b.max_candidates == 24
+        assert b.seconds is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuneBudget(max_candidates=0)
+        with pytest.raises(ValueError):
+            TuneBudget(repeats=0)
+
+    def test_seconds_budget_still_measures_the_baseline_wave(self):
+        result = Tuner(CompileService()).tune(
+            HENON, "f64a-dsnn", k=8, entry="henon", args=HENON_ARGS,
+            budget=TuneBudget(max_candidates=8, seconds=0.0, jobs=1),
+            seed=7)
+        # Budget of zero: only the first wave (4 jobs at jobs=1) runs.
+        assert result.baseline.ok
+        assert result.n_measured <= 4
